@@ -1,0 +1,140 @@
+// Ablation study of the ORF design choices DESIGN.md §5 calls out.
+//
+// Variants of the online forest are trained on the same drifting STA-like
+// stream (70/30 disk split, timestamp-ordered replay) and compared by
+// threshold-free AUC plus the calibrated FDR at FAR ≤ 1%, both at a midpoint
+// snapshot and at the end of the stream:
+//   full            — the paper's configuration (this library's defaults)
+//   no-unlearning   — tree replacement disabled (θ_AGE = ∞)
+//   lambda_n=1      — imbalance handling off (plain Oza bagging)
+//   uniform-tests   — candidate thresholds drawn blind from [0,1] instead of
+//                     from observed values
+//   ph-monitor      — Page–Hinkley drift monitor on top of the OOBE rule
+//   rate-features   — change-rate augmented inputs (Wang et al.' idea)
+#include "repro_common.hpp"
+
+#include "data/labeling.hpp"
+#include "datagen/fleet_generator.hpp"
+#include "eval/replay.hpp"
+#include "eval/roc.hpp"
+#include "features/change_rate.hpp"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  core::OnlineForestParams params;
+  bool change_rate_inputs = false;
+};
+
+struct Snapshot {
+  double auc_mid = 0.0, fdr_mid = 0.0;
+  double auc_end = 0.0, fdr_end = 0.0;
+  double fixed_fdr_end = 0.0, fixed_far_end = 0.0;  ///< at τ = 0.5
+  std::uint64_t replaced = 0;
+};
+
+Snapshot run_variant(const data::Dataset& dataset, const Variant& variant,
+                     const data::DiskSplit& split, double far_target,
+                     std::uint64_t seed) {
+  auto train = data::label_offline(dataset, split.train);
+  data::sort_by_time(train);
+
+  eval::OrfReplay replay(dataset.feature_count(), variant.params, seed);
+  eval::ScoreOptions scoring;
+  scoring.good_sample_stride = 2;
+  scoring.max_good_disks = 400;
+
+  Snapshot result;
+  const data::Day midpoint = dataset.duration_days / 2;
+  replay.advance_until(train, midpoint);
+  {
+    const auto scores =
+        eval::score_disks(dataset, split.test, replay.scorer(), scoring);
+    result.auc_mid = eval::roc_auc(scores);
+    result.fdr_mid = eval::best_fdr_at_far(scores, far_target);
+  }
+  replay.advance_all(train);
+  {
+    const auto scores =
+        eval::score_disks(dataset, split.test, replay.scorer(), scoring);
+    result.auc_end = eval::roc_auc(scores);
+    result.fdr_end = eval::best_fdr_at_far(scores, far_target);
+    const eval::Metrics fixed = eval::compute_metrics(scores, 0.5);
+    result.fixed_fdr_end = fixed.fdr;
+    result.fixed_far_end = fixed.far;
+  }
+  result.replaced = replay.forest().trees_replaced();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  repro::CommonArgs defaults;
+  defaults.failed_boost = 4.0;
+  const repro::CommonArgs args = repro::parse_common(flags, defaults);
+  const double far_target = flags.get_double("far-target", 1.0);
+
+  const datagen::FleetProfile profile = repro::sta_bench_profile(args);
+  repro::print_header("Ablation: ORF design choices", profile, args);
+
+  const data::Dataset base = datagen::generate_fleet(profile, args.seed);
+  const data::Dataset augmented = features::augment_with_change_rates(base);
+  util::Rng rng(args.seed ^ 0xab1a7e);
+  const auto split = data::split_disks(base, 0.7, rng);
+
+  const core::OnlineForestParams paper = repro::orf_params(flags, args);
+  std::vector<Variant> variants;
+  variants.push_back({"full", paper, false});
+  {
+    auto p = paper;
+    p.enable_replacement = false;
+    variants.push_back({"no-unlearning", p, false});
+  }
+  {
+    auto p = paper;
+    p.lambda_neg = 1.0;
+    variants.push_back({"lambda_n=1", p, false});
+  }
+  {
+    auto p = paper;
+    p.tree.uniform_test_fraction = 1.0;
+    variants.push_back({"uniform-tests", p, false});
+  }
+  {
+    auto p = paper;
+    p.enable_drift_monitor = true;
+    variants.push_back({"ph-monitor", p, false});
+  }
+  variants.push_back({"rate-features", paper, true});
+
+  util::Table table({"variant", "AUC mid", "FDR@1% mid", "AUC end",
+                     "FDR@1% end", "FDR@τ=.5", "FAR@τ=.5",
+                     "trees replaced"});
+  for (const auto& variant : variants) {
+    util::Stopwatch timer;
+    const auto& dataset = variant.change_rate_inputs ? augmented : base;
+    const Snapshot s =
+        run_variant(dataset, variant, split, far_target, args.seed + 1);
+    table.add_row({variant.name, util::fmt(s.auc_mid, 3),
+                   util::fmt(s.fdr_mid, 1), util::fmt(s.auc_end, 3),
+                   util::fmt(s.fdr_end, 1), util::fmt(s.fixed_fdr_end, 1),
+                   util::fmt(s.fixed_far_end, 2),
+                   std::to_string(s.replaced)});
+    util::log_info("ablation ", variant.name, " done in ", timer.seconds(),
+                   "s");
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nreading: imbalance handling (λn ≪ 1) is what keeps the *fixed* "
+      "τ = 0.5 operating point usable — with λn = 1 the score distribution "
+      "collapses toward 0 and FDR@τ=.5 craters, even though the threshold-"
+      "free ranking (AUC / FDR@1%%) stays respectable. Tree replacement and "
+      "the PH monitor only differ under stronger drift than the default "
+      "fleet exhibits (see tests/core/test_drift.cpp for the abrupt-drift "
+      "case); rate-features trade a little ranking power for "
+      "interpretability here.\n");
+  return 0;
+}

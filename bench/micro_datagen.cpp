@@ -1,0 +1,78 @@
+// Microbenchmarks for the fleet simulator and the data plumbing around it.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "data/backblaze_csv.hpp"
+#include "data/labeling.hpp"
+#include "datagen/fleet_generator.hpp"
+#include "datagen/profile.hpp"
+
+namespace {
+
+void BM_GenerateFleet(benchmark::State& state) {
+  datagen::FleetProfile profile = datagen::sta_profile(0.002);
+  profile.duration_days = static_cast<data::Day>(state.range(0));
+  for (auto _ : state) {
+    const auto dataset = datagen::generate_fleet(profile, 7);
+    benchmark::DoNotOptimize(dataset.sample_count());
+  }
+  state.SetLabel(std::to_string(
+      datagen::generate_fleet(profile, 7).sample_count()) + " samples");
+}
+BENCHMARK(BM_GenerateFleet)->Arg(180)->Arg(360)->Unit(benchmark::kMillisecond);
+
+void BM_LabelOffline(benchmark::State& state) {
+  datagen::FleetProfile profile = datagen::sta_profile(0.004);
+  profile.duration_days = 360;
+  const auto dataset = datagen::generate_fleet(profile, 7);
+  for (auto _ : state) {
+    auto samples = data::label_offline_all(dataset);
+    benchmark::DoNotOptimize(samples.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset.sample_count()));
+}
+BENCHMARK(BM_LabelOffline)->Unit(benchmark::kMillisecond);
+
+void BM_SortByTime(benchmark::State& state) {
+  datagen::FleetProfile profile = datagen::sta_profile(0.004);
+  profile.duration_days = 360;
+  const auto dataset = datagen::generate_fleet(profile, 7);
+  const auto samples = data::label_offline_all(dataset);
+  for (auto _ : state) {
+    auto copy = samples;
+    data::sort_by_time(copy);
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_SortByTime)->Unit(benchmark::kMillisecond);
+
+void BM_CsvWrite(benchmark::State& state) {
+  datagen::FleetProfile profile = datagen::sta_profile(0.002);
+  profile.duration_days = 120;
+  const auto dataset = datagen::generate_fleet(profile, 7);
+  for (auto _ : state) {
+    std::ostringstream out;
+    data::write_backblaze_csv(dataset, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+}
+BENCHMARK(BM_CsvWrite)->Unit(benchmark::kMillisecond);
+
+void BM_CsvRead(benchmark::State& state) {
+  datagen::FleetProfile profile = datagen::sta_profile(0.002);
+  profile.duration_days = 120;
+  const auto dataset = datagen::generate_fleet(profile, 7);
+  std::ostringstream out;
+  data::write_backblaze_csv(dataset, out);
+  const std::string csv = out.str();
+  for (auto _ : state) {
+    std::istringstream in(csv);
+    const auto loaded = data::read_backblaze_csv(in);
+    benchmark::DoNotOptimize(loaded.sample_count());
+  }
+}
+BENCHMARK(BM_CsvRead)->Unit(benchmark::kMillisecond);
+
+}  // namespace

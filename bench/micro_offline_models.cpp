@@ -1,0 +1,114 @@
+// Microbenchmarks for the offline baselines: RF/DT/SVM training cost on
+// λ-balanced sets and per-sample prediction cost — the trade-off the paper
+// cites when preferring forests (parallel, cheap) over SVMs (expensive
+// scoring) for online monitoring.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "forest/decision_tree.hpp"
+#include "forest/random_forest.hpp"
+#include "svm/svc.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr std::size_t kFeatures = 19;
+
+struct Owned {
+  std::vector<std::vector<float>> rows;
+  forest::TrainView view;
+};
+
+Owned make_data(std::size_t n, double pos_frac) {
+  util::Rng rng(42);
+  Owned d;
+  d.rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = rng.uniform() < pos_frac;
+    std::vector<float> x(kFeatures);
+    for (auto& v : x) {
+      v = static_cast<float>(
+          positive ? rng.uniform(0.4, 1.0) : rng.uniform(0.0, 0.6));
+    }
+    d.rows.push_back(std::move(x));
+    d.view.y.push_back(positive ? 1 : 0);
+  }
+  for (const auto& r : d.rows) d.view.x.emplace_back(r);
+  return d;
+}
+
+void BM_RandomForestTrain(benchmark::State& state) {
+  const auto d = make_data(static_cast<std::size_t>(state.range(0)), 0.25);
+  forest::RandomForestParams params;
+  params.n_trees = 30;
+  params.neg_sample_ratio = -1.0;
+  for (auto _ : state) {
+    forest::RandomForest rf;
+    rf.train(d.view, params, 7);
+    benchmark::DoNotOptimize(rf.tree_count());
+  }
+}
+BENCHMARK(BM_RandomForestTrain)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const auto d = make_data(4000, 0.25);
+  forest::RandomForestParams params;
+  params.n_trees = 30;
+  params.neg_sample_ratio = -1.0;
+  forest::RandomForest rf;
+  rf.train(d.view, params, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.predict_proba(d.view.x[i]));
+    i = (i + 1) % d.view.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_DecisionTreeTrain(benchmark::State& state) {
+  const auto d = make_data(static_cast<std::size_t>(state.range(0)), 0.25);
+  forest::DecisionTreeParams params;
+  params.max_splits = 100;
+  for (auto _ : state) {
+    forest::DecisionTree dt;
+    util::Rng rng(7);
+    dt.train(d.view, params, rng);
+    benchmark::DoNotOptimize(dt.node_count());
+  }
+}
+BENCHMARK(BM_DecisionTreeTrain)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SvmTrain(benchmark::State& state) {
+  const auto d = make_data(static_cast<std::size_t>(state.range(0)), 0.25);
+  svm::SvmParams params;
+  params.C = 10.0;
+  params.gamma = 0.5;
+  for (auto _ : state) {
+    svm::SvmClassifier clf;
+    clf.train(d.view, params);
+    benchmark::DoNotOptimize(clf.support_vector_count());
+  }
+}
+BENCHMARK(BM_SvmTrain)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_SvmPredict(benchmark::State& state) {
+  const auto d = make_data(2000, 0.25);
+  svm::SvmParams params;
+  params.C = 10.0;
+  params.gamma = 0.5;
+  svm::SvmClassifier clf;
+  clf.train(d.view, params);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.decision_value(d.view.x[i]));
+    i = (i + 1) % d.view.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SvmPredict);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Microbenchmarks for util primitives on the ORF hot path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "features/scaler.hpp"
+#include "features/wilcoxon.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_OnlineScalerObserveTransform(benchmark::State& state) {
+  util::Rng rng(42);
+  std::vector<float> x(19);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  features::OnlineMinMaxScaler scaler(19);
+  std::vector<float> out;
+  for (auto _ : state) {
+    scaler.observe_transform(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineScalerObserveTransform);
+
+void BM_WilcoxonRankSum(benchmark::State& state) {
+  util::Rng rng(42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (auto& v : a) v = rng.normal(0.0, 1.0);
+  for (auto& v : b) v = rng.normal(0.5, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::wilcoxon_rank_sum(a, b).z);
+  }
+}
+BENCHMARK(BM_WilcoxonRankSum)->Arg(1000)->Arg(20000);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> sink(30, 0.0);
+  for (auto _ : state) {
+    pool.parallel_for(sink.size(), [&](std::size_t i) { sink[i] += 1.0; });
+  }
+  benchmark::DoNotOptimize(sink.data());
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4);
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Shared plumbing for the repro_* bench binaries.
+//
+// Every binary accepts:
+//   --scale <f>         fleet population scale (default per binary)
+//   --failed-boost <f>  multiply the failed-disk count (keeps FDR resolution
+//                       at small scales without inflating the good fleet)
+//   --seed <n>          master seed
+//   --repeats <n>       repetitions for mean ± std tables
+//   --trees <n>         forest size T
+//   --stride <n>        good-disk sample stride during scoring
+//   --verbose           INFO-level progress logging
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "datagen/profile.hpp"
+#include "eval/experiments.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace repro {
+
+struct CommonArgs {
+  double scale_sta = 0.03;
+  double scale_stb = 0.25;
+  double failed_boost = 2.5;  ///< applied to STA only (STB is failure-rich)
+  std::uint64_t seed = 42;
+  int repeats = 5;
+  int trees = 30;
+  int stride = 2;
+};
+
+inline CommonArgs parse_common(const util::Flags& flags,
+                               const CommonArgs& defaults = {}) {
+  CommonArgs args = defaults;
+  args.scale_sta = flags.get_double("scale", args.scale_sta);
+  args.scale_stb = flags.get_double("scale", args.scale_stb);
+  args.failed_boost = flags.get_double("failed-boost", args.failed_boost);
+  args.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  args.repeats = static_cast<int>(flags.get_int("repeats", args.repeats));
+  args.trees = static_cast<int>(flags.get_int("trees", args.trees));
+  args.stride = static_cast<int>(flags.get_int("stride", args.stride));
+  if (flags.get_bool("verbose", false)) {
+    util::set_log_level(util::LogLevel::kInfo);
+  }
+  return args;
+}
+
+inline datagen::FleetProfile sta_bench_profile(const CommonArgs& args) {
+  datagen::FleetProfile p = datagen::sta_profile(args.scale_sta);
+  p.n_failed = static_cast<std::size_t>(
+      static_cast<double>(p.n_failed) * args.failed_boost);
+  return p;
+}
+
+inline datagen::FleetProfile stb_bench_profile(const CommonArgs& args) {
+  return datagen::stb_profile(args.scale_stb);
+}
+
+/// Paper-default ORF parameters (§4.4: T = 30, α = 200, β = 0.1, λp = 1,
+/// λn = 0.02) with N scaled down from 5000 to keep single-core runtimes sane
+/// (--tests restores any value).
+inline core::OnlineForestParams orf_params(const util::Flags& flags,
+                                           const CommonArgs& args) {
+  core::OnlineForestParams p;
+  p.n_trees = args.trees;
+  p.tree.n_tests = static_cast<int>(flags.get_int("tests", 256));
+  p.tree.min_parent_size = static_cast<int>(flags.get_int("alpha", 200));
+  p.tree.min_gain = flags.get_double("beta", 0.1);
+  p.lambda_pos = flags.get_double("lambda-pos", 1.0);
+  p.lambda_neg = flags.get_double("lambda-neg", 0.02);
+  return p;
+}
+
+inline void print_header(const std::string& title,
+                         const datagen::FleetProfile& profile,
+                         const CommonArgs& args) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "dataset: %s  (good=%zu failed=%zu months=%d)  seed=%llu repeats=%d "
+      "trees=%d\n\n",
+      profile.model_name.c_str(), profile.n_good, profile.n_failed,
+      static_cast<int>(profile.duration_days / data::kDaysPerMonth),
+      static_cast<unsigned long long>(args.seed), args.repeats, args.trees);
+}
+
+inline void print_sweep_table(const std::string& param_name,
+                              const std::vector<eval::SweepRow>& rows) {
+  util::Table table({param_name, "FDR(%)", "FAR(%)"});
+  for (const auto& row : rows) {
+    table.add_row({row.label, util::fmt_pm(row.fdr_mean, row.fdr_std),
+                   util::fmt_pm(row.far_mean, row.far_std)});
+  }
+  std::string rendered = table.to_string();
+  std::fputs(rendered.c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace repro

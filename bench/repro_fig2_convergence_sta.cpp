@@ -1,0 +1,8 @@
+// Figure 2 — FDR of ORF and offline models on dataset STA (FAR ≈ 1.0%).
+#include "repro_fig_convergence.hpp"
+
+int main(int argc, char** argv) {
+  return repro::run_convergence_figure(
+      argc, argv, /*is_sta=*/true,
+      "Figure 2: ORF vs offline models, dataset STA");
+}

@@ -1,0 +1,8 @@
+// Figure 3 — FDR of ORF and offline models on dataset STB (FAR ≈ 1.0%).
+#include "repro_fig_convergence.hpp"
+
+int main(int argc, char** argv) {
+  return repro::run_convergence_figure(
+      argc, argv, /*is_sta=*/false,
+      "Figure 3: ORF vs offline models, dataset STB");
+}

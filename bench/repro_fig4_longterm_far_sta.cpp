@@ -1,0 +1,8 @@
+// Figure 4 — FARs of ORF and monthly updated RFs on dataset STA.
+#include "repro_fig_longterm.hpp"
+
+int main(int argc, char** argv) {
+  return repro::run_longterm_figure(
+      argc, argv, /*is_sta=*/true, /*print_far=*/true,
+      "Figure 4: long-term FAR, dataset STA");
+}

@@ -1,0 +1,8 @@
+// Figure 5 — FARs of ORF and monthly updated RFs on dataset STB.
+#include "repro_fig_longterm.hpp"
+
+int main(int argc, char** argv) {
+  return repro::run_longterm_figure(
+      argc, argv, /*is_sta=*/false, /*print_far=*/true,
+      "Figure 5: long-term FAR, dataset STB");
+}

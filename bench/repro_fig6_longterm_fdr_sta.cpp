@@ -1,0 +1,8 @@
+// Figure 6 — FDRs of ORF and monthly updated RFs on dataset STA.
+#include "repro_fig_longterm.hpp"
+
+int main(int argc, char** argv) {
+  return repro::run_longterm_figure(
+      argc, argv, /*is_sta=*/true, /*print_far=*/false,
+      "Figure 6: long-term FDR, dataset STA");
+}

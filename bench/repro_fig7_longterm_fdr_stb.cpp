@@ -1,0 +1,8 @@
+// Figure 7 — FDRs of ORF and monthly updated RFs on dataset STB.
+#include "repro_fig_longterm.hpp"
+
+int main(int argc, char** argv) {
+  return repro::run_longterm_figure(
+      argc, argv, /*is_sta=*/false, /*print_far=*/false,
+      "Figure 7: long-term FDR, dataset STB");
+}

@@ -1,0 +1,60 @@
+// Shared driver for Figures 2 & 3 (monthly FDR of ORF vs offline RF/DT/SVM
+// at FAR ≈ 1.0%).
+#pragma once
+
+#include "repro_common.hpp"
+
+namespace repro {
+
+inline int run_convergence_figure(int argc, char** argv, bool is_sta,
+                                  const char* title) {
+  const util::Flags flags(argc, argv);
+  CommonArgs args = parse_common(flags);
+
+  eval::ConvergenceConfig config;
+  config.profile = is_sta ? sta_bench_profile(args) : stb_bench_profile(args);
+  config.seed = args.seed;
+  config.first_month = static_cast<int>(flags.get_int("first-month", 2));
+  config.last_month = static_cast<int>(flags.get_int(
+      "last-month",
+      std::min<int>(21, static_cast<int>(config.profile.duration_days /
+                                         data::kDaysPerMonth) - 1)));
+  config.far_target = flags.get_double("far-target", 1.0);
+  config.orf = orf_params(flags, args);
+  if (!flags.has("alpha")) {
+    // The paper's α = 200 assumes the full 34k-disk fleet; at bench scales
+    // the early months carry proportionally fewer positives, so α scales
+    // with the fleet (overridable with --alpha).
+    config.orf.tree.min_parent_size = 100;
+  }
+  config.rf.params.n_trees = args.trees;
+  config.include_dt = flags.get_bool("dt", true);
+  config.include_svm = flags.get_bool("svm", true);
+  config.svm.c_grid = {1.0, 10.0};
+  config.svm.gamma_grid = {0.5, 4.0};
+  config.scoring.good_sample_stride = std::max(args.stride, 2);
+  config.scoring.max_good_disks =
+      static_cast<std::size_t>(flags.get_int("max-good-disks", 400));
+
+  print_header(title, config.profile, args);
+  util::Stopwatch timer;
+  const auto points = eval::run_convergence(config);
+
+  util::Table table({"month", "ORF", "Offline RF", "DT", "SVM"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.month), util::fmt(p.orf_fdr, 2),
+                   util::fmt(p.rf_fdr, 2),
+                   config.include_dt ? util::fmt(p.dt_fdr, 2) : "-",
+                   config.include_svm ? util::fmt(p.svm_fdr, 2) : "-"});
+  }
+  std::printf("FDR(%%) per month, every model calibrated to FAR ≈ %.1f%%:\n",
+              config.far_target);
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\npaper shape: ORF converges to offline RF within ~6 months; "
+      "RF ≥ DT/SVM throughout.\n[%.1fs]\n",
+      timer.seconds());
+  return 0;
+}
+
+}  // namespace repro

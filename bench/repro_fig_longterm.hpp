@@ -1,0 +1,68 @@
+// Shared driver for Figures 4–7 (long-term use: per-month FAR/FDR of the
+// frozen / 1-month-replacing / accumulation RF strategies vs the ORF).
+#pragma once
+
+#include "repro_common.hpp"
+
+namespace repro {
+
+inline int run_longterm_figure(int argc, char** argv, bool is_sta,
+                               bool print_far, const char* title) {
+  const util::Flags flags(argc, argv);
+  CommonArgs defaults;
+  // Per-month FDR needs enough failures per month to resolve (the paper has
+  // ~50 STA failures/month); boost the failed population harder here.
+  defaults.failed_boost = 8.0;
+  CommonArgs args = parse_common(flags, defaults);
+
+  eval::LongTermConfig config;
+  config.profile = is_sta ? sta_bench_profile(args) : stb_bench_profile(args);
+  config.seed = args.seed;
+  // Paper §4.5: the initial offline training window is the first six months
+  // for STA and the first four for STB.
+  config.initial_months =
+      static_cast<int>(flags.get_int("initial-months", is_sta ? 6 : 4));
+  config.last_month = static_cast<int>(flags.get_int(
+      "last-month",
+      std::min<int>(is_sta ? 21 : 15,
+                    static_cast<int>(config.profile.duration_days /
+                                     data::kDaysPerMonth) - 1)));
+  config.far_target = flags.get_double("far-target", 1.0);
+  config.orf = orf_params(flags, args);
+  config.rf.params.n_trees = args.trees;
+  config.scoring.good_sample_stride = std::max(args.stride, 2);
+  config.scoring.max_good_disks =
+      static_cast<std::size_t>(flags.get_int("max-good-disks", 600));
+
+  print_header(title, config.profile, args);
+  util::Stopwatch timer;
+  const auto points = eval::run_longterm(config);
+
+  util::Table table({"month", "No updating", "1-month replacing",
+                     "Accumulation", "ORF", "#failures"});
+  for (const auto& p : points) {
+    const double* series = print_far ? p.far : p.fdr;
+    table.add_row({std::to_string(p.month), util::fmt(series[0], 2),
+                   util::fmt(series[1], 2), util::fmt(series[2], 2),
+                   util::fmt(series[3], 2),
+                   std::to_string(p.failed_disks)});
+  }
+  std::printf("%s(%%) per month:\n", print_far ? "FAR" : "FDR");
+  std::fputs(table.to_string().c_str(), stdout);
+  if (print_far) {
+    std::printf(
+        "\npaper shape: the frozen model's FAR climbs with time (model "
+        "aging); accumulation stays ~stable; replacing is noisier; ORF "
+        "stays lowest without any retraining.\n");
+  } else {
+    std::printf(
+        "\npaper shape: the frozen model's FDR sags; updated strategies and "
+        "ORF stay comparable (90s%% STA / high-80s%% STB), with monthly "
+        "variation driven by how many of that month's failures are "
+        "predictable.\n");
+  }
+  std::printf("[%.1fs]\n", timer.seconds());
+  return 0;
+}
+
+}  // namespace repro

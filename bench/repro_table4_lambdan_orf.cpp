@@ -1,0 +1,37 @@
+// Table 4 — Impact of λn on the ORF (λp = 1).
+//
+// For λn ∈ {0.01, 0.02, 0.03, 0.05, 0.10, 1.00}, replays the 70% training
+// disks' labeled samples in timestamp order into the ORF and reports
+// mean ± std FDR/FAR on the 30% test disks at τ = 0.5.
+#include "repro_common.hpp"
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  repro::CommonArgs defaults;
+  defaults.repeats = 3;  // ORF replay is the costly path; --repeats=5 for paper
+  const repro::CommonArgs args = repro::parse_common(flags, defaults);
+  const double lambda_ns[] = {0.01, 0.02, 0.03, 0.05, 0.10, 1.00};
+
+  for (const bool is_sta : {true, false}) {
+    eval::SweepConfig config;
+    config.profile = is_sta ? repro::sta_bench_profile(args)
+                            : repro::stb_bench_profile(args);
+    config.seed = args.seed;
+    config.repeats = args.repeats;
+    config.orf = repro::orf_params(flags, args);
+    config.scoring.good_sample_stride = args.stride;
+    repro::print_header(
+        std::string("Table 4 (") + (is_sta ? "STA" : "STB") +
+            "): Impact of λn on ORF (λp = 1)",
+        config.profile, args);
+
+    util::Stopwatch timer;
+    const auto rows = eval::sweep_lambda_neg_orf(config, lambda_ns);
+    repro::print_sweep_table("lambda_n", rows);
+    std::printf("[%.1fs]\n\n", timer.seconds());
+  }
+  std::printf(
+      "paper shape: λn↓ ⇒ FDR↑ and FAR↑; λn=1 (no imbalance handling) "
+      "collapses FDR (~24%% STA, ~28%% STB).\n");
+  return 0;
+}

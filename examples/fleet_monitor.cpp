@@ -1,0 +1,97 @@
+// Fleet monitor: the paper's deployment scenario (Algorithm 2), end to end.
+//
+// Simulates a data-center fleet day by day. Every operating disk reports a
+// daily SMART sample; the monitor keeps the last week per disk unlabeled in
+// a queue, learns from released labels, and raises migration alarms for
+// risky disks. Nothing here uses offline labels — exactly how the system
+// would run in production.
+//
+// Run:  ./examples/fleet_monitor [--scale 0.01] [--months 18]
+//       [--alarm-threshold 0.6]
+#include <cstdio>
+
+#include "core/online_predictor.hpp"
+#include "datagen/fleet_generator.hpp"
+#include "datagen/profile.hpp"
+#include "eval/fleet_stream.hpp"
+#include "util/flags.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  datagen::FleetProfile profile =
+      datagen::sta_profile(flags.get_double("scale", 0.01));
+  profile.duration_days = static_cast<data::Day>(
+      flags.get_int("months", 18) * data::kDaysPerMonth);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  const data::Dataset fleet = datagen::generate_fleet(profile, seed);
+  std::printf("monitoring %zu disks (%zu will fail) for %d months...\n",
+              fleet.disks.size(), fleet.failed_count(),
+              static_cast<int>(profile.duration_days / data::kDaysPerMonth));
+
+  core::OnlinePredictorParams params;
+  params.forest.n_trees = 30;
+  params.alarm_threshold = flags.get_double("alarm-threshold", 0.6);
+  core::OnlineDiskPredictor monitor(fleet.feature_count(), params, seed);
+
+  util::Stopwatch timer;
+  const eval::FleetStreamResult result = eval::stream_fleet(fleet, monitor);
+  const double elapsed = timer.seconds();
+
+  std::printf("processed %llu samples in %.1fs (%.0f samples/s)\n",
+              static_cast<unsigned long long>(result.samples_processed),
+              elapsed, static_cast<double>(result.samples_processed) / elapsed);
+  std::printf("labels released online: %llu positive, %llu negative\n",
+              static_cast<unsigned long long>(monitor.positives_released()),
+              static_cast<unsigned long long>(monitor.negatives_released()));
+  std::printf("alarms raised: %llu; decayed trees replaced: %llu\n",
+              static_cast<unsigned long long>(result.total_alarms),
+              static_cast<unsigned long long>(
+                  monitor.forest().trees_replaced()));
+
+  // Disk-level outcome, ignoring the first 4 months of cold start.
+  const auto warm = result.metrics(data::kHorizonDays,
+                                   4 * data::kDaysPerMonth);
+  std::printf(
+      "\nafter a 4-month warm-up: FDR %.1f%% (%zu/%zu failures alarmed "
+      "within the last week), FAR %.1f%% (%zu/%zu good disks ever "
+      "false-alarmed)\n",
+      warm.fdr, warm.true_positives, warm.failed_disks, warm.far,
+      warm.false_positives, warm.good_disks);
+
+  // Production restart: checkpoint the complete monitor state (forest,
+  // scaler ranges, per-disk queues) and prove the restored copy scores
+  // identically.
+  if (flags.has("checkpoint")) {
+    const std::string path = flags.get("checkpoint", "/tmp/monitor.ckpt");
+    monitor.save_file(path);
+    core::OnlineDiskPredictor resumed(fleet.feature_count(), params,
+                                      /*seed=*/0);
+    resumed.restore_file(path);
+    const auto& probe = fleet.disks.front().snapshots.front().features;
+    std::printf("\ncheckpointed to %s; restored monitor agrees: %s\n",
+                path.c_str(),
+                resumed.score(probe) == monitor.score(probe) ? "yes" : "NO");
+  }
+
+  // Show a few concrete detections: lead time between first in-window alarm
+  // and the failure day.
+  std::printf("\nsample detections (disk, failure day, first alarm day):\n");
+  int shown = 0;
+  for (std::size_t i = 0; i < result.disks.size() && shown < 5; ++i) {
+    const auto& outcome = result.disks[i];
+    if (!outcome.failed || outcome.alarm_days.empty()) continue;
+    const data::Day window = outcome.last_day - data::kHorizonDays + 1;
+    for (data::Day day : outcome.alarm_days) {
+      if (day >= window) {
+        std::printf("  disk %-6zu fails day %-5d first alarm day %-5d "
+                    "(lead %d days)\n",
+                    i, outcome.last_day, day, outcome.last_day - day);
+        ++shown;
+        break;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Model-aging demo: the paper's §1/§4.5 motivation in one run.
+//
+// Trains an offline RF once on the first months of a drifting fleet, then
+// keeps using it frozen while an ORF evolves with the stream. Prints the
+// month-by-month FAR/FDR of both so the divergence ("model aging") is
+// visible directly.
+//
+// Run:  ./examples/model_aging_demo [--scale 0.02] [--initial-months 6]
+#include <cstdio>
+
+#include "eval/experiments.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+
+  eval::LongTermConfig config;
+  config.profile = datagen::sta_profile(flags.get_double("scale", 0.02));
+  config.profile.n_failed = static_cast<std::size_t>(
+      static_cast<double>(config.profile.n_failed) * 2.5);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.initial_months =
+      static_cast<int>(flags.get_int("initial-months", 6));
+  config.last_month = static_cast<int>(flags.get_int("last-month", 20));
+  config.rf.params.n_trees = 20;
+  config.orf.n_trees = 20;
+  config.scoring.good_sample_stride = 3;
+
+  std::printf(
+      "training an offline RF on months 1..%d, then letting it age while an "
+      "ORF keeps learning...\n\n",
+      config.initial_months);
+  const auto points = eval::run_longterm(config);
+
+  std::printf("%-6s | %-22s | %-22s\n", "month", "frozen offline RF",
+              "online RF (no retrain)");
+  std::printf("%-6s | %-10s %-10s | %-10s %-10s\n", "", "FAR%", "FDR%",
+              "FAR%", "FDR%");
+  std::printf("-------+-----------------------+----------------------\n");
+  const auto frozen = static_cast<int>(eval::Strategy::kNoUpdate);
+  const auto orf = static_cast<int>(eval::Strategy::kOrf);
+  for (const auto& p : points) {
+    std::printf("%-6d | %-10.2f %-10.2f | %-10.2f %-10.2f\n", p.month,
+                p.far[frozen], p.fdr[frozen], p.far[orf], p.fdr[orf]);
+  }
+
+  const auto& first = points.front();
+  const auto& last = points.back();
+  std::printf(
+      "\nmodel aging: the frozen model's FAR moved %.2f%% → %.2f%% while the "
+      "ORF's moved %.2f%% → %.2f%%.\n",
+      first.far[frozen], last.far[frozen], first.far[orf], last.far[orf]);
+  std::printf(
+      "root cause (§1): the fleet's cumulative SMART attributes drift as "
+      "disks age, so thresholds learned early start misfiring on healthy "
+      "old disks. The ORF forgets via OOBE-driven tree replacement instead "
+      "of being retrained.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Quick end-to-end smoke of the whole repository (~2 minutes):
+# build, full test suite, fast-scale run of every experiment harness and
+# every example. Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== repro harnesses (smoke scales) =="
+./build/bench/repro_table1_dataset --scale 0.01
+./build/bench/repro_table2_features --scale 0.006
+./build/bench/repro_table3_lambda_rf --scale 0.015 --repeats 1
+./build/bench/repro_table4_lambdan_orf --scale 0.015 --repeats 1
+./build/bench/repro_fig2_convergence_sta --scale 0.015 --last-month 6 --svm false
+./build/bench/repro_fig4_longterm_far_sta --scale 0.015 --last-month 10
+./build/bench/ablation_orf_design --scale 0.01
+
+echo "== examples =="
+./build/examples/quickstart --scale 0.006
+./build/examples/fleet_monitor --scale 0.006 --months 8 --checkpoint /tmp/smoke_monitor.ckpt
+./build/examples/model_aging_demo --scale 0.01 --last-month 12
+./build/examples/feature_selection_tool --scale 0.005
+./build/examples/backblaze_ingest --out /tmp/smoke_fleet.csv
+
+echo "SMOKE OK"

@@ -1,0 +1,357 @@
+#include "core/checkpoint.hpp"
+
+#include <bit>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/online_forest.hpp"
+#include "core/online_predictor.hpp"
+#include "core/online_tree.hpp"
+
+namespace core {
+namespace checkpoint {
+
+void put_double(std::ostream& os, double value) {
+  os << std::hex << std::bit_cast<std::uint64_t>(value) << std::dec;
+}
+
+double get_double(std::istream& is) {
+  std::uint64_t bits = 0;
+  is >> std::hex >> bits >> std::dec;
+  if (!is) throw std::runtime_error("checkpoint: bad double field");
+  return std::bit_cast<double>(bits);
+}
+
+void put_float(std::ostream& os, float value) {
+  os << std::hex << std::bit_cast<std::uint32_t>(value) << std::dec;
+}
+
+float get_float(std::istream& is) {
+  std::uint32_t bits = 0;
+  is >> std::hex >> bits >> std::dec;
+  if (!is) throw std::runtime_error("checkpoint: bad float field");
+  return std::bit_cast<float>(bits);
+}
+
+std::uint64_t get_u64(std::istream& is, const char* what) {
+  std::uint64_t value = 0;
+  if (!(is >> value)) {
+    throw std::runtime_error(std::string("checkpoint: missing ") + what);
+  }
+  return value;
+}
+
+void expect_tag(std::istream& is, const char* tag) {
+  std::string token;
+  if (!(is >> token) || token != tag) {
+    throw std::runtime_error(std::string("checkpoint: expected tag '") +
+                             tag + "', got '" + token + "'");
+  }
+}
+
+namespace {
+
+void put_rng(std::ostream& os, const util::Rng& rng) {
+  const auto state = rng.state();
+  os << std::hex;
+  for (auto word : state) os << ' ' << word;
+  os << std::dec;
+}
+
+util::Rng get_rng(std::istream& is) {
+  std::array<std::uint64_t, 4> state{};
+  is >> std::hex;
+  for (auto& word : state) {
+    if (!(is >> word)) throw std::runtime_error("checkpoint: bad rng state");
+  }
+  is >> std::dec;
+  util::Rng rng;
+  rng.set_state(state);
+  return rng;
+}
+
+}  // namespace
+}  // namespace checkpoint
+
+// ---- OnlineTree ------------------------------------------------------------
+
+void OnlineTree::save(std::ostream& os) const {
+  namespace cp = checkpoint;
+  os << "orf-tree-state v1\n";
+  os << feature_count_ << ' ' << params_.n_tests << ' '
+     << params_.min_parent_size << ' ' << params_.max_depth << ' '
+     << params_.threshold_pool << '\n';
+  os << samples_seen_ << ' ' << nodes_.size() << '\n';
+  os << "rng";
+  cp::put_rng(os, rng_);
+  os << '\n';
+  for (const auto& node : nodes_) {
+    os << node.left << ' ' << node.right << ' ' << node.depth << ' '
+       << node.split_feature << ' ';
+    cp::put_float(os, node.split_threshold);
+    os << ' ';
+    cp::put_float(os, node.prob);
+    os << ' ' << (node.stats ? 1 : 0) << '\n';
+    if (!node.stats) continue;
+    const LeafStats& stats = *node.stats;
+    os << stats.n[0] << ' ' << stats.n[1] << ' '
+       << (stats.tests_ready ? 1 : 0) << ' ' << stats.tests.size() << ' '
+       << stats.buffer.size() << '\n';
+    for (std::size_t t = 0; t < stats.tests.size(); ++t) {
+      os << stats.tests[t].feature << ' ';
+      cp::put_float(os, stats.tests[t].threshold);
+      os << ' ' << stats.right_counts[t][0] << ' ' << stats.right_counts[t][1]
+         << '\n';
+    }
+    for (const auto& [x, y] : stats.buffer) {
+      os << y;
+      for (float v : x) {
+        os << ' ';
+        cp::put_float(os, v);
+      }
+      os << '\n';
+    }
+  }
+  os << "gain";
+  for (double g : split_gain_) {
+    os << ' ';
+    cp::put_double(os, g);
+  }
+  os << '\n';
+}
+
+void OnlineTree::restore(std::istream& is) {
+  namespace cp = checkpoint;
+  std::string line;
+  if (!std::getline(is, line) || line != "orf-tree-state v1") {
+    // Tolerate a leading newline left by a preceding token read.
+    if (line.empty() && std::getline(is, line) &&
+        line == "orf-tree-state v1") {
+      // ok
+    } else {
+      throw std::runtime_error("checkpoint: not an orf-tree-state v1");
+    }
+  }
+  const auto feature_count = cp::get_u64(is, "tree feature count");
+  const auto n_tests = cp::get_u64(is, "n_tests");
+  const auto min_parent = cp::get_u64(is, "min_parent_size");
+  const auto max_depth = cp::get_u64(is, "max_depth");
+  const auto pool = cp::get_u64(is, "threshold_pool");
+  if (feature_count != feature_count_ ||
+      n_tests != static_cast<std::uint64_t>(params_.n_tests) ||
+      min_parent != static_cast<std::uint64_t>(params_.min_parent_size) ||
+      max_depth != static_cast<std::uint64_t>(params_.max_depth) ||
+      pool != static_cast<std::uint64_t>(params_.threshold_pool)) {
+    throw std::runtime_error(
+        "checkpoint: tree parameters do not match the receiving object");
+  }
+  samples_seen_ = cp::get_u64(is, "samples_seen");
+  const auto node_count = cp::get_u64(is, "node count");
+  cp::expect_tag(is, "rng");
+  rng_ = cp::get_rng(is);
+
+  nodes_.clear();
+  nodes_.reserve(node_count);
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    Node node;
+    int depth = 0;
+    int has_stats = 0;
+    if (!(is >> node.left >> node.right >> depth >> node.split_feature)) {
+      throw std::runtime_error("checkpoint: bad tree node line");
+    }
+    node.depth = static_cast<std::int16_t>(depth);
+    node.split_threshold = cp::get_float(is);
+    node.prob = cp::get_float(is);
+    if (!(is >> has_stats)) {
+      throw std::runtime_error("checkpoint: bad tree node flags");
+    }
+    if (has_stats) {
+      node.stats = std::make_unique<LeafStats>();
+      LeafStats& stats = *node.stats;
+      stats.n[0] = static_cast<std::uint32_t>(cp::get_u64(is, "n0"));
+      stats.n[1] = static_cast<std::uint32_t>(cp::get_u64(is, "n1"));
+      stats.tests_ready = cp::get_u64(is, "tests_ready") != 0;
+      const auto n_node_tests = cp::get_u64(is, "test count");
+      const auto buffered = cp::get_u64(is, "buffer count");
+      stats.tests.resize(n_node_tests);
+      stats.right_counts.assign(n_node_tests, {0, 0});
+      for (std::uint64_t t = 0; t < n_node_tests; ++t) {
+        stats.tests[t].feature =
+            static_cast<std::uint16_t>(cp::get_u64(is, "test feature"));
+        stats.tests[t].threshold = cp::get_float(is);
+        stats.right_counts[t][0] =
+            static_cast<std::uint32_t>(cp::get_u64(is, "right0"));
+        stats.right_counts[t][1] =
+            static_cast<std::uint32_t>(cp::get_u64(is, "right1"));
+      }
+      stats.buffer.reserve(buffered);
+      for (std::uint64_t b = 0; b < buffered; ++b) {
+        int y = static_cast<int>(cp::get_u64(is, "buffer label"));
+        std::vector<float> x(feature_count_);
+        for (auto& v : x) v = cp::get_float(is);
+        stats.buffer.emplace_back(std::move(x), y);
+      }
+    }
+    nodes_.push_back(std::move(node));
+  }
+  cp::expect_tag(is, "gain");
+  split_gain_.assign(feature_count_, 0.0);
+  for (auto& g : split_gain_) g = cp::get_double(is);
+}
+
+// ---- OnlineForest ----------------------------------------------------------
+
+void OnlineForest::save(std::ostream& os) const {
+  namespace cp = checkpoint;
+  os << "orf-forest-state v1\n";
+  os << feature_count_ << ' ' << trees_.size() << ' ' << samples_seen_ << ' '
+     << trees_replaced_ << ' ' << drift_alarms_ << '\n';
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    os << "tree " << t;
+    cp::put_rng(os, tree_rngs_[t]);
+    os << ' ' << age_[t] << ' ';
+    cp::put_double(os, oob_[t].err[0]);
+    os << ' ';
+    cp::put_double(os, oob_[t].err[1]);
+    os << ' ' << oob_[t].evals[0] << ' ' << oob_[t].evals[1] << '\n';
+    trees_[t].save(os);
+  }
+  for (int c = 0; c < 2; ++c) {
+    const auto state = drift_monitor_[c].state();
+    os << "drift " << state.count << ' ';
+    cp::put_double(os, state.mean);
+    os << ' ';
+    cp::put_double(os, state.cumulative);
+    os << ' ';
+    cp::put_double(os, state.min_cumulative);
+    os << '\n';
+  }
+}
+
+void OnlineForest::restore(std::istream& is) {
+  namespace cp = checkpoint;
+  std::string line;
+  if (!std::getline(is, line) || line != "orf-forest-state v1") {
+    throw std::runtime_error("checkpoint: not an orf-forest-state v1");
+  }
+  const auto feature_count = cp::get_u64(is, "forest feature count");
+  const auto n_trees = cp::get_u64(is, "tree count");
+  if (feature_count != feature_count_ || n_trees != trees_.size()) {
+    throw std::runtime_error(
+        "checkpoint: forest shape does not match the receiving object");
+  }
+  samples_seen_ = cp::get_u64(is, "samples_seen");
+  trees_replaced_ = cp::get_u64(is, "trees_replaced");
+  drift_alarms_ = cp::get_u64(is, "drift_alarms");
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    cp::expect_tag(is, "tree");
+    const auto index = cp::get_u64(is, "tree index");
+    if (index != t) throw std::runtime_error("checkpoint: tree order");
+    tree_rngs_[t] = cp::get_rng(is);
+    age_[t] = cp::get_u64(is, "tree age");
+    oob_[t].err[0] = cp::get_double(is);
+    oob_[t].err[1] = cp::get_double(is);
+    oob_[t].evals[0] = static_cast<std::uint32_t>(cp::get_u64(is, "evals0"));
+    oob_[t].evals[1] = static_cast<std::uint32_t>(cp::get_u64(is, "evals1"));
+    is >> std::ws;
+    trees_[t].restore(is);
+  }
+  for (int c = 0; c < 2; ++c) {
+    cp::expect_tag(is, "drift");
+    PageHinkley::State state;
+    state.count = cp::get_u64(is, "drift count");
+    state.mean = cp::get_double(is);
+    state.cumulative = cp::get_double(is);
+    state.min_cumulative = cp::get_double(is);
+    drift_monitor_[c].set_state(state);
+  }
+}
+
+// ---- OnlineDiskPredictor ---------------------------------------------------
+
+void OnlineDiskPredictor::save(std::ostream& os) const {
+  namespace cp = checkpoint;
+  os << "orf-monitor-state v1\n";
+  const std::size_t features = scaler_.feature_count();
+  os << features << ' ' << params_.queue_capacity << ' '
+     << negatives_released_ << ' ' << positives_released_ << '\n';
+  os << "scaler";
+  for (double v : scaler_.mins()) {
+    os << ' ';
+    cp::put_double(os, v);
+  }
+  for (double v : scaler_.maxs()) {
+    os << ' ';
+    cp::put_double(os, v);
+  }
+  os << '\n';
+  os << "queues " << queues_.size() << '\n';
+  for (const auto& [disk, queue] : queues_) {
+    const auto samples = queue.snapshot();
+    os << disk << ' ' << samples.size() << '\n';
+    for (const auto& x : samples) {
+      for (std::size_t f = 0; f < x.size(); ++f) {
+        if (f) os << ' ';
+        cp::put_float(os, x[f]);
+      }
+      os << '\n';
+    }
+  }
+  forest_.save(os);
+}
+
+void OnlineDiskPredictor::restore(std::istream& is) {
+  namespace cp = checkpoint;
+  std::string line;
+  if (!std::getline(is, line) || line != "orf-monitor-state v1") {
+    throw std::runtime_error("checkpoint: not an orf-monitor-state v1");
+  }
+  const auto features = cp::get_u64(is, "monitor feature count");
+  const auto capacity = cp::get_u64(is, "queue capacity");
+  if (features != scaler_.feature_count() ||
+      capacity != params_.queue_capacity) {
+    throw std::runtime_error(
+        "checkpoint: monitor shape does not match the receiving object");
+  }
+  negatives_released_ = cp::get_u64(is, "negatives_released");
+  positives_released_ = cp::get_u64(is, "positives_released");
+  cp::expect_tag(is, "scaler");
+  std::vector<double> mins(features);
+  std::vector<double> maxs(features);
+  for (auto& v : mins) v = cp::get_double(is);
+  for (auto& v : maxs) v = cp::get_double(is);
+  scaler_.set_ranges(std::move(mins), std::move(maxs));
+  cp::expect_tag(is, "queues");
+  const auto n_queues = cp::get_u64(is, "queue count");
+  queues_.clear();
+  for (std::uint64_t q = 0; q < n_queues; ++q) {
+    const auto disk = static_cast<data::DiskId>(cp::get_u64(is, "disk id"));
+    const auto n_samples = cp::get_u64(is, "queued samples");
+    auto [it, inserted] = queues_.try_emplace(disk, params_.queue_capacity);
+    for (std::uint64_t s = 0; s < n_samples; ++s) {
+      std::vector<float> x(features);
+      for (auto& v : x) v = cp::get_float(is);
+      it->second.push(std::move(x));
+    }
+  }
+  is >> std::ws;
+  forest_.restore(is);
+}
+
+void OnlineDiskPredictor::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save(os);
+}
+
+void OnlineDiskPredictor::restore_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  restore(is);
+}
+
+}  // namespace core

@@ -1,0 +1,33 @@
+// Checkpoint format helpers for the online learners.
+//
+// OnlineTree/OnlineForest/OnlineDiskPredictor expose member save()/restore()
+// (declared on the classes, implemented in checkpoint.cpp) that serialise
+// the *complete* learning state — structure, statistics, sample buffers,
+// OOBE/age bookkeeping, drift monitors, scaler ranges, per-disk label
+// queues and the exact RNG streams — so a restarted monitor continues
+// bit-for-bit where the previous process stopped. Contrast core/freeze.hpp,
+// which produces a scoring-only snapshot.
+//
+// The format is line-oriented text; every floating-point value is written
+// as the hex of its bit pattern, so round trips are exact (including ±inf,
+// which the online scaler uses for unobserved ranges).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace core::checkpoint {
+
+// Exact binary round-trip encoders (hex bit patterns).
+void put_double(std::ostream& os, double value);
+double get_double(std::istream& is);
+void put_float(std::ostream& os, float value);
+float get_float(std::istream& is);
+
+/// Reads one whitespace-delimited token and throws std::runtime_error with
+/// `what` when the stream is exhausted or the token mismatches `expected`
+/// (pass nullptr to skip the comparison and return the token's value).
+std::uint64_t get_u64(std::istream& is, const char* what);
+void expect_tag(std::istream& is, const char* tag);
+
+}  // namespace core::checkpoint

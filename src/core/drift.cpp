@@ -1,0 +1,25 @@
+#include "core/drift.hpp"
+
+#include <algorithm>
+
+namespace core {
+
+bool PageHinkley::add(double x) {
+  ++count_;
+  mean_ += (x - mean_) / static_cast<double>(count_);
+  // Accumulate deviations above the running mean (less tolerance δ): a
+  // sustained upward shift makes cumulative_ pull away from its minimum.
+  cumulative_ += x - mean_ - params_.delta;
+  min_cumulative_ = std::min(min_cumulative_, cumulative_);
+  return count_ >= params_.min_observations &&
+         statistic() >= params_.threshold;
+}
+
+void PageHinkley::reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  min_cumulative_ = 0.0;
+}
+
+}  // namespace core

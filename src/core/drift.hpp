@@ -1,0 +1,66 @@
+// Page–Hinkley drift detector.
+//
+// An optional, sharper "unlearning" trigger than the paper's plain
+// OOBE-threshold rule: the PH statistic reacts to a sustained *increase* in
+// the out-of-bag error stream rather than to its absolute level, so a forest
+// that has always been mediocre is left alone while one that suddenly
+// degrades (concept drift) trips quickly. OnlineForest can run it alongside
+// the θ_OOBE/θ_AGE rule (OnlineForestParams::enable_drift_monitor).
+#pragma once
+
+#include <cstdint>
+
+namespace core {
+
+struct PageHinkleyParams {
+  /// Tolerated drift magnitude: deviations below δ are ignored. Also damps
+  /// the random-walk fluctuation of the statistic on stationary streams.
+  double delta = 0.02;
+  /// Alarm threshold on the PH statistic. Larger = fewer, later alarms.
+  /// 50 tolerates the fluctuations of a stationary 0/1 error stream while
+  /// still reacting to a real shift within a couple hundred samples.
+  double threshold = 50.0;
+  /// Minimum observations before an alarm may fire.
+  std::uint64_t min_observations = 100;
+};
+
+class PageHinkley {
+ public:
+  explicit PageHinkley(const PageHinkleyParams& params = {})
+      : params_(params) {}
+
+  /// Feed one observation (e.g. a 0/1 error indicator). Returns true when
+  /// a mean increase is detected; the caller should then act and reset().
+  bool add(double x);
+
+  void reset();
+
+  std::uint64_t observations() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Current PH statistic (m_t − min m_t); alarms when ≥ threshold.
+  double statistic() const { return cumulative_ - min_cumulative_; }
+
+  /// Checkpointable state (see core/checkpoint.hpp).
+  struct State {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double cumulative = 0.0;
+    double min_cumulative = 0.0;
+  };
+  State state() const { return {count_, mean_, cumulative_, min_cumulative_}; }
+  void set_state(const State& s) {
+    count_ = s.count;
+    mean_ = s.mean;
+    cumulative_ = s.cumulative;
+    min_cumulative_ = s.min_cumulative;
+  }
+
+ private:
+  PageHinkleyParams params_;
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double min_cumulative_ = 0.0;
+};
+
+}  // namespace core

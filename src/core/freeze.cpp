@@ -1,0 +1,34 @@
+#include "core/freeze.hpp"
+
+namespace core {
+
+forest::RandomForest freeze(const OnlineForest& forest) {
+  std::vector<forest::DecisionTree> trees;
+  trees.reserve(forest.tree_count());
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    const OnlineTree& online = forest.tree(t);
+    const auto structure = online.export_structure();
+    std::vector<forest::DecisionTree::FlatNode> nodes;
+    nodes.reserve(structure.size());
+    for (const auto& n : structure) {
+      forest::DecisionTree::FlatNode flat;
+      // Both trees branch right on x[feature] > threshold; the layouts are
+      // directly compatible.
+      flat.feature = n.feature;
+      flat.threshold = n.threshold;
+      flat.left = n.left;
+      flat.right = n.right;
+      flat.prob = n.prob;
+      nodes.push_back(flat);
+    }
+    forest::DecisionTree tree;
+    tree.import_nodes(nodes, online.split_gain_by_feature());
+    trees.push_back(std::move(tree));
+  }
+  forest::RandomForest frozen;
+  frozen.import_trees(std::move(trees),
+                      forest.tree(0).split_gain_by_feature().size());
+  return frozen;
+}
+
+}  // namespace core

@@ -1,0 +1,22 @@
+// Freeze a live OnlineForest into an inference-only forest::RandomForest.
+//
+// Use cases: serializing a trained online model for deployment on machines
+// that only score (forest::save_forest_file), and A/B-ing a frozen snapshot
+// against the live learner (the model_aging experiments do exactly this
+// comparison at the protocol level).
+//
+// The snapshot preserves structure and leaf probabilities; learning state
+// (leaf statistics, OOBE, RNG streams) is intentionally dropped — a frozen
+// model cannot be resumed, only scored.
+#pragma once
+
+#include "core/online_forest.hpp"
+#include "forest/random_forest.hpp"
+
+namespace core {
+
+/// Snapshot every tree. The result predicts identically to
+/// `forest.predict_proba` at the moment of the call.
+forest::RandomForest freeze(const OnlineForest& forest);
+
+}  // namespace core

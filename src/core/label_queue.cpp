@@ -1,0 +1,30 @@
+#include "core/label_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace core {
+
+LabelQueue::LabelQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("LabelQueue: capacity must be > 0");
+  }
+}
+
+std::optional<std::vector<float>> LabelQueue::push(std::vector<float> x) {
+  std::optional<std::vector<float>> evicted;
+  if (full()) {
+    evicted = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  queue_.push_back(std::move(x));
+  return evicted;
+}
+
+std::vector<std::vector<float>> LabelQueue::drain() {
+  std::vector<std::vector<float>> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+}  // namespace core

@@ -1,0 +1,137 @@
+#include "core/online_forest.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace core {
+
+OnlineForest::OnlineForest(std::size_t feature_count,
+                           const OnlineForestParams& params,
+                           std::uint64_t seed)
+    : feature_count_(feature_count), params_(params) {
+  if (params_.n_trees <= 0) {
+    throw std::invalid_argument("OnlineForest: n_trees must be > 0");
+  }
+  if (params_.lambda_pos < 0.0 || params_.lambda_neg < 0.0) {
+    throw std::invalid_argument("OnlineForest: Poisson rates must be >= 0");
+  }
+  util::Rng root(seed);
+  const auto n = static_cast<std::size_t>(params_.n_trees);
+  trees_.reserve(n);
+  tree_rngs_.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    trees_.emplace_back(feature_count_, params_.tree, root.split());
+    tree_rngs_.push_back(root.split());
+  }
+  oob_.resize(n);
+  age_.assign(n, 0);
+  drift_monitor_[0] = PageHinkley(params_.drift);
+  drift_monitor_[1] = PageHinkley(params_.drift);
+}
+
+void OnlineForest::update_one_tree(std::size_t t, std::span<const float> x,
+                                   int y) {
+  const double lambda = y == 1 ? params_.lambda_pos : params_.lambda_neg;
+  const unsigned k = tree_rngs_[t].poisson(lambda);
+  if (k > 0) {
+    for (unsigned i = 0; i < k; ++i) trees_[t].update(x, y);
+    age_[t] += k;
+    return;
+  }
+  // Out-of-bag for this tree: refresh OOBE, then decide decay (Alg. 1
+  // lines 21–27).
+  OobState& oob = oob_[t];
+  const std::size_t cls = y == 1 ? 1 : 0;
+  const double wrong =
+      trees_[t].predict(x, params_.decision_threshold) == y ? 0.0 : 1.0;
+  oob.err[cls] += params_.oobe_decay * (wrong - oob.err[cls]);
+  if (oob.evals[cls] < params_.min_oob_evals) ++oob.evals[cls];
+
+  if (!params_.enable_replacement) return;
+  const bool judged = oob.evals[0] >= params_.min_oob_evals &&
+                      oob.evals[1] >= params_.min_oob_evals;
+  const double balanced = 0.5 * (oob.err[0] + oob.err[1]);
+  if (judged && balanced > params_.oobe_threshold &&
+      age_[t] > params_.age_threshold) {
+    trees_[t].reset();
+    oob_[t] = OobState{};
+    age_[t] = 0;
+    ++trees_replaced_;
+  }
+}
+
+void OnlineForest::update(std::span<const float> x, int y,
+                          util::ThreadPool* pool) {
+  if (x.size() != feature_count_) {
+    throw std::invalid_argument("OnlineForest::update: wrong feature count");
+  }
+  ++samples_seen_;
+  if (params_.enable_drift_monitor) {
+    // Prequential test-then-train: score with the current ensemble before
+    // it sees the label. Runs single-threaded, so the shared detectors need
+    // no synchronisation with the per-tree updates below.
+    const double wrong = predict(x) == y ? 0.0 : 1.0;
+    const std::size_t cls = y == 1 ? 1 : 0;
+    if (drift_monitor_[cls].add(wrong)) {
+      ++drift_alarms_;
+      drift_monitor_[cls].reset();
+      // Rebuild the single worst tree by balanced OOBE (ties → oldest).
+      std::size_t worst = 0;
+      double worst_err = -1.0;
+      for (std::size_t t = 0; t < trees_.size(); ++t) {
+        const double err = 0.5 * (oob_[t].err[0] + oob_[t].err[1]);
+        if (err > worst_err ||
+            (err == worst_err && age_[t] > age_[worst])) {
+          worst_err = err;
+          worst = t;
+        }
+      }
+      trees_[worst].reset();
+      oob_[worst] = OobState{};
+      age_[worst] = 0;
+      ++trees_replaced_;
+    }
+  }
+  if (pool != nullptr && pool->thread_count() > 1) {
+    pool->parallel_for(trees_.size(),
+                       [&](std::size_t t) { update_one_tree(t, x, y); });
+  } else {
+    for (std::size_t t = 0; t < trees_.size(); ++t) update_one_tree(t, x, y);
+  }
+}
+
+double OnlineForest::predict_proba(std::span<const float> x) const {
+  if (x.size() != feature_count_) {
+    throw std::invalid_argument("OnlineForest::predict: wrong feature count");
+  }
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict_proba(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+double OnlineForest::oobe(std::size_t i) const {
+  const OobState& oob = oob_.at(i);
+  if (oob.evals[0] < params_.min_oob_evals ||
+      oob.evals[1] < params_.min_oob_evals) {
+    return 0.5;
+  }
+  return 0.5 * (oob.err[0] + oob.err[1]);
+}
+
+std::vector<double> OnlineForest::feature_importance() const {
+  std::vector<double> importance(feature_count_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& gain = tree.split_gain_by_feature();
+    for (std::size_t f = 0; f < importance.size(); ++f) {
+      importance[f] += gain[f];
+    }
+  }
+  const double total =
+      std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace core

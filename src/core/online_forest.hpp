@@ -1,0 +1,109 @@
+// Online Random Forest for disk-failure prediction (paper Algorithm 1).
+//
+// For each arriving labeled sample ⟨x, y⟩ every tree draws an update
+// multiplicity k from Poisson(λp) when y = 1 or Poisson(λn) when y = 0
+// (Eq. 3) — the paper's imbalance-aware extension of Oza's online bagging.
+// With k > 0 the tree is updated k times; with k = 0 the sample is
+// out-of-bag for that tree and instead refreshes the tree's OOBE estimate.
+// A tree whose OOBE exceeds θ_OOBE after at least θ_AGE in-bag updates is
+// discarded and regrown from scratch, which is what lets the forest track a
+// drifting SMART distribution ("unlearning").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/drift.hpp"
+#include "core/online_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace core {
+
+struct OnlineForestParams {
+  int n_trees = 30;  ///< T (§4.4)
+  OnlineTreeParams tree = {};
+  double lambda_pos = 1.0;   ///< λp (Eq. 3)
+  double lambda_neg = 0.02;  ///< λn (Eq. 3); 1.0 disables imbalance handling
+
+  /// Tree-replacement policy. OOBE is a class-balanced exponentially-
+  /// weighted error (positives are rare; a plain average would let a tree
+  /// predicting "healthy" forever look perfect).
+  double oobe_threshold = 0.45;       ///< θ_OOBE
+  std::uint64_t age_threshold = 3000; ///< θ_AGE, in-bag updates
+  double oobe_decay = 0.005;          ///< EWMA step for the OOBE estimate
+  std::uint32_t min_oob_evals = 100;  ///< per class, before a tree may be judged
+  bool enable_replacement = true;     ///< ablation switch
+
+  /// Optional Page–Hinkley monitor on the ensemble's prequential error
+  /// (one detector per class; see core/drift.hpp). When it fires, the tree
+  /// with the worst OOBE is rebuilt immediately — a sharper unlearning
+  /// trigger than waiting for θ_OOBE/θ_AGE.
+  bool enable_drift_monitor = false;
+  PageHinkleyParams drift = {};
+
+  /// Forest-level decision threshold for predict(); experiments calibrate
+  /// their own thresholds on scores from predict_proba().
+  double decision_threshold = 0.5;
+};
+
+class OnlineForest {
+ public:
+  OnlineForest(std::size_t feature_count, const OnlineForestParams& params,
+               std::uint64_t seed);
+
+  /// Process one labeled sample (Algorithm 1). Thread-safe across trees:
+  /// per-tree work optionally runs on `pool`.
+  void update(std::span<const float> x, int y,
+              util::ThreadPool* pool = nullptr);
+
+  /// Mean of per-tree probabilities.
+  double predict_proba(std::span<const float> x) const;
+  int predict(std::span<const float> x) const {
+    return predict_proba(x) >= params_.decision_threshold ? 1 : 0;
+  }
+
+  std::size_t tree_count() const { return trees_.size(); }
+  const OnlineTree& tree(std::size_t i) const { return trees_.at(i); }
+  std::uint64_t samples_seen() const { return samples_seen_; }
+  std::uint64_t trees_replaced() const { return trees_replaced_; }
+  std::uint64_t drift_alarms() const { return drift_alarms_; }
+
+  /// Class-balanced OOBE of tree i (0.5 until min_oob_evals per class).
+  double oobe(std::size_t i) const;
+  std::uint64_t tree_age(std::size_t i) const { return age_.at(i); }
+
+  /// Aggregated split-gain importance across trees, normalised to sum to 1.
+  std::vector<double> feature_importance() const;
+
+  /// Checkpoint/restore the complete forest state (every tree's structure
+  /// and statistics, OOBE/age bookkeeping, drift monitors, RNG streams).
+  /// restore() requires identical construction parameters.
+  void save(std::ostream& os) const;
+  void restore(std::istream& is);
+
+  const OnlineForestParams& params() const { return params_; }
+
+ private:
+  struct OobState {
+    double err[2] = {0.5, 0.5};     ///< EWMA error per true class
+    std::uint32_t evals[2] = {0, 0};
+  };
+
+  void update_one_tree(std::size_t t, std::span<const float> x, int y);
+
+  std::size_t feature_count_;
+  OnlineForestParams params_;
+  std::vector<OnlineTree> trees_;
+  std::vector<util::Rng> tree_rngs_;  ///< per-tree Poisson streams
+  std::vector<OobState> oob_;
+  std::vector<std::uint64_t> age_;
+  PageHinkley drift_monitor_[2];  ///< per true class
+  std::uint64_t samples_seen_ = 0;
+  std::uint64_t trees_replaced_ = 0;
+  std::uint64_t drift_alarms_ = 0;
+};
+
+}  // namespace core

@@ -1,0 +1,61 @@
+#include "core/online_predictor.hpp"
+
+#include <stdexcept>
+
+namespace core {
+
+OnlineDiskPredictor::OnlineDiskPredictor(std::size_t feature_count,
+                                         const OnlinePredictorParams& params,
+                                         std::uint64_t seed)
+    : params_(params),
+      forest_(feature_count, params.forest, seed),
+      scaler_(feature_count) {
+  if (params_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "OnlineDiskPredictor: queue_capacity must be > 0");
+  }
+}
+
+OnlineDiskPredictor::Observation OnlineDiskPredictor::observe(
+    data::DiskId disk, std::span<const float> raw_x, util::ThreadPool* pool) {
+  scaler_.observe(raw_x);
+
+  auto [it, inserted] = queues_.try_emplace(disk, params_.queue_capacity);
+  LabelQueue& queue = it->second;
+  if (auto outdated = queue.push(std::vector<float>(raw_x.begin(),
+                                                    raw_x.end()))) {
+    // The evicted sample survived the horizon → negative.
+    scaler_.transform(*outdated, scaled_);
+    forest_.update(scaled_, 0, pool);
+    ++negatives_released_;
+  }
+
+  scaler_.transform(raw_x, scaled_);
+  Observation obs;
+  obs.score = forest_.predict_proba(scaled_);
+  obs.alarm = obs.score >= params_.alarm_threshold;
+  return obs;
+}
+
+void OnlineDiskPredictor::disk_failed(data::DiskId disk,
+                                      util::ThreadPool* pool) {
+  const auto it = queues_.find(disk);
+  if (it == queues_.end()) return;  // failure of a never-observed disk
+  for (const auto& raw : it->second.drain()) {
+    scaler_.transform(raw, scaled_);
+    forest_.update(scaled_, 1, pool);
+    ++positives_released_;
+  }
+  queues_.erase(it);
+}
+
+void OnlineDiskPredictor::disk_retired(data::DiskId disk) {
+  queues_.erase(disk);
+}
+
+double OnlineDiskPredictor::score(std::span<const float> raw_x) const {
+  scaler_.transform(raw_x, scaled_);
+  return forest_.predict_proba(scaled_);
+}
+
+}  // namespace core

@@ -1,0 +1,94 @@
+// End-to-end online disk-failure monitor (paper Algorithm 2).
+//
+// Glues together the pieces of §3.2: per-disk LabelQueues perform automatic
+// online labeling, an OnlineMinMaxScaler normalises the raw SMART stream
+// (Eq. 5 has no offline min/max to use online), and an OnlineForest learns
+// from the released labels. Each arriving sample is also scored; a score at
+// or above the alarm threshold flags the disk as risky ("immediate data
+// migration is recommended").
+//
+// Queued samples are stored raw and scaled at *release* time with the
+// then-current ranges, so late-arriving range extensions still benefit
+// queued data.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "core/label_queue.hpp"
+#include "core/online_forest.hpp"
+#include "data/types.hpp"
+#include "features/scaler.hpp"
+#include "util/thread_pool.hpp"
+
+namespace core {
+
+struct OnlinePredictorParams {
+  OnlineForestParams forest = {};
+  /// Queue capacity in samples = prediction horizon in days (daily samples).
+  std::size_t queue_capacity = static_cast<std::size_t>(data::kHorizonDays);
+  /// Alarm threshold on the forest score; tune for the deployment's FAR
+  /// budget (see eval::calibrate_threshold).
+  double alarm_threshold = 0.5;
+};
+
+class OnlineDiskPredictor {
+ public:
+  OnlineDiskPredictor(std::size_t feature_count,
+                      const OnlinePredictorParams& params, std::uint64_t seed);
+
+  struct Observation {
+    double score = 0.0;  ///< forest P(failure within horizon)
+    bool alarm = false;  ///< score ≥ alarm_threshold
+  };
+
+  /// A healthy disk reported a new SMART sample (Algorithm 2, y = 0 path):
+  /// possibly release + learn an outdated negative, enqueue the new sample,
+  /// and return the risk prediction for the disk.
+  Observation observe(data::DiskId disk, std::span<const float> raw_x,
+                      util::ThreadPool* pool = nullptr);
+
+  /// Disk `disk` failed (y = 1 path): label everything in its queue
+  /// positive, update the model, and forget the disk.
+  void disk_failed(data::DiskId disk, util::ThreadPool* pool = nullptr);
+
+  /// Disk left the fleet without failing (decommissioned). Its queued
+  /// samples stay unlabeled forever and are simply dropped.
+  void disk_retired(data::DiskId disk);
+
+  /// Score a sample without touching any state (pure prediction).
+  double score(std::span<const float> raw_x) const;
+
+  void set_alarm_threshold(double threshold) {
+    params_.alarm_threshold = threshold;
+  }
+  double alarm_threshold() const { return params_.alarm_threshold; }
+
+  const OnlineForest& forest() const { return forest_; }
+  std::size_t tracked_disks() const { return queues_.size(); }
+
+  /// Checkpoint/restore the complete monitor (forest, online scaler ranges,
+  /// every disk's unlabeled queue, counters) so a restarted process resumes
+  /// exactly where it stopped. restore() requires identical parameters.
+  void save(std::ostream& os) const;
+  void restore(std::istream& is);
+  void save_file(const std::string& path) const;
+  void restore_file(const std::string& path);
+  std::uint64_t negatives_released() const { return negatives_released_; }
+  std::uint64_t positives_released() const { return positives_released_; }
+
+ private:
+  OnlinePredictorParams params_;
+  OnlineForest forest_;
+  features::OnlineMinMaxScaler scaler_;
+  std::unordered_map<data::DiskId, LabelQueue> queues_;
+  std::uint64_t negatives_released_ = 0;
+  std::uint64_t positives_released_ = 0;
+  // Reused scratch to avoid per-sample allocation on the hot path.
+  mutable std::vector<float> scaled_;
+};
+
+}  // namespace core

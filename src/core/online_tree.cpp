@@ -1,0 +1,224 @@
+#include "core/online_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace core {
+
+double gini_gain(std::uint32_t n0, std::uint32_t n1, std::uint32_t r0,
+                 std::uint32_t r1) {
+  const auto total = static_cast<double>(n0) + static_cast<double>(n1);
+  if (total <= 0.0) return 0.0;
+  const auto gini = [](double c0, double c1) {
+    const double t = c0 + c1;
+    if (t <= 0.0) return 0.0;
+    const double p1 = c1 / t;
+    const double p0 = 1.0 - p1;
+    return p0 * (1.0 - p0) + p1 * (1.0 - p1);
+  };
+  const double l0 = static_cast<double>(n0) - static_cast<double>(r0);
+  const double l1 = static_cast<double>(n1) - static_cast<double>(r1);
+  if (l0 < 0.0 || l1 < 0.0) {
+    throw std::invalid_argument("gini_gain: right counts exceed totals");
+  }
+  const double left_total = l0 + l1;
+  const double right_total = static_cast<double>(r0) + static_cast<double>(r1);
+  return gini(static_cast<double>(n0), static_cast<double>(n1)) -
+         left_total / total * gini(l0, l1) -
+         right_total / total * gini(static_cast<double>(r0),
+                                    static_cast<double>(r1));
+}
+
+OnlineTree::OnlineTree(std::size_t feature_count,
+                       const OnlineTreeParams& params, util::Rng rng)
+    : feature_count_(feature_count), params_(params), rng_(rng) {
+  if (feature_count_ == 0) {
+    throw std::invalid_argument("OnlineTree: feature_count must be > 0");
+  }
+  if (params_.n_tests <= 0 || params_.min_parent_size <= 0 ||
+      params_.threshold_pool <= 0) {
+    throw std::invalid_argument("OnlineTree: invalid parameters");
+  }
+  split_gain_.assign(feature_count_, 0.0);
+  reset();
+}
+
+void OnlineTree::reset() {
+  nodes_.clear();
+  samples_seen_ = 0;
+  std::fill(split_gain_.begin(), split_gain_.end(), 0.0);
+  make_leaf(0, 0.5f);
+}
+
+std::int32_t OnlineTree::make_leaf(std::int16_t depth, float prior) {
+  Node node;
+  node.depth = depth;
+  node.prob = prior;
+  node.stats = std::make_unique<LeafStats>();
+  if (depth >= params_.max_depth) {
+    // Depth-capped leaf: still counts samples for its probability estimate,
+    // but never creates candidate tests.
+    node.stats->tests_ready = true;
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void OnlineTree::create_tests(LeafStats& stats) {
+  const auto n = static_cast<std::size_t>(params_.n_tests);
+  stats.tests.resize(n);
+  stats.right_counts.assign(n, {0, 0});
+  for (auto& test : stats.tests) {
+    test.feature = static_cast<std::uint16_t>(rng_.below(feature_count_));
+    if (!stats.buffer.empty() &&
+        !rng_.bernoulli(params_.uniform_test_fraction)) {
+      // Data-driven threshold: the observed value of a random buffered
+      // sample on this feature.
+      const auto& sample = stats.buffer[rng_.below(stats.buffer.size())];
+      test.threshold = sample.first[test.feature];
+    } else {
+      test.threshold = static_cast<float>(rng_.uniform());
+    }
+  }
+  stats.tests_ready = true;
+  // Replay the buffer so test statistics cover every sample this leaf saw.
+  for (const auto& [x, y] : stats.buffer) apply_to_tests(stats, x, y);
+  stats.buffer.clear();
+  stats.buffer.shrink_to_fit();
+}
+
+void OnlineTree::apply_to_tests(LeafStats& stats, std::span<const float> x,
+                                int y) {
+  const std::size_t cls = y == 1 ? 1 : 0;
+  for (std::size_t t = 0; t < stats.tests.size(); ++t) {
+    if (stats.tests[t].goes_right(x)) ++stats.right_counts[t][cls];
+  }
+}
+
+std::size_t OnlineTree::route_to_leaf(std::span<const float> x) const {
+  std::size_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.split_feature < 0) return node;
+    node = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.split_feature)] > n.split_threshold
+            ? n.right
+            : n.left);
+  }
+}
+
+void OnlineTree::update(std::span<const float> x, int y) {
+  if (x.size() != feature_count_) {
+    throw std::invalid_argument("OnlineTree::update: wrong feature count");
+  }
+  ++samples_seen_;
+  const std::size_t leaf = route_to_leaf(x);
+  Node& node = nodes_[leaf];
+  LeafStats& stats = *node.stats;
+  const std::size_t cls = y == 1 ? 1 : 0;
+  ++stats.n[cls];
+  if (!stats.tests_ready) {
+    stats.buffer.emplace_back(std::vector<float>(x.begin(), x.end()), y);
+    if (stats.buffer.size() >=
+        static_cast<std::size_t>(params_.threshold_pool)) {
+      create_tests(stats);
+    }
+  } else {
+    apply_to_tests(stats, x, y);
+  }
+  const std::uint32_t total = stats.n[0] + stats.n[1];
+  node.prob = static_cast<float>((stats.n[1] + 1.0) / (total + 2.0));
+  if (!stats.tests.empty() &&
+      total >= static_cast<std::uint32_t>(params_.min_parent_size)) {
+    try_split(leaf);
+  }
+}
+
+void OnlineTree::try_split(std::size_t leaf_index) {
+  // NOTE: `nodes_` may reallocate in make_leaf; take copies before that.
+  LeafStats& stats = *nodes_[leaf_index].stats;
+  double best_gain = 0.0;
+  std::size_t best_test = 0;
+  for (std::size_t t = 0; t < stats.tests.size(); ++t) {
+    const double gain = gini_gain(stats.n[0], stats.n[1],
+                                  stats.right_counts[t][0],
+                                  stats.right_counts[t][1]);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_test = t;
+    }
+  }
+  double gain_bar = params_.min_gain;
+  if (params_.relative_gain) {
+    const auto gini = [](double c0, double c1) {
+      const double t = c0 + c1;
+      if (t <= 0.0) return 0.0;
+      const double p1 = c1 / t;
+      return 2.0 * p1 * (1.0 - p1);
+    };
+    gain_bar *= gini(stats.n[0], stats.n[1]);
+  }
+  if (best_gain <= 0.0 || best_gain < gain_bar) return;
+
+  const RandomTest chosen = stats.tests[best_test];
+  const auto right = stats.right_counts[best_test];
+  const std::uint32_t l0 = stats.n[0] - right[0];
+  const std::uint32_t l1 = stats.n[1] - right[1];
+  // Degenerate partitions cannot reach min_gain > 0, but guard anyway.
+  if ((l0 + l1) == 0 || (right[0] + right[1]) == 0) return;
+
+  const auto depth = nodes_[leaf_index].depth;
+  const float left_prior =
+      static_cast<float>((l1 + 1.0) / (l0 + l1 + 2.0));
+  const float right_prior =
+      static_cast<float>((right[1] + 1.0) / (right[0] + right[1] + 2.0));
+
+  const std::int32_t left_child =
+      make_leaf(static_cast<std::int16_t>(depth + 1), left_prior);
+  const std::int32_t right_child =
+      make_leaf(static_cast<std::int16_t>(depth + 1), right_prior);
+
+  Node& node = nodes_[leaf_index];  // revalidate after reallocation
+  node.split_feature = chosen.feature;
+  node.split_threshold = chosen.threshold;
+  node.left = left_child;
+  node.right = right_child;
+  node.stats.reset();
+  split_gain_[chosen.feature] += best_gain;
+}
+
+double OnlineTree::predict_proba(std::span<const float> x) const {
+  if (x.size() != feature_count_) {
+    throw std::invalid_argument("OnlineTree::predict: wrong feature count");
+  }
+  return nodes_[route_to_leaf(x)].prob;
+}
+
+std::vector<OnlineTree::FrozenNode> OnlineTree::export_structure() const {
+  std::vector<FrozenNode> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    FrozenNode frozen;
+    frozen.feature = node.split_feature;
+    frozen.threshold = node.split_threshold;
+    frozen.left = node.left;
+    frozen.right = node.right;
+    frozen.prob = node.prob;
+    out.push_back(frozen);
+  }
+  return out;
+}
+
+std::size_t OnlineTree::leaf_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.split_feature < 0; }));
+}
+
+int OnlineTree::depth() const {
+  int max_depth = 0;
+  for (const auto& n : nodes_) max_depth = std::max(max_depth, int{n.depth});
+  return max_depth;
+}
+
+}  // namespace core

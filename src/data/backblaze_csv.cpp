@@ -1,0 +1,245 @@
+#include "data/backblaze_csv.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace data {
+namespace {
+
+// Days from civil date, Howard Hinnant's algorithm (public domain).
+long days_from_civil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const long era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<long>(doe) - 719468;
+}
+
+void civil_from_days(long z, int& y, unsigned& m, unsigned& d) {
+  z += 719468;
+  const long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  y = static_cast<int>(yoe) + static_cast<int>(era) * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp + (mp < 10 ? 3 : -9);
+  y += m <= 2;
+}
+
+const long kEpochDays = days_from_civil(2013, 4, 10);
+
+}  // namespace
+
+std::string day_to_iso(Day day) {
+  int y;
+  unsigned m, d;
+  civil_from_days(kEpochDays + day, y, m, d);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", y, m, d);
+  return buf;
+}
+
+Day iso_to_day(const std::string& iso) {
+  int y = 0;
+  unsigned m = 0, d = 0;
+  if (std::sscanf(iso.c_str(), "%d-%u-%u", &y, &m, &d) != 3) {
+    throw std::invalid_argument("iso_to_day: bad date '" + iso + "'");
+  }
+  return static_cast<Day>(days_from_civil(y, m, d) - kEpochDays);
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  for (;;) {
+    const auto comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      break;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+void write_backblaze_csv(const Dataset& dataset, std::ostream& os) {
+  os << "date,serial_number,model,capacity_bytes,failure";
+  for (const auto& name : dataset.feature_names) os << ',' << name;
+  os << '\n';
+  for (const auto& disk : dataset.disks) {
+    for (const auto& snap : disk.snapshots) {
+      const bool failure_row = disk.failed && snap.day == disk.last_day;
+      os << day_to_iso(snap.day) << ',' << disk.serial << ','
+         << dataset.model_name << ",0," << (failure_row ? 1 : 0);
+      for (float v : snap.features) os << ',' << v;
+      os << '\n';
+    }
+  }
+}
+
+void write_backblaze_csv_file(const Dataset& dataset,
+                              const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_backblaze_csv(dataset, os);
+}
+
+Dataset read_backblaze_csv(std::istream& is, const CsvReadOptions& options) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("read_backblaze_csv: empty input");
+  }
+  const auto header = split_csv_line(line);
+  if (header.size() < 5 || header[0] != "date") {
+    throw std::runtime_error("read_backblaze_csv: unexpected header");
+  }
+  // Map feature columns: CSV column index -> dataset feature slot.
+  Dataset dataset;
+  std::vector<int> column_slot(header.size(), -1);
+  for (std::size_t c = 5; c < header.size(); ++c) {
+    const std::string& name = header[c];
+    if (name.rfind("smart_", 0) != 0) continue;
+    if (!options.feature_subset.empty()) {
+      bool wanted = false;
+      for (const auto& want : options.feature_subset) {
+        if (want == name) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) continue;
+    }
+    column_slot[c] = static_cast<int>(dataset.feature_names.size());
+    dataset.feature_names.push_back(name);
+  }
+  if (!options.feature_subset.empty() &&
+      dataset.feature_names.size() != options.feature_subset.size()) {
+    throw std::runtime_error(
+        "read_backblaze_csv: requested feature column missing from header");
+  }
+
+  std::map<std::string, std::size_t> disk_of_serial;
+  Day max_day = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != header.size()) {
+      throw std::runtime_error("read_backblaze_csv: ragged row");
+    }
+    if (!options.model_filter.empty() && cells[2] != options.model_filter) {
+      continue;
+    }
+    if (dataset.model_name.empty()) dataset.model_name = cells[2];
+    const Day day = iso_to_day(cells[0]);
+    max_day = std::max(max_day, day);
+    const bool failure = cells[4] == "1";
+
+    auto [it, inserted] =
+        disk_of_serial.try_emplace(cells[1], dataset.disks.size());
+    if (inserted) {
+      DiskHistory disk;
+      disk.id = static_cast<DiskId>(dataset.disks.size());
+      disk.serial = cells[1];
+      disk.first_day = day;
+      dataset.disks.push_back(std::move(disk));
+    }
+    DiskHistory& disk = dataset.disks[it->second];
+    Snapshot snap;
+    snap.day = day;
+    snap.features.resize(dataset.feature_names.size(), options.missing_value);
+    for (std::size_t c = 5; c < cells.size(); ++c) {
+      const int slot = column_slot[c];
+      if (slot < 0) continue;
+      if (cells[c].empty()) continue;  // keep missing_value
+      float v = options.missing_value;
+      std::from_chars(cells[c].data(), cells[c].data() + cells[c].size(), v);
+      snap.features[static_cast<std::size_t>(slot)] = v;
+    }
+    disk.first_day = std::min(disk.first_day, day);
+    disk.last_day = std::max(disk.last_day, day);
+    disk.failed = disk.failed || failure;
+    disk.snapshots.push_back(std::move(snap));
+  }
+  for (auto& disk : dataset.disks) {
+    std::sort(disk.snapshots.begin(), disk.snapshots.end(),
+              [](const Snapshot& a, const Snapshot& b) { return a.day < b.day; });
+  }
+  dataset.duration_days = max_day + 1;
+  return dataset;
+}
+
+Dataset read_backblaze_csv_file(const std::string& path,
+                                const CsvReadOptions& options) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_backblaze_csv(is, options);
+}
+
+void merge_datasets(Dataset& base, const Dataset& extra) {
+  if (base.disks.empty() && base.feature_names.empty()) {
+    base = extra;
+    return;
+  }
+  if (base.feature_names != extra.feature_names) {
+    throw std::runtime_error("merge_datasets: feature schema mismatch");
+  }
+  if (base.model_name.empty()) base.model_name = extra.model_name;
+
+  std::map<std::string, std::size_t> by_serial;
+  for (std::size_t i = 0; i < base.disks.size(); ++i) {
+    by_serial[base.disks[i].serial] = i;
+  }
+  for (const auto& incoming : extra.disks) {
+    auto [it, inserted] =
+        by_serial.try_emplace(incoming.serial, base.disks.size());
+    if (inserted) {
+      DiskHistory disk = incoming;
+      disk.id = static_cast<DiskId>(base.disks.size());
+      base.disks.push_back(std::move(disk));
+      continue;
+    }
+    DiskHistory& disk = base.disks[it->second];
+    disk.snapshots.insert(disk.snapshots.end(), incoming.snapshots.begin(),
+                          incoming.snapshots.end());
+    std::sort(disk.snapshots.begin(), disk.snapshots.end(),
+              [](const Snapshot& a, const Snapshot& b) { return a.day < b.day; });
+    disk.first_day = std::min(disk.first_day, incoming.first_day);
+    disk.last_day = std::max(disk.last_day, incoming.last_day);
+    disk.failed = disk.failed || incoming.failed;
+  }
+  base.duration_days = std::max(base.duration_days, extra.duration_days);
+}
+
+Dataset read_backblaze_csv_dir(const std::string& directory,
+                               const CsvReadOptions& options) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  if (files.empty()) {
+    throw std::runtime_error("read_backblaze_csv_dir: no *.csv under " +
+                             directory);
+  }
+  std::sort(files.begin(), files.end());
+  Dataset merged;
+  for (const auto& path : files) {
+    const Dataset day = read_backblaze_csv_file(path.string(), options);
+    merge_datasets(merged, day);
+  }
+  return merged;
+}
+
+}  // namespace data

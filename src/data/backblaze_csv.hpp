@@ -1,0 +1,55 @@
+// Reader/writer for the Backblaze drive-stats CSV format.
+//
+// Format (one row per disk per day):
+//   date,serial_number,model,capacity_bytes,failure,<feature columns...>
+// where feature columns are "smart_<id>_normalized" / "smart_<id>_raw".
+// The writer emits this format from a Dataset; the reader rebuilds a Dataset,
+// so real Backblaze dumps can be substituted for the synthetic fleet.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/types.hpp"
+
+namespace data {
+
+/// Convert a day offset from the epoch 2013-04-10 (Backblaze's first
+/// published snapshot) to an ISO "YYYY-MM-DD" date, and back.
+std::string day_to_iso(Day day);
+Day iso_to_day(const std::string& iso);
+
+void write_backblaze_csv(const Dataset& dataset, std::ostream& os);
+void write_backblaze_csv_file(const Dataset& dataset,
+                              const std::string& path);
+
+struct CsvReadOptions {
+  /// When non-empty, only these feature columns are loaded (others are
+  /// dropped); otherwise every smart_* column found in the header is kept.
+  std::vector<std::string> feature_subset;
+  /// Rows whose model differs are skipped; empty = accept all models.
+  std::string model_filter;
+  /// Missing feature cells (empty strings) are replaced with this value.
+  float missing_value = 0.0f;
+};
+
+Dataset read_backblaze_csv(std::istream& is, const CsvReadOptions& options = {});
+Dataset read_backblaze_csv_file(const std::string& path,
+                                const CsvReadOptions& options = {});
+
+/// Backblaze publishes one CSV per day ("2016-01-01.csv", ...). Reads every
+/// *.csv under `directory` (non-recursive, lexicographic order) and merges
+/// them into one Dataset keyed by drive serial number. All files must share
+/// the same feature columns (after `options.feature_subset` filtering).
+Dataset read_backblaze_csv_dir(const std::string& directory,
+                               const CsvReadOptions& options = {});
+
+/// Merge `extra` into `base` (same schema): per-disk snapshot streams are
+/// concatenated and re-sorted, failure flags and day ranges combined.
+void merge_datasets(Dataset& base, const Dataset& extra);
+
+/// Split one CSV line on commas (no quoting in Backblaze dumps).
+std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace data

@@ -1,0 +1,135 @@
+#include "data/labeling.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace data {
+
+std::vector<LabeledSample> label_offline(
+    const Dataset& dataset, std::span<const std::size_t> disk_indices,
+    const LabelOptions& options) {
+  std::vector<LabeledSample> out;
+  for (std::size_t idx : disk_indices) {
+    if (idx >= dataset.disks.size()) {
+      throw std::out_of_range("label_offline: disk index out of range");
+    }
+    const DiskHistory& disk = dataset.disks[idx];
+    // Day strictly after this threshold is "within the latest week".
+    const Day window_start = disk.last_day - options.horizon + 1;
+    for (const Snapshot& snap : disk.snapshots) {
+      const bool in_last_week = snap.day >= window_start;
+      int label;
+      if (disk.failed) {
+        label = in_last_week ? 1 : 0;
+      } else {
+        if (in_last_week) continue;  // unlabeled: disk status still uncertain
+        label = 0;
+      }
+      out.push_back(LabeledSample{disk.id, snap.day, &disk, &snap, label});
+    }
+  }
+  return out;
+}
+
+std::vector<LabeledSample> label_offline_all(const Dataset& dataset,
+                                             const LabelOptions& options) {
+  const auto indices = all_disks(dataset);
+  return label_offline(dataset, indices, options);
+}
+
+void sort_by_time(std::vector<LabeledSample>& samples) {
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const LabeledSample& a, const LabeledSample& b) {
+                     if (a.day != b.day) return a.day < b.day;
+                     return a.disk < b.disk;
+                   });
+}
+
+DiskSplit split_disks(const Dataset& dataset, double train_fraction,
+                      util::Rng& rng) {
+  if (train_fraction < 0.0 || train_fraction > 1.0) {
+    throw std::invalid_argument("split_disks: fraction must be in [0, 1]");
+  }
+  std::vector<std::size_t> good;
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < dataset.disks.size(); ++i) {
+    (dataset.disks[i].failed ? failed : good).push_back(i);
+  }
+  DiskSplit split;
+  const auto assign = [&](std::vector<std::size_t>& group) {
+    rng.shuffle(group);
+    const auto n_train = static_cast<std::size_t>(
+        static_cast<double>(group.size()) * train_fraction + 0.5);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      (i < n_train ? split.train : split.test).push_back(group[i]);
+    }
+  };
+  assign(good);
+  assign(failed);
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+std::vector<std::size_t> all_disks(const Dataset& dataset) {
+  std::vector<std::size_t> indices(dataset.disks.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  return indices;
+}
+
+std::vector<LabeledSample> samples_in_month(
+    std::span<const LabeledSample> samples, int month) {
+  std::vector<LabeledSample> out;
+  for (const auto& s : samples) {
+    if (month_of(s.day) == month) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<LabeledSample> samples_before_month(
+    std::span<const LabeledSample> samples, int month_end) {
+  std::vector<LabeledSample> out;
+  for (const auto& s : samples) {
+    if (month_of(s.day) < month_end) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<LabeledSample> downsample_negatives(
+    std::span<const LabeledSample> samples, double lambda, util::Rng& rng) {
+  std::vector<std::size_t> negatives;
+  std::size_t n_pos = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].label == 1) {
+      ++n_pos;
+    } else {
+      negatives.push_back(i);
+    }
+  }
+  std::vector<bool> keep_negative(samples.size(), lambda <= 0.0);
+  if (lambda > 0.0) {
+    const auto target = static_cast<std::size_t>(
+        lambda * static_cast<double>(n_pos) + 0.5);
+    rng.shuffle(negatives);
+    const std::size_t take = std::min(target, negatives.size());
+    for (std::size_t i = 0; i < take; ++i) keep_negative[negatives[i]] = true;
+  }
+  std::vector<LabeledSample> out;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].label == 1 || keep_negative[i]) out.push_back(samples[i]);
+  }
+  return out;
+}
+
+std::size_t count_positive(std::span<const LabeledSample> samples) {
+  return static_cast<std::size_t>(
+      std::count_if(samples.begin(), samples.end(),
+                    [](const LabeledSample& s) { return s.label == 1; }));
+}
+
+std::size_t count_negative(std::span<const LabeledSample> samples) {
+  return samples.size() - count_positive(samples);
+}
+
+}  // namespace data

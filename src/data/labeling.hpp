@@ -1,0 +1,73 @@
+// Offline labeling rule (§4.4), disk-level train/test splits and monthly
+// slicing used by every experiment.
+//
+// Labeling rule from the paper:
+//  * failed disk  — samples from the last `horizon` days before failure are
+//    positive; all earlier samples are negative (the disk demonstrably did
+//    not fail within `horizon` days of them);
+//  * good disk    — samples from its latest `horizon` days are *unlabeled*
+//    (the disk might still fail shortly after the window) and are excluded;
+//    all earlier samples are negative.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/types.hpp"
+#include "util/rng.hpp"
+
+namespace data {
+
+struct LabelOptions {
+  Day horizon = kHorizonDays;
+};
+
+/// Label the snapshots of the given disks (indices into dataset.disks).
+/// Returned samples point into `dataset`; it must outlive them.
+std::vector<LabeledSample> label_offline(
+    const Dataset& dataset, std::span<const std::size_t> disk_indices,
+    const LabelOptions& options = {});
+
+/// Convenience: label every disk in the dataset.
+std::vector<LabeledSample> label_offline_all(const Dataset& dataset,
+                                             const LabelOptions& options = {});
+
+/// Sort samples by (day, disk) — the arrival order used to replay a dataset
+/// into an online learner.
+void sort_by_time(std::vector<LabeledSample>& samples);
+
+/// Disk-level random split, stratified so that `train_fraction` of good disks
+/// and of failed disks each land in the training set (the paper's 70/30).
+struct DiskSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+DiskSplit split_disks(const Dataset& dataset, double train_fraction,
+                      util::Rng& rng);
+
+/// All disk indices [0, dataset.disks.size()).
+std::vector<std::size_t> all_disks(const Dataset& dataset);
+
+/// Samples whose day falls inside month `month` (30-day months).
+std::vector<LabeledSample> samples_in_month(
+    std::span<const LabeledSample> samples, int month);
+
+/// Samples with month_of(day) < `month_end` (exclusive) — the accumulation
+/// strategy's training window.
+std::vector<LabeledSample> samples_before_month(
+    std::span<const LabeledSample> samples, int month_end);
+
+/// The paper's λ = |Dnc| / |Dp| down-sampling (Eq. 4) applied directly to
+/// labeled samples: keeps every positive plus a uniformly random subset of
+/// λ·|Dp| negatives. λ ≤ 0 keeps everything (the "Max" setting). The result
+/// preserves time order when the input was time-ordered.
+std::vector<LabeledSample> downsample_negatives(
+    std::span<const LabeledSample> samples, double lambda, util::Rng& rng);
+
+/// Count positives / negatives.
+std::size_t count_positive(std::span<const LabeledSample> samples);
+std::size_t count_negative(std::span<const LabeledSample> samples);
+
+}  // namespace data

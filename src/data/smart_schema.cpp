@@ -1,0 +1,98 @@
+#include "data/smart_schema.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace data {
+
+const std::vector<SmartAttr>& full_smart_schema() {
+  // Table 2 of the paper selects 19 features over 13 attributes; the other
+  // 11 attributes below are the usual Backblaze columns that the rank-sum
+  // filter rejects (no class separation).
+  static const std::vector<SmartAttr> schema = {
+      {1, "Read Error Rate", AttrKind::kRate, true, 13, true, false},
+      {3, "Spin-Up Time", AttrKind::kNoise, false, 0, false, false},
+      {4, "Start/Stop Count", AttrKind::kCumulativeCount, false, 0, false, false},
+      {5, "Reallocated Sectors Count", AttrKind::kErrorCount, true, 3, true, true},
+      {7, "Seek Error Rate", AttrKind::kRate, true, 7, true, false},
+      {9, "Power-On Hours", AttrKind::kCumulativeTime, true, 5, false, true},
+      {10, "Spin Retry Count", AttrKind::kNoise, false, 0, false, false},
+      {12, "Power Cycle Count", AttrKind::kCumulativeCount, true, 11, false, true},
+      {183, "Runtime Bad Block", AttrKind::kErrorCount, true, 8, false, true},
+      {184, "End-to-End Error", AttrKind::kErrorCount, true, 4, true, true},
+      {187, "Reported Uncorrectable Errors", AttrKind::kErrorCount, true, 1, true, true},
+      {188, "Command Timeout", AttrKind::kNoise, false, 0, false, false},
+      {189, "High Fly Writes", AttrKind::kRate, true, 10, true, false},
+      {190, "Airflow Temperature", AttrKind::kTemperature, false, 0, false, false},
+      {191, "G-Sense Error Rate", AttrKind::kNoise, false, 0, false, false},
+      {192, "Power-off Retract Count", AttrKind::kNoise, false, 0, false, false},
+      {193, "Load Cycle Count", AttrKind::kCumulativeCount, true, 6, true, true},
+      {194, "Temperature", AttrKind::kTemperature, false, 0, false, false},
+      {197, "Current Pending Sector Count", AttrKind::kErrorCount, true, 2, true, true},
+      {198, "Uncorrectable Sector Count", AttrKind::kErrorCount, true, 9, true, true},
+      {199, "UltraDMA CRC Error Count", AttrKind::kErrorCount, true, 12, false, true},
+      {240, "Head Flying Hours", AttrKind::kNoise, false, 0, false, false},
+      {241, "Total LBAs Written", AttrKind::kNoise, false, 0, false, false},
+      {242, "Total LBAs Read", AttrKind::kNoise, false, 0, false, false},
+  };
+  return schema;
+}
+
+namespace {
+std::string norm_name(int id) {
+  return "smart_" + std::to_string(id) + "_normalized";
+}
+std::string raw_name(int id) { return "smart_" + std::to_string(id) + "_raw"; }
+}  // namespace
+
+std::vector<std::string> candidate_feature_names() {
+  std::vector<std::string> names;
+  names.reserve(full_smart_schema().size() * 2);
+  for (const auto& attr : full_smart_schema()) {
+    names.push_back(norm_name(attr.id));
+    names.push_back(raw_name(attr.id));
+  }
+  return names;
+}
+
+std::vector<std::string> selected_feature_names() {
+  std::vector<std::string> names;
+  for (const auto& attr : full_smart_schema()) {
+    if (attr.select_norm) names.push_back(norm_name(attr.id));
+    if (attr.select_raw) names.push_back(raw_name(attr.id));
+  }
+  return names;
+}
+
+std::vector<int> selected_feature_indices() {
+  const auto candidates = candidate_feature_names();
+  std::vector<int> indices;
+  int i = 0;
+  for (const auto& attr : full_smart_schema()) {
+    if (attr.select_norm) indices.push_back(i);
+    if (attr.select_raw) indices.push_back(i + 1);
+    i += 2;
+  }
+  (void)candidates;
+  return indices;
+}
+
+bool parse_feature_name(const std::string& name, int& id, bool& is_raw) {
+  if (name.rfind("smart_", 0) != 0) return false;
+  const std::string rest = name.substr(6);
+  const auto underscore = rest.find('_');
+  if (underscore == std::string::npos) return false;
+  id = std::atoi(rest.substr(0, underscore).c_str());
+  const std::string suffix = rest.substr(underscore + 1);
+  if (suffix == "raw") {
+    is_raw = true;
+  } else if (suffix == "normalized") {
+    is_raw = false;
+  } else {
+    return false;
+  }
+  return id > 0;
+}
+
+}  // namespace data

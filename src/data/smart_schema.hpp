@@ -1,0 +1,56 @@
+// The SMART attribute schema used throughout the reproduction.
+//
+// The paper starts from 24 attributes × {normalized, raw} = 48 candidate
+// features and selects the 19 of Table 2 (9 normalized + 10 raw values).
+// This header codifies both the full candidate schema (used by the Table-2
+// feature-selection experiment) and the selected Table-2 schema (used by the
+// prediction experiments), together with each attribute's generative
+// archetype for the fleet simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace data {
+
+/// Generative archetype of an attribute, used by the synthetic fleet
+/// simulator to produce realistic trajectories.
+enum class AttrKind {
+  kErrorCount,       ///< monotone event counter; ramps before failure (5, 187, 197, …)
+  kCumulativeTime,   ///< grows with disk age (9 Power-On Hours)
+  kCumulativeCount,  ///< usage counter (12 Power Cycle, 193 Load Cycle, 4 Start/Stop)
+  kRate,             ///< vendor-encoded rate statistic (1, 7, 189)
+  kTemperature,      ///< roughly stationary environmental reading (190, 194)
+  kNoise,            ///< no failure information (191, 192, 240–242)
+};
+
+struct SmartAttr {
+  int id;                ///< SMART attribute ID (e.g. 187)
+  std::string name;      ///< human-readable name
+  AttrKind kind;
+  bool informative;      ///< does failure leave a signature on this attribute?
+  int paper_rank;        ///< Table-2 contribution rank; 0 = not selected
+  bool select_norm;      ///< Table 2 selects its normalized value
+  bool select_raw;       ///< Table 2 selects its raw value
+};
+
+/// All 24 SMART attributes reported per drive (matching common Backblaze
+/// Seagate columns). Order is ascending by ID.
+const std::vector<SmartAttr>& full_smart_schema();
+
+/// Column names of the full 48-feature candidate set:
+/// "smart_<id>_normalized" and "smart_<id>_raw" for every attribute.
+std::vector<std::string> candidate_feature_names();
+
+/// Column names of the 19 features selected in Table 2, in Table-2 row order
+/// (normalized first where both are selected).
+std::vector<std::string> selected_feature_names();
+
+/// Indices of the selected features within candidate_feature_names().
+std::vector<int> selected_feature_indices();
+
+/// Parse "smart_<id>_normalized|raw" → (id, is_raw). Returns false when the
+/// name is not a SMART feature column.
+bool parse_feature_name(const std::string& name, int& id, bool& is_raw);
+
+}  // namespace data

@@ -1,0 +1,30 @@
+#include "data/types.hpp"
+
+#include <algorithm>
+
+namespace data {
+
+std::size_t Dataset::good_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(disks.begin(), disks.end(),
+                    [](const DiskHistory& d) { return !d.failed; }));
+}
+
+std::size_t Dataset::failed_count() const {
+  return disks.size() - good_count();
+}
+
+std::size_t Dataset::sample_count() const {
+  std::size_t n = 0;
+  for (const auto& d : disks) n += d.snapshots.size();
+  return n;
+}
+
+int Dataset::feature_index(const std::string& name) const {
+  const auto it =
+      std::find(feature_names.begin(), feature_names.end(), name);
+  if (it == feature_names.end()) return -1;
+  return static_cast<int>(it - feature_names.begin());
+}
+
+}  // namespace data

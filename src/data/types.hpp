@@ -1,0 +1,76 @@
+// Core data model: daily SMART snapshots grouped per disk, and datasets of
+// disks. Mirrors the Backblaze dump structure the paper uses (one row per
+// disk per day) while staying storage-efficient: features are float32 and
+// stored contiguously per disk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace data {
+
+using DiskId = std::uint32_t;
+/// Days since the fleet's observation epoch (day 0 = first observed day).
+using Day = std::int32_t;
+
+/// The paper slices time in months for every experiment; Backblaze data is
+/// daily. We use fixed 30-day months, as the paper's "once a month" update
+/// cadence does.
+inline constexpr Day kDaysPerMonth = 30;
+
+inline constexpr int month_of(Day day) { return day / kDaysPerMonth; }
+
+/// The prediction horizon: a disk counts as correctly detected if any sample
+/// from the last `kHorizonDays` before failure is predicted positive (§3, §4.3).
+inline constexpr Day kHorizonDays = 7;
+
+/// One daily SMART snapshot of one disk. `features` is indexed by the
+/// dataset's feature schema (Dataset::feature_names).
+struct Snapshot {
+  Day day = 0;
+  std::vector<float> features;
+};
+
+/// Complete observed history of one disk drive.
+struct DiskHistory {
+  DiskId id = 0;
+  std::string serial;
+  bool failed = false;       ///< failed within the observation window
+  Day first_day = 0;         ///< day of first snapshot
+  Day last_day = 0;          ///< day of last snapshot (= failure day if failed)
+  std::vector<Snapshot> snapshots;  ///< ascending by day, one per day observed
+
+  Day lifetime_days() const { return last_day - first_day + 1; }
+};
+
+/// A fleet observation: many disks sharing one feature schema.
+struct Dataset {
+  std::string model_name;                  ///< e.g. "ST4000DM000"
+  std::vector<std::string> feature_names;  ///< column names, e.g. "smart_5_raw"
+  std::vector<DiskHistory> disks;
+  Day duration_days = 0;  ///< observation window length (days 0..duration-1)
+
+  std::size_t feature_count() const { return feature_names.size(); }
+  std::size_t good_count() const;
+  std::size_t failed_count() const;
+  std::size_t sample_count() const;
+
+  /// Index of a feature name, or -1 when absent.
+  int feature_index(const std::string& name) const;
+};
+
+/// A labeled training/evaluation sample. Non-owning: points into a Dataset's
+/// snapshot storage, so the Dataset must outlive it.
+struct LabeledSample {
+  DiskId disk = 0;
+  Day day = 0;
+  const DiskHistory* history = nullptr;
+  const Snapshot* snapshot = nullptr;
+  int label = 0;  ///< 1 = failed within horizon ("positive"), 0 = healthy
+
+  std::span<const float> x() const { return snapshot->features; }
+};
+
+}  // namespace data

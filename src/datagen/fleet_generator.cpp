@@ -1,0 +1,501 @@
+#include "datagen/fleet_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "data/smart_schema.hpp"
+#include "util/rng.hpp"
+
+namespace datagen {
+namespace {
+
+using data::Day;
+
+// Indices of the seven informative error-count attributes within the
+// signature-mix vectors below.
+enum ErrAttr { kE5 = 0, kE183, kE184, kE187, kE197, kE198, kE199, kErrCount };
+
+// Base signature mixes. The mix rotates linearly over calendar time from
+// `kEarlyMix` to `kLateMix` (scaled by profile.cohort_drift), so failures
+// late in the window present differently from the ones a frozen model was
+// trained on. Magnitudes are chosen so the resulting feature ranking roughly
+// reproduces Table 2 (187 strongest, then 197, 5, 184, ...).
+constexpr double kEarlyMix[kErrCount] = {0.90, 0.30, 0.50, 1.00,
+                                         0.80, 0.40, 0.18};
+// The late mix rotates hard toward end-to-end/CRC/pending signatures and
+// away from the reallocation/uncorrectable pattern early failures show, so
+// a model frozen on the early window increasingly misses late failures
+// (Figs 6–7's FDR sag) while adaptive models relearn.
+constexpr double kLateMix[kErrCount] = {0.22, 0.35, 0.85, 0.30,
+                                        0.95, 0.60, 0.85};
+
+// Typical total event count a full-strength degradation ramp deposits on
+// each attribute (before per-disk randomisation). Deliberately modest: most
+// failing disks' terminal counts must overlap the upper tail of healthy
+// benign accumulation, so that only a rebalanced model (λ, λn) detects them
+// — the Table-3/4 effect. Only the severity tail is unambiguous.
+// Per-attribute magnitude relative to the dominant attribute (187).
+constexpr double kRelScale[kErrCount] = {1.1, 0.26, 0.12, 1.0,
+                                         0.76, 0.32, 0.15};
+
+// Benign (age/cohort driven) event mix for healthy operation.
+constexpr double kBenignMix[kErrCount] = {0.40, 0.10, 0.02, 0.06,
+                                          0.30, 0.12, 0.25};
+
+// Degradation weights for the normalized-value "rate" attributes
+// (1 Read Error Rate, 7 Seek Error Rate, 189 High Fly Writes): how strongly
+// a failing disk's latent health pulls the norm down. Weak by design —
+// these land at the bottom of the Table-2 ranking.
+constexpr double kReadRateWeight = 0.18;
+constexpr double kSeekRateWeight = 0.45;
+constexpr double kHighFlyWeight = 0.26;
+
+struct DiskLatents {
+  DiskPlan plan;
+  // Per-disk randomisation.
+  double sig_gain[kErrCount] = {0};  ///< degradation totals per error attr
+  /// Ramp intensity exponent e: intensity ∝ (e+1)·progᵉ/span. Storms use
+  /// e = 4 (terminal spike); weak failures e = 1 (near-linear), so a weak
+  /// failure's *own pre-window days* — negatively labeled — carry almost
+  /// the same counts as its last week. That contamination is what stops an
+  /// un-rebalanced model from flagging weak failures (Table 3's λ = Max).
+  double ramp_exponent = 4.0;
+  double benign_factor = 1.0;        ///< multiplier on benign event rate
+  double load_rate = 8.0;            ///< load cycles per day
+  double power_cycle_rate = 0.012;   ///< power cycles per day
+  double temp_c = 30.0;
+  double seek_norm_base = 75.0;
+  double read_norm_base = 80.0;
+  double rate_deg[3] = {0, 0, 0};    ///< read/seek/high-fly degradation pull
+  double load_deg = 0.0;             ///< extra load cycling while degrading
+  double spinup_raw = 4200.0;
+  double lba_rate = 1.0e6;           ///< LBAs written per day (×10⁻³ stored)
+};
+
+struct SimConfig {
+  const FleetProfile* profile;
+  // Cached schema info.
+  std::vector<data::SmartAttr> attrs;
+  std::vector<int> out_slot_norm;  ///< attr index -> output feature slot, -1 = dropped
+  std::vector<int> out_slot_raw;
+  std::size_t n_features = 0;
+};
+
+double mix_at(const FleetProfile& p, int attr, Day fail_day) {
+  const double t = std::clamp(
+      static_cast<double>(fail_day) / static_cast<double>(p.duration_days),
+      0.0, 1.0);
+  const double blend = std::clamp(t * p.cohort_drift, 0.0, 1.0);
+  return kEarlyMix[attr] * (1.0 - blend) + kLateMix[attr] * blend;
+}
+
+/// Draw the per-disk plan: deployment, failure time, degradation window.
+DiskPlan draw_plan(const FleetProfile& p, bool failed, util::Rng& rng) {
+  DiskPlan plan;
+  plan.failed = failed;
+  double p_initial = p.initial_fleet_fraction;
+  if (failed) {
+    // Failed disks are biased toward older cohorts: age (Power-On Hours)
+    // correlates with failure, as in the field data.
+    p_initial += p.failed_age_bias * (1.0 - p.initial_fleet_fraction);
+  }
+  if (rng.bernoulli(p_initial)) {
+    plan.deploy_day = -static_cast<Day>(rng.below(
+        static_cast<std::uint64_t>(p.max_initial_age) + 1));
+  } else {
+    // Deployed during the window, but leave room to be observed.
+    const Day latest = std::max<Day>(1, p.duration_days - 60);
+    plan.deploy_day = static_cast<Day>(rng.below(
+        static_cast<std::uint64_t>(latest)));
+  }
+  if (failed) {
+    const Day first_obs = std::max<Day>(0, plan.deploy_day);
+    const Day earliest = first_obs + p.min_observed_before_failure;
+    const Day latest = p.duration_days - 1;
+    plan.failure_day =
+        earliest >= latest
+            ? latest
+            : static_cast<Day>(rng.range(earliest, latest));
+    if (!rng.bernoulli(p.silent_failure_fraction)) {
+      double window = rng.lognormal(p.deg_window_log_mean,
+                                    p.deg_window_log_sigma);
+      window = std::clamp(window, static_cast<double>(p.deg_window_min),
+                          static_cast<double>(p.deg_window_max));
+      plan.degradation_onset = std::max<Day>(
+          plan.deploy_day + 1,
+          plan.failure_day - static_cast<Day>(window));
+    }
+  } else {
+    plan.weak_degrader = rng.bernoulli(p.weak_degrader_fraction);
+  }
+  return plan;
+}
+
+DiskLatents draw_latents(const FleetProfile& p, const DiskPlan& plan,
+                         util::Rng& rng) {
+  DiskLatents lat;
+  lat.plan = plan;
+  // Cohort position in [0, 1]: 0 = oldest possible deployment.
+  const double cohort =
+      static_cast<double>(plan.deploy_day + p.max_initial_age) /
+      static_cast<double>(p.duration_days + p.max_initial_age);
+
+  if (plan.failed && plan.degradation_onset >= 0) {
+    // Storm / weak severity mixture (see FleetProfile::storm_fraction).
+    const bool storm = rng.bernoulli(p.storm_fraction);
+    lat.ramp_exponent = storm ? 4.0 : 1.0;
+    const double total = p.signature_strength *
+                         rng.lognormal(std::log(storm ? p.storm_median_count
+                                                      : p.weak_median_count),
+                                       storm ? 0.8 : 0.7);
+    for (int a = 0; a < kErrCount; ++a) {
+      const double w = mix_at(p, a, plan.failure_day);
+      // Per-attribute modulation: failing disks express the attributes of
+      // their signature mix unevenly.
+      lat.sig_gain[a] = total * kRelScale[a] * w * rng.lognormal(0.0, 0.6);
+    }
+    // Latent-health pull on the rate-style norms scales with (log) severity
+    // so storms also degrade seek/read behaviour visibly.
+    const double rate_severity = std::log1p(total) / std::log1p(100.0);
+    lat.rate_deg[0] = kReadRateWeight * rate_severity * rng.exponential(1.0);
+    lat.rate_deg[1] = kSeekRateWeight * rate_severity * rng.exponential(1.0);
+    lat.rate_deg[2] = kHighFlyWeight * rate_severity * rng.exponential(1.0);
+    lat.load_deg = 1.5 * rate_severity * rng.exponential(1.0);
+  }
+
+  lat.benign_factor = rng.lognormal(0.0, 0.7);
+  if (plan.weak_degrader) lat.benign_factor *= rng.lognormal(2.3, 0.6);
+  // Later cohorts accumulate benign errors faster (firmware/vintage drift).
+  lat.benign_factor *= 1.0 + 1.2 * p.cohort_drift * cohort;
+
+  lat.load_rate = rng.lognormal(std::log(8.0), 0.4) *
+                  (1.0 + 0.6 * p.cohort_drift * cohort);
+  lat.power_cycle_rate = rng.lognormal(std::log(0.012), 0.5);
+  lat.temp_c = rng.normal(30.0, 2.5);
+  lat.seek_norm_base = rng.normal(75.0, 4.0);
+  lat.read_norm_base = rng.normal(80.0, 6.0);
+  lat.spinup_raw = rng.normal(4200.0, 300.0);
+  lat.lba_rate = rng.lognormal(std::log(1.0e6), 0.5);
+  return lat;
+}
+
+/// Mutable per-disk counters advanced day by day.
+struct Counters {
+  double err[kErrCount] = {0};  ///< raw error counts (5,183,184,187,197,198,199)
+  double load_cycles = 0;
+  double power_cycles = 0;
+  double start_stop = 0;
+  double gsense = 0;
+  double retract = 0;
+  double cmd_timeout = 0;
+  double high_fly_raw = 0;
+  double lbas_written = 0;  ///< stored ×10⁻⁶ to stay in float range
+  double lbas_read = 0;
+};
+
+// Vendor norms are coarse integers; weak raw counts often do not move the
+// normalized value at all (the divisor-based vendor formulas saturate).
+// This crudeness is why tree models — scale-invariant on the raw counters —
+// beat kernel methods on SMART data.
+double clamp_norm(double v) { return std::floor(std::clamp(v, 1.0, 100.0)); }
+
+/// Advance one simulated day. `day` is the calendar day (can be negative
+/// during pre-window warm-up).
+void step_day(const FleetProfile& p, const DiskLatents& lat, Day day,
+              Counters& c, util::Rng& rng) {
+  const auto age_days = static_cast<double>(day - lat.plan.deploy_day);
+  const double age_years = age_days / 365.0;
+
+  // Benign error accumulation: grows quadratically with age (wear-out), so
+  // the fleet-wide distribution of the cumulative error attributes drifts
+  // upward over calendar time — young healthy disks show ~zero counts, but
+  // by year three a visible fraction carries counts in the weak-failure
+  // range. This is the paper's "model aging" root cause: a model frozen on
+  // the young fleet starts false-alarming on aged healthy disks.
+  const double benign_rate = p.benign_error_rate * lat.benign_factor *
+                             (1.0 + 2.5 * p.cohort_drift * age_years * age_years);
+  // Degradation ramp intensity: quadratic ramp-up over the window so that
+  // the last week before failure carries a strong signature.
+  double ramp = 0.0;
+  if (lat.plan.degradation_onset >= 0 && day >= lat.plan.degradation_onset) {
+    const double span = std::max<double>(
+        1.0, lat.plan.failure_day - lat.plan.degradation_onset);
+    const double prog =
+        std::clamp((static_cast<double>(day) - lat.plan.degradation_onset) /
+                       span, 0.0, 1.0);
+    // Intensity ∝ (e+1)·progᵉ/span integrates to ≈1 over the window; the
+    // exponent sets how terminal the signature is (see DiskLatents).
+    const double e = lat.ramp_exponent;
+    ramp = (e + 1.0) * std::pow(prog, e) / span;
+  }
+
+  for (int a = 0; a < kErrCount; ++a) {
+    double rate = benign_rate * kBenignMix[a];
+    if (ramp > 0.0) rate += ramp * lat.sig_gain[a];
+    if (rate > 0.0) {
+      double events = rng.poisson(rate);
+      // Bursts (media events hitting several sectors at once): common
+      // during degradation, rare in benign operation.
+      if (events > 0 && rng.bernoulli(ramp > 0.0 ? 0.25 : 0.05)) {
+        events += rng.poisson(3.0 * p.noise_level);
+      }
+      c.err[a] += events;
+    }
+  }
+  // Pending sectors (197) convert into reallocated (5) / uncorrectable (198)
+  // over time, which couples the three counters like real firmware does.
+  if (c.err[kE197] > 0 && rng.bernoulli(0.05)) {
+    const double converted = std::ceil(c.err[kE197] * 0.3);
+    c.err[kE197] -= converted;
+    c.err[kE5] += converted;
+    if (rng.bernoulli(0.3)) c.err[kE198] += std::ceil(converted * 0.3);
+  }
+
+  double load_rate = lat.load_rate;
+  if (ramp > 0.0) load_rate *= 1.0 + lat.load_deg;
+  c.load_cycles += rng.poisson(load_rate);
+  c.power_cycles += rng.poisson(lat.power_cycle_rate);
+  c.start_stop = c.power_cycles + rng.poisson(0.002);
+  // Pure-noise counters: G-Sense is essentially always 0 in server racks;
+  // power-off retract tracks power cycles (redundant with attribute 12);
+  // command timeouts are rare glitches unrelated to age or health.
+  c.gsense += rng.poisson(0.00002);
+  c.retract = c.power_cycles * 0.85 + rng.poisson(0.001);
+  c.cmd_timeout += rng.poisson(0.0001 * p.noise_level);
+  c.high_fly_raw += rng.poisson(0.003);
+  c.lbas_written += lat.lba_rate * rng.uniform(0.5, 1.5) * 1e-6;
+  c.lbas_read += lat.lba_rate * rng.uniform(0.8, 2.2) * 1e-6;
+}
+
+/// Produce the feature vector for one observed day.
+void emit_features(const SimConfig& cfg, const DiskLatents& lat, Day day,
+                   const Counters& c, util::Rng& rng,
+                   std::vector<float>& out) {
+  const FleetProfile& p = *cfg.profile;
+  const auto age_days = static_cast<double>(day - lat.plan.deploy_day);
+  const double noise = p.noise_level;
+
+  // Degradation progress for the latent-health (rate) attributes.
+  double prog = 0.0;
+  if (lat.plan.degradation_onset >= 0 && day >= lat.plan.degradation_onset) {
+    const double span = std::max<double>(
+        1.0, lat.plan.failure_day - lat.plan.degradation_onset);
+    prog = std::clamp((static_cast<double>(day) - lat.plan.degradation_onset) /
+                          span, 0.0, 1.0);
+  }
+
+  out.assign(cfg.n_features, 0.0f);
+  const auto put = [&](int attr_idx, bool raw, double value) {
+    const int slot = raw ? cfg.out_slot_raw[attr_idx]
+                         : cfg.out_slot_norm[attr_idx];
+    if (slot >= 0) out[static_cast<std::size_t>(slot)] = static_cast<float>(value);
+  };
+
+  const double seasonal =
+      2.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(day) / 365.0);
+  // Firmware recalibration drift on the rate-style norms (see profile.hpp).
+  const double shift_start = p.norm_shift_start_frac *
+                             static_cast<double>(p.duration_days);
+  const double shift_prog = std::clamp(
+      (static_cast<double>(day) - shift_start) /
+          std::max(1.0, static_cast<double>(p.norm_shift_ramp_days)),
+      0.0, 1.0);
+  const double norm_shift =
+      p.norm_shift_points * p.cohort_drift * shift_prog;
+
+  for (std::size_t i = 0; i < cfg.attrs.size(); ++i) {
+    const data::SmartAttr& attr = cfg.attrs[i];
+    const int ai = static_cast<int>(i);
+    double raw = 0.0;
+    double norm = 100.0;
+    switch (attr.id) {
+      case 1:  // Read Error Rate: informative norm, junk raw (vendor-encoded)
+        raw = age_days * 2.0e7 * rng.uniform(0.9, 1.1);
+        norm = clamp_norm(lat.read_norm_base - norm_shift +
+                          rng.normal(0.0, 3.0 * noise) -
+                          lat.rate_deg[0] * prog * 60.0);
+        break;
+      case 3:  // Spin-Up Time: stationary
+        raw = lat.spinup_raw + rng.normal(0.0, 30.0);
+        norm = clamp_norm(92.0 + rng.normal(0.0, 1.5));
+        break;
+      case 4:  // Start/Stop Count: redundant with 12
+        raw = c.start_stop;
+        norm = clamp_norm(100.0 - c.start_stop / 50.0);
+        break;
+      case 5:  // Reallocated Sectors: norm flat until the count is serious
+        raw = c.err[kE5];
+        norm = raw < 36.0
+                   ? 100.0
+                   : clamp_norm(100.0 - 25.0 * std::log10(raw / 36.0 + 1.0));
+        break;
+      case 7:  // Seek Error Rate: informative norm, junk raw
+        raw = age_days * 4.0e7 * rng.uniform(0.9, 1.1);
+        norm = clamp_norm(lat.seek_norm_base - norm_shift +
+                          rng.normal(0.0, 2.0 * noise) -
+                          lat.rate_deg[1] * prog * 60.0);
+        break;
+      case 9:  // Power-On Hours: raw = age in hours
+        raw = age_days * 24.0 + rng.normal(0.0, 4.0);
+        norm = clamp_norm(100.0 - age_days / 73.0);
+        break;
+      case 10:  // Spin Retry Count: silent
+        raw = 0.0;
+        norm = 100.0;
+        break;
+      case 12:  // Power Cycle Count
+        raw = c.power_cycles;
+        norm = clamp_norm(100.0 - c.power_cycles / 50.0);
+        break;
+      case 183:  // Runtime Bad Block
+        raw = c.err[kE183];
+        norm = clamp_norm(100.0 - c.err[kE183]);
+        break;
+      case 184:  // End-to-End Error
+        raw = c.err[kE184];
+        norm = clamp_norm(100.0 - c.err[kE184]);
+        break;
+      case 187:  // Reported Uncorrectable Errors
+        raw = c.err[kE187];
+        norm = clamp_norm(100.0 - c.err[kE187]);
+        break;
+      case 188:  // Command Timeout
+        raw = c.cmd_timeout;
+        norm = 100.0;
+        break;
+      case 189:  // High Fly Writes: informative norm, benign raw
+        raw = c.high_fly_raw;
+        norm = clamp_norm(100.0 - c.high_fly_raw - norm_shift * 0.6 -
+                          lat.rate_deg[2] * prog * 50.0 +
+                          rng.normal(0.0, 0.5 * noise));
+        break;
+      case 190:  // Airflow Temperature
+        raw = lat.temp_c + seasonal + rng.normal(0.0, 1.0);
+        norm = clamp_norm(100.0 - raw);
+        break;
+      case 191:  // G-Sense
+        raw = c.gsense;
+        norm = 100.0;
+        break;
+      case 192:  // Power-off Retract
+        raw = c.retract;
+        norm = 100.0;
+        break;
+      case 193:  // Load Cycle Count
+        raw = c.load_cycles;
+        norm = clamp_norm(100.0 - c.load_cycles / 3000.0);
+        break;
+      case 194:  // Temperature
+        raw = lat.temp_c + seasonal + rng.normal(0.0, 1.0);
+        norm = clamp_norm(100.0 - raw + 30.0);
+        break;
+      case 197:  // Current Pending Sectors: norm barely reacts to few counts
+        raw = c.err[kE197];
+        norm = clamp_norm(100.0 - c.err[kE197] / 8.0);
+        break;
+      case 198:  // Uncorrectable Sectors
+        raw = c.err[kE198];
+        norm = clamp_norm(100.0 - c.err[kE198] / 8.0);
+        break;
+      case 199:  // UltraDMA CRC Errors: informative raw, pegged norm
+        raw = c.err[kE199];
+        norm = 100.0;
+        break;
+      case 240:  // Head Flying Hours: redundant with 9
+        raw = age_days * 24.0 * 0.95 + rng.normal(0.0, 20.0);
+        norm = 100.0;
+        break;
+      case 241:  // Total LBAs Written (×10⁻⁶)
+        raw = c.lbas_written;
+        norm = 100.0;
+        break;
+      case 242:  // Total LBAs Read (×10⁻⁶)
+        raw = c.lbas_read;
+        norm = 100.0;
+        break;
+      default:
+        break;
+    }
+    put(ai, false, norm);
+    put(ai, true, raw);
+  }
+}
+
+SimConfig make_config(const FleetProfile& profile) {
+  SimConfig cfg;
+  cfg.profile = &profile;
+  cfg.attrs = data::full_smart_schema();
+  cfg.out_slot_norm.assign(cfg.attrs.size(), -1);
+  cfg.out_slot_raw.assign(cfg.attrs.size(), -1);
+  int slot = 0;
+  for (std::size_t i = 0; i < cfg.attrs.size(); ++i) {
+    const auto& attr = cfg.attrs[i];
+    const bool norm_out =
+        profile.full_candidate_features || attr.select_norm;
+    const bool raw_out = profile.full_candidate_features || attr.select_raw;
+    if (norm_out) cfg.out_slot_norm[i] = slot++;
+    if (raw_out) cfg.out_slot_raw[i] = slot++;
+  }
+  cfg.n_features = static_cast<std::size_t>(slot);
+  return cfg;
+}
+
+data::DiskHistory simulate_disk(const SimConfig& cfg, const DiskPlan& plan,
+                                data::DiskId id, util::Rng& rng) {
+  const FleetProfile& p = *cfg.profile;
+  const DiskLatents lat = draw_latents(p, plan, rng);
+
+  data::DiskHistory disk;
+  disk.id = id;
+  disk.serial = cfg.profile->model_name.substr(0, 2) + "-" +
+                std::to_string(100000 + id);
+  disk.failed = plan.failed;
+  disk.first_day = std::max<Day>(0, plan.deploy_day);
+  disk.last_day = plan.failed ? plan.failure_day : p.duration_days - 1;
+
+  Counters counters;
+  disk.snapshots.reserve(
+      static_cast<std::size_t>(disk.last_day - disk.first_day + 1));
+  for (Day day = plan.deploy_day; day <= disk.last_day; ++day) {
+    step_day(p, lat, day, counters, rng);
+    if (day < disk.first_day) continue;  // pre-window warm-up
+    data::Snapshot snap;
+    snap.day = day;
+    emit_features(cfg, lat, day, counters, rng, snap.features);
+    disk.snapshots.push_back(std::move(snap));
+  }
+  return disk;
+}
+
+}  // namespace
+
+data::Dataset generate_fleet(const FleetProfile& profile, std::uint64_t seed) {
+  if (profile.n_good + profile.n_failed == 0 || profile.duration_days <= 0) {
+    throw std::invalid_argument("generate_fleet: empty profile");
+  }
+  const SimConfig cfg = make_config(profile);
+
+  data::Dataset dataset;
+  dataset.model_name = profile.model_name;
+  dataset.feature_names = profile.full_candidate_features
+                              ? data::candidate_feature_names()
+                              : data::selected_feature_names();
+  dataset.duration_days = profile.duration_days;
+
+  util::Rng root(seed);
+  const std::size_t total = profile.n_good + profile.n_failed;
+  dataset.disks.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    util::Rng disk_rng = root.split();
+    const bool failed = i >= profile.n_good;
+    const DiskPlan plan = draw_plan(profile, failed, disk_rng);
+    dataset.disks.push_back(
+        simulate_disk(cfg, plan, static_cast<data::DiskId>(i), disk_rng));
+  }
+  return dataset;
+}
+
+}  // namespace datagen

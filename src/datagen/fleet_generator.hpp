@@ -1,0 +1,35 @@
+// Synthetic SMART fleet simulator.
+//
+// Substitutes for the Backblaze field data (see DESIGN.md §2). Each disk is
+// simulated day-by-day from its deployment date: cumulative counters grow
+// with age and usage, error counters accumulate benign events whose rate
+// rises with age and deployment cohort (the drift that causes "model
+// aging"), and disks destined to fail develop attribute-specific degradation
+// ramps over a lognormal-length window before the failure day — except for a
+// configurable fraction of "silent" failures with no SMART signature, which
+// caps the achievable failure-detection rate exactly as the paper's
+// footnote 1 describes.
+#pragma once
+
+#include <cstdint>
+
+#include "data/types.hpp"
+#include "datagen/profile.hpp"
+
+namespace datagen {
+
+/// Generate a complete fleet observation. Deterministic given (profile,
+/// seed). Snapshot features follow data::selected_feature_names() order, or
+/// data::candidate_feature_names() when profile.full_candidate_features.
+data::Dataset generate_fleet(const FleetProfile& profile, std::uint64_t seed);
+
+/// Per-disk plan drawn before simulation; exposed for tests.
+struct DiskPlan {
+  data::Day deploy_day = 0;   ///< may be negative (deployed before day 0)
+  bool failed = false;
+  data::Day failure_day = -1;     ///< calendar day of failure; -1 for good disks
+  data::Day degradation_onset = -1;  ///< -1 = silent failure / good disk
+  bool weak_degrader = false;     ///< healthy disk with benign error growth
+};
+
+}  // namespace datagen

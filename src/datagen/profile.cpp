@@ -1,0 +1,60 @@
+#include "datagen/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace datagen {
+namespace {
+
+std::size_t scaled(std::size_t n, double scale) {
+  return std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(static_cast<double>(n) * scale)));
+}
+
+void check_scale(double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("fleet scale must be in (0, 1]");
+  }
+}
+
+}  // namespace
+
+FleetProfile sta_profile(double scale) {
+  check_scale(scale);
+  FleetProfile p;
+  p.model_name = "ST4000DM000";
+  p.capacity_tb = 4.0;
+  p.n_good = scaled(34535, scale);
+  p.n_failed = scaled(1996, scale);
+  p.duration_days = 39 * data::kDaysPerMonth;
+  p.silent_failure_fraction = 0.02;
+  p.weak_degrader_fraction = 0.015;
+  p.signature_strength = 1.0;
+  p.noise_level = 1.0;
+  p.cohort_drift = 1.0;
+  return p;
+}
+
+FleetProfile stb_profile(double scale) {
+  check_scale(scale);
+  FleetProfile p;
+  p.model_name = "ST3000DM001";
+  p.capacity_tb = 3.0;
+  p.n_good = scaled(2898, scale);
+  p.n_failed = scaled(1357, scale);
+  p.duration_days = 20 * data::kDaysPerMonth;
+  // Harder dataset: more signature-free failures, weaker and noisier
+  // signatures, heavier healthy-disk error accumulation.
+  p.silent_failure_fraction = 0.11;
+  p.weak_degrader_fraction = 0.05;
+  p.signature_strength = 0.55;
+  p.storm_fraction = 0.28;
+  p.noise_level = 1.6;
+  p.cohort_drift = 1.3;
+  p.benign_error_rate = 0.0006;
+  p.initial_fleet_fraction = 0.75;
+  return p;
+}
+
+}  // namespace datagen

@@ -1,0 +1,106 @@
+// Fleet profiles for the synthetic SMART fleet simulator.
+//
+// Two built-in profiles mirror the paper's Table 1:
+//   STA = ST4000DM000, 34,535 good + 1,996 failed disks, 39 months, "easy"
+//         (strong degradation signatures, few silent failures → FDR 93–99%);
+//   STB = ST3000DM001,  2,898 good + 1,357 failed disks, 20 months, "hard"
+//         (weaker signatures, more silent failures → FDR ~80–90%).
+// `scale` shrinks the population (class ratio and durations preserved) so
+// experiments run in minutes on one core; scale=1 is paper-scale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/types.hpp"
+
+namespace datagen {
+
+struct FleetProfile {
+  std::string model_name = "ST4000DM000";
+  double capacity_tb = 4.0;
+
+  std::size_t n_good = 1000;
+  std::size_t n_failed = 60;
+  data::Day duration_days = 39 * data::kDaysPerMonth;
+
+  /// Fraction of the fleet already running at day 0 (the rest is deployed
+  /// over the window, producing age-cohort structure).
+  double initial_fleet_fraction = 0.70;
+  /// Maximum age (days) an initially-deployed disk may have at day 0.
+  data::Day max_initial_age = 500;
+  /// Extra cohort-age bias for failed disks: failed disks are drawn from
+  /// older deployments with this weight (reproduces Power-On-Hours as a
+  /// mid-rank indicator, Table 2 rank 5).
+  double failed_age_bias = 0.6;
+
+  /// Fraction of failures with no SMART signature at all (paper footnote 1:
+  /// sudden mechanical/electronic failures). Caps achievable FDR.
+  double silent_failure_fraction = 0.02;
+  /// Among signatured failures, the fraction that end in a full
+  /// "reallocation storm" (terminal counts in the hundreds-to-thousands —
+  /// the only failures an un-rebalanced model dares to flag; governs the
+  /// λ = Max / λn = 1 collapse level in Tables 3–4). The rest develop weak
+  /// signatures: terminal counts of a few tens, above the healthy tail but
+  /// deep inside the negative pool's range.
+  double storm_fraction = 0.32;
+  /// Median terminal count of the dominant attribute for storm / weak
+  /// signatured failures (before signature_strength scaling).
+  double storm_median_count = 600.0;
+  double weak_median_count = 14.0;
+  /// Fraction of *healthy* disks that accumulate moderate benign error
+  /// counts; they overlap the early-degradation region and drive FAR.
+  double weak_degrader_fraction = 0.05;
+
+  /// Global multiplier on degradation ramp magnitudes.
+  double signature_strength = 1.0;
+  /// Global multiplier on measurement noise.
+  double noise_level = 1.0;
+
+  /// Degradation onset precedes failure by lognormal-distributed days,
+  /// clipped to [deg_window_min, deg_window_max].
+  data::Day deg_window_min = 5;
+  data::Day deg_window_max = 75;
+  double deg_window_log_mean = 3.4;   ///< ln-days, ≈ e^3.4 ≈ 30 days median
+  double deg_window_log_sigma = 0.7;
+
+  /// Calendar / cohort drift strength. Drives "model aging":
+  ///  * healthy benign-error accumulation intensifies with disk age and with
+  ///    later deployment cohorts (frozen models start false-alarming);
+  ///  * the failure signature mix rotates linearly over calendar time from
+  ///    reallocation-dominant to pending-sector-dominant (frozen models'
+  ///    FDR sags).
+  double cohort_drift = 1.0;
+  /// Healthy benign error events per disk-day at age 0 (grows with age).
+  double benign_error_rate = 0.0002;
+
+  /// Fleet-wide firmware/vendor recalibration drift: partway through the
+  /// window the rate-style normalized values (read error rate, seek error
+  /// rate, high-fly writes) shift down by `norm_shift_points` over a
+  /// `norm_shift_ramp_days` ramp starting at `norm_shift_start_frac` of the
+  /// window. Healthy disks then mimic the rate-norm drop of a weak failure
+  /// *to a model frozen on pre-shift data* — the second "model aging"
+  /// mechanism next to cumulative-attribute growth. Adaptive models simply
+  /// relearn the new baseline. Scaled by cohort_drift.
+  double norm_shift_points = 7.0;
+  double norm_shift_start_frac = 0.30;
+  data::Day norm_shift_ramp_days = 240;
+
+  /// Emit all 48 candidate features (24 attributes × norm/raw) instead of
+  /// only the 19 selected Table-2 features.
+  bool full_candidate_features = false;
+
+  /// Minimum days a failed disk must be observed before its failure.
+  data::Day min_observed_before_failure = 10;
+};
+
+/// Profile matching dataset "STA" of the paper, shrunk by `scale`
+/// (0 < scale ≤ 1; population is scaled, window kept at 39 months).
+FleetProfile sta_profile(double scale = 1.0);
+
+/// Profile matching dataset "STB": smaller fleet, 20-month window, much
+/// higher failed:good ratio, noisier signatures.
+FleetProfile stb_profile(double scale = 1.0);
+
+}  // namespace datagen

@@ -1,0 +1,370 @@
+#include "eval/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/labeling.hpp"
+#include "data/smart_schema.hpp"
+#include "datagen/fleet_generator.hpp"
+#include "eval/metrics.hpp"
+#include "eval/replay.hpp"
+#include "features/selection.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace eval {
+namespace {
+
+std::string fmt_param(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+SweepRow summarise(std::string label, const std::vector<double>& fdrs,
+                   const std::vector<double>& fars) {
+  SweepRow row;
+  row.label = std::move(label);
+  row.fdr_mean = util::mean(fdrs);
+  row.fdr_std = util::stddev(fdrs);
+  row.far_mean = util::mean(fars);
+  row.far_std = util::stddev(fars);
+  return row;
+}
+
+int clip_last_month(const datagen::FleetProfile& profile, int last_month) {
+  const int data_months =
+      static_cast<int>(profile.duration_days / data::kDaysPerMonth);
+  return std::min(last_month, data_months - 1);
+}
+
+}  // namespace
+
+std::vector<SweepRow> sweep_lambda_rf(const SweepConfig& config,
+                                      std::span<const double> lambdas,
+                                      util::ThreadPool* pool) {
+  const data::Dataset dataset =
+      datagen::generate_fleet(config.profile, config.seed);
+  std::vector<SweepRow> rows;
+  for (double lambda : lambdas) {
+    std::vector<double> fdrs;
+    std::vector<double> fars;
+    for (int rep = 0; rep < config.repeats; ++rep) {
+      util::Rng rng(config.seed + 1000003ULL * static_cast<std::uint64_t>(rep + 1));
+      const auto split = data::split_disks(dataset, config.train_fraction, rng);
+      const auto train = data::label_offline(dataset, split.train);
+
+      RfSetup setup;
+      setup.neg_sample_ratio = lambda;
+      setup.params = config.rf;
+      const OfflineModel model = train_rf(train, setup, rng(), pool);
+
+      const auto scores = score_disks(dataset, split.test, model.scorer(),
+                                      config.scoring);
+      const Metrics m = compute_metrics(scores, config.decision_tau);
+      fdrs.push_back(m.fdr);
+      fars.push_back(m.far);
+    }
+    rows.push_back(summarise(lambda <= 0 ? "Max" : fmt_param(lambda), fdrs,
+                             fars));
+    util::log_info("sweep_lambda_rf λ=", rows.back().label, " FDR=",
+                   rows.back().fdr_mean, " FAR=", rows.back().far_mean);
+  }
+  return rows;
+}
+
+std::vector<SweepRow> sweep_lambda_neg_orf(const SweepConfig& config,
+                                           std::span<const double> lambda_ns,
+                                           util::ThreadPool* pool) {
+  const data::Dataset dataset =
+      datagen::generate_fleet(config.profile, config.seed);
+  std::vector<SweepRow> rows;
+  for (double lambda_n : lambda_ns) {
+    std::vector<double> fdrs;
+    std::vector<double> fars;
+    for (int rep = 0; rep < config.repeats; ++rep) {
+      util::Rng rng(config.seed + 7000003ULL * static_cast<std::uint64_t>(rep + 1));
+      const auto split = data::split_disks(dataset, config.train_fraction, rng);
+      auto train = data::label_offline(dataset, split.train);
+      data::sort_by_time(train);
+
+      core::OnlineForestParams params = config.orf;
+      params.lambda_neg = lambda_n;
+      OrfReplay replay(dataset.feature_count(), params, rng());
+      replay.advance_all(train, pool);
+
+      const auto scores = score_disks(dataset, split.test, replay.scorer(),
+                                      config.scoring);
+      const Metrics m = compute_metrics(scores, config.decision_tau);
+      fdrs.push_back(m.fdr);
+      fars.push_back(m.far);
+    }
+    rows.push_back(summarise(fmt_param(lambda_n), fdrs, fars));
+    util::log_info("sweep_lambda_neg_orf λn=", rows.back().label, " FDR=",
+                   rows.back().fdr_mean, " FAR=", rows.back().far_mean);
+  }
+  return rows;
+}
+
+std::vector<ConvergencePoint> run_convergence(const ConvergenceConfig& config,
+                                              util::ThreadPool* pool) {
+  const data::Dataset dataset =
+      datagen::generate_fleet(config.profile, config.seed);
+  util::Rng rng(config.seed ^ 0xc0ffee);
+  const auto split = data::split_disks(dataset, config.train_fraction, rng);
+  auto train = data::label_offline(dataset, split.train);
+  data::sort_by_time(train);
+
+  // The SVM's (C, γ) grid is selected on a held-out slice of the *training*
+  // disks — selecting on the test set would hand the SVM an optimistic
+  // operating point the other models don't get.
+  std::vector<std::size_t> svm_fit_disks;
+  std::vector<std::size_t> svm_val_disks;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    (i % 5 == 0 ? svm_val_disks : svm_fit_disks).push_back(split.train[i]);
+  }
+  auto svm_train = data::label_offline(dataset, svm_fit_disks);
+  data::sort_by_time(svm_train);
+
+  OrfReplay replay(dataset.feature_count(), config.orf, rng());
+
+  const int last_month = clip_last_month(config.profile, config.last_month);
+  std::vector<ConvergencePoint> points;
+  for (int month = config.first_month; month <= last_month; ++month) {
+    const data::Day cutoff =
+        static_cast<data::Day>(month) * data::kDaysPerMonth;
+    ConvergencePoint point;
+    point.month = month;
+
+    // --- ORF: evolve to the cutoff, then snapshot-evaluate.
+    replay.advance_until(train, cutoff, pool);
+    {
+      const auto scores = score_disks(dataset, split.test, replay.scorer(),
+                                      config.scoring);
+      const double tau = calibrate_threshold(scores, config.far_target);
+      const Metrics m = compute_metrics(scores, tau);
+      point.orf_fdr = m.fdr;
+      point.orf_far = m.far;
+    }
+
+    // --- Offline models: retrain monthly on everything so far.
+    const auto window = data::samples_before_month(train, month);
+    point.train_positives = data::count_positive(window);
+    if (point.train_positives < 2) {
+      util::log_warn("run_convergence: month ", month,
+                     " has <2 positives; skipping offline models");
+      points.push_back(point);
+      continue;
+    }
+
+    {
+      const OfflineModel rf = train_rf(window, config.rf, rng(), pool);
+      const auto scores = score_disks(dataset, split.test, rf.scorer(),
+                                      config.scoring);
+      const double tau = calibrate_threshold(scores, config.far_target);
+      const Metrics m = compute_metrics(scores, tau);
+      point.rf_fdr = m.fdr;
+      point.rf_far = m.far;
+    }
+    if (config.include_dt) {
+      DtSetup dt_setup = config.dt;
+      dt_setup.far_cap_percent = config.far_target;
+      const OfflineModel dt = train_dt_grid(window, dt_setup, dataset,
+                                            split.test, config.scoring,
+                                            rng());
+      const auto scores = score_disks(dataset, split.test, dt.scorer(),
+                                      config.scoring);
+      const double tau = calibrate_threshold(scores, config.far_target);
+      const Metrics m = compute_metrics(scores, tau);
+      point.dt_fdr = m.fdr;
+      point.dt_far = m.far;
+    }
+    if (config.include_svm) {
+      SvmSetup svm_setup = config.svm;
+      svm_setup.far_cap_percent = config.far_target;
+      const auto svm_window = data::samples_before_month(svm_train, month);
+      const OfflineModel svm = train_svm_grid(svm_window, svm_setup, dataset,
+                                              svm_val_disks, config.scoring,
+                                              rng());
+      const auto scores = score_disks(dataset, split.test, svm.scorer(),
+                                      config.scoring);
+      const double tau = calibrate_threshold(scores, config.far_target);
+      const Metrics m = compute_metrics(scores, tau);
+      point.svm_fdr = m.fdr;
+      point.svm_far = m.far;
+    }
+    util::log_info("convergence month ", month, ": ORF=", point.orf_fdr,
+                   " RF=", point.rf_fdr, " DT=", point.dt_fdr,
+                   " SVM=", point.svm_fdr);
+    points.push_back(point);
+  }
+  return points;
+}
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kNoUpdate: return "No updating";
+    case Strategy::kReplacing: return "1-month replacing";
+    case Strategy::kAccumulation: return "Accumulation";
+    case Strategy::kOrf: return "ORF";
+  }
+  return "?";
+}
+
+std::vector<LongTermPoint> run_longterm(const LongTermConfig& config,
+                                        util::ThreadPool* pool) {
+  const data::Dataset dataset =
+      datagen::generate_fleet(config.profile, config.seed);
+  util::Rng rng(config.seed ^ 0xfadedbee);
+  const auto disks = data::all_disks(dataset);
+  auto labeled = data::label_offline(dataset, disks);
+  data::sort_by_time(labeled);
+
+  const int last_month = clip_last_month(config.profile, config.last_month);
+  const int init = config.initial_months;
+  if (init < 1 || init > last_month) {
+    throw std::invalid_argument("run_longterm: bad initial_months");
+  }
+
+  const auto month_window = [&](int month) {
+    ScoreOptions options = config.scoring;
+    options.from_day = static_cast<data::Day>(month) * data::kDaysPerMonth;
+    options.to_day = options.from_day + data::kDaysPerMonth;
+    return options;
+  };
+
+  // --- frozen model: trained once on the initial window, threshold
+  // calibrated once on that same window. Its FAR is then free to drift.
+  const auto initial_window = data::samples_before_month(labeled, init);
+  const OfflineModel frozen = train_rf(initial_window, config.rf, rng(), pool);
+  double frozen_tau;
+  {
+    ScoreOptions options = config.scoring;
+    options.from_day = 0;
+    options.to_day = static_cast<data::Day>(init) * data::kDaysPerMonth;
+    const auto scores = score_disks(dataset, disks, frozen.scorer(), options);
+    frozen_tau = calibrate_threshold(scores, config.far_target);
+  }
+
+  OrfReplay replay(dataset.feature_count(), config.orf, rng());
+
+  std::vector<LongTermPoint> points;
+  for (int month = init; month <= last_month; ++month) {
+    LongTermPoint point;
+    point.month = month;
+    const ScoreOptions eval_window = month_window(month);
+    const ScoreOptions calib_window = month_window(month - 1);
+
+    const auto evaluate = [&](Strategy strategy, const Scorer& scorer,
+                              double tau) {
+      const auto scores = score_disks(dataset, disks, scorer, eval_window);
+      const Metrics m = compute_metrics(scores, tau);
+      const auto s = static_cast<int>(strategy);
+      point.far[s] = m.far;
+      point.fdr[s] = m.fdr;
+      point.failed_disks = std::max(point.failed_disks, m.failed_disks);
+    };
+    // Updated models calibrate their thresholds on the previous month — the
+    // freshest data available before month `month` begins.
+    const auto calibrated_tau = [&](const Scorer& scorer) {
+      const auto scores = score_disks(dataset, disks, scorer, calib_window);
+      return calibrate_threshold(scores, config.far_target);
+    };
+
+    evaluate(Strategy::kNoUpdate, frozen.scorer(), frozen_tau);
+
+    {
+      const auto window = data::samples_in_month(labeled, month - 1);
+      if (data::count_positive(window) >= 2) {
+        const OfflineModel replacing =
+            train_rf(window, config.rf, rng(), pool);
+        const Scorer scorer = replacing.scorer();
+        evaluate(Strategy::kReplacing, scorer, calibrated_tau(scorer));
+      }
+    }
+    {
+      const auto window = data::samples_before_month(labeled, month);
+      const OfflineModel accumulation =
+          train_rf(window, config.rf, rng(), pool);
+      const Scorer scorer = accumulation.scorer();
+      evaluate(Strategy::kAccumulation, scorer, calibrated_tau(scorer));
+    }
+    {
+      const data::Day cutoff =
+          static_cast<data::Day>(month) * data::kDaysPerMonth;
+      replay.advance_until(labeled, cutoff, pool);
+      const Scorer scorer = replay.scorer();
+      evaluate(Strategy::kOrf, scorer, calibrated_tau(scorer));
+    }
+    util::log_info("longterm month ", month, ": FAR frozen=", point.far[0],
+                   " repl=", point.far[1], " accum=", point.far[2],
+                   " orf=", point.far[3]);
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<FeatureRankRow> run_feature_selection(
+    const FeatureSelectionConfig& config, util::ThreadPool* pool) {
+  datagen::FleetProfile profile = config.profile;
+  profile.full_candidate_features = true;
+  const data::Dataset dataset = datagen::generate_fleet(profile, config.seed);
+  const auto labeled = data::label_offline_all(dataset);
+
+  features::SelectionOptions options;
+  options.max_values_per_class = config.max_values_per_class;
+  const features::SelectionReport report =
+      features::select_features(labeled, dataset.feature_names, options);
+
+  // Gini-importance ranking of the surviving features, from an RF trained
+  // on the selected columns (this reproduces Table 2's "Rank" column).
+  std::vector<data::LabeledSample> samples(labeled.begin(), labeled.end());
+  // Project each sample onto the selected columns via a scratch dataset: we
+  // instead train on all candidates and read importances of selected ones —
+  // equivalent ordering, no projection copies.
+  RfSetup rf_setup;
+  rf_setup.params.n_trees = config.rf_trees;
+  const OfflineModel model = train_rf(samples, rf_setup, config.seed, pool);
+  const std::vector<double> importance = model.rf->feature_importance();
+
+  std::vector<FeatureRankRow> rows(dataset.feature_names.size());
+  const auto& schema = data::full_smart_schema();
+  for (std::size_t f = 0; f < rows.size(); ++f) {
+    FeatureRankRow& row = rows[f];
+    row.name = dataset.feature_names[f];
+    const auto& test = report.tests[f];
+    row.passed_rank_sum = test.passed_filter;
+    row.pruned_redundant = test.pruned_redundant;
+    row.rank_sum_z = test.rank_sum.z;
+    row.importance = importance[f];
+    int id = 0;
+    bool is_raw = false;
+    if (data::parse_feature_name(row.name, id, is_raw)) {
+      for (const auto& attr : schema) {
+        if (attr.id == id) {
+          row.paper_rank = attr.paper_rank;
+          break;
+        }
+      }
+    }
+  }
+  for (int sel : report.selected) {
+    rows[static_cast<std::size_t>(sel)].selected = true;
+  }
+  // Measured rank: selected features ordered by descending importance.
+  std::vector<std::size_t> order;
+  for (std::size_t f = 0; f < rows.size(); ++f) {
+    if (rows[f].selected) order.push_back(f);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rows[a].importance > rows[b].importance;
+  });
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    rows[order[r]].measured_rank = static_cast<int>(r + 1);
+  }
+  return rows;
+}
+
+}  // namespace eval

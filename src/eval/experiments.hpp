@@ -1,0 +1,134 @@
+// Experiment protocols reproducing the paper's tables and figures.
+// Each bench binary under bench/ is a thin printer around one of these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/online_forest.hpp"
+#include "data/types.hpp"
+#include "datagen/profile.hpp"
+#include "eval/offline_models.hpp"
+#include "eval/scoring.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eval {
+
+// ---- Tables 3 & 4: hyper-parameter sweeps ---------------------------------
+
+struct SweepConfig {
+  datagen::FleetProfile profile;
+  std::uint64_t seed = 42;
+  int repeats = 5;              ///< the paper repeats each setting 5×
+  double train_fraction = 0.7;  ///< 70/30 disk split (§4.4)
+  double decision_tau = 0.5;    ///< fixed threshold for the sweep tables
+  ScoreOptions scoring = {};
+  forest::RandomForestParams rf = {};   ///< T = 30 default
+  core::OnlineForestParams orf = {};
+};
+
+struct SweepRow {
+  std::string label;  ///< parameter value ("1".."5", "Max", "0.01", ...)
+  double fdr_mean = 0.0;
+  double fdr_std = 0.0;
+  double far_mean = 0.0;
+  double far_std = 0.0;
+};
+
+/// Table 3: offline RF FDR/FAR versus λ (≤ 0 entries mean "Max").
+std::vector<SweepRow> sweep_lambda_rf(const SweepConfig& config,
+                                      std::span<const double> lambdas,
+                                      util::ThreadPool* pool = nullptr);
+
+/// Table 4: ORF FDR/FAR versus λn, with λp fixed by config.orf.lambda_pos.
+std::vector<SweepRow> sweep_lambda_neg_orf(const SweepConfig& config,
+                                           std::span<const double> lambda_ns,
+                                           util::ThreadPool* pool = nullptr);
+
+// ---- Figures 2 & 3: monthly convergence, ORF vs offline models ------------
+
+struct ConvergenceConfig {
+  datagen::FleetProfile profile;
+  std::uint64_t seed = 42;
+  int first_month = 2;
+  int last_month = 21;          ///< inclusive; clipped to the data window
+  double train_fraction = 0.7;
+  double far_target = 1.0;      ///< all curves pinned to FAR ≈ 1.0% (§4.4)
+  ScoreOptions scoring = {};
+  core::OnlineForestParams orf = {};
+  RfSetup rf = {};
+  DtSetup dt = {};
+  SvmSetup svm = {};
+  bool include_dt = true;
+  bool include_svm = true;
+};
+
+struct ConvergencePoint {
+  int month = 0;
+  // FDR (%) of each model at the calibrated FAR≈target operating point;
+  // NaN when a model was not evaluated that month.
+  double orf_fdr = 0.0, rf_fdr = 0.0, dt_fdr = 0.0, svm_fdr = 0.0;
+  double orf_far = 0.0, rf_far = 0.0, dt_far = 0.0, svm_far = 0.0;
+  std::size_t train_positives = 0;  ///< labeled positives available so far
+};
+
+std::vector<ConvergencePoint> run_convergence(const ConvergenceConfig& config,
+                                              util::ThreadPool* pool = nullptr);
+
+// ---- Figures 4–7: long-term use, update strategies vs ORF -----------------
+
+enum class Strategy { kNoUpdate = 0, kReplacing, kAccumulation, kOrf };
+inline constexpr int kStrategyCount = 4;
+const char* strategy_name(Strategy s);
+
+struct LongTermConfig {
+  datagen::FleetProfile profile;
+  std::uint64_t seed = 42;
+  int initial_months = 6;  ///< offline models train on months [0, initial)
+  int last_month = 20;     ///< inclusive; clipped to the data window
+  double far_target = 1.0; ///< thresholds calibrated to this on trailing data
+  ScoreOptions scoring = {};
+  core::OnlineForestParams orf = {};
+  RfSetup rf = {};
+};
+
+struct LongTermPoint {
+  int month = 0;
+  double far[kStrategyCount] = {0, 0, 0, 0};
+  double fdr[kStrategyCount] = {0, 0, 0, 0};
+  std::size_t failed_disks = 0;  ///< failures occurring in this month
+};
+
+/// Per-month FDR/FAR of: frozen RF, 1-month-replacing RF, accumulation RF
+/// and the ORF (which needs no retraining). Follows §4.5: month i is tested
+/// with models built from data before month i; the whole fleet participates
+/// (no 70/30 split — the protocol evaluates deployment behaviour).
+std::vector<LongTermPoint> run_longterm(const LongTermConfig& config,
+                                        util::ThreadPool* pool = nullptr);
+
+// ---- Table 2: feature selection report -------------------------------------
+
+struct FeatureRankRow {
+  std::string name;
+  bool selected = false;
+  bool passed_rank_sum = false;
+  bool pruned_redundant = false;
+  double rank_sum_z = 0.0;
+  double importance = 0.0;  ///< RF Gini importance among selected features
+  int measured_rank = 0;    ///< 1 = strongest selected feature, 0 = dropped
+  int paper_rank = 0;       ///< Table-2 rank of the attribute (0 = not listed)
+};
+
+struct FeatureSelectionConfig {
+  datagen::FleetProfile profile;  ///< full_candidate_features is forced on
+  std::uint64_t seed = 42;
+  int rf_trees = 30;
+  std::size_t max_values_per_class = 20000;
+};
+
+std::vector<FeatureRankRow> run_feature_selection(
+    const FeatureSelectionConfig& config, util::ThreadPool* pool = nullptr);
+
+}  // namespace eval

@@ -1,0 +1,96 @@
+#include "eval/fleet_stream.hpp"
+
+#include <algorithm>
+
+namespace eval {
+
+FleetStreamResult stream_fleet(const data::Dataset& dataset,
+                               core::OnlineDiskPredictor& predictor,
+                               util::ThreadPool* pool) {
+  return stream_fleet_window(dataset, predictor, 0, dataset.duration_days,
+                             pool);
+}
+
+FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
+                                      core::OnlineDiskPredictor& predictor,
+                                      data::Day from_day, data::Day to_day,
+                                      util::ThreadPool* pool) {
+  FleetStreamResult result;
+  result.disks.resize(dataset.disks.size());
+
+  // Per-disk cursor into its snapshot vector, positioned at the first
+  // sample inside the window; snapshots are daily and ordered, so one pass
+  // over calendar days visits everything in order.
+  std::vector<std::size_t> cursor(dataset.disks.size(), 0);
+  for (std::size_t i = 0; i < dataset.disks.size(); ++i) {
+    result.disks[i].failed = dataset.disks[i].failed;
+    result.disks[i].last_day = dataset.disks[i].last_day;
+    const auto& snaps = dataset.disks[i].snapshots;
+    cursor[i] = static_cast<std::size_t>(
+        std::lower_bound(snaps.begin(), snaps.end(), from_day,
+                         [](const data::Snapshot& s, data::Day day) {
+                           return s.day < day;
+                         }) -
+        snaps.begin());
+  }
+
+  to_day = std::min(to_day, dataset.duration_days);
+  for (data::Day day = std::max<data::Day>(0, from_day); day < to_day;
+       ++day) {
+    for (std::size_t i = 0; i < dataset.disks.size(); ++i) {
+      const data::DiskHistory& disk = dataset.disks[i];
+      std::size_t& at = cursor[i];
+      if (at >= disk.snapshots.size()) continue;
+      if (disk.snapshots[at].day != day) continue;
+      const auto obs =
+          predictor.observe(disk.id, disk.snapshots[at].features, pool);
+      ++result.samples_processed;
+      if (obs.alarm) {
+        result.disks[i].alarm_days.push_back(day);
+        ++result.total_alarms;
+      }
+      ++at;
+      if (at == disk.snapshots.size()) {
+        // Disk leaves the fleet today: failure event or retirement.
+        if (disk.failed) {
+          predictor.disk_failed(disk.id, pool);
+        } else {
+          predictor.disk_retired(disk.id);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Metrics FleetStreamResult::metrics(data::Day horizon,
+                                   data::Day warmup_days) const {
+  Metrics m;
+  for (const auto& disk : disks) {
+    const data::Day window_start = disk.last_day - horizon + 1;
+    bool alarm_in_window = false;
+    bool alarm_outside = false;
+    for (data::Day day : disk.alarm_days) {
+      if (day < warmup_days) continue;
+      (day >= window_start ? alarm_in_window : alarm_outside) = true;
+    }
+    if (disk.failed) {
+      ++m.failed_disks;
+      if (alarm_in_window) ++m.true_positives;
+    } else {
+      ++m.good_disks;
+      if (alarm_outside) ++m.false_positives;
+    }
+  }
+  if (m.failed_disks > 0) {
+    m.fdr = 100.0 * static_cast<double>(m.true_positives) /
+            static_cast<double>(m.failed_disks);
+  }
+  if (m.good_disks > 0) {
+    m.far = 100.0 * static_cast<double>(m.false_positives) /
+            static_cast<double>(m.good_disks);
+  }
+  return m;
+}
+
+}  // namespace eval

@@ -1,0 +1,52 @@
+// Chronological deployment simulation: drives an OnlineDiskPredictor over a
+// fleet exactly as Algorithm 2 runs in production — day by day, every
+// operating disk reports a sample (observe → maybe alarm), failed disks emit
+// a failure event (disk_failed), survivors retire at the end of the window.
+//
+// This is the true end-to-end path (labels come from the LabelQueue, not
+// from offline labeling) and the basis of the fleet_monitor example.
+#pragma once
+
+#include <vector>
+
+#include "core/online_predictor.hpp"
+#include "data/types.hpp"
+#include "eval/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eval {
+
+struct FleetStreamResult {
+  struct DiskOutcome {
+    bool failed = false;
+    data::Day last_day = 0;
+    std::vector<data::Day> alarm_days;  ///< ascending
+  };
+  std::vector<DiskOutcome> disks;  ///< indexed like dataset.disks
+  std::uint64_t total_alarms = 0;
+  std::uint64_t samples_processed = 0;
+
+  /// Disk-level FDR/FAR from the alarm record (§4.3): a failed disk counts
+  /// as detected when an alarm fired within `horizon` days of failure; a
+  /// good disk counts as a false alarm when any alarm fired outside its
+  /// latest `horizon` days. Disks with alarms only during `warmup_days` are
+  /// not penalised (the model is still untrained there).
+  Metrics metrics(data::Day horizon = data::kHorizonDays,
+                  data::Day warmup_days = 0) const;
+};
+
+FleetStreamResult stream_fleet(const data::Dataset& dataset,
+                               core::OnlineDiskPredictor& predictor,
+                               util::ThreadPool* pool = nullptr);
+
+/// Stream only calendar days [from_day, to_day). Consecutive windows that
+/// partition [0, duration) are exactly equivalent to one full stream_fleet
+/// call — including failure/retirement events, which fire in the window
+/// containing the disk's final sample. Combine with the predictor's
+/// save()/restore() to test (or implement) process restarts mid-deployment.
+FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
+                                      core::OnlineDiskPredictor& predictor,
+                                      data::Day from_day, data::Day to_day,
+                                      util::ThreadPool* pool = nullptr);
+
+}  // namespace eval

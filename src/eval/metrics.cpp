@@ -1,0 +1,52 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eval {
+
+Metrics compute_metrics(std::span<const DiskScore> disks, double tau) {
+  Metrics m;
+  for (const auto& d : disks) {
+    if (d.samples == 0) continue;
+    if (d.failed) {
+      ++m.failed_disks;
+      if (d.max_score >= tau) ++m.true_positives;
+    } else {
+      ++m.good_disks;
+      if (d.max_score >= tau) ++m.false_positives;
+    }
+  }
+  if (m.failed_disks > 0) {
+    m.fdr = 100.0 * static_cast<double>(m.true_positives) /
+            static_cast<double>(m.failed_disks);
+  }
+  if (m.good_disks > 0) {
+    m.far = 100.0 * static_cast<double>(m.false_positives) /
+            static_cast<double>(m.good_disks);
+  }
+  return m;
+}
+
+double calibrate_threshold(std::span<const DiskScore> disks,
+                           double target_far_percent) {
+  std::vector<double> good_scores;
+  for (const auto& d : disks) {
+    if (!d.failed && d.samples > 0) good_scores.push_back(d.max_score);
+  }
+  if (good_scores.empty()) return -std::numeric_limits<double>::infinity();
+  std::sort(good_scores.begin(), good_scores.end());
+  const auto n = good_scores.size();
+  // Largest number of allowed false alarms within the budget.
+  const auto allowed = static_cast<std::size_t>(
+      std::floor(target_far_percent / 100.0 * static_cast<double>(n)));
+  if (allowed >= n) return -std::numeric_limits<double>::infinity();
+  // Threshold must exceed the (n - allowed)-th largest good score... i.e.
+  // sit just above good_scores[n - allowed - 1].
+  const double boundary = good_scores[n - allowed - 1];
+  // Nudge above the boundary score so exactly `allowed` disks trip.
+  const double eps = std::max(1e-12, std::abs(boundary) * 1e-9);
+  return boundary + eps;
+}
+
+}  // namespace eval

@@ -1,0 +1,47 @@
+// Disk-level evaluation metrics (paper §4.3).
+//
+// A *failed* disk is correctly detected when at least one sample from its
+// last week before failure is predicted positive; FDR is the fraction of
+// failed disks detected. A *good* disk is mis-classified when any sample
+// outside its latest week is predicted positive; FAR is the fraction of good
+// disks mis-classified. Both reduce to comparing a per-disk max score
+// against the decision threshold, so each disk is summarised once and every
+// threshold can then be evaluated in O(#disks).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace eval {
+
+struct DiskScore {
+  bool failed = false;
+  /// Failed disk: max model score over its last-week samples.
+  /// Good disk: max model score over its outside-latest-week samples.
+  double max_score = -std::numeric_limits<double>::infinity();
+  /// Number of samples that contributed (0 ⇒ the disk is skipped).
+  std::size_t samples = 0;
+};
+
+struct Metrics {
+  double fdr = 0.0;  ///< failure detection rate, in percent
+  double far = 0.0;  ///< false alarm rate, in percent
+  std::size_t failed_disks = 0;
+  std::size_t good_disks = 0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+};
+
+/// Evaluate FDR/FAR at decision threshold `tau` (score ≥ tau ⇒ positive).
+Metrics compute_metrics(std::span<const DiskScore> disks, double tau);
+
+/// Smallest threshold whose FAR does not exceed `target_far_percent` —
+/// i.e. the most sensitive (highest-FDR) operating point within the FAR
+/// budget, which is how the paper holds "FARs around 1.0%" across models.
+/// Returns +inf when even the largest score violates the budget (then no
+/// alarms fire at all).
+double calibrate_threshold(std::span<const DiskScore> disks,
+                           double target_far_percent);
+
+}  // namespace eval

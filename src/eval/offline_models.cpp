@@ -1,0 +1,131 @@
+#include "eval/offline_models.hpp"
+
+#include <stdexcept>
+
+#include "data/labeling.hpp"
+#include "eval/metrics.hpp"
+#include "forest/train_view.hpp"
+
+namespace eval {
+namespace {
+
+/// Fit the scaler on the full window (cheap streaming pass), then build a
+/// materialised view of only the λ-selected rows — the accumulation update
+/// strategy retrains on ever-growing windows, so the balanced subset is
+/// what must stay small, not the scan.
+forest::TrainView balanced_view(std::span<const data::LabeledSample> samples,
+                                double lambda,
+                                features::MinMaxScaler& scaler,
+                                util::Rng& rng) {
+  if (samples.empty()) {
+    throw std::invalid_argument("offline training: no samples");
+  }
+  scaler.fit(samples);
+  const auto subset = data::downsample_negatives(samples, lambda, rng);
+  return forest::make_view(subset, &scaler);
+}
+
+}  // namespace
+
+Scorer OfflineModel::scorer() const {
+  if (rf) return forest_scorer(*rf, scaler);
+  if (dt) return tree_scorer(*dt, scaler);
+  if (svm) return svm_scorer(*svm, scaler);
+  throw std::logic_error("OfflineModel::scorer: no model trained");
+}
+
+OfflineModel train_rf(std::span<const data::LabeledSample> samples,
+                      const RfSetup& setup, std::uint64_t seed,
+                      util::ThreadPool* pool) {
+  OfflineModel model;
+  util::Rng rng(seed);
+  const forest::TrainView view =
+      balanced_view(samples, setup.neg_sample_ratio, model.scaler, rng);
+  forest::RandomForestParams params = setup.params;
+  params.neg_sample_ratio = -1.0;  // λ already applied above
+  model.rf = std::make_unique<forest::RandomForest>();
+  model.rf->train(view, params, rng(), pool);
+  return model;
+}
+
+OfflineModel train_dt(std::span<const data::LabeledSample> samples,
+                      const DtSetup& setup, std::uint64_t seed) {
+  OfflineModel model;
+  util::Rng rng(seed);
+  const forest::TrainView view =
+      balanced_view(samples, setup.neg_sample_ratio, model.scaler, rng);
+  model.dt = std::make_unique<forest::DecisionTree>();
+  model.dt->train(view, setup.params, rng);
+  return model;
+}
+
+OfflineModel train_dt_grid(std::span<const data::LabeledSample> samples,
+                           const DtSetup& setup, const data::Dataset& dataset,
+                           std::span<const std::size_t> validation_disks,
+                           const ScoreOptions& score_options,
+                           std::uint64_t seed) {
+  OfflineModel best;
+  util::Rng rng(seed);
+  const forest::TrainView view =
+      balanced_view(samples, setup.neg_sample_ratio, best.scaler, rng);
+
+  double best_fdr = -1.0;
+  for (double weight : setup.weight_grid) {
+    forest::DecisionTreeParams params = setup.params;
+    params.positive_weight = weight;
+    auto candidate = std::make_unique<forest::DecisionTree>();
+    util::Rng tree_rng = rng.split();
+    candidate->train(view, params, tree_rng);
+
+    const Scorer scorer = tree_scorer(*candidate, best.scaler);
+    const auto scores =
+        score_disks(dataset, validation_disks, scorer, score_options);
+    const double tau = calibrate_threshold(scores, setup.far_cap_percent);
+    const Metrics m = compute_metrics(scores, tau);
+    if (m.fdr > best_fdr) {
+      best_fdr = m.fdr;
+      best.dt = std::move(candidate);
+    }
+  }
+  if (!best.dt) throw std::runtime_error("train_dt_grid: empty weight grid");
+  return best;
+}
+
+OfflineModel train_svm_grid(std::span<const data::LabeledSample> samples,
+                            const SvmSetup& setup,
+                            const data::Dataset& dataset,
+                            std::span<const std::size_t> validation_disks,
+                            const ScoreOptions& score_options,
+                            std::uint64_t seed) {
+  OfflineModel best;
+  util::Rng rng(seed);
+  const forest::TrainView balanced =
+      balanced_view(samples, setup.neg_sample_ratio, best.scaler, rng);
+
+  double best_fdr = -1.0;
+  for (double c : setup.c_grid) {
+    for (double gamma : setup.gamma_grid) {
+      svm::SvmParams params = setup.base;
+      params.C = c;
+      params.gamma = gamma;
+      auto candidate = std::make_unique<svm::SvmClassifier>();
+      candidate->train(balanced, params);
+
+      const Scorer scorer = svm_scorer(*candidate, best.scaler);
+      const auto scores =
+          score_disks(dataset, validation_disks, scorer, score_options);
+      const double tau = calibrate_threshold(scores, setup.far_cap_percent);
+      const Metrics m = compute_metrics(scores, tau);
+      if (m.fdr > best_fdr) {
+        best_fdr = m.fdr;
+        best.svm = std::move(candidate);
+      }
+    }
+  }
+  if (!best.svm) {
+    throw std::runtime_error("train_svm_grid: empty grid");
+  }
+  return best;
+}
+
+}  // namespace eval

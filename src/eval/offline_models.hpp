@@ -1,0 +1,96 @@
+// Training wrappers for the offline baselines, matching the paper's §4.4
+// setups: each bundles λ down-sampling (Eq. 4), min-max scaling fitted on
+// its own training window, and — for the SVM — the (C, γ) grid search.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/types.hpp"
+#include "eval/scoring.hpp"
+#include "features/scaler.hpp"
+#include "forest/decision_tree.hpp"
+#include "forest/random_forest.hpp"
+#include "svm/svc.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eval {
+
+/// A trained offline model + its scaler, scorable as a unit. Owns both so a
+/// Scorer built from it stays valid for the bundle's lifetime.
+struct OfflineModel {
+  features::MinMaxScaler scaler;
+  std::unique_ptr<forest::RandomForest> rf;
+  std::unique_ptr<forest::DecisionTree> dt;
+  std::unique_ptr<svm::SvmClassifier> svm;
+
+  Scorer scorer() const;
+};
+
+struct RfSetup {
+  /// λ (Eq. 4), applied to the labeled samples before the forest trains;
+  /// params.neg_sample_ratio is ignored (set internally to "keep all").
+  double neg_sample_ratio = 3.0;
+  forest::RandomForestParams params = {};
+};
+
+struct DtSetup {
+  /// λ applied before training (the paper balances every offline model).
+  double neg_sample_ratio = 3.0;
+  /// Candidate positive-class weights (§4.4: "Different Weights for positive
+  /// and negative classes can be used to adjust prediction performance").
+  /// train_dt_grid() trains one tree per weight and keeps the best FDR
+  /// within the FAR budget; plain train_dt() uses params.positive_weight.
+  std::vector<double> weight_grid = {0.5, 1.0, 2.0, 4.0, 8.0};
+  double far_cap_percent = 1.0;
+  forest::DecisionTreeParams params = {
+      .max_splits = 100,  // fitctree MaxNumSplits in the paper
+      .max_depth = 30,
+      .min_split_weight = 2.0,
+      .min_leaf_weight = 1.0,
+      .min_gain = 1e-9,
+      .positive_weight = 1.0,
+      .features_per_split = -1,
+  };
+};
+
+struct SvmSetup {
+  double neg_sample_ratio = 3.0;
+  /// Grid searched over C × γ; the combination with the best FDR at
+  /// FAR ≤ far_cap on the validation disks wins (paper §4.4).
+  std::vector<double> c_grid = {1.0, 10.0, 100.0};
+  std::vector<double> gamma_grid = {0.1, 1.0, 10.0};
+  double far_cap_percent = 1.0;
+  svm::SvmParams base = {};
+};
+
+/// Train an RF on the samples (λ handled inside RandomForest::train).
+OfflineModel train_rf(std::span<const data::LabeledSample> samples,
+                      const RfSetup& setup, std::uint64_t seed,
+                      util::ThreadPool* pool = nullptr);
+
+OfflineModel train_dt(std::span<const data::LabeledSample> samples,
+                      const DtSetup& setup, std::uint64_t seed);
+
+/// Weight-grid variant: one tree per candidate positive weight, the best
+/// FDR at FAR ≤ far_cap_percent (evaluated on `validation_disks`) wins.
+/// A single CART's score distribution is too coarse for pure threshold
+/// calibration, so the class weight is the paper's FDR/FAR knob here.
+OfflineModel train_dt_grid(std::span<const data::LabeledSample> samples,
+                           const DtSetup& setup, const data::Dataset& dataset,
+                           std::span<const std::size_t> validation_disks,
+                           const ScoreOptions& score_options,
+                           std::uint64_t seed);
+
+/// Trains one SVM per grid point and keeps the best by FDR s.t. FAR cap,
+/// evaluated on `validation_disks` of `dataset`.
+OfflineModel train_svm_grid(std::span<const data::LabeledSample> samples,
+                            const SvmSetup& setup,
+                            const data::Dataset& dataset,
+                            std::span<const std::size_t> validation_disks,
+                            const ScoreOptions& score_options,
+                            std::uint64_t seed);
+
+}  // namespace eval

@@ -1,0 +1,31 @@
+#include "eval/replay.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace eval {
+
+OrfReplay::OrfReplay(std::size_t feature_count,
+                     const core::OnlineForestParams& params,
+                     std::uint64_t seed)
+    : forest_(feature_count, params, seed), scaler_(feature_count) {}
+
+void OrfReplay::advance_until(std::span<const data::LabeledSample> samples,
+                              data::Day up_to_day, util::ThreadPool* pool) {
+  while (cursor_ < samples.size() && samples[cursor_].day < up_to_day) {
+    const auto& s = samples[cursor_];
+    if (cursor_ > 0 && samples[cursor_ - 1].day > s.day) {
+      throw std::invalid_argument("OrfReplay: samples not time-sorted");
+    }
+    scaler_.observe_transform(s.x(), scratch_);
+    forest_.update(scratch_, s.label, pool);
+    ++cursor_;
+  }
+}
+
+void OrfReplay::advance_all(std::span<const data::LabeledSample> samples,
+                            util::ThreadPool* pool) {
+  advance_until(samples, std::numeric_limits<data::Day>::max(), pool);
+}
+
+}  // namespace eval

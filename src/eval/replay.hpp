@@ -1,0 +1,48 @@
+// Streaming replay of a time-ordered labeled sample sequence into an
+// OnlineForest — the paper's simulation of sequential data arrival (§4.4:
+// "we simulate the sequential arrival of training data according to the
+// timestamp of labeled samples"). Keeps a cursor so monthly evaluation
+// snapshots advance incrementally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/online_forest.hpp"
+#include "data/types.hpp"
+#include "eval/scoring.hpp"
+#include "features/scaler.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eval {
+
+class OrfReplay {
+ public:
+  OrfReplay(std::size_t feature_count, const core::OnlineForestParams& params,
+            std::uint64_t seed);
+
+  /// Feed every not-yet-consumed sample with day < `up_to_day`. `samples`
+  /// must be the same time-sorted sequence on every call.
+  void advance_until(std::span<const data::LabeledSample> samples,
+                     data::Day up_to_day, util::ThreadPool* pool = nullptr);
+
+  /// Feed the whole remaining sequence.
+  void advance_all(std::span<const data::LabeledSample> samples,
+                   util::ThreadPool* pool = nullptr);
+
+  const core::OnlineForest& forest() const { return forest_; }
+  core::OnlineForest& forest() { return forest_; }
+  const features::OnlineMinMaxScaler& scaler() const { return scaler_; }
+  std::size_t consumed() const { return cursor_; }
+
+  Scorer scorer() const { return online_forest_scorer(forest_, scaler_); }
+
+ private:
+  core::OnlineForest forest_;
+  features::OnlineMinMaxScaler scaler_;
+  std::size_t cursor_ = 0;
+  std::vector<float> scratch_;
+};
+
+}  // namespace eval

@@ -1,0 +1,74 @@
+#include "eval/roc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace eval {
+
+std::vector<RocPoint> roc_curve(std::span<const DiskScore> disks) {
+  std::vector<double> good;
+  std::vector<double> failed;
+  for (const auto& d : disks) {
+    if (d.samples == 0) continue;
+    (d.failed ? failed : good).push_back(d.max_score);
+  }
+  std::vector<RocPoint> curve;
+  if (good.empty() && failed.empty()) return curve;
+
+  // Candidate thresholds: every distinct score (descending), plus +inf.
+  std::vector<double> thresholds;
+  thresholds.reserve(good.size() + failed.size() + 1);
+  thresholds.push_back(std::numeric_limits<double>::infinity());
+  thresholds.insert(thresholds.end(), good.begin(), good.end());
+  thresholds.insert(thresholds.end(), failed.begin(), failed.end());
+  std::sort(thresholds.begin(), thresholds.end(),
+            [](double a, double b) { return a > b; });
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::sort(good.begin(), good.end(), std::greater<>());
+  std::sort(failed.begin(), failed.end(), std::greater<>());
+  std::size_t gi = 0;
+  std::size_t fi = 0;
+  curve.reserve(thresholds.size());
+  for (double tau : thresholds) {
+    while (gi < good.size() && good[gi] >= tau) ++gi;
+    while (fi < failed.size() && failed[fi] >= tau) ++fi;
+    RocPoint point;
+    point.threshold = tau;
+    point.far = good.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(gi) /
+                          static_cast<double>(good.size());
+    point.fdr = failed.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(fi) /
+                          static_cast<double>(failed.size());
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double roc_auc(std::span<const DiskScore> disks) {
+  const auto curve = roc_curve(disks);
+  if (curve.size() < 2) return 0.5;
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = (curve[i].far - curve[i - 1].far) / 100.0;
+    const double avg_y = (curve[i].fdr + curve[i - 1].fdr) / 200.0;
+    auc += dx * avg_y;
+  }
+  return auc;
+}
+
+double best_fdr_at_far(std::span<const DiskScore> disks,
+                       double far_budget_percent) {
+  double best = 0.0;
+  for (const auto& point : roc_curve(disks)) {
+    if (point.far <= far_budget_percent) best = std::max(best, point.fdr);
+  }
+  return best;
+}
+
+}  // namespace eval

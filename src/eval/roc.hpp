@@ -1,0 +1,34 @@
+// ROC analysis over disk-level scores.
+//
+// The paper reports single operating points (FDR at a FAR budget); the ROC
+// view generalises that: every threshold's (FAR, FDR) pair, the area under
+// the curve, and the best achievable FDR within any FAR budget. Used by the
+// ablation bench to compare model variants independent of threshold choice.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "eval/metrics.hpp"
+
+namespace eval {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double far = 0.0;  ///< percent of good disks flagged
+  double fdr = 0.0;  ///< percent of failed disks detected
+};
+
+/// Full ROC curve: one point per distinct score, ordered by ascending FAR.
+/// Includes the (0, FDR₀) and (100, 100) endpoints.
+std::vector<RocPoint> roc_curve(std::span<const DiskScore> disks);
+
+/// Area under the ROC curve via trapezoids, in [0, 1]. 0.5 = chance.
+double roc_auc(std::span<const DiskScore> disks);
+
+/// Highest FDR achievable with FAR ≤ budget (percent) — the paper's
+/// operating-point selection as a pure function of the score set.
+double best_fdr_at_far(std::span<const DiskScore> disks,
+                       double far_budget_percent);
+
+}  // namespace eval

@@ -1,0 +1,130 @@
+#include "eval/scoring.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace eval {
+
+std::vector<DiskScore> score_disks(const data::Dataset& dataset,
+                                   std::span<const std::size_t> disk_indices,
+                                   const Scorer& scorer,
+                                   const ScoreOptions& options) {
+  // Deterministic, evenly-spaced good-disk subsample when capped.
+  std::vector<std::size_t> good;
+  std::vector<std::size_t> failed;
+  for (std::size_t idx : disk_indices) {
+    (dataset.disks[idx].failed ? failed : good).push_back(idx);
+  }
+  if (options.max_good_disks > 0 && good.size() > options.max_good_disks) {
+    std::vector<std::size_t> picked;
+    picked.reserve(options.max_good_disks);
+    const double step = static_cast<double>(good.size()) /
+                        static_cast<double>(options.max_good_disks);
+    for (std::size_t i = 0; i < options.max_good_disks; ++i) {
+      picked.push_back(good[static_cast<std::size_t>(
+          static_cast<double>(i) * step)]);
+    }
+    good = std::move(picked);
+  }
+
+  std::vector<DiskScore> out;
+  out.reserve(good.size() + failed.size());
+
+  for (std::size_t idx : failed) {
+    const data::DiskHistory& disk = dataset.disks[idx];
+    if (disk.last_day < options.from_day || disk.last_day >= options.to_day) {
+      continue;
+    }
+    DiskScore score;
+    score.failed = true;
+    const data::Day window_start = disk.last_day - options.horizon + 1;
+    for (const auto& snap : disk.snapshots) {
+      if (snap.day < window_start) continue;
+      score.max_score = std::max(score.max_score, scorer(snap.features));
+      ++score.samples;
+    }
+    out.push_back(score);
+  }
+
+  const int stride = std::max(1, options.good_sample_stride);
+  for (std::size_t idx : good) {
+    const data::DiskHistory& disk = dataset.disks[idx];
+    DiskScore score;
+    score.failed = false;
+    // Outside the latest week only (those samples are negative by §4.4).
+    const data::Day last_negative_day = disk.last_day - options.horizon;
+    int k = 0;
+    for (const auto& snap : disk.snapshots) {
+      if (snap.day > last_negative_day) break;
+      if (snap.day < options.from_day || snap.day >= options.to_day) continue;
+      if (k++ % stride != 0) continue;
+      score.max_score = std::max(score.max_score, scorer(snap.features));
+      ++score.samples;
+    }
+    if (score.samples > 0) out.push_back(score);
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared scratch per scorer closure; scorers are used single-threaded.
+struct Scratch {
+  std::vector<float> scaled;
+};
+
+}  // namespace
+
+Scorer forest_scorer(const forest::RandomForest& model,
+                     const features::MinMaxScaler& scaler) {
+  auto scratch = std::make_shared<Scratch>();
+  return [&model, &scaler, scratch](std::span<const float> x) {
+    scaler.transform(x, scratch->scaled);
+    return model.predict_proba(scratch->scaled);
+  };
+}
+
+Scorer tree_scorer(const forest::DecisionTree& model,
+                   const features::MinMaxScaler& scaler) {
+  auto scratch = std::make_shared<Scratch>();
+  return [&model, &scaler, scratch](std::span<const float> x) {
+    scaler.transform(x, scratch->scaled);
+    // Deterministic randomized tie-breaking: a single tree emits only a
+    // handful of distinct leaf probabilities, so disk-level max scores tie
+    // in large blocks and no threshold can realise an interior operating
+    // point (FAR budgets round to "flag all or none of the tie class").
+    // Perturbing by ≲1e-6, keyed on the sample itself, orders each tie
+    // class arbitrarily-but-reproducibly without crossing leaf boundaries.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const float v : scratch->scaled) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &v, sizeof bits);
+      h = (h ^ bits) * 0x100000001b3ULL;
+    }
+    const double jitter =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    return model.predict_proba(scratch->scaled) + 1e-6 * jitter;
+  };
+}
+
+Scorer svm_scorer(const svm::SvmClassifier& model,
+                  const features::MinMaxScaler& scaler) {
+  auto scratch = std::make_shared<Scratch>();
+  return [&model, &scaler, scratch](std::span<const float> x) {
+    scaler.transform(x, scratch->scaled);
+    return model.decision_value(scratch->scaled);
+  };
+}
+
+Scorer online_forest_scorer(const core::OnlineForest& model,
+                            const features::OnlineMinMaxScaler& scaler) {
+  auto scratch = std::make_shared<Scratch>();
+  return [&model, &scaler, scratch](std::span<const float> x) {
+    scaler.transform(x, scratch->scaled);
+    return model.predict_proba(scratch->scaled);
+  };
+}
+
+}  // namespace eval

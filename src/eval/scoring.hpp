@@ -1,0 +1,60 @@
+// Builders that reduce a fleet + a model to per-disk max scores (the input
+// of eval::compute_metrics), plus adapters turning each model into a
+// uniform `Scorer` closure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/online_forest.hpp"
+#include "data/types.hpp"
+#include "eval/metrics.hpp"
+#include "features/scaler.hpp"
+#include "forest/decision_tree.hpp"
+#include "forest/random_forest.hpp"
+#include "svm/svc.hpp"
+
+namespace eval {
+
+/// Maps a *raw* (unscaled) feature vector to a model score. Higher = more
+/// failure-like. Adapters below bundle the model's scaler into the closure.
+using Scorer = std::function<double(std::span<const float>)>;
+
+struct ScoreOptions {
+  data::Day horizon = data::kHorizonDays;
+  /// Only disks/samples inside [from_day, to_day) are evaluated:
+  ///  * a failed disk participates iff its failure day is inside the window
+  ///    (its last-week samples are scored even if they start just before);
+  ///  * a good disk's scored samples are restricted to the window.
+  data::Day from_day = 0;
+  data::Day to_day = std::numeric_limits<data::Day>::max();
+  /// Cap on good disks scored (0 = all): a deterministic evenly-spaced
+  /// subset keeps expensive models (SVM) affordable at large fleet scales.
+  std::size_t max_good_disks = 0;
+  /// Score every k-th good-disk sample (k = 1 scores all).
+  int good_sample_stride = 1;
+};
+
+/// Summarise each disk (indices into dataset.disks) under the scorer.
+std::vector<DiskScore> score_disks(const data::Dataset& dataset,
+                                   std::span<const std::size_t> disk_indices,
+                                   const Scorer& scorer,
+                                   const ScoreOptions& options = {});
+
+// ---- model adapters -------------------------------------------------------
+// The returned closures capture the model and scaler BY REFERENCE; both must
+// outlive the Scorer.
+
+Scorer forest_scorer(const forest::RandomForest& model,
+                     const features::MinMaxScaler& scaler);
+Scorer tree_scorer(const forest::DecisionTree& model,
+                   const features::MinMaxScaler& scaler);
+Scorer svm_scorer(const svm::SvmClassifier& model,
+                  const features::MinMaxScaler& scaler);
+Scorer online_forest_scorer(const core::OnlineForest& model,
+                            const features::OnlineMinMaxScaler& scaler);
+
+}  // namespace eval

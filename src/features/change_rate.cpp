@@ -1,0 +1,52 @@
+#include "features/change_rate.hpp"
+
+#include <stdexcept>
+
+namespace features {
+
+std::vector<std::string> change_rate_names(
+    const std::vector<std::string>& base_names,
+    const ChangeRateOptions& options) {
+  std::vector<std::string> names;
+  names.reserve(base_names.size());
+  for (const auto& base : base_names) {
+    names.push_back(base + "_rate" + std::to_string(options.window) + "d");
+  }
+  return names;
+}
+
+data::Dataset augment_with_change_rates(const data::Dataset& dataset,
+                                        const ChangeRateOptions& options) {
+  if (options.window <= 0) {
+    throw std::invalid_argument("change rate window must be positive");
+  }
+  data::Dataset out;
+  out.model_name = dataset.model_name;
+  out.duration_days = dataset.duration_days;
+  out.feature_names = dataset.feature_names;
+  const auto rate_names = change_rate_names(dataset.feature_names, options);
+  out.feature_names.insert(out.feature_names.end(), rate_names.begin(),
+                           rate_names.end());
+
+  const std::size_t d = dataset.feature_names.size();
+  const auto w = static_cast<std::size_t>(options.window);
+  out.disks.reserve(dataset.disks.size());
+  for (const auto& disk : dataset.disks) {
+    data::DiskHistory augmented = disk;
+    for (std::size_t i = 0; i < augmented.snapshots.size(); ++i) {
+      auto& snap = augmented.snapshots[i];
+      snap.features.resize(2 * d, options.warmup_value);
+      if (i >= w) {
+        const auto& past = disk.snapshots[i - w].features;
+        for (std::size_t f = 0; f < d; ++f) {
+          snap.features[d + f] =
+              (snap.features[f] - past[f]) / static_cast<float>(w);
+        }
+      }
+    }
+    out.disks.push_back(std::move(augmented));
+  }
+  return out;
+}
+
+}  // namespace features

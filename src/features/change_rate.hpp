@@ -1,0 +1,37 @@
+// Change-rate feature augmentation.
+//
+// Wang et al. (cited in the paper's §2) improved SVM-based prediction by
+// attaching the change rates of SMART attributes as extra explanatory
+// variables: cumulative counters are ambiguous ("is 20 reallocated sectors
+// old damage or an active failure?") while their recent slope is not. This
+// transform appends, for every base feature, its mean daily change over a
+// trailing window — an optional preprocessing step usable with every model
+// in this library (see the ablation bench).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/types.hpp"
+
+namespace features {
+
+struct ChangeRateOptions {
+  /// Trailing window in days over which the slope is computed.
+  data::Day window = 7;
+  /// Value used while a disk has fewer than `window` days of history.
+  float warmup_value = 0.0f;
+};
+
+/// Names of the appended columns: "<base>_rate<window>d".
+std::vector<std::string> change_rate_names(
+    const std::vector<std::string>& base_names,
+    const ChangeRateOptions& options = {});
+
+/// Returns a copy of the dataset with per-feature change-rate columns
+/// appended to every snapshot: rate_f(t) = (x_f(t) − x_f(t−w)) / w, using
+/// each disk's own history (gaps are impossible: snapshots are daily).
+data::Dataset augment_with_change_rates(const data::Dataset& dataset,
+                                        const ChangeRateOptions& options = {});
+
+}  // namespace features

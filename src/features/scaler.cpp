@@ -1,0 +1,102 @@
+#include "features/scaler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace features {
+namespace {
+
+void extend(std::vector<double>& mins, std::vector<double>& maxs,
+            std::span<const float> x) {
+  if (x.size() != mins.size()) {
+    throw std::invalid_argument("scaler: feature count mismatch");
+  }
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    mins[f] = std::min(mins[f], static_cast<double>(x[f]));
+    maxs[f] = std::max(maxs[f], static_cast<double>(x[f]));
+  }
+}
+
+void apply(const std::vector<double>& mins, const std::vector<double>& maxs,
+           std::span<const float> x, std::vector<float>& out) {
+  if (x.size() != mins.size()) {
+    throw std::invalid_argument("scaler: feature count mismatch");
+  }
+  out.resize(x.size());
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    const double range = maxs[f] - mins[f];
+    if (range <= 0.0) {
+      out[f] = 0.0f;
+      continue;
+    }
+    const double v = (static_cast<double>(x[f]) - mins[f]) / range;
+    out[f] = static_cast<float>(std::clamp(v, 0.0, 1.0));
+  }
+}
+
+void init_ranges(std::vector<double>& mins, std::vector<double>& maxs,
+                 std::size_t features) {
+  mins.assign(features, std::numeric_limits<double>::infinity());
+  maxs.assign(features, -std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+
+void MinMaxScaler::fit(std::span<const data::LabeledSample> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("MinMaxScaler::fit: no samples");
+  }
+  init_ranges(mins_, maxs_, samples.front().x().size());
+  for (const auto& s : samples) extend(mins_, maxs_, s.x());
+}
+
+void MinMaxScaler::fit_rows(std::span<const std::vector<float>> rows) {
+  if (rows.empty()) {
+    throw std::invalid_argument("MinMaxScaler::fit_rows: no rows");
+  }
+  init_ranges(mins_, maxs_, rows.front().size());
+  for (const auto& row : rows) extend(mins_, maxs_, row);
+}
+
+void MinMaxScaler::transform(std::span<const float> x,
+                             std::vector<float>& out) const {
+  if (!fitted()) throw std::logic_error("MinMaxScaler used before fit()");
+  apply(mins_, maxs_, x, out);
+}
+
+std::vector<float> MinMaxScaler::transform(std::span<const float> x) const {
+  std::vector<float> out;
+  transform(x, out);
+  return out;
+}
+
+void OnlineMinMaxScaler::reset(std::size_t features) {
+  init_ranges(mins_, maxs_, features);
+}
+
+void OnlineMinMaxScaler::observe(std::span<const float> x) {
+  extend(mins_, maxs_, x);
+}
+
+void OnlineMinMaxScaler::transform(std::span<const float> x,
+                                   std::vector<float>& out) const {
+  apply(mins_, maxs_, x, out);
+}
+
+void OnlineMinMaxScaler::observe_transform(std::span<const float> x,
+                                           std::vector<float>& out) {
+  observe(x);
+  transform(x, out);
+}
+
+void OnlineMinMaxScaler::set_ranges(std::vector<double> mins,
+                                    std::vector<double> maxs) {
+  if (mins.size() != maxs.size()) {
+    throw std::invalid_argument("set_ranges: size mismatch");
+  }
+  mins_ = std::move(mins);
+  maxs_ = std::move(maxs);
+}
+
+}  // namespace features

@@ -1,0 +1,72 @@
+// Feature scaling (paper Eq. 5): x' = (x - xmin) / (xmax - xmin).
+//
+// Two variants:
+//  * MinMaxScaler — offline: fitted on a training set, then applied with
+//    clamping (test-time values outside the fitted range map to 0 / 1);
+//  * OnlineMinMaxScaler — running min/max updated as samples stream in, for
+//    the online learning pipeline where the dataset range is unknowable in
+//    advance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/types.hpp"
+
+namespace features {
+
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  /// Fit per-feature min/max over the given samples.
+  void fit(std::span<const data::LabeledSample> samples);
+
+  /// Fit from raw feature rows.
+  void fit_rows(std::span<const std::vector<float>> rows);
+
+  bool fitted() const { return !mins_.empty(); }
+  std::size_t feature_count() const { return mins_.size(); }
+
+  /// Scale one vector into `out` (resized), clamping to [0, 1].
+  void transform(std::span<const float> x, std::vector<float>& out) const;
+  std::vector<float> transform(std::span<const float> x) const;
+
+  double min_of(std::size_t feature) const { return mins_.at(feature); }
+  double max_of(std::size_t feature) const { return maxs_.at(feature); }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+class OnlineMinMaxScaler {
+ public:
+  explicit OnlineMinMaxScaler(std::size_t features = 0) { reset(features); }
+
+  void reset(std::size_t features);
+  std::size_t feature_count() const { return mins_.size(); }
+
+  /// Extend the running ranges with a new observation.
+  void observe(std::span<const float> x);
+
+  /// Scale with the current ranges, clamping to [0, 1]. A feature whose
+  /// range is still degenerate scales to 0.
+  void transform(std::span<const float> x, std::vector<float>& out) const;
+
+  /// observe() + transform() in one call — the common streaming step.
+  void observe_transform(std::span<const float> x, std::vector<float>& out);
+
+  /// Running ranges, for checkpoint/restore. Unobserved features carry
+  /// ±infinity.
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+  void set_ranges(std::vector<double> mins, std::vector<double> maxs);
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace features

@@ -1,0 +1,120 @@
+#include "features/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace features {
+namespace {
+
+/// Deterministic uniform subsample: every k-th element.
+std::vector<std::size_t> strided_subset(std::size_t n, std::size_t cap) {
+  std::vector<std::size_t> idx;
+  if (cap == 0 || n <= cap) {
+    idx.resize(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    return idx;
+  }
+  idx.reserve(cap);
+  const double step = static_cast<double>(n) / static_cast<double>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    idx.push_back(static_cast<std::size_t>(static_cast<double>(i) * step));
+  }
+  return idx;
+}
+
+}  // namespace
+
+SelectionReport select_features(std::span<const data::LabeledSample> samples,
+                                std::span<const std::string> feature_names,
+                                const SelectionOptions& options) {
+  if (samples.empty()) {
+    throw std::invalid_argument("select_features: no samples");
+  }
+  const std::size_t d = feature_names.size();
+  if (samples.front().x().size() != d) {
+    throw std::invalid_argument(
+        "select_features: feature_names does not match sample width");
+  }
+
+  // Split sample indices by class, subsample each class uniformly.
+  std::vector<std::size_t> pos_rows;
+  std::vector<std::size_t> neg_rows;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (samples[i].label == 1 ? pos_rows : neg_rows).push_back(i);
+  }
+  if (pos_rows.empty() || neg_rows.empty()) {
+    throw std::invalid_argument("select_features: need both classes");
+  }
+  const auto pos_pick = strided_subset(pos_rows.size(),
+                                       options.max_values_per_class);
+  const auto neg_pick = strided_subset(neg_rows.size(),
+                                       options.max_values_per_class);
+
+  SelectionReport report;
+  report.tests.resize(d);
+
+  std::vector<double> pos_values(pos_pick.size());
+  std::vector<double> neg_values(neg_pick.size());
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t i = 0; i < pos_pick.size(); ++i) {
+      pos_values[i] = samples[pos_rows[pos_pick[i]]].x()[f];
+    }
+    for (std::size_t i = 0; i < neg_pick.size(); ++i) {
+      neg_values[i] = samples[neg_rows[neg_pick[i]]].x()[f];
+    }
+    auto& test = report.tests[f];
+    test.feature = static_cast<int>(f);
+    test.name = feature_names[f];
+    test.rank_sum = wilcoxon_rank_sum(pos_values, neg_values);
+    test.passed_filter = test.rank_sum.p_value < options.alpha;
+  }
+
+  // Stage 2: redundancy pruning, strongest |z| first.
+  std::vector<std::size_t> survivors;
+  for (std::size_t f = 0; f < d; ++f) {
+    if (report.tests[f].passed_filter) survivors.push_back(f);
+  }
+  std::sort(survivors.begin(), survivors.end(),
+            [&](std::size_t a, std::size_t b) {
+              return std::abs(report.tests[a].rank_sum.z) >
+                     std::abs(report.tests[b].rank_sum.z);
+            });
+
+  // Correlations are computed on a merged subsample of both classes.
+  std::vector<std::size_t> corr_rows;
+  corr_rows.reserve(pos_pick.size() + neg_pick.size());
+  for (std::size_t i : pos_pick) corr_rows.push_back(pos_rows[i]);
+  for (std::size_t i : neg_pick) corr_rows.push_back(neg_rows[i]);
+
+  std::vector<std::vector<double>> kept_columns;
+  std::vector<std::size_t> kept_features;
+  std::vector<double> column(corr_rows.size());
+  for (std::size_t f : survivors) {
+    for (std::size_t i = 0; i < corr_rows.size(); ++i) {
+      column[i] = samples[corr_rows[i]].x()[f];
+    }
+    bool redundant = false;
+    for (const auto& kept : kept_columns) {
+      if (std::abs(util::pearson(column, kept)) >=
+          options.redundancy_threshold) {
+        redundant = true;
+        break;
+      }
+    }
+    if (redundant) {
+      report.tests[f].pruned_redundant = true;
+    } else {
+      kept_columns.push_back(column);
+      kept_features.push_back(f);
+    }
+  }
+
+  std::sort(kept_features.begin(), kept_features.end());
+  report.selected.assign(kept_features.begin(), kept_features.end());
+  return report;
+}
+
+}  // namespace features

@@ -1,0 +1,75 @@
+#include "features/wilcoxon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace features {
+
+double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+RankSumResult wilcoxon_rank_sum(std::span<const double> xs,
+                                std::span<const double> ys) {
+  if (xs.empty() || ys.empty()) {
+    throw std::invalid_argument("wilcoxon_rank_sum: empty sample");
+  }
+  const std::size_t n1 = xs.size();
+  const std::size_t n2 = ys.size();
+  const std::size_t n = n1 + n2;
+
+  // Pool, remembering group membership; assign mid-ranks to ties.
+  std::vector<std::pair<double, int>> pooled;
+  pooled.reserve(n);
+  for (double v : xs) pooled.emplace_back(v, 0);
+  for (double v : ys) pooled.emplace_back(v, 1);
+  std::sort(pooled.begin(), pooled.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  double rank_sum_x = 0.0;
+  double tie_term = 0.0;  // Σ (t³ - t) over tie groups
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && pooled[j + 1].first == pooled[i].first) ++j;
+    const double tie_size = static_cast<double>(j - i + 1);
+    // Mid-rank of positions i..j (1-based ranks).
+    const double mid_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (pooled[k].second == 0) rank_sum_x += mid_rank;
+    }
+    if (tie_size > 1.0) tie_term += tie_size * tie_size * tie_size - tie_size;
+    i = j + 1;
+  }
+
+  RankSumResult result;
+  const double dn1 = static_cast<double>(n1);
+  const double dn2 = static_cast<double>(n2);
+  const double dn = static_cast<double>(n);
+  result.u = rank_sum_x - dn1 * (dn1 + 1.0) / 2.0;
+  const double mean_u = dn1 * dn2 / 2.0;
+  const double var_u =
+      dn1 * dn2 / 12.0 * ((dn + 1.0) - tie_term / (dn * (dn - 1.0)));
+  if (var_u <= 0.0) {
+    // All values tied: no separation at all.
+    result.z = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  double diff = result.u - mean_u;
+  if (diff > 0.5) {
+    diff -= 0.5;
+  } else if (diff < -0.5) {
+    diff += 0.5;
+  } else {
+    diff = 0.0;
+  }
+  result.z = diff / std::sqrt(var_u);
+  result.p_value = 2.0 * normal_sf(std::abs(result.z));
+  result.p_value = std::min(result.p_value, 1.0);
+  return result;
+}
+
+}  // namespace features

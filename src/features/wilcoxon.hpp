@@ -1,0 +1,28 @@
+// Wilcoxon rank-sum (Mann–Whitney) test with tie correction.
+//
+// The paper uses this test twice: Hughes et al.'s predictor (related work)
+// and, in §4.2, as the first feature-selection stage — a feature is kept only
+// if its positive- and negative-class sample distributions differ
+// significantly.
+#pragma once
+
+#include <span>
+
+namespace features {
+
+struct RankSumResult {
+  double u = 0.0;        ///< Mann–Whitney U statistic of the first sample
+  double z = 0.0;        ///< normal-approximation z score (tie-corrected)
+  double p_value = 1.0;  ///< two-sided p-value
+};
+
+/// Computes the rank-sum test between two samples. Requires both samples to
+/// be non-empty; the normal approximation is accurate for n ≳ 10 per side
+/// (always the case for per-feature SMART columns).
+RankSumResult wilcoxon_rank_sum(std::span<const double> xs,
+                                std::span<const double> ys);
+
+/// Standard normal survival function Q(z) = P(Z > z).
+double normal_sf(double z);
+
+}  // namespace features

@@ -1,0 +1,277 @@
+#include "forest/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace forest {
+
+double gini_impurity(double weight_pos, double weight_total) {
+  if (weight_total <= 0.0) return 0.0;
+  const double p1 = weight_pos / weight_total;
+  const double p0 = 1.0 - p1;
+  return p0 * (1.0 - p0) + p1 * (1.0 - p1);
+}
+
+namespace {
+
+struct BestSplit {
+  int feature = -1;
+  float threshold = 0.0f;
+  double gain = 0.0;  ///< weighted impurity decrease
+  double left_weight = 0.0;
+  double left_pos = 0.0;
+};
+
+struct Frontier {
+  std::vector<std::size_t> rows;  ///< indices into the TrainView
+  int node = -1;                  ///< index into nodes_
+  int depth = 0;
+  double weight = 0.0;
+  double weight_pos = 0.0;
+  BestSplit best;
+};
+
+/// Exhaustive best split of `rows` on one feature: sort by value, scan all
+/// boundaries between distinct values.
+void scan_feature(const TrainView& view, const std::vector<std::size_t>& rows,
+                  int feature, double pos_weight, double total_weight,
+                  double total_pos, double min_leaf_weight,
+                  BestSplit& best,
+                  std::vector<std::pair<float, std::size_t>>& scratch) {
+  scratch.clear();
+  for (std::size_t r : rows) {
+    scratch.emplace_back(view.x[r][static_cast<std::size_t>(feature)], r);
+  }
+  std::sort(scratch.begin(), scratch.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const double parent_impurity = gini_impurity(total_pos, total_weight);
+  double left_weight = 0.0;
+  double left_pos = 0.0;
+  for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
+    const std::size_t r = scratch[i].second;
+    const double w = (view.y[r] == 1 ? pos_weight : 1.0) * view.weight(r);
+    left_weight += w;
+    if (view.y[r] == 1) left_pos += w;
+    if (scratch[i].first == scratch[i + 1].first) continue;  // no boundary
+    const double right_weight = total_weight - left_weight;
+    if (left_weight < min_leaf_weight || right_weight < min_leaf_weight) {
+      continue;
+    }
+    const double right_pos = total_pos - left_pos;
+    // Weighted impurity decrease (Eq. 2 scaled by parent weight so gains
+    // are comparable across frontier nodes for best-first growth).
+    const double gain =
+        total_weight * parent_impurity -
+        left_weight * gini_impurity(left_pos, left_weight) -
+        right_weight * gini_impurity(right_pos, right_weight);
+    if (gain > best.gain) {
+      best.feature = feature;
+      // Midpoint threshold between the two distinct values.
+      best.threshold =
+          scratch[i].first +
+          (scratch[i + 1].first - scratch[i].first) * 0.5f;
+      best.gain = gain;
+      best.left_weight = left_weight;
+      best.left_pos = left_pos;
+    }
+  }
+}
+
+BestSplit find_best_split(const TrainView& view,
+                          const std::vector<std::size_t>& rows,
+                          const DecisionTreeParams& params, double weight,
+                          double weight_pos, util::Rng& rng,
+                          std::vector<std::pair<float, std::size_t>>& scratch) {
+  BestSplit best;
+  best.gain = params.min_gain;
+  const int d = static_cast<int>(view.feature_count());
+  if (params.features_per_split <= 0 || params.features_per_split >= d) {
+    for (int f = 0; f < d; ++f) {
+      scan_feature(view, rows, f, params.positive_weight, weight, weight_pos,
+                   params.min_leaf_weight, best, scratch);
+    }
+  } else {
+    // Sample a subset of features without replacement (partial
+    // Fisher–Yates over an index vector).
+    std::vector<int> feats(static_cast<std::size_t>(d));
+    std::iota(feats.begin(), feats.end(), 0);
+    for (int k = 0; k < params.features_per_split; ++k) {
+      const auto j = static_cast<std::size_t>(
+          rng.range(k, d - 1));
+      std::swap(feats[static_cast<std::size_t>(k)], feats[j]);
+      scan_feature(view, rows, feats[static_cast<std::size_t>(k)],
+                   params.positive_weight, weight, weight_pos,
+                   params.min_leaf_weight, best, scratch);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void DecisionTree::train(const TrainView& view,
+                         std::span<const std::size_t> indices,
+                         const DecisionTreeParams& params, util::Rng& rng) {
+  if (indices.empty()) {
+    throw std::invalid_argument("DecisionTree::train: empty training set");
+  }
+  nodes_.clear();
+  importance_.assign(view.feature_count(), 0.0);
+  std::vector<std::pair<float, std::size_t>> scratch;
+
+  const auto node_weights = [&](const std::vector<std::size_t>& rows,
+                                double& weight, double& weight_pos) {
+    weight = 0.0;
+    weight_pos = 0.0;
+    for (std::size_t r : rows) {
+      const double w =
+          (view.y[r] == 1 ? params.positive_weight : 1.0) * view.weight(r);
+      weight += w;
+      if (view.y[r] == 1) weight_pos += w;
+    }
+  };
+
+  // Best-first growth (fitctree-style): the frontier is a max-heap on the
+  // precomputed best gain; MaxNumSplits pops at most that many splits.
+  const auto cmp = [](const Frontier& a, const Frontier& b) {
+    return a.best.gain < b.best.gain;
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, decltype(cmp)> frontier(
+      cmp);
+
+  // Laplace-smoothed leaf probability: a 3-sample pure leaf must not claim
+  // the same certainty as a 500-sample pure leaf, or disk-level max-score
+  // calibration loses all granularity.
+  const auto leaf_prob = [](double weight_pos, double weight) {
+    return static_cast<float>((weight_pos + 1.0) / (weight + 2.0));
+  };
+
+  Frontier root;
+  root.rows.assign(indices.begin(), indices.end());
+  node_weights(root.rows, root.weight, root.weight_pos);
+  nodes_.push_back(Node{});
+  root.node = 0;
+  nodes_[0].prob = leaf_prob(root.weight_pos, root.weight);
+
+  const bool splittable =
+      root.weight >= params.min_split_weight && params.max_depth > 0;
+  if (splittable) {
+    root.best = find_best_split(view, root.rows, params, root.weight,
+                                root.weight_pos, rng, scratch);
+    if (root.best.feature >= 0) frontier.push(std::move(root));
+  }
+
+  int splits_done = 0;
+  while (!frontier.empty() &&
+         (params.max_splits <= 0 || splits_done < params.max_splits)) {
+    Frontier cur = std::move(const_cast<Frontier&>(frontier.top()));
+    frontier.pop();
+    ++splits_done;
+
+    importance_[static_cast<std::size_t>(cur.best.feature)] += cur.best.gain;
+
+    Frontier left;
+    Frontier right;
+    left.depth = right.depth = cur.depth + 1;
+    for (std::size_t r : cur.rows) {
+      const float v = view.x[r][static_cast<std::size_t>(cur.best.feature)];
+      (v <= cur.best.threshold ? left.rows : right.rows).push_back(r);
+    }
+    left.weight = cur.best.left_weight;
+    left.weight_pos = cur.best.left_pos;
+    right.weight = cur.weight - left.weight;
+    right.weight_pos = cur.weight_pos - left.weight_pos;
+
+    for (Frontier* child : {&left, &right}) {
+      child->node = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      nodes_.back().prob = leaf_prob(child->weight_pos, child->weight);
+      const bool can_split = child->weight >= params.min_split_weight &&
+                             child->depth < params.max_depth &&
+                             child->weight_pos > 0.0 &&
+                             child->weight_pos < child->weight;
+      if (can_split) {
+        child->best = find_best_split(view, child->rows, params,
+                                      child->weight, child->weight_pos, rng,
+                                      scratch);
+      }
+    }
+    // Re-fetch by index: the child push_backs above may have reallocated.
+    Node& node = nodes_[static_cast<std::size_t>(cur.node)];
+    node.feature = cur.best.feature;
+    node.threshold = cur.best.threshold;
+    node.left = static_cast<std::int32_t>(left.node);
+    node.right = static_cast<std::int32_t>(right.node);
+    if (left.best.feature >= 0) frontier.push(std::move(left));
+    if (right.best.feature >= 0) frontier.push(std::move(right));
+  }
+}
+
+void DecisionTree::train(const TrainView& view,
+                         const DecisionTreeParams& params, util::Rng& rng) {
+  std::vector<std::size_t> indices(view.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  train(view, indices, params, rng);
+}
+
+double DecisionTree::predict_proba(std::span<const float> x) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree used before train()");
+  }
+  std::size_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.feature < 0) return n.prob;
+    node = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                              : n.right);
+  }
+}
+
+std::vector<DecisionTree::FlatNode> DecisionTree::export_nodes() const {
+  return nodes_;
+}
+
+void DecisionTree::import_nodes(const std::vector<FlatNode>& nodes,
+                                std::vector<double> importance) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("import_nodes: empty tree");
+  }
+  const auto n = static_cast<std::int32_t>(nodes.size());
+  for (const auto& node : nodes) {
+    if (node.feature >= 0 &&
+        (node.left < 0 || node.left >= n || node.right < 0 ||
+         node.right >= n)) {
+      throw std::invalid_argument("import_nodes: bad child index");
+    }
+  }
+  nodes_ = nodes;
+  importance_ = std::move(importance);
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.feature < 0; }));
+}
+
+int DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the explicit structure.
+  std::vector<int> depth_of(nodes_.size(), 0);
+  int max_depth = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.feature < 0) continue;
+    depth_of[static_cast<std::size_t>(n.left)] = depth_of[i] + 1;
+    depth_of[static_cast<std::size_t>(n.right)] = depth_of[i] + 1;
+    max_depth = std::max(max_depth, depth_of[i] + 1);
+  }
+  return max_depth;
+}
+
+}  // namespace forest

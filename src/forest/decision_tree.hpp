@@ -1,0 +1,91 @@
+// CART binary classification tree.
+//
+// Matches the baseline the paper configures through MATLAB's fitctree:
+// Gini's diversity index split criterion, a MaxNumSplits capacity cap
+// (implemented, like fitctree, by best-first growth: the split with the
+// highest impurity decrease anywhere in the frontier is applied next), and
+// per-class weights to trade FDR against FAR. Also serves as the base
+// learner for the offline RandomForest, which enables per-split random
+// feature subsetting through `features_per_split`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "forest/train_view.hpp"
+#include "util/rng.hpp"
+
+namespace forest {
+
+struct DecisionTreeParams {
+  /// Maximum number of internal splits (fitctree MaxNumSplits). ≤0 = no cap.
+  int max_splits = 100;
+  int max_depth = 30;
+  /// Minimum weighted sample count to attempt a split / to keep in a leaf.
+  double min_split_weight = 2.0;
+  double min_leaf_weight = 1.0;
+  /// Minimum weighted impurity decrease for a split to be kept.
+  double min_gain = 1e-9;
+  /// Class weight applied to positive samples (negatives weigh 1).
+  double positive_weight = 1.0;
+  /// Number of random candidate features per split; ≤0 = consider all
+  /// features (plain CART). RandomForest sets this to √d.
+  int features_per_split = -1;
+};
+
+class DecisionTree {
+ public:
+  /// Train on (a subset of) the view. `indices` selects training rows and
+  /// may contain repeats (bootstrap). `rng` is only consumed when
+  /// features_per_split > 0.
+  void train(const TrainView& view, std::span<const std::size_t> indices,
+             const DecisionTreeParams& params, util::Rng& rng);
+
+  /// Convenience: train on every row of the view.
+  void train(const TrainView& view, const DecisionTreeParams& params,
+             util::Rng& rng);
+
+  bool trained() const { return !nodes_.empty(); }
+
+  /// P(y = 1 | x): the weighted positive fraction in the reached leaf.
+  double predict_proba(std::span<const float> x) const;
+  int predict(std::span<const float> x, double threshold = 0.5) const {
+    return predict_proba(x) >= threshold ? 1 : 0;
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  int depth() const;
+
+  /// Total weighted Gini decrease contributed by splits on each feature
+  /// (unnormalised "mean decrease in impurity").
+  const std::vector<double>& feature_importance() const { return importance_; }
+
+  /// Flat structural view, for serialization and for freezing online trees
+  /// into inference-only form.
+  struct FlatNode {
+    int feature = -1;        ///< -1 = leaf
+    float threshold = 0.0f;  ///< go left when x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    float prob = 0.0f;       ///< leaf positive probability
+  };
+
+  std::vector<FlatNode> export_nodes() const;
+
+  /// Rebuild a tree from exported structure. Validates child indices.
+  void import_nodes(const std::vector<FlatNode>& nodes,
+                    std::vector<double> importance);
+
+ private:
+  using Node = FlatNode;
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+/// Weighted two-class Gini impurity: p0(1-p0) + p1(1-p1) (paper Eq. 1).
+double gini_impurity(double weight_pos, double weight_total);
+
+}  // namespace forest

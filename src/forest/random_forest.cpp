@@ -1,0 +1,123 @@
+#include "forest/random_forest.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace forest {
+
+void RandomForest::train(const TrainView& view,
+                         const RandomForestParams& params, std::uint64_t seed,
+                         util::ThreadPool* pool) {
+  if (view.size() == 0) {
+    throw std::invalid_argument("RandomForest::train: empty training set");
+  }
+  if (params.n_trees <= 0) {
+    throw std::invalid_argument("RandomForest::train: n_trees must be > 0");
+  }
+  feature_count_ = view.feature_count();
+
+  util::Rng root(seed);
+  // λ down-sampling once per forest (the paper fixes Dp + Dnc, then the
+  // forest bootstraps within it).
+  const std::vector<std::size_t> pool_rows =
+      downsample_negatives(view, params.neg_sample_ratio, root);
+  if (pool_rows.empty()) {
+    throw std::invalid_argument("RandomForest::train: no rows after λ");
+  }
+
+  DecisionTreeParams tree_params = params.tree;
+  if (params.features_per_split > 0) {
+    tree_params.features_per_split = params.features_per_split;
+  } else if (tree_params.features_per_split <= 0) {
+    tree_params.features_per_split = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(feature_count_))));
+  }
+
+  // Pre-derive one RNG per tree so parallel training is deterministic.
+  const auto n_trees = static_cast<std::size_t>(params.n_trees);
+  std::vector<util::Rng> tree_rngs;
+  tree_rngs.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) tree_rngs.push_back(root.split());
+
+  trees_.assign(n_trees, DecisionTree{});
+  const auto train_one = [&](std::size_t t) {
+    util::Rng& rng = tree_rngs[t];
+    std::vector<std::size_t> rows;
+    if (params.bootstrap) {
+      std::size_t draws = pool_rows.size();
+      if (params.max_bootstrap_samples > 0) {
+        draws = std::min(draws, params.max_bootstrap_samples);
+      }
+      rows.resize(draws);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = pool_rows[rng.below(pool_rows.size())];
+      }
+    } else {
+      rows = pool_rows;
+    }
+    trees_[t].train(view, rows, tree_params, rng);
+  };
+
+  if (pool != nullptr && pool->thread_count() > 1) {
+    pool->parallel_for(n_trees, train_one);
+  } else {
+    for (std::size_t t = 0; t < n_trees; ++t) train_one(t);
+  }
+}
+
+double RandomForest::predict_proba(std::span<const float> x) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest used before train()");
+  }
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict_proba(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_proba_batch(
+    std::span<const std::span<const float>> rows,
+    util::ThreadPool* pool) const {
+  std::vector<double> out(rows.size());
+  const auto predict_one = [&](std::size_t i) {
+    out[i] = predict_proba(rows[i]);
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && rows.size() > 1024) {
+    pool->parallel_for(rows.size(), predict_one);
+  } else {
+    for (std::size_t i = 0; i < rows.size(); ++i) predict_one(i);
+  }
+  return out;
+}
+
+void RandomForest::import_trees(std::vector<DecisionTree> trees,
+                                std::size_t feature_count) {
+  if (trees.empty()) {
+    throw std::invalid_argument("import_trees: no trees");
+  }
+  for (const auto& tree : trees) {
+    if (!tree.trained()) {
+      throw std::invalid_argument("import_trees: untrained tree");
+    }
+  }
+  trees_ = std::move(trees);
+  feature_count_ = feature_count;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  std::vector<double> importance(feature_count_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importance();
+    for (std::size_t f = 0; f < importance.size(); ++f) {
+      importance[f] += imp[f];
+    }
+  }
+  const double total =
+      std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace forest

@@ -1,0 +1,84 @@
+// Offline random forest (Breiman 2001), the paper's main offline comparator.
+//
+// Bootstrap-resampled CART trees with per-split random feature subsets and
+// probability averaging. Training data imbalance is handled by the paper's
+// NegSampleRatio λ (Eq. 4): the forest first down-samples negatives to
+// λ·|positives| and then bootstraps from that balanced pool. Trees train in
+// parallel across a ThreadPool — each tree is independent, as the paper
+// notes when motivating forests over boosting.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "forest/decision_tree.hpp"
+#include "forest/train_view.hpp"
+#include "util/thread_pool.hpp"
+
+namespace forest {
+
+struct RandomForestParams {
+  int n_trees = 30;  ///< T in the paper (§4.4: 30 trees, more adds nothing)
+  /// λ (Eq. 4): negatives kept per positive before bootstrapping.
+  /// ≤ 0 = keep all negatives (the paper's "Max").
+  double neg_sample_ratio = 3.0;
+  /// Per-split feature subset size; ≤0 = floor(sqrt(d)).
+  int features_per_split = 0;
+  bool bootstrap = true;
+  /// Per-tree bootstrap draw count cap ("subagging"). Exact-split CART is
+  /// O(n log n · depth) per tree, so training on a whole unbalanced fleet
+  /// (λ = Max ⇒ hundreds of thousands of rows) needs this bound. 0 = draw
+  /// |pool| samples, classic Breiman bagging.
+  std::size_t max_bootstrap_samples = 100000;
+  DecisionTreeParams tree = {
+      .max_splits = 8192,  // safety bound
+      .max_depth = 25,
+      // Slightly conservative leaves: with disk-level max-score evaluation a
+      // single size-1 leaf that memorised one noisy healthy day inflates
+      // that disk's score across the whole window.
+      .min_split_weight = 10.0,
+      .min_leaf_weight = 4.0,
+      .min_gain = 1e-9,
+      .positive_weight = 1.0,
+      .features_per_split = 0,  // filled in from the forest params
+  };
+};
+
+class RandomForest {
+ public:
+  /// Train T trees. Deterministic given (view, params, seed) regardless of
+  /// the pool's thread count: each tree derives its own RNG stream up front.
+  void train(const TrainView& view, const RandomForestParams& params,
+             std::uint64_t seed, util::ThreadPool* pool = nullptr);
+
+  bool trained() const { return !trees_.empty(); }
+  std::size_t tree_count() const { return trees_.size(); }
+
+  /// Mean of per-tree leaf probabilities.
+  double predict_proba(std::span<const float> x) const;
+  int predict(std::span<const float> x, double threshold = 0.5) const {
+    return predict_proba(x) >= threshold ? 1 : 0;
+  }
+
+  /// Batch prediction, parallelised over rows.
+  std::vector<double> predict_proba_batch(
+      std::span<const std::span<const float>> rows,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Mean-decrease-in-impurity importance, normalised to sum to 1.
+  std::vector<double> feature_importance() const;
+
+  const DecisionTree& tree(std::size_t i) const { return trees_.at(i); }
+
+  /// Adopt pre-built trees (deserialization / freezing an online forest).
+  void import_trees(std::vector<DecisionTree> trees,
+                    std::size_t feature_count);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t feature_count_ = 0;
+};
+
+}  // namespace forest

@@ -1,0 +1,24 @@
+// Plain-text serialization for the offline models, so a trained predictor
+// can be deployed without retraining. The format is a line-oriented,
+// versioned dump — diff-friendly and stable across platforms (values are
+// printed with round-trip precision).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "forest/decision_tree.hpp"
+#include "forest/random_forest.hpp"
+
+namespace forest {
+
+void save_tree(const DecisionTree& tree, std::ostream& os);
+DecisionTree load_tree(std::istream& is);
+
+void save_forest(const RandomForest& forest, std::ostream& os);
+RandomForest load_forest(std::istream& is);
+
+void save_forest_file(const RandomForest& forest, const std::string& path);
+RandomForest load_forest_file(const std::string& path);
+
+}  // namespace forest

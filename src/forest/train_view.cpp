@@ -1,0 +1,69 @@
+#include "forest/train_view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace forest {
+
+std::size_t TrainView::positive_count() const {
+  return static_cast<std::size_t>(std::count(y.begin(), y.end(), 1));
+}
+
+TrainView make_view(std::span<const data::LabeledSample> samples,
+                    const features::MinMaxScaler* scaler) {
+  TrainView view;
+  view.x.reserve(samples.size());
+  view.y.reserve(samples.size());
+  if (scaler != nullptr) view.owned.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (scaler != nullptr) {
+      view.owned.push_back(scaler->transform(s.x()));
+      view.x.emplace_back(view.owned.back());
+    } else {
+      view.x.emplace_back(s.x());
+    }
+    view.y.push_back(s.label);
+  }
+  return view;
+}
+
+std::vector<std::size_t> downsample_negatives(const TrainView& view,
+                                              double lambda, util::Rng& rng) {
+  std::vector<std::size_t> positives;
+  std::vector<std::size_t> negatives;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    (view.y[i] == 1 ? positives : negatives).push_back(i);
+  }
+  std::vector<std::size_t> keep = positives;
+  if (lambda <= 0.0) {
+    keep.insert(keep.end(), negatives.begin(), negatives.end());
+  } else {
+    const auto target = static_cast<std::size_t>(
+        lambda * static_cast<double>(positives.size()) + 0.5);
+    rng.shuffle(negatives);
+    const std::size_t take = std::min(target, negatives.size());
+    keep.insert(keep.end(), negatives.begin(),
+                negatives.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  std::sort(keep.begin(), keep.end());
+  return keep;
+}
+
+TrainView subset_view(const TrainView& view,
+                      std::span<const std::size_t> indices) {
+  TrainView out;
+  out.x.reserve(indices.size());
+  out.y.reserve(indices.size());
+  if (!view.w.empty()) out.w.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    if (idx >= view.size()) {
+      throw std::out_of_range("subset_view: index out of range");
+    }
+    out.x.push_back(view.x[idx]);
+    out.y.push_back(view.y[idx]);
+    if (!view.w.empty()) out.w.push_back(view.w[idx]);
+  }
+  return out;
+}
+
+}  // namespace forest

@@ -1,0 +1,48 @@
+// Training-set view shared by every offline learner (DT, RF, SVM):
+// non-owning feature rows + labels + optional per-sample weights, plus the
+// paper's NegSampleRatio (λ, Eq. 4) down-sampling helper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/types.hpp"
+#include "features/scaler.hpp"
+#include "util/rng.hpp"
+
+namespace forest {
+
+struct TrainView {
+  /// Feature rows. Spans point into externally-owned storage (a Dataset's
+  /// snapshots, or `owned` below after scaling).
+  std::vector<std::span<const float>> x;
+  std::vector<int> y;        ///< labels, 0/1, same length as x
+  std::vector<double> w;     ///< per-sample weights; empty = all 1.0
+  /// Backing storage when rows were materialised (e.g. scaled copies).
+  std::vector<std::vector<float>> owned;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t feature_count() const { return x.empty() ? 0 : x[0].size(); }
+  double weight(std::size_t i) const { return w.empty() ? 1.0 : w[i]; }
+
+  std::size_t positive_count() const;
+  std::size_t negative_count() const { return size() - positive_count(); }
+};
+
+/// Build a view over labeled samples. When `scaler` is non-null each row is
+/// scaled into owned storage; otherwise rows alias the dataset's snapshots.
+TrainView make_view(std::span<const data::LabeledSample> samples,
+                    const features::MinMaxScaler* scaler = nullptr);
+
+/// The paper's λ = |Dnc| / |Dp| (Eq. 4): keep all positives and a random
+/// subset of negatives of size λ·|Dp|. λ ≤ 0 keeps every negative
+/// (the paper's "Max" setting). Returns indices into `view`.
+std::vector<std::size_t> downsample_negatives(const TrainView& view,
+                                              double lambda, util::Rng& rng);
+
+/// Materialise the subset selected by `indices` (rows still alias the
+/// original backing storage).
+TrainView subset_view(const TrainView& view,
+                      std::span<const std::size_t> indices);
+
+}  // namespace forest

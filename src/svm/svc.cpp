@@ -1,0 +1,222 @@
+#include "svm/svc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace svm {
+namespace {
+
+double rbf(std::span<const float> u, std::span<const float> v, double gamma) {
+  double d2 = 0.0;
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    const double d = static_cast<double>(u[k]) - static_cast<double>(v[k]);
+    d2 += d * d;
+  }
+  return std::exp(-gamma * d2);
+}
+
+double dot(std::span<const float> u, std::span<const float> v) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    s += static_cast<double>(u[k]) * static_cast<double>(v[k]);
+  }
+  return s;
+}
+
+/// LRU cache of kernel rows K(i, ·).
+class RowCache {
+ public:
+  RowCache(std::size_t capacity, std::size_t n) : capacity_(capacity), n_(n) {}
+
+  /// Returns the row for index i, computing it via `fill` on a miss.
+  template <typename Fill>
+  const std::vector<float>& get(std::size_t i, Fill&& fill) {
+    if (auto it = map_.find(i); it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second.first);
+      return it->second.second;
+    }
+    if (map_.size() >= capacity_) {
+      const std::size_t victim = order_.back();
+      order_.pop_back();
+      map_.erase(victim);
+    }
+    order_.push_front(i);
+    auto [it, inserted] = map_.try_emplace(
+        i, std::make_pair(order_.begin(), std::vector<float>(n_)));
+    fill(it->second.second);
+    return it->second.second;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t n_;
+  std::list<std::size_t> order_;
+  std::unordered_map<std::size_t,
+                     std::pair<std::list<std::size_t>::iterator,
+                               std::vector<float>>>
+      map_;
+};
+
+}  // namespace
+
+double SvmClassifier::kernel(std::span<const float> u,
+                             std::span<const float> v) const {
+  switch (params_.kernel) {
+    case KernelType::kRbf:
+      return rbf(u, v, params_.gamma);
+    case KernelType::kLinear:
+      return dot(u, v);
+  }
+  return 0.0;
+}
+
+std::size_t SvmClassifier::train(const forest::TrainView& view,
+                                 const SvmParams& params) {
+  const std::size_t n = view.size();
+  if (n == 0) throw std::invalid_argument("SvmClassifier::train: empty set");
+  params_ = params;
+  support_vectors_.clear();
+  alpha_y_.clear();
+  trained_ = false;
+
+  std::vector<double> y(n);
+  std::vector<double> cap(n);  // per-sample box constraint C_i
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = view.y[i] == 1 ? 1.0 : -1.0;
+    cap[i] = params.C * (view.y[i] == 1 ? params.positive_weight : 1.0);
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  // Gradient of the dual objective: G_i = Σ_j α_j y_j y_i K_ij − 1.
+  std::vector<double> grad(n, -1.0);
+
+  RowCache cache(std::max<std::size_t>(2, params.cache_rows), n);
+  const auto kernel_row = [&](std::size_t i) -> const std::vector<float>& {
+    return cache.get(i, [&](std::vector<float>& row) {
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = static_cast<float>(kernel(view.x[i], view.x[j]));
+      }
+    });
+  };
+
+  const std::size_t max_iter =
+      params.max_iter > 0 ? params.max_iter : 100 * n + 10000;
+  std::size_t iter = 0;
+  for (; iter < max_iter; ++iter) {
+    // First-order working-set selection (max violating pair):
+    //   i ∈ I_up   maximising  −y_i G_i
+    //   j ∈ I_low  minimising  −y_j G_j
+    double g_max = -std::numeric_limits<double>::infinity();
+    double g_min = std::numeric_limits<double>::infinity();
+    std::ptrdiff_t i_sel = -1;
+    std::ptrdiff_t j_sel = -1;
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool in_up = (y[t] > 0 && alpha[t] < cap[t]) ||
+                         (y[t] < 0 && alpha[t] > 0);
+      const bool in_low = (y[t] > 0 && alpha[t] > 0) ||
+                          (y[t] < 0 && alpha[t] < cap[t]);
+      const double v = -y[t] * grad[t];
+      if (in_up && v > g_max) {
+        g_max = v;
+        i_sel = static_cast<std::ptrdiff_t>(t);
+      }
+      if (in_low && v < g_min) {
+        g_min = v;
+        j_sel = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    if (i_sel < 0 || j_sel < 0 || g_max - g_min < params.eps) break;
+    const auto i = static_cast<std::size_t>(i_sel);
+    const auto j = static_cast<std::size_t>(j_sel);
+
+    const std::vector<float>& Ki = kernel_row(i);
+    const double Kij = Ki[j];
+    const double Kii = Ki[i];
+    // Row j is fetched after i; both stay cached for the gradient update.
+    const std::vector<float>& Kj = kernel_row(j);
+    const double Kjj = Kj[j];
+
+    double eta = Kii + Kjj - 2.0 * Kij;
+    if (eta <= 0.0) eta = 1e-12;
+
+    // Analytic two-variable update (see Platt 1998 / LIBSVM):
+    const double delta = (g_max - g_min) / eta;
+    double ai_old = alpha[i];
+    double aj_old = alpha[j];
+    double ai = ai_old + y[i] * delta;
+    double aj = aj_old - y[j] * delta;
+
+    // Project back onto the box while keeping the equality constraint
+    // Σ α y = const: the pair moves along y_i α_i + y_j α_j = const.
+    const double sum = y[i] * ai_old + y[j] * aj_old;
+    ai = std::clamp(ai, 0.0, cap[i]);
+    aj = y[j] * (sum - y[i] * ai);
+    aj = std::clamp(aj, 0.0, cap[j]);
+    ai = y[i] * (sum - y[j] * aj);
+    ai = std::clamp(ai, 0.0, cap[i]);
+
+    const double dai = ai - ai_old;
+    const double daj = aj - aj_old;
+    if (std::abs(dai) < 1e-14 && std::abs(daj) < 1e-14) break;
+
+    alpha[i] = ai;
+    alpha[j] = aj;
+    for (std::size_t t = 0; t < n; ++t) {
+      grad[t] += y[t] * (y[i] * dai * Ki[t] + y[j] * daj * Kj[t]);
+    }
+  }
+
+  // Bias from the KKT conditions: average −y_t G_t over free vectors, or
+  // the midpoint of the bounds when none are free.
+  double b_sum = 0.0;
+  std::size_t b_count = 0;
+  double ub = std::numeric_limits<double>::infinity();
+  double lb = -std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double v = -y[t] * grad[t];
+    if (alpha[t] > 0.0 && alpha[t] < cap[t]) {
+      b_sum += v;
+      ++b_count;
+    } else {
+      const bool in_up = (y[t] > 0 && alpha[t] < cap[t]) ||
+                         (y[t] < 0 && alpha[t] > 0);
+      if (in_up) {
+        ub = std::min(ub, v);
+      } else {
+        lb = std::max(lb, v);
+      }
+    }
+  }
+  b_ = b_count > 0 ? b_sum / static_cast<double>(b_count) : (ub + lb) / 2.0;
+  if (!std::isfinite(b_)) b_ = 0.0;
+
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-12) {
+      support_vectors_.emplace_back(view.x[t].begin(), view.x[t].end());
+      alpha_y_.push_back(alpha[t] * y[t]);
+    }
+  }
+  if (support_vectors_.empty()) {
+    // Degenerate training set (single class): decide by majority label.
+    std::size_t positives = 0;
+    for (std::size_t t = 0; t < n; ++t) positives += view.y[t] == 1;
+    b_ = 2 * positives > n ? 1.0 : -1.0;
+  }
+  trained_ = true;
+  return iter;
+}
+
+double SvmClassifier::decision_value(std::span<const float> x) const {
+  if (!trained_) throw std::logic_error("SvmClassifier used before train()");
+  double f = b_;
+  for (std::size_t s = 0; s < support_vectors_.size(); ++s) {
+    f += alpha_y_[s] * kernel(support_vectors_[s], x);
+  }
+  return f;
+}
+
+}  // namespace svm

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for the bench harnesses and examples.
+//
+// Syntax: --name=value or --name value; bare --name sets a boolean true.
+// Unknown flags are collected so harnesses can forward e.g. google-benchmark
+// flags untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace util {
+
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, char** argv) { parse(argc, argv); }
+
+  void parse(int argc, char** argv);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace util

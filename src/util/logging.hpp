@@ -1,0 +1,50 @@
+// Tiny leveled logger. Harnesses log progress at Info; library code keeps
+// quiet below Warn by default so embedding the library is silent.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << std::forward<Args>(args));
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace util

@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers shared by the feature pipeline, the
+// evaluation harness (mean ± std over seeds, as the paper reports) and tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace util {
+
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double stddev(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Copies and sorts its input.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Running mean/variance accumulator (Welford). Numerically stable and
+/// mergeable, used by the online feature scaler and OOBE bookkeeping.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace util

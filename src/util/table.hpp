@@ -1,0 +1,45 @@
+// ASCII table / series printers used by the bench harnesses to emit the
+// paper's tables and figure series in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace util {
+
+/// Column-aligned ASCII table. Cells are strings; callers format numbers
+/// (fmt_pm below helps with the paper's "mean ± std" cells).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule, e.g.
+  ///   lambda | FDR(%)       | FAR(%)
+  ///   -------+--------------+-------
+  ///   1      | 98.22 ± 0.25 | 11.88 ± 2.62
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "98.22 ± 0.25" with the given precision.
+std::string fmt_pm(double mean, double std, int precision = 2);
+
+/// Fixed-precision float formatting.
+std::string fmt(double value, int precision = 2);
+
+/// Print an (x, y) series as two aligned columns under a title; this is the
+/// textual stand-in for the paper's figures.
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& xlabel, const std::string& ylabel,
+                  const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+}  // namespace util

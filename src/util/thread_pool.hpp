@@ -1,0 +1,62 @@
+// A small fixed-size thread pool with a blocking task queue and a
+// `parallel_for` helper used to parallelise per-tree work in the forests.
+//
+// Design notes (per C++ Core Guidelines CP.*): tasks are type-erased
+// move-only callables; the pool owns its threads via RAII and joins on
+// destruction; no detached threads; exceptions thrown by tasks are rethrown
+// to the caller of wait()/parallel_for via std::exception_ptr.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means "hardware concurrency, at least 1".
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task. Never blocks.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// exception raised by any task (subsequent ones are dropped).
+  void wait();
+
+  /// Run fn(i) for i in [0, n) across the pool, blocking until done.
+  /// Work is split into contiguous chunks, one per worker, to keep per-tree
+  /// state cache-local. Runs inline when the pool has a single thread or the
+  /// range is tiny.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (lazily constructed). Forests use this unless
+/// given an explicit pool, so single-threaded embedding remains possible.
+ThreadPool& default_pool();
+
+}  // namespace util

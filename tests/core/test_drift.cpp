@@ -1,0 +1,113 @@
+#include "core/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/online_forest.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(PageHinkley, StationaryStreamNeverAlarms) {
+  core::PageHinkley ph;
+  util::Rng rng(42);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_FALSE(ph.add(rng.bernoulli(0.1) ? 1.0 : 0.0)) << "at " << i;
+  }
+  EXPECT_NEAR(ph.mean(), 0.1, 0.01);
+}
+
+TEST(PageHinkley, DetectsMeanIncrease) {
+  core::PageHinkley ph;
+  util::Rng rng(42);
+  for (int i = 0; i < 2000; ++i) ph.add(rng.bernoulli(0.1) ? 1.0 : 0.0);
+  bool detected = false;
+  int steps = 0;
+  for (int i = 0; i < 2000 && !detected; ++i, ++steps) {
+    detected = ph.add(rng.bernoulli(0.6) ? 1.0 : 0.0);
+  }
+  EXPECT_TRUE(detected);
+  EXPECT_LT(steps, 500);  // reacts within a few hundred samples
+}
+
+TEST(PageHinkley, IgnoresMeanDecrease) {
+  core::PageHinkley ph;
+  util::Rng rng(42);
+  for (int i = 0; i < 2000; ++i) ph.add(rng.bernoulli(0.5) ? 1.0 : 0.0);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_FALSE(ph.add(rng.bernoulli(0.05) ? 1.0 : 0.0));
+  }
+}
+
+TEST(PageHinkley, MinObservationsGate) {
+  core::PageHinkleyParams params;
+  params.min_observations = 1000;
+  core::PageHinkley ph(params);
+  // A blatant shift within the warm-up window must not alarm.
+  for (int i = 0; i < 999; ++i) {
+    EXPECT_FALSE(ph.add(i < 100 ? 0.0 : 1.0));
+  }
+}
+
+TEST(PageHinkley, ResetClearsState) {
+  core::PageHinkley ph;
+  util::Rng rng(42);
+  for (int i = 0; i < 500; ++i) ph.add(rng.uniform());
+  ph.reset();
+  EXPECT_EQ(ph.observations(), 0u);
+  EXPECT_DOUBLE_EQ(ph.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ph.statistic(), 0.0);
+}
+
+TEST(PageHinkley, ThresholdControlsSensitivity) {
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  core::PageHinkleyParams sensitive;
+  sensitive.threshold = 10.0;
+  core::PageHinkleyParams sluggish;
+  sluggish.threshold = 400.0;
+  core::PageHinkley fast(sensitive);
+  core::PageHinkley slow(sluggish);
+  int fast_at = -1;
+  int slow_at = -1;
+  for (int i = 0; i < 5000; ++i) {
+    const double p = i < 1000 ? 0.1 : 0.5;
+    const double x1 = rng1.bernoulli(p) ? 1.0 : 0.0;
+    const double x2 = rng2.bernoulli(p) ? 1.0 : 0.0;
+    if (fast_at < 0 && fast.add(x1)) fast_at = i;
+    if (slow_at < 0 && slow.add(x2)) slow_at = i;
+  }
+  ASSERT_GE(fast_at, 0);
+  EXPECT_TRUE(slow_at < 0 || slow_at > fast_at);
+}
+
+TEST(DriftMonitor, ForestWithMonitorAdaptsFasterThanPlainOobeRule) {
+  // Concept flip mid-stream: the PH-monitored forest should replace trees
+  // promptly (alarms > 0) and recover the flipped concept.
+  core::OnlineForestParams params;
+  params.n_trees = 10;
+  params.tree.n_tests = 64;
+  params.tree.min_parent_size = 40;
+  params.lambda_pos = 0.8;
+  params.lambda_neg = 0.8;
+  params.enable_replacement = false;  // isolate the PH path
+  params.enable_drift_monitor = true;
+  params.drift.threshold = 30.0;
+  core::OnlineForest forest(1, params, 7);
+
+  util::Rng rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+  }
+  EXPECT_EQ(forest.drift_alarms(), 0u);  // stationary so far
+  for (int i = 0; i < 8000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{v}, v > 0.5f ? 0 : 1);
+  }
+  EXPECT_GT(forest.drift_alarms(), 0u);
+  EXPECT_GT(forest.trees_replaced(), 0u);
+  EXPECT_GT(forest.predict_proba(std::vector<float>{0.1f}), 0.6);
+  EXPECT_LT(forest.predict_proba(std::vector<float>{0.9f}), 0.4);
+}
+
+}  // namespace

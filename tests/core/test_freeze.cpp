@@ -1,0 +1,78 @@
+#include "core/freeze.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "forest/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+core::OnlineForest trained_forest() {
+  core::OnlineForestParams params;
+  params.n_trees = 6;
+  params.tree.n_tests = 64;
+  params.tree.min_parent_size = 40;
+  params.lambda_neg = 1.0;
+  core::OnlineForest forest(2, params, 7);
+  util::Rng rng(42);
+  for (int i = 0; i < 3000; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{a, b}, a > 0.5f ? 1 : 0);
+  }
+  return forest;
+}
+
+TEST(Freeze, SnapshotPredictsIdentically) {
+  const auto online = trained_forest();
+  const forest::RandomForest frozen = core::freeze(online);
+  EXPECT_EQ(frozen.tree_count(), online.tree_count());
+
+  util::Rng probe(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<float> x = {static_cast<float>(probe.uniform()),
+                                  static_cast<float>(probe.uniform())};
+    EXPECT_NEAR(frozen.predict_proba(x), online.predict_proba(x), 1e-6);
+  }
+}
+
+TEST(Freeze, SnapshotIsDecoupledFromFurtherLearning) {
+  auto online = trained_forest();
+  const forest::RandomForest frozen = core::freeze(online);
+  const std::vector<float> probe = {0.9f, 0.5f};
+  const double before = frozen.predict_proba(probe);
+
+  // Flip the concept and keep training the online forest.
+  util::Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    online.update(std::vector<float>{a, b}, a > 0.5f ? 0 : 1);
+  }
+  EXPECT_DOUBLE_EQ(frozen.predict_proba(probe), before);  // snapshot fixed
+  EXPECT_LT(online.predict_proba(probe), before);          // learner moved
+}
+
+TEST(Freeze, FrozenModelSerializes) {
+  const auto online = trained_forest();
+  const forest::RandomForest frozen = core::freeze(online);
+  std::stringstream buffer;
+  forest::save_forest(frozen, buffer);
+  const forest::RandomForest loaded = forest::load_forest(buffer);
+  const std::vector<float> probe = {0.2f, 0.8f};
+  EXPECT_NEAR(loaded.predict_proba(probe), online.predict_proba(probe), 1e-6);
+}
+
+TEST(Freeze, ImportanceCarriesOver) {
+  const auto online = trained_forest();
+  const forest::RandomForest frozen = core::freeze(online);
+  const auto importance = frozen.feature_importance();
+  ASSERT_EQ(importance.size(), 2u);
+  // Feature 0 carries the concept; it must dominate after normalisation.
+  EXPECT_GT(importance[0], importance[1]);
+}
+
+}  // namespace

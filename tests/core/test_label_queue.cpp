@@ -1,0 +1,65 @@
+#include "core/label_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+std::vector<float> vec(float v) { return {v}; }
+
+TEST(LabelQueue, HoldsUpToCapacityWithoutEviction) {
+  core::LabelQueue q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_FALSE(q.push(vec(1)).has_value());
+  EXPECT_FALSE(q.push(vec(2)).has_value());
+  EXPECT_FALSE(q.push(vec(3)).has_value());
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(LabelQueue, EvictsOldestWhenFull) {
+  core::LabelQueue q(2);
+  q.push(vec(1));
+  q.push(vec(2));
+  const auto evicted = q.push(vec(3));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_FLOAT_EQ((*evicted)[0], 1.0f);  // FIFO: oldest first
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(LabelQueue, DrainReturnsOldestFirstAndEmpties) {
+  core::LabelQueue q(4);
+  q.push(vec(1));
+  q.push(vec(2));
+  q.push(vec(3));
+  const auto drained = q.drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_FLOAT_EQ(drained[0][0], 1.0f);
+  EXPECT_FLOAT_EQ(drained[2][0], 3.0f);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.drain().empty());
+}
+
+TEST(LabelQueue, ReusableAfterDrain) {
+  core::LabelQueue q(2);
+  q.push(vec(1));
+  q.drain();
+  EXPECT_FALSE(q.push(vec(2)).has_value());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(LabelQueue, SequenceOfEvictionsPreservesOrder) {
+  core::LabelQueue q(2);
+  q.push(vec(1));
+  q.push(vec(2));
+  for (int v = 3; v <= 6; ++v) {
+    const auto evicted = q.push(vec(static_cast<float>(v)));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_FLOAT_EQ((*evicted)[0], static_cast<float>(v - 2));
+  }
+}
+
+TEST(LabelQueue, ZeroCapacityThrows) {
+  EXPECT_THROW(core::LabelQueue q(0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+#include "core/online_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+core::OnlineForestParams small_params() {
+  core::OnlineForestParams p;
+  p.n_trees = 10;
+  p.tree.n_tests = 64;
+  p.tree.min_parent_size = 30;
+  p.tree.min_gain = 0.05;
+  p.tree.max_depth = 10;
+  p.lambda_pos = 1.0;
+  p.lambda_neg = 1.0;
+  return p;
+}
+
+void feed_threshold_concept(core::OnlineForest& forest, int n,
+                            std::uint64_t seed,
+                            util::ThreadPool* pool = nullptr) {
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{v}, v > 0.5f ? 1 : 0, pool);
+  }
+}
+
+TEST(OnlineForest, LearnsThresholdConcept) {
+  core::OnlineForest forest(1, small_params(), 7);
+  feed_threshold_concept(forest, 4000, 42);
+  EXPECT_GT(forest.predict_proba(std::vector<float>{0.9f}), 0.8);
+  EXPECT_LT(forest.predict_proba(std::vector<float>{0.1f}), 0.2);
+  EXPECT_EQ(forest.predict(std::vector<float>{0.9f}), 1);
+  EXPECT_EQ(forest.predict(std::vector<float>{0.1f}), 0);
+  EXPECT_EQ(forest.samples_seen(), 4000u);
+}
+
+TEST(OnlineForest, DeterministicGivenSeed) {
+  core::OnlineForest a(1, small_params(), 7);
+  core::OnlineForest b(1, small_params(), 7);
+  feed_threshold_concept(a, 2000, 42);
+  feed_threshold_concept(b, 2000, 42);
+  EXPECT_DOUBLE_EQ(a.predict_proba(std::vector<float>{0.7f}),
+                   b.predict_proba(std::vector<float>{0.7f}));
+  EXPECT_EQ(a.trees_replaced(), b.trees_replaced());
+}
+
+TEST(OnlineForest, ImbalanceLambdaNegReducesNegativeUpdates) {
+  // With λn = 0.02 almost every negative sample is out-of-bag; the tree age
+  // (in-bag update count) must be dominated by positives.
+  core::OnlineForestParams params = small_params();
+  params.lambda_neg = 0.02;
+  params.enable_replacement = false;
+  core::OnlineForest forest(1, params, 7);
+  util::Rng rng(42);
+  int positives = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const bool positive = i % 100 == 0;  // 1% positive stream
+    positives += positive;
+    const float v = positive ? 0.9f : static_cast<float>(rng.uniform(0.0, 0.5));
+    forest.update(std::vector<float>{v}, positive ? 1 : 0);
+  }
+  std::uint64_t total_age = 0;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    total_age += forest.tree_age(t);
+  }
+  const double negatives = 5000.0 - positives;
+  // Expected in-bag updates ≈ T·(positives·1 + negatives·0.02).
+  const double expected =
+      static_cast<double>(forest.tree_count()) *
+      (static_cast<double>(positives) + 0.02 * negatives);
+  EXPECT_NEAR(static_cast<double>(total_age), expected, 0.25 * expected);
+}
+
+TEST(OnlineForest, ParallelUpdateMatchesSerial) {
+  core::OnlineForest serial(1, small_params(), 7);
+  core::OnlineForest parallel(1, small_params(), 7);
+  util::ThreadPool pool(4);
+  feed_threshold_concept(serial, 1500, 42, nullptr);
+  feed_threshold_concept(parallel, 1500, 42, &pool);
+  util::Rng probe(3);
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<float> x = {static_cast<float>(probe.uniform())};
+    EXPECT_DOUBLE_EQ(serial.predict_proba(x), parallel.predict_proba(x));
+  }
+}
+
+TEST(OnlineForest, TreeReplacementFiresUnderConceptDrift) {
+  core::OnlineForestParams params = small_params();
+  params.oobe_threshold = 0.35;
+  params.age_threshold = 300;
+  params.min_oob_evals = 20;
+  params.oobe_decay = 0.02;
+  params.lambda_pos = 0.7;  // leave some positives out-of-bag for OOBE
+  params.lambda_neg = 0.7;
+  core::OnlineForest forest(1, params, 7);
+  util::Rng rng(42);
+  // Phase 1: v > 0.5 ⇒ positive.
+  for (int i = 0; i < 3000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+  }
+  const auto replaced_before = forest.trees_replaced();
+  // Phase 2: concept flips — old trees become consistently wrong.
+  for (int i = 0; i < 6000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{v}, v > 0.5f ? 0 : 1);
+  }
+  EXPECT_GT(forest.trees_replaced(), replaced_before);
+  // And the forest must have adapted to the flipped concept.
+  EXPECT_GT(forest.predict_proba(std::vector<float>{0.1f}), 0.6);
+  EXPECT_LT(forest.predict_proba(std::vector<float>{0.9f}), 0.4);
+}
+
+TEST(OnlineForest, ReplacementDisabledKeepsStaleTrees) {
+  core::OnlineForestParams params = small_params();
+  params.enable_replacement = false;
+  params.lambda_pos = 0.7;
+  params.lambda_neg = 0.7;
+  core::OnlineForest forest(1, params, 7);
+  util::Rng rng(42);
+  for (int i = 0; i < 3000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+  }
+  for (int i = 0; i < 6000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{v}, v > 0.5f ? 0 : 1);
+  }
+  EXPECT_EQ(forest.trees_replaced(), 0u);
+}
+
+TEST(OnlineForest, OobeStartsAtHalfUntilJudged) {
+  core::OnlineForest forest(1, small_params(), 7);
+  EXPECT_DOUBLE_EQ(forest.oobe(0), 0.5);
+}
+
+TEST(OnlineForest, FeatureImportanceFavoursInformativeFeature) {
+  core::OnlineForest forest(2, small_params(), 7);
+  util::Rng rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    const float signal = static_cast<float>(rng.uniform());
+    const float noise = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{noise, signal}, signal > 0.5f ? 1 : 0);
+  }
+  const auto importance = forest.feature_importance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[1], importance[0]);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(OnlineForest, InvalidParamsThrow) {
+  core::OnlineForestParams bad = small_params();
+  bad.n_trees = 0;
+  EXPECT_THROW(core::OnlineForest(1, bad, 7), std::invalid_argument);
+  bad = small_params();
+  bad.lambda_neg = -0.5;
+  EXPECT_THROW(core::OnlineForest(1, bad, 7), std::invalid_argument);
+}
+
+TEST(OnlineForest, WrongFeatureCountThrows) {
+  core::OnlineForest forest(2, small_params(), 7);
+  EXPECT_THROW(forest.update(std::vector<float>{1.0f}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(forest.predict_proba(std::vector<float>{1.0f}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+#include "core/online_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+core::OnlineTreeParams small_params() {
+  core::OnlineTreeParams p;
+  p.n_tests = 64;
+  p.min_parent_size = 30;
+  p.min_gain = 0.05;
+  p.max_depth = 10;
+  return p;
+}
+
+TEST(GiniGain, PerfectSplitOfBalancedNode) {
+  // 50/50 node split into two pure halves: gain = 0.5 (paper Eq. 1–2).
+  EXPECT_DOUBLE_EQ(core::gini_gain(50, 50, 0, 50), 0.5);
+}
+
+TEST(GiniGain, UselessSplitHasZeroGain) {
+  // Both children keep the parent's 50/50 mix.
+  EXPECT_DOUBLE_EQ(core::gini_gain(50, 50, 25, 25), 0.0);
+}
+
+TEST(GiniGain, EmptyNode) {
+  EXPECT_DOUBLE_EQ(core::gini_gain(0, 0, 0, 0), 0.0);
+}
+
+TEST(GiniGain, InvalidCountsThrow) {
+  EXPECT_THROW(core::gini_gain(5, 5, 7, 0), std::invalid_argument);
+}
+
+TEST(GiniGain, BoundedByParentImpurity) {
+  for (std::uint32_t r1 = 0; r1 <= 30; r1 += 5) {
+    for (std::uint32_t r0 = 0; r0 <= 70; r0 += 10) {
+      const double gain = core::gini_gain(70, 30, r0, r1);
+      EXPECT_GE(gain, -1e-12);
+      EXPECT_LE(gain, 0.5 + 1e-12);
+    }
+  }
+}
+
+TEST(OnlineTree, StartsAsSingleLeafWithPriorHalf) {
+  core::OnlineTree tree(3, small_params(), util::Rng(1));
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_proba(std::vector<float>{0, 0, 0}), 0.5);
+}
+
+TEST(OnlineTree, LearnsThresholdConceptOnline) {
+  core::OnlineTree tree(1, small_params(), util::Rng(1));
+  util::Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    const std::vector<float> x = {v};
+    tree.update(x, v > 0.5f ? 1 : 0);
+  }
+  EXPECT_GT(tree.node_count(), 1u);  // it split
+  EXPECT_GT(tree.predict_proba(std::vector<float>{0.9f}), 0.8);
+  EXPECT_LT(tree.predict_proba(std::vector<float>{0.1f}), 0.2);
+}
+
+TEST(OnlineTree, DoesNotSplitBeforeMinParentSize) {
+  auto params = small_params();
+  params.min_parent_size = 100;
+  core::OnlineTree tree(1, params, util::Rng(1));
+  util::Rng rng(42);
+  for (int i = 0; i < 99; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    tree.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+  }
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(OnlineTree, MinGainBlocksUselessSplits) {
+  auto params = small_params();
+  params.min_gain = 0.49;  // essentially requires a perfect split
+  core::OnlineTree tree(1, params, util::Rng(1));
+  util::Rng rng(42);
+  // Labels independent of the feature → no test can reach the gain bar.
+  for (int i = 0; i < 3000; ++i) {
+    tree.update(std::vector<float>{static_cast<float>(rng.uniform())}, i % 2);
+  }
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(OnlineTree, RespectsMaxDepth) {
+  auto params = small_params();
+  params.max_depth = 2;
+  params.min_parent_size = 10;
+  core::OnlineTree tree(2, params, util::Rng(1));
+  util::Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    tree.update(std::vector<float>{a, b}, (a > 0.5f) != (b > 0.5f) ? 1 : 0);
+  }
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(OnlineTree, ResetRestoresFreshRoot) {
+  core::OnlineTree tree(1, small_params(), util::Rng(1));
+  util::Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    tree.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+  }
+  ASSERT_GT(tree.node_count(), 1u);
+  tree.reset();
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.samples_seen(), 0u);
+  EXPECT_DOUBLE_EQ(tree.predict_proba(std::vector<float>{0.9f}), 0.5);
+}
+
+TEST(OnlineTree, SplitGainAttributedToInformativeFeature) {
+  core::OnlineTree tree(2, small_params(), util::Rng(1));
+  util::Rng rng(42);
+  for (int i = 0; i < 3000; ++i) {
+    const float signal = static_cast<float>(rng.uniform());
+    const float noise = static_cast<float>(rng.uniform());
+    tree.update(std::vector<float>{noise, signal}, signal > 0.5f ? 1 : 0);
+  }
+  const auto& gain = tree.split_gain_by_feature();
+  ASSERT_EQ(gain.size(), 2u);
+  EXPECT_GT(gain[1], gain[0]);
+}
+
+TEST(OnlineTree, ChildPriorsSeededFromWinningPartition) {
+  // Right after a split, an unvisited child must already predict with the
+  // partition's label mix instead of 0.5.
+  auto params = small_params();
+  params.min_parent_size = 200;
+  params.min_gain = 0.3;
+  core::OnlineTree tree(1, params, util::Rng(1));
+  util::Rng rng(42);
+  int updates = 0;
+  while (tree.node_count() == 1u && updates < 5000) {
+    const float v = static_cast<float>(rng.uniform());
+    tree.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+    ++updates;
+  }
+  ASSERT_GT(tree.node_count(), 1u) << "tree never split";
+  EXPECT_GT(tree.predict_proba(std::vector<float>{0.99f}), 0.6);
+  EXPECT_LT(tree.predict_proba(std::vector<float>{0.01f}), 0.4);
+}
+
+TEST(OnlineTree, WrongFeatureCountThrows) {
+  core::OnlineTree tree(2, small_params(), util::Rng(1));
+  EXPECT_THROW(tree.update(std::vector<float>{1.0f}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(tree.predict_proba(std::vector<float>{1.0f, 2.0f, 3.0f}),
+               std::invalid_argument);
+}
+
+TEST(OnlineTree, InvalidParamsThrow) {
+  core::OnlineTreeParams bad = small_params();
+  bad.n_tests = 0;
+  EXPECT_THROW(core::OnlineTree(1, bad, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(core::OnlineTree(0, small_params(), util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(OnlineTree, DeterministicGivenSeed) {
+  core::OnlineTree a(1, small_params(), util::Rng(5));
+  core::OnlineTree b(1, small_params(), util::Rng(5));
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  for (int i = 0; i < 1000; ++i) {
+    const float v1 = static_cast<float>(rng1.uniform());
+    const float v2 = static_cast<float>(rng2.uniform());
+    a.update(std::vector<float>{v1}, v1 > 0.5f ? 1 : 0);
+    b.update(std::vector<float>{v2}, v2 > 0.5f ? 1 : 0);
+  }
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_DOUBLE_EQ(a.predict_proba(std::vector<float>{0.7f}),
+                   b.predict_proba(std::vector<float>{0.7f}));
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Property-style sweeps over the ORF's hyper-parameters (TEST_P), checking
+// the invariants Algorithm 1 promises rather than point behaviours.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/online_forest.hpp"
+#include "core/online_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// ---- Poisson-bagging economics: in-bag updates track T·(λp·P + λn·N). ----
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, InBagUpdateCountMatchesPoissonExpectation) {
+  const double lambda_n = GetParam();
+  core::OnlineForestParams params;
+  params.n_trees = 8;
+  params.tree.n_tests = 32;
+  params.tree.min_parent_size = 1000000;  // never split: isolate bagging
+  params.lambda_pos = 1.0;
+  params.lambda_neg = lambda_n;
+  params.enable_replacement = false;
+  core::OnlineForest forest(1, params, 7);
+
+  util::Rng rng(42);
+  const int n = 4000;
+  int positives = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool positive = i % 50 == 0;
+    positives += positive;
+    forest.update(std::vector<float>{static_cast<float>(rng.uniform())},
+                  positive ? 1 : 0);
+  }
+  std::uint64_t total_age = 0;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    total_age += forest.tree_age(t);
+  }
+  const double expected =
+      static_cast<double>(forest.tree_count()) *
+      (static_cast<double>(positives) +
+       lambda_n * static_cast<double>(n - positives));
+  EXPECT_NEAR(static_cast<double>(total_age), expected,
+              0.2 * expected + 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LambdaSweep,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.1, 0.5, 1.0));
+
+// ---- α sweep: a tree never splits before MinParentSize samples. ----------
+
+class AlphaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlphaSweep, NoSplitBeforeMinParentSize) {
+  const int alpha = GetParam();
+  core::OnlineTreeParams params;
+  params.n_tests = 32;
+  params.min_parent_size = alpha;
+  params.min_gain = 0.0;
+  params.threshold_pool = std::min(alpha, 32);
+  core::OnlineTree tree(1, params, util::Rng(1));
+  util::Rng rng(42);
+  for (int i = 0; i < alpha - 1; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    tree.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+    ASSERT_EQ(tree.node_count(), 1u) << "split after " << (i + 1)
+                                     << " samples with alpha " << alpha;
+  }
+  // With a perfectly learnable concept and zero gain bar, the split comes
+  // quickly once allowed.
+  for (int i = 0; i < 4 * alpha && tree.node_count() == 1u; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    tree.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+  }
+  EXPECT_GT(tree.node_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(10, 50, 200, 500));
+
+// ---- N (candidate tests) sweep: more tests ⇒ no fewer useful splits. -----
+
+class TestCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TestCountSweep, LearnsThresholdConceptAtAnyN) {
+  core::OnlineTreeParams params;
+  params.n_tests = GetParam();
+  params.min_parent_size = 50;
+  params.min_gain = 0.05;
+  core::OnlineTree tree(1, params, util::Rng(1));
+  util::Rng rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    tree.update(std::vector<float>{v}, v > 0.5f ? 1 : 0);
+  }
+  EXPECT_GT(tree.predict_proba(std::vector<float>{0.95f}), 0.7);
+  EXPECT_LT(tree.predict_proba(std::vector<float>{0.05f}), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(TestCounts, TestCountSweep,
+                         ::testing::Values(8, 64, 256, 1024));
+
+// ---- Forest size sweep: probabilities stay proper at any T. ---------------
+
+class TreeCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeCountSweep, ProbabilitiesStayInUnitInterval) {
+  core::OnlineForestParams params;
+  params.n_trees = GetParam();
+  params.tree.n_tests = 32;
+  params.tree.min_parent_size = 40;
+  core::OnlineForest forest(2, params, 7);
+  util::Rng rng(42);
+  for (int i = 0; i < 1500; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    forest.update(std::vector<float>{a, b}, a > b ? 1 : 0);
+    if (i % 100 == 0) {
+      const double p = forest.predict_proba(std::vector<float>{a, b});
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0);
+    }
+  }
+  EXPECT_EQ(forest.tree_count(), static_cast<std::size_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeCounts, TreeCountSweep,
+                         ::testing::Values(1, 5, 30, 60));
+
+// ---- Update-multiplicity invariance: k identical updates ≡ loop. ----------
+
+TEST(OrfProperties, SamplesSeenCountsEveryInBagCopy) {
+  core::OnlineTreeParams params;
+  params.n_tests = 16;
+  params.min_parent_size = 1000;
+  core::OnlineTree tree(1, params, util::Rng(1));
+  for (int i = 0; i < 10; ++i) {
+    tree.update(std::vector<float>{0.5f}, 1);
+  }
+  EXPECT_EQ(tree.samples_seen(), 10u);
+}
+
+TEST(OrfProperties, PriorBeforeAnyDataIsHalfEverywhere) {
+  core::OnlineForestParams params;
+  params.n_trees = 4;
+  core::OnlineForest forest(3, params, 9);
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<float> x = {static_cast<float>(rng.uniform()),
+                                  static_cast<float>(rng.uniform()),
+                                  static_cast<float>(rng.uniform())};
+    EXPECT_DOUBLE_EQ(forest.predict_proba(x), 0.5);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+#include "data/backblaze_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/smart_schema.hpp"
+#include "datagen/fleet_generator.hpp"
+#include "datagen/profile.hpp"
+
+namespace {
+
+TEST(Csv, DayIsoRoundTrip) {
+  EXPECT_EQ(data::day_to_iso(0), "2013-04-10");
+  EXPECT_EQ(data::iso_to_day("2013-04-10"), 0);
+  for (data::Day day : {1, 30, 365, 1000, 1170}) {
+    EXPECT_EQ(data::iso_to_day(data::day_to_iso(day)), day);
+  }
+}
+
+TEST(Csv, IsoLeapYearHandling) {
+  const data::Day feb28 = data::iso_to_day("2016-02-28");
+  const data::Day mar01 = data::iso_to_day("2016-03-01");
+  EXPECT_EQ(mar01 - feb28, 2);  // 2016 is a leap year
+}
+
+TEST(Csv, BadDateThrows) {
+  EXPECT_THROW(data::iso_to_day("not-a-date"), std::invalid_argument);
+}
+
+TEST(Csv, SplitLine) {
+  const auto cells = data::split_csv_line("a,b,,d");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "");
+  EXPECT_EQ(cells[3], "d");
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  datagen::FleetProfile profile = datagen::sta_profile(0.002);
+  profile.duration_days = 90;
+  const auto dataset = datagen::generate_fleet(profile, 7);
+
+  std::stringstream buffer;
+  data::write_backblaze_csv(dataset, buffer);
+  const auto loaded = data::read_backblaze_csv(buffer);
+
+  EXPECT_EQ(loaded.model_name, dataset.model_name);
+  EXPECT_EQ(loaded.feature_names, dataset.feature_names);
+  ASSERT_EQ(loaded.disks.size(), dataset.disks.size());
+  EXPECT_EQ(loaded.good_count(), dataset.good_count());
+  EXPECT_EQ(loaded.failed_count(), dataset.failed_count());
+  EXPECT_EQ(loaded.sample_count(), dataset.sample_count());
+
+  // Spot-check one disk's values survive the round trip.
+  const auto& original = dataset.disks.front();
+  const data::DiskHistory* match = nullptr;
+  for (const auto& disk : loaded.disks) {
+    if (disk.serial == original.serial) {
+      match = &disk;
+      break;
+    }
+  }
+  ASSERT_NE(match, nullptr);
+  EXPECT_EQ(match->failed, original.failed);
+  EXPECT_EQ(match->first_day, original.first_day);
+  EXPECT_EQ(match->last_day, original.last_day);
+  ASSERT_EQ(match->snapshots.size(), original.snapshots.size());
+  for (std::size_t f = 0; f < original.snapshots[0].features.size(); ++f) {
+    EXPECT_NEAR(match->snapshots[0].features[f],
+                original.snapshots[0].features[f],
+                std::abs(original.snapshots[0].features[f]) * 1e-4 + 1e-3);
+  }
+}
+
+TEST(Csv, FeatureSubsetLoading) {
+  datagen::FleetProfile profile = datagen::sta_profile(0.002);
+  profile.duration_days = 40;
+  const auto dataset = datagen::generate_fleet(profile, 7);
+  std::stringstream buffer;
+  data::write_backblaze_csv(dataset, buffer);
+
+  data::CsvReadOptions options;
+  options.feature_subset = {"smart_187_raw", "smart_197_raw"};
+  const auto loaded = data::read_backblaze_csv(buffer, options);
+  ASSERT_EQ(loaded.feature_names.size(), 2u);
+  EXPECT_EQ(loaded.sample_count(), dataset.sample_count());
+}
+
+TEST(Csv, MissingRequestedColumnThrows) {
+  std::stringstream buffer(
+      "date,serial_number,model,capacity_bytes,failure,smart_5_raw\n");
+  data::CsvReadOptions options;
+  options.feature_subset = {"smart_999_raw"};
+  EXPECT_THROW(data::read_backblaze_csv(buffer, options), std::runtime_error);
+}
+
+TEST(Csv, ModelFilterSkipsOtherModels) {
+  std::stringstream buffer(
+      "date,serial_number,model,capacity_bytes,failure,smart_5_raw\n"
+      "2013-04-10,A1,WANTED,0,0,1\n"
+      "2013-04-10,B1,OTHER,0,0,2\n"
+      "2013-04-11,A1,WANTED,0,1,3\n");
+  data::CsvReadOptions options;
+  options.model_filter = "WANTED";
+  const auto loaded = data::read_backblaze_csv(buffer, options);
+  ASSERT_EQ(loaded.disks.size(), 1u);
+  EXPECT_EQ(loaded.disks[0].serial, "A1");
+  EXPECT_TRUE(loaded.disks[0].failed);
+  EXPECT_EQ(loaded.disks[0].snapshots.size(), 2u);
+}
+
+TEST(Csv, MissingCellsGetFillValue) {
+  std::stringstream buffer(
+      "date,serial_number,model,capacity_bytes,failure,smart_5_raw\n"
+      "2013-04-10,A1,M,0,0,\n");
+  data::CsvReadOptions options;
+  options.missing_value = -1.0f;
+  const auto loaded = data::read_backblaze_csv(buffer, options);
+  ASSERT_EQ(loaded.disks.size(), 1u);
+  EXPECT_FLOAT_EQ(loaded.disks[0].snapshots[0].features[0], -1.0f);
+}
+
+TEST(Csv, EmptyInputThrows) {
+  std::stringstream buffer("");
+  EXPECT_THROW(data::read_backblaze_csv(buffer), std::runtime_error);
+}
+
+TEST(Csv, RaggedRowThrows) {
+  std::stringstream buffer(
+      "date,serial_number,model,capacity_bytes,failure,smart_5_raw\n"
+      "2013-04-10,A1,M,0\n");
+  EXPECT_THROW(data::read_backblaze_csv(buffer), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Directory ingestion: Backblaze publishes one CSV per day; the reader must
+// merge them into coherent per-disk histories.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/backblaze_csv.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class CsvDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "bb_csv_dir_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_day(const std::string& name, const std::string& body) {
+    std::ofstream os(dir_ / name);
+    os << "date,serial_number,model,capacity_bytes,failure,smart_5_raw\n"
+       << body;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CsvDirTest, MergesDailyFilesPerDisk) {
+  write_day("2013-04-10.csv",
+            "2013-04-10,A1,M,0,0,1\n"
+            "2013-04-10,B2,M,0,0,0\n");
+  write_day("2013-04-11.csv",
+            "2013-04-11,A1,M,0,0,2\n"
+            "2013-04-11,B2,M,0,1,5\n");
+  const auto dataset = data::read_backblaze_csv_dir(dir_.string());
+  ASSERT_EQ(dataset.disks.size(), 2u);
+  const data::DiskHistory* a1 = nullptr;
+  const data::DiskHistory* b2 = nullptr;
+  for (const auto& disk : dataset.disks) {
+    if (disk.serial == "A1") a1 = &disk;
+    if (disk.serial == "B2") b2 = &disk;
+  }
+  ASSERT_NE(a1, nullptr);
+  ASSERT_NE(b2, nullptr);
+  EXPECT_EQ(a1->snapshots.size(), 2u);
+  EXPECT_FALSE(a1->failed);
+  EXPECT_EQ(a1->first_day, 0);
+  EXPECT_EQ(a1->last_day, 1);
+  EXPECT_FLOAT_EQ(a1->snapshots[1].features[0], 2.0f);
+  EXPECT_TRUE(b2->failed);
+  EXPECT_EQ(b2->last_day, 1);
+}
+
+TEST_F(CsvDirTest, NewDiskAppearsMidStream) {
+  write_day("2013-04-10.csv", "2013-04-10,A1,M,0,0,1\n");
+  write_day("2013-04-12.csv",
+            "2013-04-12,A1,M,0,0,1\n"
+            "2013-04-12,C3,M,0,0,7\n");
+  const auto dataset = data::read_backblaze_csv_dir(dir_.string());
+  ASSERT_EQ(dataset.disks.size(), 2u);
+  for (const auto& disk : dataset.disks) {
+    if (disk.serial == "C3") {
+      EXPECT_EQ(disk.first_day, 2);
+      EXPECT_EQ(disk.snapshots.size(), 1u);
+    }
+  }
+}
+
+TEST_F(CsvDirTest, NonCsvFilesAreIgnored) {
+  write_day("2013-04-10.csv", "2013-04-10,A1,M,0,0,1\n");
+  std::ofstream(dir_ / "README.txt") << "not a csv\n";
+  const auto dataset = data::read_backblaze_csv_dir(dir_.string());
+  EXPECT_EQ(dataset.disks.size(), 1u);
+}
+
+TEST_F(CsvDirTest, EmptyDirectoryThrows) {
+  EXPECT_THROW(data::read_backblaze_csv_dir(dir_.string()),
+               std::runtime_error);
+}
+
+TEST_F(CsvDirTest, SchemaMismatchThrows) {
+  write_day("2013-04-10.csv", "2013-04-10,A1,M,0,0,1\n");
+  std::ofstream os(dir_ / "2013-04-11.csv");
+  os << "date,serial_number,model,capacity_bytes,failure,smart_9_raw\n"
+     << "2013-04-11,A1,M,0,0,100\n";
+  os.close();
+  EXPECT_THROW(data::read_backblaze_csv_dir(dir_.string()),
+               std::runtime_error);
+}
+
+TEST(MergeDatasets, MergeIntoEmptyAdoptsEverything) {
+  data::Dataset base;
+  data::Dataset extra;
+  extra.model_name = "M";
+  extra.feature_names = {"f"};
+  extra.duration_days = 3;
+  data::DiskHistory disk;
+  disk.serial = "X";
+  disk.snapshots.push_back({0, {1.0f}});
+  extra.disks.push_back(disk);
+  data::merge_datasets(base, extra);
+  EXPECT_EQ(base.disks.size(), 1u);
+  EXPECT_EQ(base.model_name, "M");
+}
+
+TEST(MergeDatasets, OutOfOrderDaysAreSorted) {
+  data::Dataset base;
+  base.feature_names = {"f"};
+  base.duration_days = 10;
+  data::DiskHistory disk;
+  disk.serial = "X";
+  disk.first_day = 5;
+  disk.last_day = 5;
+  disk.snapshots.push_back({5, {5.0f}});
+  base.disks.push_back(disk);
+
+  data::Dataset earlier = base;
+  earlier.disks[0].first_day = 2;
+  earlier.disks[0].last_day = 2;
+  earlier.disks[0].snapshots = {{2, {2.0f}}};
+
+  data::merge_datasets(base, earlier);
+  ASSERT_EQ(base.disks.size(), 1u);
+  ASSERT_EQ(base.disks[0].snapshots.size(), 2u);
+  EXPECT_EQ(base.disks[0].snapshots[0].day, 2);
+  EXPECT_EQ(base.disks[0].snapshots[1].day, 5);
+  EXPECT_EQ(base.disks[0].first_day, 2);
+  EXPECT_EQ(base.disks[0].last_day, 5);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include "data/labeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+data::Dataset make_dataset() {
+  data::Dataset d;
+  d.feature_names = {"f"};
+  d.duration_days = 100;
+
+  // Good disk observed days 0..99.
+  data::DiskHistory good;
+  good.id = 0;
+  good.failed = false;
+  good.first_day = 0;
+  good.last_day = 99;
+  for (data::Day day = 0; day <= 99; ++day) {
+    good.snapshots.push_back({day, {static_cast<float>(day)}});
+  }
+  // Failed disk observed days 0..50, fails on day 50.
+  data::DiskHistory bad;
+  bad.id = 1;
+  bad.failed = true;
+  bad.first_day = 0;
+  bad.last_day = 50;
+  for (data::Day day = 0; day <= 50; ++day) {
+    bad.snapshots.push_back({day, {static_cast<float>(day)}});
+  }
+  d.disks = {good, bad};
+  return d;
+}
+
+TEST(Labeling, FailedDiskLastWeekIsPositive) {
+  const auto d = make_dataset();
+  const std::size_t idx[] = {1};
+  const auto samples = data::label_offline(d, idx);
+  // Days 0..50 all labeled; positives are days 44..50 (last 7 days).
+  ASSERT_EQ(samples.size(), 51u);
+  for (const auto& s : samples) {
+    if (s.day >= 44) {
+      EXPECT_EQ(s.label, 1) << "day " << s.day;
+    } else {
+      EXPECT_EQ(s.label, 0) << "day " << s.day;
+    }
+  }
+  EXPECT_EQ(data::count_positive(samples), 7u);
+}
+
+TEST(Labeling, GoodDiskLatestWeekIsExcluded) {
+  const auto d = make_dataset();
+  const std::size_t idx[] = {0};
+  const auto samples = data::label_offline(d, idx);
+  // Days 93..99 are unlabeled (dropped); 0..92 are negative.
+  ASSERT_EQ(samples.size(), 93u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.label, 0);
+    EXPECT_LE(s.day, 92);
+  }
+}
+
+TEST(Labeling, CustomHorizon) {
+  const auto d = make_dataset();
+  const std::size_t idx[] = {1};
+  data::LabelOptions options;
+  options.horizon = 14;
+  const auto samples = data::label_offline(d, idx, options);
+  EXPECT_EQ(data::count_positive(samples), 14u);
+}
+
+TEST(Labeling, OutOfRangeDiskThrows) {
+  const auto d = make_dataset();
+  const std::size_t idx[] = {5};
+  EXPECT_THROW(data::label_offline(d, idx), std::out_of_range);
+}
+
+TEST(Labeling, SortByTimeOrdersByDayThenDisk) {
+  const auto d = make_dataset();
+  auto samples = data::label_offline_all(d);
+  data::sort_by_time(samples);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const bool ordered =
+        samples[i - 1].day < samples[i].day ||
+        (samples[i - 1].day == samples[i].day &&
+         samples[i - 1].disk <= samples[i].disk);
+    ASSERT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+TEST(Labeling, SplitDisksIsStratifiedAndDisjoint) {
+  data::Dataset d;
+  d.feature_names = {"f"};
+  d.duration_days = 10;
+  for (int i = 0; i < 100; ++i) {
+    data::DiskHistory disk;
+    disk.id = static_cast<data::DiskId>(i);
+    disk.failed = i < 20;  // 20 failed, 80 good
+    disk.first_day = 0;
+    disk.last_day = 9;
+    disk.snapshots.push_back({0, {0.0f}});
+    d.disks.push_back(disk);
+  }
+  util::Rng rng(42);
+  const auto split = data::split_disks(d, 0.7, rng);
+  EXPECT_EQ(split.train.size(), 70u);
+  EXPECT_EQ(split.test.size(), 30u);
+  std::size_t train_failed = 0;
+  for (std::size_t i : split.train) train_failed += d.disks[i].failed;
+  EXPECT_EQ(train_failed, 14u);  // 70% of 20
+
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);  // disjoint and complete
+}
+
+TEST(Labeling, SplitFractionValidation) {
+  data::Dataset d;
+  util::Rng rng(1);
+  EXPECT_THROW(data::split_disks(d, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(data::split_disks(d, 1.1, rng), std::invalid_argument);
+}
+
+TEST(Labeling, MonthlySlicing) {
+  const auto d = make_dataset();
+  auto samples = data::label_offline_all(d);
+  data::sort_by_time(samples);
+  const auto month0 = data::samples_in_month(samples, 0);
+  const auto month1 = data::samples_in_month(samples, 1);
+  for (const auto& s : month0) EXPECT_LT(s.day, 30);
+  for (const auto& s : month1) {
+    EXPECT_GE(s.day, 30);
+    EXPECT_LT(s.day, 60);
+  }
+  const auto before2 = data::samples_before_month(samples, 2);
+  EXPECT_EQ(before2.size(), month0.size() + month1.size());
+}
+
+TEST(Labeling, DownsampleNegativesKeepsAllPositives) {
+  const auto d = make_dataset();
+  auto samples = data::label_offline_all(d);
+  util::Rng rng(3);
+  const auto balanced = data::downsample_negatives(samples, 3.0, rng);
+  EXPECT_EQ(data::count_positive(balanced), 7u);
+  EXPECT_EQ(data::count_negative(balanced), 21u);  // λ·|Dp| = 3·7
+}
+
+TEST(Labeling, DownsampleLambdaMaxKeepsEverything) {
+  const auto d = make_dataset();
+  auto samples = data::label_offline_all(d);
+  util::Rng rng(3);
+  const auto all = data::downsample_negatives(samples, -1.0, rng);
+  EXPECT_EQ(all.size(), samples.size());
+}
+
+TEST(Labeling, DownsamplePreservesTimeOrder) {
+  const auto d = make_dataset();
+  auto samples = data::label_offline_all(d);
+  data::sort_by_time(samples);
+  util::Rng rng(3);
+  const auto balanced = data::downsample_negatives(samples, 2.0, rng);
+  for (std::size_t i = 1; i < balanced.size(); ++i) {
+    ASSERT_LE(balanced[i - 1].day, balanced[i].day);
+  }
+}
+
+}  // namespace

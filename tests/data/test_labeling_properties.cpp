@@ -1,0 +1,106 @@
+// Parameterized invariants of the offline labeling rule across horizons and
+// disk lifetimes.
+#include <gtest/gtest.h>
+
+#include "data/labeling.hpp"
+
+namespace {
+
+data::Dataset one_disk(bool failed, data::Day first, data::Day last) {
+  data::Dataset d;
+  d.feature_names = {"f"};
+  d.duration_days = last + 1;
+  data::DiskHistory disk;
+  disk.id = 0;
+  disk.failed = failed;
+  disk.first_day = first;
+  disk.last_day = last;
+  for (data::Day day = first; day <= last; ++day) {
+    disk.snapshots.push_back({day, {static_cast<float>(day)}});
+  }
+  d.disks.push_back(std::move(disk));
+  return d;
+}
+
+class HorizonSweep : public ::testing::TestWithParam<data::Day> {};
+
+TEST_P(HorizonSweep, FailedDiskPositivesEqualMinHorizonObserved) {
+  const data::Day horizon = GetParam();
+  data::LabelOptions options;
+  options.horizon = horizon;
+  for (data::Day lifetime : {3, 7, 10, 40, 100}) {
+    const auto d = one_disk(true, 0, lifetime - 1);
+    const auto samples = data::label_offline_all(d, options);
+    EXPECT_EQ(samples.size(), static_cast<std::size_t>(lifetime));
+    EXPECT_EQ(data::count_positive(samples),
+              static_cast<std::size_t>(std::min(horizon, lifetime)));
+    // Positives are exactly the trailing window.
+    for (const auto& s : samples) {
+      const bool in_window = s.day > d.disks[0].last_day - horizon;
+      EXPECT_EQ(s.label == 1, in_window);
+    }
+  }
+}
+
+TEST_P(HorizonSweep, GoodDiskDropsExactlyTheTrailingWindow) {
+  const data::Day horizon = GetParam();
+  data::LabelOptions options;
+  options.horizon = horizon;
+  for (data::Day lifetime : {3, 7, 10, 40, 100}) {
+    const auto d = one_disk(false, 0, lifetime - 1);
+    const auto samples = data::label_offline_all(d, options);
+    const auto expected = static_cast<std::size_t>(
+        std::max<data::Day>(0, lifetime - horizon));
+    EXPECT_EQ(samples.size(), expected);
+    EXPECT_EQ(data::count_positive(samples), 0u);
+  }
+}
+
+TEST_P(HorizonSweep, MonthlySlicesPartitionTheLabeledSet) {
+  const data::Day horizon = GetParam();
+  data::LabelOptions options;
+  options.horizon = horizon;
+  const auto d = one_disk(true, 5, 97);
+  auto samples = data::label_offline_all(d, options);
+  data::sort_by_time(samples);
+  std::size_t total = 0;
+  for (int month = 0; month <= data::month_of(97); ++month) {
+    total += data::samples_in_month(samples, month).size();
+  }
+  EXPECT_EQ(total, samples.size());
+  EXPECT_EQ(data::samples_before_month(samples, 100).size(), samples.size());
+  EXPECT_TRUE(data::samples_before_month(samples, 0).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, HorizonSweep,
+                         ::testing::Values(1, 3, 7, 14, 30));
+
+class SplitFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionSweep, SplitSizesMatchFraction) {
+  const double fraction = GetParam();
+  data::Dataset d;
+  d.feature_names = {"f"};
+  d.duration_days = 5;
+  for (int i = 0; i < 200; ++i) {
+    data::DiskHistory disk;
+    disk.id = static_cast<data::DiskId>(i);
+    disk.failed = i < 40;
+    disk.first_day = 0;
+    disk.last_day = 4;
+    disk.snapshots.push_back({0, {0.0f}});
+    d.disks.push_back(disk);
+  }
+  util::Rng rng(5);
+  const auto split = data::split_disks(d, fraction, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), 200u);
+  const auto expected_train =
+      static_cast<std::size_t>(160 * fraction + 0.5) +
+      static_cast<std::size_t>(40 * fraction + 0.5);
+  EXPECT_EQ(split.train.size(), expected_train);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionSweep,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.7, 1.0));
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include "data/smart_schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+TEST(Schema, Has24Attributes) {
+  EXPECT_EQ(data::full_smart_schema().size(), 24u);
+}
+
+TEST(Schema, CandidateSetHas48Features) {
+  EXPECT_EQ(data::candidate_feature_names().size(), 48u);
+}
+
+TEST(Schema, SelectedSetMatchesTable2) {
+  // Table 2: 19 features — 9 normalized + 10 raw.
+  const auto names = data::selected_feature_names();
+  EXPECT_EQ(names.size(), 19u);
+  int norms = 0;
+  int raws = 0;
+  for (const auto& name : names) {
+    int id = 0;
+    bool is_raw = false;
+    ASSERT_TRUE(data::parse_feature_name(name, id, is_raw)) << name;
+    (is_raw ? raws : norms) += 1;
+  }
+  EXPECT_EQ(norms, 9);
+  EXPECT_EQ(raws, 10);
+}
+
+TEST(Schema, SelectedAttributesAreTable2Rows) {
+  const std::set<int> expected = {1, 5, 7, 9, 12, 183, 184,
+                                  187, 189, 193, 197, 198, 199};
+  std::set<int> got;
+  for (const auto& name : data::selected_feature_names()) {
+    int id = 0;
+    bool is_raw = false;
+    data::parse_feature_name(name, id, is_raw);
+    got.insert(id);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Schema, PaperRanksCoverOneToThirteen) {
+  std::set<int> ranks;
+  for (const auto& attr : data::full_smart_schema()) {
+    if (attr.paper_rank > 0) ranks.insert(attr.paper_rank);
+  }
+  EXPECT_EQ(ranks.size(), 13u);
+  EXPECT_EQ(*ranks.begin(), 1);
+  EXPECT_EQ(*ranks.rbegin(), 13);
+}
+
+TEST(Schema, SelectedIndicesPointIntoCandidates) {
+  const auto candidates = data::candidate_feature_names();
+  const auto selected_names = data::selected_feature_names();
+  const auto indices = data::selected_feature_indices();
+  ASSERT_EQ(indices.size(), selected_names.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    ASSERT_GE(indices[i], 0);
+    ASSERT_LT(static_cast<std::size_t>(indices[i]), candidates.size());
+    EXPECT_EQ(candidates[static_cast<std::size_t>(indices[i])],
+              selected_names[i]);
+  }
+}
+
+TEST(Schema, ParseFeatureName) {
+  int id = 0;
+  bool is_raw = false;
+  EXPECT_TRUE(data::parse_feature_name("smart_187_raw", id, is_raw));
+  EXPECT_EQ(id, 187);
+  EXPECT_TRUE(is_raw);
+  EXPECT_TRUE(data::parse_feature_name("smart_5_normalized", id, is_raw));
+  EXPECT_EQ(id, 5);
+  EXPECT_FALSE(is_raw);
+  EXPECT_FALSE(data::parse_feature_name("smart_5_bogus", id, is_raw));
+  EXPECT_FALSE(data::parse_feature_name("capacity", id, is_raw));
+  EXPECT_FALSE(data::parse_feature_name("smart_", id, is_raw));
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "data/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+data::Dataset tiny_dataset() {
+  data::Dataset d;
+  d.model_name = "TEST";
+  d.feature_names = {"f0", "f1"};
+  d.duration_days = 60;
+
+  data::DiskHistory good;
+  good.id = 0;
+  good.failed = false;
+  good.first_day = 0;
+  good.last_day = 59;
+  for (data::Day day = 0; day <= 59; ++day) {
+    good.snapshots.push_back({day, {1.0f, 2.0f}});
+  }
+  data::DiskHistory bad;
+  bad.id = 1;
+  bad.failed = true;
+  bad.first_day = 10;
+  bad.last_day = 40;
+  for (data::Day day = 10; day <= 40; ++day) {
+    bad.snapshots.push_back({day, {3.0f, 4.0f}});
+  }
+  d.disks = {good, bad};
+  return d;
+}
+
+TEST(Types, Counts) {
+  const auto d = tiny_dataset();
+  EXPECT_EQ(d.good_count(), 1u);
+  EXPECT_EQ(d.failed_count(), 1u);
+  EXPECT_EQ(d.sample_count(), 60u + 31u);
+  EXPECT_EQ(d.feature_count(), 2u);
+}
+
+TEST(Types, FeatureIndex) {
+  const auto d = tiny_dataset();
+  EXPECT_EQ(d.feature_index("f0"), 0);
+  EXPECT_EQ(d.feature_index("f1"), 1);
+  EXPECT_EQ(d.feature_index("nope"), -1);
+}
+
+TEST(Types, LifetimeDays) {
+  const auto d = tiny_dataset();
+  EXPECT_EQ(d.disks[0].lifetime_days(), 60);
+  EXPECT_EQ(d.disks[1].lifetime_days(), 31);
+}
+
+TEST(Types, MonthOf) {
+  EXPECT_EQ(data::month_of(0), 0);
+  EXPECT_EQ(data::month_of(29), 0);
+  EXPECT_EQ(data::month_of(30), 1);
+  EXPECT_EQ(data::month_of(365), 12);
+}
+
+TEST(Types, LabeledSampleView) {
+  const auto d = tiny_dataset();
+  data::LabeledSample s{d.disks[1].id, 10, &d.disks[1],
+                        &d.disks[1].snapshots[0], 1};
+  ASSERT_EQ(s.x().size(), 2u);
+  EXPECT_FLOAT_EQ(s.x()[0], 3.0f);
+  EXPECT_EQ(s.label, 1);
+}
+
+}  // namespace

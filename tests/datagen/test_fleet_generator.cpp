@@ -1,0 +1,248 @@
+#include "datagen/fleet_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "data/labeling.hpp"
+#include "data/smart_schema.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+datagen::FleetProfile small_profile() {
+  datagen::FleetProfile p = datagen::sta_profile(0.004);  // ~138 good, 8 failed
+  return p;
+}
+
+TEST(FleetGenerator, PopulationMatchesProfile) {
+  const auto p = small_profile();
+  const auto d = datagen::generate_fleet(p, 42);
+  EXPECT_EQ(d.good_count(), p.n_good);
+  EXPECT_EQ(d.failed_count(), p.n_failed);
+  EXPECT_EQ(d.duration_days, p.duration_days);
+  EXPECT_EQ(d.model_name, p.model_name);
+  EXPECT_EQ(d.feature_names, data::selected_feature_names());
+}
+
+TEST(FleetGenerator, DeterministicGivenSeed) {
+  const auto p = small_profile();
+  const auto a = datagen::generate_fleet(p, 7);
+  const auto b = datagen::generate_fleet(p, 7);
+  ASSERT_EQ(a.disks.size(), b.disks.size());
+  for (std::size_t i = 0; i < a.disks.size(); ++i) {
+    ASSERT_EQ(a.disks[i].snapshots.size(), b.disks[i].snapshots.size());
+  }
+  // Deep-compare one disk.
+  const auto& da = a.disks[3];
+  const auto& db = b.disks[3];
+  for (std::size_t s = 0; s < da.snapshots.size(); ++s) {
+    ASSERT_EQ(da.snapshots[s].features, db.snapshots[s].features);
+  }
+}
+
+TEST(FleetGenerator, SeedsProduceDifferentFleets) {
+  const auto p = small_profile();
+  const auto a = datagen::generate_fleet(p, 1);
+  const auto b = datagen::generate_fleet(p, 2);
+  EXPECT_NE(a.disks[0].snapshots[0].features,
+            b.disks[0].snapshots[0].features);
+}
+
+TEST(FleetGenerator, SnapshotsAreDailyAndOrdered) {
+  const auto d = datagen::generate_fleet(small_profile(), 42);
+  for (const auto& disk : d.disks) {
+    ASSERT_FALSE(disk.snapshots.empty());
+    EXPECT_EQ(disk.snapshots.front().day, disk.first_day);
+    EXPECT_EQ(disk.snapshots.back().day, disk.last_day);
+    for (std::size_t s = 1; s < disk.snapshots.size(); ++s) {
+      ASSERT_EQ(disk.snapshots[s].day, disk.snapshots[s - 1].day + 1);
+    }
+  }
+}
+
+TEST(FleetGenerator, FailedDisksEndBeforeWindowGoodDisksReachEnd) {
+  const auto p = small_profile();
+  const auto d = datagen::generate_fleet(p, 42);
+  for (const auto& disk : d.disks) {
+    EXPECT_GE(disk.first_day, 0);
+    if (disk.failed) {
+      EXPECT_LT(disk.last_day, p.duration_days);
+      EXPECT_GE(disk.last_day - disk.first_day,
+                p.min_observed_before_failure);
+    } else {
+      EXPECT_EQ(disk.last_day, p.duration_days - 1);
+    }
+  }
+}
+
+TEST(FleetGenerator, ErrorCountersAreNonNegativeAndMonotone) {
+  const auto d = datagen::generate_fleet(small_profile(), 42);
+  const int idx_187 = d.feature_index("smart_187_raw");
+  const int idx_5 = d.feature_index("smart_5_raw");
+  ASSERT_GE(idx_187, 0);
+  ASSERT_GE(idx_5, 0);
+  for (const auto& disk : d.disks) {
+    float prev_187 = 0.0f;
+    float prev_5 = 0.0f;
+    for (const auto& snap : disk.snapshots) {
+      const float v187 = snap.features[static_cast<std::size_t>(idx_187)];
+      const float v5 = snap.features[static_cast<std::size_t>(idx_5)];
+      ASSERT_GE(v187, 0.0f);
+      ASSERT_GE(v187, prev_187);  // reported uncorrectable never decreases
+      ASSERT_GE(v5, prev_5);      // reallocated never decreases
+      prev_187 = v187;
+      prev_5 = v5;
+    }
+  }
+}
+
+TEST(FleetGenerator, PowerOnHoursTracksAge) {
+  const auto d = datagen::generate_fleet(small_profile(), 42);
+  const int idx = d.feature_index("smart_9_raw");
+  ASSERT_GE(idx, 0);
+  for (const auto& disk : d.disks) {
+    const auto& first = disk.snapshots.front();
+    const auto& last = disk.snapshots.back();
+    const double grown = last.features[static_cast<std::size_t>(idx)] -
+                         first.features[static_cast<std::size_t>(idx)];
+    const double observed_days = disk.last_day - disk.first_day;
+    EXPECT_NEAR(grown, observed_days * 24.0, observed_days * 0.5 + 50.0);
+  }
+}
+
+TEST(FleetGenerator, NormalizedValuesStayInVendorRange) {
+  const auto d = datagen::generate_fleet(small_profile(), 42);
+  for (const auto& name : d.feature_names) {
+    int id = 0;
+    bool is_raw = false;
+    ASSERT_TRUE(data::parse_feature_name(name, id, is_raw));
+    if (is_raw) continue;
+    const int idx = d.feature_index(name);
+    for (const auto& disk : d.disks) {
+      for (const auto& snap : disk.snapshots) {
+        const float v = snap.features[static_cast<std::size_t>(idx)];
+        ASSERT_GE(v, 1.0f) << name;
+        ASSERT_LE(v, 100.0f) << name;
+      }
+    }
+  }
+}
+
+TEST(FleetGenerator, FailingDisksShowStrongerSignaturesThanGood) {
+  datagen::FleetProfile p = datagen::sta_profile(0.01);
+  const auto d = datagen::generate_fleet(p, 42);
+  const int idx = d.feature_index("smart_187_raw");
+  util::RunningStats failed_last;
+  util::RunningStats good_last;
+  for (const auto& disk : d.disks) {
+    const float v =
+        disk.snapshots.back().features[static_cast<std::size_t>(idx)];
+    (disk.failed ? failed_last : good_last).add(v);
+  }
+  // Mean terminal uncorrectable-error count must be clearly higher for
+  // failed disks — this is the signal every predictor in the paper relies
+  // on. (The distributions intentionally overlap; see DESIGN.md §2.)
+  EXPECT_GT(failed_last.mean(), 2.0 * (good_last.mean() + 0.5));
+}
+
+TEST(FleetGenerator, CumulativeAttributeDistributionDriftsOverTime) {
+  // The paper's root cause of model aging: the fleet-wide distribution of
+  // cumulative attributes (e.g. Power-On Hours) shifts upward over time.
+  datagen::FleetProfile p = datagen::sta_profile(0.01);
+  const auto d = datagen::generate_fleet(p, 42);
+  const int idx = d.feature_index("smart_9_raw");
+  util::RunningStats early;
+  util::RunningStats late;
+  for (const auto& disk : d.disks) {
+    if (disk.failed) continue;
+    for (const auto& snap : disk.snapshots) {
+      const float v = snap.features[static_cast<std::size_t>(idx)];
+      if (snap.day < 90) {
+        early.add(v);
+      } else if (snap.day >= p.duration_days - 90) {
+        late.add(v);
+      }
+    }
+  }
+  EXPECT_GT(late.mean(), early.mean() + 300 * 24.0 * 0.5);
+}
+
+TEST(FleetGenerator, BenignErrorRateRisesWithCalendarTime) {
+  // Healthy-fleet error accumulation drives the frozen model's FAR drift.
+  datagen::FleetProfile p = datagen::sta_profile(0.01);
+  const auto d = datagen::generate_fleet(p, 42);
+  const int idx = d.feature_index("smart_5_raw");
+  util::RunningStats early;
+  util::RunningStats late;
+  for (const auto& disk : d.disks) {
+    if (disk.failed) continue;
+    for (const auto& snap : disk.snapshots) {
+      const float v = snap.features[static_cast<std::size_t>(idx)];
+      if (snap.day < 120) {
+        early.add(v);
+      } else if (snap.day >= p.duration_days - 120) {
+        late.add(v);
+      }
+    }
+  }
+  EXPECT_GT(late.mean(), early.mean() * 1.5);
+}
+
+TEST(FleetGenerator, FullCandidateFeaturesEmits48Columns) {
+  datagen::FleetProfile p = small_profile();
+  p.full_candidate_features = true;
+  const auto d = datagen::generate_fleet(p, 42);
+  EXPECT_EQ(d.feature_names, data::candidate_feature_names());
+  EXPECT_EQ(d.disks[0].snapshots[0].features.size(), 48u);
+}
+
+TEST(FleetGenerator, SelectedColumnsMatchCandidateColumns) {
+  // The 19-column dataset must equal the corresponding slice of the
+  // 48-column dataset (same seed): the selected schema is a projection.
+  datagen::FleetProfile p = small_profile();
+  p.n_good = 5;
+  p.n_failed = 2;
+  const auto narrow = datagen::generate_fleet(p, 42);
+  p.full_candidate_features = true;
+  const auto wide = datagen::generate_fleet(p, 42);
+  const auto indices = data::selected_feature_indices();
+  ASSERT_EQ(narrow.disks.size(), wide.disks.size());
+  for (std::size_t i = 0; i < narrow.disks.size(); ++i) {
+    ASSERT_EQ(narrow.disks[i].snapshots.size(),
+              wide.disks[i].snapshots.size());
+    const auto& ns = narrow.disks[i].snapshots.front();
+    const auto& ws = wide.disks[i].snapshots.front();
+    for (std::size_t f = 0; f < indices.size(); ++f) {
+      EXPECT_FLOAT_EQ(ns.features[f],
+                      ws.features[static_cast<std::size_t>(indices[f])]);
+    }
+  }
+}
+
+TEST(FleetGenerator, SilentFailuresExist) {
+  datagen::FleetProfile p = datagen::sta_profile(0.02);
+  p.silent_failure_fraction = 0.5;  // exaggerate for the test
+  const auto d = datagen::generate_fleet(p, 42);
+  const int idx = d.feature_index("smart_187_raw");
+  std::size_t quiet = 0;
+  std::size_t loud = 0;
+  for (const auto& disk : d.disks) {
+    if (!disk.failed) continue;
+    const float v =
+        disk.snapshots.back().features[static_cast<std::size_t>(idx)];
+    (v < 3.0f ? quiet : loud) += 1;
+  }
+  EXPECT_GT(quiet, 0u);
+  EXPECT_GT(loud, 0u);
+}
+
+TEST(FleetGenerator, EmptyProfileThrows) {
+  datagen::FleetProfile p;
+  p.n_good = 0;
+  p.n_failed = 0;
+  EXPECT_THROW(datagen::generate_fleet(p, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include "datagen/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Profile, StaFullScaleMatchesTable1) {
+  const auto p = datagen::sta_profile(1.0);
+  EXPECT_EQ(p.model_name, "ST4000DM000");
+  EXPECT_DOUBLE_EQ(p.capacity_tb, 4.0);
+  EXPECT_EQ(p.n_good, 34535u);
+  EXPECT_EQ(p.n_failed, 1996u);
+  EXPECT_EQ(p.duration_days, 39 * data::kDaysPerMonth);
+}
+
+TEST(Profile, StbFullScaleMatchesTable1) {
+  const auto p = datagen::stb_profile(1.0);
+  EXPECT_EQ(p.model_name, "ST3000DM001");
+  EXPECT_DOUBLE_EQ(p.capacity_tb, 3.0);
+  EXPECT_EQ(p.n_good, 2898u);
+  EXPECT_EQ(p.n_failed, 1357u);
+  EXPECT_EQ(p.duration_days, 20 * data::kDaysPerMonth);
+}
+
+TEST(Profile, ScalingPreservesClassRatioApproximately) {
+  const auto full = datagen::sta_profile(1.0);
+  const auto small = datagen::sta_profile(0.1);
+  const double full_ratio = static_cast<double>(full.n_good) /
+                            static_cast<double>(full.n_failed);
+  const double small_ratio = static_cast<double>(small.n_good) /
+                             static_cast<double>(small.n_failed);
+  EXPECT_NEAR(small_ratio / full_ratio, 1.0, 0.05);
+  EXPECT_EQ(small.duration_days, full.duration_days);
+}
+
+TEST(Profile, StbIsHarderThanSta) {
+  const auto sta = datagen::sta_profile(1.0);
+  const auto stb = datagen::stb_profile(1.0);
+  EXPECT_GT(stb.silent_failure_fraction, sta.silent_failure_fraction);
+  EXPECT_LT(stb.signature_strength, sta.signature_strength);
+  EXPECT_GT(stb.noise_level, sta.noise_level);
+}
+
+TEST(Profile, InvalidScaleThrows) {
+  EXPECT_THROW(datagen::sta_profile(0.0), std::invalid_argument);
+  EXPECT_THROW(datagen::sta_profile(-1.0), std::invalid_argument);
+  EXPECT_THROW(datagen::stb_profile(1.5), std::invalid_argument);
+}
+
+TEST(Profile, TinyScaleStillHasDisks) {
+  const auto p = datagen::sta_profile(1e-6);
+  EXPECT_GE(p.n_good, 2u);
+  EXPECT_GE(p.n_failed, 2u);
+}
+
+}  // namespace

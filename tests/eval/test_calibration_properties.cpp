@@ -1,0 +1,88 @@
+// Parameterized invariants of the FAR-budget threshold calibration — the
+// mechanism every figure's "FAR ≈ 1.0%" operating point rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "eval/roc.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<eval::DiskScore> random_scores(std::size_t good,
+                                           std::size_t failed,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<eval::DiskScore> disks;
+  for (std::size_t i = 0; i < good; ++i) {
+    eval::DiskScore d;
+    d.failed = false;
+    d.max_score = rng.normal(0.3, 0.15);
+    d.samples = 3;
+    disks.push_back(d);
+  }
+  for (std::size_t i = 0; i < failed; ++i) {
+    eval::DiskScore d;
+    d.failed = true;
+    d.max_score = rng.normal(0.6, 0.2);
+    d.samples = 3;
+    disks.push_back(d);
+  }
+  return disks;
+}
+
+class BudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweep, CalibratedThresholdRespectsBudget) {
+  const double budget = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto disks = random_scores(500, 60, seed);
+    const double tau = eval::calibrate_threshold(disks, budget);
+    const auto m = eval::compute_metrics(disks, tau);
+    EXPECT_LE(m.far, budget + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST_P(BudgetSweep, CalibratedThresholdIsMaximallySensitive) {
+  const double budget = GetParam();
+  const auto disks = random_scores(500, 60, 7);
+  const double tau = eval::calibrate_threshold(disks, budget);
+  const auto at_tau = eval::compute_metrics(disks, tau);
+  // No threshold with FAR within budget achieves a higher FDR (checked via
+  // the full ROC sweep).
+  EXPECT_DOUBLE_EQ(eval::best_fdr_at_far(disks, budget), at_tau.fdr);
+}
+
+TEST_P(BudgetSweep, LargerBudgetsNeverReduceFdr) {
+  const double budget = GetParam();
+  const auto disks = random_scores(500, 60, 11);
+  const double fdr_small = eval::best_fdr_at_far(disks, budget);
+  const double fdr_large = eval::best_fdr_at_far(disks, budget * 2.0 + 1.0);
+  EXPECT_GE(fdr_large, fdr_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 5.0, 20.0));
+
+class PopulationSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PopulationSweep, MetricsAndRocAgreeAtEveryThreshold) {
+  const auto [good, failed] = GetParam();
+  const auto disks = random_scores(static_cast<std::size_t>(good),
+                                   static_cast<std::size_t>(failed), 13);
+  for (const auto& point : eval::roc_curve(disks)) {
+    const auto m = eval::compute_metrics(disks, point.threshold);
+    EXPECT_NEAR(m.far, point.far, 1e-9);
+    EXPECT_NEAR(m.fdr, point.fdr, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, PopulationSweep,
+                         ::testing::Values(std::pair<int, int>{10, 5},
+                                           std::pair<int, int>{100, 1},
+                                           std::pair<int, int>{1, 100},
+                                           std::pair<int, int>{400, 80}));
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+eval::DiskScore disk(bool failed, double max_score, std::size_t samples = 5) {
+  eval::DiskScore d;
+  d.failed = failed;
+  d.max_score = max_score;
+  d.samples = samples;
+  return d;
+}
+
+TEST(Metrics, FdrAndFarDefinitions) {
+  const std::vector<eval::DiskScore> disks = {
+      disk(true, 0.9),   // detected
+      disk(true, 0.2),   // missed
+      disk(false, 0.1),  // quiet good disk
+      disk(false, 0.8),  // false alarm
+      disk(false, 0.3),
+  };
+  const auto m = eval::compute_metrics(disks, 0.5);
+  EXPECT_EQ(m.failed_disks, 2u);
+  EXPECT_EQ(m.good_disks, 3u);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(m.fdr, 50.0);
+  EXPECT_NEAR(m.far, 100.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, ThresholdIsInclusive) {
+  const std::vector<eval::DiskScore> disks = {disk(true, 0.5)};
+  EXPECT_DOUBLE_EQ(eval::compute_metrics(disks, 0.5).fdr, 100.0);
+  EXPECT_DOUBLE_EQ(eval::compute_metrics(disks, 0.5001).fdr, 0.0);
+}
+
+TEST(Metrics, SamplelessDisksAreSkipped) {
+  const std::vector<eval::DiskScore> disks = {
+      disk(true, 0.9, 0),  // never scored — must not count
+      disk(false, 0.9, 0),
+      disk(true, 0.9),
+  };
+  const auto m = eval::compute_metrics(disks, 0.5);
+  EXPECT_EQ(m.failed_disks, 1u);
+  EXPECT_EQ(m.good_disks, 0u);
+  EXPECT_DOUBLE_EQ(m.far, 0.0);
+}
+
+TEST(Metrics, EmptyInput) {
+  const std::vector<eval::DiskScore> none;
+  const auto m = eval::compute_metrics(none, 0.5);
+  EXPECT_DOUBLE_EQ(m.fdr, 0.0);
+  EXPECT_DOUBLE_EQ(m.far, 0.0);
+}
+
+TEST(Calibration, HitsFarBudgetExactly) {
+  // 100 good disks with max scores 0.00 .. 0.99.
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 100; ++i) {
+    disks.push_back(disk(false, i / 100.0));
+  }
+  const double tau = eval::calibrate_threshold(disks, 1.0);
+  const auto m = eval::compute_metrics(disks, tau);
+  EXPECT_DOUBLE_EQ(m.far, 1.0);  // exactly one of 100 trips
+}
+
+TEST(Calibration, ZeroBudgetSuppressesAllAlarms) {
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 10; ++i) disks.push_back(disk(false, i / 10.0));
+  const double tau = eval::calibrate_threshold(disks, 0.0);
+  EXPECT_DOUBLE_EQ(eval::compute_metrics(disks, tau).far, 0.0);
+}
+
+TEST(Calibration, PicksMostSensitiveFeasibleThreshold) {
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 200; ++i) disks.push_back(disk(false, i / 200.0));
+  // With a 1% budget over 200 good disks, τ lands just above the
+  // third-highest good score (0.985); a failure scoring 0.99 is caught.
+  disks.push_back(disk(true, 0.99));
+  const double tau = eval::calibrate_threshold(disks, 1.0);
+  const auto m = eval::compute_metrics(disks, tau);
+  EXPECT_LE(m.far, 1.0);
+  EXPECT_GT(m.far, 0.0);          // τ is as sensitive as the budget allows
+  EXPECT_DOUBLE_EQ(m.fdr, 100.0);
+}
+
+TEST(Calibration, LargeBudgetAllowsEverything) {
+  std::vector<eval::DiskScore> disks = {disk(false, 0.3), disk(false, 0.6)};
+  const double tau = eval::calibrate_threshold(disks, 100.0);
+  const auto m = eval::compute_metrics(disks, tau);
+  EXPECT_DOUBLE_EQ(m.far, 100.0);
+}
+
+TEST(Calibration, OnlyFailedDisksGivesNegativeInfinity) {
+  std::vector<eval::DiskScore> disks = {disk(true, 0.9)};
+  const double tau = eval::calibrate_threshold(disks, 1.0);
+  EXPECT_TRUE(std::isinf(tau));
+  EXPECT_LT(tau, 0.0);
+}
+
+TEST(Calibration, TiedScoresDoNotOvershootBudget) {
+  // 50 disks all scoring 0.7: any τ ≤ 0.7 trips all of them, so the only
+  // feasible budget-respecting τ is above 0.7.
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 50; ++i) disks.push_back(disk(false, 0.7));
+  const double tau = eval::calibrate_threshold(disks, 2.0);
+  EXPECT_DOUBLE_EQ(eval::compute_metrics(disks, tau).far, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "eval/offline_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/labeling.hpp"
+#include "datagen/fleet_generator.hpp"
+#include "datagen/profile.hpp"
+#include "eval/metrics.hpp"
+
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  data::DiskSplit split;
+  std::vector<data::LabeledSample> train;
+
+  Fixture() {
+    datagen::FleetProfile profile = datagen::sta_profile(0.004);
+    profile.n_failed = 40;  // enough held-out failures for FDR resolution
+    profile.duration_days = 12 * data::kDaysPerMonth;
+    dataset = datagen::generate_fleet(profile, 5);
+    util::Rng rng(9);
+    split = data::split_disks(dataset, 0.7, rng);
+    train = data::label_offline(dataset, split.train);
+  }
+};
+
+TEST(OfflineModels, RfDetectsFailuresOnHeldOutDisks) {
+  const Fixture fx;
+  eval::RfSetup setup;
+  setup.params.n_trees = 15;
+  const auto model = eval::train_rf(fx.train, setup, 42);
+  ASSERT_TRUE(model.rf);
+  const auto scores =
+      eval::score_disks(fx.dataset, fx.split.test, model.scorer());
+  // The test fleet has only ~40 good test disks, so use a 10% FAR budget
+  // (a 1–2% budget would round to zero allowed alarms at this scale).
+  const double tau = eval::calibrate_threshold(scores, 10.0);
+  const auto m = eval::compute_metrics(scores, tau);
+  EXPECT_GT(m.fdr, 50.0);  // clearly better than chance at FAR ≤ 10%
+  EXPECT_LE(m.far, 10.0);
+}
+
+TEST(OfflineModels, DtTrainsAndScores) {
+  const Fixture fx;
+  eval::DtSetup setup;
+  const auto model = eval::train_dt(fx.train, setup, 42);
+  ASSERT_TRUE(model.dt);
+  const auto scores =
+      eval::score_disks(fx.dataset, fx.split.test, model.scorer());
+  const double tau = eval::calibrate_threshold(scores, 10.0);
+  EXPECT_GT(eval::compute_metrics(scores, tau).fdr, 40.0);
+}
+
+TEST(OfflineModels, SvmGridPicksAndScores) {
+  const Fixture fx;
+  eval::SvmSetup setup;
+  setup.c_grid = {1.0, 10.0};
+  setup.gamma_grid = {0.5};
+  eval::ScoreOptions scoring;
+  scoring.good_sample_stride = 4;
+  const auto model = eval::train_svm_grid(fx.train, setup, fx.dataset,
+                                          fx.split.test, scoring, 42);
+  ASSERT_TRUE(model.svm);
+  const auto scores = eval::score_disks(fx.dataset, fx.split.test,
+                                        model.scorer(), scoring);
+  const double tau = eval::calibrate_threshold(scores, 10.0);
+  EXPECT_GT(eval::compute_metrics(scores, tau).fdr, 30.0);
+}
+
+TEST(OfflineModels, ScorerWithoutModelThrows) {
+  eval::OfflineModel empty;
+  EXPECT_THROW(empty.scorer(), std::logic_error);
+}
+
+TEST(OfflineModels, EmptyTrainingThrows) {
+  const std::vector<data::LabeledSample> empty;
+  EXPECT_THROW(eval::train_rf(empty, eval::RfSetup{}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(eval::train_dt(empty, eval::DtSetup{}, 1),
+               std::invalid_argument);
+}
+
+TEST(OfflineModels, LambdaMaxYieldsConservativeModel) {
+  // Without rebalancing, the forest is biased to "healthy": at τ = 0.5 its
+  // FDR must be far below the λ = 1 model's (the Table-3 effect).
+  const Fixture fx;
+  eval::RfSetup balanced;
+  balanced.neg_sample_ratio = 1.0;
+  balanced.params.n_trees = 15;
+  eval::RfSetup unbalanced;
+  unbalanced.neg_sample_ratio = -1.0;
+  unbalanced.params.n_trees = 15;
+
+  const auto model_b = eval::train_rf(fx.train, balanced, 42);
+  const auto model_u = eval::train_rf(fx.train, unbalanced, 42);
+  const auto scores_b =
+      eval::score_disks(fx.dataset, fx.split.test, model_b.scorer());
+  const auto scores_u =
+      eval::score_disks(fx.dataset, fx.split.test, model_u.scorer());
+  const auto m_b = eval::compute_metrics(scores_b, 0.5);
+  const auto m_u = eval::compute_metrics(scores_u, 0.5);
+  EXPECT_GT(m_b.fdr, m_u.fdr);
+  EXPECT_GE(m_b.far, m_u.far);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "eval/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/labeling.hpp"
+#include "datagen/fleet_generator.hpp"
+#include "datagen/profile.hpp"
+
+namespace {
+
+core::OnlineForestParams small_orf() {
+  core::OnlineForestParams p;
+  p.n_trees = 8;
+  p.tree.n_tests = 64;
+  p.tree.min_parent_size = 50;
+  p.tree.min_gain = 0.05;
+  p.lambda_pos = 1.0;
+  p.lambda_neg = 0.1;
+  return p;
+}
+
+struct Fixture {
+  data::Dataset dataset;
+  std::vector<data::LabeledSample> samples;
+
+  Fixture() {
+    datagen::FleetProfile profile = datagen::sta_profile(0.003);
+    profile.n_failed = 25;  // enough positives for the ORF to learn from
+    profile.duration_days = 10 * data::kDaysPerMonth;
+    dataset = datagen::generate_fleet(profile, 11);
+    samples = data::label_offline_all(dataset);
+    data::sort_by_time(samples);
+  }
+};
+
+TEST(OrfReplay, AdvanceUntilConsumesExactlyTheWindow) {
+  const Fixture fx;
+  eval::OrfReplay replay(fx.dataset.feature_count(), small_orf(), 3);
+  replay.advance_until(fx.samples, 30);
+  std::size_t expected = 0;
+  for (const auto& s : fx.samples) expected += s.day < 30;
+  EXPECT_EQ(replay.consumed(), expected);
+  EXPECT_EQ(replay.forest().samples_seen(), expected);
+}
+
+TEST(OrfReplay, IncrementalAdvanceMatchesOneShot) {
+  const Fixture fx;
+  eval::OrfReplay incremental(fx.dataset.feature_count(), small_orf(), 3);
+  for (data::Day cutoff = 30; cutoff <= 300; cutoff += 30) {
+    incremental.advance_until(fx.samples, cutoff);
+  }
+  eval::OrfReplay oneshot(fx.dataset.feature_count(), small_orf(), 3);
+  oneshot.advance_until(fx.samples, 300);
+  EXPECT_EQ(incremental.consumed(), oneshot.consumed());
+  // Identical state ⇒ identical predictions.
+  const auto probe = fx.samples.front().x();
+  std::vector<float> scaled_a;
+  std::vector<float> scaled_b;
+  incremental.scaler().transform(probe, scaled_a);
+  oneshot.scaler().transform(probe, scaled_b);
+  ASSERT_EQ(scaled_a, scaled_b);
+  EXPECT_DOUBLE_EQ(incremental.forest().predict_proba(scaled_a),
+                   oneshot.forest().predict_proba(scaled_b));
+}
+
+TEST(OrfReplay, AdvanceAllConsumesEverything) {
+  const Fixture fx;
+  eval::OrfReplay replay(fx.dataset.feature_count(), small_orf(), 3);
+  replay.advance_all(fx.samples);
+  EXPECT_EQ(replay.consumed(), fx.samples.size());
+}
+
+TEST(OrfReplay, UnsortedInputThrows) {
+  const Fixture fx;
+  auto shuffled = fx.samples;
+  std::swap(shuffled.front(), shuffled.back());
+  eval::OrfReplay replay(fx.dataset.feature_count(), small_orf(), 3);
+  EXPECT_THROW(replay.advance_all(shuffled), std::invalid_argument);
+}
+
+TEST(OrfReplay, ScorerReflectsLearnedModel) {
+  const Fixture fx;
+  eval::OrfReplay replay(fx.dataset.feature_count(), small_orf(), 3);
+  replay.advance_all(fx.samples);
+  const auto scores =
+      eval::score_disks(fx.dataset, data::all_disks(fx.dataset),
+                        replay.scorer());
+  // After a full replay, failed disks must on average outscore good disks.
+  double failed_sum = 0.0;
+  double good_sum = 0.0;
+  std::size_t failed_n = 0;
+  std::size_t good_n = 0;
+  for (const auto& s : scores) {
+    if (s.failed) {
+      failed_sum += s.max_score;
+      ++failed_n;
+    } else {
+      good_sum += s.max_score;
+      ++good_n;
+    }
+  }
+  ASSERT_GT(failed_n, 0u);
+  ASSERT_GT(good_n, 0u);
+  EXPECT_GT(failed_sum / failed_n, good_sum / good_n);
+}
+
+}  // namespace

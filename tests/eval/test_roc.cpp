@@ -1,0 +1,90 @@
+#include "eval/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+eval::DiskScore disk(bool failed, double score) {
+  eval::DiskScore d;
+  d.failed = failed;
+  d.max_score = score;
+  d.samples = 1;
+  return d;
+}
+
+TEST(Roc, PerfectSeparationHasAucOne) {
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 50; ++i) disks.push_back(disk(false, i / 100.0));
+  for (int i = 0; i < 20; ++i) disks.push_back(disk(true, 0.8 + i / 100.0));
+  EXPECT_DOUBLE_EQ(eval::roc_auc(disks), 1.0);
+  EXPECT_DOUBLE_EQ(eval::best_fdr_at_far(disks, 0.0), 100.0);
+}
+
+TEST(Roc, ReversedScoresHaveAucZero) {
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 50; ++i) disks.push_back(disk(false, 0.8 + i / 100.0));
+  for (int i = 0; i < 20; ++i) disks.push_back(disk(true, i / 100.0));
+  EXPECT_DOUBLE_EQ(eval::roc_auc(disks), 0.0);
+}
+
+TEST(Roc, RandomScoresNearHalf) {
+  util::Rng rng(42);
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 4000; ++i) {
+    disks.push_back(disk(i % 4 == 0, rng.uniform()));
+  }
+  EXPECT_NEAR(eval::roc_auc(disks), 0.5, 0.03);
+}
+
+TEST(Roc, CurveIsMonotone) {
+  util::Rng rng(42);
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 300; ++i) {
+    const bool failed = i % 3 == 0;
+    disks.push_back(disk(failed, rng.normal(failed ? 0.7 : 0.3, 0.2)));
+  }
+  const auto curve = eval::roc_curve(disks);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().far, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().far, 100.0);
+  EXPECT_DOUBLE_EQ(curve.back().fdr, 100.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].far, curve[i - 1].far);
+    EXPECT_GE(curve[i].fdr, curve[i - 1].fdr);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(Roc, BestFdrMatchesCalibratedMetrics) {
+  util::Rng rng(42);
+  std::vector<eval::DiskScore> disks;
+  for (int i = 0; i < 500; ++i) {
+    const bool failed = i % 5 == 0;
+    disks.push_back(disk(failed, rng.normal(failed ? 0.7 : 0.3, 0.15)));
+  }
+  const double budget = 2.0;
+  const double tau = eval::calibrate_threshold(disks, budget);
+  const auto m = eval::compute_metrics(disks, tau);
+  EXPECT_DOUBLE_EQ(eval::best_fdr_at_far(disks, budget), m.fdr);
+}
+
+TEST(Roc, SamplelessDisksIgnored) {
+  std::vector<eval::DiskScore> disks = {disk(true, 0.9), disk(false, 0.1)};
+  eval::DiskScore empty;
+  empty.failed = true;  // never scored
+  disks.push_back(empty);
+  EXPECT_DOUBLE_EQ(eval::roc_auc(disks), 1.0);
+}
+
+TEST(Roc, EmptyInput) {
+  const std::vector<eval::DiskScore> none;
+  EXPECT_TRUE(eval::roc_curve(none).empty());
+  EXPECT_DOUBLE_EQ(eval::roc_auc(none), 0.5);
+  EXPECT_DOUBLE_EQ(eval::best_fdr_at_far(none, 1.0), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+#include "eval/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/labeling.hpp"
+
+namespace {
+
+/// A dataset with one good disk (days 0..99, feature = day) and one failed
+/// disk (days 0..50, feature = day + 1000).
+data::Dataset make_dataset() {
+  data::Dataset d;
+  d.feature_names = {"f"};
+  d.duration_days = 100;
+  data::DiskHistory good;
+  good.id = 0;
+  good.failed = false;
+  good.first_day = 0;
+  good.last_day = 99;
+  for (data::Day day = 0; day <= 99; ++day) {
+    good.snapshots.push_back({day, {static_cast<float>(day)}});
+  }
+  data::DiskHistory bad;
+  bad.id = 1;
+  bad.failed = true;
+  bad.first_day = 0;
+  bad.last_day = 50;
+  for (data::Day day = 0; day <= 50; ++day) {
+    bad.snapshots.push_back({day, {static_cast<float>(day + 1000)}});
+  }
+  d.disks = {good, bad};
+  return d;
+}
+
+const eval::Scorer identity = [](std::span<const float> x) {
+  return static_cast<double>(x[0]);
+};
+
+TEST(Scoring, FailedDiskUsesLastWeekOnly) {
+  const auto d = make_dataset();
+  const auto disks = data::all_disks(d);
+  const auto scores = eval::score_disks(d, disks, identity);
+  const eval::DiskScore* failed = nullptr;
+  for (const auto& s : scores) {
+    if (s.failed) failed = &s;
+  }
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->samples, 7u);          // days 44..50
+  EXPECT_DOUBLE_EQ(failed->max_score, 1050.0);
+}
+
+TEST(Scoring, GoodDiskExcludesLatestWeek) {
+  const auto d = make_dataset();
+  const auto disks = data::all_disks(d);
+  const auto scores = eval::score_disks(d, disks, identity);
+  const eval::DiskScore* good = nullptr;
+  for (const auto& s : scores) {
+    if (!s.failed) good = &s;
+  }
+  ASSERT_NE(good, nullptr);
+  EXPECT_EQ(good->samples, 93u);          // days 0..92
+  EXPECT_DOUBLE_EQ(good->max_score, 92.0);  // day 93..99 excluded
+}
+
+TEST(Scoring, WindowRestrictsFailedDiskMembership) {
+  const auto d = make_dataset();
+  const auto disks = data::all_disks(d);
+  eval::ScoreOptions options;
+  options.from_day = 60;  // the failure (day 50) is outside
+  const auto scores = eval::score_disks(d, disks, identity, options);
+  for (const auto& s : scores) EXPECT_FALSE(s.failed);
+}
+
+TEST(Scoring, WindowRestrictsGoodDiskSamples) {
+  const auto d = make_dataset();
+  const auto disks = data::all_disks(d);
+  eval::ScoreOptions options;
+  options.from_day = 30;
+  options.to_day = 60;
+  const auto scores = eval::score_disks(d, disks, identity, options);
+  const eval::DiskScore* good = nullptr;
+  for (const auto& s : scores) {
+    if (!s.failed) good = &s;
+  }
+  ASSERT_NE(good, nullptr);
+  EXPECT_EQ(good->samples, 30u);          // days 30..59
+  EXPECT_DOUBLE_EQ(good->max_score, 59.0);
+}
+
+TEST(Scoring, StrideSubsamplesGoodDiskDays) {
+  const auto d = make_dataset();
+  const auto disks = data::all_disks(d);
+  eval::ScoreOptions options;
+  options.good_sample_stride = 10;
+  const auto scores = eval::score_disks(d, disks, identity, options);
+  const eval::DiskScore* good = nullptr;
+  for (const auto& s : scores) {
+    if (!s.failed) good = &s;
+  }
+  ASSERT_NE(good, nullptr);
+  EXPECT_EQ(good->samples, 10u);  // days 0,10,...,90
+  EXPECT_DOUBLE_EQ(good->max_score, 90.0);
+}
+
+TEST(Scoring, MaxGoodDisksCapsDeterministically) {
+  data::Dataset d;
+  d.feature_names = {"f"};
+  d.duration_days = 30;
+  for (int i = 0; i < 10; ++i) {
+    data::DiskHistory disk;
+    disk.id = static_cast<data::DiskId>(i);
+    disk.failed = false;
+    disk.first_day = 0;
+    disk.last_day = 29;
+    for (data::Day day = 0; day <= 29; ++day) {
+      disk.snapshots.push_back({day, {static_cast<float>(i)}});
+    }
+    d.disks.push_back(disk);
+  }
+  const auto disks = data::all_disks(d);
+  eval::ScoreOptions options;
+  options.max_good_disks = 4;
+  const auto a = eval::score_disks(d, disks, identity, options);
+  const auto b = eval::score_disks(d, disks, identity, options);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].max_score, b[i].max_score);  // deterministic pick
+  }
+}
+
+TEST(Scoring, FailedDiskLastWeekMayPrecedeWindowStart) {
+  // A disk failing on day 31 with from_day = 30: its last-week samples
+  // (days 25..31) must still all be scored.
+  data::Dataset d;
+  d.feature_names = {"f"};
+  d.duration_days = 60;
+  data::DiskHistory bad;
+  bad.id = 0;
+  bad.failed = true;
+  bad.first_day = 0;
+  bad.last_day = 31;
+  for (data::Day day = 0; day <= 31; ++day) {
+    bad.snapshots.push_back({day, {static_cast<float>(day)}});
+  }
+  d.disks = {bad};
+  const auto disks = data::all_disks(d);
+  eval::ScoreOptions options;
+  options.from_day = 30;
+  options.to_day = 60;
+  const auto scores = eval::score_disks(d, disks, identity, options);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].samples, 7u);  // days 25..31 inclusive
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include "features/change_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/labeling.hpp"
+
+namespace {
+
+data::Dataset linear_dataset() {
+  data::Dataset d;
+  d.feature_names = {"a", "b"};
+  d.duration_days = 30;
+  data::DiskHistory disk;
+  disk.id = 0;
+  disk.first_day = 0;
+  disk.last_day = 29;
+  for (data::Day day = 0; day <= 29; ++day) {
+    // a grows 2/day, b is constant.
+    disk.snapshots.push_back(
+        {day, {static_cast<float>(2 * day), 5.0f}});
+  }
+  d.disks.push_back(std::move(disk));
+  return d;
+}
+
+TEST(ChangeRate, NamesAppendWindowSuffix) {
+  const auto names = features::change_rate_names({"a", "b"});
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a_rate7d");
+  EXPECT_EQ(names[1], "b_rate7d");
+}
+
+TEST(ChangeRate, ComputesTrailingSlope) {
+  const auto augmented = features::augment_with_change_rates(linear_dataset());
+  ASSERT_EQ(augmented.feature_names.size(), 4u);
+  EXPECT_EQ(augmented.feature_names[2], "a_rate7d");
+  const auto& snaps = augmented.disks[0].snapshots;
+  ASSERT_EQ(snaps[10].features.size(), 4u);
+  EXPECT_FLOAT_EQ(snaps[10].features[2], 2.0f);  // slope of a
+  EXPECT_FLOAT_EQ(snaps[10].features[3], 0.0f);  // slope of b
+  // Base features unchanged.
+  EXPECT_FLOAT_EQ(snaps[10].features[0], 20.0f);
+  EXPECT_FLOAT_EQ(snaps[10].features[1], 5.0f);
+}
+
+TEST(ChangeRate, WarmupDaysUseFillValue) {
+  features::ChangeRateOptions options;
+  options.warmup_value = -1.0f;
+  const auto augmented =
+      features::augment_with_change_rates(linear_dataset(), options);
+  const auto& snaps = augmented.disks[0].snapshots;
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FLOAT_EQ(snaps[static_cast<std::size_t>(i)].features[2], -1.0f);
+  }
+  EXPECT_FLOAT_EQ(snaps[7].features[2], 2.0f);
+}
+
+TEST(ChangeRate, CustomWindow) {
+  features::ChangeRateOptions options;
+  options.window = 3;
+  const auto augmented =
+      features::augment_with_change_rates(linear_dataset(), options);
+  EXPECT_EQ(augmented.feature_names[2], "a_rate3d");
+  EXPECT_FLOAT_EQ(augmented.disks[0].snapshots[5].features[2], 2.0f);
+}
+
+TEST(ChangeRate, PreservesDiskMetadataAndLabeling) {
+  auto base = linear_dataset();
+  base.disks[0].failed = true;
+  const auto augmented = features::augment_with_change_rates(base);
+  EXPECT_TRUE(augmented.disks[0].failed);
+  EXPECT_EQ(augmented.duration_days, base.duration_days);
+  const auto labels_base = data::label_offline_all(base);
+  const auto labels_aug = data::label_offline_all(augmented);
+  ASSERT_EQ(labels_base.size(), labels_aug.size());
+  for (std::size_t i = 0; i < labels_base.size(); ++i) {
+    EXPECT_EQ(labels_base[i].label, labels_aug[i].label);
+  }
+}
+
+TEST(ChangeRate, InvalidWindowThrows) {
+  features::ChangeRateOptions options;
+  options.window = 0;
+  EXPECT_THROW(
+      features::augment_with_change_rates(linear_dataset(), options),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include "features/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+TEST(MinMaxScaler, FitRowsAndTransform) {
+  features::MinMaxScaler scaler;
+  const std::vector<std::vector<float>> rows = {
+      {0.0f, 10.0f}, {5.0f, 20.0f}, {10.0f, 30.0f}};
+  scaler.fit_rows(rows);
+  ASSERT_TRUE(scaler.fitted());
+  EXPECT_EQ(scaler.feature_count(), 2u);
+  EXPECT_DOUBLE_EQ(scaler.min_of(0), 0.0);
+  EXPECT_DOUBLE_EQ(scaler.max_of(1), 30.0);
+
+  const auto scaled = scaler.transform(std::vector<float>{5.0f, 20.0f});
+  EXPECT_FLOAT_EQ(scaled[0], 0.5f);
+  EXPECT_FLOAT_EQ(scaled[1], 0.5f);
+}
+
+TEST(MinMaxScaler, ClampsOutOfRange) {
+  features::MinMaxScaler scaler;
+  scaler.fit_rows(std::vector<std::vector<float>>{{0.0f}, {10.0f}});
+  EXPECT_FLOAT_EQ(scaler.transform(std::vector<float>{-5.0f})[0], 0.0f);
+  EXPECT_FLOAT_EQ(scaler.transform(std::vector<float>{15.0f})[0], 1.0f);
+}
+
+TEST(MinMaxScaler, ConstantFeatureScalesToZero) {
+  features::MinMaxScaler scaler;
+  scaler.fit_rows(std::vector<std::vector<float>>{{7.0f}, {7.0f}});
+  EXPECT_FLOAT_EQ(scaler.transform(std::vector<float>{7.0f})[0], 0.0f);
+  EXPECT_FLOAT_EQ(scaler.transform(std::vector<float>{100.0f})[0], 0.0f);
+}
+
+TEST(MinMaxScaler, UseBeforeFitThrows) {
+  features::MinMaxScaler scaler;
+  std::vector<float> out;
+  EXPECT_THROW(scaler.transform(std::vector<float>{1.0f}, out),
+               std::logic_error);
+}
+
+TEST(MinMaxScaler, DimensionMismatchThrows) {
+  features::MinMaxScaler scaler;
+  scaler.fit_rows(std::vector<std::vector<float>>{{1.0f, 2.0f}});
+  std::vector<float> out;
+  EXPECT_THROW(scaler.transform(std::vector<float>{1.0f}, out),
+               std::invalid_argument);
+}
+
+TEST(MinMaxScaler, EmptyFitThrows) {
+  features::MinMaxScaler scaler;
+  EXPECT_THROW(scaler.fit_rows({}), std::invalid_argument);
+}
+
+TEST(OnlineMinMaxScaler, RangeGrowsWithObservations) {
+  features::OnlineMinMaxScaler scaler(1);
+  std::vector<float> out;
+
+  scaler.observe_transform(std::vector<float>{5.0f}, out);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);  // degenerate range so far
+
+  scaler.observe_transform(std::vector<float>{15.0f}, out);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);  // new maximum
+
+  scaler.observe_transform(std::vector<float>{10.0f}, out);
+  EXPECT_FLOAT_EQ(out[0], 0.5f);  // interior point of [5, 15]
+}
+
+TEST(OnlineMinMaxScaler, TransformDoesNotExtendRange) {
+  features::OnlineMinMaxScaler scaler(1);
+  scaler.observe(std::vector<float>{0.0f});
+  scaler.observe(std::vector<float>{10.0f});
+  std::vector<float> out;
+  scaler.transform(std::vector<float>{100.0f}, out);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);  // clamped, not re-ranged
+  scaler.transform(std::vector<float>{5.0f}, out);
+  EXPECT_FLOAT_EQ(out[0], 0.5f);  // range unchanged by the previous call
+}
+
+TEST(OnlineMinMaxScaler, MatchesOfflineScalerAfterSeeingAllData) {
+  const std::vector<std::vector<float>> rows = {
+      {1.0f, -2.0f}, {3.0f, 0.0f}, {2.0f, 8.0f}, {0.5f, 4.0f}};
+  features::MinMaxScaler offline;
+  offline.fit_rows(rows);
+  features::OnlineMinMaxScaler online(2);
+  for (const auto& row : rows) online.observe(row);
+
+  std::vector<float> out_online;
+  for (const auto& row : rows) {
+    online.transform(row, out_online);
+    const auto out_offline = offline.transform(row);
+    ASSERT_EQ(out_online.size(), out_offline.size());
+    for (std::size_t f = 0; f < out_online.size(); ++f) {
+      EXPECT_FLOAT_EQ(out_online[f], out_offline[f]);
+    }
+  }
+}
+
+TEST(OnlineMinMaxScaler, ResetClearsRanges) {
+  features::OnlineMinMaxScaler scaler(1);
+  scaler.observe(std::vector<float>{0.0f});
+  scaler.observe(std::vector<float>{10.0f});
+  scaler.reset(1);
+  std::vector<float> out;
+  scaler.transform(std::vector<float>{5.0f}, out);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);  // degenerate again
+}
+
+}  // namespace

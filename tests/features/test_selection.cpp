@@ -1,0 +1,114 @@
+#include "features/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/types.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// Builds a toy labeled set with known feature structure:
+//   col 0: informative (shifted for positives)
+//   col 1: pure noise
+//   col 2: exact duplicate of col 0 (redundant)
+//   col 3: weakly informative
+struct Fixture {
+  data::Dataset dataset;
+  std::vector<data::LabeledSample> samples;
+
+  explicit Fixture(std::size_t n_per_class = 400) {
+    dataset.feature_names = {"informative", "noise", "duplicate", "weak"};
+    util::Rng rng(42);
+    data::DiskHistory& disk = dataset.disks.emplace_back();
+    disk.id = 0;
+    for (std::size_t i = 0; i < 2 * n_per_class; ++i) {
+      const int label = i < n_per_class ? 1 : 0;
+      const float base = static_cast<float>(
+          rng.normal(label == 1 ? 3.0 : 0.0, 1.0));
+      data::Snapshot snap;
+      snap.day = static_cast<data::Day>(i);
+      snap.features = {base, static_cast<float>(rng.normal(0.0, 1.0)), base,
+                       static_cast<float>(
+                           rng.normal(label == 1 ? 0.6 : 0.0, 1.0))};
+      disk.snapshots.push_back(std::move(snap));
+    }
+    for (std::size_t i = 0; i < disk.snapshots.size(); ++i) {
+      samples.push_back(data::LabeledSample{
+          0, disk.snapshots[i].day, &disk, &disk.snapshots[i],
+          i < n_per_class ? 1 : 0});
+    }
+  }
+};
+
+TEST(Selection, KeepsInformativeDropsNoise) {
+  const Fixture fx;
+  const auto report =
+      features::select_features(fx.samples, fx.dataset.feature_names);
+  ASSERT_EQ(report.tests.size(), 4u);
+  EXPECT_TRUE(report.tests[0].passed_filter);
+  EXPECT_FALSE(report.tests[1].passed_filter);
+  EXPECT_TRUE(report.tests[3].passed_filter);
+}
+
+TEST(Selection, PrunesRedundantDuplicate) {
+  const Fixture fx;
+  const auto report =
+      features::select_features(fx.samples, fx.dataset.feature_names);
+  // The duplicate passes the rank-sum filter but must be pruned at stage 2.
+  EXPECT_TRUE(report.tests[2].passed_filter);
+  EXPECT_TRUE(report.tests[2].pruned_redundant);
+  // Exactly one of {0, 2} survives.
+  int survivors_of_pair = 0;
+  for (int f : report.selected) survivors_of_pair += (f == 0 || f == 2);
+  EXPECT_EQ(survivors_of_pair, 1);
+}
+
+TEST(Selection, SelectedAreSortedAndConsistent) {
+  const Fixture fx;
+  const auto report =
+      features::select_features(fx.samples, fx.dataset.feature_names);
+  for (std::size_t i = 1; i < report.selected.size(); ++i) {
+    EXPECT_LT(report.selected[i - 1], report.selected[i]);
+  }
+  for (int f : report.selected) {
+    EXPECT_TRUE(report.tests[static_cast<std::size_t>(f)].passed_filter);
+    EXPECT_FALSE(
+        report.tests[static_cast<std::size_t>(f)].pruned_redundant);
+  }
+}
+
+TEST(Selection, SubsamplingCapStillSelectsInformative) {
+  const Fixture fx(2000);
+  features::SelectionOptions options;
+  options.max_values_per_class = 200;  // force the strided subsample path
+  const auto report = features::select_features(
+      fx.samples, fx.dataset.feature_names, options);
+  EXPECT_TRUE(report.tests[0].passed_filter);
+  EXPECT_FALSE(report.tests[1].passed_filter);
+}
+
+TEST(Selection, SingleClassThrows) {
+  Fixture fx;
+  for (auto& s : fx.samples) s.label = 0;
+  EXPECT_THROW(
+      features::select_features(fx.samples, fx.dataset.feature_names),
+      std::invalid_argument);
+}
+
+TEST(Selection, EmptyInputThrows) {
+  const Fixture fx;
+  const std::vector<data::LabeledSample> empty;
+  EXPECT_THROW(features::select_features(empty, fx.dataset.feature_names),
+               std::invalid_argument);
+}
+
+TEST(Selection, NameWidthMismatchThrows) {
+  const Fixture fx;
+  const std::vector<std::string> wrong = {"only", "three", "names"};
+  EXPECT_THROW(features::select_features(fx.samples, wrong),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include "features/wilcoxon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(Wilcoxon, SeparatedSamplesAreSignificant) {
+  util::Rng rng(42);
+  std::vector<double> low;
+  std::vector<double> high;
+  for (int i = 0; i < 200; ++i) {
+    low.push_back(rng.normal(0.0, 1.0));
+    high.push_back(rng.normal(3.0, 1.0));
+  }
+  const auto result = features::wilcoxon_rank_sum(high, low);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.z, 5.0);
+}
+
+TEST(Wilcoxon, IdenticalDistributionsAreNotSignificant) {
+  util::Rng rng(42);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto result = features::wilcoxon_rank_sum(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(Wilcoxon, AllValuesTiedGivesPValueOne) {
+  const std::vector<double> a(50, 3.0);
+  const std::vector<double> b(70, 3.0);
+  const auto result = features::wilcoxon_rank_sum(a, b);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(result.z, 0.0);
+}
+
+TEST(Wilcoxon, HeavyTiesStillDetectShift) {
+  // Integer-valued error counters are full of ties; the tie-corrected
+  // variance must still flag a shifted distribution.
+  util::Rng rng(42);
+  std::vector<double> healthy;
+  std::vector<double> failing;
+  for (int i = 0; i < 300; ++i) {
+    healthy.push_back(static_cast<double>(rng.poisson(0.2)));
+    failing.push_back(static_cast<double>(rng.poisson(2.0)));
+  }
+  const auto result = features::wilcoxon_rank_sum(failing, healthy);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(Wilcoxon, UStatisticBounds) {
+  const std::vector<double> a = {10.0, 11.0, 12.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  const auto result = features::wilcoxon_rank_sum(a, b);
+  // Every a beats every b: U = n1*n2.
+  EXPECT_DOUBLE_EQ(result.u, 12.0);
+  const auto reversed = features::wilcoxon_rank_sum(b, a);
+  EXPECT_DOUBLE_EQ(reversed.u, 0.0);
+}
+
+TEST(Wilcoxon, SymmetryOfZ) {
+  util::Rng rng(1);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform() + 0.3);
+  }
+  const auto ab = features::wilcoxon_rank_sum(a, b);
+  const auto ba = features::wilcoxon_rank_sum(b, a);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-9);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-9);
+}
+
+TEST(Wilcoxon, EmptySampleThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW(features::wilcoxon_rank_sum(a, empty), std::invalid_argument);
+  EXPECT_THROW(features::wilcoxon_rank_sum(empty, a), std::invalid_argument);
+}
+
+TEST(Wilcoxon, NormalSf) {
+  EXPECT_NEAR(features::normal_sf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(features::normal_sf(1.96), 0.025, 1e-3);
+  EXPECT_NEAR(features::normal_sf(-1.96), 0.975, 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+#include "forest/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+/// Owns feature rows and exposes a TrainView over them.
+struct Owned {
+  std::vector<std::vector<float>> rows;
+  forest::TrainView view;
+
+  void add(std::vector<float> x, int y) {
+    rows.push_back(std::move(x));
+    view.y.push_back(y);
+  }
+  forest::TrainView& finish() {
+    view.x.clear();
+    for (const auto& r : rows) view.x.emplace_back(r);
+    return view;
+  }
+};
+
+Owned xor_data(int n_per_cell, util::Rng& rng) {
+  // XOR pattern: requires at least depth 2 — a single split cannot solve it.
+  Owned d;
+  for (int i = 0; i < n_per_cell; ++i) {
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        const float fa = static_cast<float>(a) + 0.1f *
+                         static_cast<float>(rng.uniform() - 0.5);
+        const float fb = static_cast<float>(b) + 0.1f *
+                         static_cast<float>(rng.uniform() - 0.5);
+        d.add({fa, fb}, a ^ b);
+      }
+    }
+  }
+  return d;
+}
+
+TEST(DecisionTree, GiniImpurity) {
+  EXPECT_DOUBLE_EQ(forest::gini_impurity(0.0, 10.0), 0.0);   // pure negative
+  EXPECT_DOUBLE_EQ(forest::gini_impurity(10.0, 10.0), 0.0);  // pure positive
+  EXPECT_DOUBLE_EQ(forest::gini_impurity(5.0, 10.0), 0.5);   // max impurity
+  EXPECT_DOUBLE_EQ(forest::gini_impurity(0.0, 0.0), 0.0);    // empty
+}
+
+TEST(DecisionTree, LearnsSimpleThreshold) {
+  util::Rng rng(42);
+  Owned d;
+  for (int i = 0; i < 100; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    d.add({v}, v > 0.6f ? 1 : 0);
+  }
+  forest::DecisionTree tree;
+  tree.train(d.finish(), forest::DecisionTreeParams{}, rng);
+  EXPECT_GT(tree.predict_proba(std::vector<float>{0.9f}), 0.9);
+  EXPECT_LT(tree.predict_proba(std::vector<float>{0.1f}), 0.1);
+  EXPECT_EQ(tree.predict(std::vector<float>{0.9f}), 1);
+  EXPECT_EQ(tree.predict(std::vector<float>{0.1f}), 0);
+}
+
+TEST(DecisionTree, SolvesXor) {
+  util::Rng rng(42);
+  Owned d = xor_data(50, rng);
+  forest::DecisionTree tree;
+  tree.train(d.finish(), forest::DecisionTreeParams{}, rng);
+  EXPECT_EQ(tree.predict(std::vector<float>{0.0f, 0.0f}), 0);
+  EXPECT_EQ(tree.predict(std::vector<float>{1.0f, 0.0f}), 1);
+  EXPECT_EQ(tree.predict(std::vector<float>{0.0f, 1.0f}), 1);
+  EXPECT_EQ(tree.predict(std::vector<float>{1.0f, 1.0f}), 0);
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTree, MaxSplitsCapsGrowth) {
+  util::Rng rng(42);
+  Owned d = xor_data(50, rng);
+  forest::DecisionTreeParams params;
+  params.max_splits = 1;
+  forest::DecisionTree tree;
+  tree.train(d.finish(), params, rng);
+  EXPECT_LE(tree.node_count(), 3u);  // root + 2 children
+  EXPECT_EQ(tree.leaf_count(), 2u);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  util::Rng rng(42);
+  Owned d = xor_data(50, rng);
+  forest::DecisionTreeParams params;
+  params.max_depth = 1;
+  forest::DecisionTree tree;
+  tree.train(d.finish(), params, rng);
+  EXPECT_LE(tree.depth(), 1);
+}
+
+TEST(DecisionTree, PureNodeDoesNotSplit) {
+  util::Rng rng(42);
+  Owned d;
+  for (int i = 0; i < 50; ++i) {
+    d.add({static_cast<float>(rng.uniform())}, 0);
+  }
+  forest::DecisionTree tree;
+  tree.train(d.finish(), forest::DecisionTreeParams{}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  // Laplace smoothing: a pure-negative 50-sample leaf predicts 1/52.
+  EXPECT_LT(tree.predict_proba(std::vector<float>{0.5f}), 0.05);
+}
+
+TEST(DecisionTree, PositiveWeightBiasesLeafProbability) {
+  util::Rng rng(42);
+  Owned d;
+  // Mixed region: 1 positive to 9 negatives.
+  for (int i = 0; i < 100; ++i) d.add({0.5f}, i % 10 == 0 ? 1 : 0);
+  forest::DecisionTreeParams params;
+  params.positive_weight = 9.0;
+  forest::DecisionTree tree;
+  tree.train(d.finish(), params, rng);
+  // Weighted: 10·9 / (10·9 + 90) = 0.5.
+  EXPECT_NEAR(tree.predict_proba(std::vector<float>{0.5f}), 0.5, 1e-9);
+}
+
+TEST(DecisionTree, FeatureImportanceConcentratesOnUsedFeature) {
+  util::Rng rng(42);
+  Owned d;
+  for (int i = 0; i < 200; ++i) {
+    const float signal = static_cast<float>(rng.uniform());
+    const float noise = static_cast<float>(rng.uniform());
+    d.add({noise, signal}, signal > 0.5f ? 1 : 0);
+  }
+  forest::DecisionTree tree;
+  tree.train(d.finish(), forest::DecisionTreeParams{}, rng);
+  const auto& importance = tree.feature_importance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[1], 10.0 * (importance[0] + 1e-12));
+}
+
+TEST(DecisionTree, BootstrapIndicesWithRepeats) {
+  util::Rng rng(42);
+  Owned d;
+  for (int i = 0; i < 20; ++i) {
+    d.add({static_cast<float>(i)}, i >= 10 ? 1 : 0);
+  }
+  auto& view = d.finish();
+  const std::vector<std::size_t> repeats = {0, 0, 0, 15, 15, 15};
+  forest::DecisionTree tree;
+  tree.train(view, repeats, forest::DecisionTreeParams{}, rng);
+  EXPECT_EQ(tree.predict(std::vector<float>{0.0f}), 0);
+  EXPECT_EQ(tree.predict(std::vector<float>{15.0f}), 1);
+}
+
+TEST(DecisionTree, EmptyTrainingThrows) {
+  forest::TrainView view;
+  forest::DecisionTree tree;
+  util::Rng rng(1);
+  EXPECT_THROW(tree.train(view, forest::DecisionTreeParams{}, rng),
+               std::invalid_argument);
+}
+
+TEST(DecisionTree, PredictBeforeTrainThrows) {
+  forest::DecisionTree tree;
+  EXPECT_THROW(tree.predict_proba(std::vector<float>{0.0f}),
+               std::logic_error);
+}
+
+TEST(DecisionTree, MinGainBlocksWorthlessSplits) {
+  util::Rng rng(42);
+  Owned d;
+  // Labels independent of the feature: any split has ~0 gain.
+  for (int i = 0; i < 200; ++i) {
+    d.add({static_cast<float>(rng.uniform())}, i % 2);
+  }
+  forest::DecisionTreeParams params;
+  params.min_gain = 5.0;  // unreachably high
+  forest::DecisionTree tree;
+  tree.train(d.finish(), params, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+}  // namespace

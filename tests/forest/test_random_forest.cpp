@@ -1,0 +1,164 @@
+#include "forest/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+struct Owned {
+  std::vector<std::vector<float>> rows;
+  forest::TrainView view;
+
+  void add(std::vector<float> x, int y) {
+    rows.push_back(std::move(x));
+    view.y.push_back(y);
+  }
+  forest::TrainView& finish() {
+    view.x.clear();
+    for (const auto& r : rows) view.x.emplace_back(r);
+    return view;
+  }
+};
+
+Owned two_blob_data(int n, util::Rng& rng, double imbalance = 1.0) {
+  Owned d;
+  for (int i = 0; i < n; ++i) {
+    const bool positive = rng.uniform() < 0.5 / imbalance;
+    const double cx = positive ? 2.0 : 0.0;
+    d.add({static_cast<float>(rng.normal(cx, 0.6)),
+           static_cast<float>(rng.normal(cx, 0.6))},
+          positive ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(RandomForest, SeparatesBlobClasses) {
+  util::Rng rng(42);
+  Owned d = two_blob_data(600, rng);
+  forest::RandomForest rf;
+  forest::RandomForestParams params;
+  params.neg_sample_ratio = -1.0;
+  rf.train(d.finish(), params, 7);
+  EXPECT_GT(rf.predict_proba(std::vector<float>{2.0f, 2.0f}), 0.8);
+  EXPECT_LT(rf.predict_proba(std::vector<float>{0.0f, 0.0f}), 0.2);
+}
+
+TEST(RandomForest, DeterministicAcrossThreadCounts) {
+  util::Rng rng(42);
+  Owned d = two_blob_data(400, rng);
+  auto& view = d.finish();
+  forest::RandomForestParams params;
+  params.n_trees = 10;
+  params.neg_sample_ratio = -1.0;
+
+  forest::RandomForest serial;
+  serial.train(view, params, 99, nullptr);
+  util::ThreadPool pool(4);
+  forest::RandomForest parallel;
+  parallel.train(view, params, 99, &pool);
+
+  util::Rng probe(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<float> x = {static_cast<float>(probe.normal(1.0, 1.5)),
+                                  static_cast<float>(probe.normal(1.0, 1.5))};
+    EXPECT_DOUBLE_EQ(serial.predict_proba(x), parallel.predict_proba(x));
+  }
+}
+
+TEST(RandomForest, TreeCountMatchesParams) {
+  util::Rng rng(42);
+  Owned d = two_blob_data(200, rng);
+  forest::RandomForest rf;
+  forest::RandomForestParams params;
+  params.n_trees = 13;
+  params.neg_sample_ratio = -1.0;
+  rf.train(d.finish(), params, 7);
+  EXPECT_EQ(rf.tree_count(), 13u);
+}
+
+TEST(RandomForest, LambdaDownsamplingRebalancesPredictions) {
+  // On a 50:1 imbalanced mixed region, an unbalanced forest predicts the
+  // prior (≈0.02); λ = 1 rebalancing pushes ambiguous-region predictions up.
+  util::Rng rng(42);
+  Owned d;
+  for (int i = 0; i < 2000; ++i) {
+    const bool positive = i % 50 == 0;
+    const double cx = positive ? 0.6 : 0.0;  // heavy overlap
+    d.add({static_cast<float>(rng.normal(cx, 1.0))}, positive ? 1 : 0);
+  }
+  auto& view = d.finish();
+
+  forest::RandomForestParams unbalanced;
+  unbalanced.neg_sample_ratio = -1.0;
+  forest::RandomForest rf_unbalanced;
+  rf_unbalanced.train(view, unbalanced, 7);
+
+  forest::RandomForestParams balanced;
+  balanced.neg_sample_ratio = 1.0;
+  forest::RandomForest rf_balanced;
+  rf_balanced.train(view, balanced, 7);
+
+  const std::vector<float> ambiguous = {0.6f};
+  EXPECT_GT(rf_balanced.predict_proba(ambiguous),
+            rf_unbalanced.predict_proba(ambiguous) + 0.1);
+}
+
+TEST(RandomForest, FeatureImportanceSumsToOne) {
+  util::Rng rng(42);
+  Owned d = two_blob_data(400, rng);
+  forest::RandomForest rf;
+  forest::RandomForestParams params;
+  params.neg_sample_ratio = -1.0;
+  rf.train(d.finish(), params, 7);
+  const auto importance = rf.feature_importance();
+  double total = 0.0;
+  for (double v : importance) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForest, BatchPredictionMatchesScalar) {
+  util::Rng rng(42);
+  Owned d = two_blob_data(300, rng);
+  forest::RandomForest rf;
+  forest::RandomForestParams params;
+  params.neg_sample_ratio = -1.0;
+  rf.train(d.finish(), params, 7);
+
+  std::vector<std::vector<float>> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back({static_cast<float>(rng.normal(1.0, 1.0)),
+                       static_cast<float>(rng.normal(1.0, 1.0))});
+  }
+  std::vector<std::span<const float>> rows(queries.begin(), queries.end());
+  const auto batch = rf.predict_proba_batch(rows);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], rf.predict_proba(queries[i]));
+  }
+}
+
+TEST(RandomForest, InvalidParamsThrow) {
+  forest::RandomForest rf;
+  forest::TrainView empty;
+  forest::RandomForestParams params;
+  EXPECT_THROW(rf.train(empty, params, 1), std::invalid_argument);
+
+  util::Rng rng(42);
+  Owned d = two_blob_data(50, rng);
+  params.n_trees = 0;
+  EXPECT_THROW(rf.train(d.finish(), params, 1), std::invalid_argument);
+}
+
+TEST(RandomForest, PredictBeforeTrainThrows) {
+  forest::RandomForest rf;
+  EXPECT_THROW(rf.predict_proba(std::vector<float>{0.0f}), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include "forest/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+struct Owned {
+  std::vector<std::vector<float>> rows;
+  forest::TrainView view;
+
+  void add(std::vector<float> x, int y) {
+    rows.push_back(std::move(x));
+    view.y.push_back(y);
+  }
+  forest::TrainView& finish() {
+    view.x.clear();
+    for (const auto& r : rows) view.x.emplace_back(r);
+    return view;
+  }
+};
+
+Owned blob_data(int n, util::Rng& rng) {
+  Owned d;
+  for (int i = 0; i < n; ++i) {
+    const bool positive = i % 3 == 0;
+    const double cx = positive ? 1.5 : 0.0;
+    d.add({static_cast<float>(rng.normal(cx, 0.7)),
+           static_cast<float>(rng.normal(cx, 0.7))},
+          positive ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(Serialize, TreeRoundTripPredictsIdentically) {
+  util::Rng rng(42);
+  Owned d = blob_data(300, rng);
+  forest::DecisionTree tree;
+  tree.train(d.finish(), forest::DecisionTreeParams{}, rng);
+
+  std::stringstream buffer;
+  forest::save_tree(tree, buffer);
+  const forest::DecisionTree loaded = forest::load_tree(buffer);
+
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+  EXPECT_EQ(loaded.depth(), tree.depth());
+  util::Rng probe(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<float> x = {static_cast<float>(probe.normal(0.7, 1.5)),
+                                  static_cast<float>(probe.normal(0.7, 1.5))};
+    EXPECT_FLOAT_EQ(static_cast<float>(loaded.predict_proba(x)),
+                    static_cast<float>(tree.predict_proba(x)));
+  }
+  ASSERT_EQ(loaded.feature_importance().size(),
+            tree.feature_importance().size());
+  for (std::size_t f = 0; f < loaded.feature_importance().size(); ++f) {
+    EXPECT_DOUBLE_EQ(loaded.feature_importance()[f],
+                     tree.feature_importance()[f]);
+  }
+}
+
+TEST(Serialize, ForestRoundTripPredictsIdentically) {
+  util::Rng rng(42);
+  Owned d = blob_data(400, rng);
+  forest::RandomForest forest;
+  forest::RandomForestParams params;
+  params.n_trees = 7;
+  params.neg_sample_ratio = -1.0;
+  forest.train(d.finish(), params, 11);
+
+  std::stringstream buffer;
+  forest::save_forest(forest, buffer);
+  const forest::RandomForest loaded = forest::load_forest(buffer);
+
+  EXPECT_EQ(loaded.tree_count(), forest.tree_count());
+  util::Rng probe(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<float> x = {static_cast<float>(probe.normal(0.7, 1.5)),
+                                  static_cast<float>(probe.normal(0.7, 1.5))};
+    EXPECT_NEAR(loaded.predict_proba(x), forest.predict_proba(x), 1e-6);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  util::Rng rng(42);
+  Owned d = blob_data(200, rng);
+  forest::RandomForest forest;
+  forest::RandomForestParams params;
+  params.n_trees = 3;
+  params.neg_sample_ratio = -1.0;
+  forest.train(d.finish(), params, 11);
+
+  const std::string path = ::testing::TempDir() + "/orf_forest_test.txt";
+  forest::save_forest_file(forest, path);
+  const forest::RandomForest loaded = forest::load_forest_file(path);
+  EXPECT_EQ(loaded.tree_count(), 3u);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buffer("not a forest\n1 2\n");
+  EXPECT_THROW(forest::load_forest(buffer), std::runtime_error);
+  std::stringstream tree_buffer("orf-tree v1\nbad header\n");
+  EXPECT_THROW(forest::load_tree(tree_buffer), std::runtime_error);
+  std::stringstream truncated("orf-tree v1\n5 2\n0 0.5 1 2 0.0\n");
+  EXPECT_THROW(forest::load_tree(truncated), std::runtime_error);
+}
+
+TEST(Serialize, ImportValidatesStructure) {
+  forest::DecisionTree tree;
+  std::vector<forest::DecisionTree::FlatNode> bad(1);
+  bad[0].feature = 0;  // split node with out-of-range children
+  bad[0].left = 5;
+  bad[0].right = 6;
+  EXPECT_THROW(tree.import_nodes(bad, {}), std::invalid_argument);
+  EXPECT_THROW(tree.import_nodes({}, {}), std::invalid_argument);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(forest::load_forest_file("/nonexistent/path/forest.txt"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "forest/train_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::vector<data::LabeledSample> samples;
+
+  Fixture() {
+    dataset.feature_names = {"a", "b"};
+    data::DiskHistory& disk = dataset.disks.emplace_back();
+    for (int i = 0; i < 20; ++i) {
+      disk.snapshots.push_back(
+          {i, {static_cast<float>(i), static_cast<float>(2 * i)}});
+    }
+    for (int i = 0; i < 20; ++i) {
+      samples.push_back(data::LabeledSample{0, i, &disk, &disk.snapshots[i],
+                                            i < 4 ? 1 : 0});
+    }
+  }
+};
+
+TEST(TrainView, MakeViewAliasesWithoutScaler) {
+  const Fixture fx;
+  const auto view = forest::make_view(fx.samples);
+  ASSERT_EQ(view.size(), 20u);
+  EXPECT_EQ(view.feature_count(), 2u);
+  EXPECT_TRUE(view.owned.empty());
+  EXPECT_EQ(view.x[3].data(), fx.samples[3].x().data());  // zero-copy
+  EXPECT_EQ(view.positive_count(), 4u);
+  EXPECT_EQ(view.negative_count(), 16u);
+}
+
+TEST(TrainView, MakeViewScalesIntoOwnedStorage) {
+  const Fixture fx;
+  features::MinMaxScaler scaler;
+  scaler.fit(fx.samples);
+  const auto view = forest::make_view(fx.samples, &scaler);
+  ASSERT_EQ(view.owned.size(), 20u);
+  EXPECT_FLOAT_EQ(view.x[0][0], 0.0f);
+  EXPECT_FLOAT_EQ(view.x[19][0], 1.0f);
+  EXPECT_FLOAT_EQ(view.x[19][1], 1.0f);
+}
+
+TEST(TrainView, DownsampleNegativesHitsLambda) {
+  const Fixture fx;
+  const auto view = forest::make_view(fx.samples);
+  util::Rng rng(1);
+  const auto rows = forest::downsample_negatives(view, 2.0, rng);
+  // 4 positives + 2·4 negatives.
+  EXPECT_EQ(rows.size(), 12u);
+  std::size_t positives = 0;
+  for (std::size_t r : rows) positives += view.y[r] == 1;
+  EXPECT_EQ(positives, 4u);
+}
+
+TEST(TrainView, DownsampleLambdaNonPositiveKeepsAll) {
+  const Fixture fx;
+  const auto view = forest::make_view(fx.samples);
+  util::Rng rng(1);
+  EXPECT_EQ(forest::downsample_negatives(view, 0.0, rng).size(), 20u);
+  EXPECT_EQ(forest::downsample_negatives(view, -1.0, rng).size(), 20u);
+}
+
+TEST(TrainView, DownsampleLambdaLargerThanPoolKeepsAllNegatives) {
+  const Fixture fx;
+  const auto view = forest::make_view(fx.samples);
+  util::Rng rng(1);
+  EXPECT_EQ(forest::downsample_negatives(view, 100.0, rng).size(), 20u);
+}
+
+TEST(TrainView, SubsetView) {
+  const Fixture fx;
+  const auto view = forest::make_view(fx.samples);
+  const std::vector<std::size_t> indices = {0, 5, 19};
+  const auto sub = forest::subset_view(view, indices);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.y[0], 1);
+  EXPECT_EQ(sub.y[1], 0);
+  EXPECT_FLOAT_EQ(sub.x[2][0], 19.0f);
+}
+
+TEST(TrainView, SubsetViewOutOfRangeThrows) {
+  const Fixture fx;
+  const auto view = forest::make_view(fx.samples);
+  const std::vector<std::size_t> indices = {99};
+  EXPECT_THROW(forest::subset_view(view, indices), std::out_of_range);
+}
+
+TEST(TrainView, WeightDefaultsToOne) {
+  const Fixture fx;
+  auto view = forest::make_view(fx.samples);
+  EXPECT_DOUBLE_EQ(view.weight(0), 1.0);
+  view.w.assign(view.size(), 2.5);
+  EXPECT_DOUBLE_EQ(view.weight(0), 2.5);
+}
+
+}  // namespace

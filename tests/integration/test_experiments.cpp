@@ -1,0 +1,180 @@
+// Protocol-level integration tests: tiny-scale runs of each table/figure
+// harness verifying structure and the paper's qualitative trends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/experiments.hpp"
+
+namespace {
+
+datagen::FleetProfile tiny_sta(int months) {
+  datagen::FleetProfile p = datagen::sta_profile(0.008);
+  p.n_failed *= 3;  // FDR resolution at tiny scale
+  p.duration_days = months * data::kDaysPerMonth;
+  return p;
+}
+
+eval::SweepConfig tiny_sweep() {
+  eval::SweepConfig config;
+  config.profile = tiny_sta(10);
+  config.repeats = 2;
+  config.rf.n_trees = 10;
+  config.orf.n_trees = 10;
+  config.orf.tree.n_tests = 64;
+  config.orf.tree.min_parent_size = 60;
+  config.scoring.good_sample_stride = 3;
+  return config;
+}
+
+TEST(Experiments, LambdaSweepShowsTable3Tradeoff) {
+  const auto config = tiny_sweep();
+  const double lambdas[] = {1.0, -1.0};  // λ=1 vs Max
+  const auto rows = eval::sweep_lambda_rf(config, lambdas);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "1");
+  EXPECT_EQ(rows[1].label, "Max");
+  // Table 3's headline: rebalanced training detects far more failures (and
+  // alarms more) than training on the raw imbalanced data.
+  EXPECT_GT(rows[0].fdr_mean, rows[1].fdr_mean + 10.0);
+  EXPECT_GE(rows[0].far_mean, rows[1].far_mean);
+}
+
+TEST(Experiments, LambdaNegSweepShowsTable4Tradeoff) {
+  const auto config = tiny_sweep();
+  const double lambda_ns[] = {0.02, 1.0};
+  const auto rows = eval::sweep_lambda_neg_orf(config, lambda_ns);
+  ASSERT_EQ(rows.size(), 2u);
+  // λn = 1 treats classes equally → the forest drowns in negatives.
+  EXPECT_GT(rows[0].fdr_mean, rows[1].fdr_mean + 10.0);
+}
+
+TEST(Experiments, SweepIsDeterministic) {
+  const auto config = tiny_sweep();
+  const double lambdas[] = {2.0};
+  const auto a = eval::sweep_lambda_rf(config, lambdas);
+  const auto b = eval::sweep_lambda_rf(config, lambdas);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a[0].fdr_mean, b[0].fdr_mean);
+  EXPECT_DOUBLE_EQ(a[0].far_mean, b[0].far_mean);
+}
+
+TEST(Experiments, ConvergenceProducesMonthlyCurve) {
+  eval::ConvergenceConfig config;
+  config.profile = tiny_sta(8);
+  config.first_month = 3;
+  config.last_month = 7;
+  config.orf.n_trees = 10;
+  config.orf.tree.n_tests = 64;
+  config.orf.tree.min_parent_size = 60;
+  config.rf.params.n_trees = 10;
+  config.include_svm = false;  // keep the tiny test fast
+  config.scoring.good_sample_stride = 3;
+  const auto points = eval::run_convergence(config);
+  ASSERT_EQ(points.size(), 5u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].month, 3 + static_cast<int>(i));
+    EXPECT_GE(points[i].orf_fdr, 0.0);
+    EXPECT_LE(points[i].orf_fdr, 100.0);
+    EXPECT_LE(points[i].orf_far, 100.0);
+    if (i > 0) {
+      EXPECT_GE(points[i].train_positives, points[i - 1].train_positives);
+    }
+  }
+  // By the last month both learners must clearly beat chance.
+  EXPECT_GT(points.back().orf_fdr, 40.0);
+  EXPECT_GT(points.back().rf_fdr, 40.0);
+}
+
+TEST(Experiments, ConvergenceClipsLastMonthToData) {
+  eval::ConvergenceConfig config;
+  config.profile = tiny_sta(6);
+  config.first_month = 3;
+  config.last_month = 50;  // beyond the 6-month window
+  config.orf.n_trees = 8;
+  config.orf.tree.n_tests = 64;
+  config.rf.params.n_trees = 8;
+  config.include_svm = false;
+  config.include_dt = false;
+  config.scoring.good_sample_stride = 4;
+  const auto points = eval::run_convergence(config);
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points.back().month, 5);
+}
+
+TEST(Experiments, LongTermProducesAllStrategies) {
+  eval::LongTermConfig config;
+  config.profile = tiny_sta(10);
+  config.initial_months = 4;
+  config.last_month = 9;
+  config.orf.n_trees = 10;
+  config.orf.tree.n_tests = 64;
+  config.orf.tree.min_parent_size = 60;
+  config.rf.params.n_trees = 10;
+  config.scoring.good_sample_stride = 3;
+  const auto points = eval::run_longterm(config);
+  ASSERT_EQ(points.size(), 6u);
+  for (const auto& p : points) {
+    for (int s = 0; s < eval::kStrategyCount; ++s) {
+      EXPECT_GE(p.far[s], 0.0);
+      EXPECT_LE(p.far[s], 100.0);
+      EXPECT_GE(p.fdr[s], 0.0);
+      EXPECT_LE(p.fdr[s], 100.0);
+    }
+  }
+}
+
+TEST(Experiments, StrategyNamesAreStable) {
+  EXPECT_STREQ(eval::strategy_name(eval::Strategy::kNoUpdate), "No updating");
+  EXPECT_STREQ(eval::strategy_name(eval::Strategy::kOrf), "ORF");
+}
+
+TEST(Experiments, FeatureSelectionReportCoversCandidates) {
+  eval::FeatureSelectionConfig config;
+  config.profile = datagen::sta_profile(0.006);
+  config.profile.duration_days = 10 * data::kDaysPerMonth;
+  config.rf_trees = 10;
+  config.max_values_per_class = 4000;
+  const auto rows = eval::run_feature_selection(config);
+  ASSERT_EQ(rows.size(), 48u);
+
+  std::size_t selected = 0;
+  for (const auto& row : rows) selected += row.selected;
+  // The pipeline must select a substantial informative subset, in the
+  // neighbourhood of the paper's 19 (exact count depends on the synthetic
+  // noise realisation).
+  EXPECT_GE(selected, 10u);
+  EXPECT_LE(selected, 30u);
+
+  // Every selected feature passed the filter and survived pruning; ranks
+  // are a permutation of 1..selected.
+  std::size_t max_rank = 0;
+  for (const auto& row : rows) {
+    if (row.selected) {
+      EXPECT_TRUE(row.passed_rank_sum);
+      EXPECT_FALSE(row.pruned_redundant);
+      EXPECT_GE(row.measured_rank, 1);
+      max_rank = std::max(max_rank,
+                          static_cast<std::size_t>(row.measured_rank));
+    } else {
+      EXPECT_EQ(row.measured_rank, 0);
+    }
+  }
+  EXPECT_EQ(max_rank, selected);
+
+  // The headline indicator *attributes* must be represented (the pipeline
+  // may keep either the norm or the raw column when the two are nearly
+  // perfectly correlated); pure noise must not be.
+  const auto has = [&](const std::string& name) {
+    for (const auto& row : rows) {
+      if (row.name == name) return row.selected;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("smart_187_raw") || has("smart_187_normalized"));
+  EXPECT_TRUE(has("smart_197_raw") || has("smart_197_normalized"));
+  EXPECT_FALSE(has("smart_10_raw"));
+  EXPECT_FALSE(has("smart_191_raw"));
+}
+
+}  // namespace

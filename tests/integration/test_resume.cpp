@@ -1,0 +1,102 @@
+// Restart-resilience integration: a deployment that checkpoints mid-stream,
+// dies, and restores into a fresh process must be indistinguishable from one
+// that never restarted.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/online_predictor.hpp"
+#include "datagen/fleet_generator.hpp"
+#include "datagen/profile.hpp"
+#include "eval/fleet_stream.hpp"
+
+namespace {
+
+core::OnlinePredictorParams params() {
+  core::OnlinePredictorParams p;
+  p.forest.n_trees = 8;
+  p.forest.tree.n_tests = 64;
+  p.forest.tree.min_parent_size = 60;
+  p.forest.lambda_neg = 0.05;
+  p.alarm_threshold = 0.5;
+  return p;
+}
+
+data::Dataset fleet() {
+  datagen::FleetProfile profile = datagen::sta_profile(0.003);
+  profile.n_failed = 15;
+  profile.duration_days = 8 * data::kDaysPerMonth;
+  return datagen::generate_fleet(profile, 23);
+}
+
+TEST(Resume, WindowedStreamingEqualsOneShot) {
+  const auto dataset = fleet();
+  core::OnlineDiskPredictor continuous(dataset.feature_count(), params(), 5);
+  const auto full = eval::stream_fleet(dataset, continuous);
+
+  core::OnlineDiskPredictor windowed(dataset.feature_count(), params(), 5);
+  const data::Day mid = dataset.duration_days / 2;
+  const auto first = eval::stream_fleet_window(dataset, windowed, 0, mid);
+  const auto second = eval::stream_fleet_window(dataset, windowed, mid,
+                                                dataset.duration_days);
+
+  EXPECT_EQ(first.samples_processed + second.samples_processed,
+            full.samples_processed);
+  EXPECT_EQ(first.total_alarms + second.total_alarms, full.total_alarms);
+  EXPECT_EQ(windowed.positives_released(), continuous.positives_released());
+  EXPECT_EQ(windowed.negatives_released(), continuous.negatives_released());
+  // Per-disk alarm records concatenate exactly.
+  for (std::size_t i = 0; i < full.disks.size(); ++i) {
+    auto combined = first.disks[i].alarm_days;
+    combined.insert(combined.end(), second.disks[i].alarm_days.begin(),
+                    second.disks[i].alarm_days.end());
+    EXPECT_EQ(combined, full.disks[i].alarm_days) << "disk " << i;
+  }
+}
+
+TEST(Resume, CheckpointRestartMatchesUninterruptedRun) {
+  const auto dataset = fleet();
+  core::OnlineDiskPredictor continuous(dataset.feature_count(), params(), 5);
+  const auto full = eval::stream_fleet(dataset, continuous);
+
+  // Process A runs the first half, checkpoints, and "crashes".
+  core::OnlineDiskPredictor process_a(dataset.feature_count(), params(), 5);
+  const data::Day mid = dataset.duration_days / 2;
+  const auto first = eval::stream_fleet_window(dataset, process_a, 0, mid);
+  std::stringstream checkpoint;
+  process_a.save(checkpoint);
+
+  // Process B starts fresh (different seed!), restores, and finishes.
+  core::OnlineDiskPredictor process_b(dataset.feature_count(), params(),
+                                      987654);
+  process_b.restore(checkpoint);
+  const auto second = eval::stream_fleet_window(dataset, process_b, mid,
+                                                dataset.duration_days);
+
+  EXPECT_EQ(first.total_alarms + second.total_alarms, full.total_alarms);
+  EXPECT_EQ(process_b.positives_released(),
+            continuous.positives_released());
+  EXPECT_EQ(process_b.negatives_released(),
+            continuous.negatives_released());
+  for (std::size_t i = 0; i < full.disks.size(); ++i) {
+    auto combined = first.disks[i].alarm_days;
+    combined.insert(combined.end(), second.disks[i].alarm_days.begin(),
+                    second.disks[i].alarm_days.end());
+    EXPECT_EQ(combined, full.disks[i].alarm_days) << "disk " << i;
+  }
+  // Final model state is identical too.
+  const auto& probe = dataset.disks.front().snapshots.front().features;
+  EXPECT_DOUBLE_EQ(process_b.score(probe), continuous.score(probe));
+}
+
+TEST(Resume, WindowsOutsideDataAreNoops) {
+  const auto dataset = fleet();
+  core::OnlineDiskPredictor predictor(dataset.feature_count(), params(), 5);
+  const auto before = eval::stream_fleet_window(dataset, predictor, -100, 0);
+  EXPECT_EQ(before.samples_processed, 0u);
+  const auto after = eval::stream_fleet_window(
+      dataset, predictor, dataset.duration_days, dataset.duration_days + 50);
+  EXPECT_EQ(after.samples_processed, 0u);
+}
+
+}  // namespace

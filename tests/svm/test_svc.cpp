@@ -1,0 +1,194 @@
+#include "svm/svc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+struct Owned {
+  std::vector<std::vector<float>> rows;
+  forest::TrainView view;
+
+  void add(std::vector<float> x, int y) {
+    rows.push_back(std::move(x));
+    view.y.push_back(y);
+  }
+  forest::TrainView& finish() {
+    view.x.clear();
+    for (const auto& r : rows) view.x.emplace_back(r);
+    return view;
+  }
+};
+
+Owned linearly_separable(int n, util::Rng& rng) {
+  Owned d;
+  for (int i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    const double cx = positive ? 1.5 : -1.5;
+    d.add({static_cast<float>(rng.normal(cx, 0.4)),
+           static_cast<float>(rng.normal(cx, 0.4))},
+          positive ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(Svm, SeparatesLinearData) {
+  util::Rng rng(42);
+  Owned d = linearly_separable(200, rng);
+  svm::SvmClassifier clf;
+  svm::SvmParams params;
+  params.kernel = svm::KernelType::kLinear;
+  params.C = 10.0;
+  clf.train(d.finish(), params);
+  EXPECT_EQ(clf.predict(std::vector<float>{1.5f, 1.5f}), 1);
+  EXPECT_EQ(clf.predict(std::vector<float>{-1.5f, -1.5f}), 0);
+  EXPECT_GT(clf.decision_value(std::vector<float>{1.5f, 1.5f}), 0.0);
+  EXPECT_LT(clf.decision_value(std::vector<float>{-1.5f, -1.5f}), 0.0);
+}
+
+TEST(Svm, RbfSolvesCircleInsideOut) {
+  // Inner circle positive, outer ring negative: not linearly separable.
+  util::Rng rng(42);
+  Owned d;
+  for (int i = 0; i < 300; ++i) {
+    const bool inner = i % 2 == 0;
+    const double r = inner ? rng.uniform(0.0, 0.5) : rng.uniform(1.2, 2.0);
+    const double angle = rng.uniform(0.0, 6.2831853);
+    d.add({static_cast<float>(r * std::cos(angle)),
+           static_cast<float>(r * std::sin(angle))},
+          inner ? 1 : 0);
+  }
+  svm::SvmClassifier clf;
+  svm::SvmParams params;
+  params.C = 10.0;
+  params.gamma = 1.0;
+  clf.train(d.finish(), params);
+  EXPECT_EQ(clf.predict(std::vector<float>{0.0f, 0.0f}), 1);
+  EXPECT_EQ(clf.predict(std::vector<float>{1.6f, 0.0f}), 0);
+  EXPECT_EQ(clf.predict(std::vector<float>{0.0f, -1.6f}), 0);
+}
+
+TEST(Svm, TrainingAccuracyHighOnSeparableData) {
+  util::Rng rng(42);
+  Owned d = linearly_separable(300, rng);
+  auto& view = d.finish();
+  svm::SvmClassifier clf;
+  svm::SvmParams params;
+  params.C = 10.0;
+  params.gamma = 0.5;
+  clf.train(view, params);
+  int correct = 0;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    correct += clf.predict(view.x[i]) == view.y[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / view.size(), 0.97);
+}
+
+TEST(Svm, SupportVectorsAreSubsetOfTrainingSet) {
+  util::Rng rng(42);
+  Owned d = linearly_separable(200, rng);
+  auto& view = d.finish();
+  svm::SvmClassifier clf;
+  svm::SvmParams params;
+  params.C = 1.0;
+  clf.train(view, params);
+  EXPECT_GT(clf.support_vector_count(), 0u);
+  EXPECT_LE(clf.support_vector_count(), view.size());
+}
+
+TEST(Svm, PositiveWeightShiftsBoundary) {
+  // Overlapping classes; weighting positives should move the ambiguous
+  // midpoint's decision value upward.
+  util::Rng rng(42);
+  Owned d;
+  for (int i = 0; i < 400; ++i) {
+    const bool positive = i % 4 == 0;  // 1:3 imbalance
+    const double cx = positive ? 0.5 : -0.5;
+    d.add({static_cast<float>(rng.normal(cx, 1.0))}, positive ? 1 : 0);
+  }
+  auto& view = d.finish();
+
+  svm::SvmParams plain;
+  plain.C = 1.0;
+  plain.gamma = 0.5;
+  svm::SvmClassifier clf_plain;
+  clf_plain.train(view, plain);
+
+  svm::SvmParams weighted = plain;
+  weighted.positive_weight = 10.0;
+  svm::SvmClassifier clf_weighted;
+  clf_weighted.train(view, weighted);
+
+  const std::vector<float> midpoint = {0.0f};
+  EXPECT_GT(clf_weighted.decision_value(midpoint),
+            clf_plain.decision_value(midpoint));
+}
+
+TEST(Svm, DecisionValueThresholdTradesOff) {
+  util::Rng rng(42);
+  Owned d = linearly_separable(100, rng);
+  svm::SvmClassifier clf;
+  clf.train(d.finish(), svm::SvmParams{});
+  const std::vector<float> x = {1.5f, 1.5f};
+  EXPECT_EQ(clf.predict(x, 0.0), 1);
+  EXPECT_EQ(clf.predict(x, 1e9), 0);  // absurd threshold suppresses alarms
+}
+
+TEST(Svm, DeterministicTraining) {
+  util::Rng rng(42);
+  Owned d = linearly_separable(150, rng);
+  auto& view = d.finish();
+  svm::SvmClassifier a;
+  svm::SvmClassifier b;
+  a.train(view, svm::SvmParams{});
+  b.train(view, svm::SvmParams{});
+  util::Rng probe(3);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<float> x = {static_cast<float>(probe.normal(0, 2)),
+                                  static_cast<float>(probe.normal(0, 2))};
+    EXPECT_DOUBLE_EQ(a.decision_value(x), b.decision_value(x));
+  }
+}
+
+TEST(Svm, TinyCacheStillCorrect) {
+  util::Rng rng(42);
+  Owned d = linearly_separable(120, rng);
+  auto& view = d.finish();
+  svm::SvmParams big;
+  big.cache_rows = 1024;
+  svm::SvmParams tiny;
+  tiny.cache_rows = 2;  // forces constant eviction
+  svm::SvmClassifier a;
+  svm::SvmClassifier b;
+  a.train(view, big);
+  b.train(view, tiny);
+  const std::vector<float> x = {1.0f, 1.0f};
+  EXPECT_NEAR(a.decision_value(x), b.decision_value(x), 1e-6);
+}
+
+TEST(Svm, EmptyTrainingThrows) {
+  forest::TrainView empty;
+  svm::SvmClassifier clf;
+  EXPECT_THROW(clf.train(empty, svm::SvmParams{}), std::invalid_argument);
+}
+
+TEST(Svm, PredictBeforeTrainThrows) {
+  svm::SvmClassifier clf;
+  EXPECT_THROW(clf.decision_value(std::vector<float>{0.0f}),
+               std::logic_error);
+}
+
+TEST(Svm, SingleClassTrainsWithoutCrashing) {
+  // Degenerate input: solver must terminate and predict the lone class.
+  Owned d;
+  for (int i = 0; i < 20; ++i) d.add({static_cast<float>(i)}, 0);
+  svm::SvmClassifier clf;
+  clf.train(d.finish(), svm::SvmParams{});
+  EXPECT_EQ(clf.predict(std::vector<float>{5.0f}), 0);
+}
+
+}  // namespace

@@ -1,0 +1,53 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace {
+
+util::Flags parse(std::initializer_list<const char*> args) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return util::Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const auto flags = parse({"--scale=0.25", "--name=sta"});
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 1.0), 0.25);
+  EXPECT_EQ(flags.get("name", ""), "sta");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const auto flags = parse({"--trees", "30"});
+  EXPECT_EQ(flags.get_int("trees", 0), 30);
+}
+
+TEST(Flags, BareBoolean) {
+  const auto flags = parse({"--verbose", "--fast=false"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("fast", true));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(flags.get_bool("missing", true));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, Positional) {
+  const auto flags = parse({"input.csv", "--k=2", "more.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "more.csv");
+}
+
+TEST(Flags, BareBooleanFollowedByFlag) {
+  const auto flags = parse({"--a", "--b=1"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_EQ(flags.get_int("b", 0), 1);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  util::Rng a(123);
+  util::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  util::Rng parent1(7);
+  util::Rng parent2(7);
+  util::Rng child1 = parent1.split();
+  util::Rng child2 = parent2.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1(), child2());
+  // Child and parent streams differ.
+  util::Rng parent3(7);
+  util::Rng child3 = parent3.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent3() == child3();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(42);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossBuckets) {
+  util::Rng rng(42);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.below(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, 500);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  util::Rng rng(42);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  util::Rng rng(42);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  util::Rng rng(42);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+class PoissonMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMomentsTest, MeanAndVarianceEqualLambda) {
+  const double lambda = GetParam();
+  util::Rng rng(42);
+  const int n = 60000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double k = rng.poisson(lambda);
+    sum += k;
+    sum2 += k * k;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  const double tolerance = 0.05 + 0.05 * lambda;
+  EXPECT_NEAR(mean, lambda, tolerance);
+  EXPECT_NEAR(var, lambda, 3.0 * tolerance);
+}
+
+// Covers the paper's λp = 1 and λn ∈ {0.01..1} regimes plus the
+// normal-approximation branch above 30.
+INSTANTIATE_TEST_SUITE_P(Rates, PoissonMomentsTest,
+                         ::testing::Values(0.01, 0.02, 0.1, 0.5, 1.0, 3.0,
+                                           10.0, 40.0));
+
+TEST(Rng, PoissonZeroLambdaIsAlwaysZero) {
+  util::Rng rng(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonZeroProbabilityMatchesTheory) {
+  // P(k = 0) = e^{-λ}; with λn = 0.02 ≈ 98.02% of negatives are out-of-bag,
+  // the property the paper's imbalance handling relies on.
+  util::Rng rng(42);
+  const int n = 200000;
+  int zeros = 0;
+  for (int i = 0; i < n; ++i) zeros += rng.poisson(0.02) == 0;
+  EXPECT_NEAR(static_cast<double>(zeros) / n, std::exp(-0.02), 0.002);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  util::Rng rng(42);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(util::mean(xs), 5.0);
+  EXPECT_NEAR(util::stddev(xs), 2.138, 1e-3);  // sample std (n-1)
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(util::mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(util::stddev(empty), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(util::mean(one), 3.0);
+  EXPECT_DOUBLE_EQ(util::stddev(one), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(util::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(util::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(util::median(xs), 2.5);
+}
+
+TEST(Stats, QuantileOfEmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(util::quantile(empty, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectAndAnti) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(util::pearson(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(util::pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(util::pearson(xs, ys), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  util::Rng rng(7);
+  std::vector<double> xs;
+  util::RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 4.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), util::mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), util::stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), util::min_of(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), util::max_of(xs));
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  util::Rng rng(9);
+  util::RunningStats all;
+  util::RunningStats a;
+  util::RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  util::RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  util::RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+}  // namespace

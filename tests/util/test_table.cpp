@@ -1,0 +1,46 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+TEST(Table, AlignsColumns) {
+  util::Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name   | value"), std::string::npos);
+  EXPECT_NE(out.find("longer | 22"), std::string::npos);
+  EXPECT_NE(out.find("-------+------"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtPm) {
+  EXPECT_EQ(util::fmt_pm(98.216, 0.254), "98.22 ± 0.25");
+  EXPECT_EQ(util::fmt_pm(0.0, 0.0), "0.00 ± 0.00");
+  EXPECT_EQ(util::fmt(3.14159, 3), "3.142");
+}
+
+TEST(Table, PrintSeries) {
+  std::ostringstream out;
+  util::print_series(out, "FDR vs month", "month", "FDR(%)", {5, 6},
+                     {93.1, 95.0});
+  const std::string s = out.str();
+  EXPECT_NE(s.find("# FDR vs month"), std::string::npos);
+  EXPECT_NE(s.find("93.10"), std::string::npos);
+}
+
+TEST(Table, PrintSeriesSizeMismatchThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(
+      util::print_series(out, "t", "x", "y", {1.0}, {1.0, 2.0}),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  util::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  util::ThreadPool pool(1);
+  const auto outer_id = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, outer_id);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  util::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForOrderIndependentSum) {
+  util::ThreadPool pool(3);
+  std::vector<long> values(5000);
+  pool.parallel_for(values.size(), [&](std::size_t i) {
+    values[i] = static_cast<long>(i);
+  });
+  const long total = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(total, 5000L * 4999L / 2);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  util::ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, DefaultPoolSingleton) {
+  auto& a = util::default_pool();
+  auto& b = util::default_pool();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
