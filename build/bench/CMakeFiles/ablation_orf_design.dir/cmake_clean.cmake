@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_orf_design.dir/ablation_orf_design.cpp.o"
+  "CMakeFiles/ablation_orf_design.dir/ablation_orf_design.cpp.o.d"
+  "ablation_orf_design"
+  "ablation_orf_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_orf_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

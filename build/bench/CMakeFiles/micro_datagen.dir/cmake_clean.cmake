@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_datagen.dir/micro_datagen.cpp.o"
+  "CMakeFiles/micro_datagen.dir/micro_datagen.cpp.o.d"
+  "micro_datagen"
+  "micro_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

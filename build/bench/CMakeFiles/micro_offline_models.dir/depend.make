@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_offline_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_orf.dir/micro_orf.cpp.o"
+  "CMakeFiles/micro_orf.dir/micro_orf.cpp.o.d"
+  "micro_orf"
+  "micro_orf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_orf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_util.dir/micro_util.cpp.o"
+  "CMakeFiles/micro_util.dir/micro_util.cpp.o.d"
+  "micro_util"
+  "micro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

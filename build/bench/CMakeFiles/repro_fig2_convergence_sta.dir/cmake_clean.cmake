@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig2_convergence_sta.dir/repro_fig2_convergence_sta.cpp.o"
+  "CMakeFiles/repro_fig2_convergence_sta.dir/repro_fig2_convergence_sta.cpp.o.d"
+  "repro_fig2_convergence_sta"
+  "repro_fig2_convergence_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig2_convergence_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

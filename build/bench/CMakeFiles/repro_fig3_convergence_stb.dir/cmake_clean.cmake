@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig3_convergence_stb.dir/repro_fig3_convergence_stb.cpp.o"
+  "CMakeFiles/repro_fig3_convergence_stb.dir/repro_fig3_convergence_stb.cpp.o.d"
+  "repro_fig3_convergence_stb"
+  "repro_fig3_convergence_stb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig3_convergence_stb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

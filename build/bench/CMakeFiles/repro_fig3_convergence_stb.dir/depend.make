@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_fig3_convergence_stb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig4_longterm_far_sta.dir/repro_fig4_longterm_far_sta.cpp.o"
+  "CMakeFiles/repro_fig4_longterm_far_sta.dir/repro_fig4_longterm_far_sta.cpp.o.d"
+  "repro_fig4_longterm_far_sta"
+  "repro_fig4_longterm_far_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig4_longterm_far_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_fig4_longterm_far_sta.
+# This may be replaced when dependencies are built.

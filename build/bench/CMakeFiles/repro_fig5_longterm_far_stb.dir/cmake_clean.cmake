@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig5_longterm_far_stb.dir/repro_fig5_longterm_far_stb.cpp.o"
+  "CMakeFiles/repro_fig5_longterm_far_stb.dir/repro_fig5_longterm_far_stb.cpp.o.d"
+  "repro_fig5_longterm_far_stb"
+  "repro_fig5_longterm_far_stb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig5_longterm_far_stb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_fig5_longterm_far_stb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig6_longterm_fdr_sta.dir/repro_fig6_longterm_fdr_sta.cpp.o"
+  "CMakeFiles/repro_fig6_longterm_fdr_sta.dir/repro_fig6_longterm_fdr_sta.cpp.o.d"
+  "repro_fig6_longterm_fdr_sta"
+  "repro_fig6_longterm_fdr_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig6_longterm_fdr_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

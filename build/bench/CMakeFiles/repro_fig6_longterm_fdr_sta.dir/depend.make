@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_fig6_longterm_fdr_sta.
+# This may be replaced when dependencies are built.

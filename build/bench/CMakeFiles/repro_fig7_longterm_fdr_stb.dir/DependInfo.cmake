@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/repro_fig7_longterm_fdr_stb.cpp" "bench/CMakeFiles/repro_fig7_longterm_fdr_stb.dir/repro_fig7_longterm_fdr_stb.cpp.o" "gcc" "bench/CMakeFiles/repro_fig7_longterm_fdr_stb.dir/repro_fig7_longterm_fdr_stb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/orf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/orf_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/orf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/orf_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/orf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/orf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig7_longterm_fdr_stb.dir/repro_fig7_longterm_fdr_stb.cpp.o"
+  "CMakeFiles/repro_fig7_longterm_fdr_stb.dir/repro_fig7_longterm_fdr_stb.cpp.o.d"
+  "repro_fig7_longterm_fdr_stb"
+  "repro_fig7_longterm_fdr_stb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig7_longterm_fdr_stb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

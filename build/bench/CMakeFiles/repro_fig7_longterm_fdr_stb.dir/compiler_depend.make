@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_fig7_longterm_fdr_stb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table1_dataset.dir/repro_table1_dataset.cpp.o"
+  "CMakeFiles/repro_table1_dataset.dir/repro_table1_dataset.cpp.o.d"
+  "repro_table1_dataset"
+  "repro_table1_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table1_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

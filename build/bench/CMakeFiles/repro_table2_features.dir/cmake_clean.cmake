@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table2_features.dir/repro_table2_features.cpp.o"
+  "CMakeFiles/repro_table2_features.dir/repro_table2_features.cpp.o.d"
+  "repro_table2_features"
+  "repro_table2_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table2_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

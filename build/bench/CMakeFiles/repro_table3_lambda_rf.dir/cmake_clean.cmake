@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table3_lambda_rf.dir/repro_table3_lambda_rf.cpp.o"
+  "CMakeFiles/repro_table3_lambda_rf.dir/repro_table3_lambda_rf.cpp.o.d"
+  "repro_table3_lambda_rf"
+  "repro_table3_lambda_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table3_lambda_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

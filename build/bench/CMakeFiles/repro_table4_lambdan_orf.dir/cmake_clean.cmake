@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table4_lambdan_orf.dir/repro_table4_lambdan_orf.cpp.o"
+  "CMakeFiles/repro_table4_lambdan_orf.dir/repro_table4_lambdan_orf.cpp.o.d"
+  "repro_table4_lambdan_orf"
+  "repro_table4_lambdan_orf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table4_lambdan_orf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backblaze_ingest.dir/backblaze_ingest.cpp.o"
+  "CMakeFiles/backblaze_ingest.dir/backblaze_ingest.cpp.o.d"
+  "backblaze_ingest"
+  "backblaze_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backblaze_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_selection_tool.dir/feature_selection_tool.cpp.o"
+  "CMakeFiles/feature_selection_tool.dir/feature_selection_tool.cpp.o.d"
+  "feature_selection_tool"
+  "feature_selection_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_selection_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_aging_demo.dir/model_aging_demo.cpp.o"
+  "CMakeFiles/model_aging_demo.dir/model_aging_demo.cpp.o.d"
+  "model_aging_demo"
+  "model_aging_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_aging_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

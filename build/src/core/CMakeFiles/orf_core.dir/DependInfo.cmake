@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/orf_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/orf_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/drift.cpp" "src/core/CMakeFiles/orf_core.dir/drift.cpp.o" "gcc" "src/core/CMakeFiles/orf_core.dir/drift.cpp.o.d"
+  "/root/repo/src/core/freeze.cpp" "src/core/CMakeFiles/orf_core.dir/freeze.cpp.o" "gcc" "src/core/CMakeFiles/orf_core.dir/freeze.cpp.o.d"
+  "/root/repo/src/core/label_queue.cpp" "src/core/CMakeFiles/orf_core.dir/label_queue.cpp.o" "gcc" "src/core/CMakeFiles/orf_core.dir/label_queue.cpp.o.d"
+  "/root/repo/src/core/online_forest.cpp" "src/core/CMakeFiles/orf_core.dir/online_forest.cpp.o" "gcc" "src/core/CMakeFiles/orf_core.dir/online_forest.cpp.o.d"
+  "/root/repo/src/core/online_predictor.cpp" "src/core/CMakeFiles/orf_core.dir/online_predictor.cpp.o" "gcc" "src/core/CMakeFiles/orf_core.dir/online_predictor.cpp.o.d"
+  "/root/repo/src/core/online_tree.cpp" "src/core/CMakeFiles/orf_core.dir/online_tree.cpp.o" "gcc" "src/core/CMakeFiles/orf_core.dir/online_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/orf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/orf_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/orf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

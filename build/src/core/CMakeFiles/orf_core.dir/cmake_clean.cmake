@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orf_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/orf_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/orf_core.dir/drift.cpp.o"
+  "CMakeFiles/orf_core.dir/drift.cpp.o.d"
+  "CMakeFiles/orf_core.dir/freeze.cpp.o"
+  "CMakeFiles/orf_core.dir/freeze.cpp.o.d"
+  "CMakeFiles/orf_core.dir/label_queue.cpp.o"
+  "CMakeFiles/orf_core.dir/label_queue.cpp.o.d"
+  "CMakeFiles/orf_core.dir/online_forest.cpp.o"
+  "CMakeFiles/orf_core.dir/online_forest.cpp.o.d"
+  "CMakeFiles/orf_core.dir/online_predictor.cpp.o"
+  "CMakeFiles/orf_core.dir/online_predictor.cpp.o.d"
+  "CMakeFiles/orf_core.dir/online_tree.cpp.o"
+  "CMakeFiles/orf_core.dir/online_tree.cpp.o.d"
+  "liborf_core.a"
+  "liborf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

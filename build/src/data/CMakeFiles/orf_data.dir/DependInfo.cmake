@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/backblaze_csv.cpp" "src/data/CMakeFiles/orf_data.dir/backblaze_csv.cpp.o" "gcc" "src/data/CMakeFiles/orf_data.dir/backblaze_csv.cpp.o.d"
+  "/root/repo/src/data/labeling.cpp" "src/data/CMakeFiles/orf_data.dir/labeling.cpp.o" "gcc" "src/data/CMakeFiles/orf_data.dir/labeling.cpp.o.d"
+  "/root/repo/src/data/smart_schema.cpp" "src/data/CMakeFiles/orf_data.dir/smart_schema.cpp.o" "gcc" "src/data/CMakeFiles/orf_data.dir/smart_schema.cpp.o.d"
+  "/root/repo/src/data/types.cpp" "src/data/CMakeFiles/orf_data.dir/types.cpp.o" "gcc" "src/data/CMakeFiles/orf_data.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/orf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

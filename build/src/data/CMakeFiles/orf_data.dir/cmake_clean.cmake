@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orf_data.dir/backblaze_csv.cpp.o"
+  "CMakeFiles/orf_data.dir/backblaze_csv.cpp.o.d"
+  "CMakeFiles/orf_data.dir/labeling.cpp.o"
+  "CMakeFiles/orf_data.dir/labeling.cpp.o.d"
+  "CMakeFiles/orf_data.dir/smart_schema.cpp.o"
+  "CMakeFiles/orf_data.dir/smart_schema.cpp.o.d"
+  "CMakeFiles/orf_data.dir/types.cpp.o"
+  "CMakeFiles/orf_data.dir/types.cpp.o.d"
+  "liborf_data.a"
+  "liborf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/fleet_generator.cpp" "src/datagen/CMakeFiles/orf_datagen.dir/fleet_generator.cpp.o" "gcc" "src/datagen/CMakeFiles/orf_datagen.dir/fleet_generator.cpp.o.d"
+  "/root/repo/src/datagen/profile.cpp" "src/datagen/CMakeFiles/orf_datagen.dir/profile.cpp.o" "gcc" "src/datagen/CMakeFiles/orf_datagen.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/orf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orf_datagen.dir/fleet_generator.cpp.o"
+  "CMakeFiles/orf_datagen.dir/fleet_generator.cpp.o.d"
+  "CMakeFiles/orf_datagen.dir/profile.cpp.o"
+  "CMakeFiles/orf_datagen.dir/profile.cpp.o.d"
+  "liborf_datagen.a"
+  "liborf_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orf_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborf_datagen.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orf_eval.dir/experiments.cpp.o"
+  "CMakeFiles/orf_eval.dir/experiments.cpp.o.d"
+  "CMakeFiles/orf_eval.dir/fleet_stream.cpp.o"
+  "CMakeFiles/orf_eval.dir/fleet_stream.cpp.o.d"
+  "CMakeFiles/orf_eval.dir/metrics.cpp.o"
+  "CMakeFiles/orf_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/orf_eval.dir/offline_models.cpp.o"
+  "CMakeFiles/orf_eval.dir/offline_models.cpp.o.d"
+  "CMakeFiles/orf_eval.dir/replay.cpp.o"
+  "CMakeFiles/orf_eval.dir/replay.cpp.o.d"
+  "CMakeFiles/orf_eval.dir/roc.cpp.o"
+  "CMakeFiles/orf_eval.dir/roc.cpp.o.d"
+  "CMakeFiles/orf_eval.dir/scoring.cpp.o"
+  "CMakeFiles/orf_eval.dir/scoring.cpp.o.d"
+  "liborf_eval.a"
+  "liborf_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orf_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/change_rate.cpp" "src/features/CMakeFiles/orf_features.dir/change_rate.cpp.o" "gcc" "src/features/CMakeFiles/orf_features.dir/change_rate.cpp.o.d"
+  "/root/repo/src/features/scaler.cpp" "src/features/CMakeFiles/orf_features.dir/scaler.cpp.o" "gcc" "src/features/CMakeFiles/orf_features.dir/scaler.cpp.o.d"
+  "/root/repo/src/features/selection.cpp" "src/features/CMakeFiles/orf_features.dir/selection.cpp.o" "gcc" "src/features/CMakeFiles/orf_features.dir/selection.cpp.o.d"
+  "/root/repo/src/features/wilcoxon.cpp" "src/features/CMakeFiles/orf_features.dir/wilcoxon.cpp.o" "gcc" "src/features/CMakeFiles/orf_features.dir/wilcoxon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/orf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

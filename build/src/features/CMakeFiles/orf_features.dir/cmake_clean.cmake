@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orf_features.dir/change_rate.cpp.o"
+  "CMakeFiles/orf_features.dir/change_rate.cpp.o.d"
+  "CMakeFiles/orf_features.dir/scaler.cpp.o"
+  "CMakeFiles/orf_features.dir/scaler.cpp.o.d"
+  "CMakeFiles/orf_features.dir/selection.cpp.o"
+  "CMakeFiles/orf_features.dir/selection.cpp.o.d"
+  "CMakeFiles/orf_features.dir/wilcoxon.cpp.o"
+  "CMakeFiles/orf_features.dir/wilcoxon.cpp.o.d"
+  "liborf_features.a"
+  "liborf_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orf_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

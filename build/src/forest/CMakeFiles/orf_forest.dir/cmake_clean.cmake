@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orf_forest.dir/decision_tree.cpp.o"
+  "CMakeFiles/orf_forest.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/orf_forest.dir/random_forest.cpp.o"
+  "CMakeFiles/orf_forest.dir/random_forest.cpp.o.d"
+  "CMakeFiles/orf_forest.dir/serialize.cpp.o"
+  "CMakeFiles/orf_forest.dir/serialize.cpp.o.d"
+  "CMakeFiles/orf_forest.dir/train_view.cpp.o"
+  "CMakeFiles/orf_forest.dir/train_view.cpp.o.d"
+  "liborf_forest.a"
+  "liborf_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orf_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orf_svm.dir/svc.cpp.o"
+  "CMakeFiles/orf_svm.dir/svc.cpp.o.d"
+  "liborf_svm.a"
+  "liborf_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orf_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orf_util.dir/flags.cpp.o"
+  "CMakeFiles/orf_util.dir/flags.cpp.o.d"
+  "CMakeFiles/orf_util.dir/logging.cpp.o"
+  "CMakeFiles/orf_util.dir/logging.cpp.o.d"
+  "CMakeFiles/orf_util.dir/stats.cpp.o"
+  "CMakeFiles/orf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/orf_util.dir/table.cpp.o"
+  "CMakeFiles/orf_util.dir/table.cpp.o.d"
+  "CMakeFiles/orf_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/orf_util.dir/thread_pool.cpp.o.d"
+  "liborf_util.a"
+  "liborf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_checkpoint.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_drift.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_drift.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_freeze.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_freeze.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_label_queue.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_label_queue.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_online_forest.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_online_forest.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_online_predictor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_online_predictor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_online_tree.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_online_tree.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_orf_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_orf_properties.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/test_csv.cpp" "tests/CMakeFiles/test_data.dir/data/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_csv.cpp.o.d"
+  "/root/repo/tests/data/test_csv_dir.cpp" "tests/CMakeFiles/test_data.dir/data/test_csv_dir.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_csv_dir.cpp.o.d"
+  "/root/repo/tests/data/test_labeling.cpp" "tests/CMakeFiles/test_data.dir/data/test_labeling.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_labeling.cpp.o.d"
+  "/root/repo/tests/data/test_labeling_properties.cpp" "tests/CMakeFiles/test_data.dir/data/test_labeling_properties.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_labeling_properties.cpp.o.d"
+  "/root/repo/tests/data/test_schema.cpp" "tests/CMakeFiles/test_data.dir/data/test_schema.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_schema.cpp.o.d"
+  "/root/repo/tests/data/test_types.cpp" "tests/CMakeFiles/test_data.dir/data/test_types.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/orf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/orf_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/orf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/orf_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/orf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/orf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

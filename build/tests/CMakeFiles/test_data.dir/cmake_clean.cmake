@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_csv.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_csv.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_csv_dir.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_csv_dir.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_labeling.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_labeling.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_labeling_properties.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_labeling_properties.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_schema.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_schema.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_types.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_types.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval.dir/eval/test_calibration_properties.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_calibration_properties.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_fleet_stream.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_fleet_stream.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_metrics.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_metrics.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_offline_models.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_offline_models.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_replay.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_replay.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_roc.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_roc.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_scoring.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_scoring.cpp.o.d"
+  "test_eval"
+  "test_eval.pdb"
+  "test_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

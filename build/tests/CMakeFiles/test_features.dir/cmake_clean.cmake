@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_features.dir/features/test_change_rate.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_change_rate.cpp.o.d"
+  "CMakeFiles/test_features.dir/features/test_scaler.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_scaler.cpp.o.d"
+  "CMakeFiles/test_features.dir/features/test_selection.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_selection.cpp.o.d"
+  "CMakeFiles/test_features.dir/features/test_wilcoxon.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_wilcoxon.cpp.o.d"
+  "test_features"
+  "test_features.pdb"
+  "test_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forest.dir/forest/test_decision_tree.cpp.o"
+  "CMakeFiles/test_forest.dir/forest/test_decision_tree.cpp.o.d"
+  "CMakeFiles/test_forest.dir/forest/test_random_forest.cpp.o"
+  "CMakeFiles/test_forest.dir/forest/test_random_forest.cpp.o.d"
+  "CMakeFiles/test_forest.dir/forest/test_serialize.cpp.o"
+  "CMakeFiles/test_forest.dir/forest/test_serialize.cpp.o.d"
+  "CMakeFiles/test_forest.dir/forest/test_train_view.cpp.o"
+  "CMakeFiles/test_forest.dir/forest/test_train_view.cpp.o.d"
+  "test_forest"
+  "test_forest.pdb"
+  "test_forest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_flags.cpp" "tests/CMakeFiles/test_util.dir/util/test_flags.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_flags.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/orf_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/orf_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/orf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/orf_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/orf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/orf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
