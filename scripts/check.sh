@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass over the engine and core suites.
+#
+#   1. normal build + full ctest (the tier-1 gate from ROADMAP.md);
+#   2. ASan+UBSan build (cmake -DORF_SANITIZE=ON into build-asan/) running
+#      the suites that exercise the new threaded engine paths directly —
+#      test_engine, test_core, test_util — so data races on freed memory,
+#      container misuse and UB in the shard/learn stages surface loudly.
+#
+# Exits non-zero on the first failure. ~5 minutes on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== sanitizers: ASan+UBSan over engine + core suites =="
+cmake -B build-asan -S . -DORF_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  >/dev/null
+cmake --build build-asan -j "$(nproc)" \
+  --target test_engine --target test_core --target test_util
+export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
+export ASAN_OPTIONS=detect_leaks=0
+./build-asan/tests/test_util
+./build-asan/tests/test_core
+./build-asan/tests/test_engine
+
+echo "CHECK OK"

@@ -1,15 +1,12 @@
 #include "core/checkpoint.hpp"
 
 #include <bit>
-#include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "core/online_forest.hpp"
-#include "core/online_predictor.hpp"
 #include "core/online_tree.hpp"
 
 namespace core {
@@ -269,89 +266,6 @@ void OnlineForest::restore(std::istream& is) {
     state.min_cumulative = cp::get_double(is);
     drift_monitor_[c].set_state(state);
   }
-}
-
-// ---- OnlineDiskPredictor ---------------------------------------------------
-
-void OnlineDiskPredictor::save(std::ostream& os) const {
-  namespace cp = checkpoint;
-  os << "orf-monitor-state v1\n";
-  const std::size_t features = scaler_.feature_count();
-  os << features << ' ' << params_.queue_capacity << ' '
-     << negatives_released_ << ' ' << positives_released_ << '\n';
-  os << "scaler";
-  for (double v : scaler_.mins()) {
-    os << ' ';
-    cp::put_double(os, v);
-  }
-  for (double v : scaler_.maxs()) {
-    os << ' ';
-    cp::put_double(os, v);
-  }
-  os << '\n';
-  os << "queues " << queues_.size() << '\n';
-  for (const auto& [disk, queue] : queues_) {
-    const auto samples = queue.snapshot();
-    os << disk << ' ' << samples.size() << '\n';
-    for (const auto& x : samples) {
-      for (std::size_t f = 0; f < x.size(); ++f) {
-        if (f) os << ' ';
-        cp::put_float(os, x[f]);
-      }
-      os << '\n';
-    }
-  }
-  forest_.save(os);
-}
-
-void OnlineDiskPredictor::restore(std::istream& is) {
-  namespace cp = checkpoint;
-  std::string line;
-  if (!std::getline(is, line) || line != "orf-monitor-state v1") {
-    throw std::runtime_error("checkpoint: not an orf-monitor-state v1");
-  }
-  const auto features = cp::get_u64(is, "monitor feature count");
-  const auto capacity = cp::get_u64(is, "queue capacity");
-  if (features != scaler_.feature_count() ||
-      capacity != params_.queue_capacity) {
-    throw std::runtime_error(
-        "checkpoint: monitor shape does not match the receiving object");
-  }
-  negatives_released_ = cp::get_u64(is, "negatives_released");
-  positives_released_ = cp::get_u64(is, "positives_released");
-  cp::expect_tag(is, "scaler");
-  std::vector<double> mins(features);
-  std::vector<double> maxs(features);
-  for (auto& v : mins) v = cp::get_double(is);
-  for (auto& v : maxs) v = cp::get_double(is);
-  scaler_.set_ranges(std::move(mins), std::move(maxs));
-  cp::expect_tag(is, "queues");
-  const auto n_queues = cp::get_u64(is, "queue count");
-  queues_.clear();
-  for (std::uint64_t q = 0; q < n_queues; ++q) {
-    const auto disk = static_cast<data::DiskId>(cp::get_u64(is, "disk id"));
-    const auto n_samples = cp::get_u64(is, "queued samples");
-    auto [it, inserted] = queues_.try_emplace(disk, params_.queue_capacity);
-    for (std::uint64_t s = 0; s < n_samples; ++s) {
-      std::vector<float> x(features);
-      for (auto& v : x) v = cp::get_float(is);
-      it->second.push(std::move(x));
-    }
-  }
-  is >> std::ws;
-  forest_.restore(is);
-}
-
-void OnlineDiskPredictor::save_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
-  save(os);
-}
-
-void OnlineDiskPredictor::restore_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for read: " + path);
-  restore(is);
 }
 
 }  // namespace core

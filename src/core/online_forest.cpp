@@ -56,7 +56,7 @@ void OnlineForest::update_one_tree(std::size_t t, std::span<const float> x,
     trees_[t].reset();
     oob_[t] = OobState{};
     age_[t] = 0;
-    ++trees_replaced_;
+    trees_replaced_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -89,7 +89,7 @@ void OnlineForest::update(std::span<const float> x, int y,
       trees_[worst].reset();
       oob_[worst] = OobState{};
       age_[worst] = 0;
-      ++trees_replaced_;
+      trees_replaced_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (pool != nullptr && pool->thread_count() > 1) {
@@ -98,6 +98,26 @@ void OnlineForest::update(std::span<const float> x, int y,
   } else {
     for (std::size_t t = 0; t < trees_.size(); ++t) update_one_tree(t, x, y);
   }
+}
+
+void OnlineForest::update_batch(std::span<const LabeledVector> batch,
+                                util::ThreadPool* pool) {
+  if (batch.empty()) return;
+  for (const auto& s : batch) {
+    if (s.x.size() != feature_count_) {
+      throw std::invalid_argument(
+          "OnlineForest::update_batch: wrong feature count");
+    }
+  }
+  if (params_.enable_drift_monitor || pool == nullptr ||
+      pool->thread_count() <= 1) {
+    for (const auto& s : batch) update(s.x, s.y, pool);
+    return;
+  }
+  samples_seen_ += batch.size();
+  pool->parallel_for(trees_.size(), [&](std::size_t t) {
+    for (const auto& s : batch) update_one_tree(t, s.x, s.y);
+  });
 }
 
 double OnlineForest::predict_proba(std::span<const float> x) const {

@@ -10,6 +10,7 @@
 // drifting SMART distribution ("unlearning").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -49,15 +50,63 @@ struct OnlineForestParams {
   double decision_threshold = 0.5;
 };
 
+/// One already-scaled sample with its label, ready for the forest.
+struct LabeledVector {
+  std::vector<float> x;
+  int y = 0;
+};
+
 class OnlineForest {
  public:
   OnlineForest(std::size_t feature_count, const OnlineForestParams& params,
                std::uint64_t seed);
 
+  // Movable despite the atomic counter (which only needs a plain load/store
+  // here — nothing runs concurrently with a move).
+  OnlineForest(OnlineForest&& other) noexcept
+      : feature_count_(other.feature_count_),
+        params_(other.params_),
+        trees_(std::move(other.trees_)),
+        tree_rngs_(std::move(other.tree_rngs_)),
+        oob_(std::move(other.oob_)),
+        age_(std::move(other.age_)),
+        drift_monitor_{other.drift_monitor_[0], other.drift_monitor_[1]},
+        samples_seen_(other.samples_seen_),
+        trees_replaced_(other.trees_replaced_.load(std::memory_order_relaxed)),
+        drift_alarms_(other.drift_alarms_) {}
+  OnlineForest& operator=(OnlineForest&& other) noexcept {
+    feature_count_ = other.feature_count_;
+    params_ = other.params_;
+    trees_ = std::move(other.trees_);
+    tree_rngs_ = std::move(other.tree_rngs_);
+    oob_ = std::move(other.oob_);
+    age_ = std::move(other.age_);
+    drift_monitor_[0] = other.drift_monitor_[0];
+    drift_monitor_[1] = other.drift_monitor_[1];
+    samples_seen_ = other.samples_seen_;
+    trees_replaced_.store(
+        other.trees_replaced_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    drift_alarms_ = other.drift_alarms_;
+    return *this;
+  }
+
   /// Process one labeled sample (Algorithm 1). Thread-safe across trees:
   /// per-tree work optionally runs on `pool`.
   void update(std::span<const float> x, int y,
               util::ThreadPool* pool = nullptr);
+
+  /// Process a batch of labeled samples in order. Bit-identical to calling
+  /// update() on each sample in sequence, for any pool: per-tree state
+  /// (structure, RNG stream, OOBE, age) only ever depends on the sequence of
+  /// samples that tree sees, so the loops can be interchanged — each tree
+  /// consumes the whole batch — and the pool parallelises across trees with
+  /// a single fork/join per batch instead of one per sample. Falls back to
+  /// the sequential per-sample path when the drift monitor is enabled (its
+  /// prequential test-then-train step orders ensemble reads between
+  /// updates).
+  void update_batch(std::span<const LabeledVector> batch,
+                    util::ThreadPool* pool = nullptr);
 
   /// Mean of per-tree probabilities.
   double predict_proba(std::span<const float> x) const;
@@ -68,7 +117,9 @@ class OnlineForest {
   std::size_t tree_count() const { return trees_.size(); }
   const OnlineTree& tree(std::size_t i) const { return trees_.at(i); }
   std::uint64_t samples_seen() const { return samples_seen_; }
-  std::uint64_t trees_replaced() const { return trees_replaced_; }
+  std::uint64_t trees_replaced() const {
+    return trees_replaced_.load(std::memory_order_relaxed);
+  }
   std::uint64_t drift_alarms() const { return drift_alarms_; }
 
   /// Class-balanced OOBE of tree i (0.5 until min_oob_evals per class).
@@ -102,7 +153,9 @@ class OnlineForest {
   std::vector<std::uint64_t> age_;
   PageHinkley drift_monitor_[2];  ///< per true class
   std::uint64_t samples_seen_ = 0;
-  std::uint64_t trees_replaced_ = 0;
+  /// Atomic: update()/update_batch() may replace decayed trees from several
+  /// pool workers at once; everything else those workers touch is per-tree.
+  std::atomic<std::uint64_t> trees_replaced_{0};
   std::uint64_t drift_alarms_ = 0;
 };
 

@@ -1,27 +1,22 @@
 // End-to-end online disk-failure monitor (paper Algorithm 2).
 //
-// Glues together the pieces of §3.2: per-disk LabelQueues perform automatic
-// online labeling, an OnlineMinMaxScaler normalises the raw SMART stream
-// (Eq. 5 has no offline min/max to use online), and an OnlineForest learns
-// from the released labels. Each arriving sample is also scored; a score at
-// or above the alarm threshold flags the disk as risky ("immediate data
-// migration is recommended").
-//
-// Queued samples are stored raw and scaled at *release* time with the
-// then-current ranges, so late-arriving range extensions still benefit
-// queued data.
+// Historically this class owned the whole §3.2 pipeline (per-disk
+// LabelQueues, online scaler, forest). That machinery now lives in
+// engine::FleetEngine; OnlineDiskPredictor remains as the stable
+// single-disk facade over it — observe one sample, report one failure,
+// retire one disk — and exposes the engine for callers that want day-batch
+// ingestion or the shard/counter knobs (see engine/fleet_engine.hpp for the
+// stage and determinism contracts).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <string>
-#include <unordered_map>
 
-#include "core/label_queue.hpp"
 #include "core/online_forest.hpp"
 #include "data/types.hpp"
-#include "features/scaler.hpp"
+#include "engine/fleet_engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace core {
@@ -33,6 +28,9 @@ struct OnlinePredictorParams {
   /// Alarm threshold on the forest score; tune for the deployment's FAR
   /// budget (see eval::calibrate_threshold).
   double alarm_threshold = 0.5;
+  /// Disk shards of the underlying engine (0 → auto); a parallelism knob
+  /// only — results never depend on it.
+  std::size_t shards = 0;
 };
 
 class OnlineDiskPredictor {
@@ -60,35 +58,40 @@ class OnlineDiskPredictor {
   void disk_retired(data::DiskId disk);
 
   /// Score a sample without touching any state (pure prediction).
-  double score(std::span<const float> raw_x) const;
+  double score(std::span<const float> raw_x) const {
+    return engine_.score(raw_x);
+  }
 
   void set_alarm_threshold(double threshold) {
-    params_.alarm_threshold = threshold;
+    engine_.set_alarm_threshold(threshold);
   }
-  double alarm_threshold() const { return params_.alarm_threshold; }
+  double alarm_threshold() const { return engine_.alarm_threshold(); }
 
-  const OnlineForest& forest() const { return forest_; }
-  std::size_t tracked_disks() const { return queues_.size(); }
+  const OnlineForest& forest() const { return engine_.forest(); }
+  std::size_t tracked_disks() const { return engine_.tracked_disks(); }
+
+  /// The engine underneath, for day-batch ingestion (eval::stream_fleet
+  /// feeds whole days at once) and counter/shard introspection.
+  engine::FleetEngine& engine() { return engine_; }
+  const engine::FleetEngine& engine() const { return engine_; }
 
   /// Checkpoint/restore the complete monitor (forest, online scaler ranges,
   /// every disk's unlabeled queue, counters) so a restarted process resumes
-  /// exactly where it stopped. restore() requires identical parameters.
-  void save(std::ostream& os) const;
-  void restore(std::istream& is);
-  void save_file(const std::string& path) const;
-  void restore_file(const std::string& path);
-  std::uint64_t negatives_released() const { return negatives_released_; }
-  std::uint64_t positives_released() const { return positives_released_; }
+  /// exactly where it stopped. restore() requires identical parameters but
+  /// is portable across shard counts.
+  void save(std::ostream& os) const { engine_.save(os); }
+  void restore(std::istream& is) { engine_.restore(is); }
+  void save_file(const std::string& path) const { engine_.save_file(path); }
+  void restore_file(const std::string& path) { engine_.restore_file(path); }
+  std::uint64_t negatives_released() const {
+    return engine_.negatives_released();
+  }
+  std::uint64_t positives_released() const {
+    return engine_.positives_released();
+  }
 
  private:
-  OnlinePredictorParams params_;
-  OnlineForest forest_;
-  features::OnlineMinMaxScaler scaler_;
-  std::unordered_map<data::DiskId, LabelQueue> queues_;
-  std::uint64_t negatives_released_ = 0;
-  std::uint64_t positives_released_ = 0;
-  // Reused scratch to avoid per-sample allocation on the hot path.
-  mutable std::vector<float> scaled_;
+  engine::FleetEngine engine_;
 };
 
 }  // namespace core

@@ -1,0 +1,38 @@
+// Batch records flowing through the streaming engine.
+//
+// A deployment day (paper Algorithm 2) reaches the engine as one batch of
+// per-disk reports: every operating disk contributes its daily SMART sample,
+// and a report whose disk leaves the fleet today is tagged with its fate so
+// the labeling stage can release the disk's queue (failure → positives) or
+// drop it (retirement). The engine answers with one outcome per report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "data/types.hpp"
+
+namespace engine {
+
+/// What happens to the disk after this report.
+enum class DiskFate : std::uint8_t {
+  kOperating = 0,   ///< the disk keeps running; sample joins its queue
+  kFailure = 1,     ///< last sample: the disk fails today (queue → positives)
+  kRetirement = 2,  ///< last sample: the disk leaves healthy (queue dropped)
+};
+
+/// One disk's daily report. `features` is a raw (unscaled) SMART vector and
+/// must stay alive until the ingest call returns.
+struct DiskReport {
+  data::DiskId disk = 0;
+  std::span<const float> features;
+  DiskFate fate = DiskFate::kOperating;
+};
+
+/// The engine's verdict on one report: forest score and alarm decision.
+struct DayOutcome {
+  double score = 0.0;  ///< forest P(failure within horizon)
+  bool alarm = false;  ///< score ≥ alarm_threshold
+};
+
+}  // namespace engine

@@ -1,0 +1,41 @@
+// Built-in engine observability counters.
+//
+// Each shard tracks what flowed through it; the engine aggregates a snapshot
+// on demand (examples/fleet_monitor prints one). These are process-local
+// runtime statistics and are deliberately NOT part of the checkpoint: the
+// resumable deployment counters (negatives/positives released) live on the
+// engine itself, because shard-local tallies would not survive restoring a
+// checkpoint into a different shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace engine {
+
+struct ShardCounters {
+  std::uint64_t samples_ingested = 0;   ///< reports routed to this shard
+  std::uint64_t negatives_released = 0; ///< queue evictions (survived horizon)
+  std::uint64_t positives_released = 0; ///< failure-drained queue samples
+  std::uint64_t alarms = 0;             ///< score ≥ threshold verdicts
+
+  ShardCounters& operator+=(const ShardCounters& other) {
+    samples_ingested += other.samples_ingested;
+    negatives_released += other.negatives_released;
+    positives_released += other.positives_released;
+    alarms += other.alarms;
+    return *this;
+  }
+};
+
+struct EngineCounters {
+  std::vector<ShardCounters> shards;  ///< per-shard, indexed by shard
+  ShardCounters total;                ///< sum over shards
+
+  // Learn-stage cost (util::Stopwatch around every sequential learn pass).
+  std::uint64_t learn_passes = 0;
+  std::uint64_t samples_learned = 0;
+  double learn_seconds = 0.0;
+};
+
+}  // namespace engine

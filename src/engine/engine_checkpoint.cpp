@@ -1,0 +1,117 @@
+// FleetEngine checkpoint/restore.
+//
+// Same line-oriented text format as the rest of core/checkpoint.cpp (floats
+// as hex bit patterns; see core/checkpoint.hpp). The engine section carries
+// everything Algorithm 2 needs to resume mid-deployment: release counters,
+// online scaler ranges, every disk's unlabeled queue, then the full forest
+// state. Queues are written sorted by ascending DiskId — an order no shard
+// layout can perturb — and restore() re-assigns each disk to hash % shards
+// of the *receiving* engine, which is what makes a checkpoint portable
+// across shard counts. Per-shard observability counters are runtime-only
+// and deliberately absent (see engine/counters.hpp).
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "engine/fleet_engine.hpp"
+
+namespace engine {
+
+void FleetEngine::save(std::ostream& os) const {
+  namespace cp = core::checkpoint;
+  os << "fleet-engine-state v1\n";
+  const std::size_t features = scaler_.feature_count();
+  os << features << ' ' << params_.queue_capacity << ' '
+     << negatives_released_ << ' ' << positives_released_ << '\n';
+  os << "scaler";
+  for (double v : scaler_.mins()) {
+    os << ' ';
+    cp::put_double(os, v);
+  }
+  for (double v : scaler_.maxs()) {
+    os << ' ';
+    cp::put_double(os, v);
+  }
+  os << '\n';
+
+  std::vector<std::pair<data::DiskId, const core::LabelQueue*>> queues;
+  queues.reserve(tracked_disks());
+  for (const EngineShard& shard : shards_) {
+    for (const auto& [disk, queue] : shard.queues()) {
+      queues.emplace_back(disk, &queue);
+    }
+  }
+  std::sort(queues.begin(), queues.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  os << "queues " << queues.size() << '\n';
+  for (const auto& [disk, queue] : queues) {
+    const auto samples = queue->snapshot();
+    os << disk << ' ' << samples.size() << '\n';
+    for (const auto& x : samples) {
+      for (std::size_t f = 0; f < x.size(); ++f) {
+        if (f) os << ' ';
+        cp::put_float(os, x[f]);
+      }
+      os << '\n';
+    }
+  }
+  forest_.save(os);
+}
+
+void FleetEngine::restore(std::istream& is) {
+  namespace cp = core::checkpoint;
+  std::string line;
+  if (!std::getline(is, line) || line != "fleet-engine-state v1") {
+    throw std::runtime_error("checkpoint: not a fleet-engine-state v1");
+  }
+  const auto features = cp::get_u64(is, "engine feature count");
+  const auto capacity = cp::get_u64(is, "queue capacity");
+  if (features != scaler_.feature_count() ||
+      capacity != params_.queue_capacity) {
+    throw std::runtime_error(
+        "checkpoint: engine shape does not match the receiving object");
+  }
+  negatives_released_ = cp::get_u64(is, "negatives_released");
+  positives_released_ = cp::get_u64(is, "positives_released");
+  cp::expect_tag(is, "scaler");
+  std::vector<double> mins(features);
+  std::vector<double> maxs(features);
+  for (auto& v : mins) v = cp::get_double(is);
+  for (auto& v : maxs) v = cp::get_double(is);
+  scaler_.set_ranges(std::move(mins), std::move(maxs));
+
+  cp::expect_tag(is, "queues");
+  const auto n_queues = cp::get_u64(is, "queue count");
+  for (EngineShard& shard : shards_) shard.clear_queues();
+  for (std::uint64_t q = 0; q < n_queues; ++q) {
+    const auto disk = static_cast<data::DiskId>(cp::get_u64(is, "disk id"));
+    const auto n_samples = cp::get_u64(is, "queued samples");
+    core::LabelQueue& queue = shards_[shard_of(disk)].queue_for(disk);
+    for (std::uint64_t s = 0; s < n_samples; ++s) {
+      std::vector<float> x(features);
+      for (auto& v : x) v = cp::get_float(is);
+      queue.push(std::move(x));
+    }
+  }
+  is >> std::ws;
+  forest_.restore(is);
+}
+
+void FleetEngine::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save(os);
+}
+
+void FleetEngine::restore_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  restore(is);
+}
+
+}  // namespace engine

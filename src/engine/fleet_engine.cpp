@@ -1,0 +1,193 @@
+#include "engine/fleet_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "util/stopwatch.hpp"
+
+namespace engine {
+
+namespace {
+
+std::size_t resolve_shards(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 32);
+}
+
+}  // namespace
+
+FleetEngine::FleetEngine(std::size_t feature_count, const EngineParams& params,
+                         std::uint64_t seed)
+    : params_(params),
+      forest_(feature_count, params.forest, seed),
+      scaler_(feature_count) {
+  if (params_.queue_capacity == 0) {
+    throw std::invalid_argument("FleetEngine: queue_capacity must be > 0");
+  }
+  const std::size_t n = resolve_shards(params_.shards);
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_.emplace_back(params_.queue_capacity);
+  }
+}
+
+std::uint32_t FleetEngine::shard_of(data::DiskId disk) const {
+  // splitmix64 finisher: a fixed, platform-independent mix so the disk →
+  // shard map never depends on std::hash (results don't depend on sharding
+  // either way, but a stable map keeps per-shard counters reproducible).
+  std::uint64_t z = static_cast<std::uint64_t>(disk) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % shards_.size());
+}
+
+void FleetEngine::learn_staged(std::size_t count, util::ThreadPool* pool) {
+  if (count == 0) return;
+  util::Stopwatch timer;
+  forest_.update_batch(std::span(learn_batch_.data(), count), pool);
+  ++learn_passes_;
+  samples_learned_ += count;
+  learn_seconds_ += timer.seconds();
+}
+
+void FleetEngine::ingest_day(std::span<const DiskReport> batch,
+                             std::vector<DayOutcome>& outcomes,
+                             util::ThreadPool* pool) {
+  outcomes.assign(batch.size(), DayOutcome{});
+  if (batch.empty()) return;
+
+  // Stage 1: scale. The running min/max is commutative — any observation
+  // order yields the same end-of-day ranges.
+  for (const DiskReport& report : batch) scaler_.observe(report.features);
+
+  owner_scratch_.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    owner_scratch_[i] = shard_of(batch[i].disk);
+  }
+
+  // Stage 2: label + score, shard-parallel. Each shard touches only its own
+  // queues and its own records' outcome slots; forest and scaler are
+  // read-only until stage 3.
+  const auto run_shard = [&](std::size_t s) {
+    shards_[s].process_day(batch, owner_scratch_,
+                           static_cast<std::uint32_t>(s), forest_, scaler_,
+                           params_.alarm_threshold, outcomes);
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && shards_.size() > 1) {
+    pool->parallel_for(shards_.size(), run_shard);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) run_shard(s);
+  }
+
+  // Stage 3: one deterministic learn pass. Merge the shards' release lists
+  // back into record order — record i belongs to exactly one shard and each
+  // shard appended in ascending i, so advancing that shard's cursor while it
+  // matches i is a total order independent of the shard count.
+  std::size_t total = 0;
+  for (EngineShard& shard : shards_) total += shard.releases().size();
+  if (total == 0) return;
+  if (learn_batch_.size() < total) learn_batch_.resize(total);
+  cursor_scratch_.assign(shards_.size(), 0);
+  std::size_t staged = 0;
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    const std::uint32_t s = owner_scratch_[i];
+    auto& releases = shards_[s].releases();
+    std::size_t& cur = cursor_scratch_[s];
+    while (cur < releases.size() && releases[cur].seq == i) {
+      Release& release = releases[cur];
+      scaler_.transform(release.raw, learn_batch_[staged].x);
+      learn_batch_[staged].y = release.label;
+      ++(release.label == 1 ? positives_released_ : negatives_released_);
+      ++staged;
+      ++cur;
+    }
+  }
+  learn_staged(staged, pool);
+  for (EngineShard& shard : shards_) shard.releases().clear();
+}
+
+DayOutcome FleetEngine::observe(data::DiskId disk, std::span<const float> raw,
+                                util::ThreadPool* pool) {
+  const DiskReport report{disk, raw, DiskFate::kOperating};
+  ingest_day(std::span(&report, 1), outcome_scratch_, pool);
+  return outcome_scratch_.front();
+}
+
+void FleetEngine::disk_failed(data::DiskId disk, util::ThreadPool* pool) {
+  auto positives = shards_[shard_of(disk)].drain(disk);
+  if (positives.empty()) return;
+  if (learn_batch_.size() < positives.size()) {
+    learn_batch_.resize(positives.size());
+  }
+  for (std::size_t k = 0; k < positives.size(); ++k) {
+    scaler_.transform(positives[k], learn_batch_[k].x);
+    learn_batch_[k].y = 1;
+  }
+  positives_released_ += positives.size();
+  learn_staged(positives.size(), pool);
+}
+
+void FleetEngine::disk_retired(data::DiskId disk) {
+  shards_[shard_of(disk)].retire(disk);
+}
+
+void FleetEngine::learn_labeled(std::span<const float> raw, int label,
+                                util::ThreadPool* pool) {
+  if (learn_batch_.empty()) learn_batch_.resize(1);
+  scaler_.observe_transform(raw, learn_batch_.front().x);
+  learn_batch_.front().y = label;
+  learn_staged(1, pool);
+}
+
+std::size_t FleetEngine::consume(LearnSource& source, data::Day up_to_day,
+                                 util::ThreadPool* pool) {
+  // Scale each sample the moment it arrives (ranges evolve per sample,
+  // exactly like the per-sample loop) but batch the forest updates: the
+  // forest never reads the scaler and vice versa, so deferring updates to a
+  // flush boundary is bit-identical while amortising fork/join.
+  constexpr std::size_t kFlushAt = 1024;
+  std::size_t consumed = 0;
+  std::size_t staged = 0;
+  while (auto item = source.next(up_to_day)) {
+    if (learn_batch_.size() <= staged) learn_batch_.resize(staged + 1);
+    scaler_.observe_transform(item->raw, learn_batch_[staged].x);
+    learn_batch_[staged].y = item->label;
+    ++staged;
+    ++consumed;
+    if (staged >= kFlushAt) {
+      learn_staged(staged, pool);
+      staged = 0;
+    }
+  }
+  learn_staged(staged, pool);
+  return consumed;
+}
+
+double FleetEngine::score(std::span<const float> raw) const {
+  scaler_.transform(raw, scaled_);
+  return forest_.predict_proba(scaled_);
+}
+
+std::size_t FleetEngine::tracked_disks() const {
+  std::size_t n = 0;
+  for (const EngineShard& shard : shards_) n += shard.tracked_disks();
+  return n;
+}
+
+EngineCounters FleetEngine::counters() const {
+  EngineCounters c;
+  c.shards.reserve(shards_.size());
+  for (const EngineShard& shard : shards_) {
+    c.shards.push_back(shard.counters());
+    c.total += shard.counters();
+  }
+  c.learn_passes = learn_passes_;
+  c.samples_learned = samples_learned_;
+  c.learn_seconds = learn_seconds_;
+  return c;
+}
+
+}  // namespace engine

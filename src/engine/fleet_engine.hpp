@@ -1,0 +1,152 @@
+// Sharded, stage-based streaming engine for the paper's deployment loop.
+//
+// FleetEngine is the one place Algorithm 2 runs: every former streaming
+// driver (OnlineDiskPredictor, OrfReplay, eval::stream_fleet) is now a thin
+// adapter over it. It owns the shared OnlineForest and OnlineMinMaxScaler
+// and N shards of per-disk LabelQueues (disk → shard by a fixed hash), and
+// processes a calendar day as three stages:
+//
+//   1. scale  — sequential: extend the running min/max with every report.
+//      A running range is commutative, so the result is order-independent.
+//   2. label+score — shard-parallel on the ThreadPool: each shard pushes /
+//      releases its own queues and scores its records against the *frozen*
+//      pre-learn forest (prequential) with the end-of-day ranges.
+//   3. learn  — sequential: the shards' release lists are merged back into
+//      batch-record order (each record is owned by exactly one shard, so the
+//      merge is total and unambiguous), scaled, and fed to the forest as one
+//      update_batch.
+//
+// Determinism contract: for a fixed seed the results are bit-identical
+// across any shard count and any thread pool (including none). Stage 2 only
+// reads shared state; stage 3 consumes a canonical sample order that does
+// not depend on sharding; and OnlineForest::update_batch is itself
+// bit-equivalent to sequential updates (see online_forest.hpp).
+//
+// Checkpoints (save/restore) serialise queues in ascending-DiskId order and
+// re-shard on restore, so a checkpoint written with one shard count restores
+// into any other.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/online_forest.hpp"
+#include "data/types.hpp"
+#include "engine/batch.hpp"
+#include "engine/counters.hpp"
+#include "engine/shard.hpp"
+#include "engine/stages.hpp"
+#include "features/scaler.hpp"
+#include "util/thread_pool.hpp"
+
+namespace engine {
+
+struct EngineParams {
+  core::OnlineForestParams forest = {};
+  /// Queue capacity in samples = prediction horizon in days (daily samples).
+  std::size_t queue_capacity = static_cast<std::size_t>(data::kHorizonDays);
+  /// Alarm threshold on the forest score; tune for the deployment's FAR
+  /// budget (see eval::calibrate_threshold).
+  double alarm_threshold = 0.5;
+  /// Number of disk shards; 0 → hardware_concurrency clamped to [1, 32].
+  /// Purely a parallelism knob: results do not depend on it.
+  std::size_t shards = 0;
+};
+
+class FleetEngine final : public SampleSink {
+ public:
+  FleetEngine(std::size_t feature_count, const EngineParams& params,
+              std::uint64_t seed);
+
+  /// Process one calendar day of fleet reports (stages 1–3 above).
+  /// `outcomes` is resized to one verdict per report, in batch order.
+  void ingest_day(std::span<const DiskReport> batch,
+                  std::vector<DayOutcome>& outcomes,
+                  util::ThreadPool* pool = nullptr) override;
+
+  /// Single-disk front door (Algorithm 2, y = 0 path): a one-report day
+  /// batch through the same three stages.
+  DayOutcome observe(data::DiskId disk, std::span<const float> raw,
+                     util::ThreadPool* pool = nullptr);
+
+  /// Disk failed between reports (y = 1 path): its queued samples are
+  /// released positive and learned in one batch; the disk is forgotten.
+  void disk_failed(data::DiskId disk, util::ThreadPool* pool = nullptr);
+
+  /// Disk left the fleet without failing; its queue is dropped unlabeled.
+  void disk_retired(data::DiskId disk);
+
+  /// Learn one already-labeled sample, bypassing the label stage: the
+  /// scaler observes the raw vector, then the forest updates — exactly the
+  /// per-sample replay step of §4.4 simulations.
+  void learn_labeled(std::span<const float> raw, int label,
+                     util::ThreadPool* pool = nullptr);
+
+  /// Drain `source` through learn_labeled semantics until it yields nothing
+  /// below `up_to_day`, batching forest updates (bit-identical to the
+  /// per-sample loop). Returns the number of samples consumed.
+  std::size_t consume(LearnSource& source, data::Day up_to_day,
+                      util::ThreadPool* pool = nullptr);
+
+  /// Score a raw sample without touching any state (pure prediction).
+  double score(std::span<const float> raw) const;
+
+  const core::OnlineForest& forest() const { return forest_; }
+  core::OnlineForest& forest() { return forest_; }
+  const features::OnlineMinMaxScaler& scaler() const { return scaler_; }
+  std::size_t feature_count() const { return scaler_.feature_count(); }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t tracked_disks() const;
+
+  void set_alarm_threshold(double threshold) {
+    params_.alarm_threshold = threshold;
+  }
+  double alarm_threshold() const { return params_.alarm_threshold; }
+  std::size_t queue_capacity() const { return params_.queue_capacity; }
+
+  /// Deployment counters (resumable: checkpointed with the engine).
+  std::uint64_t negatives_released() const { return negatives_released_; }
+  std::uint64_t positives_released() const { return positives_released_; }
+
+  /// Runtime observability snapshot (not checkpointed; see counters.hpp).
+  EngineCounters counters() const;
+
+  /// Checkpoint/restore the complete engine (forest, scaler ranges, every
+  /// disk's unlabeled queue, release counters). Queues are written in
+  /// ascending-DiskId order and re-sharded on restore, so the shard counts
+  /// of writer and reader are independent. restore() requires identical
+  /// feature count and queue capacity.
+  void save(std::ostream& os) const;
+  void restore(std::istream& is);
+  void save_file(const std::string& path) const;
+  void restore_file(const std::string& path);
+
+ private:
+  std::uint32_t shard_of(data::DiskId disk) const;
+  /// One timed forest update_batch over the first `count` staged samples in
+  /// learn_batch_ (callers scale into the batch first).
+  void learn_staged(std::size_t count, util::ThreadPool* pool);
+
+  EngineParams params_;
+  core::OnlineForest forest_;
+  features::OnlineMinMaxScaler scaler_;
+  std::vector<EngineShard> shards_;
+
+  std::uint64_t negatives_released_ = 0;
+  std::uint64_t positives_released_ = 0;
+  std::uint64_t learn_passes_ = 0;
+  std::uint64_t samples_learned_ = 0;
+  double learn_seconds_ = 0.0;
+
+  // Reused scratch — the hot path allocates nothing once warm.
+  std::vector<std::uint32_t> owner_scratch_;      ///< record → shard
+  std::vector<std::size_t> cursor_scratch_;       ///< per-shard merge cursor
+  std::vector<core::LabeledVector> learn_batch_;  ///< staged learn samples
+  std::vector<DayOutcome> outcome_scratch_;       ///< observe() day batch
+  mutable std::vector<float> scaled_;             ///< score() scratch
+};
+
+}  // namespace engine

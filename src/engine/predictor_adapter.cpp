@@ -1,0 +1,44 @@
+// OnlineDiskPredictor — the single-disk facade over engine::FleetEngine.
+//
+// Lives in the engine library (not orf_core) because core cannot link the
+// engine it sits below; the historical header location core/online_predictor
+// stays so the public API is unchanged.
+
+#include "core/online_predictor.hpp"
+
+namespace core {
+
+namespace {
+
+engine::EngineParams to_engine_params(const OnlinePredictorParams& params) {
+  engine::EngineParams out;
+  out.forest = params.forest;
+  out.queue_capacity = params.queue_capacity;
+  out.alarm_threshold = params.alarm_threshold;
+  out.shards = params.shards;
+  return out;
+}
+
+}  // namespace
+
+OnlineDiskPredictor::OnlineDiskPredictor(std::size_t feature_count,
+                                         const OnlinePredictorParams& params,
+                                         std::uint64_t seed)
+    : engine_(feature_count, to_engine_params(params), seed) {}
+
+OnlineDiskPredictor::Observation OnlineDiskPredictor::observe(
+    data::DiskId disk, std::span<const float> raw_x, util::ThreadPool* pool) {
+  const engine::DayOutcome outcome = engine_.observe(disk, raw_x, pool);
+  return Observation{outcome.score, outcome.alarm};
+}
+
+void OnlineDiskPredictor::disk_failed(data::DiskId disk,
+                                      util::ThreadPool* pool) {
+  engine_.disk_failed(disk, pool);
+}
+
+void OnlineDiskPredictor::disk_retired(data::DiskId disk) {
+  engine_.disk_retired(disk);
+}
+
+}  // namespace core

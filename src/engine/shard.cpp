@@ -1,0 +1,66 @@
+#include "engine/shard.hpp"
+
+namespace engine {
+
+std::optional<std::vector<float>> EngineShard::push(data::DiskId disk,
+                                                    std::span<const float> raw) {
+  auto evicted =
+      queue_for(disk).push(std::vector<float>(raw.begin(), raw.end()));
+  if (evicted) ++counters_.negatives_released;
+  return evicted;
+}
+
+std::vector<std::vector<float>> EngineShard::drain(data::DiskId disk) {
+  const auto it = queues_.find(disk);
+  if (it == queues_.end()) return {};  // failure of a never-observed disk
+  auto positives = it->second.drain();
+  counters_.positives_released += positives.size();
+  queues_.erase(it);
+  return positives;
+}
+
+void EngineShard::process_day(std::span<const DiskReport> batch,
+                              std::span<const std::uint32_t> owner,
+                              std::uint32_t self,
+                              const core::OnlineForest& forest,
+                              const features::OnlineMinMaxScaler& scaler,
+                              double alarm_threshold,
+                              std::span<DayOutcome> outcomes) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (owner[i] != self) continue;
+    const DiskReport& report = batch[i];
+    ++counters_.samples_ingested;
+
+    // Label stage: the new sample joins the queue (a full queue evicts a
+    // horizon-survivor → negative), then a terminal fate releases or drops
+    // the whole queue. Per record the order is eviction negative first, then
+    // failure positives oldest-first — the same order the sequential
+    // Algorithm-2 loop produced.
+    const auto seq = static_cast<std::uint32_t>(i);
+    if (auto outdated = push(report.disk, report.features)) {
+      releases_.push_back(Release{seq, 0, std::move(*outdated)});
+    }
+    switch (report.fate) {
+      case DiskFate::kOperating:
+        break;
+      case DiskFate::kFailure:
+        for (auto& positive : drain(report.disk)) {
+          releases_.push_back(Release{seq, 1, std::move(positive)});
+        }
+        break;
+      case DiskFate::kRetirement:
+        retire(report.disk);
+        break;
+    }
+
+    // Score stage: prequential — the forest has not seen any of today's
+    // releases yet; the scaler carries end-of-day ranges.
+    scaler.transform(report.features, scaled_);
+    DayOutcome& out = outcomes[i];
+    out.score = forest.predict_proba(scaled_);
+    out.alarm = out.score >= alarm_threshold;
+    if (out.alarm) ++counters_.alarms;
+  }
+}
+
+}  // namespace engine

@@ -1,0 +1,88 @@
+// One shard of the fleet's per-disk state.
+//
+// The engine partitions disks across shards by a fixed hash, so every shard
+// owns the LabelQueues of a disjoint disk subset plus its own scratch and
+// counters. The label+score stage of a day batch then runs shard-parallel
+// with no locking: a shard only touches its own queues, writes outcome slots
+// of records it owns, and reads the forest/scaler, which are frozen during
+// the stage. Labeled samples released by the stage are *not* learned here —
+// they are parked in a per-shard release list (tagged with the record index
+// that produced them) for the engine's deterministic sequential learn pass.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/label_queue.hpp"
+#include "core/online_forest.hpp"
+#include "data/types.hpp"
+#include "engine/batch.hpp"
+#include "engine/counters.hpp"
+#include "features/scaler.hpp"
+
+namespace engine {
+
+/// A labeled sample released by the label stage, waiting for the learn pass.
+/// `seq` is the index of the day-batch record that released it; merging the
+/// shards' lists by seq reproduces the canonical (batch-order) release
+/// sequence regardless of how disks were sharded.
+struct Release {
+  std::uint32_t seq = 0;
+  int label = 0;
+  std::vector<float> raw;  ///< unscaled; scaled at learn time (end-of-day
+                           ///< ranges, like a queue release at day close)
+};
+
+class EngineShard {
+ public:
+  explicit EngineShard(std::size_t queue_capacity)
+      : queue_capacity_(queue_capacity) {}
+
+  /// Label + score every record of `batch` with owner[i] == self. Appends
+  /// releases in ascending seq; writes outcomes[i] for owned i only. The
+  /// forest and scaler are read-only here, so shards may run concurrently.
+  void process_day(std::span<const DiskReport> batch,
+                   std::span<const std::uint32_t> owner, std::uint32_t self,
+                   const core::OnlineForest& forest,
+                   const features::OnlineMinMaxScaler& scaler,
+                   double alarm_threshold, std::span<DayOutcome> outcomes);
+
+  /// Enqueue one raw sample on `disk`'s queue; a full queue evicts its
+  /// oldest sample, returned to be labeled negative.
+  std::optional<std::vector<float>> push(data::DiskId disk,
+                                         std::span<const float> raw);
+
+  /// Disk failed: empty its queue (oldest-first, to be labeled positive)
+  /// and forget the disk.
+  std::vector<std::vector<float>> drain(data::DiskId disk);
+
+  /// Disk left the fleet healthy: drop its queue unlabeled.
+  void retire(data::DiskId disk) { queues_.erase(disk); }
+
+  std::size_t tracked_disks() const { return queues_.size(); }
+  const std::unordered_map<data::DiskId, core::LabelQueue>& queues() const {
+    return queues_;
+  }
+
+  /// Checkpoint restore: drop all queues (counters are runtime-only and
+  /// survive; see counters.hpp).
+  void clear_queues() { queues_.clear(); }
+  core::LabelQueue& queue_for(data::DiskId disk) {
+    return queues_.try_emplace(disk, queue_capacity_).first->second;
+  }
+
+  std::vector<Release>& releases() { return releases_; }
+  const ShardCounters& counters() const { return counters_; }
+
+ private:
+  std::size_t queue_capacity_;
+  std::unordered_map<data::DiskId, core::LabelQueue> queues_;
+  std::vector<Release> releases_;
+  ShardCounters counters_;
+  std::vector<float> scaled_;  ///< scoring scratch
+};
+
+}  // namespace engine

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/batch.hpp"
+
 namespace eval {
 
 FleetStreamResult stream_fleet(const data::Dataset& dataset,
@@ -34,30 +36,43 @@ FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
         snaps.begin());
   }
 
+  // Each calendar day becomes one engine day batch (disk-index order, so
+  // the canonical release order matches the historical per-disk loop). A
+  // disk whose final sample falls in this window leaves the fleet today —
+  // failure event or retirement — which the report's fate encodes.
+  engine::FleetEngine& engine = predictor.engine();
+  std::vector<engine::DiskReport> batch;
+  std::vector<std::size_t> batch_disk;  ///< record → dataset.disks index
+  std::vector<engine::DayOutcome> outcomes;
+
   to_day = std::min(to_day, dataset.duration_days);
   for (data::Day day = std::max<data::Day>(0, from_day); day < to_day;
        ++day) {
+    batch.clear();
+    batch_disk.clear();
     for (std::size_t i = 0; i < dataset.disks.size(); ++i) {
       const data::DiskHistory& disk = dataset.disks[i];
       std::size_t& at = cursor[i];
       if (at >= disk.snapshots.size()) continue;
       if (disk.snapshots[at].day != day) continue;
-      const auto obs =
-          predictor.observe(disk.id, disk.snapshots[at].features, pool);
-      ++result.samples_processed;
-      if (obs.alarm) {
-        result.disks[i].alarm_days.push_back(day);
-        ++result.total_alarms;
-      }
+      engine::DiskReport report;
+      report.disk = disk.id;
+      report.features = disk.snapshots[at].features;
       ++at;
       if (at == disk.snapshots.size()) {
-        // Disk leaves the fleet today: failure event or retirement.
-        if (disk.failed) {
-          predictor.disk_failed(disk.id, pool);
-        } else {
-          predictor.disk_retired(disk.id);
-        }
+        report.fate = disk.failed ? engine::DiskFate::kFailure
+                                  : engine::DiskFate::kRetirement;
       }
+      batch.push_back(report);
+      batch_disk.push_back(i);
+    }
+    if (batch.empty()) continue;
+    engine.ingest_day(batch, outcomes, pool);
+    result.samples_processed += batch.size();
+    for (std::size_t r = 0; r < outcomes.size(); ++r) {
+      if (!outcomes[r].alarm) continue;
+      result.disks[batch_disk[r]].alarm_days.push_back(day);
+      ++result.total_alarms;
     }
   }
   return result;

@@ -1,10 +1,15 @@
-// Chronological deployment simulation: drives an OnlineDiskPredictor over a
-// fleet exactly as Algorithm 2 runs in production — day by day, every
-// operating disk reports a sample (observe → maybe alarm), failed disks emit
-// a failure event (disk_failed), survivors retire at the end of the window.
+// Chronological deployment simulation: drives the predictor's FleetEngine
+// over a fleet exactly as Algorithm 2 runs in production — each calendar day
+// becomes one engine day batch (every operating disk reports a sample;
+// disks leaving the fleet carry a failure/retirement fate), the engine
+// labels + scores the batch shard-parallel, and today's released labels
+// feed one learn pass. Scores are prequential: a day's samples are scored
+// against the forest as of the start of that day.
 //
 // This is the true end-to-end path (labels come from the LabelQueue, not
-// from offline labeling) and the basis of the fleet_monitor example.
+// from offline labeling) and the basis of the fleet_monitor example. For a
+// fixed seed the result is bit-identical across thread pools and shard
+// counts (see engine/fleet_engine.hpp).
 #pragma once
 
 #include <vector>

@@ -1,26 +1,33 @@
 #include "eval/replay.hpp"
 
 #include <limits>
-#include <stdexcept>
+
+#include "engine/stages.hpp"
 
 namespace eval {
+
+namespace {
+
+engine::EngineParams replay_params(const core::OnlineForestParams& params) {
+  engine::EngineParams out;
+  out.forest = params;
+  // The replay path never touches the label stage; one shard keeps the
+  // (unused) queue machinery minimal.
+  out.shards = 1;
+  return out;
+}
+
+}  // namespace
 
 OrfReplay::OrfReplay(std::size_t feature_count,
                      const core::OnlineForestParams& params,
                      std::uint64_t seed)
-    : forest_(feature_count, params, seed), scaler_(feature_count) {}
+    : engine_(feature_count, replay_params(params), seed) {}
 
 void OrfReplay::advance_until(std::span<const data::LabeledSample> samples,
                               data::Day up_to_day, util::ThreadPool* pool) {
-  while (cursor_ < samples.size() && samples[cursor_].day < up_to_day) {
-    const auto& s = samples[cursor_];
-    if (cursor_ > 0 && samples[cursor_ - 1].day > s.day) {
-      throw std::invalid_argument("OrfReplay: samples not time-sorted");
-    }
-    scaler_.observe_transform(s.x(), scratch_);
-    forest_.update(scratch_, s.label, pool);
-    ++cursor_;
-  }
+  engine::LabeledSampleSource source(samples, cursor_);
+  engine_.consume(source, up_to_day, pool);
 }
 
 void OrfReplay::advance_all(std::span<const data::LabeledSample> samples,

@@ -3,14 +3,19 @@
 // "we simulate the sequential arrival of training data according to the
 // timestamp of labeled samples"). Keeps a cursor so monthly evaluation
 // snapshots advance incrementally.
+//
+// Thin adapter over engine::FleetEngine: each advance wraps the remaining
+// samples in an engine::LabeledSampleSource and lets the engine's consume()
+// run the learn stage (bit-identical to the historical per-sample loop; see
+// fleet_engine.hpp).
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "core/online_forest.hpp"
 #include "data/types.hpp"
+#include "engine/fleet_engine.hpp"
 #include "eval/scoring.hpp"
 #include "features/scaler.hpp"
 #include "util/thread_pool.hpp"
@@ -31,18 +36,20 @@ class OrfReplay {
   void advance_all(std::span<const data::LabeledSample> samples,
                    util::ThreadPool* pool = nullptr);
 
-  const core::OnlineForest& forest() const { return forest_; }
-  core::OnlineForest& forest() { return forest_; }
-  const features::OnlineMinMaxScaler& scaler() const { return scaler_; }
+  const core::OnlineForest& forest() const { return engine_.forest(); }
+  core::OnlineForest& forest() { return engine_.forest(); }
+  const features::OnlineMinMaxScaler& scaler() const {
+    return engine_.scaler();
+  }
   std::size_t consumed() const { return cursor_; }
 
-  Scorer scorer() const { return online_forest_scorer(forest_, scaler_); }
+  const engine::FleetEngine& engine() const { return engine_; }
+
+  Scorer scorer() const { return engine_scorer(engine_); }
 
  private:
-  core::OnlineForest forest_;
-  features::OnlineMinMaxScaler scaler_;
+  engine::FleetEngine engine_;
   std::size_t cursor_ = 0;
-  std::vector<float> scratch_;
 };
 
 }  // namespace eval

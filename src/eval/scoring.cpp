@@ -5,6 +5,8 @@
 #include <cstring>
 #include <memory>
 
+#include "engine/fleet_engine.hpp"
+
 namespace eval {
 
 std::vector<DiskScore> score_disks(const data::Dataset& dataset,
@@ -125,6 +127,10 @@ Scorer online_forest_scorer(const core::OnlineForest& model,
     scaler.transform(x, scratch->scaled);
     return model.predict_proba(scratch->scaled);
   };
+}
+
+Scorer engine_scorer(const engine::FleetEngine& engine) {
+  return online_forest_scorer(engine.forest(), engine.scaler());
 }
 
 }  // namespace eval

@@ -17,6 +17,10 @@
 #include "forest/random_forest.hpp"
 #include "svm/svc.hpp"
 
+namespace engine {
+class FleetEngine;
+}
+
 namespace eval {
 
 /// Maps a *raw* (unscaled) feature vector to a model score. Higher = more
@@ -56,5 +60,6 @@ Scorer svm_scorer(const svm::SvmClassifier& model,
                   const features::MinMaxScaler& scaler);
 Scorer online_forest_scorer(const core::OnlineForest& model,
                             const features::OnlineMinMaxScaler& scaler);
+Scorer engine_scorer(const engine::FleetEngine& engine);
 
 }  // namespace eval

@@ -43,26 +43,6 @@ void ThreadPool::wait() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t workers = thread_count();
-  if (workers <= 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  const std::size_t chunks = std::min(workers, n);
-  const std::size_t per_chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(n, begin + per_chunk);
-    submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    });
-  }
-  wait();
-}
-
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

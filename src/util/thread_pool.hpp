@@ -1,12 +1,20 @@
 // A small fixed-size thread pool with a blocking task queue and a
-// `parallel_for` helper used to parallelise per-tree work in the forests.
+// `parallel_for` helper used to parallelise per-tree work in the forests and
+// per-shard work in the streaming engine.
 //
 // Design notes (per C++ Core Guidelines CP.*): tasks are type-erased
 // move-only callables; the pool owns its threads via RAII and joins on
 // destruction; no detached threads; exceptions thrown by tasks are rethrown
 // to the caller of wait()/parallel_for via std::exception_ptr.
+//
+// `parallel_for` is a template so the inline path (single-thread pool or a
+// range no bigger than the grain) invokes the callable directly — no
+// std::function type erasure, no heap allocation. Only the chunked path
+// type-erases, once per chunk, when handing work to the queue.
 #pragma once
 
+#include <algorithm>
+#include <concepts>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -38,9 +46,42 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n) across the pool, blocking until done.
   /// Work is split into contiguous chunks, one per worker, to keep per-tree
-  /// state cache-local. Runs inline when the pool has a single thread or the
-  /// range is tiny.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// (or per-shard) state cache-local. Runs inline — calling `fn` directly,
+  /// with no type erasure — when the pool has a single thread or the range
+  /// is tiny.
+  template <typename Fn>
+    requires std::invocable<Fn&, std::size_t>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    parallel_for(n, /*grain=*/1, std::forward<Fn>(fn));
+  }
+
+  /// Grain-size overload: never splits the range into chunks smaller than
+  /// `grain` iterations, so cheap per-element bodies are not drowned in
+  /// queueing overhead. A range of at most `grain` runs inline.
+  template <typename Fn>
+    requires std::invocable<Fn&, std::size_t>
+  void parallel_for(std::size_t n, std::size_t grain, Fn&& fn) {
+    if (n == 0) return;
+    grain = std::max<std::size_t>(1, grain);
+    const std::size_t workers = thread_count();
+    if (workers <= 1 || n <= grain) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    const std::size_t chunks =
+        std::min(workers, (n + grain - 1) / grain);
+    const std::size_t per_chunk = (n + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(n, begin + per_chunk);
+      if (begin >= end) break;
+      // `fn` outlives wait() below, so capturing by reference is safe.
+      submit([&fn, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+    }
+    wait();
+  }
 
  private:
   void worker_loop();
