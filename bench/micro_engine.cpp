@@ -8,13 +8,26 @@
 // one per stage. On a multicore host the pooled/sharded rows should show
 // ≥2× items/s over BM_EngineSequentialBaseline at 4 threads; on a 1-core
 // host they degrade gracefully to the sequential path.
+//
+// After the google-benchmark run, a fixed-scale smoke ingest exports the
+// engine's telemetry registry to BENCH_engine.json (override the path with
+// --bench-json <path>): one JSON line holding throughput context plus every
+// engine instrument — stage latency histograms with p50/p95/p99, per-shard
+// flow counters, forest aging gauges. CI uploads the file per commit so the
+// perf trajectory accumulates machine-readably PR-over-PR.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/fleet_engine.hpp"
+#include "obs/export.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -115,4 +128,72 @@ void BM_EngineIngestDay(benchmark::State& state) {
 BENCHMARK(BM_EngineIngestDay)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Fixed-scale smoke ingest whose registry snapshot becomes the
+/// machine-readable perf record: 4 fleet days × 10k disks through the
+/// 2-shard engine on a 2-thread pool, then one JSON line with throughput
+/// extras plus every engine instrument.
+void write_bench_json(const std::string& path) {
+  constexpr std::size_t kSmokeDays = 4;
+  constexpr std::size_t kSmokeThreads = 2;
+  const auto days = make_days(kSmokeDays);
+  util::ThreadPool pool(kSmokeThreads);
+  engine::FleetEngine engine(kFeatures, engine_params(kSmokeThreads), 7);
+  std::vector<engine::DayOutcome> outcomes;
+  util::Stopwatch timer;
+  std::uint64_t samples = 0;
+  for (const auto& day : days) {
+    const auto batch = day_batch(day);
+    engine.ingest_day(batch, outcomes, &pool);
+    samples += batch.size();
+  }
+  const double wall = timer.seconds();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  os << obs::to_json(
+            engine.metrics_snapshot(),
+            {{"bench_days", static_cast<double>(kSmokeDays)},
+             {"bench_disks", static_cast<double>(kDisks)},
+             {"bench_threads", static_cast<double>(kSmokeThreads)},
+             {"bench_samples", static_cast<double>(samples)},
+             {"bench_wall_seconds", wall},
+             {"bench_samples_per_second", static_cast<double>(samples) / wall}})
+     << '\n';
+  std::fprintf(stderr, "engine metrics written to %s (%llu samples, %.0f/s)\n",
+               path.c_str(), static_cast<unsigned long long>(samples),
+               static_cast<double>(samples) / wall);
+}
+
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the telemetry export runs after
+// the benchmarks; --bench-json is peeled off before google-benchmark sees
+// the arguments.
+int main(int argc, char** argv) {
+  std::string bench_json = "BENCH_engine.json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(std::string_view("--bench-json=").size());
+      continue;
+    }
+    if (arg == "--bench-json" && i + 1 < argc) {
+      bench_json = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json(bench_json);
+  return 0;
+}

@@ -8,18 +8,30 @@
 //
 // Run:  ./examples/fleet_monitor [--scale 0.01] [--months 18]
 //       [--alarm-threshold 0.6] [--threads 4] [--shards 4]
+//       [--metrics-out /tmp/metrics.jsonl] [--metrics-format jsonl|prom]
 //
 // --threads runs the engine's label/score and learn stages on a pool;
 // --shards picks the disk-shard count (0 = auto). Both are pure parallelism
 // knobs: results are bit-identical for any combination.
+//
+// --metrics-out exports the engine's telemetry registry (stage latency
+// histograms, per-shard flow counters, forest model-aging gauges):
+//   jsonl  one snapshot object per fleet day, appended — a time series of
+//          the whole deployment, ready for jq/pandas;
+//   prom   Prometheus text exposition, rewritten at each day close — point
+//          the node_exporter textfile collector (or promtool) at it.
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <optional>
+#include <string>
 
 #include "core/online_predictor.hpp"
 #include "datagen/fleet_generator.hpp"
 #include "datagen/profile.hpp"
 #include "engine/counters.hpp"
 #include "eval/fleet_stream.hpp"
+#include "obs/export.hpp"
 #include "util/flags.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -50,9 +62,40 @@ int main(int argc, char** argv) {
   std::printf("engine: %zu shards, %zu threads\n",
               monitor.engine().shard_count(), threads);
 
+  // Telemetry export: one registry snapshot per fleet day, taken at the day
+  // boundary (a quiescent point, so counters are mutually consistent).
+  const std::string metrics_out = flags.get("metrics-out", "");
+  const std::string metrics_format = flags.get("metrics-format", "jsonl");
+  eval::DayEndCallback on_day_end;
+  std::ofstream metrics_stream;
+  if (!metrics_out.empty()) {
+    if (metrics_format == "jsonl") {
+      metrics_stream.open(metrics_out, std::ios::trunc);
+      if (!metrics_stream) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      on_day_end = [&](data::Day day) {
+        metrics_stream << obs::to_json(monitor.engine().metrics_snapshot(),
+                                       {{"day", static_cast<double>(day)}})
+                       << '\n';
+      };
+    } else if (metrics_format == "prom") {
+      on_day_end = [&](data::Day) {
+        std::ofstream os(metrics_out, std::ios::trunc);
+        os << obs::to_prometheus(monitor.engine().metrics_snapshot());
+      };
+    } else {
+      std::fprintf(stderr, "unknown --metrics-format '%s' (jsonl|prom)\n",
+                   metrics_format.c_str());
+      return 1;
+    }
+  }
+
   util::Stopwatch timer;
   const eval::FleetStreamResult result =
-      eval::stream_fleet(fleet, monitor, pool_ptr);
+      eval::stream_fleet(fleet, monitor, pool_ptr, on_day_end);
   const double elapsed = timer.seconds();
 
   std::printf("processed %llu samples in %.1fs (%.0f samples/s)\n",
@@ -88,6 +131,23 @@ int main(int argc, char** argv) {
                   ? 1e6 * counters.learn_seconds /
                         static_cast<double>(counters.samples_learned)
                   : 0.0);
+
+  // Per-stage latency distribution from the telemetry registry (the same
+  // instruments --metrics-out exports).
+  const obs::Snapshot snapshot = monitor.engine().metrics_snapshot();
+  std::printf("per-stage wall time per day batch (p50 / p95 / p99, ms):\n");
+  for (const auto& h : snapshot.histograms) {
+    if (h.id.name != "orf_engine_stage_seconds" || h.id.labels.empty()) {
+      continue;
+    }
+    std::printf("  %-12s %8.3f / %8.3f / %8.3f\n",
+                h.id.labels.front().second.c_str(), 1e3 * h.quantile(0.50),
+                1e3 * h.quantile(0.95), 1e3 * h.quantile(0.99));
+  }
+  if (!metrics_out.empty()) {
+    std::printf("metrics written to %s (%s)\n", metrics_out.c_str(),
+                metrics_format.c_str());
+  }
 
   // Disk-level outcome, ignoring the first 4 months of cold start.
   const auto warm = result.metrics(data::kHorizonDays,

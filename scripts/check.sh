@@ -7,20 +7,42 @@
 #      test_engine, test_core, test_util — so data races on freed memory,
 #      container misuse and UB in the shard/learn stages surface loudly.
 #
+# Usage: scripts/check.sh [--asan-only]
+#   --asan-only   skip step 1 and run only the sanitizer pass (what the CI
+#                 sanitizer job runs; the build/test matrix already covers
+#                 tier-1 there).
+#
 # Exits non-zero on the first failure. ~5 minutes on one core.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build + full test suite =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+asan_only=false
+for arg in "$@"; do
+  case "$arg" in
+    --asan-only) asan_only=true ;;
+    *)
+      echo "unknown argument: $arg (supported: --asan-only)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if ! $asan_only; then
+  echo "== tier-1: build + full test suite =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$(nproc)"
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
 
 echo "== sanitizers: ASan+UBSan over engine + core suites =="
 cmake -B build-asan -S . -DORF_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   >/dev/null
+# One --target invocation with all three names: repeating the --target flag
+# is generator-dependent (Makefiles honour only the last one), while the
+# multi-name form is portable CMake >= 3.15 and fails the script on the
+# first broken target.
 cmake --build build-asan -j "$(nproc)" \
-  --target test_engine --target test_core --target test_util
+  --target test_engine test_core test_util
 export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 export ASAN_OPTIONS=detect_leaks=0
 ./build-asan/tests/test_util

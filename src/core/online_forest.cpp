@@ -1,5 +1,6 @@
 #include "core/online_forest.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -136,6 +137,45 @@ double OnlineForest::oobe(std::size_t i) const {
     return 0.5;
   }
   return 0.5 * (oob.err[0] + oob.err[1]);
+}
+
+void OnlineForest::bind_metrics(obs::Registry& registry) {
+  metrics_.oobe_mean = &registry.gauge(
+      "orf_forest_oobe_mean",
+      "mean class-balanced out-of-bag error across trees");
+  metrics_.oobe_max = &registry.gauge(
+      "orf_forest_oobe_max",
+      "worst class-balanced out-of-bag error across trees");
+  metrics_.tree_age_mean = &registry.gauge(
+      "orf_forest_tree_age_mean", "mean in-bag updates since tree (re)growth");
+  metrics_.trees_replaced = &registry.counter(
+      "orf_forest_trees_replaced_total",
+      "decayed trees discarded and regrown (model aging, paper 3.4)");
+  metrics_.drift_alarms = &registry.counter(
+      "orf_forest_drift_alarms_total",
+      "Page-Hinkley drift detections on the prequential error");
+  metrics_.samples_seen = &registry.counter(
+      "orf_forest_samples_seen_total", "labeled samples the forest trained on");
+}
+
+void OnlineForest::publish_metrics() const {
+  if (metrics_.oobe_mean == nullptr) return;
+  double mean = 0.0;
+  double max = 0.0;
+  double age = 0.0;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const double err = oobe(t);
+    mean += err;
+    max = std::max(max, err);
+    age += static_cast<double>(age_[t]);
+  }
+  const auto n = static_cast<double>(trees_.size());
+  metrics_.oobe_mean->set(mean / n);
+  metrics_.oobe_max->set(max);
+  metrics_.tree_age_mean->set(age / n);
+  metrics_.trees_replaced->set(trees_replaced());
+  metrics_.drift_alarms->set(drift_alarms_);
+  metrics_.samples_seen->set(samples_seen_);
 }
 
 std::vector<double> OnlineForest::feature_importance() const {

@@ -18,6 +18,7 @@
 
 #include "core/drift.hpp"
 #include "core/online_tree.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -73,7 +74,8 @@ class OnlineForest {
         drift_monitor_{other.drift_monitor_[0], other.drift_monitor_[1]},
         samples_seen_(other.samples_seen_),
         trees_replaced_(other.trees_replaced_.load(std::memory_order_relaxed)),
-        drift_alarms_(other.drift_alarms_) {}
+        drift_alarms_(other.drift_alarms_),
+        metrics_(other.metrics_) {}
   OnlineForest& operator=(OnlineForest&& other) noexcept {
     feature_count_ = other.feature_count_;
     params_ = other.params_;
@@ -88,6 +90,7 @@ class OnlineForest {
         other.trees_replaced_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
     drift_alarms_ = other.drift_alarms_;
+    metrics_ = other.metrics_;
     return *this;
   }
 
@@ -129,6 +132,20 @@ class OnlineForest {
   /// Aggregated split-gain importance across trees, normalised to sum to 1.
   std::vector<double> feature_importance() const;
 
+  /// Register the forest's model-aging telemetry (§3.4 observability) in
+  /// `registry`: balanced-OOBE mean/max and mean in-bag tree age as gauges,
+  /// plus tree replacements, drift alarms and samples seen as counters.
+  /// `registry` must outlive the forest (the engine owns both). The
+  /// instruments are refreshed only by publish_metrics() — typically once
+  /// per snapshot — so an unbound or unpublished forest pays nothing.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Refresh the bound instruments from current state (O(trees); no-op when
+  /// bind_metrics was never called). Reads forest state, so call it from the
+  /// updating thread at a quiescent point (e.g. a day boundary), never
+  /// concurrently with update().
+  void publish_metrics() const;
+
   /// Checkpoint/restore the complete forest state (every tree's structure
   /// and statistics, OOBE/age bookkeeping, drift monitors, RNG streams).
   /// restore() requires identical construction parameters.
@@ -157,6 +174,19 @@ class OnlineForest {
   /// pool workers at once; everything else those workers touch is per-tree.
   std::atomic<std::uint64_t> trees_replaced_{0};
   std::uint64_t drift_alarms_ = 0;
+
+  /// Telemetry instruments owned by the binding registry (see bind_metrics);
+  /// all null until bound. Pointers stay valid across forest moves because
+  /// the registry heap-allocates its instruments.
+  struct Metrics {
+    obs::Gauge* oobe_mean = nullptr;
+    obs::Gauge* oobe_max = nullptr;
+    obs::Gauge* tree_age_mean = nullptr;
+    obs::Counter* trees_replaced = nullptr;
+    obs::Counter* drift_alarms = nullptr;
+    obs::Counter* samples_seen = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace core

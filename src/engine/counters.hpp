@@ -1,10 +1,12 @@
-// Built-in engine observability counters.
+// Legacy snapshot view of the engine's telemetry.
 //
-// Each shard tracks what flowed through it; the engine aggregates a snapshot
-// on demand (examples/fleet_monitor prints one). These are process-local
-// runtime statistics and are deliberately NOT part of the checkpoint: the
-// resumable deployment counters (negatives/positives released) live on the
-// engine itself, because shard-local tallies would not survive restoring a
+// The live instruments are registry-backed (src/obs/, owned by FleetEngine's
+// obs::Registry and incremented lock-free by the shards); these structs are
+// the stable point-in-time view FleetEngine::counters() materialises for
+// callers that predate the registry. These are process-local runtime
+// statistics and deliberately NOT part of the checkpoint: the resumable
+// deployment counters (negatives/positives released) live on the engine
+// itself, because shard-local tallies would not survive restoring a
 // checkpoint into a different shard count.
 #pragma once
 

@@ -26,10 +26,41 @@ FleetEngine::FleetEngine(std::size_t feature_count, const EngineParams& params,
   if (params_.queue_capacity == 0) {
     throw std::invalid_argument("FleetEngine: queue_capacity must be > 0");
   }
+  const char* stage_help = "wall time of one engine stage over one day batch";
+  instruments_.stage_scale = &registry_.histogram(
+      "orf_engine_stage_seconds", stage_help, obs::latency_buckets(),
+      {{"stage", "scale"}});
+  instruments_.stage_label_score = &registry_.histogram(
+      "orf_engine_stage_seconds", stage_help, obs::latency_buckets(),
+      {{"stage", "label_score"}});
+  instruments_.stage_learn = &registry_.histogram(
+      "orf_engine_stage_seconds", stage_help, obs::latency_buckets(),
+      {{"stage", "learn"}});
+  instruments_.days =
+      &registry_.counter("orf_engine_days_total", "day batches ingested");
+  instruments_.samples_learned = &registry_.counter(
+      "orf_engine_samples_learned_total", "labeled samples fed to the forest");
+  instruments_.tracked_disks = &registry_.gauge(
+      "orf_engine_tracked_disks",
+      "disks with a live label queue (refreshed per snapshot)");
+  forest_.bind_metrics(registry_);
+
   const std::size_t n = resolve_shards(params_.shards);
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
-    shards_.emplace_back(params_.queue_capacity);
+    const obs::Labels label = {{"shard", std::to_string(s)}};
+    ShardInstruments m;
+    m.ingested = &registry_.counter("orf_engine_shard_ingested_total",
+                                    "reports routed to this shard", label);
+    m.negatives =
+        &registry_.counter("orf_engine_shard_negatives_released_total",
+                           "queue evictions labeled negative", label);
+    m.positives =
+        &registry_.counter("orf_engine_shard_positives_released_total",
+                           "failure-drained samples labeled positive", label);
+    m.alarms = &registry_.counter("orf_engine_shard_alarms_total",
+                                  "score >= threshold verdicts", label);
+    shards_.emplace_back(params_.queue_capacity, m);
   }
 }
 
@@ -48,9 +79,8 @@ void FleetEngine::learn_staged(std::size_t count, util::ThreadPool* pool) {
   if (count == 0) return;
   util::Stopwatch timer;
   forest_.update_batch(std::span(learn_batch_.data(), count), pool);
-  ++learn_passes_;
-  samples_learned_ += count;
-  learn_seconds_ += timer.seconds();
+  instruments_.stage_learn->observe(timer.seconds());
+  instruments_.samples_learned->inc(count);
 }
 
 void FleetEngine::ingest_day(std::span<const DiskReport> batch,
@@ -58,19 +88,23 @@ void FleetEngine::ingest_day(std::span<const DiskReport> batch,
                              util::ThreadPool* pool) {
   outcomes.assign(batch.size(), DayOutcome{});
   if (batch.empty()) return;
+  instruments_.days->inc();
 
   // Stage 1: scale. The running min/max is commutative — any observation
   // order yields the same end-of-day ranges.
+  util::Stopwatch stage_timer;
   for (const DiskReport& report : batch) scaler_.observe(report.features);
 
   owner_scratch_.resize(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     owner_scratch_[i] = shard_of(batch[i].disk);
   }
+  instruments_.stage_scale->observe(stage_timer.seconds());
 
   // Stage 2: label + score, shard-parallel. Each shard touches only its own
   // queues and its own records' outcome slots; forest and scaler are
   // read-only until stage 3.
+  stage_timer.reset();
   const auto run_shard = [&](std::size_t s) {
     shards_[s].process_day(batch, owner_scratch_,
                            static_cast<std::uint32_t>(s), forest_, scaler_,
@@ -81,6 +115,7 @@ void FleetEngine::ingest_day(std::span<const DiskReport> batch,
   } else {
     for (std::size_t s = 0; s < shards_.size(); ++s) run_shard(s);
   }
+  instruments_.stage_label_score->observe(stage_timer.seconds());
 
   // Stage 3: one deterministic learn pass. Merge the shards' release lists
   // back into record order — record i belongs to exactly one shard and each
@@ -182,12 +217,18 @@ EngineCounters FleetEngine::counters() const {
   c.shards.reserve(shards_.size());
   for (const EngineShard& shard : shards_) {
     c.shards.push_back(shard.counters());
-    c.total += shard.counters();
+    c.total += c.shards.back();
   }
-  c.learn_passes = learn_passes_;
-  c.samples_learned = samples_learned_;
-  c.learn_seconds = learn_seconds_;
+  c.learn_passes = instruments_.stage_learn->count();
+  c.samples_learned = instruments_.samples_learned->value();
+  c.learn_seconds = instruments_.stage_learn->sum();
   return c;
+}
+
+obs::Snapshot FleetEngine::metrics_snapshot() const {
+  forest_.publish_metrics();
+  instruments_.tracked_disks->set(static_cast<double>(tracked_disks()));
+  return registry_.snapshot();
 }
 
 }  // namespace engine

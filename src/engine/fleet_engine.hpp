@@ -40,6 +40,7 @@
 #include "engine/shard.hpp"
 #include "engine/stages.hpp"
 #include "features/scaler.hpp"
+#include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace engine {
@@ -112,7 +113,25 @@ class FleetEngine final : public SampleSink {
   std::uint64_t positives_released() const { return positives_released_; }
 
   /// Runtime observability snapshot (not checkpointed; see counters.hpp).
+  /// A point-in-time view over the registry-backed instruments, kept for
+  /// API compatibility with pre-registry callers.
   EngineCounters counters() const;
+
+  /// The engine's telemetry registry: per-stage wall-time histograms
+  /// (orf_engine_stage_seconds{stage=...}), per-shard flow counters
+  /// (orf_engine_shard_*_total{shard=...}) and the forest's model-aging
+  /// gauges (orf_forest_*). Increment paths are lock-free relaxed atomics
+  /// and never feed back into the pipeline, so instrumentation is off the
+  /// determinism surface. Callers may register their own instruments here
+  /// to ride along in the same snapshot.
+  obs::Registry& metrics_registry() { return registry_; }
+  const obs::Registry& metrics_registry() const { return registry_; }
+
+  /// Refresh the derived gauges (forest aging, tracked disks) and snapshot
+  /// every instrument. Call at a quiescent point — between day batches —
+  /// for a cross-instrument-consistent view; obs::to_prometheus and
+  /// obs::to_json render the result.
+  obs::Snapshot metrics_snapshot() const;
 
   /// Checkpoint/restore the complete engine (forest, scaler ranges, every
   /// disk's unlabeled queue, release counters). Queues are written in
@@ -130,6 +149,24 @@ class FleetEngine final : public SampleSink {
   /// learn_batch_ (callers scale into the batch first).
   void learn_staged(std::size_t count, util::ThreadPool* pool);
 
+  /// Declared first so every instrument outlives the components holding
+  /// pointers into it (forest gauges, shard counters).
+  obs::Registry registry_;
+
+  /// Engine-level instruments (all owned by registry_). Stage histograms
+  /// time one ingest_day stage per observation; the learn histogram also
+  /// covers the disk_failed / learn_labeled / consume update paths, so its
+  /// sum/count are the learn-cost numbers EngineCounters reports.
+  struct Instruments {
+    obs::Histogram* stage_scale = nullptr;
+    obs::Histogram* stage_label_score = nullptr;
+    obs::Histogram* stage_learn = nullptr;
+    obs::Counter* days = nullptr;
+    obs::Counter* samples_learned = nullptr;
+    obs::Gauge* tracked_disks = nullptr;
+  };
+  Instruments instruments_;
+
   EngineParams params_;
   core::OnlineForest forest_;
   features::OnlineMinMaxScaler scaler_;
@@ -137,9 +174,6 @@ class FleetEngine final : public SampleSink {
 
   std::uint64_t negatives_released_ = 0;
   std::uint64_t positives_released_ = 0;
-  std::uint64_t learn_passes_ = 0;
-  std::uint64_t samples_learned_ = 0;
-  double learn_seconds_ = 0.0;
 
   // Reused scratch — the hot path allocates nothing once warm.
   std::vector<std::uint32_t> owner_scratch_;      ///< record → shard

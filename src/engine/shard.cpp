@@ -6,7 +6,7 @@ std::optional<std::vector<float>> EngineShard::push(data::DiskId disk,
                                                     std::span<const float> raw) {
   auto evicted =
       queue_for(disk).push(std::vector<float>(raw.begin(), raw.end()));
-  if (evicted) ++counters_.negatives_released;
+  if (evicted) metrics_.negatives->inc();
   return evicted;
 }
 
@@ -14,7 +14,7 @@ std::vector<std::vector<float>> EngineShard::drain(data::DiskId disk) {
   const auto it = queues_.find(disk);
   if (it == queues_.end()) return {};  // failure of a never-observed disk
   auto positives = it->second.drain();
-  counters_.positives_released += positives.size();
+  metrics_.positives->inc(positives.size());
   queues_.erase(it);
   return positives;
 }
@@ -29,7 +29,7 @@ void EngineShard::process_day(std::span<const DiskReport> batch,
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (owner[i] != self) continue;
     const DiskReport& report = batch[i];
-    ++counters_.samples_ingested;
+    metrics_.ingested->inc();
 
     // Label stage: the new sample joins the queue (a full queue evicts a
     // horizon-survivor → negative), then a terminal fate releases or drops
@@ -59,7 +59,7 @@ void EngineShard::process_day(std::span<const DiskReport> batch,
     DayOutcome& out = outcomes[i];
     out.score = forest.predict_proba(scaled_);
     out.alarm = out.score >= alarm_threshold;
-    if (out.alarm) ++counters_.alarms;
+    if (out.alarm) metrics_.alarms->inc();
   }
 }
 

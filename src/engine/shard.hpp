@@ -22,6 +22,7 @@
 #include "engine/batch.hpp"
 #include "engine/counters.hpp"
 #include "features/scaler.hpp"
+#include "obs/metrics.hpp"
 
 namespace engine {
 
@@ -36,10 +37,21 @@ struct Release {
                            ///< ranges, like a queue release at day close)
 };
 
+/// The shard's slice of the engine's telemetry registry: four per-shard
+/// counters (labelled {shard="i"}) the shard increments lock-free from its
+/// own worker. The engine registers them and guarantees they outlive the
+/// shard; see fleet_engine.cpp.
+struct ShardInstruments {
+  obs::Counter* ingested = nullptr;   ///< reports routed to this shard
+  obs::Counter* negatives = nullptr;  ///< queue evictions (survived horizon)
+  obs::Counter* positives = nullptr;  ///< failure-drained queue samples
+  obs::Counter* alarms = nullptr;     ///< score >= threshold verdicts
+};
+
 class EngineShard {
  public:
-  explicit EngineShard(std::size_t queue_capacity)
-      : queue_capacity_(queue_capacity) {}
+  EngineShard(std::size_t queue_capacity, const ShardInstruments& metrics)
+      : queue_capacity_(queue_capacity), metrics_(metrics) {}
 
   /// Label + score every record of `batch` with owner[i] == self. Appends
   /// releases in ascending seq; writes outcomes[i] for owned i only. The
@@ -75,13 +87,23 @@ class EngineShard {
   }
 
   std::vector<Release>& releases() { return releases_; }
-  const ShardCounters& counters() const { return counters_; }
+
+  /// Point-in-time view of this shard's registry-backed counters (the
+  /// legacy ShardCounters shape; see counters.hpp).
+  ShardCounters counters() const {
+    ShardCounters c;
+    c.samples_ingested = metrics_.ingested->value();
+    c.negatives_released = metrics_.negatives->value();
+    c.positives_released = metrics_.positives->value();
+    c.alarms = metrics_.alarms->value();
+    return c;
+  }
 
  private:
   std::size_t queue_capacity_;
   std::unordered_map<data::DiskId, core::LabelQueue> queues_;
   std::vector<Release> releases_;
-  ShardCounters counters_;
+  ShardInstruments metrics_;
   std::vector<float> scaled_;  ///< scoring scratch
 };
 

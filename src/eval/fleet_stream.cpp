@@ -8,15 +8,17 @@ namespace eval {
 
 FleetStreamResult stream_fleet(const data::Dataset& dataset,
                                core::OnlineDiskPredictor& predictor,
-                               util::ThreadPool* pool) {
+                               util::ThreadPool* pool,
+                               const DayEndCallback& on_day_end) {
   return stream_fleet_window(dataset, predictor, 0, dataset.duration_days,
-                             pool);
+                             pool, on_day_end);
 }
 
 FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
                                       core::OnlineDiskPredictor& predictor,
                                       data::Day from_day, data::Day to_day,
-                                      util::ThreadPool* pool) {
+                                      util::ThreadPool* pool,
+                                      const DayEndCallback& on_day_end) {
   FleetStreamResult result;
   result.disks.resize(dataset.disks.size());
 
@@ -66,14 +68,16 @@ FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
       batch.push_back(report);
       batch_disk.push_back(i);
     }
-    if (batch.empty()) continue;
-    engine.ingest_day(batch, outcomes, pool);
-    result.samples_processed += batch.size();
-    for (std::size_t r = 0; r < outcomes.size(); ++r) {
-      if (!outcomes[r].alarm) continue;
-      result.disks[batch_disk[r]].alarm_days.push_back(day);
-      ++result.total_alarms;
+    if (!batch.empty()) {
+      engine.ingest_day(batch, outcomes, pool);
+      result.samples_processed += batch.size();
+      for (std::size_t r = 0; r < outcomes.size(); ++r) {
+        if (!outcomes[r].alarm) continue;
+        result.disks[batch_disk[r]].alarm_days.push_back(day);
+        ++result.total_alarms;
+      }
     }
+    if (on_day_end) on_day_end(day);
   }
   return result;
 }

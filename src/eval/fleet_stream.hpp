@@ -12,6 +12,7 @@
 // counts (see engine/fleet_engine.hpp).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/online_predictor.hpp"
@@ -20,6 +21,12 @@
 #include "util/thread_pool.hpp"
 
 namespace eval {
+
+/// Invoked after each calendar day's batch has been fully ingested — a
+/// quiescent point where the engine's telemetry is cross-instrument
+/// consistent (fleet_monitor snapshots per-day JSONL metrics here). Called
+/// for every day in the window, including days with no reports.
+using DayEndCallback = std::function<void(data::Day)>;
 
 struct FleetStreamResult {
   struct DiskOutcome {
@@ -42,7 +49,8 @@ struct FleetStreamResult {
 
 FleetStreamResult stream_fleet(const data::Dataset& dataset,
                                core::OnlineDiskPredictor& predictor,
-                               util::ThreadPool* pool = nullptr);
+                               util::ThreadPool* pool = nullptr,
+                               const DayEndCallback& on_day_end = {});
 
 /// Stream only calendar days [from_day, to_day). Consecutive windows that
 /// partition [0, duration) are exactly equivalent to one full stream_fleet
@@ -52,6 +60,7 @@ FleetStreamResult stream_fleet(const data::Dataset& dataset,
 FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
                                       core::OnlineDiskPredictor& predictor,
                                       data::Day from_day, data::Day to_day,
-                                      util::ThreadPool* pool = nullptr);
+                                      util::ThreadPool* pool = nullptr,
+                                      const DayEndCallback& on_day_end = {});
 
 }  // namespace eval

@@ -1,0 +1,106 @@
+// Lock-free telemetry instruments: Counter, Gauge, fixed-bucket Histogram.
+//
+// Instruments are the hot-path half of the obs library (the cold half —
+// registration, snapshots, export — lives in registry.hpp / export.hpp).
+// Every mutation is a relaxed atomic operation: no locks, no fences, no
+// allocation, so instrumented code pays a handful of nanoseconds per event
+// whether or not an exporter ever reads the values. Readers (snapshots) use
+// relaxed loads too — telemetry tolerates torn *cross-instrument* moments;
+// each individual value is always a real value some thread wrote.
+//
+// Instruments never feed back into the code they observe, which is what
+// keeps instrumentation off the determinism surface: an engine run with a
+// snapshot taken after every day batch is bit-identical to one never
+// observed at all (tests/engine/test_engine_metrics.cpp holds this).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Publish an externally tracked monotonic value (collector style): the
+  /// source — e.g. OnlineForest::trees_replaced() — already never decreases,
+  /// so storing it wholesale keeps the counter contract without forcing the
+  /// owner to track deltas.
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written floating-point level (stored as bits so the atomic is
+/// lock-free everywhere a lock-free 64-bit integer is).
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  void add(double delta) {
+    std::uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + delta),
+        std::memory_order_relaxed, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds
+/// (Prometheus `le`), plus an implicit +Inf overflow bucket. Buckets are
+/// fixed at construction so observe() is a binary search plus two relaxed
+/// atomic ops — no resizing, no locking. Quantile summaries (p50/p95/p99)
+/// are computed from a snapshot, not here (see registry.hpp).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() = overflow.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Log-spaced wall-time bounds for stage latency histograms: powers of two
+/// from 1 µs to ~33.5 s (26 buckets + overflow). Wide enough that a whole
+/// fleet day at any scale lands inside, tight enough (×2 resolution) that
+/// interpolated p50/p95/p99 are meaningful.
+std::vector<double> latency_buckets();
+
+}  // namespace obs

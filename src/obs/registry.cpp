@@ -1,0 +1,141 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace obs {
+
+namespace {
+
+template <typename T>
+std::size_t find_entry(const std::vector<T>& entries, const std::string& name,
+                       const Labels& labels) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id.name == name && entries[i].id.labels == labels) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+template <typename T>
+bool name_present(const std::vector<T>& entries, const std::string& name) {
+  return std::any_of(entries.begin(), entries.end(),
+                     [&](const T& e) { return e.id.name == name; });
+}
+
+}  // namespace
+
+std::size_t Registry::find_or_check(Kind kind, const std::string& name,
+                                    const Labels& labels) const {
+  if ((kind != Kind::kCounter && name_present(counters_, name)) ||
+      (kind != Kind::kGauge && name_present(gauges_, name)) ||
+      (kind != Kind::kHistogram && name_present(histograms_, name))) {
+    throw std::invalid_argument("Registry: metric '" + name +
+                                "' already registered as a different kind");
+  }
+  switch (kind) {
+    case Kind::kCounter:
+      return find_entry(counters_, name, labels);
+    case Kind::kGauge:
+      return find_entry(gauges_, name, labels);
+    case Kind::kHistogram:
+      return find_entry(histograms_, name, labels);
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+Counter& Registry::counter(std::string name, std::string help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t at = find_or_check(Kind::kCounter, name, labels);
+  if (at != static_cast<std::size_t>(-1)) return *counters_[at].instrument;
+  counters_.push_back({MetricId{std::move(name), std::move(help),
+                                std::move(labels)},
+                       std::make_unique<Counter>()});
+  return *counters_.back().instrument;
+}
+
+Gauge& Registry::gauge(std::string name, std::string help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t at = find_or_check(Kind::kGauge, name, labels);
+  if (at != static_cast<std::size_t>(-1)) return *gauges_[at].instrument;
+  gauges_.push_back({MetricId{std::move(name), std::move(help),
+                              std::move(labels)},
+                     std::make_unique<Gauge>()});
+  return *gauges_.back().instrument;
+}
+
+Histogram& Registry::histogram(std::string name, std::string help,
+                               std::vector<double> bounds, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t at = find_or_check(Kind::kHistogram, name, labels);
+  if (at != static_cast<std::size_t>(-1)) {
+    if (histograms_[at].instrument->bounds() != bounds) {
+      throw std::invalid_argument("Registry: histogram '" +
+                                  histograms_[at].id.name +
+                                  "' re-registered with different buckets");
+    }
+    return *histograms_[at].instrument;
+  }
+  histograms_.push_back({MetricId{std::move(name), std::move(help),
+                                  std::move(labels)},
+                         std::make_unique<Histogram>(std::move(bounds))});
+  return *histograms_.back().instrument;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& e : counters_) {
+    snap.counters.push_back({e.id, e.instrument->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& e : gauges_) {
+    snap.gauges.push_back({e.id, e.instrument->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& e : histograms_) {
+    HistogramSnapshot h;
+    h.id = e.id;
+    h.bounds = e.instrument->bounds();
+    h.counts.resize(h.bounds.size() + 1);
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      h.counts[i] = e.instrument->bucket_count(i);
+    }
+    h.count = e.instrument->count();
+    h.sum = e.instrument->sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The rank lands in bucket i. Interpolate between the bucket's lower
+    // and upper bound; the overflow bucket has no upper bound, so report
+    // its lower bound (the largest finite `le`), like histogram_quantile.
+    if (i >= bounds.size()) {
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double into =
+        (rank - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace obs

@@ -1,0 +1,114 @@
+// Instrument registry and atomic-ish snapshots.
+//
+// A Registry owns its instruments (heap-allocated, so references stay valid
+// across Registry moves and for the registry's whole lifetime) and hands out
+// stable references at registration time. Registration takes a mutex —
+// it happens once per instrument at setup — while the increment path touches
+// only the lock-free instruments themselves. Re-registering the same
+// (name, labels) pair returns the existing instrument; registering the same
+// name as two different kinds throws (one Prometheus family = one type).
+//
+// snapshot() materialises every registered value into plain structs, in
+// registration order. Values are read with relaxed loads: a snapshot taken
+// concurrently with writers is internally consistent per instrument, and
+// callers that want a cross-instrument-consistent view (e.g. "ingested ==
+// learned + queued") snapshot at a quiescent point such as a day boundary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace obs {
+
+/// Ordered label set; rendered as {k1="v1",k2="v2"} in both export formats.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+struct MetricId {
+  std::string name;
+  std::string help;
+  Labels labels;
+};
+
+struct CounterSnapshot {
+  MetricId id;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  MetricId id;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  MetricId id;
+  std::vector<double> bounds;          ///< ascending upper bounds
+  std::vector<std::uint64_t> counts;   ///< per-bucket; last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Interpolated quantile (q in [0,1]) from the bucket counts, Prometheus
+  /// histogram_quantile style: linear within the owning bucket, with the
+  /// first bucket anchored at 0 and the overflow bucket clamped to the
+  /// largest finite bound. 0 when empty.
+  double quantile(double q) const;
+};
+
+struct Snapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+
+  // Movable (instruments are heap-allocated, so references handed out
+  // before the move stay valid); the mutex is registration-only state and
+  // starts fresh in the destination. Moving concurrently with registration
+  // is a caller bug, as for any container.
+  Registry(Registry&& other) noexcept
+      : counters_(std::move(other.counters_)),
+        gauges_(std::move(other.gauges_)),
+        histograms_(std::move(other.histograms_)) {}
+  Registry& operator=(Registry&& other) noexcept {
+    counters_ = std::move(other.counters_);
+    gauges_ = std::move(other.gauges_);
+    histograms_ = std::move(other.histograms_);
+    return *this;
+  }
+
+  Counter& counter(std::string name, std::string help, Labels labels = {});
+  Gauge& gauge(std::string name, std::string help, Labels labels = {});
+  Histogram& histogram(std::string name, std::string help,
+                       std::vector<double> bounds, Labels labels = {});
+
+  Snapshot snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  template <typename T>
+  struct Entry {
+    MetricId id;
+    std::unique_ptr<T> instrument;
+  };
+
+  /// Throws on a kind conflict; returns the entry index for this
+  /// (name, labels) pair or npos when it is new.
+  std::size_t find_or_check(Kind kind, const std::string& name,
+                            const Labels& labels) const;
+
+  mutable std::mutex mu_;  ///< guards registration only, never increments
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+};
+
+}  // namespace obs

@@ -1,0 +1,106 @@
+// Exporter golden tests: exact Prometheus text exposition and exact JSONL
+// output for a hand-built registry. These strings are the wire contract —
+// change them deliberately or not at all.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+obs::Registry golden_registry() {
+  obs::Registry registry;
+  registry.counter("orf_requests_total", "requests served").inc(3);
+  registry.counter("orf_shard_ops_total", "per-shard ops", {{"shard", "0"}})
+      .inc(5);
+  registry.counter("orf_shard_ops_total", "per-shard ops", {{"shard", "1"}})
+      .inc(7);
+  registry.gauge("orf_queue_depth", "live queue depth").set(1.5);
+  obs::Histogram& h =
+      registry.histogram("orf_latency_seconds", "op latency", {0.1, 1.0},
+                         {{"stage", "scale"}});
+  h.observe(0.05);
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(10.0);
+  return registry;
+}
+
+TEST(PrometheusExport, GoldenExposition) {
+  const std::string expected =
+      "# HELP orf_requests_total requests served\n"
+      "# TYPE orf_requests_total counter\n"
+      "orf_requests_total 3\n"
+      "# HELP orf_shard_ops_total per-shard ops\n"
+      "# TYPE orf_shard_ops_total counter\n"
+      "orf_shard_ops_total{shard=\"0\"} 5\n"
+      "orf_shard_ops_total{shard=\"1\"} 7\n"
+      "# HELP orf_queue_depth live queue depth\n"
+      "# TYPE orf_queue_depth gauge\n"
+      "orf_queue_depth 1.5\n"
+      "# HELP orf_latency_seconds op latency\n"
+      "# TYPE orf_latency_seconds histogram\n"
+      "orf_latency_seconds_bucket{stage=\"scale\",le=\"0.1\"} 2\n"
+      "orf_latency_seconds_bucket{stage=\"scale\",le=\"1\"} 3\n"
+      "orf_latency_seconds_bucket{stage=\"scale\",le=\"+Inf\"} 4\n"
+      "orf_latency_seconds_sum{stage=\"scale\"} 10.6\n"
+      "orf_latency_seconds_count{stage=\"scale\"} 4\n";
+  EXPECT_EQ(obs::to_prometheus(golden_registry().snapshot()), expected);
+}
+
+TEST(JsonExport, GoldenLine) {
+  // p50 of {0.05, 0.05, 0.5, 10}: rank 2 lands at the first bucket's upper
+  // bound; p95/p99 land in the overflow bucket → clamped to le=1.
+  const std::string expected =
+      "{\"day\":117,"
+      "\"counters\":{"
+      "\"orf_requests_total\":3,"
+      "\"orf_shard_ops_total{shard=\\\"0\\\"}\":5,"
+      "\"orf_shard_ops_total{shard=\\\"1\\\"}\":7},"
+      "\"gauges\":{\"orf_queue_depth\":1.5},"
+      "\"histograms\":{\"orf_latency_seconds{stage=\\\"scale\\\"}\":"
+      "{\"count\":4,\"sum\":10.6,\"p50\":0.1,\"p95\":1,\"p99\":1,"
+      "\"buckets\":{\"0.1\":2,\"1\":3,\"+Inf\":4}}}}";
+  EXPECT_EQ(obs::to_json(golden_registry().snapshot(), {{"day", 117.0}}),
+            expected);
+}
+
+TEST(JsonExport, EmptyRegistry) {
+  obs::Registry registry;
+  EXPECT_EQ(obs::to_json(registry.snapshot()),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(PrometheusExport, EscapesLabelValuesAndHelp) {
+  obs::Registry registry;
+  registry
+      .counter("c_total", "line1\nline2 with \\ slash",
+               {{"path", "a\"b\\c\nd"}})
+      .inc();
+  const std::string expected =
+      "# HELP c_total line1\\nline2 with \\\\ slash\n"
+      "# TYPE c_total counter\n"
+      "c_total{path=\"a\\\"b\\\\c\\nd\"} 1\n";
+  EXPECT_EQ(obs::to_prometheus(registry.snapshot()), expected);
+}
+
+TEST(JsonExport, EscapesKeys) {
+  obs::Registry registry;
+  registry.counter("c_total", "help", {{"path", "a\"b"}}).inc();
+  EXPECT_EQ(obs::to_json(registry.snapshot()),
+            "{\"counters\":{\"c_total{path=\\\"a\\\\\\\"b\\\"}\":1},"
+            "\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(FormatDouble, ShortestRoundTrip) {
+  EXPECT_EQ(obs::format_double(0.0), "0");
+  EXPECT_EQ(obs::format_double(1.5), "1.5");
+  EXPECT_EQ(obs::format_double(0.1), "0.1");
+  EXPECT_EQ(obs::format_double(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(obs::format_double(33.554432), "33.554432");
+  EXPECT_EQ(obs::format_double(1e-6), "1e-06");
+}
+
+}  // namespace

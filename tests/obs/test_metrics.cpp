@@ -1,0 +1,172 @@
+// Instrument semantics and thread-safety: counters/gauges/histograms under
+// concurrent mutation must lose nothing (every mutation is one relaxed
+// atomic RMW), and histogram bucketing/quantiles must follow the documented
+// inclusive-upper-bound rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+TEST(Counter, IncrementAndSet) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(1000);
+  EXPECT_EQ(c.value(), 1000u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.25);
+  EXPECT_EQ(g.value(), 1.25);
+  g.set(-0.0);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAreInclusiveUpperBounds) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0 (le=1)
+  h.observe(1.0);   // bucket 0: bounds are inclusive
+  h.observe(1.001); // bucket 1 (le=2)
+  h.observe(4.0);   // bucket 2 (le=4)
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 4.0 + 100.0);
+}
+
+TEST(Histogram, RejectsUnsortedOrDuplicateBounds) {
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, LatencyBucketsAreLogSpaced) {
+  const auto bounds = obs::latency_buckets();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], 2.0 * bounds[i - 1]);
+  }
+  EXPECT_GT(bounds.back(), 30.0);  // a whole slow fleet day still lands
+}
+
+TEST(HistogramSnapshot, QuantilesInterpolateWithinBuckets) {
+  obs::Registry registry;
+  obs::Histogram& h =
+      registry.histogram("h", "help", {1.0, 2.0, 4.0});
+  // 10 in (0,1], 10 in (1,2]: p50 at the seam, p75 mid second bucket.
+  for (int i = 0; i < 10; ++i) h.observe(0.5);
+  for (int i = 0; i < 10; ++i) h.observe(1.5);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hs = snap.histograms.front();
+  EXPECT_DOUBLE_EQ(hs.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.75), 1.5);
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.0), 0.0);
+}
+
+TEST(HistogramSnapshot, OverflowQuantileClampsToLargestBound) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("h", "help", {1.0});
+  h.observe(50.0);
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.histograms.front().quantile(0.99), 1.0);
+}
+
+TEST(HistogramSnapshot, EmptyQuantileIsZero) {
+  obs::Registry registry;
+  registry.histogram("h", "help", {1.0});
+  EXPECT_DOUBLE_EQ(registry.snapshot().histograms.front().quantile(0.5), 0.0);
+}
+
+// The concurrency stress from the tentpole contract: hammer one counter,
+// one gauge and one histogram from several threads; relaxed atomics must
+// still account for every event exactly once.
+TEST(Instruments, ConcurrentMutationLosesNothing) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("c", "help");
+  obs::Gauge& gauge = registry.gauge("g", "help");
+  obs::Histogram& hist = registry.histogram("h", "help", {0.5, 1.5, 2.5});
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        gauge.add(1.0);
+        hist.observe(static_cast<double>(t % 3));  // buckets 0,1,2 round-robin
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Threads t=0..3 observe values 0,1,2,0 → bucket loads 2:1:1.
+  EXPECT_EQ(hist.bucket_count(0), 2u * kPerThread);
+  EXPECT_EQ(hist.bucket_count(1), 1u * kPerThread);
+  EXPECT_EQ(hist.bucket_count(2), 1u * kPerThread);
+  EXPECT_EQ(hist.bucket_count(3), 0u);
+  // Sum of integers accumulates exactly in double (all values << 2^53).
+  EXPECT_DOUBLE_EQ(hist.sum(), static_cast<double>(kPerThread) * (0 + 1 + 2));
+}
+
+TEST(Registry, ReregistrationReturnsSameInstrument) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("x", "help", {{"shard", "0"}});
+  obs::Counter& b = registry.counter("x", "other help", {{"shard", "0"}});
+  obs::Counter& c = registry.counter("x", "help", {{"shard", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(Registry, KindConflictThrows) {
+  obs::Registry registry;
+  registry.counter("x", "help");
+  EXPECT_THROW(registry.gauge("x", "help"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x", "help", {1.0}), std::invalid_argument);
+}
+
+TEST(Registry, HistogramBucketConflictThrows) {
+  obs::Registry registry;
+  registry.histogram("h", "help", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.histogram("h", "help", {1.0, 2.0}));
+  EXPECT_THROW(registry.histogram("h", "help", {1.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(Registry, SnapshotPreservesRegistrationOrder) {
+  obs::Registry registry;
+  registry.counter("first", "help");
+  registry.counter("second", "help", {{"k", "v"}});
+  registry.gauge("third", "help");
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].id.name, "first");
+  EXPECT_EQ(snap.counters[1].id.name, "second");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].id.name, "third");
+}
+
+}  // namespace
