@@ -5,19 +5,37 @@
 // --csv it demonstrates the full round trip on synthetic data: generate →
 // write CSV → re-read → verify → label, and leaves a sample CSV on disk.
 //
+// Real dumps are dirty: --row-errors picks the policy (strict fail-stops,
+// skip drops silently, quarantine drops + records every rejected row in a
+// sidecar file for later inspection — see DESIGN.md §9). --dirt F injects a
+// fraction F of corrupt rows into the synthetic round trip and shows the
+// quarantine recovering the clean dataset exactly.
+//
 // Run:  ./examples/backblaze_ingest --csv drive_stats.csv --model ST4000DM000
 //       ./examples/backblaze_ingest --out /tmp/sample_fleet.csv
+//       ./examples/backblaze_ingest --dirt 0.02 --quarantine-out /tmp/q.csv
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "data/backblaze_csv.hpp"
 #include "data/labeling.hpp"
 #include "data/smart_schema.hpp"
 #include "datagen/fleet_generator.hpp"
 #include "datagen/profile.hpp"
+#include "robust/quarantine.hpp"
 #include "util/flags.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: backblaze_ingest [--csv PATH [--model NAME]]\n"
+    "                        [--out PATH] [--scale F] [--seed N]\n"
+    "                        [--row-errors strict|skip|quarantine]\n"
+    "                        [--quarantine-out PATH] [--dirt F]\n";
 
 void describe(const data::Dataset& dataset) {
   std::printf("model          : %s\n", dataset.model_name.c_str());
@@ -37,13 +55,90 @@ void describe(const data::Dataset& dataset) {
                         : 0.0);
 }
 
-}  // namespace
+void print_rejections(const robust::Quarantine& quarantine) {
+  std::printf("rejected rows  : %llu total\n",
+              static_cast<unsigned long long>(quarantine.total_rejected()));
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(robust::RowErrorCause::kCount); ++c) {
+    const auto cause = static_cast<robust::RowErrorCause>(c);
+    if (quarantine.rejected(cause) == 0) continue;
+    std::printf("  %-12s : %llu\n", robust::to_string(cause),
+                static_cast<unsigned long long>(quarantine.rejected(cause)));
+  }
+}
 
-int main(int argc, char** argv) {
+/// Rewrite `path` with roughly `fraction` extra dirty rows spliced between
+/// the clean ones, cycling through the rejection causes the reader detects.
+/// Every injected row is invalid, so a quarantining re-read recovers the
+/// clean dataset exactly.
+std::size_t inject_dirt(const std::string& path, double fraction) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  if (lines.size() < 2 || fraction <= 0) return 0;
+
+  const auto stride =
+      static_cast<std::size_t>(1.0 / fraction);  // 1 dirty per `stride` clean
+  std::ofstream out(path, std::ios::trunc);
+  out << lines.front() << '\n';  // header
+  std::size_t injected = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    out << lines[i] << '\n';
+    if (i % stride != 0) continue;
+    // Derive the dirty row from the clean one so serial/day collide.
+    const auto fields = data::split_csv_line(lines[i]);
+    switch (injected % 4) {
+      case 0:  // ragged: too few columns
+        out << fields[0] << ",DIRTY-" << i << ",junk\n";
+        break;
+      case 1: {  // bad date
+        std::string row = lines[i];
+        row.replace(0, fields[0].size(), "2013-13-99");
+        out << row << '\n';
+        break;
+      }
+      case 2:  // duplicate (serial, day) pair, verbatim
+        out << lines[i] << '\n';
+        break;
+      default: {  // non-finite feature value
+        std::ostringstream row;
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+          row << (f > 0 ? "," : "") << (f + 1 == fields.size() ? "nan"
+                                                               : fields[f]);
+        }
+        out << row.str() << '\n';
+        break;
+      }
+    }
+    ++injected;
+  }
+  return injected;
+}
+
+int run(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  flags.require_known({"csv", "model", "out", "scale", "seed", "row-errors",
+                       "quarantine-out", "dirt"});
+
+  robust::Quarantine quarantine;
+  data::CsvReadOptions options;
+  options.row_errors =
+      robust::parse_row_error_policy(flags.get("row-errors", "strict"));
+  const std::string sidecar = flags.get("quarantine-out", "");
+  const double dirt = flags.get_double("dirt", 0.0);
+  if (dirt > 0 && options.row_errors == robust::RowErrorPolicy::kStrict) {
+    options.row_errors = robust::RowErrorPolicy::kQuarantine;  // implied
+  }
+  if (options.row_errors != robust::RowErrorPolicy::kStrict) {
+    options.quarantine = &quarantine;
+    if (options.row_errors == robust::RowErrorPolicy::kQuarantine) {
+      quarantine.open_sidecar(sidecar.empty() ? "/tmp/orf_quarantine.csv"
+                                              : sidecar);
+    }
+  }
 
   if (flags.has("csv")) {
-    data::CsvReadOptions options;
     options.model_filter = flags.get("model", "");
     // Load only the paper's Table-2 feature columns when present.
     options.feature_subset = {};
@@ -53,6 +148,7 @@ int main(int argc, char** argv) {
     std::printf("parsed %s in %.1fs\n\n", flags.get("csv", "").c_str(),
                 timer.seconds());
     describe(dataset);
+    if (options.quarantine != nullptr) print_rejections(quarantine);
     return 0;
   }
 
@@ -65,13 +161,39 @@ int main(int argc, char** argv) {
       profile, static_cast<std::uint64_t>(flags.get_int("seed", 42)));
 
   data::write_backblaze_csv_file(fleet, out);
-  std::printf("wrote %s (Backblaze drive-stats format)\n\n", out.c_str());
+  std::printf("wrote %s (Backblaze drive-stats format)\n", out.c_str());
+  std::size_t injected = 0;
+  if (dirt > 0) {
+    injected = inject_dirt(out, dirt);
+    std::printf("injected %zu dirty rows (%.1f%%)\n", injected, 100.0 * dirt);
+  }
+  std::printf("\n");
 
-  const auto loaded = data::read_backblaze_csv_file(out);
+  const auto loaded = data::read_backblaze_csv_file(out, options);
   describe(loaded);
+  if (options.quarantine != nullptr) {
+    print_rejections(quarantine);
+    if (options.row_errors == robust::RowErrorPolicy::kQuarantine) {
+      std::printf("sidecar        : %s\n",
+                  sidecar.empty() ? "/tmp/orf_quarantine.csv"
+                                  : sidecar.c_str());
+    }
+  }
 
   const bool ok = loaded.sample_count() == fleet.sample_count() &&
-                  loaded.failed_count() == fleet.failed_count();
+                  loaded.failed_count() == fleet.failed_count() &&
+                  quarantine.total_rejected() == injected;
   std::printf("\nround trip %s\n", ok ? "OK" : "MISMATCH");
   return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const util::FlagError& error) {
+    std::fprintf(stderr, "backblaze_ingest: %s\n%s", error.what(), kUsage);
+    return 2;
+  }
 }

@@ -9,6 +9,7 @@
 // Run:  ./examples/fleet_monitor [--scale 0.01] [--months 18]
 //       [--alarm-threshold 0.6] [--threads 4] [--shards 4]
 //       [--metrics-out /tmp/metrics.jsonl] [--metrics-format jsonl|prom]
+//       [--checkpoint-dir /var/lib/orf] [--checkpoint-every 30] [--resume]
 //
 // --threads runs the engine's label/score and learn stages on a pool;
 // --shards picks the disk-shard count (0 = auto). Both are pure parallelism
@@ -20,10 +21,17 @@
 //          the whole deployment, ready for jq/pandas;
 //   prom   Prometheus text exposition, rewritten at each day close — point
 //          the node_exporter textfile collector (or promtool) at it.
+//
+// --checkpoint-dir arms unattended crash recovery: every --checkpoint-every
+// fleet days the complete monitor state is snapshotted through the atomic
+// envelope writer (rotating, newest 3 kept). --resume restarts from the
+// newest intact snapshot — a torn or damaged file is skipped, not fatal —
+// and replays only the remaining days. See DESIGN.md §9.
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/online_predictor.hpp"
@@ -32,12 +40,69 @@
 #include "engine/counters.hpp"
 #include "eval/fleet_stream.hpp"
 #include "obs/export.hpp"
+#include "robust/recovery.hpp"
 #include "util/flags.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fleet_monitor [--scale F] [--months N] [--seed N]\n"
+    "                     [--alarm-threshold F] [--threads N] [--shards N]\n"
+    "                     [--metrics-out PATH] [--metrics-format jsonl|prom]\n"
+    "                     [--checkpoint PATH]\n"
+    "                     [--checkpoint-dir DIR] [--checkpoint-every DAYS]\n"
+    "                     [--resume]\n";
+
+/// Snapshot payload: a tiny header naming the next day to stream, then the
+/// engine state. Restoring replays [day, end) — together with the engine's
+/// deterministic day pipeline the resumed run is bit-identical to one that
+/// never stopped.
+std::string make_snapshot(const core::OnlineDiskPredictor& monitor,
+                          data::Day next_day) {
+  std::ostringstream payload;
+  payload << "fleet-monitor v1\n" << next_day << "\n";
+  monitor.save(payload);
+  return payload.str();
+}
+
+data::Day restore_snapshot(core::OnlineDiskPredictor& monitor,
+                           const std::string& payload) {
+  std::istringstream is(payload);
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != "fleet-monitor v1") {
+    throw robust::CorruptCheckpoint("unexpected snapshot header: " + magic);
+  }
+  long long day = 0;
+  is >> day;
+  is.ignore(1, '\n');
+  monitor.restore(is);
+  return static_cast<data::Day>(day);
+}
+
+int run(int argc, char** argv);
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const util::FlagError& error) {
+    std::fprintf(stderr, "fleet_monitor: %s\n%s", error.what(), kUsage);
+    return 2;
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  flags.require_known({"scale", "months", "seed", "alarm-threshold",
+                       "threads", "shards", "metrics-out", "metrics-format",
+                       "checkpoint", "checkpoint-dir", "checkpoint-every",
+                       "resume"});
   datagen::FleetProfile profile =
       datagen::sta_profile(flags.get_double("scale", 0.01));
   profile.duration_days = static_cast<data::Day>(
@@ -93,9 +158,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Unattended crash recovery: periodic rotating snapshots, resume from the
+  // newest intact one.
+  const std::string checkpoint_dir = flags.get("checkpoint-dir", "");
+  const auto checkpoint_every =
+      static_cast<data::Day>(flags.get_int("checkpoint-every", 30));
+  data::Day start_day = 0;
+  std::optional<robust::RecoveryManager> recovery;
+  if (flags.get_bool("resume", false) && checkpoint_dir.empty()) {
+    throw util::FlagError("--resume requires --checkpoint-dir");
+  }
+  if (!checkpoint_dir.empty()) {
+    if (checkpoint_every <= 0) {
+      throw util::FlagError("--checkpoint-every must be a positive day count");
+    }
+    recovery.emplace(robust::RecoveryManager::Options{
+        checkpoint_dir, "fleet-monitor", /*keep=*/3});
+    recovery->bind_metrics(monitor.engine().metrics_registry());
+    if (flags.get_bool("resume", false)) {
+      if (auto loaded = recovery->load_latest()) {
+        start_day = restore_snapshot(monitor, loaded->payload);
+        std::printf("resumed from %s (day %d%s)\n", loaded->path.c_str(),
+                    start_day,
+                    loaded->corrupt_skipped > 0 ? ", skipped damaged newer"
+                                                : "");
+      } else {
+        std::printf("no checkpoint in %s; starting fresh\n",
+                    checkpoint_dir.c_str());
+      }
+    }
+    on_day_end = [&monitor, &recovery, checkpoint_every,
+                  inner = std::move(on_day_end)](data::Day day) {
+      if (inner) inner(day);
+      if ((day + 1) % checkpoint_every == 0) {
+        recovery->save(make_snapshot(monitor, day + 1));
+      }
+    };
+  }
+
   util::Stopwatch timer;
-  const eval::FleetStreamResult result =
-      eval::stream_fleet(fleet, monitor, pool_ptr, on_day_end);
+  const eval::FleetStreamResult result = eval::stream_fleet_window(
+      fleet, monitor, start_day, profile.duration_days, pool_ptr, on_day_end);
   const double elapsed = timer.seconds();
 
   std::printf("processed %llu samples in %.1fs (%.0f samples/s)\n",
@@ -192,5 +295,11 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (recovery) {
+    recovery->save(make_snapshot(monitor, profile.duration_days));
+    std::printf("final checkpoint written to %s\n", checkpoint_dir.c_str());
+  }
   return 0;
 }
+
+}  // namespace

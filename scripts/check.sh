@@ -1,52 +1,86 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass over the engine and core suites.
+# Tier-1 verification plus sanitizer passes over the riskiest suites.
 #
 #   1. normal build + full ctest (the tier-1 gate from ROADMAP.md);
 #   2. ASan+UBSan build (cmake -DORF_SANITIZE=ON into build-asan/) running
 #      the suites that exercise the new threaded engine paths directly —
 #      test_engine, test_core, test_util — so data races on freed memory,
 #      container misuse and UB in the shard/learn stages surface loudly.
+#   3. (--faults) the fault-tolerance suites under the same sanitizers:
+#      test_robust (failpoints, envelope corruption, recovery rotation) and
+#      test_integration (kill-during-save at every writer stage, dirty-
+#      stream accuracy), then a quarantine smoke run of backblaze_ingest
+#      --dirt that leaves the rejected-row sidecar at
+#      build-asan/quarantine_sidecar.csv for CI to upload.
 #
-# Usage: scripts/check.sh [--asan-only]
+# Usage: scripts/check.sh [--asan-only] [--faults]
 #   --asan-only   skip step 1 and run only the sanitizer pass (what the CI
 #                 sanitizer job runs; the build/test matrix already covers
 #                 tier-1 there).
+#   --faults      skip steps 1-2 and run only the fault-tolerance pass
+#                 (what the CI faults job runs).
 #
 # Exits non-zero on the first failure. ~5 minutes on one core.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 asan_only=false
+faults_only=false
 for arg in "$@"; do
   case "$arg" in
     --asan-only) asan_only=true ;;
+    --faults) faults_only=true ;;
     *)
-      echo "unknown argument: $arg (supported: --asan-only)" >&2
+      echo "unknown argument: $arg (supported: --asan-only, --faults)" >&2
       exit 2
       ;;
   esac
 done
 
-if ! $asan_only; then
+if ! $asan_only && ! $faults_only; then
   echo "== tier-1: build + full test suite =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$(nproc)"
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 fi
 
-echo "== sanitizers: ASan+UBSan over engine + core suites =="
 cmake -B build-asan -S . -DORF_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   >/dev/null
-# One --target invocation with all three names: repeating the --target flag
-# is generator-dependent (Makefiles honour only the last one), while the
-# multi-name form is portable CMake >= 3.15 and fails the script on the
-# first broken target.
-cmake --build build-asan -j "$(nproc)" \
-  --target test_engine test_core test_util
 export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 export ASAN_OPTIONS=detect_leaks=0
-./build-asan/tests/test_util
-./build-asan/tests/test_core
-./build-asan/tests/test_engine
+
+if ! $faults_only; then
+  echo "== sanitizers: ASan+UBSan over engine + core suites =="
+  # One --target invocation with all three names: repeating the --target flag
+  # is generator-dependent (Makefiles honour only the last one), while the
+  # multi-name form is portable CMake >= 3.15 and fails the script on the
+  # first broken target.
+  cmake --build build-asan -j "$(nproc)" \
+    --target test_engine test_core test_util
+  ./build-asan/tests/test_util
+  ./build-asan/tests/test_core
+  ./build-asan/tests/test_engine
+fi
+
+if $faults_only; then
+  echo "== faults: ASan+UBSan over recovery + failpoint suites =="
+  cmake --build build-asan -j "$(nproc)" \
+    --target test_robust test_integration backblaze_ingest
+  ./build-asan/tests/test_robust
+  # Exercise the env-var arming path end to end: the armed site must fire
+  # (nonzero exit) and leave no sanitizer finding.
+  if ORF_FAILPOINTS="checkpoint.rename=io_error" \
+      ./build-asan/tests/test_robust \
+      --gtest_filter='Recovery.SaveThenLoadReturnsNewest' >/dev/null 2>&1; then
+    echo "ORF_FAILPOINTS had no effect" >&2
+    exit 1
+  fi
+  ./build-asan/tests/test_integration --gtest_filter='Resume.*'
+  echo "== faults: quarantine smoke (2% dirty rows) =="
+  ./build-asan/examples/backblaze_ingest --scale 0.002 --dirt 0.02 \
+    --out build-asan/dirty_fleet.csv \
+    --quarantine-out build-asan/quarantine_sidecar.csv
+  echo "sidecar: build-asan/quarantine_sidecar.csv"
+fi
 
 echo "CHECK OK"

@@ -8,6 +8,7 @@
 
 #include "core/online_forest.hpp"
 #include "core/online_tree.hpp"
+#include "robust/checkpoint_io.hpp"
 
 namespace core {
 namespace checkpoint {
@@ -227,6 +228,10 @@ void OnlineForest::save(std::ostream& os) const {
     cp::put_double(os, state.min_cumulative);
     os << '\n';
   }
+  // Forest state is the bulk of every checkpoint; surface a failed or
+  // full-disk stream here instead of letting a truncated dump masquerade
+  // as a successful save.
+  robust::commit_stream(os, "forest checkpoint");
 }
 
 void OnlineForest::restore(std::istream& is) {

@@ -31,6 +31,9 @@ struct OnlinePredictorParams {
   /// Disk shards of the underlying engine (0 → auto); a parallelism knob
   /// only — results never depend on it.
   std::size_t shards = 0;
+  /// Dirty-report policy of the underlying engine (see
+  /// engine::EngineParams::ingest_errors).
+  robust::RowErrorPolicy ingest_errors = robust::RowErrorPolicy::kStrict;
 };
 
 class OnlineDiskPredictor {

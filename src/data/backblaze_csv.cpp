@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "robust/checkpoint_io.hpp"
 
 namespace data {
 namespace {
@@ -48,13 +51,21 @@ std::string day_to_iso(Day day) {
   return buf;
 }
 
-Day iso_to_day(const std::string& iso) {
+std::optional<Day> try_iso_to_day(const std::string& iso) {
   int y = 0;
   unsigned m = 0, d = 0;
-  if (std::sscanf(iso.c_str(), "%d-%u-%u", &y, &m, &d) != 3) {
-    throw std::invalid_argument("iso_to_day: bad date '" + iso + "'");
+  char trailing = 0;
+  if (std::sscanf(iso.c_str(), "%d-%u-%u%c", &y, &m, &d, &trailing) != 3 ||
+      m < 1 || m > 12 || d < 1 || d > 31) {
+    return std::nullopt;
   }
   return static_cast<Day>(days_from_civil(y, m, d) - kEpochDays);
+}
+
+Day iso_to_day(const std::string& iso) {
+  const auto day = try_iso_to_day(iso);
+  if (!day) throw std::invalid_argument("iso_to_day: bad date '" + iso + "'");
+  return *day;
 }
 
 std::vector<std::string> split_csv_line(const std::string& line) {
@@ -92,6 +103,7 @@ void write_backblaze_csv_file(const Dataset& dataset,
   std::ofstream os(path);
   if (!os) throw std::runtime_error("cannot open for write: " + path);
   write_backblaze_csv(dataset, os);
+  robust::commit_stream(os, "csv write " + path);
 }
 
 Dataset read_backblaze_csv(std::istream& is, const CsvReadOptions& options) {
@@ -128,48 +140,125 @@ Dataset read_backblaze_csv(std::istream& is, const CsvReadOptions& options) {
         "read_backblaze_csv: requested feature column missing from header");
   }
 
+  const bool strict = options.row_errors == robust::RowErrorPolicy::kStrict;
+  if (options.row_errors == robust::RowErrorPolicy::kQuarantine &&
+      options.quarantine == nullptr) {
+    throw std::invalid_argument(
+        "read_backblaze_csv: kQuarantine requires a Quarantine sink");
+  }
+  // Under kSkip/kQuarantine a dirty row is dropped (and counted/written to
+  // the sidecar) instead of aborting the ingest; returns false so the row
+  // loop moves on. Strict mode throws for the historical causes (ragged,
+  // bad date) and ignores the rest, preserving the seed reader exactly.
+  const auto reject = [&](robust::RowErrorCause cause, std::size_t line_no,
+                          const std::string& row, const std::string& detail) {
+    if (strict) {
+      throw std::runtime_error("read_backblaze_csv: line " +
+                               std::to_string(line_no) + ": " + detail);
+    }
+    if (options.quarantine != nullptr) {
+      options.quarantine->reject(cause, line_no, row, detail);
+    }
+  };
+
   std::map<std::string, std::size_t> disk_of_serial;
   Day max_day = 0;
+  std::size_t line_no = 1;  // header was line 1
+  std::vector<float> features;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
     if (cells.size() != header.size()) {
-      throw std::runtime_error("read_backblaze_csv: ragged row");
+      reject(robust::RowErrorCause::kRagged, line_no, line,
+             "ragged row (" + std::to_string(cells.size()) + " cells, header "
+                 "has " + std::to_string(header.size()) + ")");
+      continue;
     }
     if (!options.model_filter.empty() && cells[2] != options.model_filter) {
       continue;
     }
-    if (dataset.model_name.empty()) dataset.model_name = cells[2];
-    const Day day = iso_to_day(cells[0]);
-    max_day = std::max(max_day, day);
-    const bool failure = cells[4] == "1";
+    const auto day = try_iso_to_day(cells[0]);
+    if (!day) {
+      reject(robust::RowErrorCause::kBadDate, line_no, line,
+             "bad date '" + cells[0] + "'");
+      continue;
+    }
+    bool failure = cells[4] == "1";
+    if (!strict && !cells[4].empty() && cells[4] != "0" && cells[4] != "1") {
+      reject(robust::RowErrorCause::kBadValue, line_no, line,
+             "bad failure flag '" + cells[4] + "'");
+      continue;
+    }
 
+    // Parse (and under the non-strict policies validate) every selected
+    // feature cell before touching any dataset state, so a rejected row
+    // leaves no trace.
+    features.assign(dataset.feature_names.size(), options.missing_value);
+    bool dirty_value = false;
+    for (std::size_t c = 5; c < cells.size() && !dirty_value; ++c) {
+      const int slot = column_slot[c];
+      if (slot < 0) continue;
+      if (cells[c].empty()) continue;  // keep missing_value
+      float v = options.missing_value;
+      const auto [end, err] = std::from_chars(
+          cells[c].data(), cells[c].data() + cells[c].size(), v);
+      if (!strict &&
+          (err != std::errc() || end != cells[c].data() + cells[c].size() ||
+           !std::isfinite(v))) {
+        reject(robust::RowErrorCause::kBadValue, line_no, line,
+               "bad value '" + cells[c] + "' in " + header[c]);
+        dirty_value = true;
+        break;
+      }
+      if (err == std::errc()) {
+        features[static_cast<std::size_t>(slot)] = v;
+      }
+    }
+    if (dirty_value) continue;
+
+    // Duplicate / out-of-order detection (non-strict only): a disk's rows
+    // are expected in ascending day order within one input, as in real
+    // per-day Backblaze dumps, so one comparison against the last accepted
+    // day suffices.
+    const auto existing = disk_of_serial.find(cells[1]);
+    if (!strict && existing != disk_of_serial.end()) {
+      const Day last = dataset.disks[existing->second].snapshots.back().day;
+      if (*day == last) {
+        reject(robust::RowErrorCause::kDuplicate, line_no, line,
+               "duplicate (serial, day) = (" + cells[1] + ", " + cells[0] +
+                   ")");
+        continue;
+      }
+      if (*day < last) {
+        reject(robust::RowErrorCause::kOutOfOrder, line_no, line,
+               "day " + cells[0] + " precedes already-ingested " +
+                   day_to_iso(last) + " for serial " + cells[1]);
+        continue;
+      }
+    }
+
+    if (dataset.model_name.empty()) dataset.model_name = cells[2];
+    max_day = std::max(max_day, *day);
     auto [it, inserted] =
         disk_of_serial.try_emplace(cells[1], dataset.disks.size());
     if (inserted) {
       DiskHistory disk;
       disk.id = static_cast<DiskId>(dataset.disks.size());
       disk.serial = cells[1];
-      disk.first_day = day;
+      disk.first_day = *day;
       dataset.disks.push_back(std::move(disk));
     }
     DiskHistory& disk = dataset.disks[it->second];
     Snapshot snap;
-    snap.day = day;
-    snap.features.resize(dataset.feature_names.size(), options.missing_value);
-    for (std::size_t c = 5; c < cells.size(); ++c) {
-      const int slot = column_slot[c];
-      if (slot < 0) continue;
-      if (cells[c].empty()) continue;  // keep missing_value
-      float v = options.missing_value;
-      std::from_chars(cells[c].data(), cells[c].data() + cells[c].size(), v);
-      snap.features[static_cast<std::size_t>(slot)] = v;
-    }
-    disk.first_day = std::min(disk.first_day, day);
-    disk.last_day = std::max(disk.last_day, day);
+    snap.day = *day;
+    snap.features = features;
+    disk.first_day = std::min(disk.first_day, *day);
+    disk.last_day = std::max(disk.last_day, *day);
     disk.failed = disk.failed || failure;
     disk.snapshots.push_back(std::move(snap));
   }
+  if (options.quarantine != nullptr) options.quarantine->commit();
   for (auto& disk : dataset.disks) {
     std::sort(disk.snapshots.begin(), disk.snapshots.end(),
               [](const Snapshot& a, const Snapshot& b) { return a.day < b.day; });
@@ -182,6 +271,7 @@ Dataset read_backblaze_csv_file(const std::string& path,
                                 const CsvReadOptions& options) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for read: " + path);
+  if (options.quarantine != nullptr) options.quarantine->set_context(path);
   return read_backblaze_csv(is, options);
 }
 

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "data/types.hpp"
+#include "robust/quarantine.hpp"
 
 namespace data {
 
@@ -19,6 +21,10 @@ namespace data {
 /// published snapshot) to an ISO "YYYY-MM-DD" date, and back.
 std::string day_to_iso(Day day);
 Day iso_to_day(const std::string& iso);
+
+/// Non-throwing iso_to_day: nullopt when `iso` is not YYYY-MM-DD with a
+/// real month/day (the dirty-row path of the reader).
+std::optional<Day> try_iso_to_day(const std::string& iso);
 
 void write_backblaze_csv(const Dataset& dataset, std::ostream& os);
 void write_backblaze_csv_file(const Dataset& dataset,
@@ -32,6 +38,19 @@ struct CsvReadOptions {
   std::string model_filter;
   /// Missing feature cells (empty strings) are replaced with this value.
   float missing_value = 0.0f;
+
+  /// What to do with a dirty row (see robust/quarantine.hpp). kStrict
+  /// fail-stops on ragged rows and bad dates (the historical behaviour);
+  /// kSkip / kQuarantine additionally reject rows with non-numeric or
+  /// non-finite selected values, bad failure flags, duplicate
+  /// (serial, day) pairs and out-of-order days — a disk's rows are
+  /// expected in ascending day order within one input, as in real
+  /// Backblaze dumps — and keep the stream alive.
+  robust::RowErrorPolicy row_errors = robust::RowErrorPolicy::kStrict;
+  /// Rejection sink for the non-strict policies: per-cause counters and,
+  /// under kQuarantine, the sidecar file (open_sidecar must have been
+  /// called). May be null under kSkip (rows are dropped uncounted).
+  robust::Quarantine* quarantine = nullptr;
 };
 
 Dataset read_backblaze_csv(std::istream& is, const CsvReadOptions& options = {});

@@ -30,9 +30,13 @@ struct DiskReport {
 };
 
 /// The engine's verdict on one report: forest score and alarm decision.
+/// A report rejected by the ingest error policy (non-finite features,
+/// duplicate disk in one batch; see EngineParams::ingest_errors) carries
+/// rejected = true and touched no engine state at all.
 struct DayOutcome {
   double score = 0.0;  ///< forest P(failure within horizon)
   bool alarm = false;  ///< score ≥ alarm_threshold
+  bool rejected = false;  ///< dropped by the dirty-input policy
 };
 
 }  // namespace engine

@@ -10,15 +10,22 @@
 // across shard counts. Per-shard observability counters are runtime-only
 // and deliberately absent (see engine/counters.hpp).
 
+// File checkpoints are crash-safe: save_file() frames the payload in the
+// CRC32 envelope and writes it via temp-file + fsync + atomic rename (see
+// robust/checkpoint_io.hpp), so a process killed mid-save leaves the
+// previous checkpoint intact. restore_file() auto-detects envelope vs.
+// legacy unframed files, so checkpoints from before this scheme still load.
+
 #include <algorithm>
-#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "core/checkpoint.hpp"
 #include "engine/fleet_engine.hpp"
+#include "robust/checkpoint_io.hpp"
 
 namespace engine {
 
@@ -61,6 +68,7 @@ void FleetEngine::save(std::ostream& os) const {
     }
   }
   forest_.save(os);
+  robust::commit_stream(os, "engine checkpoint");
 }
 
 void FleetEngine::restore(std::istream& is) {
@@ -103,14 +111,13 @@ void FleetEngine::restore(std::istream& is) {
 }
 
 void FleetEngine::save_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
-  save(os);
+  std::ostringstream payload;
+  save(payload);
+  robust::write_envelope_file(path, payload.str());
 }
 
 void FleetEngine::restore_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  std::istringstream is(robust::load_checkpoint_payload(path));
   restore(is);
 }
 

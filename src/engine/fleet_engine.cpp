@@ -1,6 +1,7 @@
 #include "engine/fleet_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 
@@ -43,6 +44,11 @@ FleetEngine::FleetEngine(std::size_t feature_count, const EngineParams& params,
   instruments_.tracked_disks = &registry_.gauge(
       "orf_engine_tracked_disks",
       "disks with a live label queue (refreshed per snapshot)");
+  const char* rejected_help = "ingest rows rejected by cause";
+  instruments_.rejected_non_finite = &registry_.counter(
+      "orf_ingest_rejected_total", rejected_help, {{"cause", "non_finite"}});
+  instruments_.rejected_duplicate = &registry_.counter(
+      "orf_ingest_rejected_total", rejected_help, {{"cause", "duplicate"}});
   forest_.bind_metrics(registry_);
 
   const std::size_t n = resolve_shards(params_.shards);
@@ -90,14 +96,55 @@ void FleetEngine::ingest_day(std::span<const DiskReport> batch,
   if (batch.empty()) return;
   instruments_.days->inc();
 
+  // Stage 0: validate. A non-finite feature would poison the running
+  // min/max ranges for the rest of the deployment, so dirty reports are
+  // caught before *any* state mutates: strict policy throws (nothing has
+  // been touched yet), the lenient policies mark the record rejected and
+  // route it to no shard.
+  constexpr std::uint32_t kRejected = ~std::uint32_t{0};
+  const bool strict =
+      params_.ingest_errors == robust::RowErrorPolicy::kStrict;
+  owner_scratch_.resize(batch.size());
+  if (!strict) seen_scratch_.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const DiskReport& report = batch[i];
+    bool finite = true;
+    for (const float v : report.features) {
+      if (!std::isfinite(v)) {
+        finite = false;
+        break;
+      }
+    }
+    if (strict) {
+      if (!finite) {
+        throw std::invalid_argument(
+            "FleetEngine::ingest_day: non-finite feature for disk " +
+            std::to_string(report.disk) +
+            " (set EngineParams::ingest_errors to kSkip to drop such rows)");
+      }
+      owner_scratch_[i] = shard_of(report.disk);
+      continue;
+    }
+    if (!finite) {
+      owner_scratch_[i] = kRejected;
+      outcomes[i].rejected = true;
+      instruments_.rejected_non_finite->inc();
+      continue;
+    }
+    if (!seen_scratch_.insert(report.disk).second) {
+      owner_scratch_[i] = kRejected;
+      outcomes[i].rejected = true;
+      instruments_.rejected_duplicate->inc();
+      continue;
+    }
+    owner_scratch_[i] = shard_of(report.disk);
+  }
+
   // Stage 1: scale. The running min/max is commutative — any observation
   // order yields the same end-of-day ranges.
   util::Stopwatch stage_timer;
-  for (const DiskReport& report : batch) scaler_.observe(report.features);
-
-  owner_scratch_.resize(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    owner_scratch_[i] = shard_of(batch[i].disk);
+    if (owner_scratch_[i] != kRejected) scaler_.observe(batch[i].features);
   }
   instruments_.stage_scale->observe(stage_timer.seconds());
 
@@ -129,6 +176,7 @@ void FleetEngine::ingest_day(std::span<const DiskReport> batch,
   std::size_t staged = 0;
   for (std::uint32_t i = 0; i < batch.size(); ++i) {
     const std::uint32_t s = owner_scratch_[i];
+    if (s == kRejected) continue;
     auto& releases = shards_[s].releases();
     std::size_t& cur = cursor_scratch_[s];
     while (cur < releases.size() && releases[cur].seq == i) {

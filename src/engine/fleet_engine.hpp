@@ -31,6 +31,7 @@
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/online_forest.hpp"
@@ -41,6 +42,7 @@
 #include "engine/stages.hpp"
 #include "features/scaler.hpp"
 #include "obs/registry.hpp"
+#include "robust/quarantine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace engine {
@@ -55,6 +57,13 @@ struct EngineParams {
   /// Number of disk shards; 0 → hardware_concurrency clamped to [1, 32].
   /// Purely a parallelism knob: results do not depend on it.
   std::size_t shards = 0;
+  /// Dirty-report policy for ingest_day: kStrict throws std::invalid_argument
+  /// on a non-finite feature (a NaN would silently poison the min/max scaler
+  /// forever); kSkip / kQuarantine instead drop such reports — and duplicate
+  /// disks within one day batch — before any state is touched, mark their
+  /// outcome rejected, and count them per cause as
+  /// orf_ingest_rejected_total{cause=...} on the engine registry.
+  robust::RowErrorPolicy ingest_errors = robust::RowErrorPolicy::kStrict;
 };
 
 class FleetEngine final : public SampleSink {
@@ -164,6 +173,11 @@ class FleetEngine final : public SampleSink {
     obs::Counter* days = nullptr;
     obs::Counter* samples_learned = nullptr;
     obs::Gauge* tracked_disks = nullptr;
+    /// Dirty reports dropped by the ingest policy, by cause — the same
+    /// orf_ingest_rejected_total family the CSV quarantine exports, so one
+    /// query accounts for every rejected row at any layer.
+    obs::Counter* rejected_non_finite = nullptr;
+    obs::Counter* rejected_duplicate = nullptr;
   };
   Instruments instruments_;
 
@@ -177,6 +191,7 @@ class FleetEngine final : public SampleSink {
 
   // Reused scratch — the hot path allocates nothing once warm.
   std::vector<std::uint32_t> owner_scratch_;      ///< record → shard
+  std::unordered_set<data::DiskId> seen_scratch_; ///< per-day duplicate check
   std::vector<std::size_t> cursor_scratch_;       ///< per-shard merge cursor
   std::vector<core::LabeledVector> learn_batch_;  ///< staged learn samples
   std::vector<DayOutcome> outcome_scratch_;       ///< observe() day batch

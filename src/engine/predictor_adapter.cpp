@@ -16,6 +16,7 @@ engine::EngineParams to_engine_params(const OnlinePredictorParams& params) {
   out.queue_capacity = params.queue_capacity;
   out.alarm_threshold = params.alarm_threshold;
   out.shards = params.shards;
+  out.ingest_errors = params.ingest_errors;
   return out;
 }
 

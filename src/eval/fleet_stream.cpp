@@ -72,6 +72,10 @@ FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
       engine.ingest_day(batch, outcomes, pool);
       result.samples_processed += batch.size();
       for (std::size_t r = 0; r < outcomes.size(); ++r) {
+        if (outcomes[r].rejected) {
+          ++result.samples_rejected;
+          continue;
+        }
         if (!outcomes[r].alarm) continue;
         result.disks[batch_disk[r]].alarm_days.push_back(day);
         ++result.total_alarms;

@@ -37,6 +37,9 @@ struct FleetStreamResult {
   std::vector<DiskOutcome> disks;  ///< indexed like dataset.disks
   std::uint64_t total_alarms = 0;
   std::uint64_t samples_processed = 0;
+  /// Reports dropped by the engine's dirty-input policy (see
+  /// engine::EngineParams::ingest_errors); 0 under the strict default.
+  std::uint64_t samples_rejected = 0;
 
   /// Disk-level FDR/FAR from the alarm record (§4.3): a failed disk counts
   /// as detected when an alarm fired within `horizon` days of failure; a

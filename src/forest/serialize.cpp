@@ -1,11 +1,12 @@
 #include "forest/serialize.hpp"
 
-#include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "robust/checkpoint_io.hpp"
 
 namespace forest {
 namespace {
@@ -82,6 +83,7 @@ void save_forest(const RandomForest& forest, std::ostream& os) {
   for (std::size_t t = 0; t < forest.tree_count(); ++t) {
     save_tree(forest.tree(t), os);
   }
+  robust::commit_stream(os, "forest serialization");
 }
 
 RandomForest load_forest(std::istream& is) {
@@ -105,14 +107,15 @@ RandomForest load_forest(std::istream& is) {
 }
 
 void save_forest_file(const RandomForest& forest, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
-  save_forest(forest, os);
+  // Same crash-safety contract as the engine checkpoint: CRC32 envelope,
+  // temp file, fsync, atomic rename.
+  std::ostringstream payload;
+  save_forest(forest, payload);
+  robust::write_envelope_file(path, payload.str());
 }
 
 RandomForest load_forest_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  std::istringstream is(robust::load_checkpoint_payload(path));
   return load_forest(is);
 }
 

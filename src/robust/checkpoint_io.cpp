@@ -1,0 +1,240 @@
+#include "robust/checkpoint_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "robust/failpoint.hpp"
+
+namespace robust {
+namespace {
+
+constexpr std::string_view kMagic = "orf-ckpt";
+constexpr std::string_view kVersion = "v1";
+
+constexpr std::array<const char*, 6> kWriterSites = {
+    "checkpoint.open_temp",    "checkpoint.write_payload",
+    "checkpoint.after_payload", "checkpoint.fsync",
+    "checkpoint.rename",        "checkpoint.after_rename",
+};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// RAII fd that closes on scope exit (double close is harmless here: the
+/// explicit close() path clears the fd first).
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  void close_checked(const std::string& what) {
+    const int f = fd;
+    fd = -1;
+    if (::close(f) != 0) throw_errno(what);
+  }
+};
+
+void write_all(int fd, std::string_view bytes, const std::string& what) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(what);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_path(const std::string& path, const std::string& what) {
+  Fd dir{::open(path.c_str(), O_RDONLY)};
+  if (dir.fd < 0) throw_errno(what + " open");
+  if (::fsync(dir.fd) != 0) throw_errno(what + " fsync");
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  // Table-driven IEEE 802.3 CRC32, table built on first use.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xffffffffu;
+  for (const char byte : bytes) {
+    c = table[(c ^ static_cast<unsigned char>(byte)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::string make_envelope(std::string_view payload) {
+  char header[64];
+  const int n =
+      std::snprintf(header, sizeof header, "%.*s %.*s %zu %08x\n",
+                    static_cast<int>(kMagic.size()), kMagic.data(),
+                    static_cast<int>(kVersion.size()), kVersion.data(),
+                    payload.size(), crc32(payload));
+  std::string out(header, static_cast<std::size_t>(n));
+  out.append(payload);
+  return out;
+}
+
+bool looks_like_envelope(std::string_view bytes) {
+  return bytes.size() > kMagic.size() && bytes.substr(0, kMagic.size()) ==
+                                             kMagic &&
+         bytes[kMagic.size()] == ' ';
+}
+
+std::string parse_envelope(std::string_view envelope) {
+  const auto fail = [](const std::string& why) -> std::string {
+    throw CorruptCheckpoint("corrupt checkpoint: " + why);
+  };
+  const auto newline = envelope.find('\n');
+  if (newline == std::string_view::npos) return fail("missing header line");
+  const std::string_view header = envelope.substr(0, newline);
+
+  // Header tokens: magic version length crc.
+  std::array<std::string_view, 4> token;
+  std::size_t pos = 0;
+  for (std::size_t t = 0; t < token.size(); ++t) {
+    while (pos < header.size() && header[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    while (pos < header.size() && header[pos] != ' ') ++pos;
+    token[t] = header.substr(start, pos - start);
+    if (token[t].empty()) return fail("truncated header");
+  }
+  if (token[0] != kMagic) return fail("bad magic '" + std::string(token[0]) +
+                                      "'");
+  if (token[1] != kVersion) {
+    return fail("unsupported format version '" + std::string(token[1]) + "'");
+  }
+  std::size_t length = 0;
+  auto [lp, lec] = std::from_chars(token[2].data(),
+                                   token[2].data() + token[2].size(), length);
+  if (lec != std::errc() || lp != token[2].data() + token[2].size()) {
+    return fail("bad payload length field");
+  }
+  std::uint32_t expected_crc = 0;
+  auto [cp, cec] =
+      std::from_chars(token[3].data(), token[3].data() + token[3].size(),
+                      expected_crc, 16);
+  if (cec != std::errc() || cp != token[3].data() + token[3].size()) {
+    return fail("bad checksum field");
+  }
+
+  const std::string_view payload = envelope.substr(newline + 1);
+  if (payload.size() < length) {
+    return fail("payload truncated (" + std::to_string(payload.size()) +
+                " of " + std::to_string(length) + " bytes)");
+  }
+  if (payload.size() > length) return fail("trailing bytes after payload");
+  if (crc32(payload) != expected_crc) return fail("checksum mismatch");
+  return std::string(payload);
+}
+
+void write_envelope_file(const std::string& path, std::string_view payload) {
+  const std::string framed = make_envelope(payload);
+  const std::string tmp = path + ".tmp";
+
+  ORF_FAILPOINT("checkpoint.open_temp");
+  Fd fd{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)};
+  if (fd.fd < 0) throw_errno("checkpoint: cannot open " + tmp);
+
+  // A short-write fault truncates the payload mid-file and then "crashes"
+  // (throws) before the rename — exactly what a power cut during write()
+  // leaves behind.
+  const std::string_view to_write = framed;
+  if (const auto keep = failpoint_short_write("checkpoint.write_payload")) {
+    const auto kept = static_cast<std::size_t>(
+        static_cast<double>(framed.size()) * *keep);
+    write_all(fd.fd, to_write.substr(0, kept),
+              "checkpoint: short write to " + tmp);
+    throw InjectedFault("checkpoint.write_payload");
+  }
+  write_all(fd.fd, to_write, "checkpoint: write to " + tmp);
+  ORF_FAILPOINT("checkpoint.after_payload");
+
+  ORF_FAILPOINT("checkpoint.fsync");
+  if (::fsync(fd.fd) != 0) throw_errno("checkpoint: fsync " + tmp);
+  fd.close_checked("checkpoint: close " + tmp);
+
+  ORF_FAILPOINT("checkpoint.rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("checkpoint: rename " + tmp + " -> " + path);
+  }
+  // Make the rename itself durable: without the directory fsync a crash can
+  // roll the directory entry back to the old checkpoint (fine) or to the
+  // temp name (not fine).
+  fsync_path(std::filesystem::path(path).parent_path().empty()
+                 ? "."
+                 : std::filesystem::path(path).parent_path().string(),
+             "checkpoint: directory " + path);
+  ORF_FAILPOINT("checkpoint.after_rename");
+}
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+std::string load_checkpoint_payload(const std::string& path) {
+  std::string bytes = slurp(path);
+  if (!looks_like_envelope(bytes)) return bytes;  // legacy unframed file
+  try {
+    return parse_envelope(bytes);
+  } catch (const CorruptCheckpoint& e) {
+    throw CorruptCheckpoint(std::string(e.what()) + " (" + path + ")");
+  }
+}
+
+std::string read_envelope_file(const std::string& path) {
+  try {
+    return parse_envelope(slurp(path));
+  } catch (const CorruptCheckpoint& e) {
+    throw CorruptCheckpoint(std::string(e.what()) + " (" + path + ")");
+  }
+}
+
+std::span<const char* const> checkpoint_failpoint_sites() {
+  return std::span<const char* const>(kWriterSites.data(),
+                                      kWriterSites.size());
+}
+
+void commit_stream(std::ostream& os, const std::string& what) {
+  errno = 0;
+  os.flush();
+  if (os.good()) return;
+  std::string message = what + ": stream write failed";
+  if (errno != 0) {
+    message += ": ";
+    message += std::strerror(errno);
+  }
+  throw std::runtime_error(message);
+}
+
+}  // namespace robust

@@ -1,0 +1,43 @@
+// Typed exceptions of the fault-tolerance layer.
+//
+// CorruptCheckpoint is the *only* error a checkpoint loader raises for
+// damaged state (truncation, bit flips, wrong magic/version): callers such
+// as RecoveryManager catch it to fall back to an older snapshot, and
+// anything else (bad_alloc, logic errors) still propagates. InjectedFault
+// (and its IO flavour) is what an armed failpoint throws — tests assert on
+// the exact type so an injected crash is never confused with a real bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace robust {
+
+/// A checkpoint file failed validation: wrong magic, unsupported format
+/// version, payload shorter than the header promised, or CRC mismatch.
+class CorruptCheckpoint : public std::runtime_error {
+ public:
+  explicit CorruptCheckpoint(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by an armed failpoint (kind kThrow). Carries the site name.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at failpoint '" + site + "'"),
+        site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Thrown by an armed failpoint of kind kIoError — models EIO and friends
+/// surfacing from the kernel mid-operation.
+class InjectedIoError : public InjectedFault {
+ public:
+  explicit InjectedIoError(const std::string& site) : InjectedFault(site) {}
+};
+
+}  // namespace robust

@@ -1,0 +1,174 @@
+#include "robust/failpoint.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace robust {
+namespace detail {
+
+std::atomic<int> g_armed_sites{0};
+
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  std::uint64_t hits = 0;   ///< evaluations while armed
+  std::uint32_t fired = 0;  ///< times the fault actually fired
+  bool armed = true;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: sites outlive static dtors
+  return *r;
+}
+
+/// Decide whether `site` fires now; returns the spec when it does. The
+/// armed count is kept in sync so the fast path re-disables itself once
+/// every armed site has exhausted its fire budget.
+std::optional<FaultSpec> evaluate(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return std::nullopt;
+  SiteState& state = it->second;
+  const std::uint64_t hit = state.hits++;
+  if (hit < state.spec.after) return std::nullopt;
+  if (state.spec.count > 0 && state.fired >= state.spec.count) {
+    return std::nullopt;
+  }
+  ++state.fired;
+  return state.spec;
+}
+
+}  // namespace
+
+void ensure_env_parsed() {
+  static const bool parsed = [] {
+    if (const char* env = std::getenv("ORF_FAILPOINTS")) {
+      failpoints::arm_from_spec(env);
+    }
+    return true;
+  }();
+  (void)parsed;
+}
+
+}  // namespace detail
+
+void failpoint(const char* site) {
+  const auto spec = detail::evaluate(site);
+  if (!spec) return;
+  switch (spec->kind) {
+    case FaultKind::kThrow:
+      throw InjectedFault(site);
+    case FaultKind::kIoError:
+      throw InjectedIoError(site);
+    case FaultKind::kShortWrite:
+      break;  // only short-write-aware sites honour this kind
+  }
+}
+
+std::optional<double> failpoint_short_write(const char* site) {
+  const auto spec = detail::evaluate(site);
+  if (!spec) return std::nullopt;
+  switch (spec->kind) {
+    case FaultKind::kThrow:
+      throw InjectedFault(site);
+    case FaultKind::kIoError:
+      throw InjectedIoError(site);
+    case FaultKind::kShortWrite:
+      return spec->keep_fraction;
+  }
+  return std::nullopt;
+}
+
+namespace failpoints {
+
+void arm(const std::string& site, const FaultSpec& spec) {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.try_emplace(site);
+  if (!inserted && it->second.armed) {
+    detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+  it->second = detail::SiteState{};
+  it->second.spec = spec;
+  detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void arm_from_spec(const std::string& spec) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    auto end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint spec: expected site=kind in '" +
+                                  entry + "'");
+    }
+    const std::string site = entry.substr(0, eq);
+    std::string body = entry.substr(eq + 1);
+    FaultSpec parsed;
+    // Peel xcount, then @after, so the kind token remains.
+    if (const auto x = body.find('x'); x != std::string::npos) {
+      parsed.count =
+          static_cast<std::uint32_t>(std::stoul(body.substr(x + 1)));
+      body.resize(x);
+    }
+    if (const auto at = body.find('@'); at != std::string::npos) {
+      parsed.after =
+          static_cast<std::uint32_t>(std::stoul(body.substr(at + 1)));
+      body.resize(at);
+    }
+    if (body == "throw") {
+      parsed.kind = FaultKind::kThrow;
+    } else if (body == "io_error") {
+      parsed.kind = FaultKind::kIoError;
+    } else if (body == "short_write") {
+      parsed.kind = FaultKind::kShortWrite;
+    } else {
+      throw std::invalid_argument("failpoint spec: unknown kind '" + body +
+                                  "' (throw|io_error|short_write)");
+    }
+    arm(site, parsed);
+  }
+}
+
+void disarm(const std::string& site) {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [site, state] : r.sites) {
+    if (state.armed) {
+      state.armed = false;
+      detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t hits(const std::string& site) {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+}  // namespace failpoints
+}  // namespace robust

@@ -1,0 +1,90 @@
+// Failpoint registry: named fault-injection sites, free when disabled.
+//
+// Production code marks crash-relevant spots with ORF_FAILPOINT("site") —
+// the macro compiles to one relaxed atomic load of the global armed count,
+// so an unarmed binary pays a nanosecond per site and allocates nothing.
+// Tests (or an operator, via the ORF_FAILPOINTS environment variable) arm a
+// site with a FaultSpec; the next evaluations then throw InjectedFault /
+// InjectedIoError or, at short-write-aware sites, truncate the write — which
+// is how the recovery suite proves a crash at *every* stage of a checkpoint
+// save leaves a loadable snapshot behind.
+//
+// Spec string grammar (env var and arm_from_spec):
+//   site=kind[@after][xcount][;site2=...]
+// kind ∈ {throw, io_error, short_write}; `after` skips that many hits before
+// firing (default 0); `count` limits how many times it fires (default
+// unlimited). Example:
+//   ORF_FAILPOINTS="checkpoint.rename=io_error;checkpoint.fsync=throw@2x1"
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "robust/errors.hpp"
+
+namespace robust {
+
+enum class FaultKind {
+  kThrow,      ///< throw InjectedFault
+  kIoError,    ///< throw InjectedIoError
+  kShortWrite  ///< at short-write sites: truncate payload, then throw
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kThrow;
+  /// Evaluations to let pass before the fault first fires.
+  std::uint32_t after = 0;
+  /// Times the fault fires before going dormant; 0 = unlimited.
+  std::uint32_t count = 0;
+  /// kShortWrite: fraction of the payload that reaches the file.
+  double keep_fraction = 0.5;
+};
+
+namespace detail {
+/// Number of armed sites; > 0 switches the macro onto the slow path. Parsed
+/// from ORF_FAILPOINTS once, on the first evaluation of any site.
+extern std::atomic<int> g_armed_sites;
+void ensure_env_parsed();
+}  // namespace detail
+
+/// Fast check inlined into every site. Also triggers the (once-only)
+/// ORF_FAILPOINTS parse so env-armed sites work without any test API call.
+inline bool failpoints_armed() {
+  detail::ensure_env_parsed();
+  return detail::g_armed_sites.load(std::memory_order_relaxed) > 0;
+}
+
+/// Slow path: evaluate `site` and throw if an armed fault fires. A
+/// kShortWrite spec does not throw here (only short-write-aware sites
+/// honour it, via failpoint_short_write).
+void failpoint(const char* site);
+
+/// Short-write-aware sites call this instead: returns the keep-fraction
+/// when a kShortWrite fault fires, nullopt when the site is clean; throws
+/// like failpoint() for the throwing kinds.
+std::optional<double> failpoint_short_write(const char* site);
+
+#define ORF_FAILPOINT(site)                                      \
+  do {                                                           \
+    if (::robust::failpoints_armed()) ::robust::failpoint(site); \
+  } while (0)
+
+namespace failpoints {
+
+/// Arm `site` with `spec` (replacing any existing spec for the site).
+void arm(const std::string& site, const FaultSpec& spec);
+
+/// Arm sites from a spec string (grammar above). Throws
+/// std::invalid_argument on a malformed spec.
+void arm_from_spec(const std::string& spec);
+
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Evaluations of `site` while armed (fired or not). 0 for unknown sites.
+std::uint64_t hits(const std::string& site);
+
+}  // namespace failpoints
+}  // namespace robust

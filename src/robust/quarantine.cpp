@@ -1,0 +1,84 @@
+#include "robust/quarantine.hpp"
+
+#include <stdexcept>
+
+#include "robust/checkpoint_io.hpp"
+
+namespace robust {
+
+const char* to_string(RowErrorCause cause) {
+  switch (cause) {
+    case RowErrorCause::kRagged:
+      return "ragged";
+    case RowErrorCause::kBadDate:
+      return "bad_date";
+    case RowErrorCause::kBadValue:
+      return "bad_value";
+    case RowErrorCause::kDuplicate:
+      return "duplicate";
+    case RowErrorCause::kOutOfOrder:
+      return "out_of_order";
+    case RowErrorCause::kNonFinite:
+      return "non_finite";
+    case RowErrorCause::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+RowErrorPolicy parse_row_error_policy(std::string_view name) {
+  if (name == "strict") return RowErrorPolicy::kStrict;
+  if (name == "skip") return RowErrorPolicy::kSkip;
+  if (name == "quarantine") return RowErrorPolicy::kQuarantine;
+  throw std::invalid_argument("row error policy '" + std::string(name) +
+                              "' (strict|skip|quarantine)");
+}
+
+void Quarantine::open_sidecar(const std::string& path) {
+  sidecar_.open(path, std::ios::trunc);
+  if (!sidecar_) {
+    throw std::runtime_error("quarantine: cannot open sidecar " + path);
+  }
+  sidecar_path_ = path;
+  // One rejected row per line; `row` is the raw input (may contain commas),
+  // so it is the final field.
+  sidecar_ << "# orf-quarantine v1\n"
+           << "# context,line,cause,detail,row\n";
+}
+
+void Quarantine::bind_metrics(obs::Registry& registry) {
+  for (std::size_t c = 0; c < counters_.size(); ++c) {
+    counters_[c] = &registry.counter(
+        "orf_ingest_rejected_total", "ingest rows rejected by cause",
+        {{"cause", to_string(static_cast<RowErrorCause>(c))}});
+    counters_[c]->set(counts_[c]);
+  }
+}
+
+void Quarantine::reject(RowErrorCause cause, std::size_t line_number,
+                        std::string_view row, std::string_view detail) {
+  const auto index = static_cast<std::size_t>(cause);
+  ++counts_[index];
+  if (counters_[index] != nullptr) counters_[index]->inc();
+  if (sidecar_.is_open()) {
+    sidecar_ << context_ << ',' << line_number << ',' << to_string(cause)
+             << ',' << detail << ',' << row << '\n';
+  }
+}
+
+std::uint64_t Quarantine::rejected(RowErrorCause cause) const {
+  return counts_[static_cast<std::size_t>(cause)];
+}
+
+std::uint64_t Quarantine::total_rejected() const {
+  std::uint64_t total = 0;
+  for (const auto count : counts_) total += count;
+  return total;
+}
+
+void Quarantine::commit() {
+  if (!sidecar_.is_open()) return;
+  commit_stream(sidecar_, "quarantine sidecar " + sidecar_path_);
+}
+
+}  // namespace robust

@@ -1,0 +1,90 @@
+// Dirty-input policy and quarantine sink for telemetry ingest.
+//
+// Production SMART telemetry is dirty by default (Han et al.,
+// arXiv:1912.09722): ragged CSV rows, unparseable dates, non-numeric or
+// non-finite attribute values, duplicated (serial, day) reports,
+// out-of-order days. A fail-stop reader turns one bad row into a dead
+// fleet ingest, so every ingest path takes a RowErrorPolicy:
+//
+//   kStrict      reject the whole input on the first dirty row (throw) —
+//                the right mode for tests and for replaying curated data;
+//   kSkip        drop dirty rows, count them per cause;
+//   kQuarantine  drop dirty rows, count them, and append each to a sidecar
+//                file for offline inspection / re-ingest after repair.
+//
+// The Quarantine object is the shared sink: per-cause counters (exported
+// as orf_ingest_rejected_total{cause=...} once bound to an obs::Registry)
+// plus the optional sidecar stream. One Quarantine may serve a whole
+// directory scan; set_context() labels which file rejected rows came from.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace robust {
+
+enum class RowErrorPolicy { kStrict, kSkip, kQuarantine };
+
+enum class RowErrorCause : int {
+  kRagged = 0,     ///< wrong number of cells
+  kBadDate,        ///< date cell does not parse as a calendar day
+  kBadValue,       ///< non-empty cell that is not a finite number
+  kDuplicate,      ///< (serial, day) already seen
+  kOutOfOrder,     ///< day earlier than the serial's latest accepted day
+  kNonFinite,      ///< NaN/inf feature in an already-parsed report
+  kCount,
+};
+
+const char* to_string(RowErrorCause cause);
+
+/// Parse "strict" / "skip" / "quarantine"; throws std::invalid_argument on
+/// anything else (flag-parsing helper for the tools).
+RowErrorPolicy parse_row_error_policy(std::string_view name);
+
+class Quarantine {
+ public:
+  Quarantine() = default;
+
+  /// Open the sidecar file (kQuarantine policy). Header is written
+  /// immediately so an empty sidecar is still self-describing.
+  void open_sidecar(const std::string& path);
+
+  /// Export the per-cause totals as orf_ingest_rejected_total{cause=...}.
+  /// Counters already incremented are carried over.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Label subsequent rejections with their source (e.g. the CSV filename
+  /// during a directory scan).
+  void set_context(std::string context) { context_ = std::move(context); }
+
+  /// Record one rejected row; appends to the sidecar when one is open.
+  /// `row` is the raw input line (may contain commas), `detail` a short
+  /// human explanation.
+  void reject(RowErrorCause cause, std::size_t line_number,
+              std::string_view row, std::string_view detail);
+
+  std::uint64_t rejected(RowErrorCause cause) const;
+  std::uint64_t total_rejected() const;
+
+  /// Flush + error-check the sidecar (no-op without one). Call at end of
+  /// ingest so a torn sidecar surfaces as an exception.
+  void commit();
+
+  const std::string& sidecar_path() const { return sidecar_path_; }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(RowErrorCause::kCount)>
+      counts_{};
+  std::array<obs::Counter*, static_cast<std::size_t>(RowErrorCause::kCount)>
+      counters_{};
+  std::string context_;
+  std::string sidecar_path_;
+  std::ofstream sidecar_;
+};
+
+}  // namespace robust

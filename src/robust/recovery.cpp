@@ -1,0 +1,139 @@
+#include "robust/recovery.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "robust/checkpoint_io.hpp"
+
+namespace robust {
+
+namespace fs = std::filesystem;
+
+RecoveryManager::RecoveryManager(Options options)
+    : options_(std::move(options)) {
+  if (options_.directory.empty()) {
+    throw std::invalid_argument("RecoveryManager: directory must be set");
+  }
+  if (options_.prefix.empty() || options_.keep == 0) {
+    throw std::invalid_argument(
+        "RecoveryManager: prefix must be non-empty and keep >= 1");
+  }
+  const auto existing = scan();
+  if (!existing.empty()) next_sequence_ = existing.back().first + 1;
+}
+
+void RecoveryManager::bind_metrics(obs::Registry& registry) {
+  instruments_.saves = &registry.counter("orf_checkpoint_saves_total",
+                                         "snapshots written successfully");
+  instruments_.pruned = &registry.counter(
+      "orf_checkpoint_pruned_total", "old snapshots removed by rotation");
+  instruments_.corrupt = &registry.counter(
+      "orf_checkpoint_corrupt_total",
+      "snapshots that failed frame validation during recovery");
+  instruments_.fallbacks = &registry.counter(
+      "orf_checkpoint_fallbacks_total",
+      "recoveries that had to skip past the newest snapshot");
+}
+
+std::string RecoveryManager::snapshot_path(std::uint64_t sequence) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "-%09llu.ckpt",
+                static_cast<unsigned long long>(sequence));
+  return (fs::path(options_.directory) / (options_.prefix + name)).string();
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> RecoveryManager::scan()
+    const {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    // <prefix>-<digits>.ckpt
+    if (name.size() <= options_.prefix.size() + 6 ||
+        name.compare(0, options_.prefix.size(), options_.prefix) != 0 ||
+        name[options_.prefix.size()] != '-' ||
+        name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+      continue;
+    }
+    const std::string_view digits(name.data() + options_.prefix.size() + 1,
+                                  name.size() - options_.prefix.size() - 6);
+    std::uint64_t sequence = 0;
+    auto [p, err] =
+        std::from_chars(digits.data(), digits.data() + digits.size(),
+                        sequence);
+    if (err != std::errc() || p != digits.data() + digits.size()) continue;
+    found.emplace_back(sequence, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+void RecoveryManager::prune(
+    const std::vector<std::pair<std::uint64_t, std::string>>& all) {
+  if (all.size() > options_.keep) {
+    for (std::size_t i = 0; i + options_.keep < all.size(); ++i) {
+      std::error_code ec;
+      if (fs::remove(all[i].second, ec) && instruments_.pruned) {
+        instruments_.pruned->inc();
+      }
+    }
+  }
+  // Stale temp files are crashed writers' leftovers; any live writer is us.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.directory, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tmp") {
+      std::error_code rm;
+      fs::remove(entry.path(), rm);
+    }
+  }
+}
+
+std::string RecoveryManager::save(std::string_view payload) {
+  std::error_code ec;
+  fs::create_directories(options_.directory, ec);
+  const std::string path = snapshot_path(next_sequence_);
+  write_envelope_file(path, payload);
+  ++next_sequence_;
+  if (instruments_.saves) instruments_.saves->inc();
+  prune(scan());
+  return path;
+}
+
+std::optional<RecoveryManager::Loaded> RecoveryManager::load_latest() {
+  const auto all = scan();
+  if (all.empty()) return std::nullopt;
+  std::size_t skipped = 0;
+  std::string last_error;
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    try {
+      Loaded loaded;
+      loaded.payload = read_envelope_file(it->second);
+      loaded.path = it->second;
+      loaded.sequence = it->first;
+      loaded.corrupt_skipped = skipped;
+      if (skipped > 0 && instruments_.fallbacks) {
+        instruments_.fallbacks->inc();
+      }
+      return loaded;
+    } catch (const CorruptCheckpoint& e) {
+      ++skipped;
+      last_error = e.what();
+      if (instruments_.corrupt) instruments_.corrupt->inc();
+    }
+  }
+  throw CorruptCheckpoint("recovery: all " + std::to_string(all.size()) +
+                          " snapshots under " + options_.directory +
+                          " are corrupt; newest error: " + last_error);
+}
+
+std::vector<std::string> RecoveryManager::list() const {
+  std::vector<std::string> paths;
+  for (const auto& [sequence, path] : scan()) paths.push_back(path);
+  return paths;
+}
+
+}  // namespace robust

@@ -1,0 +1,84 @@
+// RecoveryManager: a rotating set of crash-safe snapshots per directory.
+//
+// save() writes `<prefix>-<seq>.ckpt` through the atomic envelope writer
+// and prunes everything older than the newest `keep` snapshots (plus stale
+// *.tmp left by crashed writers). load_latest() walks the snapshots newest
+// first, validates each frame, and returns the first intact payload — so a
+// process that died mid-save, or a checkpoint later damaged on disk, falls
+// back to the previous good state instead of refusing to start. Only when
+// snapshots exist but *none* validates does it throw CorruptCheckpoint;
+// an empty (or missing) directory is a fresh start, not an error.
+//
+// Recovery activity is observable: bind_metrics() registers
+// orf_checkpoint_saves_total / _pruned_total / _corrupt_total /
+// _fallbacks_total on any obs::Registry, so an unattended deployment's
+// exporter shows when it last checkpointed and whether it ever had to skip
+// a damaged snapshot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "robust/errors.hpp"
+
+namespace robust {
+
+class RecoveryManager {
+ public:
+  struct Options {
+    std::string directory;      ///< created on first save if missing
+    std::string prefix = "ckpt";
+    std::size_t keep = 3;       ///< newest snapshots retained (>= 1)
+  };
+
+  explicit RecoveryManager(Options options);
+
+  /// Register the recovery counters on `registry` (idempotent names; safe
+  /// to share the engine's registry).
+  void bind_metrics(obs::Registry& registry);
+
+  /// Write the next snapshot atomically; returns its path. Throws on I/O
+  /// failure (destination set is untouched — the previous snapshots stay
+  /// loadable).
+  std::string save(std::string_view payload);
+
+  struct Loaded {
+    std::string payload;
+    std::string path;
+    std::uint64_t sequence = 0;
+    /// Newer snapshots skipped because their frame failed validation.
+    std::size_t corrupt_skipped = 0;
+  };
+
+  /// Newest intact snapshot, or nullopt when the directory holds none.
+  /// Throws CorruptCheckpoint when snapshots exist but all are damaged.
+  std::optional<Loaded> load_latest();
+
+  /// Snapshot paths present on disk, ascending sequence.
+  std::vector<std::string> list() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::string snapshot_path(std::uint64_t sequence) const;
+  /// Ascending (sequence, path) pairs parsed from the directory.
+  std::vector<std::pair<std::uint64_t, std::string>> scan() const;
+  void prune(const std::vector<std::pair<std::uint64_t, std::string>>& all);
+
+  Options options_;
+  std::uint64_t next_sequence_ = 1;
+
+  struct Instruments {
+    obs::Counter* saves = nullptr;
+    obs::Counter* pruned = nullptr;
+    obs::Counter* corrupt = nullptr;
+    obs::Counter* fallbacks = nullptr;
+  };
+  Instruments instruments_;
+};
+
+}  // namespace robust

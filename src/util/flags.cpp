@@ -1,7 +1,6 @@
 #include "util/flags.hpp"
 
 #include <cstdlib>
-#include <stdexcept>
 
 namespace util {
 
@@ -38,20 +37,52 @@ std::int64_t Flags::get_int(const std::string& name,
                             std::int64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    throw FlagError("--" + name + " expects an integer, got '" + it->second +
+                    "'");
+  }
+  return value;
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    throw FlagError("--" + name + " expects a number, got '" + it->second +
+                    "'");
+  }
+  return value;
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   const std::string& v = it->second;
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw FlagError("--" + name + " expects a boolean, got '" + v + "'");
+}
+
+void Flags::require_known(
+    std::initializer_list<std::string_view> allowed) const {
+  std::string unknown;
+  for (const auto& [name, value] : values_) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (name == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) unknown += (unknown.empty() ? "--" : ", --") + name;
+  }
+  if (!unknown.empty()) throw FlagError("unknown flag(s): " + unknown);
 }
 
 }  // namespace util

@@ -1,16 +1,29 @@
 // Minimal command-line flag parsing for the bench harnesses and examples.
 //
 // Syntax: --name=value or --name value; bare --name sets a boolean true.
-// Unknown flags are collected so harnesses can forward e.g. google-benchmark
-// flags untouched.
+// Malformed values (e.g. --trees=abc read through get_int) throw FlagError
+// so a main() can print usage and exit nonzero instead of silently running
+// with a half-parsed number. require_known() rejects flags outside an
+// allowed set — harnesses that forward flags to another parser (e.g.
+// google-benchmark) simply never call it.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace util {
+
+/// A malformed or unknown command-line flag. Thrown (never returned) so a
+/// typo aborts the run instead of being coerced to 0 / false.
+class FlagError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Flags {
  public:
@@ -22,9 +35,15 @@ class Flags {
   bool has(const std::string& name) const { return values_.count(name) > 0; }
 
   std::string get(const std::string& name, const std::string& fallback) const;
+  /// Typed getters: FlagError when the flag is present but its value does
+  /// not parse in full (trailing junk counts as malformed).
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// FlagError naming every parsed flag not in `allowed` — call once after
+  /// parse() in mains that own their whole flag namespace.
+  void require_known(std::initializer_list<std::string_view> allowed) const;
 
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -1,0 +1,141 @@
+// Dirty-row policies of the CSV reader: strict fail-stop (the historical
+// contract), skip, and quarantine with per-cause accounting + sidecar. The
+// key property: a non-strict read of a dirtied stream recovers exactly the
+// dataset a strict read of the clean stream produces.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/backblaze_csv.hpp"
+#include "robust/quarantine.hpp"
+
+namespace {
+
+using robust::RowErrorCause;
+using robust::RowErrorPolicy;
+
+constexpr const char* kHeader =
+    "date,serial_number,model,capacity_bytes,failure,smart_5_raw,"
+    "smart_187_raw";
+
+std::string clean_csv() {
+  std::ostringstream os;
+  os << kHeader << "\n"
+     << "2016-01-01,SER-A,M1,4000,0,1,10\n"
+     << "2016-01-01,SER-B,M1,4000,0,2,20\n"
+     << "2016-01-02,SER-A,M1,4000,0,3,30\n"
+     << "2016-01-02,SER-B,M1,4000,1,4,40\n";
+  return os.str();
+}
+
+/// The clean stream with one dirty row of every cause spliced in.
+std::string dirty_csv() {
+  std::ostringstream os;
+  os << kHeader << "\n"
+     << "2016-01-01,SER-A,M1,4000,0,1,10\n"
+     << "2016-01-01,SER-B,junk\n"                      // ragged
+     << "2016-01-01,SER-B,M1,4000,0,2,20\n"
+     << "2016-13-99,SER-C,M1,4000,0,9,90\n"            // bad date
+     << "2016-01-02,SER-A,M1,4000,0,3,30\n"
+     << "2016-01-02,SER-A,M1,4000,0,7,70\n"            // duplicate (A, day 2)
+     << "2016-01-01,SER-A,M1,4000,0,8,80\n"            // out of order for A
+     << "2016-01-02,SER-X,M1,4000,0,oops,50\n"         // bad value
+     << "2016-01-02,SER-Y,M1,4000,0,nan,60\n"          // non-finite value
+     << "2016-01-02,SER-Z,M1,4000,2,5,50\n"            // bad failure flag
+     << "2016-01-02,SER-B,M1,4000,1,4,40\n";
+  return os.str();
+}
+
+data::Dataset read(const std::string& text, const data::CsvReadOptions& o) {
+  std::istringstream is(text);
+  return data::read_backblaze_csv(is, o);
+}
+
+TEST(CsvDirty, StrictThrowsOnRaggedAndBadDate) {
+  EXPECT_THROW(read(std::string(kHeader) + "\n2016-01-01,S,M\n", {}),
+               std::runtime_error);
+  EXPECT_THROW(read(std::string(kHeader) + "\nnot-a-date,S,M,0,0,1,2\n", {}),
+               std::runtime_error);
+}
+
+TEST(CsvDirty, SkipRecoversTheCleanDataset) {
+  const auto clean = read(clean_csv(), {});
+
+  data::CsvReadOptions options;
+  options.row_errors = RowErrorPolicy::kSkip;
+  const auto recovered = read(dirty_csv(), options);
+
+  ASSERT_EQ(recovered.disks.size(), clean.disks.size());
+  EXPECT_EQ(recovered.sample_count(), clean.sample_count());
+  EXPECT_EQ(recovered.failed_count(), clean.failed_count());
+  for (std::size_t d = 0; d < clean.disks.size(); ++d) {
+    ASSERT_EQ(recovered.disks[d].snapshots.size(),
+              clean.disks[d].snapshots.size());
+    for (std::size_t s = 0; s < clean.disks[d].snapshots.size(); ++s) {
+      EXPECT_EQ(recovered.disks[d].snapshots[s].day,
+                clean.disks[d].snapshots[s].day);
+      EXPECT_EQ(recovered.disks[d].snapshots[s].features,
+                clean.disks[d].snapshots[s].features);
+    }
+  }
+}
+
+TEST(CsvDirty, QuarantineAccountsForEveryRejectedRow) {
+  robust::Quarantine quarantine;
+  data::CsvReadOptions options;
+  options.row_errors = RowErrorPolicy::kSkip;
+  options.quarantine = &quarantine;
+  read(dirty_csv(), options);
+
+  EXPECT_EQ(quarantine.rejected(RowErrorCause::kRagged), 1u);
+  EXPECT_EQ(quarantine.rejected(RowErrorCause::kBadDate), 1u);
+  EXPECT_EQ(quarantine.rejected(RowErrorCause::kDuplicate), 1u);
+  EXPECT_EQ(quarantine.rejected(RowErrorCause::kOutOfOrder), 1u);
+  // 'oops', 'nan' and the bad failure flag all land in bad_value.
+  EXPECT_EQ(quarantine.rejected(RowErrorCause::kBadValue), 3u);
+  EXPECT_EQ(quarantine.total_rejected(), 7u);
+}
+
+TEST(CsvDirty, QuarantinePolicyRequiresASink) {
+  data::CsvReadOptions options;
+  options.row_errors = RowErrorPolicy::kQuarantine;
+  EXPECT_THROW(read(clean_csv(), options), std::invalid_argument);
+}
+
+TEST(CsvDirty, SidecarHoldsTheRejectedRowsVerbatim) {
+  namespace fs = std::filesystem;
+  const auto sidecar =
+      (fs::temp_directory_path() / "orf_csv_dirty_sidecar.csv").string();
+  fs::remove(sidecar);
+
+  robust::Quarantine quarantine;
+  quarantine.open_sidecar(sidecar);
+  data::CsvReadOptions options;
+  options.row_errors = RowErrorPolicy::kQuarantine;
+  options.quarantine = &quarantine;
+  read(dirty_csv(), options);
+
+  std::ifstream in(sidecar);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("2016-01-01,SER-B,junk"), std::string::npos);
+  EXPECT_NE(text.find("2016-13-99,SER-C"), std::string::npos);
+  EXPECT_NE(text.find("out_of_order"), std::string::npos);
+  fs::remove(sidecar);
+}
+
+TEST(CsvDirty, TryIsoToDayIsTotal) {
+  EXPECT_TRUE(data::try_iso_to_day("2016-02-29").has_value());
+  EXPECT_FALSE(data::try_iso_to_day("2016-13-01").has_value());
+  EXPECT_FALSE(data::try_iso_to_day("2016-00-10").has_value());
+  EXPECT_FALSE(data::try_iso_to_day("2016-01-32").has_value());
+  EXPECT_FALSE(data::try_iso_to_day("garbage").has_value());
+  EXPECT_FALSE(data::try_iso_to_day("2016-01-02x").has_value());
+  EXPECT_FALSE(data::try_iso_to_day("").has_value());
+  EXPECT_EQ(data::try_iso_to_day("2013-04-10"), std::optional<data::Day>(0));
+}
+
+}  // namespace

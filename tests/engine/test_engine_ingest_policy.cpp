@@ -1,0 +1,144 @@
+// Engine-level dirty-input policy: strict ingest fail-stops before any
+// state mutates; the lenient policies drop non-finite / duplicate reports,
+// mark their outcomes rejected, count them in the shared
+// orf_ingest_rejected_total family — and a dirtied batch leaves the engine
+// bit-identical to the clean batch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "engine/fleet_engine.hpp"
+
+namespace {
+
+engine::EngineParams params(robust::RowErrorPolicy policy) {
+  engine::EngineParams p;
+  p.forest.n_trees = 4;
+  p.forest.tree.n_tests = 16;
+  p.shards = 2;
+  p.ingest_errors = policy;
+  return p;
+}
+
+std::string state_of(const engine::FleetEngine& engine) {
+  std::ostringstream os;
+  engine.save(os);
+  return os.str();
+}
+
+std::vector<std::vector<float>> clean_features(std::size_t disks) {
+  std::vector<std::vector<float>> rows;
+  for (std::size_t d = 0; d < disks; ++d) {
+    rows.push_back({static_cast<float>(d), 10.0f + static_cast<float>(d),
+                    0.5f * static_cast<float>(d)});
+  }
+  return rows;
+}
+
+TEST(EngineIngestPolicy, StrictThrowsOnNonFiniteBeforeAnyMutation) {
+  engine::FleetEngine engine(3, params(robust::RowErrorPolicy::kStrict), 7);
+  const std::string before = state_of(engine);
+
+  const auto rows = clean_features(3);
+  const std::vector<float> poisoned = {
+      1.0f, std::numeric_limits<float>::quiet_NaN(), 2.0f};
+  std::vector<engine::DiskReport> batch;
+  for (std::size_t d = 0; d < rows.size(); ++d) {
+    batch.push_back({static_cast<data::DiskId>(d), rows[d]});
+  }
+  batch.push_back({99, poisoned});
+
+  std::vector<engine::DayOutcome> outcomes;
+  EXPECT_THROW(engine.ingest_day(batch, outcomes), std::invalid_argument);
+  // Fail-stop must be transactional: nothing was scaled, queued or learned.
+  EXPECT_EQ(state_of(engine), before);
+  EXPECT_EQ(engine.tracked_disks(), 0u);
+}
+
+TEST(EngineIngestPolicy, SkipDropsDirtyReportsAndMatchesCleanRun) {
+  // Clean engine: the 4 good reports only.
+  engine::FleetEngine clean(3, params(robust::RowErrorPolicy::kSkip), 7);
+  const auto rows = clean_features(4);
+  std::vector<engine::DiskReport> clean_batch;
+  for (std::size_t d = 0; d < rows.size(); ++d) {
+    clean_batch.push_back({static_cast<data::DiskId>(d), rows[d]});
+  }
+  std::vector<engine::DayOutcome> clean_outcomes;
+  clean.ingest_day(clean_batch, clean_outcomes);
+
+  // Dirty engine: same reports plus a NaN, an inf and a duplicate of disk 1.
+  engine::FleetEngine dirty(3, params(robust::RowErrorPolicy::kSkip), 7);
+  const std::vector<float> with_nan = {
+      0.0f, std::numeric_limits<float>::quiet_NaN(), 0.0f};
+  const std::vector<float> with_inf = {
+      std::numeric_limits<float>::infinity(), 0.0f, 0.0f};
+  std::vector<engine::DiskReport> dirty_batch;
+  dirty_batch.push_back(clean_batch[0]);
+  dirty_batch.push_back({50, with_nan});
+  dirty_batch.push_back(clean_batch[1]);
+  dirty_batch.push_back({1, rows[2]});  // duplicate disk 1, corrupt values
+  dirty_batch.push_back(clean_batch[2]);
+  dirty_batch.push_back({51, with_inf});
+  dirty_batch.push_back(clean_batch[3]);
+
+  std::vector<engine::DayOutcome> dirty_outcomes;
+  dirty.ingest_day(dirty_batch, dirty_outcomes);
+
+  // Rejections are flagged in place...
+  ASSERT_EQ(dirty_outcomes.size(), dirty_batch.size());
+  EXPECT_TRUE(dirty_outcomes[1].rejected);
+  EXPECT_TRUE(dirty_outcomes[3].rejected);
+  EXPECT_TRUE(dirty_outcomes[5].rejected);
+  // ...clean reports score exactly as in the clean engine...
+  EXPECT_EQ(dirty_outcomes[0].score, clean_outcomes[0].score);
+  EXPECT_EQ(dirty_outcomes[2].score, clean_outcomes[1].score);
+  EXPECT_EQ(dirty_outcomes[4].score, clean_outcomes[2].score);
+  EXPECT_EQ(dirty_outcomes[6].score, clean_outcomes[3].score);
+  // ...and the engines end bit-identical: dropped rows touched nothing.
+  EXPECT_EQ(state_of(dirty), state_of(clean));
+  EXPECT_EQ(dirty.tracked_disks(), clean.tracked_disks());
+}
+
+TEST(EngineIngestPolicy, RejectionsAreCountedPerCause) {
+  engine::FleetEngine engine(3, params(robust::RowErrorPolicy::kSkip), 7);
+  const auto rows = clean_features(2);
+  const std::vector<float> with_nan = {
+      0.0f, std::numeric_limits<float>::quiet_NaN(), 0.0f};
+  std::vector<engine::DiskReport> batch = {
+      {0, rows[0]},
+      {7, with_nan},
+      {0, rows[1]},  // duplicate of disk 0
+  };
+  std::vector<engine::DayOutcome> outcomes;
+  engine.ingest_day(batch, outcomes);
+
+  double non_finite = -1, duplicate = -1;
+  for (const auto& counter : engine.metrics_snapshot().counters) {
+    if (counter.id.name != "orf_ingest_rejected_total") continue;
+    for (const auto& [key, value] : counter.id.labels) {
+      if (key != "cause") continue;
+      if (value == "non_finite") non_finite = counter.value;
+      if (value == "duplicate") duplicate = counter.value;
+    }
+  }
+  EXPECT_EQ(non_finite, 1.0);
+  EXPECT_EQ(duplicate, 1.0);
+}
+
+TEST(EngineIngestPolicy, DuplicateDetectionResetsEachDay) {
+  // The same disk reporting on two different days is normal operation, not
+  // a duplicate; within one day batch it is.
+  engine::FleetEngine engine(3, params(robust::RowErrorPolicy::kSkip), 7);
+  const auto rows = clean_features(1);
+  std::vector<engine::DiskReport> batch = {{0, rows[0]}};
+  std::vector<engine::DayOutcome> outcomes;
+  engine.ingest_day(batch, outcomes);
+  EXPECT_FALSE(outcomes[0].rejected);
+  engine.ingest_day(batch, outcomes);
+  EXPECT_FALSE(outcomes[0].rejected);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Failpoint registry semantics: arming, firing kinds, @after / xcount
+// schedules, the spec-string grammar, and the zero-cost disarmed fast path.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "robust/errors.hpp"
+#include "robust/failpoint.hpp"
+
+namespace {
+
+using robust::FaultKind;
+using robust::FaultSpec;
+
+class Failpoints : public ::testing::Test {
+ protected:
+  void TearDown() override { robust::failpoints::disarm_all(); }
+};
+
+TEST_F(Failpoints, DisarmedSitesAreFree) {
+  EXPECT_FALSE(robust::failpoints_armed());
+  ORF_FAILPOINT("test.nothing");  // must not throw
+  EXPECT_EQ(robust::failpoints::hits("test.nothing"), 0u);
+}
+
+TEST_F(Failpoints, ArmedSiteThrowsItsKind) {
+  robust::failpoints::arm("test.a", {FaultKind::kThrow});
+  EXPECT_TRUE(robust::failpoints_armed());
+  EXPECT_THROW(robust::failpoint("test.a"), robust::InjectedFault);
+
+  robust::failpoints::arm("test.b", {FaultKind::kIoError});
+  EXPECT_THROW(robust::failpoint("test.b"), robust::InjectedIoError);
+  // An InjectedIoError is still an InjectedFault.
+  try {
+    robust::failpoint("test.b");
+    FAIL() << "expected InjectedIoError";
+  } catch (const robust::InjectedFault& fault) {
+    EXPECT_EQ(fault.site(), "test.b");
+  }
+}
+
+TEST_F(Failpoints, OtherSitesStayClean) {
+  robust::failpoints::arm("test.a", {FaultKind::kThrow});
+  EXPECT_NO_THROW(robust::failpoint("test.other"));
+}
+
+TEST_F(Failpoints, AfterSkipsLeadingHits) {
+  FaultSpec spec;
+  spec.after = 2;
+  robust::failpoints::arm("test.after", spec);
+  EXPECT_NO_THROW(robust::failpoint("test.after"));
+  EXPECT_NO_THROW(robust::failpoint("test.after"));
+  EXPECT_THROW(robust::failpoint("test.after"), robust::InjectedFault);
+  EXPECT_EQ(robust::failpoints::hits("test.after"), 3u);
+}
+
+TEST_F(Failpoints, CountLimitsFirings) {
+  FaultSpec spec;
+  spec.count = 2;
+  robust::failpoints::arm("test.count", spec);
+  EXPECT_THROW(robust::failpoint("test.count"), robust::InjectedFault);
+  EXPECT_THROW(robust::failpoint("test.count"), robust::InjectedFault);
+  EXPECT_NO_THROW(robust::failpoint("test.count"));  // dormant now
+}
+
+TEST_F(Failpoints, ShortWriteOnlyFiresAtAwareSites) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kShortWrite;
+  spec.keep_fraction = 0.25;
+  robust::failpoints::arm("test.sw", spec);
+  // The generic hook ignores short-write specs...
+  EXPECT_NO_THROW(robust::failpoint("test.sw"));
+  // ...the short-write-aware hook reports the keep fraction.
+  const auto keep = robust::failpoint_short_write("test.sw");
+  ASSERT_TRUE(keep.has_value());
+  EXPECT_DOUBLE_EQ(*keep, 0.25);
+  EXPECT_FALSE(robust::failpoint_short_write("test.unarmed").has_value());
+}
+
+TEST_F(Failpoints, DisarmRestoresTheFastPath) {
+  robust::failpoints::arm("test.a", {FaultKind::kThrow});
+  robust::failpoints::disarm("test.a");
+  EXPECT_NO_THROW(robust::failpoint("test.a"));
+  EXPECT_FALSE(robust::failpoints_armed());
+}
+
+TEST_F(Failpoints, SpecStringGrammar) {
+  robust::failpoints::arm_from_spec(
+      "test.x=throw;test.y=io_error@1;test.z=short_writex2");
+  EXPECT_THROW(robust::failpoint("test.x"), robust::InjectedFault);
+  EXPECT_NO_THROW(robust::failpoint("test.y"));  // @1: first hit passes
+  EXPECT_THROW(robust::failpoint("test.y"), robust::InjectedIoError);
+  ASSERT_TRUE(robust::failpoint_short_write("test.z").has_value());
+}
+
+TEST_F(Failpoints, MalformedSpecsThrowInvalidArgument) {
+  EXPECT_THROW(robust::failpoints::arm_from_spec("nosuchkind"),
+               std::invalid_argument);
+  EXPECT_THROW(robust::failpoints::arm_from_spec("site=explode"),
+               std::invalid_argument);
+  EXPECT_THROW(robust::failpoints::arm_from_spec("=throw"),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Quarantine sink: per-cause accounting, sidecar format, metric binding,
+// and the policy / cause vocabulary the readers share.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "robust/quarantine.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using robust::RowErrorCause;
+using robust::RowErrorPolicy;
+
+TEST(RowErrorPolicy, ParsesTheThreeNames) {
+  EXPECT_EQ(robust::parse_row_error_policy("strict"), RowErrorPolicy::kStrict);
+  EXPECT_EQ(robust::parse_row_error_policy("skip"), RowErrorPolicy::kSkip);
+  EXPECT_EQ(robust::parse_row_error_policy("quarantine"),
+            RowErrorPolicy::kQuarantine);
+  EXPECT_THROW(robust::parse_row_error_policy("lenient"),
+               std::invalid_argument);
+}
+
+TEST(RowErrorCause, EveryCauseHasAName) {
+  for (int c = 0; c < static_cast<int>(RowErrorCause::kCount); ++c) {
+    const char* name = robust::to_string(static_cast<RowErrorCause>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+TEST(Quarantine, CountsPerCause) {
+  robust::Quarantine q;
+  q.reject(RowErrorCause::kRagged, 2, "a,b", "too few cells");
+  q.reject(RowErrorCause::kRagged, 3, "c,d", "too few cells");
+  q.reject(RowErrorCause::kBadDate, 4, "x", "bad date");
+  EXPECT_EQ(q.rejected(RowErrorCause::kRagged), 2u);
+  EXPECT_EQ(q.rejected(RowErrorCause::kBadDate), 1u);
+  EXPECT_EQ(q.rejected(RowErrorCause::kDuplicate), 0u);
+  EXPECT_EQ(q.total_rejected(), 3u);
+}
+
+TEST(Quarantine, SidecarRecordsContextLineCauseAndRow) {
+  const auto path =
+      (fs::temp_directory_path() / "orf_quarantine_sidecar.csv").string();
+  fs::remove(path);
+  {
+    robust::Quarantine q;
+    q.open_sidecar(path);
+    q.set_context("fleet-2016.csv");
+    q.reject(RowErrorCause::kBadDate, 17, "2016-99-99,SER1,M,0,0",
+             "bad date '2016-99-99'");
+    q.commit();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# orf-quarantine v1");
+  std::getline(in, line);  // column header comment
+  std::getline(in, line);
+  EXPECT_NE(line.find("fleet-2016.csv"), std::string::npos);
+  EXPECT_NE(line.find("17"), std::string::npos);
+  EXPECT_NE(line.find("bad_date"), std::string::npos);
+  EXPECT_NE(line.find("2016-99-99,SER1,M,0,0"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(Quarantine, BindMetricsCarriesOverAndTracksNewRejections) {
+  robust::Quarantine q;
+  q.reject(RowErrorCause::kRagged, 2, "r", "pre-bind");
+  obs::Registry registry;
+  q.bind_metrics(registry);
+  q.reject(RowErrorCause::kRagged, 3, "r", "post-bind");
+  q.reject(RowErrorCause::kNonFinite, 4, "r", "post-bind");
+
+  double ragged = -1, non_finite = -1;
+  for (const auto& counter : registry.snapshot().counters) {
+    if (counter.id.name != "orf_ingest_rejected_total") continue;
+    for (const auto& [key, value] : counter.id.labels) {
+      if (key != "cause") continue;
+      if (value == "ragged") ragged = counter.value;
+      if (value == "non_finite") non_finite = counter.value;
+    }
+  }
+  EXPECT_EQ(ragged, 2.0);
+  EXPECT_EQ(non_finite, 1.0);
+}
+
+TEST(Quarantine, RejectWithoutSidecarIsCountingOnly) {
+  robust::Quarantine q;
+  q.reject(RowErrorCause::kOutOfOrder, 9, "row", "detail");
+  EXPECT_EQ(q.total_rejected(), 1u);
+  EXPECT_NO_THROW(q.commit());
+  EXPECT_TRUE(q.sidecar_path().empty());
+}
+
+}  // namespace

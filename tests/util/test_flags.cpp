@@ -50,4 +50,38 @@ TEST(Flags, BareBooleanFollowedByFlag) {
   EXPECT_EQ(flags.get_int("b", 0), 1);
 }
 
+TEST(Flags, MalformedIntThrows) {
+  const auto flags = parse({"--trees=abc", "--n=12x"});
+  EXPECT_THROW(flags.get_int("trees", 0), util::FlagError);
+  EXPECT_THROW(flags.get_int("n", 0), util::FlagError);  // trailing junk
+}
+
+TEST(Flags, MalformedDoubleThrows) {
+  const auto flags = parse({"--scale=fast", "--rate=1.5pct"});
+  EXPECT_THROW(flags.get_double("scale", 0.0), util::FlagError);
+  EXPECT_THROW(flags.get_double("rate", 0.0), util::FlagError);
+}
+
+TEST(Flags, MalformedBoolThrows) {
+  const auto flags = parse({"--fast=maybe"});
+  EXPECT_THROW(flags.get_bool("fast", false), util::FlagError);
+  EXPECT_FALSE(parse({"--fast=off"}).get_bool("fast", true));
+  EXPECT_FALSE(parse({"--fast=no"}).get_bool("fast", true));
+}
+
+TEST(Flags, RequireKnownAcceptsTheAllowedSet) {
+  const auto flags = parse({"--scale=0.25", "--seed", "7"});
+  EXPECT_NO_THROW(flags.require_known({"scale", "seed", "unused"}));
+}
+
+TEST(Flags, RequireKnownRejectsStrays) {
+  const auto flags = parse({"--scale=0.25", "--sacle=0.5"});  // typo
+  try {
+    flags.require_known({"scale"});
+    FAIL() << "expected FlagError";
+  } catch (const util::FlagError& error) {
+    EXPECT_NE(std::string(error.what()).find("--sacle"), std::string::npos);
+  }
+}
+
 }  // namespace
