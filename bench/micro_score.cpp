@@ -1,0 +1,207 @@
+// Scoring-path microbenchmark: reference per-sample tree traversal versus
+// the compiled flat SoA layout (core/flat_forest.hpp), single-threaded, on
+// a forest grown to realistic size. The flat path owes its speedup to
+// memory layout alone — the arithmetic is bit-identical (proven by
+// tests/core/test_flat_forest.cpp) — so items/s here is a direct
+// measurement of what the AoS node records cost: every reference traversal
+// step drags a whole OnlineTree node (leaf statistics, candidate tests)
+// through the cache to read three fields.
+//
+// After the google-benchmark run, a fixed smoke measurement writes
+// BENCH_score.json (--bench-json <path> to override): single-thread
+// samples/s for both paths, the speedup ratio, forest shape, and the
+// forest's registry instruments (including orf_forest_flat_rebuilds_total).
+// CI records the file per commit; the PR-4 acceptance bar is speedup ≥ 2×.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/flat_forest.hpp"
+#include "core/online_forest.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+constexpr std::size_t kFeatures = 19;
+constexpr std::size_t kBatchRows = 4096;
+
+/// Grow a forest of deployment-like shape: 30 trees, trained far enough
+/// that the ensemble runs tens of thousands of nodes — the regime where
+/// layout matters. The reference path walks ALL trees per sample (working
+/// set = the whole forest, re-fetched row after row), while the flat path
+/// scores 256-row blocks tree-by-tree, so one compact SoA tree stays
+/// cache-resident for the whole block. Below a few thousand nodes both
+/// fit in L2 and the gap collapses; this is the honest production shape.
+core::OnlineForest make_trained_forest() {
+  core::OnlineForestParams p;
+  p.n_trees = 30;
+  p.tree.n_tests = 64;
+  p.tree.min_parent_size = 16;
+  p.tree.threshold_pool = 16;
+  p.tree.max_depth = 24;
+  p.lambda_pos = 1.0;
+  p.lambda_neg = 1.0;  // balanced stream below; grow every tree hard
+  core::OnlineForest forest(kFeatures, p, /*seed=*/7);
+
+  util::Rng rng(42);
+  std::vector<core::LabeledVector> batch(500);
+  for (int chunk = 0; chunk < 120; ++chunk) {
+    for (auto& s : batch) {
+      s.y = rng.bernoulli(0.5) ? 1 : 0;
+      s.x.resize(kFeatures);
+      for (auto& v : s.x) {
+        // Separable-ish: positives concentrate high so splits keep paying.
+        v = static_cast<float>(s.y == 1 ? rng.uniform(0.35, 1.0)
+                                        : rng.uniform(0.0, 0.65));
+      }
+    }
+    forest.update_batch(batch);
+  }
+  return forest;
+}
+
+std::vector<float> make_rows(std::size_t n) {
+  util::Rng rng(1234);
+  std::vector<float> rows(n * kFeatures);
+  for (auto& v : rows) v = static_cast<float>(rng.uniform());
+  return rows;
+}
+
+std::size_t total_nodes(const core::OnlineForest& forest) {
+  std::size_t nodes = 0;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    nodes += forest.tree(t).node_count();
+  }
+  return nodes;
+}
+
+void BM_ScoreReference(benchmark::State& state) {
+  auto forest = make_trained_forest();
+  const auto rows = make_rows(kBatchRows);
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatchRows; ++i) {
+      sink += forest.predict_proba(
+          std::span<const float>(rows.data() + i * kFeatures, kFeatures));
+    }
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kBatchRows));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ScoreReference)->Unit(benchmark::kMillisecond);
+
+void BM_ScoreFlat(benchmark::State& state) {
+  auto forest = make_trained_forest();
+  const auto rows = make_rows(kBatchRows);
+  const core::FlatForestScorer& flat = forest.sync_flat();
+  std::vector<double> out(kBatchRows);
+  for (auto _ : state) {
+    flat.predict_batch(rows, kFeatures, out);
+    benchmark::DoNotOptimize(out.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kBatchRows));
+  }
+}
+BENCHMARK(BM_ScoreFlat)->Unit(benchmark::kMillisecond);
+
+/// The recorded measurement: both paths over the same rows until ~0.5 s of
+/// work each, single thread, then the ratio into BENCH_score.json.
+void write_bench_json(const std::string& path) {
+  auto forest = make_trained_forest();
+  const auto rows = make_rows(kBatchRows);
+  std::vector<double> out(kBatchRows);
+
+  // Reference path.
+  double sink = 0.0;
+  std::uint64_t ref_samples = 0;
+  util::Stopwatch ref_timer;
+  while (ref_timer.seconds() < 0.5) {
+    for (std::size_t i = 0; i < kBatchRows; ++i) {
+      sink += forest.predict_proba(
+          std::span<const float>(rows.data() + i * kFeatures, kFeatures));
+    }
+    ref_samples += kBatchRows;
+  }
+  const double ref_wall = ref_timer.seconds();
+
+  // Flat path (sync included: it is once-per-batch in production and its
+  // cost is separately visible as the sync counters).
+  const core::FlatForestScorer& flat = forest.sync_flat();
+  std::uint64_t flat_samples = 0;
+  util::Stopwatch flat_timer;
+  while (flat_timer.seconds() < 0.5) {
+    flat.predict_batch(rows, kFeatures, out);
+    flat_samples += kBatchRows;
+  }
+  const double flat_wall = flat_timer.seconds();
+
+  const double ref_rate = static_cast<double>(ref_samples) / ref_wall;
+  const double flat_rate = static_cast<double>(flat_samples) / flat_wall;
+  const double speedup = flat_rate / ref_rate;
+  if (sink == 0.12345) std::fprintf(stderr, "-");  // keep `sink` alive
+
+  obs::Registry registry;
+  forest.bind_metrics(registry);
+  forest.publish_metrics();
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  os << obs::to_json(
+            registry.snapshot(),
+            {{"bench_rows", static_cast<double>(kBatchRows)},
+             {"bench_features", static_cast<double>(kFeatures)},
+             {"forest_trees", static_cast<double>(forest.tree_count())},
+             {"forest_nodes", static_cast<double>(total_nodes(forest))},
+             {"reference_samples_per_second", ref_rate},
+             {"flat_samples_per_second", flat_rate},
+             {"flat_speedup", speedup}})
+     << '\n';
+  std::fprintf(stderr,
+               "scoring bench written to %s (ref %.0f/s, flat %.0f/s, "
+               "speedup %.2fx over %zu nodes)\n",
+               path.c_str(), ref_rate, flat_rate, speedup,
+               total_nodes(forest));
+}
+
+}  // namespace
+
+// Custom main, micro_engine-style: --bench-json is peeled off before
+// google-benchmark parses the rest; the JSON export runs after the
+// benchmarks.
+int main(int argc, char** argv) {
+  std::string bench_json = "BENCH_score.json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(std::string_view("--bench-json=").size());
+      continue;
+    }
+    if (arg == "--bench-json" && i + 1 < argc) {
+      bench_json = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json(bench_json);
+  return 0;
+}

@@ -5,7 +5,9 @@
 #   2. ASan+UBSan build (cmake -DORF_SANITIZE=ON into build-asan/) running
 #      the suites that exercise the new threaded engine paths directly —
 #      test_engine, test_core, test_util — so data races on freed memory,
-#      container misuse and UB in the shard/learn stages surface loudly.
+#      container misuse and UB in the shard/learn stages surface loudly,
+#      plus test_robust for the checkpoint-envelope fuzz suite
+#      (EnvelopeFuzz.*), whose whole point is hunting parser UB under ASan.
 #   3. (--faults) the fault-tolerance suites under the same sanitizers:
 #      test_robust (failpoints, envelope corruption, recovery rotation) and
 #      test_integration (kill-during-save at every writer stage, dirty-
@@ -21,6 +23,12 @@
 #                 (what the CI faults job runs).
 #
 # Exits non-zero on the first failure. ~5 minutes on one core.
+#
+# Fast local iteration: the heavyweight suites (test_eval, test_integration)
+# carry the ctest label "slow", so
+#     ctest --test-dir build -LE slow
+# runs the quick tiers in a few seconds; the full gate here still runs
+# everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,10 +64,13 @@ if ! $faults_only; then
   # multi-name form is portable CMake >= 3.15 and fails the script on the
   # first broken target.
   cmake --build build-asan -j "$(nproc)" \
-    --target test_engine test_core test_util
+    --target test_engine test_core test_util test_robust
   ./build-asan/tests/test_util
   ./build-asan/tests/test_core
   ./build-asan/tests/test_engine
+  # The envelope fuzz suite exists to be run under sanitizers: byte-flips,
+  # truncations and random garbage against the checkpoint parsers.
+  ./build-asan/tests/test_robust --gtest_filter='EnvelopeFuzz.*'
 fi
 
 if $faults_only; then

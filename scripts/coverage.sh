@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Local line-coverage run over the gated trees (src/core + src/engine) —
+# the same measurement the CI coverage job enforces with gcovr.
+#
+#   1. configure + build build-cov/ with -DORF_COVERAGE=ON (gcov
+#      instrumentation, -O0 so lines map 1:1 to code);
+#   2. run the full ctest suite there (the .gcda notes accumulate);
+#   3. report per-file and combined line coverage. Uses gcovr when
+#      installed (same tool as CI, plus coverage-html/ report); otherwise
+#      falls back to a gcov --json-format aggregation that merges hit
+#      counts across translation units, so the combined number is
+#      comparable to the CI gate.
+#
+# Usage: scripts/coverage.sh [--report-only]
+#   --report-only   skip configure/build/ctest and just re-aggregate the
+#                   .gcda files already in build-cov/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+report_only=false
+for arg in "$@"; do
+  case "$arg" in
+    --report-only) report_only=true ;;
+    *)
+      echo "unknown argument: $arg (supported: --report-only)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if ! $report_only; then
+  echo "== coverage build + full test suite =="
+  cmake -B build-cov -S . -DORF_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug \
+    >/dev/null
+  cmake --build build-cov -j "$(nproc)"
+  ctest --test-dir build-cov --output-on-failure -j "$(nproc)"
+fi
+
+echo "== line coverage: src/core + src/engine =="
+if command -v gcovr >/dev/null 2>&1; then
+  mkdir -p coverage-html
+  gcovr --root . \
+    --filter 'src/core/.*' --filter 'src/engine/.*' \
+    --object-directory build-cov \
+    --print-summary \
+    --html-details coverage-html/index.html
+  echo "HTML report: coverage-html/index.html"
+else
+  python3 - build-cov "$(pwd)" <<'PYEOF'
+import glob, gzip, json, os, subprocess, sys, tempfile
+
+build, root = sys.argv[1], sys.argv[2]
+gcda = sorted(
+    os.path.abspath(p)
+    for p in glob.glob(os.path.join(build, "src", "**", "*.gcda"),
+                       recursive=True))
+if not gcda:
+    sys.exit("no .gcda under %s/src -- run without --report-only first"
+             % build)
+
+lines = {}  # source path -> {line_number: max hit count across TUs}
+with tempfile.TemporaryDirectory() as td:
+    for start in range(0, len(gcda), 40):
+        subprocess.run(["gcov", "--json-format"] + gcda[start:start + 40],
+                       cwd=td, check=True, capture_output=True)
+    for jf in glob.glob(os.path.join(td, "*.gcov.json.gz")):
+        with gzip.open(jf, "rt") as fh:
+            data = json.load(fh)
+        for f in data.get("files", []):
+            src = f["file"]
+            if src.startswith(root + "/"):
+                src = src[len(root) + 1:]
+            src = os.path.normpath(src)
+            if not src.startswith(("src/core/", "src/engine/")):
+                continue
+            tgt = lines.setdefault(src, {})
+            for ln in f.get("lines", []):
+                n = ln["line_number"]
+                tgt[n] = max(tgt.get(n, 0), ln["count"])
+
+total = hit = 0
+for src in sorted(lines):
+    lm = lines[src]
+    t, h = len(lm), sum(1 for c in lm.values() if c > 0)
+    total += t
+    hit += h
+    print(f"  {src:<44} {h:>5}/{t:<5} {100.0 * h / t:6.2f}%")
+print(f"combined line coverage: {hit}/{total} "
+      f"= {100.0 * hit / total:.2f}% (CI gate: gcovr --fail-under-line)")
+PYEOF
+fi

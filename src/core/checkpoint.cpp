@@ -199,6 +199,11 @@ void OnlineTree::restore(std::istream& is) {
   cp::expect_tag(is, "gain");
   split_gain_.assign(feature_count_, 0.0);
   for (auto& g : split_gain_) g = cp::get_double(is);
+  // Epochs are not checkpointed (they are cache-invalidation state local to
+  // this object): bump both so any compiled flat snapshot of the previous
+  // state is rebuilt before it can serve a prediction.
+  ++structure_epoch_;
+  ++stats_epoch_;
 }
 
 // ---- OnlineForest ----------------------------------------------------------

@@ -1,0 +1,155 @@
+#include "core/flat_forest.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace core {
+
+void FlatTree::rebuild(const OnlineTree& tree) {
+  const auto nodes = tree.export_structure();
+  const std::size_t n = nodes.size();
+  feature.resize(n);
+  threshold.resize(n);
+  left.resize(n);
+  right.resize(n);
+  prob.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    prob[i] = nodes[i].prob;
+    if (nodes[i].feature < 0) {
+      // Self-looping leaf encoding (see header): descent needs no is-leaf
+      // branch, and a leaf parks its row forever.
+      feature[i] = 0;
+      threshold[i] = std::numeric_limits<float>::infinity();
+      left[i] = static_cast<std::int32_t>(i);
+      right[i] = static_cast<std::int32_t>(i);
+    } else {
+      feature[i] = nodes[i].feature;
+      threshold[i] = nodes[i].threshold;
+      left[i] = nodes[i].left;
+      right[i] = nodes[i].right;
+    }
+  }
+  structure_epoch = tree.structure_epoch();
+  stats_epoch = tree.stats_epoch();
+}
+
+void FlatTree::sync_probs(const OnlineTree& tree) {
+  tree.export_probs(prob);
+  stats_epoch = tree.stats_epoch();
+}
+
+void FlatForestScorer::sync(std::span<const OnlineTree> trees) {
+  trees_.resize(trees.size());
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    FlatTree& flat = trees_[t];
+    if (flat.structure_epoch != trees[t].structure_epoch()) {
+      flat.rebuild(trees[t]);
+      ++rebuilds_;
+    } else if (flat.stats_epoch != trees[t].stats_epoch()) {
+      flat.sync_probs(trees[t]);
+      ++prob_syncs_;
+    }
+  }
+}
+
+bool FlatForestScorer::in_sync(std::span<const OnlineTree> trees) const {
+  if (trees_.size() != trees.size()) return false;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    if (trees_[t].structure_epoch != trees[t].structure_epoch() ||
+        trees_[t].stats_epoch != trees[t].stats_epoch()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double FlatForestScorer::predict_proba(std::span<const float> x) const {
+  if (trees_.empty()) {
+    throw std::logic_error("FlatForestScorer: predict before sync()");
+  }
+  double sum = 0.0;
+  for (const FlatTree& tree : trees_) {
+    sum += static_cast<double>(tree.predict_one(x));
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+void FlatForestScorer::predict_batch(std::span<const float> xs,
+                                     std::size_t feature_count,
+                                     std::span<double> out) const {
+  if (trees_.empty()) {
+    throw std::logic_error("FlatForestScorer: predict before sync()");
+  }
+  if (feature_count == 0 || xs.size() != out.size() * feature_count) {
+    throw std::invalid_argument(
+        "FlatForestScorer::predict_batch: xs must hold out.size() rows of "
+        "feature_count floats");
+  }
+  // Tile: within a block of rows, loop tree-major so one tree's arrays stay
+  // hot across the whole block while the block's rows stay resident too.
+  // Per sample the additions still land in tree order 0..T-1, so the sum is
+  // bit-identical to the per-sample reference loop.
+  //
+  // Within a tree, rows descend in interleaved groups of kGroup: a single
+  // row's traversal is one serial chain of dependent loads (child index →
+  // node fields → child index...), so walking rows one at a time leaves the
+  // memory pipeline idle for most of each level. Eight concurrent descents
+  // give the core that many independent chains to overlap. The self-looping
+  // leaf encoding (see header) makes every step unconditional — a row
+  // parked on its leaf keeps stepping to itself — so the inner loop is pure
+  // load/compare/cmov with one group-wide "did anything move" test, instead
+  // of a mispredicting per-row is-leaf branch. Regrouping rows never
+  // reorders any single row's arithmetic, so this is still bit-identical.
+  constexpr std::size_t kBlockRows = 256;
+  constexpr std::size_t kGroup = 8;
+  const std::size_t n = out.size();
+  for (std::size_t begin = 0; begin < n; begin += kBlockRows) {
+    const std::size_t end = std::min(begin + kBlockRows, n);
+    for (std::size_t i = begin; i < end; ++i) out[i] = 0.0;
+    for (const FlatTree& tree : trees_) {
+      const std::int32_t* feat = tree.feature.data();
+      const float* thresh = tree.threshold.data();
+      const std::int32_t* go_left = tree.left.data();
+      const std::int32_t* go_right = tree.right.data();
+      std::size_t i = begin;
+      for (; i + kGroup <= end; i += kGroup) {
+        const float* rows[kGroup];
+        std::int32_t cur[kGroup];
+        for (std::size_t g = 0; g < kGroup; ++g) {
+          rows[g] = xs.data() + (i + g) * feature_count;
+          cur[g] = 0;
+        }
+        for (std::int32_t moved = 1; moved != 0;) {
+          moved = 0;
+          for (std::size_t g = 0; g < kGroup; ++g) {
+            const auto c = static_cast<std::size_t>(cur[g]);
+            // Mask-select the child: `x > threshold` is essentially a coin
+            // flip on real splits, so a conditional jump (what compilers
+            // make of `?:` here) mispredicts every other level and costs
+            // more than both child loads combined. The xor/and form is
+            // forced straight-line.
+            const auto go_r = -static_cast<std::int32_t>(
+                rows[g][static_cast<std::size_t>(feat[c])] > thresh[c]);
+            const std::int32_t l = go_left[c];
+            const std::int32_t next = l ^ ((l ^ go_right[c]) & go_r);
+            moved |= next ^ cur[g];
+            cur[g] = next;
+          }
+        }
+        for (std::size_t g = 0; g < kGroup; ++g) {
+          out[i + g] += static_cast<double>(
+              tree.prob[static_cast<std::size_t>(cur[g])]);
+        }
+      }
+      for (; i < end; ++i) {
+        out[i] += static_cast<double>(
+            tree.predict_one(xs.subspan(i * feature_count, feature_count)));
+      }
+    }
+    const auto scale = static_cast<double>(trees_.size());
+    for (std::size_t i = begin; i < end; ++i) out[i] /= scale;
+  }
+}
+
+}  // namespace core

@@ -1,0 +1,127 @@
+// Flat, cache-friendly inference path for the online forest.
+//
+// OnlineTree's learning representation pointer-chases per-node heap
+// structures (each Node drags a unique_ptr to its LeafStats), which is the
+// right shape for splitting but a poor one for the deployment hot path:
+// Algorithm 2 scores every tracked disk every day, so steady-state fleet
+// cost is dominated by prediction, not learning. FlatTree compiles a tree
+// into a contiguous structure-of-arrays snapshot — feature index, threshold,
+// child offsets, leaf P(fail), the same fields as OnlineTree::FrozenNode
+// (core/freeze.hpp) but transposed for locality — and FlatForestScorer
+// caches one per tree.
+//
+// Invalidation is epoch-based (see OnlineTree::structure_epoch): the
+// structure arrays are rebuilt only when a tree actually split, reset or
+// restored, while a cheaper in-place probability resync covers the common
+// case where learning only moved leaf P(y=1) estimates. Scoring through the
+// compiled form is bit-identical to the reference traversal — the
+// differential suite in tests/core/test_flat_forest.cpp is the proof — so
+// callers may switch paths freely.
+//
+// Thread-safety contract: sync() mutates the cache and must run at a
+// quiescent point (never concurrently with OnlineTree::update or another
+// sync). Every predict_* is const and safe to call from many threads once
+// synced; FleetEngine syncs once per day batch before the shard-parallel
+// label/score stage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/online_tree.hpp"
+
+namespace core {
+
+/// One tree's structure as parallel arrays indexed by node id (root = 0).
+///
+/// Leaves are encoded self-looping — feature 0, threshold +inf, left =
+/// right = own index — so the descent step `next = x[feature] > threshold ?
+/// right : left` needs no is-leaf branch at all: a leaf routes to itself
+/// forever (+inf is never exceeded by a finite or NaN feature, matching the
+/// reference rule where NaN routes left). Traversal terminates when the
+/// index stops moving, which compiles to compare+cmov per level instead of
+/// an unpredictable branch. `is_leaf(i)` ⇔ `left[i] == i`.
+struct FlatTree {
+  std::vector<std::int32_t> feature;  ///< split feature; 0 on leaves
+  std::vector<float> threshold;       ///< go right when x[feature] > threshold
+  std::vector<std::int32_t> left;     ///< == own index on leaves
+  std::vector<std::int32_t> right;    ///< == own index on leaves
+  std::vector<float> prob;  ///< leaf P(y=1); inner nodes keep their running
+                            ///< estimate too (unused by traversal)
+
+  /// Epochs of the source tree at compile time; 0 = never compiled (live
+  /// trees start at epoch >= 1, so a fresh FlatTree always compiles).
+  std::uint64_t structure_epoch = 0;
+  std::uint64_t stats_epoch = 0;
+
+  /// Recompile every array from `tree`.
+  void rebuild(const OnlineTree& tree);
+
+  /// Refresh only `prob` (node topology unchanged since rebuild).
+  void sync_probs(const OnlineTree& tree);
+
+  bool is_leaf(std::size_t i) const {
+    return left[i] == static_cast<std::int32_t>(i);
+  }
+
+  /// Leaf P(y=1) for one already-scaled sample. Identical routing rule to
+  /// OnlineTree::predict_proba; no feature-count check (the forest-level
+  /// callers validate once per batch).
+  float predict_one(std::span<const float> x) const {
+    std::size_t node = 0;
+    for (;;) {
+      const auto next = static_cast<std::size_t>(
+          x[static_cast<std::size_t>(feature[node])] > threshold[node]
+              ? right[node]
+              : left[node]);
+      if (next == node) return prob[node];
+      node = next;
+    }
+  }
+};
+
+/// Compiled snapshots of every tree in an OnlineForest, cached behind the
+/// trees' epochs. Owned by the forest (OnlineForest::sync_flat / flat());
+/// usable standalone over any span of trees.
+class FlatForestScorer {
+ public:
+  /// Bring the compiled trees up to date with `trees`: rebuild where the
+  /// structure epoch moved, resync probabilities where only the stats epoch
+  /// moved, and leave untouched trees alone. O(#trees) epoch compares when
+  /// nothing changed.
+  void sync(std::span<const OnlineTree> trees);
+
+  /// True when every compiled tree matches `trees`' current epochs (and the
+  /// tree count matches) — i.e. predictions through this scorer are exact.
+  bool in_sync(std::span<const OnlineTree> trees) const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+  const FlatTree& tree(std::size_t i) const { return trees_.at(i); }
+
+  /// Cumulative structure rebuilds / probability-only resyncs performed by
+  /// sync() over this scorer's lifetime (telemetry:
+  /// orf_forest_flat_rebuilds_total).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  std::uint64_t prob_syncs() const { return prob_syncs_; }
+
+  /// Mean of per-tree leaf probabilities for one scaled sample —
+  /// bit-identical to OnlineForest::predict_proba (same accumulation
+  /// order: tree 0..T-1, then one divide). Requires a prior sync().
+  double predict_proba(std::span<const float> x) const;
+
+  /// Score `out.size()` samples held row-major in `xs`
+  /// (xs.size() == out.size() * feature_count). Loops tree-major within
+  /// sample blocks so a tree's arrays stay cache-hot across samples while
+  /// per-sample accumulation order stays tree 0..T-1 — bit-identical to
+  /// calling predict_proba on each row. Requires a prior sync().
+  void predict_batch(std::span<const float> xs, std::size_t feature_count,
+                     std::span<double> out) const;
+
+ private:
+  std::vector<FlatTree> trees_;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t prob_syncs_ = 0;
+};
+
+}  // namespace core

@@ -130,6 +130,22 @@ double OnlineForest::predict_proba(std::span<const float> x) const {
   return sum / static_cast<double>(trees_.size());
 }
 
+const FlatForestScorer& OnlineForest::sync_flat() {
+  flat_.sync(trees_);
+  return flat_;
+}
+
+void OnlineForest::predict_batch(std::span<const float> xs,
+                                 std::span<double> out) {
+  if (xs.size() != out.size() * feature_count_) {
+    throw std::invalid_argument(
+        "OnlineForest::predict_batch: xs must hold out.size() rows of "
+        "feature_count() floats");
+  }
+  sync_flat();
+  flat_.predict_batch(xs, feature_count_, out);
+}
+
 double OnlineForest::oobe(std::size_t i) const {
   const OobState& oob = oob_.at(i);
   if (oob.evals[0] < params_.min_oob_evals ||
@@ -156,6 +172,9 @@ void OnlineForest::bind_metrics(obs::Registry& registry) {
       "Page-Hinkley drift detections on the prequential error");
   metrics_.samples_seen = &registry.counter(
       "orf_forest_samples_seen_total", "labeled samples the forest trained on");
+  metrics_.flat_rebuilds = &registry.counter(
+      "orf_forest_flat_rebuilds_total",
+      "flat-scorer structure recompiles (tree split/reset/restore)");
 }
 
 void OnlineForest::publish_metrics() const {
@@ -176,6 +195,7 @@ void OnlineForest::publish_metrics() const {
   metrics_.trees_replaced->set(trees_replaced());
   metrics_.drift_alarms->set(drift_alarms_);
   metrics_.samples_seen->set(samples_seen_);
+  metrics_.flat_rebuilds->set(flat_.rebuilds());
 }
 
 std::vector<double> OnlineForest::feature_importance() const {

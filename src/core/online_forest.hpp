@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/drift.hpp"
+#include "core/flat_forest.hpp"
 #include "core/online_tree.hpp"
 #include "obs/registry.hpp"
 #include "util/rng.hpp"
@@ -75,7 +76,8 @@ class OnlineForest {
         samples_seen_(other.samples_seen_),
         trees_replaced_(other.trees_replaced_.load(std::memory_order_relaxed)),
         drift_alarms_(other.drift_alarms_),
-        metrics_(other.metrics_) {}
+        metrics_(other.metrics_),
+        flat_(std::move(other.flat_)) {}
   OnlineForest& operator=(OnlineForest&& other) noexcept {
     feature_count_ = other.feature_count_;
     params_ = other.params_;
@@ -91,6 +93,7 @@ class OnlineForest {
         std::memory_order_relaxed);
     drift_alarms_ = other.drift_alarms_;
     metrics_ = other.metrics_;
+    flat_ = std::move(other.flat_);
     return *this;
   }
 
@@ -111,12 +114,31 @@ class OnlineForest {
   void update_batch(std::span<const LabeledVector> batch,
                     util::ThreadPool* pool = nullptr);
 
-  /// Mean of per-tree probabilities.
+  /// Mean of per-tree probabilities (reference traversal over the live
+  /// learning structures).
   double predict_proba(std::span<const float> x) const;
   int predict(std::span<const float> x) const {
     return predict_proba(x) >= params_.decision_threshold ? 1 : 0;
   }
 
+  /// Refresh the compiled flat inference cache (core/flat_forest.hpp) and
+  /// return it. Cheap when no tree changed (per-tree epoch compares);
+  /// otherwise rebuilds/resyncs only the trees that moved. Mutates the
+  /// cache: call from the updating thread at a quiescent point, never
+  /// concurrently with update() or predictions through flat().
+  const FlatForestScorer& sync_flat();
+
+  /// The flat cache as last synced. Predictions through it are
+  /// bit-identical to predict_proba provided sync_flat() ran since the
+  /// forest last changed; they are const and safe from many threads.
+  const FlatForestScorer& flat() const { return flat_; }
+
+  /// Score `out.size()` samples held row-major in `xs`
+  /// (xs.size() == out.size() * feature_count()) through the flat layout,
+  /// syncing it first. Bit-identical to predict_proba on each row.
+  void predict_batch(std::span<const float> xs, std::span<double> out);
+
+  std::size_t feature_count() const { return feature_count_; }
   std::size_t tree_count() const { return trees_.size(); }
   const OnlineTree& tree(std::size_t i) const { return trees_.at(i); }
   std::uint64_t samples_seen() const { return samples_seen_; }
@@ -185,8 +207,12 @@ class OnlineForest {
     obs::Counter* trees_replaced = nullptr;
     obs::Counter* drift_alarms = nullptr;
     obs::Counter* samples_seen = nullptr;
+    obs::Counter* flat_rebuilds = nullptr;
   };
   Metrics metrics_;
+
+  /// Compiled flat inference cache (lazily synced; see sync_flat()).
+  FlatForestScorer flat_;
 };
 
 }  // namespace core

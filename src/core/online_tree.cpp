@@ -48,6 +48,8 @@ void OnlineTree::reset() {
   samples_seen_ = 0;
   std::fill(split_gain_.begin(), split_gain_.end(), 0.0);
   make_leaf(0, 0.5f);
+  ++structure_epoch_;
+  ++stats_epoch_;
 }
 
 std::int32_t OnlineTree::make_leaf(std::int16_t depth, float prior) {
@@ -112,6 +114,7 @@ void OnlineTree::update(std::span<const float> x, int y) {
     throw std::invalid_argument("OnlineTree::update: wrong feature count");
   }
   ++samples_seen_;
+  ++stats_epoch_;  // the reached leaf's prob estimate is about to move
   const std::size_t leaf = route_to_leaf(x);
   Node& node = nodes_[leaf];
   LeafStats& stats = *node.stats;
@@ -185,6 +188,7 @@ void OnlineTree::try_split(std::size_t leaf_index) {
   node.right = right_child;
   node.stats.reset();
   split_gain_[chosen.feature] += best_gain;
+  ++structure_epoch_;
 }
 
 double OnlineTree::predict_proba(std::span<const float> x) const {
@@ -207,6 +211,11 @@ std::vector<OnlineTree::FrozenNode> OnlineTree::export_structure() const {
     out.push_back(frozen);
   }
   return out;
+}
+
+void OnlineTree::export_probs(std::vector<float>& out) const {
+  out.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) out[i] = nodes_[i].prob;
 }
 
 std::size_t OnlineTree::leaf_count() const {

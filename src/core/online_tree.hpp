@@ -81,6 +81,22 @@ class OnlineTree {
   int depth() const;
   std::uint64_t samples_seen() const { return samples_seen_; }
 
+  /// Cache-invalidation epochs for compiled inference snapshots (see
+  /// core/flat_forest.hpp). `structure_epoch` moves only when the node
+  /// topology changes (split, reset, restore); `stats_epoch` moves on every
+  /// update as well, because a leaf's running P(y=1) estimate changes even
+  /// when no split happens. A compiled form is exact iff both match:
+  /// structure arrays may be reused while only `stats_epoch` moved, but the
+  /// leaf probabilities must be re-read. Epochs are monotonic for the
+  /// lifetime of the object and intentionally not checkpointed — restore()
+  /// bumps both so stale caches can never survive a state swap.
+  std::uint64_t structure_epoch() const { return structure_epoch_; }
+  std::uint64_t stats_epoch() const { return stats_epoch_; }
+
+  /// Copy the per-node P(y=1) estimates in node-index order (the same order
+  /// export_structure uses). `out` is resized to node_count().
+  void export_probs(std::vector<float>& out) const;
+
   /// Total Gini gain accrued by splits per feature (interpretability hook,
   /// same semantics as the offline forests' importance).
   const std::vector<double>& split_gain_by_feature() const {
@@ -140,6 +156,8 @@ class OnlineTree {
   std::vector<Node> nodes_;
   std::uint64_t samples_seen_ = 0;
   std::vector<double> split_gain_;
+  std::uint64_t structure_epoch_ = 0;  ///< split / reset / restore
+  std::uint64_t stats_epoch_ = 0;      ///< any update (leaf probs moved)
 };
 
 /// Gini gain of a candidate partition (paper Eq. 1–2):

@@ -17,6 +17,12 @@ std::size_t resolve_shards(std::size_t requested) {
   return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 32);
 }
 
+/// Below this many records a day batch is scored through the reference
+/// per-sample traversal even with flat_scoring on: the once-per-batch cache
+/// sync touches every node of every tree, which outweighs traversing a
+/// handful of root-to-leaf paths. Results are bit-identical either way.
+constexpr std::size_t kFlatScoreMinBatch = 16;
+
 }  // namespace
 
 FleetEngine::FleetEngine(std::size_t feature_count, const EngineParams& params,
@@ -37,6 +43,10 @@ FleetEngine::FleetEngine(std::size_t feature_count, const EngineParams& params,
   instruments_.stage_learn = &registry_.histogram(
       "orf_engine_stage_seconds", stage_help, obs::latency_buckets(),
       {{"stage", "learn"}});
+  instruments_.flat_sync = &registry_.histogram(
+      "orf_engine_flat_sync_seconds",
+      "per-day refresh of the forest's compiled flat scoring cache",
+      obs::latency_buckets());
   instruments_.days =
       &registry_.counter("orf_engine_days_total", "day batches ingested");
   instruments_.samples_learned = &registry_.counter(
@@ -150,12 +160,21 @@ void FleetEngine::ingest_day(std::span<const DiskReport> batch,
 
   // Stage 2: label + score, shard-parallel. Each shard touches only its own
   // queues and its own records' outcome slots; forest and scaler are
-  // read-only until stage 3.
+  // read-only until stage 3. When flat scoring is on and the batch is big
+  // enough to amortise the refresh, the compiled cache is synced here — the
+  // last sequential point before the shards fan out — and every shard scores
+  // through the same immutable snapshot.
+  const core::FlatForestScorer* flat = nullptr;
+  if (params_.flat_scoring && batch.size() >= kFlatScoreMinBatch) {
+    util::Stopwatch sync_timer;
+    flat = &forest_.sync_flat();
+    instruments_.flat_sync->observe(sync_timer.seconds());
+  }
   stage_timer.reset();
   const auto run_shard = [&](std::size_t s) {
     shards_[s].process_day(batch, owner_scratch_,
                            static_cast<std::uint32_t>(s), forest_, scaler_,
-                           params_.alarm_threshold, outcomes);
+                           params_.alarm_threshold, outcomes, flat);
   };
   if (pool != nullptr && pool->thread_count() > 1 && shards_.size() > 1) {
     pool->parallel_for(shards_.size(), run_shard);

@@ -64,6 +64,14 @@ struct EngineParams {
   /// outcome rejected, and count them per cause as
   /// orf_ingest_rejected_total{cause=...} on the engine registry.
   robust::RowErrorPolicy ingest_errors = robust::RowErrorPolicy::kStrict;
+  /// Score day batches through the forest's compiled flat layout
+  /// (core/flat_forest.hpp) instead of per-sample reference traversal.
+  /// Bit-identical results either way (the differential suite proves it);
+  /// purely a performance knob, and the off position is the reference
+  /// baseline the tests and bench/micro_score compare against. Batches
+  /// smaller than an internal floor fall back to the reference path, where
+  /// the once-per-batch cache sync would cost more than it saves.
+  bool flat_scoring = true;
 };
 
 class FleetEngine final : public SampleSink {
@@ -170,6 +178,9 @@ class FleetEngine final : public SampleSink {
     obs::Histogram* stage_scale = nullptr;
     obs::Histogram* stage_label_score = nullptr;
     obs::Histogram* stage_learn = nullptr;
+    /// Flat-cache refresh cost, timed separately from label_score so the
+    /// scoring wall-time split (sync vs traverse) is visible per day.
+    obs::Histogram* flat_sync = nullptr;
     obs::Counter* days = nullptr;
     obs::Counter* samples_learned = nullptr;
     obs::Gauge* tracked_disks = nullptr;

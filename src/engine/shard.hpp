@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/flat_forest.hpp"
 #include "core/label_queue.hpp"
 #include "core/online_forest.hpp"
 #include "data/types.hpp"
@@ -56,11 +57,15 @@ class EngineShard {
   /// Label + score every record of `batch` with owner[i] == self. Appends
   /// releases in ascending seq; writes outcomes[i] for owned i only. The
   /// forest and scaler are read-only here, so shards may run concurrently.
+  /// With `flat` non-null the shard batch-scores its records through the
+  /// compiled SoA layout (the engine synced it before the stage); scores are
+  /// bit-identical to the per-sample reference traversal used otherwise.
   void process_day(std::span<const DiskReport> batch,
                    std::span<const std::uint32_t> owner, std::uint32_t self,
                    const core::OnlineForest& forest,
                    const features::OnlineMinMaxScaler& scaler,
-                   double alarm_threshold, std::span<DayOutcome> outcomes);
+                   double alarm_threshold, std::span<DayOutcome> outcomes,
+                   const core::FlatForestScorer* flat = nullptr);
 
   /// Enqueue one raw sample on `disk`'s queue; a full queue evicts its
   /// oldest sample, returned to be labeled negative.
@@ -105,6 +110,12 @@ class EngineShard {
   std::vector<Release> releases_;
   ShardInstruments metrics_;
   std::vector<float> scaled_;  ///< scoring scratch
+  // Flat-path scratch (reused day over day; allocation-free once warm):
+  // the shard's owned records, their scaled rows packed row-major, and the
+  // batch scores coming back.
+  std::vector<std::size_t> owned_scratch_;
+  std::vector<float> rows_scratch_;
+  std::vector<double> scores_scratch_;
 };
 
 }  // namespace engine

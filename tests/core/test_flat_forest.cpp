@@ -1,0 +1,261 @@
+// Differential + property suite for the flat SoA scoring kernel.
+//
+// The claim under test (core/flat_forest.hpp): scoring through the compiled
+// flat layout is IEEE-bit-identical to the reference OnlineTree traversal —
+// across thousands of randomly generated forests, while structure mutates
+// mid-stream (splits, decay resets, drift resets), through checkpoint/
+// restore cycles, and regardless of when the cache was last synced. The
+// engine-level half of the argument (shard counts, day batches) lives in
+// tests/engine/test_engine_flat_scoring.cpp.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+
+#include "core/flat_forest.hpp"
+#include "core/online_forest.hpp"
+#include "support/differential.hpp"
+#include "support/generators.hpp"
+
+namespace {
+
+using testsupport::expect_flat_matches_reference_random;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// The archetype's core: a wide sweep of generated forests. Each seed draws
+// fresh parameters, trains on a fresh stream, and must score bit-identically
+// on boundary-value-heavy samples. Small parameters keep ~2k forests within
+// a few seconds; a failing seed reproduces alone via the loop index.
+TEST(FlatForestDifferential, ThousandsOfGeneratedForests) {
+  constexpr std::uint64_t kForests = 2000;
+  for (std::uint64_t seed = 0; seed < kForests; ++seed) {
+    util::Rng rng(seed * 2654435761ULL + 1);
+    const auto params = testsupport::random_forest_params(rng);
+    const std::size_t features = static_cast<std::size_t>(rng.range(1, 12));
+    core::OnlineForest forest(features, params, /*seed=*/seed);
+    testsupport::grow_forest(forest, rng,
+                             static_cast<std::size_t>(rng.range(30, 250)));
+    SCOPED_TRACE("forest seed " + std::to_string(seed));
+    expect_flat_matches_reference_random(forest, rng, 8, "generated forest");
+    if (testing::Test::HasFailure()) break;  // one seed is enough to debug
+  }
+}
+
+// Interleave learning and scoring: the cache is synced after every chunk
+// and must track splits as they happen, plus the fresh-root case before any
+// split. Decay-happy replacement parameters force mid-stream tree resets.
+TEST(FlatForestDifferential, MidStreamStructureMutations) {
+  util::Rng rng(7);
+  core::OnlineForestParams params;
+  params.n_trees = 5;
+  params.tree.n_tests = 16;
+  params.tree.min_parent_size = 20;
+  params.tree.threshold_pool = 10;
+  params.tree.max_depth = 8;
+  params.lambda_neg = 1.0;
+  params.enable_replacement = true;
+  params.oobe_threshold = 0.05;  // decay-happy: resets happen mid-stream
+  params.age_threshold = 30;
+  params.min_oob_evals = 2;
+  core::OnlineForest forest(6, params, /*seed=*/11);
+
+  std::size_t structure_versions = 0;
+  std::uint64_t last_epoch_sum = 0;
+  for (int chunk = 0; chunk < 60; ++chunk) {
+    forest.update_batch(testsupport::random_batch(rng, 6, 25, 0.4));
+    std::uint64_t epoch_sum = 0;
+    for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+      epoch_sum += forest.tree(t).structure_epoch();
+    }
+    if (epoch_sum != last_epoch_sum) ++structure_versions;
+    last_epoch_sum = epoch_sum;
+    expect_flat_matches_reference_random(forest, rng, 6, "mid-stream chunk");
+  }
+  // The scenario must actually have exercised mutation + replacement paths.
+  EXPECT_GT(structure_versions, 5u);
+  EXPECT_GT(forest.trees_replaced(), 0u);
+}
+
+// Page–Hinkley drift alarms rebuild the worst tree immediately; the flat
+// cache must follow those resets too.
+TEST(FlatForestDifferential, DriftMonitorResets) {
+  util::Rng rng(21);
+  core::OnlineForestParams params;
+  params.n_trees = 4;
+  params.tree.n_tests = 16;
+  params.tree.min_parent_size = 16;
+  params.tree.threshold_pool = 8;
+  params.lambda_neg = 1.0;
+  params.enable_drift_monitor = true;
+  params.drift.delta = 0.001;
+  params.drift.threshold = 0.5;
+  params.drift.min_observations = 10;
+  core::OnlineForest forest(4, params, /*seed=*/3);
+
+  for (int chunk = 0; chunk < 40; ++chunk) {
+    // Label flips by phase: a drifting stream that actually trips the
+    // detector.
+    const double rate = (chunk / 10) % 2 == 0 ? 0.1 : 0.9;
+    forest.update_batch(testsupport::random_batch(rng, 4, 30, rate));
+    expect_flat_matches_reference_random(forest, rng, 5, "drift chunk");
+  }
+  EXPECT_GT(forest.drift_alarms(), 0u);
+}
+
+// Save → restore must invalidate any previously compiled cache: the
+// receiving forest has already synced + scored (hot cache for its *old*
+// state), then swaps in checkpointed state and must score that, not the
+// stale snapshot. Also cycles further training after restore.
+TEST(FlatForestDifferential, CheckpointRestoreCycles) {
+  util::Rng rng(31);
+  const auto params = [] {
+    core::OnlineForestParams p;
+    p.n_trees = 4;
+    p.tree.n_tests = 16;
+    p.tree.min_parent_size = 16;
+    p.tree.threshold_pool = 8;
+    p.lambda_neg = 1.0;
+    return p;
+  }();
+  core::OnlineForest donor(5, params, /*seed=*/1);
+  core::OnlineForest receiver(5, params, /*seed=*/2);
+
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    testsupport::grow_forest(donor, rng, 80, 0.4);
+    // Heat the receiver's cache on its current (different) state.
+    testsupport::grow_forest(receiver, rng, 40, 0.4);
+    expect_flat_matches_reference_random(receiver, rng, 4, "pre-restore");
+
+    std::stringstream state;
+    donor.save(state);
+    receiver.restore(state);
+
+    // The receiver now *is* the donor; both paths must agree on both
+    // objects, and with each other.
+    expect_flat_matches_reference_random(donor, rng, 6, "donor post-save");
+    expect_flat_matches_reference_random(receiver, rng, 6, "post-restore");
+    const auto probe = testsupport::random_sample(rng, 5);
+    EXPECT_EQ(bits(donor.predict_proba(probe)),
+              bits(receiver.predict_proba(probe)))
+        << "restore cycle " << cycle;
+  }
+}
+
+// Epoch bookkeeping: prob-only learning must not recompile structure, and
+// structure changes must. rebuilds() is the counter the obs registry
+// publishes as orf_forest_flat_rebuilds_total.
+TEST(FlatForest, EpochInvalidationRebuildsOnlyOnStructureChange) {
+  util::Rng rng(5);
+  core::OnlineForestParams params;
+  params.n_trees = 2;
+  params.tree.n_tests = 8;
+  params.tree.min_parent_size = 1000000;  // never splits
+  params.tree.threshold_pool = 16;
+  params.lambda_neg = 1.0;
+  core::OnlineForest forest(3, params, /*seed=*/9);
+
+  const auto& flat = forest.sync_flat();
+  const std::uint64_t initial_rebuilds = flat.rebuilds();
+  EXPECT_EQ(initial_rebuilds, 2u);  // one compile per tree
+
+  // Learning moves leaf probs but never the structure: resyncs, no rebuilds.
+  for (int i = 0; i < 5; ++i) {
+    forest.update_batch(testsupport::random_batch(rng, 3, 10, 0.5));
+    forest.sync_flat();
+  }
+  EXPECT_EQ(flat.rebuilds(), initial_rebuilds);
+  EXPECT_GT(flat.prob_syncs(), 0u);
+
+  // ... and the refreshed probs are still exact.
+  util::Rng probe_rng(77);
+  expect_flat_matches_reference_random(forest, probe_rng, 5, "prob resync");
+
+  // A quiescent re-sync is free: no rebuilds, no prob syncs.
+  const std::uint64_t syncs_before = flat.prob_syncs();
+  forest.sync_flat();
+  EXPECT_EQ(flat.rebuilds(), initial_rebuilds);
+  EXPECT_EQ(flat.prob_syncs(), syncs_before);
+}
+
+TEST(FlatForest, TreeEpochsMoveAsDocumented) {
+  core::OnlineTreeParams params;
+  params.n_tests = 8;
+  params.min_parent_size = 12;
+  params.threshold_pool = 6;
+  core::OnlineTree tree(2, params, util::Rng(3));
+  const std::uint64_t s0 = tree.structure_epoch();
+  const std::uint64_t p0 = tree.stats_epoch();
+
+  // A non-splitting update moves stats only.
+  tree.update(std::vector<float>{0.1f, 0.9f}, 0);
+  EXPECT_EQ(tree.structure_epoch(), s0);
+  EXPECT_EQ(tree.stats_epoch(), p0 + 1);
+
+  // Drive to a split: structure must move.
+  util::Rng rng(13);
+  for (int i = 0; i < 500 && tree.node_count() == 1; ++i) {
+    const int y = i % 2;
+    std::vector<float> x{static_cast<float>(y == 1 ? rng.uniform(0.7, 1.0)
+                                                   : rng.uniform(0.0, 0.3)),
+                         static_cast<float>(rng.uniform())};
+    tree.update(x, y);
+  }
+  ASSERT_GT(tree.node_count(), 1u) << "stream never split the root";
+  EXPECT_GT(tree.structure_epoch(), s0);
+
+  // reset() moves both.
+  const std::uint64_t s1 = tree.structure_epoch();
+  const std::uint64_t p1 = tree.stats_epoch();
+  tree.reset();
+  EXPECT_GT(tree.structure_epoch(), s1);
+  EXPECT_GT(tree.stats_epoch(), p1);
+}
+
+TEST(FlatForest, InSyncTracksEpochsAndTreeCount) {
+  core::OnlineTreeParams params;
+  params.n_tests = 8;
+  params.min_parent_size = 12;
+  params.threshold_pool = 6;
+  std::vector<core::OnlineTree> trees;
+  trees.emplace_back(2, params, util::Rng(5));
+  trees.emplace_back(2, params, util::Rng(6));
+
+  core::FlatForestScorer scorer;
+  EXPECT_FALSE(scorer.in_sync(trees)) << "empty cache vs two trees";
+  scorer.sync(trees);
+  EXPECT_TRUE(scorer.in_sync(trees));
+
+  // Any learning moves a stats epoch; the cache must notice.
+  trees[1].update(std::vector<float>{0.2f, 0.8f}, 1);
+  EXPECT_FALSE(scorer.in_sync(trees));
+  scorer.sync(trees);
+  EXPECT_TRUE(scorer.in_sync(trees));
+}
+
+TEST(FlatForest, PredictBeforeSyncThrows) {
+  core::FlatForestScorer scorer;
+  const std::vector<float> x{0.5f};
+  EXPECT_THROW(scorer.predict_proba(x), std::logic_error);
+  std::vector<double> out(1);
+  EXPECT_THROW(scorer.predict_batch(x, 1, out), std::logic_error);
+}
+
+TEST(FlatForest, PredictBatchValidatesShape) {
+  core::OnlineForestParams params;
+  params.n_trees = 1;
+  params.tree.n_tests = 8;
+  params.tree.min_parent_size = 8;
+  params.tree.threshold_pool = 4;
+  core::OnlineForest forest(3, params, /*seed=*/1);
+  std::vector<float> rows(5);  // not a multiple of 3
+  std::vector<double> out(2);
+  EXPECT_THROW(forest.predict_batch(rows, out), std::invalid_argument);
+  // Same contract on the scorer called directly.
+  const core::FlatForestScorer& flat = forest.sync_flat();
+  EXPECT_THROW(flat.predict_batch(rows, 3, out), std::invalid_argument);
+  EXPECT_THROW(flat.predict_batch(rows, 0, out), std::invalid_argument);
+}
+
+}  // namespace

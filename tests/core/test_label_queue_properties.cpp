@@ -1,0 +1,175 @@
+// Property tests for the automatic labeling queue (paper §3.2, Algorithm 2).
+//
+// A plain std::deque plus three lines of bookkeeping is an obviously-correct
+// model of the horizon queue, so each test drives LabelQueue and the model
+// through the same random operation sequence and asserts they never diverge.
+// The invariants under test are exactly the ones the labeling rule needs:
+// samples leave with a negative label if and only if they survived exactly
+// `capacity` pushes (the horizon), failure drains everything still inside
+// the horizon oldest-first, and a snapshot-rebuilt queue (the checkpoint
+// path, engine/engine_checkpoint.cpp) is indistinguishable going forward.
+#include "core/label_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<float> vec(float v) { return {v}; }
+
+// Deque-based reference model: same contract, trivially correct.
+class ModelQueue {
+ public:
+  explicit ModelQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::optional<std::vector<float>> push(std::vector<float> x) {
+    std::optional<std::vector<float>> evicted;
+    if (queue_.size() == capacity_) {
+      evicted = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_.push_back(std::move(x));
+    return evicted;
+  }
+
+  std::vector<std::vector<float>> drain() {
+    std::vector<std::vector<float>> out(queue_.begin(), queue_.end());
+    queue_.clear();
+    return out;
+  }
+
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::vector<float>> queue_;
+};
+
+// Drive both queues through one random op sequence, checking lockstep
+// equality of every observable (evictions, drains, size/full/snapshot).
+void run_random_ops(core::LabelQueue& queue, ModelQueue& model,
+                    util::Rng& rng, int ops, float& next_value) {
+  for (int op = 0; op < ops; ++op) {
+    if (rng.bernoulli(0.8)) {
+      const float v = next_value++;
+      const auto got = queue.push(vec(v));
+      const auto want = model.push(vec(v));
+      ASSERT_EQ(got.has_value(), want.has_value()) << "push #" << v;
+      if (got.has_value()) {
+        ASSERT_EQ((*got)[0], (*want)[0]) << "push #" << v;
+      }
+    } else {
+      const auto got = queue.drain();
+      const auto want = model.drain();
+      ASSERT_EQ(got.size(), want.size()) << "drain at op " << op;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i][0], want[i][0]) << "drain order at index " << i;
+      }
+    }
+    ASSERT_EQ(queue.size(), model.size());
+    ASSERT_EQ(queue.full(), queue.size() == queue.capacity());
+    ASSERT_LE(queue.size(), queue.capacity());
+    const auto snap = queue.snapshot();
+    ASSERT_EQ(snap.size(), queue.size());  // snapshot is non-destructive
+  }
+}
+
+TEST(LabelQueueProperties, RandomOpsMatchDequeModel) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed ^ 0xabcdef123ULL);
+    const auto capacity = static_cast<std::size_t>(rng.range(1, 12));
+    core::LabelQueue queue(capacity);
+    ModelQueue model(capacity);
+    float next_value = 0.0f;
+    SCOPED_TRACE("seed " + std::to_string(seed) + " capacity " +
+                 std::to_string(capacity));
+    run_random_ops(queue, model, rng, 300, next_value);
+    if (testing::Test::HasFailure()) break;
+  }
+}
+
+// The horizon property, stated directly instead of via the model: the i-th
+// eviction is exactly the i-th push, and it happens on push capacity+i —
+// i.e. a sample is released as negative after surviving exactly `capacity`
+// subsequent arrivals.
+TEST(LabelQueueProperties, EvictionIsExactlyTheHorizonDelay) {
+  for (std::size_t capacity : {1u, 2u, 7u, 13u}) {
+    core::LabelQueue queue(capacity);
+    for (int i = 0; i < 100; ++i) {
+      const auto evicted = queue.push(vec(static_cast<float>(i)));
+      if (static_cast<std::size_t>(i) < capacity) {
+        EXPECT_FALSE(evicted.has_value()) << "capacity " << capacity;
+      } else {
+        ASSERT_TRUE(evicted.has_value()) << "capacity " << capacity;
+        EXPECT_EQ((*evicted)[0], static_cast<float>(
+                                     i - static_cast<int>(capacity)));
+      }
+    }
+  }
+}
+
+// Failure labeling: drain returns the most recent min(capacity, pushes)
+// samples — everything still within the horizon — oldest first.
+TEST(LabelQueueProperties, DrainReturnsSamplesWithinHorizonOldestFirst) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto capacity = static_cast<std::size_t>(rng.range(1, 10));
+    const auto pushes = static_cast<std::size_t>(rng.range(0, 25));
+    core::LabelQueue queue(capacity);
+    for (std::size_t i = 0; i < pushes; ++i) {
+      queue.push(vec(static_cast<float>(i)));
+    }
+    const auto drained = queue.drain();
+    const std::size_t expect_n = std::min(capacity, pushes);
+    ASSERT_EQ(drained.size(), expect_n);
+    for (std::size_t i = 0; i < expect_n; ++i) {
+      EXPECT_EQ(drained[i][0],
+                static_cast<float>(pushes - expect_n + i));
+    }
+    EXPECT_EQ(queue.size(), 0u);
+  }
+}
+
+// Checkpoint path: a queue rebuilt by pushing its snapshot (what the engine
+// restore does) behaves identically to the original from then on, for any
+// prior history and any subsequent operation sequence.
+TEST(LabelQueueProperties, SnapshotRebuildRoundTripsUnderFurtherOps) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    util::Rng rng(seed * 31 + 7);
+    const auto capacity = static_cast<std::size_t>(rng.range(1, 9));
+    core::LabelQueue original(capacity);
+    ModelQueue model(capacity);
+    float next_value = 0.0f;
+    run_random_ops(original, model, rng, 80, next_value);
+
+    core::LabelQueue rebuilt(capacity);
+    for (auto& x : original.snapshot()) {
+      ASSERT_FALSE(rebuilt.push(std::move(x)).has_value())
+          << "rebuilding from a snapshot must never evict";
+    }
+    ASSERT_EQ(rebuilt.size(), original.size());
+
+    // Lockstep from here: original vs rebuilt (model doubles as driver).
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    util::Rng ops_rng(seed + 1000);
+    float a = next_value;
+    float b = next_value;
+    ModelQueue model_a(capacity);
+    // Re-prime both models with the shared live state so drains compare.
+    for (const auto& x : original.snapshot()) model_a.push(x);
+    ModelQueue model_b = model_a;
+    util::Rng rng_b = ops_rng;  // identical op streams
+    run_random_ops(original, model_a, ops_rng, 60, a);
+    run_random_ops(rebuilt, model_b, rng_b, 60, b);
+    if (testing::Test::HasFailure()) break;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Engine-level half of the flat-scoring differential argument: with
+// flat_scoring on (the default) FleetEngine must produce bit-identical
+// outcomes AND bit-identical serialized state to the reference path
+// (flat_scoring = false), across shard counts, thread pools and a
+// checkpoint/restore mid-stream. The core-level half — the kernel itself —
+// lives in tests/core/test_flat_forest.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/fleet_engine.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+engine::EngineParams base_params(bool flat, std::size_t shards) {
+  engine::EngineParams p;
+  p.forest.n_trees = 6;
+  p.forest.tree.n_tests = 32;
+  p.forest.tree.min_parent_size = 30;
+  p.forest.tree.threshold_pool = 16;
+  p.forest.lambda_neg = 0.1;
+  p.queue_capacity = 7;
+  p.alarm_threshold = 0.5;
+  p.shards = shards;
+  p.flat_scoring = flat;
+  return p;
+}
+
+constexpr std::size_t kFeatures = 5;
+constexpr std::size_t kFleet = 40;  // > the internal flat-path batch floor
+constexpr int kDays = 25;
+
+/// Deterministic synthetic fleet day: every disk reports, a few fail or
+/// retire along the way so release paths run too.
+struct FleetDay {
+  std::vector<std::vector<float>> rows;
+  std::vector<engine::DiskReport> reports;
+};
+
+FleetDay make_day(int day, util::Rng& rng) {
+  FleetDay out;
+  out.rows.reserve(kFleet);
+  out.reports.reserve(kFleet);
+  for (std::size_t disk = 0; disk < kFleet; ++disk) {
+    std::vector<float> x(kFeatures);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    // A couple of "degrading" disks trend upward so alarms actually fire.
+    if (disk < 4) {
+      x[0] = std::min(1.0f, x[0] + 0.03f * static_cast<float>(day));
+    }
+    out.rows.push_back(std::move(x));
+  }
+  for (std::size_t disk = 0; disk < kFleet; ++disk) {
+    engine::DiskReport r;
+    r.disk = static_cast<data::DiskId>(disk + 1);
+    r.features = out.rows[disk];
+    if (day == 12 && disk < 2) r.fate = engine::DiskFate::kFailure;
+    if (day == 18 && disk == 10) r.fate = engine::DiskFate::kRetirement;
+    out.reports.push_back(r);
+  }
+  // Failed/retired disks re-join as fresh ids so the fleet size stays put.
+  return out;
+}
+
+struct RunResult {
+  std::vector<engine::DayOutcome> outcomes;  // all days concatenated
+  std::string state;
+  std::uint64_t alarms = 0;
+};
+
+RunResult run_fleet(bool flat, std::size_t shards, util::ThreadPool* pool,
+                    bool checkpoint_midway = false) {
+  engine::FleetEngine fleet_engine(kFeatures, base_params(flat, shards),
+                                   /*seed=*/42);
+  RunResult run;
+  std::vector<engine::DayOutcome> day_outcomes;
+  std::string midway_state;
+  for (int day = 0; day < kDays; ++day) {
+    // Fresh rng per day keeps the stream identical across runs regardless
+    // of what the engine under test consumes.
+    util::Rng rng(1000 + static_cast<std::uint64_t>(day));
+    const FleetDay fleet_day = make_day(day, rng);
+    if (checkpoint_midway && day == kDays / 2) {
+      std::stringstream snap;
+      fleet_engine.save(snap);
+      fleet_engine.restore(snap);  // restore must not perturb the stream
+    }
+    fleet_engine.ingest_day(fleet_day.reports, day_outcomes, pool);
+    for (const auto& o : day_outcomes) {
+      run.outcomes.push_back(o);
+      run.alarms += o.alarm ? 1 : 0;
+    }
+  }
+  std::ostringstream os;
+  fleet_engine.save(os);
+  run.state = os.str();
+  return run;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const char* what) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << what;
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.outcomes[i].score),
+              std::bit_cast<std::uint64_t>(b.outcomes[i].score))
+        << what << ": score bits diverge at outcome " << i;
+    EXPECT_EQ(a.outcomes[i].alarm, b.outcomes[i].alarm) << what << " @" << i;
+    EXPECT_EQ(a.outcomes[i].rejected, b.outcomes[i].rejected)
+        << what << " @" << i;
+  }
+  EXPECT_EQ(a.alarms, b.alarms) << what;
+  EXPECT_EQ(a.state, b.state) << what << ": serialized state diverges";
+}
+
+TEST(EngineFlatScoring, FlatMatchesReferenceSingleShard) {
+  expect_identical(run_fleet(false, 1, nullptr), run_fleet(true, 1, nullptr),
+                   "1 shard, no pool");
+}
+
+TEST(EngineFlatScoring, FlatMatchesReferenceAcrossShardCounts) {
+  const RunResult reference = run_fleet(false, 1, nullptr);
+  util::ThreadPool pool(4);
+  expect_identical(reference, run_fleet(true, 3, &pool), "3 shards, pool");
+  expect_identical(reference, run_fleet(true, 8, &pool), "8 shards, pool");
+  expect_identical(reference, run_fleet(true, 8, nullptr),
+                   "8 shards, no pool");
+}
+
+TEST(EngineFlatScoring, FlatMatchesReferenceThroughCheckpointCycle) {
+  const RunResult reference = run_fleet(false, 3, nullptr);
+  util::ThreadPool pool(2);
+  expect_identical(reference,
+                   run_fleet(true, 3, &pool, /*checkpoint_midway=*/true),
+                   "checkpoint mid-stream");
+}
+
+// The scenario must actually exercise the flat path: with a 40-disk fleet
+// every day batch clears the internal floor, so the sync histogram sees one
+// observation per day and the rebuild counter is non-zero once trees split.
+TEST(EngineFlatScoring, FlatPathActuallyEngages) {
+  engine::FleetEngine fleet_engine(kFeatures, base_params(true, 2),
+                                   /*seed=*/42);
+  std::vector<engine::DayOutcome> outcomes;
+  for (int day = 0; day < kDays; ++day) {
+    util::Rng rng(1000 + static_cast<std::uint64_t>(day));
+    const FleetDay fleet_day = make_day(day, rng);
+    fleet_engine.ingest_day(fleet_day.reports, outcomes, nullptr);
+  }
+  const auto snapshot = fleet_engine.metrics_snapshot();
+  bool saw_sync = false;
+  bool saw_rebuilds = false;
+  for (const auto& hist : snapshot.histograms) {
+    if (hist.id.name == "orf_engine_flat_sync_seconds") {
+      saw_sync = hist.count == static_cast<std::uint64_t>(kDays);
+    }
+  }
+  for (const auto& counter : snapshot.counters) {
+    if (counter.id.name == "orf_forest_flat_rebuilds_total") {
+      saw_rebuilds = counter.value > 0;
+    }
+  }
+  EXPECT_TRUE(saw_sync) << "flat sync histogram missing or day count off";
+  EXPECT_TRUE(saw_rebuilds) << "flat rebuild counter missing or zero";
+}
+
+}  // namespace

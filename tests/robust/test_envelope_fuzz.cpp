@@ -1,0 +1,165 @@
+// Fuzz-style robustness for the checkpoint readers: whatever bytes are on
+// disk, load_checkpoint_payload / read_envelope_file must return cleanly or
+// throw a typed exception — never crash, scribble, or hand back a silently
+// wrong payload. Exhaustive single-fault coverage (truncate at EVERY offset,
+// flip a byte at EVERY offset) plus seeded random multi-byte corruption; the
+// whole suite runs under ASan/UBSan via scripts/check.sh, which is where
+// "no UB" is actually enforced.
+//
+// The contract asserted for every corrupted image:
+//   read_envelope_file      → the exact payload, or CorruptCheckpoint.
+//   load_checkpoint_payload → the exact payload, CorruptCheckpoint, or —
+//                             legacy fallback — the file's bytes verbatim
+//                             (only when they no longer look like an
+//                             envelope).
+// Returning the exact payload under corruption is legitimate only when the
+// damage missed the framing semantics (e.g. a flip inside a digit of the
+// header that still parses consistently is impossible — CRC covers the
+// payload, and header fields are cross-checked — so in practice this arm
+// means "the corrupted image equals the original").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "robust/checkpoint_io.hpp"
+#include "robust/errors.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string sample_payload() {
+  std::string payload = "engine v2\nforest v3 trees 6\n";
+  for (int i = 0; i < 40; ++i) {
+    payload += "queue " + std::to_string(i) + " 0x3f8ccccd 0x3e4ccccd\n";
+  }
+  return payload;
+}
+
+class EnvelopeFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("orf_fuzz_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "state.ckpt").string();
+    payload_ = sample_payload();
+    envelope_ = robust::make_envelope(payload_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_raw(const std::string& bytes) {
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Feed one corrupted image through both readers and assert the contract.
+  /// Returns how many reader calls recovered the exact payload (0–2).
+  int check_image(const std::string& image) {
+    write_raw(image);
+    int exact = 0;
+    try {
+      const std::string got = robust::read_envelope_file(path_);
+      EXPECT_EQ(got, payload_)
+          << "strict reader returned a WRONG payload (silent corruption)";
+      ++exact;
+    } catch (const robust::CorruptCheckpoint&) {
+      // typed rejection: the expected outcome for real damage
+    }
+    try {
+      const std::string got = robust::load_checkpoint_payload(path_);
+      if (got == payload_) {
+        ++exact;
+      } else {
+        // Legacy fallback is only legitimate when the image genuinely no
+        // longer announces itself as an envelope.
+        EXPECT_FALSE(robust::looks_like_envelope(image))
+            << "tolerant reader fell back on an envelope-magic image";
+        EXPECT_EQ(got, image) << "legacy fallback must be verbatim";
+      }
+    } catch (const robust::CorruptCheckpoint&) {
+    }
+    return exact;
+  }
+
+  fs::path dir_;
+  std::string path_;
+  std::string payload_;
+  std::string envelope_;
+};
+
+TEST_F(EnvelopeFuzz, TruncationAtEveryOffsetNeverYieldsWrongPayload) {
+  // Every proper prefix, including the empty file. Only the full image may
+  // recover the payload.
+  for (std::size_t cut = 0; cut < envelope_.size(); ++cut) {
+    SCOPED_TRACE("truncate to " + std::to_string(cut) + " bytes");
+    const int exact = check_image(envelope_.substr(0, cut));
+    EXPECT_EQ(exact, 0) << "a truncated envelope produced the full payload";
+    if (testing::Test::HasFailure()) return;
+  }
+  EXPECT_EQ(check_image(envelope_), 2) << "intact image must round-trip";
+}
+
+TEST_F(EnvelopeFuzz, ByteFlipAtEveryOffsetIsRejectedOrHarmless) {
+  for (std::size_t pos = 0; pos < envelope_.size(); ++pos) {
+    SCOPED_TRACE("flip byte " + std::to_string(pos));
+    std::string image = envelope_;
+    image[pos] = static_cast<char>(image[pos] ^ 0x20);  // always a change
+    check_image(image);  // contract asserted inside; exact-recovery rate
+                         // is not pinned (a flip in the final newline's
+                         // absence is impossible — CRC covers payload)
+    if (testing::Test::HasFailure()) return;
+  }
+}
+
+TEST_F(EnvelopeFuzz, SeededRandomMultiByteCorruption) {
+  util::Rng rng(0xf422edULL);
+  for (int trial = 0; trial < 400; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    std::string image = envelope_;
+    // 1–8 random mutations: flips, deletions, insertions, and an optional
+    // tail truncation — compound faults, unlike the exhaustive single-fault
+    // sweeps above.
+    const int mutations = static_cast<int>(rng.range(1, 8));
+    for (int m = 0; m < mutations && !image.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(rng.below(image.size()));
+      switch (rng.below(4)) {
+        case 0:
+          image[pos] = static_cast<char>(rng.below(256));
+          break;
+        case 1:
+          image.erase(pos, 1);
+          break;
+        case 2:
+          image.insert(pos, 1, static_cast<char>(rng.below(256)));
+          break;
+        default:
+          image.resize(pos);
+          break;
+      }
+    }
+    check_image(image);
+    if (testing::Test::HasFailure()) return;
+  }
+}
+
+TEST_F(EnvelopeFuzz, RandomGarbageFilesNeverCrash) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE("garbage trial " + std::to_string(trial));
+    std::string image(rng.below(512), '\0');
+    for (auto& c : image) c = static_cast<char>(rng.below(256));
+    check_image(image);
+    if (testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace

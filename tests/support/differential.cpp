@@ -1,0 +1,68 @@
+#include "support/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "support/generators.hpp"
+
+namespace testsupport {
+
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+}  // namespace
+
+void expect_flat_matches_reference(
+    core::OnlineForest& forest, std::span<const std::vector<float>> samples,
+    const char* context) {
+  const std::size_t features = forest.feature_count();
+  std::vector<double> reference(samples.size());
+  std::vector<float> rows;
+  rows.reserve(samples.size() * features);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_EQ(samples[i].size(), features) << context;
+    reference[i] = forest.predict_proba(samples[i]);
+    rows.insert(rows.end(), samples[i].begin(), samples[i].end());
+  }
+
+  // Production order: sync once, then score through the cache.
+  const core::FlatForestScorer& flat = forest.sync_flat();
+  ASSERT_EQ(flat.tree_count(), forest.tree_count()) << context;
+
+  std::vector<double> batch(samples.size());
+  flat.predict_batch(rows, features, batch);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(bits(batch[i]), bits(reference[i]))
+        << context << ": predict_batch diverges at sample " << i << " ("
+        << batch[i] << " vs " << reference[i] << ")";
+    const double single = flat.predict_proba(samples[i]);
+    EXPECT_EQ(bits(single), bits(reference[i]))
+        << context << ": flat predict_proba diverges at sample " << i;
+  }
+
+  // The forest-level wrapper must agree too (it re-syncs internally).
+  std::vector<double> wrapper(samples.size());
+  forest.predict_batch(rows, wrapper);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(bits(wrapper[i]), bits(reference[i]))
+        << context << ": OnlineForest::predict_batch diverges at sample "
+        << i;
+  }
+}
+
+void expect_flat_matches_reference_random(core::OnlineForest& forest,
+                                          util::Rng& rng,
+                                          std::size_t n_samples,
+                                          const char* context) {
+  std::vector<std::vector<float>> samples;
+  samples.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    samples.push_back(random_sample(rng, forest.feature_count()));
+  }
+  expect_flat_matches_reference(forest, samples, context);
+}
+
+}  // namespace testsupport

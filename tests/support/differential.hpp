@@ -1,0 +1,35 @@
+// Differential harness: flat scoring vs reference traversal.
+//
+// The flat SoA kernel (core/flat_forest.hpp) is a perf feature whose entire
+// correctness argument is "bit-identical to the reference path" — not close,
+// identical, because the engine's determinism contract and the committed
+// experiment goldens are defined in exact doubles. So the assertions here
+// compare IEEE bit patterns (std::bit_cast), which also distinguishes -0.0
+// and would catch a NaN produced on only one path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/online_forest.hpp"
+#include "util/rng.hpp"
+
+namespace testsupport {
+
+/// Assert, for every sample, that (a) FlatForestScorer::predict_batch, (b)
+/// FlatForestScorer::predict_proba and (c) OnlineForest::predict_batch all
+/// return the exact bits of the reference OnlineForest::predict_proba.
+/// Syncs the forest's flat cache first (the production call order).
+/// `context` names the scenario in failure messages.
+void expect_flat_matches_reference(
+    core::OnlineForest& forest,
+    std::span<const std::vector<float>> samples, const char* context);
+
+/// Convenience: draw `n_samples` random vectors (boundary-value heavy, see
+/// generators.hpp) and run expect_flat_matches_reference.
+void expect_flat_matches_reference_random(core::OnlineForest& forest,
+                                          util::Rng& rng,
+                                          std::size_t n_samples,
+                                          const char* context);
+
+}  // namespace testsupport

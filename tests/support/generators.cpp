@@ -1,0 +1,73 @@
+#include "support/generators.hpp"
+
+#include <algorithm>
+
+namespace testsupport {
+
+core::OnlineForestParams random_forest_params(util::Rng& rng) {
+  core::OnlineForestParams p;
+  p.n_trees = static_cast<int>(rng.range(1, 6));
+  p.tree.n_tests = static_cast<int>(rng.range(8, 32));
+  p.tree.min_parent_size = static_cast<int>(rng.range(8, 40));
+  p.tree.threshold_pool =
+      static_cast<int>(rng.range(4, p.tree.min_parent_size));
+  p.tree.max_depth = static_cast<int>(rng.range(2, 12));
+  p.tree.min_gain = rng.uniform(0.0, 0.2);
+  p.tree.relative_gain = rng.bernoulli(0.5);
+  p.tree.uniform_test_fraction = rng.uniform();
+  p.lambda_pos = rng.uniform(0.5, 2.0);
+  p.lambda_neg = rng.bernoulli(0.5) ? 1.0 : rng.uniform(0.02, 0.5);
+  p.enable_replacement = rng.bernoulli(0.5);
+  if (p.enable_replacement && rng.bernoulli(0.3)) {
+    // Decay-happy: trees get judged early and reset mid-stream, covering
+    // structure-epoch invalidation through the replacement path.
+    p.oobe_threshold = 0.05;
+    p.age_threshold = 20;
+    p.min_oob_evals = 2;
+  }
+  return p;
+}
+
+std::vector<float> random_sample(util::Rng& rng, std::size_t features) {
+  std::vector<float> x(features);
+  for (auto& v : x) {
+    const double roll = rng.uniform();
+    if (roll < 0.05) {
+      v = 0.0f;
+    } else if (roll < 0.10) {
+      v = 1.0f;
+    } else if (roll < 0.25) {
+      // Coarse grid: collides with thresholds drawn from observed values,
+      // so x[f] == threshold happens for real and must route left.
+      v = static_cast<float>(rng.range(0, 8)) / 8.0f;
+    } else {
+      v = static_cast<float>(rng.uniform());
+    }
+  }
+  return x;
+}
+
+std::vector<core::LabeledVector> random_batch(util::Rng& rng,
+                                              std::size_t features,
+                                              std::size_t n,
+                                              double positive_rate) {
+  std::vector<core::LabeledVector> batch(n);
+  for (auto& s : batch) {
+    s.y = rng.bernoulli(positive_rate) ? 1 : 0;
+    s.x = random_sample(rng, features);
+    if (s.y == 1) {
+      // Separable-ish signal so splits clear the gain bar.
+      for (auto& v : s.x) v = std::min(1.0f, v * 0.5f + 0.5f);
+    }
+  }
+  return batch;
+}
+
+void grow_forest(core::OnlineForest& forest, util::Rng& rng, std::size_t n,
+                 double positive_rate) {
+  const auto batch = random_batch(rng, forest.feature_count(), n,
+                                  positive_rate);
+  forest.update_batch(batch);
+}
+
+}  // namespace testsupport

@@ -1,0 +1,44 @@
+// Seeded random generators for property / differential tests.
+//
+// Everything here is a pure function of the caller's util::Rng, so a failing
+// seed reproduces exactly. The forest generators deliberately draw *small*
+// parameters (few trees, few tests, low split bars) — thousands of distinct
+// forests then train in seconds while still covering the structural space:
+// stumps, depth-capped chains, fresh unsplit roots, imbalance-corrected
+// Poisson streams, replacement-happy decay settings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/online_forest.hpp"
+#include "util/rng.hpp"
+
+namespace testsupport {
+
+/// Randomized small-forest parameters: 1–6 trees, 8–32 tests per leaf,
+/// min_parent_size 8–40 (threshold_pool <= min_parent_size), depth caps
+/// from stumpy (2) to deep (12), both gain modes, occasional replacement /
+/// imbalance settings. Cheap enough that thousands of forests built from
+/// these train in seconds.
+core::OnlineForestParams random_forest_params(util::Rng& rng);
+
+/// One scaled feature vector in [0, 1]. A fraction of coordinates land on
+/// the exact boundary values 0 and 1 and on coarse grid points that collide
+/// with data-driven split thresholds, stressing the strict `>` routing rule.
+std::vector<float> random_sample(util::Rng& rng, std::size_t features);
+
+/// `n` labeled samples with roughly `positive_rate` positives. Positives are
+/// shifted towards high feature values so trees actually find gainful splits
+/// (an unsplittable stream would leave every tree a root stump and the
+/// differential test would only ever cover trivial structure).
+std::vector<core::LabeledVector> random_batch(util::Rng& rng,
+                                              std::size_t features,
+                                              std::size_t n,
+                                              double positive_rate);
+
+/// Feed `n` random labeled samples (as above) through forest.update_batch.
+void grow_forest(core::OnlineForest& forest, util::Rng& rng, std::size_t n,
+                 double positive_rate = 0.25);
+
+}  // namespace testsupport
