@@ -116,7 +116,7 @@ BENCHMARK(BM_OrfUpdateParallel)->Arg(1)->Arg(2)->Arg(4);
 void BM_OnlinePredictorObserve(benchmark::State& state) {
   std::vector<int> labels;
   const auto stream = make_stream(20000, 0.01, labels);
-  core::OnlinePredictorParams params;
+  engine::EngineParams params;
   params.forest = params_with_tests(256);
   core::OnlineDiskPredictor predictor(kFeatures, params, 7);
   std::size_t i = 0;

@@ -118,8 +118,16 @@ std::size_t inject_dirt(const std::string& path, double fraction) {
 
 int run(int argc, char** argv) {
   const util::Flags flags(argc, argv);
-  flags.require_known({"csv", "model", "out", "scale", "seed", "row-errors",
-                       "quarantine-out", "dirt"});
+  flags.enforce(
+      "backblaze_ingest",
+      {{"csv", "PATH", "Backblaze CSV to ingest (else synthetic)"},
+       {"model", "NAME", "drive-model filter for --csv"},
+       {"out", "PATH", "where the synthetic fleet CSV is written"},
+       {"scale", "F", "synthetic fleet size fraction"},
+       {"seed", "N", "RNG seed for the synthetic fleet"},
+       {"row-errors", "strict|skip|quarantine", "dirty-row policy"},
+       {"quarantine-out", "PATH", "sidecar file for quarantined rows"},
+       {"dirt", "F", "fraction of rows to corrupt before re-ingest"}});
 
   robust::Quarantine quarantine;
   data::CsvReadOptions options;

@@ -18,6 +18,13 @@
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  flags.enforce("feature_selection_tool",
+                {{"csv", "PATH", "Backblaze CSV to rank (else synthetic)"},
+                 {"model", "NAME", "drive-model filter for --csv"},
+                 {"scale", "F", "synthetic fleet size fraction"},
+                 {"seed", "N", "RNG seed for the synthetic fleet"},
+                 {"alpha", "F", "Wilcoxon significance level"},
+                 {"redundancy", "F", "pairwise redundancy threshold"}});
 
   data::Dataset dataset;
   if (flags.has("csv")) {

@@ -11,9 +11,11 @@
 //       [--metrics-out /tmp/metrics.jsonl] [--metrics-format jsonl|prom]
 //       [--checkpoint-dir /var/lib/orf] [--checkpoint-every 30] [--resume]
 //
-// --threads runs the engine's label/score and learn stages on a pool;
-// --shards picks the disk-shard count (0 = auto). Both are pure parallelism
-// knobs: results are bit-identical for any combination.
+// Every engine/robustness knob is an orf::Config flag (or its ORF_*
+// environment twin) parsed by the shared facade parser, so this binary and
+// orfd accept the same spelling for the same parameter; --help prints the
+// full table. --threads / --shards are pure parallelism knobs: results are
+// bit-identical for any combination.
 //
 // --metrics-out exports the engine's telemetry registry (stage latency
 // histograms, per-shard flow counters, forest model-aging gauges):
@@ -24,108 +26,54 @@
 //
 // --checkpoint-dir arms unattended crash recovery: every --checkpoint-every
 // fleet days the complete monitor state is snapshotted through the atomic
-// envelope writer (rotating, newest 3 kept). --resume restarts from the
-// newest intact snapshot — a torn or damaged file is skipped, not fatal —
-// and replays only the remaining days. See DESIGN.md §9.
+// envelope writer (rotating). --resume restarts from the newest intact
+// snapshot — a torn or damaged file is skipped, not fatal — and replays
+// only the remaining days. See DESIGN.md §9 and §11.
 #include <cstdio>
 #include <fstream>
-#include <functional>
-#include <optional>
-#include <sstream>
 #include <string>
+#include <vector>
 
-#include "core/online_predictor.hpp"
-#include "datagen/fleet_generator.hpp"
-#include "datagen/profile.hpp"
-#include "engine/counters.hpp"
-#include "eval/fleet_stream.hpp"
-#include "obs/export.hpp"
-#include "robust/recovery.hpp"
-#include "util/flags.hpp"
-#include "util/stopwatch.hpp"
-#include "util/thread_pool.hpp"
-
-namespace {
-
-constexpr const char* kUsage =
-    "usage: fleet_monitor [--scale F] [--months N] [--seed N]\n"
-    "                     [--alarm-threshold F] [--threads N] [--shards N]\n"
-    "                     [--metrics-out PATH] [--metrics-format jsonl|prom]\n"
-    "                     [--checkpoint PATH]\n"
-    "                     [--checkpoint-dir DIR] [--checkpoint-every DAYS]\n"
-    "                     [--resume]\n";
-
-/// Snapshot payload: a tiny header naming the next day to stream, then the
-/// engine state. Restoring replays [day, end) — together with the engine's
-/// deterministic day pipeline the resumed run is bit-identical to one that
-/// never stopped.
-std::string make_snapshot(const core::OnlineDiskPredictor& monitor,
-                          data::Day next_day) {
-  std::ostringstream payload;
-  payload << "fleet-monitor v1\n" << next_day << "\n";
-  monitor.save(payload);
-  return payload.str();
-}
-
-data::Day restore_snapshot(core::OnlineDiskPredictor& monitor,
-                           const std::string& payload) {
-  std::istringstream is(payload);
-  std::string magic;
-  std::getline(is, magic);
-  if (magic != "fleet-monitor v1") {
-    throw robust::CorruptCheckpoint("unexpected snapshot header: " + magic);
-  }
-  long long day = 0;
-  is >> day;
-  is.ignore(1, '\n');
-  monitor.restore(is);
-  return static_cast<data::Day>(day);
-}
-
-int run(int argc, char** argv);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  try {
-    return run(argc, argv);
-  } catch (const util::FlagError& error) {
-    std::fprintf(stderr, "fleet_monitor: %s\n%s", error.what(), kUsage);
-    return 2;
-  }
-}
+#include "orf/orf.hpp"
 
 namespace {
 
 int run(int argc, char** argv) {
   const util::Flags flags(argc, argv);
-  flags.require_known({"scale", "months", "seed", "alarm-threshold",
-                       "threads", "shards", "metrics-out", "metrics-format",
-                       "checkpoint", "checkpoint-dir", "checkpoint-every",
-                       "resume"});
+  std::vector<util::FlagSpec> specs(orf::Config::flag_specs().begin(),
+                                    orf::Config::flag_specs().end());
+  specs.push_back({"scale", "F", "fleet size as a fraction of ST4000DM000"});
+  specs.push_back({"months", "N", "simulated deployment length"});
+  specs.push_back({"metrics-out", "PATH", "telemetry export file"});
+  specs.push_back({"metrics-format", "jsonl|prom", "telemetry export format"});
+  flags.enforce("fleet_monitor", specs);
+
+  orf::Config config = orf::Config::from_flags(flags);
+
   datagen::FleetProfile profile =
       datagen::sta_profile(flags.get_double("scale", 0.01));
   profile.duration_days = static_cast<data::Day>(
       flags.get_int("months", 18) * data::kDaysPerMonth);
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
-  const data::Dataset fleet = datagen::generate_fleet(profile, seed);
+  const data::Dataset fleet = datagen::generate_fleet(profile, config.seed);
   std::printf("monitoring %zu disks (%zu will fail) for %d months...\n",
               fleet.disks.size(), fleet.failed_count(),
               static_cast<int>(profile.duration_days / data::kDaysPerMonth));
 
-  core::OnlinePredictorParams params;
-  params.forest.n_trees = 30;
-  params.alarm_threshold = flags.get_double("alarm-threshold", 0.6);
-  params.shards = static_cast<std::size_t>(flags.get_int("shards", 0));
-  core::OnlineDiskPredictor monitor(fleet.feature_count(), params, seed);
+  orf::Service service(fleet.feature_count(), config);
+  engine::FleetEngine& monitor = service.engine();
+  std::printf("engine: %zu shards, %zu threads\n", monitor.shard_count(),
+              config.engine.threads);
 
-  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 1));
-  std::optional<util::ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
-  util::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
-  std::printf("engine: %zu shards, %zu threads\n",
-              monitor.engine().shard_count(), threads);
+  data::Day start_day = 0;
+  if (service.resumed()) {
+    start_day = service.next_day();
+    std::printf("resumed from %s (day %d)\n",
+                config.robust.checkpoint_dir.c_str(), start_day);
+  } else if (config.robust.resume) {
+    std::printf("no checkpoint in %s; starting fresh\n",
+                config.robust.checkpoint_dir.c_str());
+  }
 
   // Telemetry export: one registry snapshot per fleet day, taken at the day
   // boundary (a quiescent point, so counters are mutually consistent).
@@ -142,14 +90,14 @@ int run(int argc, char** argv) {
         return 1;
       }
       on_day_end = [&](data::Day day) {
-        metrics_stream << obs::to_json(monitor.engine().metrics_snapshot(),
+        metrics_stream << obs::to_json(monitor.metrics_snapshot(),
                                        {{"day", static_cast<double>(day)}})
                        << '\n';
       };
     } else if (metrics_format == "prom") {
       on_day_end = [&](data::Day) {
         std::ofstream os(metrics_out, std::ios::trunc);
-        os << obs::to_prometheus(monitor.engine().metrics_snapshot());
+        os << obs::to_prometheus(monitor.metrics_snapshot());
       };
     } else {
       std::fprintf(stderr, "unknown --metrics-format '%s' (jsonl|prom)\n",
@@ -158,47 +106,28 @@ int run(int argc, char** argv) {
     }
   }
 
-  // Unattended crash recovery: periodic rotating snapshots, resume from the
-  // newest intact one.
-  const std::string checkpoint_dir = flags.get("checkpoint-dir", "");
-  const auto checkpoint_every =
-      static_cast<data::Day>(flags.get_int("checkpoint-every", 30));
-  data::Day start_day = 0;
-  std::optional<robust::RecoveryManager> recovery;
-  if (flags.get_bool("resume", false) && checkpoint_dir.empty()) {
-    throw util::FlagError("--resume requires --checkpoint-dir");
-  }
-  if (!checkpoint_dir.empty()) {
-    if (checkpoint_every <= 0) {
-      throw util::FlagError("--checkpoint-every must be a positive day count");
-    }
-    recovery.emplace(robust::RecoveryManager::Options{
-        checkpoint_dir, "fleet-monitor", /*keep=*/3});
-    recovery->bind_metrics(monitor.engine().metrics_registry());
-    if (flags.get_bool("resume", false)) {
-      if (auto loaded = recovery->load_latest()) {
-        start_day = restore_snapshot(monitor, loaded->payload);
-        std::printf("resumed from %s (day %d%s)\n", loaded->path.c_str(),
-                    start_day,
-                    loaded->corrupt_skipped > 0 ? ", skipped damaged newer"
-                                                : "");
-      } else {
-        std::printf("no checkpoint in %s; starting fresh\n",
-                    checkpoint_dir.c_str());
-      }
-    }
-    on_day_end = [&monitor, &recovery, checkpoint_every,
+  // Periodic checkpoints ride on the day-end callback: the service owns the
+  // RecoveryManager and snapshot format, the callback just repositions the
+  // day counter first (we stream through engine(), not ingest()).
+  if (!config.robust.checkpoint_dir.empty()) {
+    const data::Day every = config.robust.checkpoint_every;
+    on_day_end = [&service, every,
                   inner = std::move(on_day_end)](data::Day day) {
       if (inner) inner(day);
-      if ((day + 1) % checkpoint_every == 0) {
-        recovery->save(make_snapshot(monitor, day + 1));
+      if ((day + 1) % every == 0) {
+        service.set_next_day(day + 1);
+        service.checkpoint_now();
       }
     };
   }
 
   util::Stopwatch timer;
-  const eval::FleetStreamResult result = eval::stream_fleet_window(
-      fleet, monitor, start_day, profile.duration_days, pool_ptr, on_day_end);
+  const eval::FleetStreamResult result = eval::stream_fleet(
+      fleet, monitor,
+      {.from_day = start_day,
+       .to_day = profile.duration_days,
+       .pool = service.pool(),
+       .on_day_end = on_day_end});
   const double elapsed = timer.seconds();
 
   std::printf("processed %llu samples in %.1fs (%.0f samples/s)\n",
@@ -214,7 +143,7 @@ int run(int argc, char** argv) {
 
   // Engine observability: what flowed through each shard, and what the
   // sequential learn stage cost.
-  const engine::EngineCounters counters = monitor.engine().counters();
+  const engine::EngineCounters counters = monitor.counters();
   std::printf("\nper-shard engine counters (ingested / -released / "
               "+released / alarms):\n");
   for (std::size_t s = 0; s < counters.shards.size(); ++s) {
@@ -237,7 +166,7 @@ int run(int argc, char** argv) {
 
   // Per-stage latency distribution from the telemetry registry (the same
   // instruments --metrics-out exports).
-  const obs::Snapshot snapshot = monitor.engine().metrics_snapshot();
+  const obs::Snapshot snapshot = monitor.metrics_snapshot();
   std::printf("per-stage wall time per day batch (p50 / p95 / p99, ms):\n");
   for (const auto& h : snapshot.histograms) {
     if (h.id.name != "orf_engine_stage_seconds" || h.id.labels.empty()) {
@@ -262,21 +191,6 @@ int run(int argc, char** argv) {
       warm.fdr, warm.true_positives, warm.failed_disks, warm.far,
       warm.false_positives, warm.good_disks);
 
-  // Production restart: checkpoint the complete monitor state (forest,
-  // scaler ranges, per-disk queues) and prove the restored copy scores
-  // identically.
-  if (flags.has("checkpoint")) {
-    const std::string path = flags.get("checkpoint", "/tmp/monitor.ckpt");
-    monitor.save_file(path);
-    core::OnlineDiskPredictor resumed(fleet.feature_count(), params,
-                                      /*seed=*/0);
-    resumed.restore_file(path);
-    const auto& probe = fleet.disks.front().snapshots.front().features;
-    std::printf("\ncheckpointed to %s; restored monitor agrees: %s\n",
-                path.c_str(),
-                resumed.score(probe) == monitor.score(probe) ? "yes" : "NO");
-  }
-
   // Show a few concrete detections: lead time between first in-window alarm
   // and the failure day.
   std::printf("\nsample detections (disk, failure day, first alarm day):\n");
@@ -295,11 +209,22 @@ int run(int argc, char** argv) {
       }
     }
   }
-  if (recovery) {
-    recovery->save(make_snapshot(monitor, profile.duration_days));
-    std::printf("final checkpoint written to %s\n", checkpoint_dir.c_str());
+  if (!config.robust.checkpoint_dir.empty()) {
+    service.set_next_day(profile.duration_days);
+    service.checkpoint_now();
+    std::printf("final checkpoint written to %s\n",
+                config.robust.checkpoint_dir.c_str());
   }
   return 0;
 }
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const util::FlagError& error) {
+    std::fprintf(stderr, "fleet_monitor: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,86 @@
+// fleet_to_json: render a synthetic fleet as orfd request bodies.
+//
+// Emits one JSON document per line to stdout, one line per calendar day —
+// exactly the bodies the daemon's endpoints accept:
+//
+//   --mode ingest   {"reports":[{"disk":..,"features":[..],"fate":".."},..]}
+//                   for POST /v1/ingest — the full deployment stream, with
+//                   each disk's final report tagged failure/retirement;
+//   --mode score    {"rows":[[..],..]}
+//                   for POST /v1/score — the same days as pure score
+//                   batches (no fates, no learning).
+//
+// The CI serve-smoke job pipes these lines through curl to drive a live
+// orfd; see scripts/serve_smoke.sh for the loop.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "orf/orf.hpp"
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  flags.enforce(
+      "fleet_to_json",
+      {{"scale", "F", "fleet size as a fraction of ST4000DM000"},
+       {"months", "N", "simulated deployment length"},
+       {"days", "N", "emit only the first N days (0 = all)"},
+       {"seed", "N", "RNG seed of the generator"},
+       {"mode", "ingest|score", "which endpoint body to emit"}});
+
+  datagen::FleetProfile profile =
+      datagen::sta_profile(flags.get_double("scale", 0.002));
+  profile.duration_days = static_cast<data::Day>(
+      flags.get_int("months", 2) * data::kDaysPerMonth);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto limit = static_cast<data::Day>(flags.get_int("days", 0));
+  const std::string mode = flags.get("mode", "ingest");
+  if (mode != "ingest" && mode != "score") {
+    std::fprintf(stderr, "fleet_to_json: --mode must be ingest|score\n");
+    return 2;
+  }
+
+  const data::Dataset fleet = datagen::generate_fleet(profile, seed);
+  const data::Day last_day =
+      limit > 0 ? std::min(limit, fleet.duration_days) : fleet.duration_days;
+
+  std::vector<std::size_t> cursor(fleet.disks.size(), 0);
+  std::string line;
+  for (data::Day day = 0; day < last_day; ++day) {
+    line = mode == "ingest" ? "{\"reports\":[" : "{\"rows\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < fleet.disks.size(); ++i) {
+      const data::DiskHistory& disk = fleet.disks[i];
+      std::size_t& at = cursor[i];
+      if (at >= disk.snapshots.size() || disk.snapshots[at].day != day) {
+        continue;
+      }
+      if (!first) line += ',';
+      first = false;
+      if (mode == "ingest") {
+        line += "{\"disk\":" + std::to_string(disk.id) + ",\"features\":";
+      }
+      line += '[';
+      const auto& features = disk.snapshots[at].features;
+      for (std::size_t f = 0; f < features.size(); ++f) {
+        if (f > 0) line += ',';
+        line += obs::format_double(static_cast<double>(features[f]));
+      }
+      line += ']';
+      if (mode == "ingest") {
+        ++at;
+        if (at == disk.snapshots.size()) {
+          line += disk.failed ? ",\"fate\":\"failure\""
+                              : ",\"fate\":\"retirement\"";
+        }
+        line += '}';
+      } else {
+        ++at;
+      }
+    }
+    line += "]}";
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}

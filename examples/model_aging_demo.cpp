@@ -13,6 +13,11 @@
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  flags.enforce("model_aging_demo",
+                {{"scale", "F", "fleet size as a fraction of ST4000DM000"},
+                 {"seed", "N", "RNG seed"},
+                 {"initial-months", "N", "offline training window"},
+                 {"last-month", "N", "last month evaluated"}});
 
   eval::LongTermConfig config;
   config.profile = datagen::sta_profile(flags.get_double("scale", 0.02));

@@ -9,17 +9,13 @@
 // Run:  ./examples/quickstart [--scale 0.01] [--seed 42]
 #include <cstdio>
 
-#include "data/labeling.hpp"
-#include "datagen/fleet_generator.hpp"
-#include "datagen/profile.hpp"
-#include "eval/experiments.hpp"
-#include "eval/metrics.hpp"
-#include "eval/offline_models.hpp"
-#include "eval/replay.hpp"
-#include "util/flags.hpp"
+#include "orf/orf.hpp"
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  flags.enforce("quickstart",
+                {{"scale", "F", "fleet size as a fraction of ST4000DM000"},
+                 {"seed", "N", "RNG seed of the whole pipeline"}});
   const double scale = flags.get_double("scale", 0.01);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 

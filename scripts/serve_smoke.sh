@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving layer (DESIGN.md §11): build orfd, feed it
+# a datagen fleet over HTTP, scrape /metrics, then prove the lifecycle
+# contract — SIGTERM drains to a final checkpoint and --resume restores it
+# bit-identically to a run that was never interrupted. Also checks the
+# admission-control 429 path. Leaves the last /metrics exposition at
+# $SERVE_SMOKE_METRICS (default serve_metrics.prom) for CI to archive.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+METRICS_OUT=${SERVE_SMOKE_METRICS:-serve_metrics.prom}
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "$BUILD" -j "$(nproc)" --target orfd fleet_to_json
+
+WORK=$(mktemp -d /tmp/orf_serve_smoke.XXXXXX)
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+DAYS=10
+STOP_AFTER=6
+ORFD="$BUILD/src/serve/orfd"
+COMMON=(--trees 10 --port 0 --serve-threads 2 --checkpoint-every 4)
+
+# One JSON day-batch per line, the exact bodies /v1/ingest accepts.
+./"$BUILD"/examples/fleet_to_json --mode ingest --scale 0.002 \
+  --days "$DAYS" > "$WORK/ingest.jsonl"
+./"$BUILD"/examples/fleet_to_json --mode score --scale 0.002 \
+  --days 1 > "$WORK/score.json"
+
+start_daemon() {  # start_daemon <log> [extra orfd flags...]
+  local log=$1
+  shift
+  "$ORFD" "${COMMON[@]}" "$@" > "$log" 2>&1 &
+  DAEMON_PID=$!
+  PORT=""
+  for _ in $(seq 100); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+    [ -n "$PORT" ] && return 0
+    sleep 0.1
+  done
+  echo "orfd did not come up:" >&2
+  cat "$log" >&2
+  return 1
+}
+
+stop_daemon() {  # SIGTERM → drain → final checkpoint → exit 0
+  kill -TERM "$DAEMON_PID"
+  wait "$DAEMON_PID"
+  DAEMON_PID=""
+}
+
+post() { curl -sSf -X POST "http://127.0.0.1:$PORT$1" --data-binary "$2"; }
+
+ingest_days() {  # ingest_days <first-day> <last-day-exclusive>
+  sed -n "$(($1 + 1)),$(($2))p" "$WORK/ingest.jsonl" |
+    while IFS= read -r body; do
+      post /v1/ingest "$body" > /dev/null
+    done
+}
+
+flat_rebuilds() {
+  curl -sSf "http://127.0.0.1:$PORT/metrics" |
+    grep '^orf_forest_flat_rebuilds_total'
+}
+
+echo "== run A: serve $STOP_AFTER days, then SIGTERM-drain =="
+start_daemon "$WORK/a.log" --checkpoint-dir "$WORK/a"
+curl -sSf "http://127.0.0.1:$PORT/healthz" | grep -q '"status":"ok"'
+ingest_days 0 "$STOP_AFTER"
+
+# Scoring goes through the flat SoA kernel and never resyncs it: the rebuild
+# counter must not move across a burst of /v1/score calls.
+REBUILDS_BEFORE=$(flat_rebuilds)
+for _ in $(seq 5); do
+  post /v1/score "$(cat "$WORK/score.json")" | grep -q '"results"'
+done
+[ "$(flat_rebuilds)" = "$REBUILDS_BEFORE" ] ||
+  { echo "flat kernel resynced under score-only traffic" >&2; exit 1; }
+
+curl -sSf "http://127.0.0.1:$PORT/metrics" > "$METRICS_OUT"
+grep -q '^orf_serve_requests_total{' "$METRICS_OUT"
+grep -q '^orf_engine_shard_ingested_total' "$METRICS_OUT"
+stop_daemon
+grep -q 'final checkpoint' "$WORK/a.log"
+
+echo "== run A resumed: days $STOP_AFTER..$((DAYS - 1)) =="
+start_daemon "$WORK/a2.log" --checkpoint-dir "$WORK/a" --resume
+grep -q "resumed from .* at day $STOP_AFTER" "$WORK/a2.log"
+ingest_days "$STOP_AFTER" "$DAYS"
+stop_daemon
+
+echo "== run B: all $DAYS days uninterrupted =="
+start_daemon "$WORK/b.log" --checkpoint-dir "$WORK/b"
+ingest_days 0 "$DAYS"
+stop_daemon
+
+# The checkpoint envelope is a pure function of the serialized state, so
+# byte-equal final snapshots prove the resumed daemon ended bit-identical.
+LATEST_A=$(ls "$WORK"/a/orf-service-*.ckpt | sort -V | tail -1)
+LATEST_B=$(ls "$WORK"/b/orf-service-*.ckpt | sort -V | tail -1)
+cmp "$LATEST_A" "$LATEST_B" ||
+  { echo "resume diverged from the uninterrupted run" >&2; exit 1; }
+
+echo "== admission control: --max-in-flight 0 answers 429 =="
+start_daemon "$WORK/c.log" --max-in-flight 0
+RESPONSE=$(curl -s -D - "http://127.0.0.1:$PORT/healthz")
+echo "$RESPONSE" | grep -q '^HTTP/1.1 429'
+echo "$RESPONSE" | grep -qi '^Retry-After:'
+stop_daemon
+
+echo "SERVE SMOKE OK (metrics: $METRICS_OUT)"

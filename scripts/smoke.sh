@@ -20,7 +20,8 @@ echo "== repro harnesses (smoke scales) =="
 
 echo "== examples =="
 ./build/examples/quickstart --scale 0.006
-./build/examples/fleet_monitor --scale 0.006 --months 8 --checkpoint /tmp/smoke_monitor.ckpt
+./build/examples/fleet_monitor --scale 0.006 --months 8 \
+  --checkpoint-dir /tmp/smoke_monitor_ckpt --checkpoint-every 60
 ./build/examples/model_aging_demo --scale 0.01 --last-month 12
 ./build/examples/feature_selection_tool --scale 0.005
 ./build/examples/backblaze_ingest --out /tmp/smoke_fleet.csv

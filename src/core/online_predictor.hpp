@@ -21,25 +21,19 @@
 
 namespace core {
 
-struct OnlinePredictorParams {
-  OnlineForestParams forest = {};
-  /// Queue capacity in samples = prediction horizon in days (daily samples).
-  std::size_t queue_capacity = static_cast<std::size_t>(data::kHorizonDays);
-  /// Alarm threshold on the forest score; tune for the deployment's FAR
-  /// budget (see eval::calibrate_threshold).
-  double alarm_threshold = 0.5;
-  /// Disk shards of the underlying engine (0 → auto); a parallelism knob
-  /// only — results never depend on it.
-  std::size_t shards = 0;
-  /// Dirty-report policy of the underlying engine (see
-  /// engine::EngineParams::ingest_errors).
-  robust::RowErrorPolicy ingest_errors = robust::RowErrorPolicy::kStrict;
-};
+/// Legacy alias kept for one release: the old OnlinePredictorParams struct
+/// duplicated engine::EngineParams field for field, so the duplication is
+/// collapsed into the one engine struct — and new code should not build
+/// even that by hand, but configure everything through the layered
+/// orf::Config (src/orf/config.hpp) and its conversion helpers.
+using OnlinePredictorParams [[deprecated(
+    "configure through orf::Config (src/orf/config.hpp); this alias of "
+    "engine::EngineParams will be removed")]] = engine::EngineParams;
 
 class OnlineDiskPredictor {
  public:
   OnlineDiskPredictor(std::size_t feature_count,
-                      const OnlinePredictorParams& params, std::uint64_t seed);
+                      const engine::EngineParams& params, std::uint64_t seed);
 
   struct Observation {
     double score = 0.0;  ///< forest P(failure within horizon)

@@ -8,24 +8,10 @@
 
 namespace core {
 
-namespace {
-
-engine::EngineParams to_engine_params(const OnlinePredictorParams& params) {
-  engine::EngineParams out;
-  out.forest = params.forest;
-  out.queue_capacity = params.queue_capacity;
-  out.alarm_threshold = params.alarm_threshold;
-  out.shards = params.shards;
-  out.ingest_errors = params.ingest_errors;
-  return out;
-}
-
-}  // namespace
-
 OnlineDiskPredictor::OnlineDiskPredictor(std::size_t feature_count,
-                                         const OnlinePredictorParams& params,
+                                         const engine::EngineParams& params,
                                          std::uint64_t seed)
-    : engine_(feature_count, to_engine_params(params), seed) {}
+    : engine_(feature_count, params, seed) {}
 
 OnlineDiskPredictor::Observation OnlineDiskPredictor::observe(
     data::DiskId disk, std::span<const float> raw_x, util::ThreadPool* pool) {

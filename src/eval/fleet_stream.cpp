@@ -7,18 +7,13 @@
 namespace eval {
 
 FleetStreamResult stream_fleet(const data::Dataset& dataset,
-                               core::OnlineDiskPredictor& predictor,
-                               util::ThreadPool* pool,
-                               const DayEndCallback& on_day_end) {
-  return stream_fleet_window(dataset, predictor, 0, dataset.duration_days,
-                             pool, on_day_end);
-}
-
-FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
-                                      core::OnlineDiskPredictor& predictor,
-                                      data::Day from_day, data::Day to_day,
-                                      util::ThreadPool* pool,
-                                      const DayEndCallback& on_day_end) {
+                               engine::FleetEngine& engine,
+                               const StreamOptions& options) {
+  const data::Day from_day = options.from_day;
+  data::Day to_day =
+      options.to_day == kStreamToEnd ? dataset.duration_days : options.to_day;
+  util::ThreadPool* pool = options.pool;
+  const DayEndCallback& on_day_end = options.on_day_end;
   FleetStreamResult result;
   result.disks.resize(dataset.disks.size());
 
@@ -42,7 +37,6 @@ FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
   // the canonical release order matches the historical per-disk loop). A
   // disk whose final sample falls in this window leaves the fleet today —
   // failure event or retirement — which the report's fate encodes.
-  engine::FleetEngine& engine = predictor.engine();
   std::vector<engine::DiskReport> batch;
   std::vector<std::size_t> batch_disk;  ///< record → dataset.disks index
   std::vector<engine::DayOutcome> outcomes;

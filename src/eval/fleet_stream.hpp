@@ -1,5 +1,5 @@
-// Chronological deployment simulation: drives the predictor's FleetEngine
-// over a fleet exactly as Algorithm 2 runs in production — each calendar day
+// Chronological deployment simulation: drives a FleetEngine over a fleet
+// exactly as Algorithm 2 runs in production — each calendar day
 // becomes one engine day batch (every operating disk reports a sample;
 // disks leaving the fleet carry a failure/retirement fate), the engine
 // labels + scores the batch shard-parallel, and today's released labels
@@ -15,8 +15,8 @@
 #include <functional>
 #include <vector>
 
-#include "core/online_predictor.hpp"
 #include "data/types.hpp"
+#include "engine/fleet_engine.hpp"
 #include "eval/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -50,20 +50,26 @@ struct FleetStreamResult {
                   data::Day warmup_days = 0) const;
 };
 
-FleetStreamResult stream_fleet(const data::Dataset& dataset,
-                               core::OnlineDiskPredictor& predictor,
-                               util::ThreadPool* pool = nullptr,
-                               const DayEndCallback& on_day_end = {});
+/// Sentinel for StreamOptions::to_day: stream to the dataset's end.
+inline constexpr data::Day kStreamToEnd = -1;
 
-/// Stream only calendar days [from_day, to_day). Consecutive windows that
-/// partition [0, duration) are exactly equivalent to one full stream_fleet
-/// call — including failure/retirement events, which fire in the window
-/// containing the disk's final sample. Combine with the predictor's
-/// save()/restore() to test (or implement) process restarts mid-deployment.
-FleetStreamResult stream_fleet_window(const data::Dataset& dataset,
-                                      core::OnlineDiskPredictor& predictor,
-                                      data::Day from_day, data::Day to_day,
-                                      util::ThreadPool* pool = nullptr,
-                                      const DayEndCallback& on_day_end = {});
+/// Options block for stream_fleet (the codebase-wide options-struct calling
+/// convention; the old positional window/pool/callback overloads are gone).
+///
+/// Windows: consecutive [from_day, to_day) windows that partition
+/// [0, duration) are exactly equivalent to one full-stream call — including
+/// failure/retirement events, which fire in the window containing the
+/// disk's final sample. Combine with the engine's save()/restore() to test
+/// (or implement) process restarts mid-deployment.
+struct StreamOptions {
+  data::Day from_day = 0;
+  data::Day to_day = kStreamToEnd;  ///< exclusive; clamped to the dataset
+  util::ThreadPool* pool = nullptr;
+  DayEndCallback on_day_end = {};
+};
+
+FleetStreamResult stream_fleet(const data::Dataset& dataset,
+                               engine::FleetEngine& engine,
+                               const StreamOptions& options = {});
 
 }  // namespace eval

@@ -1,0 +1,202 @@
+#include "orf/config.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <string_view>
+
+namespace orf {
+
+namespace {
+
+/// ORF_<NAME> spelling of a --flag-name.
+std::string env_name(std::string_view flag) {
+  std::string name = "ORF_";
+  for (const char c : flag) {
+    name += c == '-' ? '_'
+                     : static_cast<char>(std::toupper(
+                           static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
+/// One config knob resolved flag-first, then ORF_* environment, then the
+/// built-in default. Typed parses throw ConfigError naming the source.
+class Source {
+ public:
+  explicit Source(const util::Flags& flags) : flags_(flags) {}
+
+  std::string get(const std::string& flag, const std::string& fallback) const {
+    if (flags_.has(flag)) return flags_.get(flag, fallback);
+    if (const char* env = std::getenv(env_name(flag).c_str())) return env;
+    return fallback;
+  }
+
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const {
+    const std::string text = get(flag, "");
+    if (text.empty()) return fallback;
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+      throw ConfigError("--" + flag + " (or " + env_name(flag) +
+                        ") expects an integer, got '" + text + "'");
+    }
+    return value;
+  }
+
+  double get_double(const std::string& flag, double fallback) const {
+    const std::string text = get(flag, "");
+    if (text.empty()) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      throw ConfigError("--" + flag + " (or " + env_name(flag) +
+                        ") expects a number, got '" + text + "'");
+    }
+    return value;
+  }
+
+  bool get_bool(const std::string& flag, bool fallback) const {
+    const std::string v = get(flag, "");
+    if (v.empty()) return fallback;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+    throw ConfigError("--" + flag + " (or " + env_name(flag) +
+                      ") expects a boolean, got '" + v + "'");
+  }
+
+ private:
+  const util::Flags& flags_;
+};
+
+constexpr std::array kFlagSpecs = {
+    util::FlagSpec{"trees", "N", "forest size T"},
+    util::FlagSpec{"lambda-pos", "F", "Poisson rate for positive samples"},
+    util::FlagSpec{"lambda-neg", "F", "Poisson rate for negative samples"},
+    util::FlagSpec{"seed", "N", "RNG seed of the whole pipeline"},
+    util::FlagSpec{"shards", "N", "engine disk shards (0 = auto)"},
+    util::FlagSpec{"threads", "N", "engine stage threads (1 = no pool)"},
+    util::FlagSpec{"alarm-threshold", "F", "alarm threshold on the score"},
+    util::FlagSpec{"flat-scoring", "BOOL",
+                   "score through the compiled flat kernel"},
+    util::FlagSpec{"row-errors", "strict|skip|quarantine",
+                   "dirty ingest-report policy"},
+    util::FlagSpec{"queue-capacity", "DAYS",
+                   "label-queue capacity = prediction horizon"},
+    util::FlagSpec{"checkpoint-dir", "DIR",
+                   "rotating crash-safe snapshots (empty = off)"},
+    util::FlagSpec{"checkpoint-every", "DAYS",
+                   "day batches between snapshots"},
+    util::FlagSpec{"checkpoint-keep", "N", "snapshots retained by rotation"},
+    util::FlagSpec{"resume", "", "restart from the newest intact snapshot"},
+    util::FlagSpec{"bind", "ADDR", "daemon bind address"},
+    util::FlagSpec{"port", "N", "daemon TCP port (0 = ephemeral)"},
+    util::FlagSpec{"serve-threads", "N", "daemon worker threads"},
+    util::FlagSpec{"max-in-flight", "N",
+                   "admission bound before responding 429"},
+    util::FlagSpec{"max-body-bytes", "N", "largest accepted request body"},
+    util::FlagSpec{"retry-after", "SECONDS", "Retry-After hint on 429"},
+};
+
+}  // namespace
+
+void Config::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw ConfigError("config: " + what);
+  };
+  if (forest.n_trees <= 0) fail("forest.n_trees must be positive");
+  if (forest.lambda_pos <= 0 || forest.lambda_neg <= 0) {
+    fail("forest lambdas must be positive");
+  }
+  if (engine.alarm_threshold < 0.0 || engine.alarm_threshold > 1.0) {
+    fail("engine.alarm_threshold must lie in [0, 1]");
+  }
+  if (queue.capacity == 0) fail("queue.capacity must be positive");
+  if (robust.resume && robust.checkpoint_dir.empty()) {
+    fail("robust.resume requires robust.checkpoint_dir");
+  }
+  if (!robust.checkpoint_dir.empty() && robust.checkpoint_every <= 0) {
+    fail("robust.checkpoint_every must be a positive day count");
+  }
+  if (robust.checkpoint_keep == 0) fail("robust.checkpoint_keep must be >= 1");
+  if (serve.port < 0 || serve.port > 65535) {
+    fail("serve.port must lie in [0, 65535]");
+  }
+  if (serve.threads == 0) fail("serve.threads must be >= 1");
+  if (serve.max_body_bytes == 0) fail("serve.max_body_bytes must be positive");
+  if (serve.retry_after_seconds < 0) {
+    fail("serve.retry_after_seconds must be >= 0");
+  }
+}
+
+engine::EngineParams Config::engine_params() const {
+  engine::EngineParams params;
+  params.forest = forest;
+  params.queue_capacity = queue.capacity;
+  params.alarm_threshold = engine.alarm_threshold;
+  params.shards = engine.shards;
+  params.ingest_errors = engine.ingest_errors;
+  params.flat_scoring = engine.flat_scoring;
+  return params;
+}
+
+std::span<const util::FlagSpec> Config::flag_specs() { return kFlagSpecs; }
+
+Config Config::from_flags(const util::Flags& flags) {
+  const Source source(flags);
+  Config config;
+  config.forest.n_trees =
+      static_cast<int>(source.get_int("trees", config.forest.n_trees));
+  config.forest.lambda_pos =
+      source.get_double("lambda-pos", config.forest.lambda_pos);
+  config.forest.lambda_neg =
+      source.get_double("lambda-neg", config.forest.lambda_neg);
+  config.seed = static_cast<std::uint64_t>(
+      source.get_int("seed", static_cast<std::int64_t>(config.seed)));
+
+  config.engine.shards = static_cast<std::size_t>(
+      source.get_int("shards", static_cast<std::int64_t>(0)));
+  config.engine.threads = static_cast<std::size_t>(
+      source.get_int("threads", static_cast<std::int64_t>(1)));
+  config.engine.alarm_threshold =
+      source.get_double("alarm-threshold", config.engine.alarm_threshold);
+  config.engine.flat_scoring =
+      source.get_bool("flat-scoring", config.engine.flat_scoring);
+  const std::string policy = source.get("row-errors", "strict");
+  try {
+    config.engine.ingest_errors = robust::parse_row_error_policy(policy);
+  } catch (const std::invalid_argument&) {
+    throw ConfigError("--row-errors expects strict|skip|quarantine, got '" +
+                      policy + "'");
+  }
+
+  config.queue.capacity = static_cast<std::size_t>(source.get_int(
+      "queue-capacity", static_cast<std::int64_t>(config.queue.capacity)));
+
+  config.robust.checkpoint_dir = source.get("checkpoint-dir", "");
+  config.robust.checkpoint_every = static_cast<data::Day>(source.get_int(
+      "checkpoint-every", config.robust.checkpoint_every));
+  config.robust.checkpoint_keep = static_cast<std::size_t>(source.get_int(
+      "checkpoint-keep",
+      static_cast<std::int64_t>(config.robust.checkpoint_keep)));
+  config.robust.resume = source.get_bool("resume", false);
+
+  config.serve.bind_address = source.get("bind", config.serve.bind_address);
+  config.serve.port =
+      static_cast<int>(source.get_int("port", config.serve.port));
+  config.serve.threads = static_cast<std::size_t>(source.get_int(
+      "serve-threads", static_cast<std::int64_t>(config.serve.threads)));
+  config.serve.max_in_flight = static_cast<std::size_t>(source.get_int(
+      "max-in-flight",
+      static_cast<std::int64_t>(config.serve.max_in_flight)));
+  config.serve.max_body_bytes = static_cast<std::size_t>(source.get_int(
+      "max-body-bytes",
+      static_cast<std::int64_t>(config.serve.max_body_bytes)));
+  config.serve.retry_after_seconds = static_cast<int>(
+      source.get_int("retry-after", config.serve.retry_after_seconds));
+
+  config.validate();
+  return config;
+}
+
+}  // namespace orf

@@ -1,0 +1,123 @@
+// orf::Config — the one layered configuration block of the public API.
+//
+// Historically every entry point stitched its own parameters together
+// (core::OnlinePredictorParams duplicating engine::EngineParams field for
+// field, plus ad-hoc flag parsing per binary). The redesigned facade has a
+// single Config with one section per subsystem —
+//
+//   forest  — the Online Random Forest itself (core::OnlineForestParams,
+//             reused verbatim: it is already the paper-parameter block)
+//   engine  — fleet-engine knobs: shards, threads, alarm threshold, the
+//             flat-kernel scoring switch, the dirty-input policy
+//   queue   — per-disk label-queue capacity (= prediction horizon, days)
+//   robust  — crash-safe checkpointing: directory, cadence, rotation, resume
+//   serve   — the orfd HTTP daemon: bind/port, worker pool, admission
+//             control, request limits
+//
+// — one validate() that rejects inconsistent combinations up front, and one
+// flags+env parser (flags win over ORF_* environment variables) shared by
+// every binary, so `orfd` and `fleet_monitor` accept the same spelling for
+// the same knob. Conversion helpers produce the internal layer structs;
+// nothing outside src/ should build those by hand anymore.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "core/online_forest.hpp"
+#include "data/types.hpp"
+#include "engine/fleet_engine.hpp"
+#include "robust/quarantine.hpp"
+#include "util/flags.hpp"
+
+namespace orf {
+
+/// An invalid or inconsistent configuration (bad flag value, failed
+/// validate()). Derives from FlagError so binaries' existing usage-printing
+/// catch blocks handle it too.
+class ConfigError : public util::FlagError {
+ public:
+  using util::FlagError::FlagError;
+};
+
+/// Fleet-engine section: parallelism and decision knobs.
+struct EngineSection {
+  /// Disk shards (0 = auto = hardware concurrency clamped to [1, 32]).
+  /// Purely a parallelism knob: results never depend on it.
+  std::size_t shards = 0;
+  /// Threads for the engine's shard-parallel stages (1 = no pool).
+  std::size_t threads = 1;
+  /// Alarm threshold on the forest score.
+  double alarm_threshold = 0.5;
+  /// Score day batches through the compiled flat SoA kernel (bit-identical
+  /// to the reference traversal; performance knob only).
+  bool flat_scoring = true;
+  /// Dirty-report policy for ingest (strict | skip | quarantine).
+  robust::RowErrorPolicy ingest_errors = robust::RowErrorPolicy::kStrict;
+};
+
+/// Label-queue section.
+struct QueueSection {
+  /// Queue capacity in samples = prediction horizon in days.
+  std::size_t capacity = static_cast<std::size_t>(data::kHorizonDays);
+};
+
+/// Crash-safety section (see robust::RecoveryManager).
+struct RobustSection {
+  /// Snapshot directory; empty = checkpointing off.
+  std::string checkpoint_dir;
+  /// Day batches between periodic snapshots.
+  data::Day checkpoint_every = 30;
+  /// Rotating snapshots retained.
+  std::size_t checkpoint_keep = 3;
+  /// Restart from the newest intact snapshot before serving/streaming.
+  bool resume = false;
+};
+
+/// HTTP daemon section (see serve::HttpServer / orfd).
+struct ServeSection {
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 = ephemeral (the bound port is reported after start).
+  int port = 8080;
+  /// Worker threads serving connections.
+  std::size_t threads = 4;
+  /// Admission bound: connections queued-or-in-service above this are
+  /// answered 429 + Retry-After without touching a worker.
+  std::size_t max_in_flight = 64;
+  /// Largest accepted request body; beyond it the request is 413'd.
+  std::size_t max_body_bytes = 8u << 20;
+  /// Retry-After hint on 429 responses, seconds.
+  int retry_after_seconds = 1;
+};
+
+struct Config {
+  core::OnlineForestParams forest = {};
+  EngineSection engine;
+  QueueSection queue;
+  RobustSection robust;
+  ServeSection serve;
+  /// Seed of the whole pipeline (forest RNG streams).
+  std::uint64_t seed = 42;
+
+  /// Reject inconsistent combinations (throws ConfigError): non-positive
+  /// trees/queue capacity, thresholds outside [0, 1], resume without a
+  /// checkpoint directory, out-of-range port, zero serve workers.
+  void validate() const;
+
+  /// The engine-layer parameter block this config describes.
+  engine::EngineParams engine_params() const;
+
+  /// Every config flag (name, value placeholder, help) — feed to
+  /// util::Flags::enforce alongside the binary's own flags so `orfd` and
+  /// `fleet_monitor` share one spelling per knob.
+  static std::span<const util::FlagSpec> flag_specs();
+
+  /// Build a Config from parsed flags with ORF_* environment fallbacks
+  /// (e.g. --port beats ORF_PORT beats the default). Unparsable values
+  /// throw ConfigError naming the flag; the result is validate()d.
+  static Config from_flags(const util::Flags& flags);
+};
+
+}  // namespace orf

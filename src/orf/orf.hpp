@@ -1,0 +1,38 @@
+// orf.hpp — the library's one public include.
+//
+// Applications (the examples, orfd, downstream embedders) include this
+// facade and program against the orf:: surface — orf::Config for every
+// knob, orf::Service for the long-lived deployment loop — plus the stable
+// helper layers re-exported below (data generation, offline/online
+// evaluation, streaming, telemetry export, CLI flags). Nothing outside
+// src/ should reach for the internal layer headers directly; the facade is
+// the compatibility boundary.
+#pragma once
+
+#include "orf/config.hpp"    // IWYU pragma: export
+#include "orf/service.hpp"   // IWYU pragma: export
+
+// Data: fleet datasets, offline labeling, disk-level splits.
+#include "data/labeling.hpp"  // IWYU pragma: export
+#include "data/types.hpp"     // IWYU pragma: export
+
+// Synthetic fleets shaped like the paper's Backblaze populations.
+#include "datagen/fleet_generator.hpp"  // IWYU pragma: export
+#include "datagen/profile.hpp"          // IWYU pragma: export
+
+// Evaluation: offline baselines, ORF replay, streaming, FDR/FAR metrics.
+#include "eval/experiments.hpp"    // IWYU pragma: export
+#include "eval/fleet_stream.hpp"   // IWYU pragma: export
+#include "eval/metrics.hpp"        // IWYU pragma: export
+#include "eval/offline_models.hpp" // IWYU pragma: export
+#include "eval/replay.hpp"         // IWYU pragma: export
+
+// Engine observability views and telemetry export.
+#include "engine/counters.hpp"  // IWYU pragma: export
+#include "obs/export.hpp"       // IWYU pragma: export
+
+// CLI and runtime utilities shared by every binary.
+#include "util/flags.hpp"        // IWYU pragma: export
+#include "util/rng.hpp"          // IWYU pragma: export
+#include "util/stopwatch.hpp"    // IWYU pragma: export
+#include "util/thread_pool.hpp"  // IWYU pragma: export

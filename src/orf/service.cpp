@@ -1,0 +1,170 @@
+#include "orf/service.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace orf {
+
+namespace {
+
+constexpr std::string_view kStateHeader = "orf-service v1";
+constexpr std::string_view kLegacyHeader = "fleet-monitor v1";
+
+std::size_t validated(const Config& config, std::size_t feature_count) {
+  config.validate();
+  if (feature_count == 0) {
+    throw ConfigError("config: feature_count must be positive");
+  }
+  return feature_count;
+}
+
+}  // namespace
+
+Service::Service(std::size_t feature_count, const Config& config)
+    : config_(config),
+      engine_(validated(config, feature_count), config.engine_params(),
+              config.seed) {
+  if (config_.engine.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.engine.threads);
+  }
+  const char* rejected_help = "ingest rows rejected by cause";
+  rejected_non_finite_ = &metrics_registry().counter(
+      "orf_ingest_rejected_total", rejected_help, {{"cause", "non_finite"}});
+  rejected_duplicate_ = &metrics_registry().counter(
+      "orf_ingest_rejected_total", rejected_help, {{"cause", "duplicate"}});
+  if (!config_.robust.checkpoint_dir.empty()) {
+    recovery_ = std::make_unique<robust::RecoveryManager>(
+        robust::RecoveryManager::Options{
+            .directory = config_.robust.checkpoint_dir,
+            .prefix = "orf-service",
+            .keep = config_.robust.checkpoint_keep});
+    recovery_->bind_metrics(metrics_registry());
+    if (config_.robust.resume) {
+      if (const auto loaded = recovery_->load_latest()) {
+        restore_payload(loaded->payload);
+        resumed_ = true;
+      }
+    }
+  }
+  // From here on the flat kernel is kept in sync at the tail of every
+  // mutation, so score() can stay const and lock-shared.
+  engine_.forest().sync_flat();
+}
+
+void Service::score(std::span<const float> xs,
+                    std::vector<Scored>& out) const {
+  const std::size_t features = engine_.feature_count();
+  if (features == 0 || xs.size() % features != 0) {
+    throw std::invalid_argument(
+        "Service::score: xs.size() must be a multiple of feature_count()");
+  }
+  const std::size_t rows = xs.size() / features;
+  out.assign(rows, Scored{});
+  if (rows == 0) return;
+
+  std::shared_lock lock(mutex_);
+  std::vector<float> scaled(xs.size());
+  std::vector<float> row;
+  for (std::size_t i = 0; i < rows; ++i) {
+    engine_.scaler().transform(xs.subspan(i * features, features), row);
+    std::copy(row.begin(), row.end(), scaled.begin() + i * features);
+  }
+  std::vector<double> scores(rows);
+  engine_.forest().flat().predict_batch(scaled, features, scores);
+  const double threshold = engine_.alarm_threshold();
+  for (std::size_t i = 0; i < rows; ++i) {
+    out[i].score = scores[i];
+    out[i].alarm = scores[i] >= threshold;
+  }
+}
+
+IngestStats Service::ingest(std::span<const engine::DiskReport> batch,
+                            std::vector<engine::DayOutcome>& outcomes) {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t non_finite_before = rejected_non_finite_->value();
+  const std::uint64_t duplicate_before = rejected_duplicate_->value();
+  engine_.ingest_day(batch, outcomes, pool_.get());
+  engine_.forest().sync_flat();
+
+  IngestStats stats;
+  stats.day = next_day_++;
+  stats.rejected_non_finite =
+      rejected_non_finite_->value() - non_finite_before;
+  stats.rejected_duplicate = rejected_duplicate_->value() - duplicate_before;
+  for (const engine::DayOutcome& outcome : outcomes) {
+    if (!outcome.rejected) ++stats.accepted;
+  }
+  if (recovery_ &&
+      ++days_since_checkpoint_ >= config_.robust.checkpoint_every) {
+    stats.checkpoint_path = checkpoint_locked();
+    days_since_checkpoint_ = 0;
+  }
+  return stats;
+}
+
+std::string Service::checkpoint_now() {
+  if (!recovery_) return {};
+  std::unique_lock lock(mutex_);
+  days_since_checkpoint_ = 0;
+  return checkpoint_locked();
+}
+
+std::string Service::checkpoint_locked() {
+  return recovery_->save({state_payload()});
+}
+
+std::string Service::state_payload() const {
+  std::ostringstream os;
+  os << kStateHeader << "\n" << next_day_ << "\n";
+  engine_.save(os);
+  return os.str();
+}
+
+void Service::restore_payload(const std::string& payload) {
+  std::istringstream is(payload);
+  std::string header;
+  std::getline(is, header);
+  if (header != kStateHeader && header != kLegacyHeader) {
+    throw std::runtime_error(
+        "Service::restore: unrecognised snapshot header '" + header + "'");
+  }
+  long long day = 0;
+  is >> day;
+  is.ignore(1, '\n');
+  if (!is) {
+    throw std::runtime_error("Service::restore: truncated snapshot header");
+  }
+  engine_.restore(is);
+  next_day_ = static_cast<data::Day>(day);
+  engine_.forest().sync_flat();
+}
+
+void Service::save(std::ostream& os) const {
+  std::shared_lock lock(mutex_);
+  os << state_payload();
+}
+
+void Service::restore(std::istream& is) {
+  std::unique_lock lock(mutex_);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  restore_payload(buffer.str());
+}
+
+data::Day Service::next_day() const {
+  std::shared_lock lock(mutex_);
+  return next_day_;
+}
+
+void Service::set_next_day(data::Day day) {
+  std::unique_lock lock(mutex_);
+  next_day_ = day;
+}
+
+obs::Snapshot Service::metrics_snapshot() const {
+  std::unique_lock lock(mutex_);
+  return engine_.metrics_snapshot();
+}
+
+}  // namespace orf

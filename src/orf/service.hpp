@@ -1,0 +1,138 @@
+// orf::Service — the stable long-lived entry point of the public API.
+//
+// A Service wraps one FleetEngine (plus its optional thread pool and
+// crash-safe RecoveryManager) behind exactly two state-touching verbs:
+//
+//   score()  — pure prediction on raw SMART rows. Takes a shared lock and
+//              reads only the forest's compiled flat kernel, so any number
+//              of callers score concurrently. The flat cache is re-synced
+//              eagerly at the end of every mutation, which keeps this path
+//              const (orf_forest_flat_rebuilds_total stays quiescent while
+//              only scores arrive).
+//   ingest() — one calendar-day batch through the engine's three stages
+//              (Algorithm 2) under an exclusive lock, with the configured
+//              RowErrorPolicy and per-cause rejection counts reported back.
+//              Periodic checkpoints ride on the day counter.
+//
+// Checkpoints serialise as "orf-service v1\n<next_day>\n" + engine state
+// through the CRC-framed atomic envelope, so a SIGTERM-drain → final
+// checkpoint → --resume restart is bit-identical to an uninterrupted run
+// (the daemon e2e test byte-compares the snapshots). Legacy
+// "fleet-monitor v1" snapshots restore too.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/fleet_engine.hpp"
+#include "orf/config.hpp"
+#include "robust/recovery.hpp"
+#include "util/thread_pool.hpp"
+
+namespace orf {
+
+/// Verdict on one scored row.
+struct Scored {
+  double score = 0.0;  ///< forest P(failure within horizon)
+  bool alarm = false;  ///< score >= engine.alarm_threshold
+};
+
+/// What one ingest() day did, beyond the per-report outcomes.
+struct IngestStats {
+  data::Day day = 0;        ///< the day index this batch became
+  std::size_t accepted = 0; ///< reports that touched engine state
+  std::uint64_t rejected_non_finite = 0;
+  std::uint64_t rejected_duplicate = 0;
+  /// Path of the periodic snapshot written after this day, if any.
+  std::string checkpoint_path;
+};
+
+class Service {
+ public:
+  /// Builds the engine from `config` (validate()d again here), spins up the
+  /// stage pool when engine.threads > 1, attaches the RecoveryManager when
+  /// robust.checkpoint_dir is set, and — when robust.resume — restores the
+  /// newest intact snapshot before accepting any traffic.
+  Service(std::size_t feature_count, const Config& config);
+
+  /// Score `rows` raw SMART rows held row-major in `xs`
+  /// (xs.size() == rows * feature_count()): scale with the current ranges,
+  /// then one predict_batch through the flat kernel. Touches no state;
+  /// thread-safe against other score() calls and serialised against
+  /// ingest()/restore().
+  void score(std::span<const float> xs, std::vector<Scored>& out) const;
+
+  /// Process one calendar-day batch (exclusive). `outcomes` gets one
+  /// verdict per report in batch order; the stats carry the day index and
+  /// this batch's per-cause rejection counts. Throws std::invalid_argument
+  /// under the strict row policy on a dirty report (state untouched).
+  IngestStats ingest(std::span<const engine::DiskReport> batch,
+                     std::vector<engine::DayOutcome>& outcomes);
+
+  /// Write a snapshot now (exclusive); returns its path, or "" when
+  /// checkpointing is off. The SIGTERM drain path calls this last.
+  std::string checkpoint_now();
+
+  /// Serialize / replace the full service state ("orf-service v1" header +
+  /// engine). restore() accepts legacy "fleet-monitor v1" snapshots.
+  void save(std::ostream& os) const;
+  void restore(std::istream& is);
+
+  /// Day index the next ingest() batch will be assigned.
+  data::Day next_day() const;
+  /// Reposition the day counter (exclusive). For drivers that stream days
+  /// through engine() directly — e.g. fleet_monitor over eval::stream_fleet
+  /// — so their checkpoints resume at the right day.
+  void set_next_day(data::Day day);
+  /// Whether the constructor restored state from a snapshot.
+  bool resumed() const { return resumed_; }
+
+  std::size_t feature_count() const { return engine_.feature_count(); }
+  const Config& config() const { return config_; }
+
+  /// The wrapped engine — for the streaming drivers (eval::stream_fleet)
+  /// and tests. Mutations through it must not race score(); the daemon
+  /// only touches it through the verbs above.
+  engine::FleetEngine& engine() { return engine_; }
+  const engine::FleetEngine& engine() const { return engine_; }
+
+  /// The engine's registry; serving-layer instruments register here so one
+  /// /metrics scrape covers forest, engine, recovery and HTTP series.
+  obs::Registry& metrics_registry() { return engine_.metrics_registry(); }
+  /// Quiescent cross-instrument snapshot (takes the exclusive lock).
+  obs::Snapshot metrics_snapshot() const;
+
+  /// Stage pool per engine.threads (nullptr when single-threaded).
+  util::ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  std::string state_payload() const;
+  void restore_payload(const std::string& payload);
+  std::string checkpoint_locked();
+
+  Config config_;
+  engine::FleetEngine engine_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<robust::RecoveryManager> recovery_;
+
+  /// score() shared / ingest()+restore() exclusive. The flat kernel is
+  /// synced before the exclusive lock drops, so shared holders never
+  /// trigger a rebuild.
+  mutable std::shared_mutex mutex_;
+
+  data::Day next_day_ = 0;
+  data::Day days_since_checkpoint_ = 0;
+  bool resumed_ = false;
+
+  /// The engine's per-cause rejection counters (registry dedup hands back
+  /// the same instruments) — diffed around ingest_day for IngestStats.
+  obs::Counter* rejected_non_finite_ = nullptr;
+  obs::Counter* rejected_duplicate_ = nullptr;
+};
+
+}  // namespace orf

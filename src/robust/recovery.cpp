@@ -92,20 +92,28 @@ void RecoveryManager::prune(
   }
 }
 
-std::string RecoveryManager::save(std::string_view payload) {
+std::string RecoveryManager::save(const SaveRequest& request) {
   std::error_code ec;
   fs::create_directories(options_.directory, ec);
   const std::string path = snapshot_path(next_sequence_);
-  write_envelope_file(path, payload);
+  write_envelope_file(path, request.payload);
   ++next_sequence_;
   if (instruments_.saves) instruments_.saves->inc();
   prune(scan());
   return path;
 }
 
-std::optional<RecoveryManager::Loaded> RecoveryManager::load_latest() {
+std::optional<RecoveryManager::Loaded> RecoveryManager::load_latest(
+    const LoadRequest& request) {
   const auto all = scan();
-  if (all.empty()) return std::nullopt;
+  if (all.empty()) {
+    if (request.require_snapshot) {
+      throw CorruptCheckpoint("recovery: no snapshot under " +
+                              options_.directory +
+                              " and the caller requires one");
+    }
+    return std::nullopt;
+  }
   std::size_t skipped = 0;
   std::string last_error;
   for (auto it = all.rbegin(); it != all.rend(); ++it) {

@@ -41,10 +41,16 @@ class RecoveryManager {
   /// to share the engine's registry).
   void bind_metrics(obs::Registry& registry);
 
+  /// Options block for save() (the codebase-wide options-struct calling
+  /// convention — two positional string-ish arguments invite swapping).
+  struct SaveRequest {
+    std::string_view payload;
+  };
+
   /// Write the next snapshot atomically; returns its path. Throws on I/O
   /// failure (destination set is untouched — the previous snapshots stay
   /// loadable).
-  std::string save(std::string_view payload);
+  std::string save(const SaveRequest& request);
 
   struct Loaded {
     std::string payload;
@@ -54,9 +60,17 @@ class RecoveryManager {
     std::size_t corrupt_skipped = 0;
   };
 
-  /// Newest intact snapshot, or nullopt when the directory holds none.
-  /// Throws CorruptCheckpoint when snapshots exist but all are damaged.
-  std::optional<Loaded> load_latest();
+  struct LoadRequest {
+    /// Treat an empty (or missing) snapshot directory as an error instead
+    /// of a fresh start — for deployments where resuming is mandatory.
+    bool require_snapshot = false;
+  };
+
+  /// Newest intact snapshot, or nullopt when the directory holds none
+  /// (CorruptCheckpoint instead when require_snapshot is set). Throws
+  /// CorruptCheckpoint when snapshots exist but all are damaged.
+  std::optional<Loaded> load_latest(const LoadRequest& request);
+  std::optional<Loaded> load_latest() { return load_latest(LoadRequest{}); }
 
   /// Snapshot paths present on disk, ascending sequence.
   std::vector<std::string> list() const;

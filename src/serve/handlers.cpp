@@ -1,0 +1,254 @@
+#include "serve/handlers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "serve/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace serve {
+
+namespace {
+
+/// Thrown by body decoding; becomes a 400 with the cause in the JSON body.
+class BadRequest : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+Response json_response(int status, json::Value body) {
+  Response response;
+  response.status = status;
+  response.body = json::dump(body);
+  return response;
+}
+
+Response error_response(int status, const std::string& cause) {
+  return json_response(
+      status, json::Value::of(json::Object{
+                  {"error", json::Value::of(std::string(cause))}}));
+}
+
+/// Decode {"rows":[[...],...]} into one row-major float buffer.
+std::vector<float> decode_rows(const json::Value& doc,
+                               std::size_t feature_count) {
+  const json::Value* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    throw BadRequest("body must be {\"rows\": [[...], ...]}");
+  }
+  std::vector<float> xs;
+  xs.reserve(rows->array.size() * feature_count);
+  for (std::size_t i = 0; i < rows->array.size(); ++i) {
+    const json::Value& row = rows->array[i];
+    if (!row.is_array() || row.array.size() != feature_count) {
+      throw BadRequest("row " + std::to_string(i) + " must be an array of " +
+                       std::to_string(feature_count) + " numbers");
+    }
+    for (const json::Value& cell : row.array) {
+      if (!cell.is_number()) {
+        throw BadRequest("row " + std::to_string(i) +
+                         " holds a non-numeric cell");
+      }
+      xs.push_back(static_cast<float>(cell.number));
+    }
+  }
+  return xs;
+}
+
+engine::DiskFate decode_fate(const json::Value& report, std::size_t index) {
+  const json::Value* fate = report.find("fate");
+  if (fate == nullptr) return engine::DiskFate::kOperating;
+  if (fate->is_string()) {
+    if (fate->string == "operating") return engine::DiskFate::kOperating;
+    if (fate->string == "failure") return engine::DiskFate::kFailure;
+    if (fate->string == "retirement") return engine::DiskFate::kRetirement;
+  }
+  throw BadRequest("report " + std::to_string(index) +
+                   ": fate must be operating|failure|retirement");
+}
+
+/// Decoded ingest batch; `features` owns the storage the report spans
+/// reference (stable: sized up front, never reallocated).
+struct IngestBatch {
+  std::vector<std::vector<float>> features;
+  std::vector<engine::DiskReport> reports;
+};
+
+IngestBatch decode_reports(const json::Value& doc,
+                           std::size_t feature_count) {
+  const json::Value* reports = doc.find("reports");
+  if (reports == nullptr || !reports->is_array()) {
+    throw BadRequest("body must be {\"reports\": [{...}, ...]}");
+  }
+  IngestBatch batch;
+  batch.features.resize(reports->array.size());
+  batch.reports.reserve(reports->array.size());
+  for (std::size_t i = 0; i < reports->array.size(); ++i) {
+    const json::Value& report = reports->array[i];
+    if (!report.is_object()) {
+      throw BadRequest("report " + std::to_string(i) + " must be an object");
+    }
+    const json::Value* disk = report.find("disk");
+    if (disk == nullptr || !disk->is_number() ||
+        disk->number != std::floor(disk->number) || disk->number < 0) {
+      throw BadRequest("report " + std::to_string(i) +
+                       ": disk must be a non-negative integer");
+    }
+    const json::Value* features = report.find("features");
+    if (features == nullptr || !features->is_array() ||
+        features->array.size() != feature_count) {
+      throw BadRequest("report " + std::to_string(i) +
+                       ": features must be an array of " +
+                       std::to_string(feature_count) + " numbers");
+    }
+    std::vector<float>& row = batch.features[i];
+    row.reserve(feature_count);
+    for (const json::Value& cell : features->array) {
+      if (!cell.is_number()) {
+        throw BadRequest("report " + std::to_string(i) +
+                         " holds a non-numeric feature");
+      }
+      row.push_back(static_cast<float>(cell.number));
+    }
+    batch.reports.push_back(engine::DiskReport{
+        .disk = static_cast<data::DiskId>(disk->number),
+        .features = row,
+        .fate = decode_fate(report, i)});
+  }
+  return batch;
+}
+
+}  // namespace
+
+Api::Api(orf::Service& service)
+    : service_(service), registry_(service.metrics_registry()) {
+  const char* help = "handler latency by route";
+  score_seconds_ = &registry_.histogram("orf_serve_request_seconds", help,
+                                        obs::latency_buckets(),
+                                        {{"route", "/v1/score"}});
+  ingest_seconds_ = &registry_.histogram("orf_serve_request_seconds", help,
+                                         obs::latency_buckets(),
+                                         {{"route", "/v1/ingest"}});
+}
+
+Response Api::finish(const std::string& route, Response response,
+                     double seconds) {
+  registry_
+      .counter("orf_serve_requests_total", "requests served by route/status",
+               {{"route", route}, {"code", std::to_string(response.status)}})
+      .inc();
+  if (seconds >= 0.0) {
+    if (route == "/v1/score") score_seconds_->observe(seconds);
+    if (route == "/v1/ingest") ingest_seconds_->observe(seconds);
+  }
+  return response;
+}
+
+Response Api::handle(const Request& request) {
+  const std::string& target = request.target;
+  if (target == "/v1/score" || target == "/v1/ingest") {
+    if (request.method != "POST") {
+      return finish(target, error_response(405, "use POST"), -1.0);
+    }
+    util::Stopwatch timer;
+    try {
+      Response response = target == "/v1/score" ? score(request)
+                                                : ingest(request);
+      return finish(target, std::move(response), timer.seconds());
+    } catch (const json::ParseError& error) {
+      return finish(target, error_response(400, error.what()),
+                    timer.seconds());
+    } catch (const BadRequest& error) {
+      return finish(target, error_response(400, error.what()),
+                    timer.seconds());
+    } catch (const std::invalid_argument& error) {
+      // Strict row policy: the engine rejected the batch, state untouched.
+      return finish(target, error_response(400, error.what()),
+                    timer.seconds());
+    }
+  }
+  if (target == "/metrics") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      return finish(target, error_response(405, "use GET"), -1.0);
+    }
+    return finish(target, metrics(), -1.0);
+  }
+  if (target == "/healthz") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      return finish(target, error_response(405, "use GET"), -1.0);
+    }
+    return finish(target, healthz(), -1.0);
+  }
+  return finish(target, error_response(404, "no such route"), -1.0);
+}
+
+Response Api::score(const Request& request) {
+  const json::Value doc = json::parse(request.body);
+  const std::vector<float> xs = decode_rows(doc, service_.feature_count());
+  std::vector<orf::Scored> scored;
+  service_.score(xs, scored);
+
+  json::Array results;
+  results.reserve(scored.size());
+  for (const orf::Scored& s : scored) {
+    results.push_back(json::Value::of(json::Object{
+        {"score", json::Value::of(s.score)},
+        {"alarm", json::Value::of(s.alarm)}}));
+  }
+  return json_response(
+      200, json::Value::of(json::Object{
+               {"count", json::Value::of(static_cast<double>(scored.size()))},
+               {"results", json::Value::of(std::move(results))}}));
+}
+
+Response Api::ingest(const Request& request) {
+  const json::Value doc = json::parse(request.body);
+  IngestBatch batch = decode_reports(doc, service_.feature_count());
+  std::vector<engine::DayOutcome> outcomes;
+  const orf::IngestStats stats = service_.ingest(batch.reports, outcomes);
+
+  json::Array rendered;
+  rendered.reserve(outcomes.size());
+  for (const engine::DayOutcome& outcome : outcomes) {
+    rendered.push_back(json::Value::of(json::Object{
+        {"score", json::Value::of(outcome.score)},
+        {"alarm", json::Value::of(outcome.alarm)},
+        {"rejected", json::Value::of(outcome.rejected)}}));
+  }
+  json::Object body{
+      {"day", json::Value::of(static_cast<double>(stats.day))},
+      {"accepted", json::Value::of(static_cast<double>(stats.accepted))},
+      {"rejected",
+       json::Value::of(json::Object{
+           {"non_finite",
+            json::Value::of(static_cast<double>(stats.rejected_non_finite))},
+           {"duplicate",
+            json::Value::of(static_cast<double>(stats.rejected_duplicate))}})},
+      {"outcomes", json::Value::of(std::move(rendered))}};
+  if (!stats.checkpoint_path.empty()) {
+    body.emplace_back("checkpoint",
+                      json::Value::of(std::string(stats.checkpoint_path)));
+  }
+  return json_response(200, json::Value::of(std::move(body)));
+}
+
+Response Api::metrics() {
+  Response response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = obs::to_prometheus(service_.metrics_snapshot());
+  return response;
+}
+
+Response Api::healthz() {
+  return json_response(
+      200,
+      json::Value::of(json::Object{
+          {"status", json::Value::of(std::string("ok"))},
+          {"next_day",
+           json::Value::of(static_cast<double>(service_.next_day()))},
+          {"resumed", json::Value::of(service_.resumed())}}));
+}
+
+}  // namespace serve

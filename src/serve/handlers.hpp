@@ -1,0 +1,48 @@
+// orfd's routes: the bridge from parsed HTTP requests to orf::Service.
+//
+//   POST /v1/score   {"rows":[[f0..fN-1],...]}            → scores + alarms
+//   POST /v1/ingest  {"reports":[{"disk":..,"features":[..],
+//                     "fate":"operating|failure|retirement"},...]}
+//                                                          → one day batch
+//   GET  /metrics    Prometheus exposition of the whole registry
+//   GET  /healthz    liveness + next_day + resumed
+//
+// Scoring rides the Service's shared lock (concurrent, flat kernel only);
+// ingest takes the exclusive lock and reports the day index, per-cause
+// rejection counts and any periodic checkpoint path back in the response.
+// Malformed bodies are 400 with a JSON {"error": cause}; under the strict
+// row policy a dirty ingest report is 400 too (engine state untouched).
+//
+// Request-level telemetry registers on the Service's registry, so one
+// /metrics scrape covers forest, engine, recovery and HTTP series:
+//   orf_serve_requests_total{route,code}   every response by route/status
+//   orf_serve_request_seconds{route}       handler latency histogram
+#pragma once
+
+#include "orf/service.hpp"
+#include "serve/http.hpp"
+
+namespace serve {
+
+class Api {
+ public:
+  explicit Api(orf::Service& service);
+
+  /// Route and execute one request (the HttpServer handler).
+  Response handle(const Request& request);
+
+ private:
+  Response score(const Request& request);
+  Response ingest(const Request& request);
+  Response metrics();
+  Response healthz();
+  Response finish(const std::string& route, Response response,
+                  double seconds);
+
+  orf::Service& service_;
+  obs::Registry& registry_;
+  obs::Histogram* score_seconds_;
+  obs::Histogram* ingest_seconds_;
+};
+
+}  // namespace serve

@@ -1,0 +1,299 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/export.hpp"
+
+namespace serve::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, member] : object) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value value = parse_value(/*depth=*/0);
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw ParseError(pos_, reason);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c, const char* what) {
+    if (pos_ >= text_.size() || text_[pos_] != c) fail(what);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_space();
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return Value::null();
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return Value::of(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return Value::of(false);
+      case '"':
+        return Value::of(parse_string());
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "expected string");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: --pos_; fail("unknown escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("non-hex digit in \\u escape");
+      }
+    }
+    // Encode the BMP code point as UTF-8 (surrogates pass through as-is —
+    // the bodies orfd handles are ASCII in practice).
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    double value = 0.0;
+    const auto [end, err] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (err != std::errc() || end != text_.data() + pos_) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    if (!std::isfinite(value)) {
+      pos_ = start;
+      fail("number out of range");
+    }
+    return Value::of(value);
+  }
+
+  Value parse_array(int depth) {
+    expect('[', "expected array");
+    Array items;
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::of(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_space();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value::of(std::move(items));
+      if (c != ',') { --pos_; fail("expected ',' or ']'"); }
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{', "expected object");
+    Object members;
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return Value::of(std::move(members));
+    }
+    while (true) {
+      skip_space();
+      std::string key = parse_string();
+      for (const auto& [existing, unused] : members) {
+        if (existing == key) fail("duplicate key '" + key + "'");
+      }
+      skip_space();
+      expect(':', "expected ':' after key");
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_space();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value::of(std::move(members));
+      if (c != ',') { --pos_; fail("expected ',' or '}'"); }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Value& value, std::string& out) {
+  switch (value.kind) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += value.boolean ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      out += obs::format_double(value.number);
+      break;
+    case Value::Kind::kString:
+      dump_string(value.string, out);
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : value.array) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) out += ',';
+        first = false;
+        dump_string(key, out);
+        out += ':';
+        dump_value(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump_value(value, out);
+  return out;
+}
+
+}  // namespace serve::json

@@ -1,0 +1,98 @@
+// Minimal JSON for the serving layer: a value tree, a strict recursive
+// parser, and a writer.
+//
+// Scope is exactly what the orfd request/response bodies need — UTF-8
+// strings with the standard escapes, finite doubles, arrays, objects (order
+// preserved; duplicate keys rejected). No external dependency, no streaming:
+// request bodies are already bounded by ServeSection::max_body_bytes before
+// they reach the parser. Errors carry the byte offset and a short reason so
+// a 400 response can say *why* the body was malformed.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace serve::json {
+
+/// Malformed JSON text; what() names the byte offset and the problem.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t offset, const std::string& reason)
+      : std::runtime_error("json: " + reason + " at byte " +
+                           std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  Array array;
+  Object object;
+
+  static Value null() { return {}; }
+  static Value of(bool b) {
+    Value v;
+    v.kind = Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+  static Value of(double d) {
+    Value v;
+    v.kind = Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+  static Value of(std::string s) {
+    Value v;
+    v.kind = Kind::kString;
+    v.string = std::move(s);
+    return v;
+  }
+  static Value of(Array a) {
+    Value v;
+    v.kind = Kind::kArray;
+    v.array = std::move(a);
+    return v;
+  }
+  static Value of(Object o) {
+    Value v;
+    v.kind = Kind::kObject;
+    v.object = std::move(o);
+    return v;
+  }
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member by key, or nullptr (nullptr too on non-objects).
+  const Value* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document (throws ParseError; trailing non-space
+/// input is an error).
+Value parse(std::string_view text);
+
+/// Compact serialization. Doubles use the shortest round-tripping form
+/// (obs::format_double), so responses are platform-stable.
+std::string dump(const Value& value);
+
+}  // namespace serve::json

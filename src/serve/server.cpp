@@ -1,0 +1,246 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace serve {
+
+namespace {
+
+/// Receive timeout per read: the drain latency ceiling for an idle
+/// keep-alive connection.
+constexpr int kRecvTimeoutMillis = 100;
+
+void set_recv_timeout(int fd) {
+  timeval tv{};
+  tv.tv_sec = kRecvTimeoutMillis / 1000;
+  tv.tv_usec = (kRecvTimeoutMillis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+/// Write the whole buffer, tolerating short writes; false on a dead peer.
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string error_body(const std::string& detail) {
+  std::string out = "{\"error\":\"";
+  for (const char c : detail) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  out += "\"}";
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(const orf::ServeSection& options, Handler handler,
+                       obs::Registry* registry)
+    : options_(options), handler_(std::move(handler)) {
+  if (registry != nullptr) {
+    instruments_.in_flight = &registry->gauge(
+        "orf_serve_in_flight", "connections currently being serviced");
+    instruments_.connections = &registry->counter(
+        "orf_serve_connections_total", "connections accepted");
+    instruments_.overflow = &registry->counter(
+        "orf_serve_overflow_total",
+        "connections answered 429 by admission control");
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::system_error(EINVAL, std::generic_category(),
+                            "bad bind address '" + options_.bind_address +
+                                "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, SOMAXCONN) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::system_error(err, std::generic_category(),
+                            "bind " + options_.bind_address + ":" +
+                                std::to_string(options_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  workers_ = std::make_unique<util::ThreadPool>(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    workers_->submit([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (workers_) {
+    workers_->wait();
+    workers_.reset();
+  }
+  // Anything still queued was never admitted to a worker: close it.
+  std::lock_guard lock(mu_);
+  for (const int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+void HttpServer::reject_overflow(int fd) {
+  Response response;
+  response.status = 429;
+  response.body = "{\"error\":\"too many requests in flight\"}";
+  response.headers.emplace_back(
+      "Retry-After", std::to_string(options_.retry_after_seconds));
+  write_all(fd, serialize(response, /*keep_alive=*/false));
+  ::close(fd);
+  if (instruments_.overflow) instruments_.overflow->inc();
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop(), or fatal
+    }
+    if (instruments_.connections) instruments_.connections->inc();
+    bool admitted = false;
+    {
+      std::lock_guard lock(mu_);
+      if (pending_.size() + in_service_ < options_.max_in_flight) {
+        pending_.push_back(fd);
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      cv_.notify_one();
+    } else {
+      reject_overflow(fd);
+    }
+  }
+}
+
+int HttpServer::next_connection() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] {
+    return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+  });
+  if (pending_.empty()) return -1;
+  const int fd = pending_.front();
+  pending_.pop_front();
+  ++in_service_;
+  return fd;
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    const int fd = next_connection();
+    if (fd < 0) return;
+    if (instruments_.in_flight) instruments_.in_flight->add(1.0);
+    try {
+      serve_connection(fd);
+    } catch (...) {
+      // A connection must never take the worker down.
+    }
+    ::close(fd);
+    if (instruments_.in_flight) instruments_.in_flight->add(-1.0);
+    {
+      std::lock_guard lock(mu_);
+      --in_service_;
+    }
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  set_recv_timeout(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  RequestParser parser({.max_body_bytes = options_.max_body_bytes});
+  char buf[16 * 1024];
+  while (true) {
+    RequestParser::State state = parser.state();
+    if (state == RequestParser::State::kNeedMore) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n == 0) return;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Receive timeout: keep waiting unless the server is draining.
+          if (stopping_.load(std::memory_order_acquire)) return;
+          continue;
+        }
+        return;
+      }
+      state = parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    if (state == RequestParser::State::kError) {
+      Response response;
+      response.status = parser.error_status();
+      response.body = error_body(parser.error_detail());
+      write_all(fd, serialize(response, /*keep_alive=*/false));
+      return;  // framing is unrecoverable after a malformed request
+    }
+    if (state == RequestParser::State::kComplete) {
+      const Request request = parser.take();
+      Response response;
+      try {
+        response = handler_(request);
+      } catch (...) {
+        response.status = 500;
+        response.body = "{\"error\":\"internal error\"}";
+      }
+      // Drain: finish this request, then close even if keep-alive.
+      const bool keep =
+          request.keep_alive && !stopping_.load(std::memory_order_acquire);
+      if (!write_all(fd, serialize(response, keep))) return;
+      if (!keep) return;
+    }
+  }
+}
+
+}  // namespace serve

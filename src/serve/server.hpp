@@ -1,0 +1,96 @@
+// Blocking HTTP/1.1 server for orfd: one accept thread, a util::ThreadPool
+// of connection workers, and admission control in front of them.
+//
+// The accept thread pushes each connection into a bounded hand-off queue;
+// when queued + in-service connections reach ServeSection::max_in_flight,
+// the connection is answered 429 + Retry-After straight from the accept
+// thread (a canned response — no worker, no parsing) and closed. That makes
+// overload behaviour crisp: the daemon never buffers more work than it is
+// configured to have in flight, and clients get an explicit back-off signal
+// instead of a growing queue.
+//
+// Workers run the keep-alive loop per connection: read with a short receive
+// timeout (so the stop flag is observed between requests), parse
+// incrementally (serve/http.hpp handles torn reads and pipelining), call
+// the handler, write the response. Protocol errors are answered with the
+// parser's status + JSON cause and close the connection.
+//
+// stop() is a graceful drain: stop accepting, let every in-service request
+// run to completion, answer nothing new, join all threads. Safe to call
+// twice; the destructor calls it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "orf/config.hpp"
+#include "serve/http.hpp"
+#include "util/thread_pool.hpp"
+
+namespace serve {
+
+class HttpServer {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+
+  /// `registry` (optional) receives the connection-level instruments:
+  /// orf_serve_in_flight, orf_serve_connections_total,
+  /// orf_serve_overflow_total. Request-level instruments belong to the
+  /// handler (see serve/handlers.hpp).
+  HttpServer(const orf::ServeSection& options, Handler handler,
+             obs::Registry* registry = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind + listen + spawn threads. Throws std::system_error when the
+  /// address cannot be bound.
+  void start();
+
+  /// Graceful drain (see above). Idempotent.
+  void stop();
+
+  /// The bound TCP port (resolves port 0 after start()).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  /// Pop the next pending connection; -1 when draining and none remain.
+  int next_connection();
+  void reject_overflow(int fd);
+
+  orf::ServeSection options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;
+  std::size_t in_service_ = 0;
+
+  std::thread acceptor_;
+  std::unique_ptr<util::ThreadPool> workers_;
+
+  struct Instruments {
+    obs::Gauge* in_flight = nullptr;
+    obs::Counter* connections = nullptr;
+    obs::Counter* overflow = nullptr;
+  };
+  Instruments instruments_;
+};
+
+}  // namespace serve

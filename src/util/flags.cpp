@@ -1,8 +1,77 @@
 #include "util/flags.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace util {
+
+namespace {
+
+std::string flag_token(const FlagSpec& spec) {
+  std::string token = "--";
+  token += spec.name;
+  if (!spec.value.empty()) {
+    token += ' ';
+    token += spec.value;
+  }
+  return token;
+}
+
+}  // namespace
+
+std::string usage_text(std::string_view program,
+                       std::span<const FlagSpec> specs) {
+  // Synopsis, wrapped at ~78 columns with a hanging indent under the
+  // program name.
+  std::string out = "usage: ";
+  out += program;
+  const std::string indent(out.size() + 1, ' ');
+  std::size_t column = out.size();
+  for (const FlagSpec& spec : specs) {
+    const std::string token = " [" + flag_token(spec) + "]";
+    if (column + token.size() > 78) {
+      out += '\n';
+      out += indent;
+      column = indent.size();
+    }
+    out += token;
+    column += token.size();
+  }
+  out += "\n\nflags:\n";
+  std::size_t width = std::string_view("--help").size();
+  for (const FlagSpec& spec : specs) {
+    width = std::max(width, flag_token(spec).size());
+  }
+  for (const FlagSpec& spec : specs) {
+    const std::string token = flag_token(spec);
+    out += "  " + token + std::string(width - token.size() + 2, ' ');
+    out += spec.help;
+    out += '\n';
+  }
+  out += "  --help" + std::string(width - 6 + 2, ' ') +
+         "print this usage and exit\n";
+  return out;
+}
+
+void Flags::enforce(std::string_view program,
+                    std::span<const FlagSpec> specs) const {
+  if (has("help")) {
+    std::fputs(usage_text(program, specs).c_str(), stdout);
+    std::exit(0);
+  }
+  std::string unknown;
+  for (const auto& [name, value] : values_) {
+    const bool known =
+        std::any_of(specs.begin(), specs.end(),
+                    [&](const FlagSpec& spec) { return spec.name == name; });
+    if (!known) unknown += (unknown.empty() ? "--" : ", --") + name;
+  }
+  if (!unknown.empty()) {
+    throw FlagError("unknown flag(s): " + unknown + "\n" +
+                    usage_text(program, specs));
+  }
+}
 
 void Flags::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

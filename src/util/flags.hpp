@@ -6,11 +6,17 @@
 // with a half-parsed number. require_known() rejects flags outside an
 // allowed set — harnesses that forward flags to another parser (e.g.
 // google-benchmark) simply never call it.
+//
+// Binaries that own their whole flag namespace declare it once as a
+// FlagSpec table and call enforce(): --help then prints the generated
+// usage and exits 0, while an unknown or malformed flag still exits
+// nonzero through FlagError with the same generated usage.
 #pragma once
 
 #include <cstdint>
 #include <initializer_list>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -24,6 +30,19 @@ class FlagError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// One declared flag: name (without the leading --), a value placeholder
+/// for the usage line ("" for plain booleans), and one line of help text.
+struct FlagSpec {
+  std::string_view name;
+  std::string_view value;
+  std::string_view help;
+};
+
+/// Generated usage text: a wrapped `usage:` synopsis followed by one
+/// aligned help line per flag. `--help` itself is appended automatically.
+std::string usage_text(std::string_view program,
+                       std::span<const FlagSpec> specs);
 
 class Flags {
  public:
@@ -44,6 +63,16 @@ class Flags {
   /// FlagError naming every parsed flag not in `allowed` — call once after
   /// parse() in mains that own their whole flag namespace.
   void require_known(std::initializer_list<std::string_view> allowed) const;
+
+  /// The standard main() prologue for a binary whose flags are all declared
+  /// in `specs`: on --help, print the generated usage to stdout and exit 0;
+  /// otherwise throw FlagError (carrying the same usage text) for any
+  /// parsed flag outside the table. Call once right after construction.
+  void enforce(std::string_view program, std::span<const FlagSpec> specs) const;
+  void enforce(std::string_view program,
+               std::initializer_list<FlagSpec> specs) const {
+    enforce(program, std::span<const FlagSpec>(specs.begin(), specs.size()));
+  }
 
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -51,7 +51,7 @@ void roundtrip_across_shards(std::size_t shards_before,
 
   core::OnlineDiskPredictor original(fleet.feature_count(),
                                      monitor_params(shards_before), 5);
-  const auto head = eval::stream_fleet_window(fleet, original, 0, cut);
+  const auto head = eval::stream_fleet(fleet, original.engine(), {.from_day = 0, .to_day = cut});
   const std::string snapshot = state_of(original);
 
   core::OnlineDiskPredictor resumed(fleet.feature_count(),
@@ -66,9 +66,9 @@ void roundtrip_across_shards(std::size_t shards_before,
   EXPECT_EQ(resumed.engine().shard_count(), shards_after);
 
   const auto tail_original =
-      eval::stream_fleet_window(fleet, original, cut, fleet.duration_days);
+      eval::stream_fleet(fleet, original.engine(), {.from_day = cut, .to_day = fleet.duration_days});
   const auto tail_resumed =
-      eval::stream_fleet_window(fleet, resumed, cut, fleet.duration_days);
+      eval::stream_fleet(fleet, resumed.engine(), {.from_day = cut, .to_day = fleet.duration_days});
 
   EXPECT_EQ(tail_original.total_alarms, tail_resumed.total_alarms);
   EXPECT_EQ(tail_original.samples_processed, tail_resumed.samples_processed);
@@ -95,7 +95,7 @@ TEST(EngineCheckpoint, RestoreRejectsMismatchedShape) {
   const auto fleet = small_fleet();
   core::OnlineDiskPredictor predictor(fleet.feature_count(),
                                       monitor_params(2), 5);
-  eval::stream_fleet_window(fleet, predictor, 0, 30);
+  eval::stream_fleet(fleet, predictor.engine(), {.from_day = 0, .to_day = 30});
   const std::string snapshot = state_of(predictor);
 
   auto params = monitor_params(2);
@@ -109,7 +109,7 @@ TEST(EngineCheckpoint, CountersSurviveRoundTrip) {
   const auto fleet = small_fleet();
   core::OnlineDiskPredictor predictor(fleet.feature_count(),
                                       monitor_params(4), 5);
-  eval::stream_fleet(fleet, predictor);
+  eval::stream_fleet(fleet, predictor.engine());
   ASSERT_GT(predictor.negatives_released(), 0u);
   ASSERT_GT(predictor.positives_released(), 0u);
 

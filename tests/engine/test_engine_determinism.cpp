@@ -45,7 +45,7 @@ StreamRun run_stream(const data::Dataset& fleet, std::size_t shards,
   core::OnlineDiskPredictor predictor(fleet.feature_count(),
                                       stream_params(shards), /*seed=*/5);
   StreamRun run;
-  run.result = eval::stream_fleet(fleet, predictor, pool);
+  run.result = eval::stream_fleet(fleet, predictor.engine(), {.pool = pool});
   run.state = engine_state(predictor);
   return run;
 }

@@ -49,18 +49,19 @@ TEST(EngineMetrics, SnapshottingEveryDayIsBitIdentical) {
 
   core::OnlineDiskPredictor plain(fleet.feature_count(), metrics_params(3),
                                   /*seed=*/5);
-  const auto base = eval::stream_fleet(fleet, plain, &pool);
+  const auto base = eval::stream_fleet(fleet, plain.engine(), {.pool = &pool});
 
   core::OnlineDiskPredictor observed(fleet.feature_count(), metrics_params(3),
                                      /*seed=*/5);
   std::size_t snapshots = 0;
-  const auto result =
-      eval::stream_fleet(fleet, observed, &pool, [&](data::Day) {
-        const obs::Snapshot snap = observed.engine().metrics_snapshot();
-        ASSERT_FALSE(obs::to_json(snap).empty());
-        ASSERT_FALSE(obs::to_prometheus(snap).empty());
-        ++snapshots;
-      });
+  const auto result = eval::stream_fleet(
+      fleet, observed.engine(),
+      {.pool = &pool, .on_day_end = [&](data::Day) {
+         const obs::Snapshot snap = observed.engine().metrics_snapshot();
+         ASSERT_FALSE(obs::to_json(snap).empty());
+         ASSERT_FALSE(obs::to_prometheus(snap).empty());
+         ++snapshots;
+       }});
 
   EXPECT_EQ(snapshots, static_cast<std::size_t>(fleet.duration_days));
   EXPECT_EQ(base.total_alarms, result.total_alarms);
@@ -77,7 +78,7 @@ TEST(EngineMetrics, RegistryCountersMatchStreamTotals) {
   const data::Dataset fleet = small_fleet();
   core::OnlineDiskPredictor predictor(fleet.feature_count(), metrics_params(4),
                                       /*seed=*/5);
-  const auto result = eval::stream_fleet(fleet, predictor, nullptr);
+  const auto result = eval::stream_fleet(fleet, predictor.engine());
 
   const engine::FleetEngine& engine = predictor.engine();
   const engine::EngineCounters counters = engine.counters();

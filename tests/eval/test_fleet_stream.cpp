@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/online_predictor.hpp"
 #include "datagen/fleet_generator.hpp"
 #include "datagen/profile.hpp"
 
@@ -28,7 +29,7 @@ TEST(FleetStream, ProcessesEverySampleExactlyOnce) {
   const auto fleet = small_fleet();
   core::OnlineDiskPredictor predictor(fleet.feature_count(), small_params(),
                                       5);
-  const auto result = eval::stream_fleet(fleet, predictor);
+  const auto result = eval::stream_fleet(fleet, predictor.engine());
   EXPECT_EQ(result.samples_processed, fleet.sample_count());
   EXPECT_EQ(result.disks.size(), fleet.disks.size());
 }
@@ -37,7 +38,7 @@ TEST(FleetStream, OutcomesMirrorDiskFates) {
   const auto fleet = small_fleet();
   core::OnlineDiskPredictor predictor(fleet.feature_count(), small_params(),
                                       5);
-  const auto result = eval::stream_fleet(fleet, predictor);
+  const auto result = eval::stream_fleet(fleet, predictor.engine());
   for (std::size_t i = 0; i < fleet.disks.size(); ++i) {
     EXPECT_EQ(result.disks[i].failed, fleet.disks[i].failed);
     EXPECT_EQ(result.disks[i].last_day, fleet.disks[i].last_day);
@@ -52,7 +53,7 @@ TEST(FleetStream, AlarmDaysAreSorted) {
   const auto fleet = small_fleet();
   core::OnlineDiskPredictor predictor(fleet.feature_count(), small_params(),
                                       5);
-  const auto result = eval::stream_fleet(fleet, predictor);
+  const auto result = eval::stream_fleet(fleet, predictor.engine());
   for (const auto& outcome : result.disks) {
     for (std::size_t i = 1; i < outcome.alarm_days.size(); ++i) {
       EXPECT_LT(outcome.alarm_days[i - 1], outcome.alarm_days[i]);

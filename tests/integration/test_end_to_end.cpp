@@ -34,7 +34,7 @@ TEST(EndToEnd, OnlinePipelineDetectsFailuresWithFewFalseAlarms) {
 
   core::OnlineDiskPredictor predictor(dataset.feature_count(),
                                       predictor_params(), 23);
-  const auto result = eval::stream_fleet(dataset, predictor);
+  const auto result = eval::stream_fleet(dataset, predictor.engine());
   EXPECT_EQ(result.samples_processed, dataset.sample_count());
 
   // Skip the first four months while the model warms up.
@@ -53,7 +53,7 @@ TEST(EndToEnd, StreamingReleasesMatchQueueSemantics) {
 
   core::OnlineDiskPredictor predictor(dataset.feature_count(),
                                       predictor_params(), 23);
-  eval::stream_fleet(dataset, predictor);
+  eval::stream_fleet(dataset, predictor.engine());
 
   // Every failed disk contributes min(queue, observed) positives; every
   // sample not positive and not stuck in a queue at retirement was released
@@ -117,7 +117,7 @@ TEST(EndToEnd, OnlineLabelsAgreeWithOfflineLabelsOnCompletedDisks) {
 
   core::OnlineDiskPredictor predictor(dataset.feature_count(),
                                       predictor_params(), 23);
-  eval::stream_fleet(dataset, predictor);
+  eval::stream_fleet(dataset, predictor.engine());
 
   const auto offline = data::label_offline_all(dataset);
   EXPECT_EQ(predictor.positives_released(),

@@ -68,7 +68,7 @@ std::string run_scenario() {
   params.shards = 4;  // results are shard-invariant; pick a parallel shape
   core::OnlineDiskPredictor predictor(dataset.feature_count(), params,
                                       /*seed=*/23);
-  const auto result = eval::stream_fleet(dataset, predictor);
+  const auto result = eval::stream_fleet(dataset, predictor.engine());
   const auto metrics =
       result.metrics(data::kHorizonDays, 3 * data::kDaysPerMonth);
 

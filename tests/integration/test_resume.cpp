@@ -41,13 +41,12 @@ data::Dataset fleet() {
 TEST(Resume, WindowedStreamingEqualsOneShot) {
   const auto dataset = fleet();
   core::OnlineDiskPredictor continuous(dataset.feature_count(), params(), 5);
-  const auto full = eval::stream_fleet(dataset, continuous);
+  const auto full = eval::stream_fleet(dataset, continuous.engine());
 
   core::OnlineDiskPredictor windowed(dataset.feature_count(), params(), 5);
   const data::Day mid = dataset.duration_days / 2;
-  const auto first = eval::stream_fleet_window(dataset, windowed, 0, mid);
-  const auto second = eval::stream_fleet_window(dataset, windowed, mid,
-                                                dataset.duration_days);
+  const auto first = eval::stream_fleet(dataset, windowed.engine(), {.from_day = 0, .to_day = mid});
+  const auto second = eval::stream_fleet(dataset, windowed.engine(), {.from_day = mid, .to_day = dataset.duration_days});
 
   EXPECT_EQ(first.samples_processed + second.samples_processed,
             full.samples_processed);
@@ -66,12 +65,12 @@ TEST(Resume, WindowedStreamingEqualsOneShot) {
 TEST(Resume, CheckpointRestartMatchesUninterruptedRun) {
   const auto dataset = fleet();
   core::OnlineDiskPredictor continuous(dataset.feature_count(), params(), 5);
-  const auto full = eval::stream_fleet(dataset, continuous);
+  const auto full = eval::stream_fleet(dataset, continuous.engine());
 
   // Process A runs the first half, checkpoints, and "crashes".
   core::OnlineDiskPredictor process_a(dataset.feature_count(), params(), 5);
   const data::Day mid = dataset.duration_days / 2;
-  const auto first = eval::stream_fleet_window(dataset, process_a, 0, mid);
+  const auto first = eval::stream_fleet(dataset, process_a.engine(), {.from_day = 0, .to_day = mid});
   std::stringstream checkpoint;
   process_a.save(checkpoint);
 
@@ -79,8 +78,7 @@ TEST(Resume, CheckpointRestartMatchesUninterruptedRun) {
   core::OnlineDiskPredictor process_b(dataset.feature_count(), params(),
                                       987654);
   process_b.restore(checkpoint);
-  const auto second = eval::stream_fleet_window(dataset, process_b, mid,
-                                                dataset.duration_days);
+  const auto second = eval::stream_fleet(dataset, process_b.engine(), {.from_day = mid, .to_day = dataset.duration_days});
 
   EXPECT_EQ(first.total_alarms + second.total_alarms, full.total_alarms);
   EXPECT_EQ(process_b.positives_released(),
@@ -126,7 +124,7 @@ TEST(Resume, KillDuringSaveAtEverySiteStillResumesBitIdentical) {
   // from the newer.
   const auto dataset = fleet();
   core::OnlineDiskPredictor continuous(dataset.feature_count(), params(), 5);
-  const auto full = eval::stream_fleet(dataset, continuous);
+  const auto full = eval::stream_fleet(dataset, continuous.engine());
   std::ostringstream final_state;
   continuous.save(final_state);
 
@@ -142,11 +140,11 @@ TEST(Resume, KillDuringSaveAtEverySiteStillResumesBitIdentical) {
     // Process A: stream to cut1, checkpoint cleanly, stream to cut2, then
     // die inside the second checkpoint save.
     core::OnlineDiskPredictor process_a(dataset.feature_count(), params(), 5);
-    eval::stream_fleet_window(dataset, process_a, 0, cut1);
-    recovery.save(snapshot_of(process_a, cut1));
-    eval::stream_fleet_window(dataset, process_a, cut1, cut2);
+    eval::stream_fleet(dataset, process_a.engine(), {.from_day = 0, .to_day = cut1});
+    recovery.save({snapshot_of(process_a, cut1)});
+    eval::stream_fleet(dataset, process_a.engine(), {.from_day = cut1, .to_day = cut2});
     robust::failpoints::arm(site, {robust::FaultKind::kIoError});
-    EXPECT_THROW(recovery.save(snapshot_of(process_a, cut2)),
+    EXPECT_THROW(recovery.save({snapshot_of(process_a, cut2)}),
                  robust::InjectedFault);
     robust::failpoints::disarm_all();
 
@@ -158,8 +156,7 @@ TEST(Resume, KillDuringSaveAtEverySiteStillResumesBitIdentical) {
     ASSERT_TRUE(loaded.has_value());
     const data::Day resume_day = restore_from(process_b, loaded->payload);
     EXPECT_TRUE(resume_day == cut1 || resume_day == cut2);
-    eval::stream_fleet_window(dataset, process_b, resume_day,
-                              dataset.duration_days);
+    eval::stream_fleet(dataset, process_b.engine(), {.from_day = resume_day, .to_day = dataset.duration_days});
 
     std::ostringstream resumed_state;
     process_b.save(resumed_state);
@@ -205,12 +202,12 @@ TEST(Resume, DirtyStreamLeavesAccuracyUntouched) {
 
   core::OnlinePredictorParams strict = params();
   core::OnlineDiskPredictor clean_monitor(clean.feature_count(), strict, 5);
-  const auto clean_result = eval::stream_fleet(clean, clean_monitor);
+  const auto clean_result = eval::stream_fleet(clean, clean_monitor.engine());
 
   core::OnlinePredictorParams lenient = params();
   lenient.ingest_errors = robust::RowErrorPolicy::kSkip;
   core::OnlineDiskPredictor dirty_monitor(dirty.feature_count(), lenient, 5);
-  const auto dirty_result = eval::stream_fleet(dirty, dirty_monitor);
+  const auto dirty_result = eval::stream_fleet(dirty, dirty_monitor.engine());
 
   // Every injected row was rejected, nothing else.
   EXPECT_EQ(dirty_result.samples_rejected, injected);
@@ -250,10 +247,9 @@ TEST(Resume, DirtyStreamLeavesAccuracyUntouched) {
 TEST(Resume, WindowsOutsideDataAreNoops) {
   const auto dataset = fleet();
   core::OnlineDiskPredictor predictor(dataset.feature_count(), params(), 5);
-  const auto before = eval::stream_fleet_window(dataset, predictor, -100, 0);
+  const auto before = eval::stream_fleet(dataset, predictor.engine(), {.from_day = -100, .to_day = 0});
   EXPECT_EQ(before.samples_processed, 0u);
-  const auto after = eval::stream_fleet_window(
-      dataset, predictor, dataset.duration_days, dataset.duration_days + 50);
+  const auto after = eval::stream_fleet(dataset, predictor.engine(), {.from_day = dataset.duration_days, .to_day = dataset.duration_days + 50});
   EXPECT_EQ(after.samples_processed, 0u);
 }
 

@@ -1,0 +1,161 @@
+// orf::Config: the one flags+env parser behind every binary. Holds the
+// layering (sections → engine params), the precedence contract (flag beats
+// ORF_* environment beats default), typed parse errors naming their source,
+// and validate() rejecting inconsistent combinations.
+#include "orf/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+util::Flags make_flags(std::vector<std::string> args) {
+  args.insert(args.begin(), "test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return util::Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+/// RAII environment variable (the parser reads ORF_* fallbacks).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(OrfConfig, DefaultsValidateAndMapToEngineParams) {
+  const orf::Config config = orf::Config::from_flags(make_flags({}));
+  EXPECT_NO_THROW(config.validate());
+
+  const engine::EngineParams params = config.engine_params();
+  EXPECT_EQ(params.forest.n_trees, config.forest.n_trees);
+  EXPECT_EQ(params.queue_capacity, config.queue.capacity);
+  EXPECT_DOUBLE_EQ(params.alarm_threshold, config.engine.alarm_threshold);
+  EXPECT_EQ(params.shards, config.engine.shards);
+  EXPECT_EQ(params.ingest_errors, config.engine.ingest_errors);
+  EXPECT_EQ(params.flat_scoring, config.engine.flat_scoring);
+}
+
+TEST(OrfConfig, FlagsReachEverySection) {
+  const orf::Config config = orf::Config::from_flags(make_flags(
+      {"--trees=12", "--lambda-pos=0.8", "--lambda-neg=0.05", "--seed=7",
+       "--shards=3", "--threads=2", "--alarm-threshold=0.7",
+       "--flat-scoring=false", "--row-errors=quarantine",
+       "--queue-capacity=14", "--checkpoint-dir=/tmp/x",
+       "--checkpoint-every=10", "--checkpoint-keep=5", "--bind=0.0.0.0",
+       "--port=9999", "--serve-threads=8", "--max-in-flight=2",
+       "--max-body-bytes=1024", "--retry-after=3"}));
+  EXPECT_EQ(config.forest.n_trees, 12);
+  EXPECT_DOUBLE_EQ(config.forest.lambda_pos, 0.8);
+  EXPECT_DOUBLE_EQ(config.forest.lambda_neg, 0.05);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.engine.shards, 3u);
+  EXPECT_EQ(config.engine.threads, 2u);
+  EXPECT_DOUBLE_EQ(config.engine.alarm_threshold, 0.7);
+  EXPECT_FALSE(config.engine.flat_scoring);
+  EXPECT_EQ(config.engine.ingest_errors, robust::RowErrorPolicy::kQuarantine);
+  EXPECT_EQ(config.queue.capacity, 14u);
+  EXPECT_EQ(config.robust.checkpoint_dir, "/tmp/x");
+  EXPECT_EQ(config.robust.checkpoint_every, 10);
+  EXPECT_EQ(config.robust.checkpoint_keep, 5u);
+  EXPECT_EQ(config.serve.bind_address, "0.0.0.0");
+  EXPECT_EQ(config.serve.port, 9999);
+  EXPECT_EQ(config.serve.threads, 8u);
+  EXPECT_EQ(config.serve.max_in_flight, 2u);
+  EXPECT_EQ(config.serve.max_body_bytes, 1024u);
+  EXPECT_EQ(config.serve.retry_after_seconds, 3);
+}
+
+TEST(OrfConfig, EnvironmentIsTheFallbackAndFlagsWin) {
+  const ScopedEnv port("ORF_PORT", "7070");
+  const ScopedEnv trees("ORF_TREES", "9");
+  {
+    const orf::Config config = orf::Config::from_flags(make_flags({}));
+    EXPECT_EQ(config.serve.port, 7070);
+    EXPECT_EQ(config.forest.n_trees, 9);
+  }
+  {
+    const orf::Config config =
+        orf::Config::from_flags(make_flags({"--port=8081"}));
+    EXPECT_EQ(config.serve.port, 8081);  // flag beats ORF_PORT
+    EXPECT_EQ(config.forest.n_trees, 9);
+  }
+}
+
+TEST(OrfConfig, TypedParseErrorsNameTheSource) {
+  try {
+    orf::Config::from_flags(make_flags({"--port=http"}));
+    FAIL() << "expected ConfigError";
+  } catch (const orf::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--port"), std::string::npos) << what;
+    EXPECT_NE(what.find("ORF_PORT"), std::string::npos) << what;
+  }
+  EXPECT_THROW(orf::Config::from_flags(make_flags({"--flat-scoring=maybe"})),
+               orf::ConfigError);
+  EXPECT_THROW(orf::Config::from_flags(make_flags({"--row-errors=lenient"})),
+               orf::ConfigError);
+  const ScopedEnv env("ORF_TREES", "many");
+  EXPECT_THROW(orf::Config::from_flags(make_flags({})), orf::ConfigError);
+}
+
+TEST(OrfConfig, ValidateRejectsInconsistentCombinations) {
+  orf::Config config;
+  EXPECT_NO_THROW(config.validate());
+
+  config.forest.n_trees = 0;
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.engine.alarm_threshold = 1.5;
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.queue.capacity = 0;
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.robust.resume = true;  // without a checkpoint directory
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.serve.port = 70000;
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.serve.threads = 0;
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+}
+
+TEST(OrfConfig, FromFlagsValidates) {
+  EXPECT_THROW(orf::Config::from_flags(make_flags({"--trees=0"})),
+               orf::ConfigError);
+  EXPECT_THROW(orf::Config::from_flags(make_flags({"--resume"})),
+               orf::ConfigError);
+}
+
+TEST(OrfConfig, ConfigErrorIsAFlagError) {
+  // Binaries catch util::FlagError once for both parse and config problems.
+  EXPECT_THROW(orf::Config::from_flags(make_flags({"--port=http"})),
+               util::FlagError);
+}
+
+TEST(OrfConfig, FlagSpecsCoverTheSharedKnobsInUsageText) {
+  const std::string usage = util::usage_text("orfd", orf::Config::flag_specs());
+  for (const char* flag :
+       {"--trees", "--port", "--checkpoint-dir", "--row-errors", "--resume",
+        "--max-in-flight", "--help"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag << "\n" << usage;
+  }
+}
+
+}  // namespace

@@ -46,8 +46,8 @@ TEST_F(Recovery, EmptyDirectoryIsAFreshStart) {
 
 TEST_F(Recovery, SaveThenLoadReturnsNewest) {
   auto mgr = manager();
-  mgr.save("state one");
-  mgr.save("state two");
+  mgr.save({"state one"});
+  mgr.save({"state two"});
   const auto loaded = mgr.load_latest();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->payload, "state two");
@@ -56,7 +56,7 @@ TEST_F(Recovery, SaveThenLoadReturnsNewest) {
 
 TEST_F(Recovery, RotationKeepsOnlyNewestN) {
   auto mgr = manager(/*keep=*/2);
-  for (int i = 0; i < 5; ++i) mgr.save("state " + std::to_string(i));
+  for (int i = 0; i < 5; ++i) mgr.save({"state " + std::to_string(i)});
   EXPECT_EQ(mgr.list().size(), 2u);
   const auto loaded = mgr.load_latest();
   ASSERT_TRUE(loaded.has_value());
@@ -65,8 +65,8 @@ TEST_F(Recovery, RotationKeepsOnlyNewestN) {
 
 TEST_F(Recovery, FallsBackPastDamagedNewestSnapshot) {
   auto mgr = manager();
-  mgr.save("good old");
-  const auto newest = mgr.save("bad new");
+  mgr.save({"good old"});
+  const auto newest = mgr.save({"bad new"});
   // Damage the newest snapshot the way a torn write would: truncate it.
   fs::resize_file(newest, fs::file_size(newest) / 2);
 
@@ -80,8 +80,8 @@ TEST_F(Recovery, TruncationBelowTheMagicStillFallsBack) {
   // So short the envelope magic is gone — must be treated as damage, not as
   // a legacy unframed checkpoint.
   auto mgr = manager();
-  mgr.save("good old");
-  const auto newest = mgr.save("bad new");
+  mgr.save({"good old"});
+  const auto newest = mgr.save({"bad new"});
   fs::resize_file(newest, 3);
   const auto loaded = mgr.load_latest();
   ASSERT_TRUE(loaded.has_value());
@@ -90,7 +90,7 @@ TEST_F(Recovery, TruncationBelowTheMagicStillFallsBack) {
 
 TEST_F(Recovery, AllSnapshotsDamagedThrowsCorruptCheckpoint) {
   auto mgr = manager();
-  for (const auto& path : {mgr.save("a"), mgr.save("b")}) {
+  for (const auto& path : {mgr.save({"a"}), mgr.save({"b"})}) {
     std::ofstream os(path, std::ios::trunc);
     os << "garbage";
   }
@@ -104,7 +104,7 @@ TEST_F(Recovery, StaleTmpFilesArePruned) {
     std::ofstream os(dir_ / "ckpt-000000009.ckpt.tmp");
     os << "half-written by a crashed process";
   }
-  mgr.save("fresh");
+  mgr.save({"fresh"});
   EXPECT_FALSE(fs::exists(dir_ / "ckpt-000000009.ckpt.tmp"));
   EXPECT_EQ(mgr.load_latest()->payload, "fresh");
 }
@@ -112,11 +112,11 @@ TEST_F(Recovery, StaleTmpFilesArePruned) {
 TEST_F(Recovery, ResumesSequenceNumbersAcrossRestarts) {
   {
     auto mgr = manager();
-    mgr.save("one");
-    mgr.save("two");
+    mgr.save({"one"});
+    mgr.save({"two"});
   }
   auto restarted = manager();
-  restarted.save("three");
+  restarted.save({"three"});
   const auto loaded = restarted.load_latest();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->payload, "three");
@@ -132,10 +132,10 @@ TEST_F(Recovery, CrashAtEveryWriterStageLeavesALoadableDirectory) {
     SCOPED_TRACE(site);
     fs::remove_all(dir_);
     auto mgr = manager();
-    mgr.save("previous state");
+    mgr.save({"previous state"});
 
     robust::failpoints::arm(site, {robust::FaultKind::kIoError});
-    EXPECT_THROW(mgr.save("next state"), robust::InjectedFault);
+    EXPECT_THROW(mgr.save({"next state"}), robust::InjectedFault);
     robust::failpoints::disarm_all();
 
     const auto loaded = mgr.load_latest();
@@ -145,19 +145,19 @@ TEST_F(Recovery, CrashAtEveryWriterStageLeavesALoadableDirectory) {
 
     // The interrupted save must not wedge the manager: the next save and
     // load work normally.
-    mgr.save("recovered");
+    mgr.save({"recovered"});
     EXPECT_EQ(mgr.load_latest()->payload, "recovered");
   }
 }
 
 TEST_F(Recovery, ShortWriteTearsAreDetectedAndSkipped) {
   auto mgr = manager();
-  mgr.save("previous state");
+  mgr.save({"previous state"});
   robust::FaultSpec spec;
   spec.kind = robust::FaultKind::kShortWrite;
   spec.keep_fraction = 0.5;
   robust::failpoints::arm("checkpoint.write_payload", spec);
-  EXPECT_THROW(mgr.save("next state"), robust::InjectedFault);
+  EXPECT_THROW(mgr.save({"next state"}), robust::InjectedFault);
   robust::failpoints::disarm_all();
 
   const auto loaded = mgr.load_latest();
@@ -169,8 +169,8 @@ TEST_F(Recovery, MetricsCountSavesAndFallbacks) {
   obs::Registry registry;
   auto mgr = manager();
   mgr.bind_metrics(registry);
-  mgr.save("one");
-  const auto newest = mgr.save("two");
+  mgr.save({"one"});
+  const auto newest = mgr.save({"two"});
   fs::resize_file(newest, 4);
   EXPECT_EQ(mgr.load_latest()->payload, "one");
 

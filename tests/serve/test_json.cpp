@@ -1,0 +1,93 @@
+// serve::json — the daemon's body codec. Round trips, the full escape set,
+// and the error paths that become 400 responses (each naming offset+cause).
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using serve::json::Array;
+using serve::json::Object;
+using serve::json::parse;
+using serve::json::ParseError;
+using serve::json::Value;
+
+TEST(ServeJson, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").boolean);
+  EXPECT_FALSE(parse("false").boolean);
+  EXPECT_DOUBLE_EQ(parse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5e3").number, -2500.0);
+  EXPECT_EQ(parse("\"hi\"").string, "hi");
+}
+
+TEST(ServeJson, ParsesNestedStructure) {
+  const Value doc = parse(
+      R"({"rows":[[1,2.5],[3,4]],"meta":{"count":2,"ok":true},"note":null})");
+  const Value* rows = doc.find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows->array[0].array[1].number, 2.5);
+  const Value* meta = doc.find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_DOUBLE_EQ(meta->find("count")->number, 2.0);
+  EXPECT_TRUE(meta->find("ok")->boolean);
+  EXPECT_TRUE(doc.find("note")->is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ServeJson, EscapesRoundTrip) {
+  const std::string text = R"("line\nquote\"back\\slash\ttabA")";
+  EXPECT_EQ(parse(text).string, "line\nquote\"back\\slash\ttab\x41");
+  const Value value = Value::of(std::string("a\"b\\c\nd\te\x01"));
+  EXPECT_EQ(parse(serve::json::dump(value)).string, value.string);
+}
+
+TEST(ServeJson, DumpIsCompactAndStable) {
+  const Value doc = Value::of(Object{
+      {"count", Value::of(2.0)},
+      {"items", Value::of(Array{Value::of(0.5), Value::of(true),
+                                Value::null()})}});
+  EXPECT_EQ(serve::json::dump(doc),
+            "{\"count\":2,\"items\":[0.5,true,null]}");
+}
+
+TEST(ServeJson, WhitespaceIsInsignificant) {
+  const Value doc = parse(" {\t\"a\" :\r\n [ 1 , 2 ] } ");
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("a")->array.size(), 2u);
+}
+
+TEST(ServeJson, ErrorsNameOffsetAndCause) {
+  try {
+    parse("{\"a\":1,}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("at byte"), std::string::npos);
+    EXPECT_GT(error.offset(), 0u);
+  }
+}
+
+TEST(ServeJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,2"), ParseError);
+  EXPECT_THROW(parse("nul"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);          // trailing tokens
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("\"bad\\q\""), ParseError);   // unknown escape
+  EXPECT_THROW(parse("\"raw\ncontrol\""), ParseError);
+  EXPECT_THROW(parse("{\"a\":1,\"a\":2}"), ParseError);  // duplicate key
+  EXPECT_THROW(parse("--3"), ParseError);
+  EXPECT_THROW(parse("1e999"), ParseError);        // overflows to inf
+}
+
+TEST(ServeJson, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(parse(deep), ParseError);
+}
+
+}  // namespace
