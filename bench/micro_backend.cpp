@@ -1,0 +1,216 @@
+// Model-backend comparison on one identical fleet stream.
+//
+// Every registered engine::ModelBackend ingests the same synthetic day
+// batches through the same FleetEngine pipeline, so the numbers isolate the
+// model: the paper's ORF (tree tests + OOBE bookkeeping per update, flat
+// batch scoring) against the Mondrian forest (box extension + split-above,
+// per-sample traversal). Learn and score cost move in opposite directions
+// between the two, which is exactly what this harness makes visible.
+//
+// After the google-benchmark run, a fixed-scale smoke ingest runs once per
+// backend over the very same stream and appends one JSON line each to
+// BENCH_backend.json (override with --bench-json <path>): throughput extras
+// plus the full engine registry, whose orf_backend_info{backend=...} gauge
+// labels the line. CI uploads the file per commit so the backend trade-off
+// accumulates machine-readably PR-over-PR.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/fleet_engine.hpp"
+#include "engine/model_backend.hpp"
+#include "obs/export.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+constexpr std::size_t kFeatures = 19;
+constexpr std::size_t kDisks = 4000;
+
+struct SyntheticFleetDay {
+  std::vector<std::vector<float>> features;  ///< per disk
+  std::vector<engine::DiskFate> fates;
+};
+
+std::vector<SyntheticFleetDay> make_days(std::size_t n_days) {
+  util::Rng rng(42);
+  std::vector<SyntheticFleetDay> days(n_days);
+  for (auto& day : days) {
+    day.features.resize(kDisks);
+    day.fates.assign(kDisks, engine::DiskFate::kOperating);
+    for (std::size_t d = 0; d < kDisks; ++d) {
+      const bool failing = rng.uniform() < 0.0005;
+      if (failing) day.fates[d] = engine::DiskFate::kFailure;
+      auto& x = day.features[d];
+      x.resize(kFeatures);
+      for (auto& v : x) {
+        v = static_cast<float>(failing ? rng.uniform(0.4, 1.0)
+                                       : rng.uniform(0.0, 0.6));
+      }
+    }
+  }
+  return days;
+}
+
+engine::EngineParams backend_params(const std::string& backend,
+                                    std::size_t shards) {
+  engine::EngineParams p;
+  p.backend = backend;
+  p.forest.n_trees = 30;
+  p.forest.tree.n_tests = 256;
+  p.forest.tree.min_parent_size = 200;
+  p.forest.lambda_neg = 0.02;
+  p.mondrian.n_trees = 30;
+  p.mondrian.lambda_neg = 0.02;
+  p.shards = shards;
+  return p;
+}
+
+std::vector<engine::DiskReport> day_batch(const SyntheticFleetDay& day) {
+  std::vector<engine::DiskReport> batch(kDisks);
+  for (std::size_t d = 0; d < kDisks; ++d) {
+    batch[d].disk = static_cast<data::DiskId>(d);
+    batch[d].features = day.features[d];
+    batch[d].fate = day.fates[d];
+  }
+  return batch;
+}
+
+/// Full-pipeline day ingestion (scale → label+score → learn), one backend;
+/// argument = thread count (shards match threads).
+void BM_BackendIngestDay(benchmark::State& state, const std::string& backend) {
+  const auto days = make_days(8);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool(threads);
+  std::vector<engine::DayOutcome> outcomes;
+  for (auto _ : state) {
+    engine::FleetEngine engine(kFeatures, backend_params(backend, threads), 7);
+    std::uint64_t samples = 0;
+    for (const auto& day : days) {
+      const auto batch = day_batch(day);
+      engine.ingest_day(batch, outcomes, threads > 1 ? &pool : nullptr);
+      samples += batch.size();
+    }
+    benchmark::DoNotOptimize(engine.counters().total.alarms);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(samples));
+  }
+}
+BENCHMARK_CAPTURE(BM_BackendIngestDay, orf, std::string("orf"))
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendIngestDay, mondrian, std::string("mondrian"))
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Pure scoring on a trained model through the serving path (quiesce once,
+/// then score_batch) — what orfd's /v1/score costs per backend.
+void BM_BackendScoreBatch(benchmark::State& state,
+                          const std::string& backend) {
+  const auto days = make_days(4);
+  engine::FleetEngine engine(kFeatures, backend_params(backend, 2), 7);
+  std::vector<engine::DayOutcome> outcomes;
+  for (const auto& day : days) {
+    engine.ingest_day(day_batch(day), outcomes, nullptr);
+  }
+  engine.backend().quiesce();
+  std::vector<float> rows;
+  rows.reserve(kDisks * kFeatures);
+  std::vector<float> scaled;
+  for (const auto& x : days.back().features) {
+    engine.scaler().transform(x, scaled);
+    rows.insert(rows.end(), scaled.begin(), scaled.end());
+  }
+  std::vector<double> scores(kDisks);
+  for (auto _ : state) {
+    engine.backend().score_batch(rows, scores);
+    benchmark::DoNotOptimize(scores.data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kDisks));
+  }
+}
+BENCHMARK_CAPTURE(BM_BackendScoreBatch, orf, std::string("orf"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendScoreBatch, mondrian, std::string("mondrian"))
+    ->Unit(benchmark::kMillisecond);
+
+/// The machine-readable record: every registered backend ingests the same
+/// 4-day stream on the same 2-thread pool; one JSON line per backend, the
+/// registry's orf_backend_info gauge naming which is which.
+void write_bench_json(const std::string& path) {
+  constexpr std::size_t kSmokeDays = 4;
+  constexpr std::size_t kSmokeThreads = 2;
+  const auto days = make_days(kSmokeDays);
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  for (const std::string& backend : engine::registered_backends()) {
+    util::ThreadPool pool(kSmokeThreads);
+    engine::FleetEngine engine(kFeatures,
+                               backend_params(backend, kSmokeThreads), 7);
+    std::vector<engine::DayOutcome> outcomes;
+    util::Stopwatch timer;
+    std::uint64_t samples = 0;
+    for (const auto& day : days) {
+      engine.ingest_day(day_batch(day), outcomes, &pool);
+      samples += static_cast<std::uint64_t>(kDisks);
+    }
+    const double wall = timer.seconds();
+    os << obs::to_json(engine.metrics_snapshot(),
+                       {{"bench_days", static_cast<double>(kSmokeDays)},
+                        {"bench_disks", static_cast<double>(kDisks)},
+                        {"bench_threads", static_cast<double>(kSmokeThreads)},
+                        {"bench_samples", static_cast<double>(samples)},
+                        {"bench_wall_seconds", wall},
+                        {"bench_samples_per_second",
+                         static_cast<double>(samples) / wall}})
+       << '\n';
+    std::fprintf(stderr, "%-9s %llu samples in %.2fs (%.0f/s)\n",
+                 backend.c_str(), static_cast<unsigned long long>(samples),
+                 wall, static_cast<double>(samples) / wall);
+  }
+  std::fprintf(stderr, "backend metrics written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+// Custom main (instead of benchmark_main) so the per-backend telemetry
+// export runs after the benchmarks; --bench-json is peeled off before
+// google-benchmark sees the arguments.
+int main(int argc, char** argv) {
+  std::string bench_json = "BENCH_backend.json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(std::string_view("--bench-json=").size());
+      continue;
+    }
+    if (arg == "--bench-json" && i + 1 < argc) {
+      bench_json = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json(bench_json);
+  return 0;
+}

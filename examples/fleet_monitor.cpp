@@ -62,7 +62,8 @@ int run(int argc, char** argv) {
 
   orf::Service service(fleet.feature_count(), config);
   engine::FleetEngine& monitor = service.engine();
-  std::printf("engine: %zu shards, %zu threads\n", monitor.shard_count(),
+  std::printf("engine: %s backend, %zu shards, %zu threads\n",
+              config.engine.backend.c_str(), monitor.shard_count(),
               config.engine.threads);
 
   data::Day start_day = 0;
@@ -136,10 +137,15 @@ int run(int argc, char** argv) {
   std::printf("labels released online: %llu positive, %llu negative\n",
               static_cast<unsigned long long>(monitor.positives_released()),
               static_cast<unsigned long long>(monitor.negatives_released()));
-  std::printf("alarms raised: %llu; decayed trees replaced: %llu\n",
-              static_cast<unsigned long long>(result.total_alarms),
-              static_cast<unsigned long long>(
-                  monitor.forest().trees_replaced()));
+  if (monitor.backend_name() == "orf") {
+    std::printf("alarms raised: %llu; decayed trees replaced: %llu\n",
+                static_cast<unsigned long long>(result.total_alarms),
+                static_cast<unsigned long long>(
+                    monitor.forest().trees_replaced()));
+  } else {
+    std::printf("alarms raised: %llu\n",
+                static_cast<unsigned long long>(result.total_alarms));
+  }
 
   // Engine observability: what flowed through each shard, and what the
   // sequential learn stage cost.

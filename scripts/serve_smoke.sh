@@ -108,6 +108,39 @@ LATEST_B=$(ls "$WORK"/b/orf-service-*.ckpt | sort -V | tail -1)
 cmp "$LATEST_A" "$LATEST_B" ||
   { echo "resume diverged from the uninterrupted run" >&2; exit 1; }
 
+echo "== backend seam: full lifecycle on --backend mondrian =="
+# The same daemon lifecycle — ingest, score, SIGTERM-drain, resume — with
+# the second ModelBackend, proving the serving layer is backend-agnostic.
+# The checkpoint header must name the backend, and /metrics must label it.
+start_daemon "$WORK/m.log" --backend mondrian --checkpoint-dir "$WORK/m"
+curl -sSf "http://127.0.0.1:$PORT/metrics" |
+  grep -q '^orf_backend_info{backend="mondrian"} 1' ||
+  { echo "mondrian backend not labeled in /metrics" >&2; exit 1; }
+ingest_days 0 "$STOP_AFTER"
+post /v1/score "$(cat "$WORK/score.json")" | grep -q '"results"'
+stop_daemon
+grep -q 'final checkpoint' "$WORK/m.log"
+LATEST_M=$(ls "$WORK"/m/orf-service-*.ckpt | sort -V | tail -1)
+grep -q 'backend=mondrian' "$LATEST_M" ||
+  { echo "mondrian checkpoint does not record its backend" >&2; exit 1; }
+
+start_daemon "$WORK/m2.log" --backend mondrian --checkpoint-dir "$WORK/m" \
+  --resume
+grep -q "resumed from .* at day $STOP_AFTER" "$WORK/m2.log"
+ingest_days "$STOP_AFTER" "$DAYS"
+stop_daemon
+
+# Restoring a mondrian checkpoint into the default orf backend must be
+# refused at startup, not silently mis-modeled.
+if "$ORFD" "${COMMON[@]}" --checkpoint-dir "$WORK/m" --resume \
+    > "$WORK/mx.log" 2>&1; then
+  echo "orf backend accepted a mondrian checkpoint" >&2
+  exit 1
+fi
+grep -q "written by the 'mondrian' backend" "$WORK/mx.log" ||
+  { echo "backend-mismatch refusal lacks its cause:" >&2
+    cat "$WORK/mx.log" >&2; exit 1; }
+
 echo "== admission control: --max-in-flight 0 answers 429 =="
 start_daemon "$WORK/c.log" --max-in-flight 0
 RESPONSE=$(curl -s -D - "http://127.0.0.1:$PORT/healthz")

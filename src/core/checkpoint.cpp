@@ -51,8 +51,6 @@ void expect_tag(std::istream& is, const char* tag) {
   }
 }
 
-namespace {
-
 void put_rng(std::ostream& os, const util::Rng& rng) {
   const auto state = rng.state();
   os << std::hex;
@@ -72,7 +70,6 @@ util::Rng get_rng(std::istream& is) {
   return rng;
 }
 
-}  // namespace
 }  // namespace checkpoint
 
 // ---- OnlineTree ------------------------------------------------------------

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "util/rng.hpp"
+
 namespace core::checkpoint {
 
 // Exact binary round-trip encoders (hex bit patterns).
@@ -23,6 +25,11 @@ void put_double(std::ostream& os, double value);
 double get_double(std::istream& is);
 void put_float(std::ostream& os, float value);
 float get_float(std::istream& is);
+
+/// RNG stream state as four hex words (leading space included by put_rng),
+/// so a restored learner continues the exact same random sequence.
+void put_rng(std::ostream& os, const util::Rng& rng);
+util::Rng get_rng(std::istream& is);
 
 /// Reads one whitespace-delimited token and throws std::runtime_error with
 /// `what` when the stream is exhausted or the token mismatches `expected`

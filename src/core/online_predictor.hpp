@@ -21,15 +21,6 @@
 
 namespace core {
 
-/// Legacy alias kept for one release: the old OnlinePredictorParams struct
-/// duplicated engine::EngineParams field for field, so the duplication is
-/// collapsed into the one engine struct — and new code should not build
-/// even that by hand, but configure everything through the layered
-/// orf::Config (src/orf/config.hpp) and its conversion helpers.
-using OnlinePredictorParams [[deprecated(
-    "configure through orf::Config (src/orf/config.hpp); this alias of "
-    "engine::EngineParams will be removed")]] = engine::EngineParams;
-
 class OnlineDiskPredictor {
  public:
   OnlineDiskPredictor(std::size_t feature_count,

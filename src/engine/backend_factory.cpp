@@ -1,0 +1,76 @@
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/fleet_engine.hpp"
+#include "engine/model_backend.hpp"
+#include "engine/mondrian_backend.hpp"
+#include "engine/orf_backend.hpp"
+
+namespace engine {
+
+namespace {
+
+using Registry = std::map<std::string, BackendFactory>;
+
+// Function-local static, pre-seeded with the built-ins: immune to both the
+// static-initialisation-order fiasco and the linker dropping self-registering
+// translation units from a static library.
+Registry& registry() {
+  static Registry backends = [] {
+    Registry r;
+    r.emplace("orf", [](std::size_t features, const EngineParams& params,
+                        std::uint64_t seed) -> std::unique_ptr<ModelBackend> {
+      return std::make_unique<OrfBackend>(features, params, seed);
+    });
+    r.emplace("mondrian",
+              [](std::size_t features, const EngineParams& params,
+                 std::uint64_t seed) -> std::unique_ptr<ModelBackend> {
+                return std::make_unique<MondrianBackend>(features, params,
+                                                         seed);
+              });
+    return r;
+  }();
+  return backends;
+}
+
+}  // namespace
+
+void register_backend(const std::string& name, BackendFactory factory) {
+  if (name.empty() || !factory) {
+    throw std::invalid_argument(
+        "register_backend: name and factory must be non-empty");
+  }
+  if (!registry().emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("register_backend: backend '" + name +
+                                "' is already registered");
+  }
+}
+
+std::unique_ptr<ModelBackend> make_backend(const std::string& name,
+                                           std::size_t feature_count,
+                                           const EngineParams& params,
+                                           std::uint64_t seed) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::ostringstream msg;
+    msg << "unknown model backend '" << name << "' (registered:";
+    for (const auto& [known, factory] : registry()) msg << ' ' << known;
+    msg << ')';
+    throw std::invalid_argument(msg.str());
+  }
+  return it->second(feature_count, params, seed);
+}
+
+bool backend_registered(const std::string& name) {
+  return registry().count(name) != 0;
+}
+
+std::vector<std::string> registered_backends() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace engine

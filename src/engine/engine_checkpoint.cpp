@@ -2,13 +2,19 @@
 //
 // Same line-oriented text format as the rest of core/checkpoint.cpp (floats
 // as hex bit patterns; see core/checkpoint.hpp). The engine section carries
-// everything Algorithm 2 needs to resume mid-deployment: release counters,
-// online scaler ranges, every disk's unlabeled queue, then the full forest
-// state. Queues are written sorted by ascending DiskId — an order no shard
-// layout can perturb — and restore() re-assigns each disk to hash % shards
-// of the *receiving* engine, which is what makes a checkpoint portable
-// across shard counts. Per-shard observability counters are runtime-only
-// and deliberately absent (see engine/counters.hpp).
+// everything Algorithm 2 needs to resume mid-deployment: the model backend's
+// registry name, release counters, online scaler ranges, every disk's
+// unlabeled queue, then the backend's full model state. Queues are written
+// sorted by ascending DiskId — an order no shard layout can perturb — and
+// restore() re-assigns each disk to hash % shards of the *receiving* engine,
+// which is what makes a checkpoint portable across shard counts. Per-shard
+// observability counters are runtime-only and deliberately absent (see
+// engine/counters.hpp).
+//
+// Header versioning: "fleet-engine-state v1" is followed by an optional
+// "backend=<name>" line. Checkpoints from before the ModelBackend seam have
+// no such line and restore as the "orf" backend (the only model that
+// existed); restoring into an engine running a different backend throws.
 
 // File checkpoints are crash-safe: save_file() frames the payload in the
 // CRC32 envelope and writes it via temp-file + fsync + atomic rename (see
@@ -21,6 +27,8 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -32,6 +40,7 @@ namespace engine {
 void FleetEngine::save(std::ostream& os) const {
   namespace cp = core::checkpoint;
   os << "fleet-engine-state v1\n";
+  os << "backend=" << backend_->name() << '\n';
   const std::size_t features = scaler_.feature_count();
   os << features << ' ' << params_.queue_capacity << ' '
      << negatives_released_ << ' ' << positives_released_ << '\n';
@@ -67,7 +76,7 @@ void FleetEngine::save(std::ostream& os) const {
       os << '\n';
     }
   }
-  forest_.save(os);
+  backend_->save(os);
   robust::commit_stream(os, "engine checkpoint");
 }
 
@@ -77,7 +86,32 @@ void FleetEngine::restore(std::istream& is) {
   if (!std::getline(is, line) || line != "fleet-engine-state v1") {
     throw std::runtime_error("checkpoint: not a fleet-engine-state v1");
   }
-  const auto features = cp::get_u64(is, "engine feature count");
+  // Next token: "backend=<name>" on seam-era checkpoints, the numeric
+  // feature count on legacy ones (which could only hold an ORF).
+  std::string token;
+  if (!(is >> token)) {
+    throw std::runtime_error("checkpoint: truncated engine header");
+  }
+  std::string backend = "orf";
+  std::uint64_t features = 0;
+  constexpr std::string_view kBackendKey = "backend=";
+  if (token.compare(0, kBackendKey.size(), kBackendKey) == 0) {
+    backend = token.substr(kBackendKey.size());
+    features = cp::get_u64(is, "engine feature count");
+  } else {
+    try {
+      features = std::stoull(token);
+    } catch (const std::exception&) {
+      throw std::runtime_error(
+          "checkpoint: bad engine header token '" + token + "'");
+    }
+  }
+  if (backend != backend_->name()) {
+    throw std::runtime_error(
+        "checkpoint: written by the '" + backend +
+        "' backend, cannot restore into '" + std::string(backend_->name()) +
+        "'");
+  }
   const auto capacity = cp::get_u64(is, "queue capacity");
   if (features != scaler_.feature_count() ||
       capacity != params_.queue_capacity) {
@@ -107,7 +141,7 @@ void FleetEngine::restore(std::istream& is) {
     }
   }
   is >> std::ws;
-  forest_.restore(is);
+  backend_->restore(is);
 }
 
 void FleetEngine::save_file(const std::string& path) const {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "engine/orf_backend.hpp"
 #include "util/stopwatch.hpp"
 
 namespace engine {
@@ -17,18 +18,12 @@ std::size_t resolve_shards(std::size_t requested) {
   return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 32);
 }
 
-/// Below this many records a day batch is scored through the reference
-/// per-sample traversal even with flat_scoring on: the once-per-batch cache
-/// sync touches every node of every tree, which outweighs traversing a
-/// handful of root-to-leaf paths. Results are bit-identical either way.
-constexpr std::size_t kFlatScoreMinBatch = 16;
-
 }  // namespace
 
 FleetEngine::FleetEngine(std::size_t feature_count, const EngineParams& params,
                          std::uint64_t seed)
     : params_(params),
-      forest_(feature_count, params.forest, seed),
+      backend_(make_backend(params.backend, feature_count, params, seed)),
       scaler_(feature_count) {
   if (params_.queue_capacity == 0) {
     throw std::invalid_argument("FleetEngine: queue_capacity must be > 0");
@@ -59,7 +54,13 @@ FleetEngine::FleetEngine(std::size_t feature_count, const EngineParams& params,
       "orf_ingest_rejected_total", rejected_help, {{"cause", "non_finite"}});
   instruments_.rejected_duplicate = &registry_.counter(
       "orf_ingest_rejected_total", rejected_help, {{"cause", "duplicate"}});
-  forest_.bind_metrics(registry_);
+  // Constant-1 info gauge: which backend serves this engine, as a label a
+  // dashboard can join against (the Prometheus *_info convention).
+  registry_
+      .gauge("orf_backend_info", "active model backend (constant 1)",
+             {{"backend", std::string(backend_->name())}})
+      .set(1.0);
+  backend_->bind_metrics(registry_);
 
   const std::size_t n = resolve_shards(params_.shards);
   shards_.reserve(n);
@@ -94,7 +95,7 @@ std::uint32_t FleetEngine::shard_of(data::DiskId disk) const {
 void FleetEngine::learn_staged(std::size_t count, util::ThreadPool* pool) {
   if (count == 0) return;
   util::Stopwatch timer;
-  forest_.update_batch(std::span(learn_batch_.data(), count), pool);
+  backend_->learn_batch(std::span(learn_batch_.data(), count), pool);
   instruments_.stage_learn->observe(timer.seconds());
   instruments_.samples_learned->inc(count);
 }
@@ -159,22 +160,23 @@ void FleetEngine::ingest_day(std::span<const DiskReport> batch,
   instruments_.stage_scale->observe(stage_timer.seconds());
 
   // Stage 2: label + score, shard-parallel. Each shard touches only its own
-  // queues and its own records' outcome slots; forest and scaler are
-  // read-only until stage 3. When flat scoring is on and the batch is big
-  // enough to amortise the refresh, the compiled cache is synced here — the
-  // last sequential point before the shards fan out — and every shard scores
-  // through the same immutable snapshot.
-  const core::FlatForestScorer* flat = nullptr;
-  if (params_.flat_scoring && batch.size() >= kFlatScoreMinBatch) {
+  // queues and its own records' outcome slots; model and scaler are
+  // read-only until stage 3. The backend decides here — at the last
+  // sequential point before the shards fan out — whether this batch goes
+  // through its packed batch kernel (the ORF syncs its compiled flat cache
+  // when the batch is big enough to amortise the refresh) or per-sample
+  // scoring; every shard then scores through the same immutable snapshot.
+  bool batch_score = false;
+  {
     util::Stopwatch sync_timer;
-    flat = &forest_.sync_flat();
-    instruments_.flat_sync->observe(sync_timer.seconds());
+    batch_score = backend_->prepare_day_scoring(batch.size());
+    if (batch_score) instruments_.flat_sync->observe(sync_timer.seconds());
   }
   stage_timer.reset();
   const auto run_shard = [&](std::size_t s) {
     shards_[s].process_day(batch, owner_scratch_,
-                           static_cast<std::uint32_t>(s), forest_, scaler_,
-                           params_.alarm_threshold, outcomes, flat);
+                           static_cast<std::uint32_t>(s), *backend_, scaler_,
+                           params_.alarm_threshold, outcomes, batch_score);
   };
   if (pool != nullptr && pool->thread_count() > 1 && shards_.size() > 1) {
     pool->parallel_for(shards_.size(), run_shard);
@@ -270,7 +272,29 @@ std::size_t FleetEngine::consume(LearnSource& source, data::Day up_to_day,
 
 double FleetEngine::score(std::span<const float> raw) const {
   scaler_.transform(raw, scaled_);
-  return forest_.predict_proba(scaled_);
+  return backend_->score_one(scaled_);
+}
+
+const core::OnlineForest& FleetEngine::forest() const {
+  const auto* orf = dynamic_cast<const OrfBackend*>(backend_.get());
+  if (orf == nullptr) {
+    throw std::logic_error(
+        "FleetEngine::forest: engine runs the '" +
+        std::string(backend_->name()) +
+        "' backend, not the ORF; use backend() for generic access");
+  }
+  return orf->forest();
+}
+
+core::OnlineForest& FleetEngine::forest() {
+  auto* orf = dynamic_cast<OrfBackend*>(backend_.get());
+  if (orf == nullptr) {
+    throw std::logic_error(
+        "FleetEngine::forest: engine runs the '" +
+        std::string(backend_->name()) +
+        "' backend, not the ORF; use backend() for generic access");
+  }
+  return orf->forest();
 }
 
 std::size_t FleetEngine::tracked_disks() const {
@@ -293,7 +317,7 @@ EngineCounters FleetEngine::counters() const {
 }
 
 obs::Snapshot FleetEngine::metrics_snapshot() const {
-  forest_.publish_metrics();
+  backend_->publish_metrics();
   instruments_.tracked_disks->set(static_cast<double>(tracked_disks()));
   return registry_.snapshot();
 }

@@ -2,25 +2,27 @@
 //
 // FleetEngine is the one place Algorithm 2 runs: every former streaming
 // driver (OnlineDiskPredictor, OrfReplay, eval::stream_fleet) is now a thin
-// adapter over it. It owns the shared OnlineForest and OnlineMinMaxScaler
-// and N shards of per-disk LabelQueues (disk → shard by a fixed hash), and
-// processes a calendar day as three stages:
+// adapter over it. It owns the shared model (a ModelBackend chosen by name —
+// the paper's ORF by default; see engine/model_backend.hpp) and
+// OnlineMinMaxScaler and N shards of per-disk LabelQueues (disk → shard by a
+// fixed hash), and processes a calendar day as three stages:
 //
 //   1. scale  — sequential: extend the running min/max with every report.
 //      A running range is commutative, so the result is order-independent.
 //   2. label+score — shard-parallel on the ThreadPool: each shard pushes /
 //      releases its own queues and scores its records against the *frozen*
-//      pre-learn forest (prequential) with the end-of-day ranges.
+//      pre-learn model (prequential) with the end-of-day ranges.
 //   3. learn  — sequential: the shards' release lists are merged back into
 //      batch-record order (each record is owned by exactly one shard, so the
-//      merge is total and unambiguous), scaled, and fed to the forest as one
-//      update_batch.
+//      merge is total and unambiguous), scaled, and fed to the model as one
+//      learn_batch.
 //
 // Determinism contract: for a fixed seed the results are bit-identical
 // across any shard count and any thread pool (including none). Stage 2 only
 // reads shared state; stage 3 consumes a canonical sample order that does
-// not depend on sharding; and OnlineForest::update_batch is itself
-// bit-equivalent to sequential updates (see online_forest.hpp).
+// not depend on sharding; and ModelBackend::learn_batch is itself
+// bit-equivalent to sequential updates (part of the backend contract; see
+// model_backend.hpp).
 //
 // Checkpoints (save/restore) serialise queues in ascending-DiskId order and
 // re-shard on restore, so a checkpoint written with one shard count restores
@@ -29,13 +31,17 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "core/mondrian_forest.hpp"
 #include "core/online_forest.hpp"
 #include "data/types.hpp"
+#include "engine/model_backend.hpp"
 #include "engine/batch.hpp"
 #include "engine/counters.hpp"
 #include "engine/shard.hpp"
@@ -48,7 +54,12 @@
 namespace engine {
 
 struct EngineParams {
+  /// Model backend registry name ("orf" = the paper's Online Random Forest,
+  /// "mondrian" = core::MondrianForest; see engine/model_backend.hpp).
+  std::string backend = "orf";
   core::OnlineForestParams forest = {};
+  /// Parameters of the "mondrian" backend (ignored by "orf").
+  core::MondrianForestParams mondrian = {};
   /// Queue capacity in samples = prediction horizon in days (daily samples).
   std::size_t queue_capacity = static_cast<std::size_t>(data::kHorizonDays);
   /// Alarm threshold on the forest score; tune for the deployment's FAR
@@ -64,8 +75,8 @@ struct EngineParams {
   /// outcome rejected, and count them per cause as
   /// orf_ingest_rejected_total{cause=...} on the engine registry.
   robust::RowErrorPolicy ingest_errors = robust::RowErrorPolicy::kStrict;
-  /// Score day batches through the forest's compiled flat layout
-  /// (core/flat_forest.hpp) instead of per-sample reference traversal.
+  /// "orf" backend only: score day batches through the forest's compiled
+  /// flat layout (core/flat_forest.hpp) instead of per-sample traversal.
   /// Bit-identical results either way (the differential suite proves it);
   /// purely a performance knob, and the off position is the reference
   /// baseline the tests and bench/micro_score compare against. Batches
@@ -112,8 +123,17 @@ class FleetEngine final : public SampleSink {
   /// Score a raw sample without touching any state (pure prediction).
   double score(std::span<const float> raw) const;
 
-  const core::OnlineForest& forest() const { return forest_; }
-  core::OnlineForest& forest() { return forest_; }
+  /// The model behind the seam.
+  ModelBackend& backend() { return *backend_; }
+  const ModelBackend& backend() const { return *backend_; }
+  std::string_view backend_name() const { return backend_->name(); }
+
+  /// The live ORF, for ORF-specific callers (feature importance, OOBE and
+  /// tree-replacement counters, flat-kernel micro-benches). Throws
+  /// std::logic_error when the engine runs a different backend — check
+  /// backend_name() first on generic paths.
+  const core::OnlineForest& forest() const;
+  core::OnlineForest& forest();
   const features::OnlineMinMaxScaler& scaler() const { return scaler_; }
   std::size_t feature_count() const { return scaler_.feature_count(); }
   std::size_t shard_count() const { return shards_.size(); }
@@ -162,7 +182,7 @@ class FleetEngine final : public SampleSink {
 
  private:
   std::uint32_t shard_of(data::DiskId disk) const;
-  /// One timed forest update_batch over the first `count` staged samples in
+  /// One timed model learn_batch over the first `count` staged samples in
   /// learn_batch_ (callers scale into the batch first).
   void learn_staged(std::size_t count, util::ThreadPool* pool);
 
@@ -193,7 +213,7 @@ class FleetEngine final : public SampleSink {
   Instruments instruments_;
 
   EngineParams params_;
-  core::OnlineForest forest_;
+  std::unique_ptr<ModelBackend> backend_;
   features::OnlineMinMaxScaler scaler_;
   std::vector<EngineShard> shards_;
 

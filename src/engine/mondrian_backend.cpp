@@ -1,0 +1,27 @@
+#include "engine/mondrian_backend.hpp"
+
+#include <stdexcept>
+
+#include "engine/fleet_engine.hpp"
+
+namespace engine {
+
+MondrianBackend::MondrianBackend(std::size_t feature_count,
+                                 const EngineParams& params,
+                                 std::uint64_t seed)
+    : forest_(feature_count, params.mondrian, seed) {}
+
+void MondrianBackend::score_batch(std::span<const float> rows,
+                                  std::span<double> out) const {
+  const std::size_t features = forest_.feature_count();
+  if (rows.size() != out.size() * features) {
+    throw std::invalid_argument(
+        "MondrianBackend::score_batch: rows must hold out.size() rows of "
+        "feature_count() floats");
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = forest_.predict_proba(rows.subspan(i * features, features));
+  }
+}
+
+}  // namespace engine

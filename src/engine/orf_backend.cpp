@@ -1,0 +1,28 @@
+#include "engine/orf_backend.hpp"
+
+#include "engine/fleet_engine.hpp"
+
+namespace engine {
+
+namespace {
+
+/// Below this many records a day batch is scored through the reference
+/// per-sample traversal even with flat_scoring on: the once-per-batch cache
+/// sync touches every node of every tree, which outweighs traversing a
+/// handful of root-to-leaf paths. Results are bit-identical either way.
+constexpr std::size_t kFlatScoreMinBatch = 16;
+
+}  // namespace
+
+OrfBackend::OrfBackend(std::size_t feature_count, const EngineParams& params,
+                       std::uint64_t seed)
+    : forest_(feature_count, params.forest, seed),
+      flat_scoring_(params.flat_scoring) {}
+
+bool OrfBackend::prepare_day_scoring(std::size_t batch_size) {
+  if (!flat_scoring_ || batch_size < kFlatScoreMinBatch) return false;
+  forest_.sync_flat();
+  return true;
+}
+
+}  // namespace engine

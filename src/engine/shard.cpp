@@ -22,12 +22,11 @@ std::vector<std::vector<float>> EngineShard::drain(data::DiskId disk) {
 void EngineShard::process_day(std::span<const DiskReport> batch,
                               std::span<const std::uint32_t> owner,
                               std::uint32_t self,
-                              const core::OnlineForest& forest,
+                              const ModelBackend& model,
                               const features::OnlineMinMaxScaler& scaler,
                               double alarm_threshold,
                               std::span<DayOutcome> outcomes,
-                              const core::FlatForestScorer* flat) {
-  const std::size_t features = scaler.feature_count();
+                              bool batch_score) {
   owned_scratch_.clear();
   rows_scratch_.clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -57,26 +56,26 @@ void EngineShard::process_day(std::span<const DiskReport> batch,
         break;
     }
 
-    // Score stage: prequential — the forest has not seen any of today's
-    // releases yet; the scaler carries end-of-day ranges. The flat path
+    // Score stage: prequential — the model has not seen any of today's
+    // releases yet; the scaler carries end-of-day ranges. The batch path
     // only packs the scaled row here and scores the whole shard slice in
     // one batch below.
     scaler.transform(report.features, scaled_);
-    if (flat != nullptr) {
+    if (batch_score) {
       owned_scratch_.push_back(i);
       rows_scratch_.insert(rows_scratch_.end(), scaled_.begin(),
                            scaled_.end());
       continue;
     }
     DayOutcome& out = outcomes[i];
-    out.score = forest.predict_proba(scaled_);
+    out.score = model.score_one(scaled_);
     out.alarm = out.score >= alarm_threshold;
     if (out.alarm) metrics_.alarms->inc();
   }
 
-  if (flat == nullptr || owned_scratch_.empty()) return;
+  if (!batch_score || owned_scratch_.empty()) return;
   scores_scratch_.resize(owned_scratch_.size());
-  flat->predict_batch(rows_scratch_, features, scores_scratch_);
+  model.score_batch(rows_scratch_, scores_scratch_);
   for (std::size_t k = 0; k < owned_scratch_.size(); ++k) {
     DayOutcome& out = outcomes[owned_scratch_[k]];
     out.score = scores_scratch_[k];

@@ -16,12 +16,11 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/flat_forest.hpp"
 #include "core/label_queue.hpp"
-#include "core/online_forest.hpp"
 #include "data/types.hpp"
 #include "engine/batch.hpp"
 #include "engine/counters.hpp"
+#include "engine/model_backend.hpp"
 #include "features/scaler.hpp"
 #include "obs/metrics.hpp"
 
@@ -56,16 +55,18 @@ class EngineShard {
 
   /// Label + score every record of `batch` with owner[i] == self. Appends
   /// releases in ascending seq; writes outcomes[i] for owned i only. The
-  /// forest and scaler are read-only here, so shards may run concurrently.
-  /// With `flat` non-null the shard batch-scores its records through the
-  /// compiled SoA layout (the engine synced it before the stage); scores are
-  /// bit-identical to the per-sample reference traversal used otherwise.
+  /// model and scaler are read-only here, so shards may run concurrently.
+  /// With `batch_score` set (the model accepted prepare_day_scoring at the
+  /// sequential point before the fan-out) the shard packs its records'
+  /// scaled rows and scores them through one model.score_batch call;
+  /// otherwise each record goes through model.score_one. Scores are
+  /// bit-identical either way — that is part of the backend contract.
   void process_day(std::span<const DiskReport> batch,
                    std::span<const std::uint32_t> owner, std::uint32_t self,
-                   const core::OnlineForest& forest,
+                   const ModelBackend& model,
                    const features::OnlineMinMaxScaler& scaler,
                    double alarm_threshold, std::span<DayOutcome> outcomes,
-                   const core::FlatForestScorer* flat = nullptr);
+                   bool batch_score = false);
 
   /// Enqueue one raw sample on `disk`'s queue; a full queue evicts its
   /// oldest sample, returned to be labeled negative.

@@ -5,8 +5,9 @@
 //   scale  — extend the online min/max ranges with the day's raw samples
 //   label  — per-disk LabelQueues release outdated negatives / failure
 //            positives (paper §3.2, Figure 1)
-//   learn  — the released labeled samples update the shared OnlineForest
-//   score  — every arriving sample is scored against the current forest
+//   learn  — the released labeled samples update the shared model (any
+//            engine::ModelBackend; the paper's ORF by default)
+//   score  — every arriving sample is scored against the current model
 //
 // — and the two interfaces here are the seams between the engine and its
 // callers. A `SampleSink` accepts day-batches of unlabeled fleet reports

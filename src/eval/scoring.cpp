@@ -130,7 +130,10 @@ Scorer online_forest_scorer(const core::OnlineForest& model,
 }
 
 Scorer engine_scorer(const engine::FleetEngine& engine) {
-  return online_forest_scorer(engine.forest(), engine.scaler());
+  // Backend-agnostic: FleetEngine::score is scaler transform + one
+  // ModelBackend::score_one — the same math the old forest-specific path
+  // did, for any backend.
+  return [&engine](std::span<const float> x) { return engine.score(x); };
 }
 
 }  // namespace eval

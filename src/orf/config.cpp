@@ -70,7 +70,10 @@ class Source {
 };
 
 constexpr std::array kFlagSpecs = {
+    util::FlagSpec{"backend", "NAME", "model backend (orf | mondrian)"},
     util::FlagSpec{"trees", "N", "forest size T"},
+    util::FlagSpec{"mondrian-lifetime", "F",
+                   "Mondrian budget (mondrian backend only)"},
     util::FlagSpec{"lambda-pos", "F", "Poisson rate for positive samples"},
     util::FlagSpec{"lambda-neg", "F", "Poisson rate for negative samples"},
     util::FlagSpec{"seed", "N", "RNG seed of the whole pipeline"},
@@ -104,10 +107,19 @@ void Config::validate() const {
   const auto fail = [](const std::string& what) {
     throw ConfigError("config: " + what);
   };
+  if (!engine::backend_registered(engine.backend)) {
+    std::string known;
+    for (const std::string& name : engine::registered_backends()) {
+      known += known.empty() ? name : ", " + name;
+    }
+    fail("engine.backend '" + engine.backend + "' is not registered (known: " +
+         known + ")");
+  }
   if (forest.n_trees <= 0) fail("forest.n_trees must be positive");
   if (forest.lambda_pos <= 0 || forest.lambda_neg <= 0) {
     fail("forest lambdas must be positive");
   }
+  if (mondrian.lifetime <= 0) fail("mondrian.lifetime must be positive");
   if (engine.alarm_threshold < 0.0 || engine.alarm_threshold > 1.0) {
     fail("engine.alarm_threshold must lie in [0, 1]");
   }
@@ -131,7 +143,14 @@ void Config::validate() const {
 
 engine::EngineParams Config::engine_params() const {
   engine::EngineParams params;
+  params.backend = engine.backend;
   params.forest = forest;
+  // The mondrian backend shares the ensemble-size and bagging knobs with the
+  // forest section (one spelling per knob); only the budget is its own.
+  params.mondrian.n_trees = forest.n_trees;
+  params.mondrian.lambda_pos = forest.lambda_pos;
+  params.mondrian.lambda_neg = forest.lambda_neg;
+  params.mondrian.lifetime = mondrian.lifetime;
   params.queue_capacity = queue.capacity;
   params.alarm_threshold = engine.alarm_threshold;
   params.shards = engine.shards;
@@ -145,6 +164,9 @@ std::span<const util::FlagSpec> Config::flag_specs() { return kFlagSpecs; }
 Config Config::from_flags(const util::Flags& flags) {
   const Source source(flags);
   Config config;
+  config.engine.backend = source.get("backend", config.engine.backend);
+  config.mondrian.lifetime =
+      source.get_double("mondrian-lifetime", config.mondrian.lifetime);
   config.forest.n_trees =
       static_cast<int>(source.get_int("trees", config.forest.n_trees));
   config.forest.lambda_pos =

@@ -44,6 +44,10 @@ class ConfigError : public util::FlagError {
 
 /// Fleet-engine section: parallelism and decision knobs.
 struct EngineSection {
+  /// Model backend registry name ("orf" | "mondrian" | anything registered
+  /// via engine::register_backend). Resolved --backend → ORF_BACKEND →
+  /// default, like every knob here.
+  std::string backend = "orf";
   /// Disk shards (0 = auto = hardware concurrency clamped to [1, 32]).
   /// Purely a parallelism knob: results never depend on it.
   std::size_t shards = 0;
@@ -56,6 +60,14 @@ struct EngineSection {
   bool flat_scoring = true;
   /// Dirty-report policy for ingest (strict | skip | quarantine).
   robust::RowErrorPolicy ingest_errors = robust::RowErrorPolicy::kStrict;
+};
+
+/// Mondrian-backend section (used only when engine.backend == "mondrian";
+/// tree count and bagging rates are shared with the forest section so both
+/// backends keep one spelling per knob).
+struct MondrianSection {
+  /// Mondrian budget λ: caps split times, bounding tree depth.
+  double lifetime = 50.0;
 };
 
 /// Label-queue section.
@@ -95,6 +107,7 @@ struct ServeSection {
 struct Config {
   core::OnlineForestParams forest = {};
   EngineSection engine;
+  MondrianSection mondrian;
   QueueSection queue;
   RobustSection robust;
   ServeSection serve;

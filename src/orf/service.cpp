@@ -47,9 +47,9 @@ Service::Service(std::size_t feature_count, const Config& config)
       }
     }
   }
-  // From here on the flat kernel is kept in sync at the tail of every
-  // mutation, so score() can stay const and lock-shared.
-  engine_.forest().sync_flat();
+  // From here on the backend's scoring caches are quiesced at the tail of
+  // every mutation, so score() can stay const and lock-shared.
+  engine_.backend().quiesce();
 }
 
 void Service::score(std::span<const float> xs,
@@ -71,7 +71,7 @@ void Service::score(std::span<const float> xs,
     std::copy(row.begin(), row.end(), scaled.begin() + i * features);
   }
   std::vector<double> scores(rows);
-  engine_.forest().flat().predict_batch(scaled, features, scores);
+  engine_.backend().score_batch(scaled, scores);
   const double threshold = engine_.alarm_threshold();
   for (std::size_t i = 0; i < rows; ++i) {
     out[i].score = scores[i];
@@ -85,7 +85,7 @@ IngestStats Service::ingest(std::span<const engine::DiskReport> batch,
   const std::uint64_t non_finite_before = rejected_non_finite_->value();
   const std::uint64_t duplicate_before = rejected_duplicate_->value();
   engine_.ingest_day(batch, outcomes, pool_.get());
-  engine_.forest().sync_flat();
+  engine_.backend().quiesce();
 
   IngestStats stats;
   stats.day = next_day_++;
@@ -137,7 +137,7 @@ void Service::restore_payload(const std::string& payload) {
   }
   engine_.restore(is);
   next_day_ = static_cast<data::Day>(day);
-  engine_.forest().sync_flat();
+  engine_.backend().quiesce();
 }
 
 void Service::save(std::ostream& os) const {

@@ -31,6 +31,17 @@ Response error_response(int status, const std::string& cause) {
                   {"error", json::Value::of(std::string(cause))}}));
 }
 
+/// Known route, wrong method: a client bug, answered 400 with the cause in
+/// the body and an Allow header naming what the route accepts.
+Response wrong_method(const std::string& method, const std::string& target,
+                      const std::string& allow) {
+  Response response = error_response(
+      400, "method " + method + " not allowed on " + target + "; use " +
+               allow);
+  response.headers.emplace_back("Allow", allow);
+  return response;
+}
+
 /// Decode {"rows":[[...],...]} into one row-major float buffer.
 std::vector<float> decode_rows(const json::Value& doc,
                                std::size_t feature_count) {
@@ -150,7 +161,8 @@ Response Api::handle(const Request& request) {
   const std::string& target = request.target;
   if (target == "/v1/score" || target == "/v1/ingest") {
     if (request.method != "POST") {
-      return finish(target, error_response(405, "use POST"), -1.0);
+      return finish(target, wrong_method(request.method, target, "POST"),
+                    -1.0);
     }
     util::Stopwatch timer;
     try {
@@ -171,13 +183,15 @@ Response Api::handle(const Request& request) {
   }
   if (target == "/metrics") {
     if (request.method != "GET" && request.method != "HEAD") {
-      return finish(target, error_response(405, "use GET"), -1.0);
+      return finish(target,
+                    wrong_method(request.method, target, "GET, HEAD"), -1.0);
     }
     return finish(target, metrics(), -1.0);
   }
   if (target == "/healthz") {
     if (request.method != "GET" && request.method != "HEAD") {
-      return finish(target, error_response(405, "use GET"), -1.0);
+      return finish(target,
+                    wrong_method(request.method, target, "GET, HEAD"), -1.0);
     }
     return finish(target, healthz(), -1.0);
   }

@@ -144,7 +144,7 @@ TEST(Checkpoint, GarbageStreamThrows) {
 }
 
 TEST(Checkpoint, PredictorFullStateRoundTrip) {
-  core::OnlinePredictorParams params;
+  engine::EngineParams params;
   params.forest = forest_params();
   params.queue_capacity = 5;
   core::OnlineDiskPredictor original(2, params, 13);
@@ -190,7 +190,7 @@ TEST(Checkpoint, PredictorFullStateRoundTrip) {
 }
 
 TEST(Checkpoint, PredictorFileRoundTrip) {
-  core::OnlinePredictorParams params;
+  engine::EngineParams params;
   params.forest = forest_params();
   core::OnlineDiskPredictor predictor(2, params, 13);
   util::Rng rng(42);

@@ -1,0 +1,246 @@
+// core::MondrianForest: the paused-extension online Mondrian forest behind
+// the "mondrian" engine backend. Covers the learning signal, the
+// determinism contract (pooled update_batch ≡ per-sample updates,
+// bit-identical serialized state), complete-state checkpointing, parameter
+// validation and the structural bounds (lifetime, max_nodes).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/mondrian_forest.hpp"
+#include "obs/registry.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+core::MondrianForestParams small_params() {
+  core::MondrianForestParams params;
+  params.n_trees = 10;
+  // Balanced bagging for the synthetic cluster data: the disk-fleet default
+  // λn = 0.02 would starve the negatives here.
+  params.lambda_neg = 1.0;
+  return params;
+}
+
+/// Two well-separated clusters in the unit square: class 1 near (0.8, 0.8),
+/// class 0 near (0.2, 0.2), alternating labels.
+std::vector<core::LabeledVector> cluster_stream(std::size_t n,
+                                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::LabeledVector> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = i % 2 == 0 ? 1 : 0;
+    const float center = y == 1 ? 0.8f : 0.2f;
+    samples.push_back(core::LabeledVector{
+        {center + static_cast<float>(rng.uniform(-0.1, 0.1)),
+         center + static_cast<float>(rng.uniform(-0.1, 0.1))},
+        y});
+  }
+  return samples;
+}
+
+std::string forest_state(const core::MondrianForest& forest) {
+  std::ostringstream os;
+  forest.save(os);
+  return os.str();
+}
+
+TEST(MondrianForest, LearnsToSeparateClusters) {
+  core::MondrianForest forest(2, small_params(), 42);
+  const auto samples = cluster_stream(600, 7);
+  forest.update_batch(samples, nullptr);
+
+  const std::vector<float> positive{0.8f, 0.8f};
+  const std::vector<float> negative{0.2f, 0.2f};
+  EXPECT_GT(forest.predict_proba(positive), 0.8);
+  EXPECT_LT(forest.predict_proba(negative), 0.2);
+  EXPECT_EQ(forest.predict(positive), 1);
+  EXPECT_EQ(forest.predict(negative), 0);
+  EXPECT_EQ(forest.samples_seen(), samples.size());
+  EXPECT_GT(forest.total_nodes(), forest.tree_count());
+}
+
+TEST(MondrianForest, PooledBatchBitIdenticalToPerSampleUpdates) {
+  const auto samples = cluster_stream(400, 11);
+  core::MondrianForest sequential(2, small_params(), 5);
+  core::MondrianForest pooled(2, small_params(), 5);
+  util::ThreadPool pool(4);
+
+  for (const auto& s : samples) sequential.update(s.x, s.y, nullptr);
+  pooled.update_batch(samples, &pool);
+
+  EXPECT_EQ(sequential.samples_seen(), pooled.samples_seen());
+  EXPECT_EQ(forest_state(sequential), forest_state(pooled));
+}
+
+TEST(MondrianForest, PooledPerSampleUpdateMatchesSequential) {
+  const auto samples = cluster_stream(300, 13);
+  core::MondrianForest sequential(2, small_params(), 5);
+  core::MondrianForest pooled(2, small_params(), 5);
+  util::ThreadPool pool(3);
+
+  for (const auto& s : samples) {
+    sequential.update(s.x, s.y, nullptr);
+    pooled.update(s.x, s.y, &pool);
+  }
+  EXPECT_EQ(forest_state(sequential), forest_state(pooled));
+}
+
+TEST(MondrianForest, SameSeedSameStreamSameState) {
+  const auto samples = cluster_stream(200, 17);
+  core::MondrianForest a(2, small_params(), 9);
+  core::MondrianForest b(2, small_params(), 9);
+  a.update_batch(samples, nullptr);
+  b.update_batch(samples, nullptr);
+  EXPECT_EQ(forest_state(a), forest_state(b));
+}
+
+TEST(MondrianForest, CheckpointRoundTripContinuesIdentically) {
+  const auto first = cluster_stream(300, 19);
+  const auto second = cluster_stream(300, 23);
+
+  core::MondrianForest original(2, small_params(), 3);
+  original.update_batch(first, nullptr);
+  const std::string snapshot = forest_state(original);
+
+  core::MondrianForest restored(2, small_params(), 99);  // seed is replaced
+  std::istringstream is(snapshot);
+  restored.restore(is);
+  EXPECT_EQ(forest_state(restored), snapshot);
+  EXPECT_EQ(restored.samples_seen(), original.samples_seen());
+
+  // The restored RNG streams must continue exactly where the original's do.
+  original.update_batch(second, nullptr);
+  restored.update_batch(second, nullptr);
+  EXPECT_EQ(forest_state(original), forest_state(restored));
+}
+
+TEST(MondrianForest, RestoreRejectsShapeMismatch) {
+  core::MondrianForest writer(2, small_params(), 3);
+  writer.update_batch(cluster_stream(50, 29), nullptr);
+  const std::string snapshot = forest_state(writer);
+
+  core::MondrianForest wrong_features(3, small_params(), 3);
+  std::istringstream a(snapshot);
+  EXPECT_THROW(wrong_features.restore(a), std::runtime_error);
+
+  core::MondrianForestParams more_trees = small_params();
+  more_trees.n_trees = 4;
+  core::MondrianForest wrong_trees(2, more_trees, 3);
+  std::istringstream b(snapshot);
+  EXPECT_THROW(wrong_trees.restore(b), std::runtime_error);
+
+  core::MondrianForest reader(2, small_params(), 3);
+  std::istringstream garbage("not-a-mondrian-checkpoint\n");
+  EXPECT_THROW(reader.restore(garbage), std::runtime_error);
+}
+
+TEST(MondrianForest, ConstructorValidatesParameters) {
+  EXPECT_THROW(core::MondrianForest(0, small_params(), 1),
+               std::invalid_argument);
+  core::MondrianForestParams no_trees = small_params();
+  no_trees.n_trees = 0;
+  EXPECT_THROW(core::MondrianForest(2, no_trees, 1), std::invalid_argument);
+}
+
+TEST(MondrianForest, RejectsWrongFeatureCount) {
+  core::MondrianForest forest(2, small_params(), 1);
+  const std::vector<float> three{0.1f, 0.2f, 0.3f};
+  EXPECT_THROW(forest.update(three, 1, nullptr), std::invalid_argument);
+  EXPECT_THROW(forest.predict_proba(three), std::invalid_argument);
+  EXPECT_THROW(
+      forest.update_batch(
+          std::vector<core::LabeledVector>{{{0.1f, 0.2f, 0.3f}, 1}}, nullptr),
+      std::invalid_argument);
+}
+
+TEST(MondrianForest, UntrainedForestIsMaximallyUncertain) {
+  core::MondrianForest forest(2, small_params(), 1);
+  const std::vector<float> x{0.5f, 0.5f};
+  EXPECT_DOUBLE_EQ(forest.predict_proba(x), 0.5);
+  EXPECT_EQ(forest.samples_seen(), 0u);
+  EXPECT_EQ(forest.total_nodes(), 0u);
+}
+
+TEST(MondrianForest, MaxNodesCapsGrowthButKeepsAbsorbing) {
+  core::MondrianForestParams params = small_params();
+  params.max_nodes = 5;
+  core::MondrianForest forest(2, params, 1);
+  const auto samples = cluster_stream(500, 31);
+  forest.update_batch(samples, nullptr);
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    EXPECT_LE(forest.tree(t).node_count(), 5u) << "tree " << t;
+  }
+  // Full trees keep counting into their leaves, so the forest still learns.
+  EXPECT_GT(forest.predict_proba(std::vector<float>{0.8f, 0.8f}),
+            forest.predict_proba(std::vector<float>{0.2f, 0.2f}));
+}
+
+TEST(MondrianForest, NearZeroLifetimeFreezesStructure) {
+  // A split is only accepted below the Mondrian budget; with λ ≈ 0 every
+  // clock misses and each tree remains the single leaf its first sample
+  // created, only ever extending its box.
+  core::MondrianForestParams params = small_params();
+  params.lifetime = 1e-12;
+  core::MondrianForest forest(2, params, 1);
+  forest.update_batch(cluster_stream(300, 37), nullptr);
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    EXPECT_LE(forest.tree(t).node_count(), 1u) << "tree " << t;
+    EXPECT_EQ(forest.tree(t).depth(), 0u) << "tree " << t;
+  }
+}
+
+TEST(MondrianForest, TreesAreStrictlyBinary) {
+  core::MondrianForest forest(2, small_params(), 2);
+  forest.update_batch(cluster_stream(400, 41), nullptr);
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    const core::MondrianTree& tree = forest.tree(t);
+    if (tree.node_count() == 0) continue;
+    // Every split adds exactly one internal node and one leaf.
+    EXPECT_EQ(tree.node_count(), 2 * tree.leaf_count() - 1) << "tree " << t;
+    EXPECT_GE(tree.depth() + 1, 1u);
+  }
+}
+
+TEST(MondrianForest, MetricsPublishStructuralGauges) {
+  obs::Registry registry;
+  core::MondrianForest forest(2, small_params(), 1);
+  forest.bind_metrics(registry);
+  forest.update_batch(cluster_stream(200, 43), nullptr);
+  forest.publish_metrics();
+
+  const obs::Snapshot snapshot = registry.snapshot();
+  double nodes = -1.0;
+  double leaves = -1.0;
+  double depth_mean = -1.0;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.id.name == "mondrian_forest_nodes") nodes = gauge.value;
+    if (gauge.id.name == "mondrian_forest_leaves") leaves = gauge.value;
+    if (gauge.id.name == "mondrian_forest_depth_mean") {
+      depth_mean = gauge.value;
+    }
+  }
+  EXPECT_EQ(nodes, static_cast<double>(forest.total_nodes()));
+  EXPECT_GT(leaves, 0.0);
+  EXPECT_GT(depth_mean, 0.0);
+  bool samples_found = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.id.name != "mondrian_forest_samples_seen_total") continue;
+    samples_found = true;
+    EXPECT_EQ(counter.value, forest.samples_seen());
+  }
+  EXPECT_TRUE(samples_found);
+}
+
+TEST(MondrianForest, PublishWithoutBindIsANoOp) {
+  core::MondrianForest forest(2, small_params(), 1);
+  forest.publish_metrics();  // must not crash
+}
+
+}  // namespace

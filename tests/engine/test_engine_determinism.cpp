@@ -18,8 +18,8 @@
 
 namespace {
 
-core::OnlinePredictorParams stream_params(std::size_t shards) {
-  core::OnlinePredictorParams p;
+engine::EngineParams stream_params(std::size_t shards) {
+  engine::EngineParams p;
   p.forest.n_trees = 8;
   p.forest.tree.n_tests = 64;
   p.forest.tree.min_parent_size = 60;

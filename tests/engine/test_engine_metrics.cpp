@@ -19,8 +19,8 @@
 
 namespace {
 
-core::OnlinePredictorParams metrics_params(std::size_t shards) {
-  core::OnlinePredictorParams p;
+engine::EngineParams metrics_params(std::size_t shards) {
+  engine::EngineParams p;
   p.forest.n_trees = 8;
   p.forest.tree.n_tests = 64;
   p.forest.tree.min_parent_size = 60;
@@ -131,7 +131,7 @@ TEST(EngineMetrics, RegistryCountersMatchStreamTotals) {
 TEST(EngineMetrics, ForestGaugesTrackModelAging) {
   // Tiny replacement thresholds force tree regrowth quickly, which the
   // forest gauges must surface.
-  core::OnlinePredictorParams p = metrics_params(1);
+  engine::EngineParams p = metrics_params(1);
   p.forest.oobe_threshold = 0.05;
   p.forest.age_threshold = 5;
   p.forest.min_oob_evals = 3;

@@ -8,8 +8,8 @@
 
 namespace {
 
-core::OnlinePredictorParams small_params() {
-  core::OnlinePredictorParams p;
+engine::EngineParams small_params() {
+  engine::EngineParams p;
   p.forest.n_trees = 8;
   p.forest.tree.n_tests = 64;
   p.forest.tree.min_parent_size = 60;

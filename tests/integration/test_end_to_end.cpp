@@ -15,8 +15,8 @@
 
 namespace {
 
-core::OnlinePredictorParams predictor_params() {
-  core::OnlinePredictorParams p;
+engine::EngineParams predictor_params() {
+  engine::EngineParams p;
   p.forest.n_trees = 15;
   p.forest.tree.n_tests = 128;
   p.forest.tree.min_parent_size = 120;

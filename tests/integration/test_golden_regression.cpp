@@ -57,7 +57,7 @@ std::string run_scenario() {
   profile.duration_days = 10 * data::kDaysPerMonth;
   const auto dataset = datagen::generate_fleet(profile, /*seed=*/17);
 
-  core::OnlinePredictorParams params;
+  engine::EngineParams params;
   params.forest.n_trees = 12;
   params.forest.tree.n_tests = 96;
   params.forest.tree.min_parent_size = 100;

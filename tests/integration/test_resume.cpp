@@ -21,8 +21,8 @@
 
 namespace {
 
-core::OnlinePredictorParams params() {
-  core::OnlinePredictorParams p;
+engine::EngineParams params() {
+  engine::EngineParams p;
   p.forest.n_trees = 8;
   p.forest.tree.n_tests = 64;
   p.forest.tree.min_parent_size = 60;
@@ -200,11 +200,11 @@ TEST(Resume, DirtyStreamLeavesAccuracyUntouched) {
   }
   ASSERT_GT(injected, 10u);
 
-  core::OnlinePredictorParams strict = params();
+  engine::EngineParams strict = params();
   core::OnlineDiskPredictor clean_monitor(clean.feature_count(), strict, 5);
   const auto clean_result = eval::stream_fleet(clean, clean_monitor.engine());
 
-  core::OnlinePredictorParams lenient = params();
+  engine::EngineParams lenient = params();
   lenient.ingest_errors = robust::RowErrorPolicy::kSkip;
   core::OnlineDiskPredictor dirty_monitor(dirty.feature_count(), lenient, 5);
   const auto dirty_result = eval::stream_fleet(dirty, dirty_monitor.engine());

@@ -75,6 +75,54 @@ TEST(OrfConfig, FlagsReachEverySection) {
   EXPECT_EQ(config.serve.retry_after_seconds, 3);
 }
 
+TEST(OrfConfig, BackendKnobResolvesFlagThenEnvThenDefault) {
+  EXPECT_EQ(orf::Config::from_flags(make_flags({})).engine.backend, "orf");
+
+  const orf::Config flagged =
+      orf::Config::from_flags(make_flags({"--backend=mondrian"}));
+  EXPECT_EQ(flagged.engine.backend, "mondrian");
+  EXPECT_EQ(flagged.engine_params().backend, "mondrian");
+
+  const ScopedEnv env("ORF_BACKEND", "mondrian");
+  EXPECT_EQ(orf::Config::from_flags(make_flags({})).engine.backend,
+            "mondrian");
+  EXPECT_EQ(
+      orf::Config::from_flags(make_flags({"--backend=orf"})).engine.backend,
+      "orf");  // flag beats ORF_BACKEND
+}
+
+TEST(OrfConfig, UnknownBackendFailsValidationNamingTheChoices) {
+  try {
+    orf::Config::from_flags(make_flags({"--backend=xgboost"}));
+    FAIL() << "expected ConfigError";
+  } catch (const orf::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("xgboost"), std::string::npos) << what;
+    EXPECT_NE(what.find("orf"), std::string::npos) << what;
+    EXPECT_NE(what.find("mondrian"), std::string::npos) << what;
+  }
+}
+
+TEST(OrfConfig, MondrianSectionMapsToEngineParams) {
+  const orf::Config config = orf::Config::from_flags(make_flags(
+      {"--backend=mondrian", "--mondrian-lifetime=12.5", "--trees=9",
+       "--lambda-pos=0.8", "--lambda-neg=0.05"}));
+  const engine::EngineParams params = config.engine_params();
+  EXPECT_EQ(params.backend, "mondrian");
+  EXPECT_DOUBLE_EQ(params.mondrian.lifetime, 12.5);
+  // The shared forest knobs configure whichever backend runs.
+  EXPECT_EQ(params.mondrian.n_trees, 9);
+  EXPECT_DOUBLE_EQ(params.mondrian.lambda_pos, 0.8);
+  EXPECT_DOUBLE_EQ(params.mondrian.lambda_neg, 0.05);
+
+  EXPECT_THROW(
+      orf::Config::from_flags(make_flags({"--mondrian-lifetime=-1"})),
+      orf::ConfigError);
+  EXPECT_THROW(
+      orf::Config::from_flags(make_flags({"--mondrian-lifetime=soon"})),
+      orf::ConfigError);
+}
+
 TEST(OrfConfig, EnvironmentIsTheFallbackAndFlagsWin) {
   const ScopedEnv port("ORF_PORT", "7070");
   const ScopedEnv trees("ORF_TREES", "9");
@@ -152,8 +200,9 @@ TEST(OrfConfig, ConfigErrorIsAFlagError) {
 TEST(OrfConfig, FlagSpecsCoverTheSharedKnobsInUsageText) {
   const std::string usage = util::usage_text("orfd", orf::Config::flag_specs());
   for (const char* flag :
-       {"--trees", "--port", "--checkpoint-dir", "--row-errors", "--resume",
-        "--max-in-flight", "--help"}) {
+       {"--backend", "--mondrian-lifetime", "--trees", "--port",
+        "--checkpoint-dir", "--row-errors", "--resume", "--max-in-flight",
+        "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag << "\n" << usage;
   }
 }

@@ -234,8 +234,16 @@ TEST(Daemon, MalformedBodiesAnswer400WithCause) {
   bad = client.request("GET", "/nope");
   EXPECT_EQ(bad.status, 404);
 
+  // Known route, wrong method: 400 with the cause and an Allow header
+  // naming what the route accepts (404 stays reserved for unknown routes).
   bad = client.request("GET", "/v1/score");
-  EXPECT_EQ(bad.status, 405);
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("use POST"), std::string::npos);
+  EXPECT_NE(bad.headers.find("Allow: POST"), std::string::npos);
+
+  bad = client.request("POST", "/metrics");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.headers.find("Allow: GET, HEAD"), std::string::npos);
 }
 
 TEST(Daemon, ConcurrentScoresKeepTheFlatKernelQuiescent) {
