@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate serving throughput: reactor req/s must not fall below blocking.
+
+Reads the JSONL that bench/micro_serve writes (one line per serving mode,
+distinguished by the bench_serve_reactor extra), compares bench_rps, and
+exits non-zero when the reactor underperforms the blocking baseline by more
+than the allowed ratio. Latency is reported but only warned about: at CI
+smoke scale (two shared cores, seconds of wall time) p99 is too noisy to
+gate on, while the throughput ordering is stable.
+
+Usage:
+    bench_compare.py BENCH_serve.json [--min-ratio 1.0] [--max-p99-ratio 0]
+
+--min-ratio R     fail unless reactor_rps >= R * blocking_rps (default 1.0)
+--max-p99-ratio R when > 0, also fail unless reactor_p99 <= R * blocking_p99
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_modes(path):
+    blocking, reactor = None, None
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "bench_rps" not in record:
+                continue
+            if record.get("bench_serve_reactor"):
+                reactor = record
+            else:
+                blocking = record
+    return blocking, reactor
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="JSONL from bench/micro_serve")
+    parser.add_argument("--min-ratio", type=float, default=1.0,
+                        help="reactor_rps >= ratio * blocking_rps")
+    parser.add_argument("--max-p99-ratio", type=float, default=0.0,
+                        help="when > 0, reactor_p99 <= ratio * blocking_p99")
+    args = parser.parse_args()
+
+    blocking, reactor = load_modes(args.bench_json)
+    if blocking is None or reactor is None:
+        print(f"bench_compare: {args.bench_json} is missing a "
+              f"{'blocking' if blocking is None else 'reactor'} record",
+              file=sys.stderr)
+        return 2
+
+    for name, record in (("blocking", blocking), ("reactor", reactor)):
+        if record.get("bench_errors", 0) > 0:
+            print(f"bench_compare: {name} run had "
+                  f"{record['bench_errors']:.0f} failed requests",
+                  file=sys.stderr)
+            return 1
+
+    b_rps, r_rps = blocking["bench_rps"], reactor["bench_rps"]
+    b_p99 = blocking.get("bench_p99_ms", 0.0)
+    r_p99 = reactor.get("bench_p99_ms", 0.0)
+    ratio = r_rps / b_rps if b_rps > 0 else float("inf")
+    print(f"bench_compare: blocking {b_rps:.0f} req/s (p99 {b_p99:.2f} ms) "
+          f"vs reactor {r_rps:.0f} req/s (p99 {r_p99:.2f} ms) "
+          f"-> ratio {ratio:.2f}")
+
+    if b_rps <= 0 or reactor.get("bench_requests", 0) <= 0:
+        print("bench_compare: a run completed no requests", file=sys.stderr)
+        return 1
+    if ratio < args.min_ratio:
+        print(f"bench_compare: FAIL reactor/blocking ratio {ratio:.2f} "
+              f"< required {args.min_ratio:.2f}", file=sys.stderr)
+        return 1
+    if args.max_p99_ratio > 0 and b_p99 > 0 and \
+            r_p99 > args.max_p99_ratio * b_p99:
+        print(f"bench_compare: FAIL reactor p99 {r_p99:.2f} ms exceeds "
+              f"{args.max_p99_ratio:.2f}x blocking p99 {b_p99:.2f} ms",
+              file=sys.stderr)
+        return 1
+    if b_p99 > 0 and r_p99 > 2.0 * b_p99:
+        print(f"bench_compare: warning: reactor p99 {r_p99:.2f} ms is "
+              f">2x blocking p99 {b_p99:.2f} ms (not gated at smoke scale)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

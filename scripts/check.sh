@@ -14,13 +14,21 @@
 #      stream accuracy), then a quarantine smoke run of backblaze_ingest
 #      --dirt that leaves the rejected-row sidecar at
 #      build-asan/quarantine_sidecar.csv for CI to upload.
+#   4. (--tsan) a ThreadSanitizer build (cmake -DORF_TSAN=ON into
+#      build-tsan/) over the threaded suites — test_serve (the reactor's
+#      single-owner connection model, the batcher's cross-thread
+#      completions), test_engine (sharded ingest) and test_obs (lock-free
+#      instruments) — with TSAN_OPTIONS=halt_on_error=1 so the first race
+#      fails the run.
 #
-# Usage: scripts/check.sh [--asan-only] [--faults]
+# Usage: scripts/check.sh [--asan-only] [--faults] [--tsan]
 #   --asan-only   skip step 1 and run only the sanitizer pass (what the CI
 #                 sanitizer job runs; the build/test matrix already covers
 #                 tier-1 there).
 #   --faults      skip steps 1-2 and run only the fault-tolerance pass
 #                 (what the CI faults job runs).
+#   --tsan        run only the ThreadSanitizer pass (what the CI tsan job
+#                 runs).
 #
 # Exits non-zero on the first failure. ~5 minutes on one core.
 #
@@ -34,16 +42,32 @@ cd "$(dirname "$0")/.."
 
 asan_only=false
 faults_only=false
+tsan_only=false
 for arg in "$@"; do
   case "$arg" in
     --asan-only) asan_only=true ;;
     --faults) faults_only=true ;;
+    --tsan) tsan_only=true ;;
     *)
-      echo "unknown argument: $arg (supported: --asan-only, --faults)" >&2
+      echo "unknown argument: $arg (supported: --asan-only, --faults, --tsan)" >&2
       exit 2
       ;;
   esac
 done
+
+if $tsan_only; then
+  echo "== tsan: ThreadSanitizer over serve + engine + obs suites =="
+  cmake -B build-tsan -S . -DORF_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    >/dev/null
+  cmake --build build-tsan -j "$(nproc)" \
+    --target test_serve test_engine test_obs
+  export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+  ./build-tsan/tests/test_obs
+  ./build-tsan/tests/test_engine
+  ./build-tsan/tests/test_serve
+  echo "CHECK OK"
+  exit 0
+fi
 
 if ! $asan_only && ! $faults_only; then
   echo "== tier-1: build + full test suite =="

@@ -41,4 +41,15 @@ std::vector<double> latency_buckets() {
   return bounds;
 }
 
+std::vector<double> batch_rows_buckets() {
+  std::vector<double> bounds;
+  bounds.reserve(13);
+  double b = 1.0;
+  for (int i = 0; i < 13; ++i) {
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  return bounds;
+}
+
 }  // namespace obs

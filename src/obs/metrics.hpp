@@ -103,4 +103,10 @@ class Histogram {
 /// interpolated p50/p95/p99 are meaningful.
 std::vector<double> latency_buckets();
 
+/// Power-of-two row-count bounds for batch-size histograms: 1, 2, 4, …,
+/// 4096 (13 buckets + overflow). The serving micro-batcher records every
+/// flush here, so sum/count reads off the average rows amortised per
+/// score_batch call.
+std::vector<double> batch_rows_buckets();
+
 }  // namespace obs

@@ -94,7 +94,17 @@ constexpr std::array kFlagSpecs = {
     util::FlagSpec{"resume", "", "restart from the newest intact snapshot"},
     util::FlagSpec{"bind", "ADDR", "daemon bind address"},
     util::FlagSpec{"port", "N", "daemon TCP port (0 = ephemeral)"},
-    util::FlagSpec{"serve-threads", "N", "daemon worker threads"},
+    util::FlagSpec{"serve-mode", "reactor|blocking", "daemon serving model"},
+    util::FlagSpec{"serve-threads", "N",
+                   "daemon worker threads (blocking mode)"},
+    util::FlagSpec{"serve-workers", "N",
+                   "reactor event-loop threads (0 = auto)"},
+    util::FlagSpec{"batch-max-rows", "N",
+                   "score micro-batch flush threshold in rows"},
+    util::FlagSpec{"batch-max-wait-us", "US",
+                   "score micro-batch latency bound"},
+    util::FlagSpec{"idle-timeout-ms", "MS",
+                   "reactor idle/stalled connection timeout"},
     util::FlagSpec{"max-in-flight", "N",
                    "admission bound before responding 429"},
     util::FlagSpec{"max-body-bytes", "N", "largest accepted request body"},
@@ -134,7 +144,19 @@ void Config::validate() const {
   if (serve.port < 0 || serve.port > 65535) {
     fail("serve.port must lie in [0, 65535]");
   }
+  if (serve.mode != "reactor" && serve.mode != "blocking") {
+    fail("serve.mode must be reactor|blocking, got '" + serve.mode + "'");
+  }
   if (serve.threads == 0) fail("serve.threads must be >= 1");
+  if (serve.batch_max_rows == 0) {
+    fail("serve.batch_max_rows must be >= 1");
+  }
+  if (serve.batch_max_wait_us < 0) {
+    fail("serve.batch_max_wait_us must be >= 0");
+  }
+  if (serve.idle_timeout_ms <= 0) {
+    fail("serve.idle_timeout_ms must be positive");
+  }
   if (serve.max_body_bytes == 0) fail("serve.max_body_bytes must be positive");
   if (serve.retry_after_seconds < 0) {
     fail("serve.retry_after_seconds must be >= 0");
@@ -206,8 +228,18 @@ Config Config::from_flags(const util::Flags& flags) {
   config.serve.bind_address = source.get("bind", config.serve.bind_address);
   config.serve.port =
       static_cast<int>(source.get_int("port", config.serve.port));
+  config.serve.mode = source.get("serve-mode", config.serve.mode);
   config.serve.threads = static_cast<std::size_t>(source.get_int(
       "serve-threads", static_cast<std::int64_t>(config.serve.threads)));
+  config.serve.workers = static_cast<std::size_t>(source.get_int(
+      "serve-workers", static_cast<std::int64_t>(config.serve.workers)));
+  config.serve.batch_max_rows = static_cast<std::size_t>(source.get_int(
+      "batch-max-rows",
+      static_cast<std::int64_t>(config.serve.batch_max_rows)));
+  config.serve.batch_max_wait_us = static_cast<long>(source.get_int(
+      "batch-max-wait-us", config.serve.batch_max_wait_us));
+  config.serve.idle_timeout_ms = static_cast<long>(
+      source.get_int("idle-timeout-ms", config.serve.idle_timeout_ms));
   config.serve.max_in_flight = static_cast<std::size_t>(source.get_int(
       "max-in-flight",
       static_cast<std::int64_t>(config.serve.max_in_flight)));

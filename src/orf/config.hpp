@@ -88,16 +88,35 @@ struct RobustSection {
   bool resume = false;
 };
 
-/// HTTP daemon section (see serve::HttpServer / orfd).
+/// HTTP daemon section (see serve::ReactorServer / serve::HttpServer / orfd).
 struct ServeSection {
   std::string bind_address = "127.0.0.1";
   /// TCP port; 0 = ephemeral (the bound port is reported after start).
   int port = 8080;
-  /// Worker threads serving connections.
+  /// Serving model: "reactor" (epoll event loops + /v1/score micro-batching,
+  /// the default) or "blocking" (thread-per-connection pool — kept as the
+  /// baseline bench/micro_serve measures the reactor against).
+  std::string mode = "reactor";
+  /// Worker threads serving connections (blocking mode only).
   std::size_t threads = 4;
+  /// Reactor event-loop threads (0 = auto: hardware concurrency clamped to
+  /// [1, 8]). Each worker owns its connections exclusively.
+  std::size_t workers = 0;
+  /// Micro-batch flush threshold: concurrently queued /v1/score rows are
+  /// coalesced into one score_batch call of up to this many rows.
+  std::size_t batch_max_rows = 512;
+  /// Micro-batch latency bound: a queued score row never waits longer than
+  /// this before its batch is flushed, full or not.
+  long batch_max_wait_us = 1000;
+  /// Reactor connection timeout, milliseconds: an idle keep-alive
+  /// connection — or a stalled client that stops reading mid-response — is
+  /// closed after this long without socket progress.
+  long idle_timeout_ms = 60000;
   /// Admission bound: connections queued-or-in-service above this are
-  /// answered 429 + Retry-After without touching a worker.
-  std::size_t max_in_flight = 64;
+  /// answered 429 + Retry-After without touching a worker. The reactor
+  /// multiplexes its connections over fixed event loops, so the default
+  /// admits a full keep-alive fleet slice rather than a thread pool's worth.
+  std::size_t max_in_flight = 4096;
   /// Largest accepted request body; beyond it the request is 413'd.
   std::size_t max_body_bytes = 8u << 20;
   /// Retry-After hint on 429 responses, seconds.

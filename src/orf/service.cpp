@@ -33,6 +33,11 @@ Service::Service(std::size_t feature_count, const Config& config)
       "orf_ingest_rejected_total", rejected_help, {{"cause", "non_finite"}});
   rejected_duplicate_ = &metrics_registry().counter(
       "orf_ingest_rejected_total", rejected_help, {{"cause", "duplicate"}});
+  score_calls_ = &metrics_registry().counter(
+      "orf_service_score_calls_total",
+      "score() batch entries (one shared-lock acquisition each)");
+  score_rows_ = &metrics_registry().counter(
+      "orf_service_score_rows_total", "rows scored across score() calls");
   if (!config_.robust.checkpoint_dir.empty()) {
     recovery_ = std::make_unique<robust::RecoveryManager>(
         robust::RecoveryManager::Options{
@@ -64,6 +69,8 @@ void Service::score(std::span<const float> xs,
   if (rows == 0) return;
 
   std::shared_lock lock(mutex_);
+  score_calls_->inc();
+  score_rows_->inc(rows);
   std::vector<float> scaled(xs.size());
   std::vector<float> row;
   for (std::size_t i = 0; i < rows; ++i) {

@@ -133,6 +133,12 @@ class Service {
   /// the same instruments) — diffed around ingest_day for IngestStats.
   obs::Counter* rejected_non_finite_ = nullptr;
   obs::Counter* rejected_duplicate_ = nullptr;
+
+  /// Batch-amortisation accounting for the serving micro-batcher:
+  /// rows_total / calls_total = average rows riding one shared-lock
+  /// acquisition (and one score_batch kernel call).
+  obs::Counter* score_calls_ = nullptr;
+  obs::Counter* score_rows_ = nullptr;
 };
 
 }  // namespace orf

@@ -1,0 +1,157 @@
+#include "serve/batcher.hpp"
+
+#include <utility>
+
+namespace serve {
+
+ScoreBatcher::ScoreBatcher(Api& api, const orf::ServeSection& options)
+    : api_(api), options_(options) {
+  obs::Registry& registry = api_.service().metrics_registry();
+  batch_rows_ = &registry.histogram(
+      "orf_serve_batch_rows", "rows coalesced per score_batch flush",
+      obs::batch_rows_buckets());
+  const char* help = "micro-batch flushes by cause";
+  flush_full_ = &registry.counter("orf_serve_batch_flush_total", help,
+                                  {{"cause", "full"}});
+  flush_timeout_ = &registry.counter("orf_serve_batch_flush_total", help,
+                                     {{"cause", "timeout"}});
+  flush_drain_ = &registry.counter("orf_serve_batch_flush_total", help,
+                                   {{"cause", "drain"}});
+}
+
+ScoreBatcher::~ScoreBatcher() { stop(); }
+
+void ScoreBatcher::start() {
+  {
+    std::lock_guard lock(mu_);
+    if (!stopping_) return;
+    stopping_ = false;
+  }
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+void ScoreBatcher::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void ScoreBatcher::submit(std::vector<float> xs, std::size_t rows,
+                          Completion done) {
+  Pending pending{std::move(xs), rows, std::move(done),
+                  std::chrono::steady_clock::now()};
+  bool queued = false;
+  {
+    std::lock_guard lock(mu_);
+    if (!stopping_) {
+      pending_rows_ += pending.rows;
+      pending_.push_back(std::move(pending));
+      queued = true;
+    }
+  }
+  if (!queued) {
+    // Stopped (drain raced the submit, or blocking mode without a flusher):
+    // score this request alone, preserving the response contract.
+    std::vector<Pending> batch;
+    batch.push_back(std::move(pending));
+    flush(std::move(batch), "drain");
+    return;
+  }
+  // Every enqueue wakes the flusher: the first arms the deadline timer,
+  // later ones let it notice the batch filling (the wait predicates
+  // re-check, so spurious wakes are harmless).
+  cv_.notify_one();
+}
+
+void ScoreBatcher::flusher_loop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (stopping_) break;
+    const char* cause = "timeout";
+    if (pending_rows_ < options_.batch_max_rows) {
+      // Latency bound: sleep until the oldest request's deadline, waking
+      // early if the batch fills (or stop() drains us).
+      const auto deadline =
+          pending_.front().enqueued +
+          std::chrono::microseconds(options_.batch_max_wait_us);
+      cv_.wait_until(lock, deadline, [this] {
+        return stopping_ || pending_rows_ >= options_.batch_max_rows;
+      });
+    }
+    if (pending_.empty()) continue;  // drained by stop() while waiting
+    if (stopping_) {
+      cause = "drain";  // stop() cut the wait short; this flush is the drain
+    } else if (pending_rows_ >= options_.batch_max_rows) {
+      cause = "full";
+    }
+    std::vector<Pending> batch;
+    batch.swap(pending_);
+    pending_rows_ = 0;
+    lock.unlock();
+    flush(std::move(batch), cause);
+    lock.lock();
+  }
+  // Drain: everything still queued is scored before the thread exits, so
+  // stop() never abandons an in-flight request.
+  if (!pending_.empty()) {
+    std::vector<Pending> batch;
+    batch.swap(pending_);
+    pending_rows_ = 0;
+    lock.unlock();
+    flush(std::move(batch), "drain");
+    lock.lock();
+  }
+}
+
+void ScoreBatcher::flush(std::vector<Pending> batch, const char* cause) {
+  const std::size_t features = api_.service().feature_count();
+  std::size_t total_rows = 0;
+  for (const Pending& pending : batch) total_rows += pending.rows;
+
+  std::vector<float> xs;
+  xs.reserve(total_rows * features);
+  for (const Pending& pending : batch) {
+    xs.insert(xs.end(), pending.xs.begin(), pending.xs.end());
+  }
+
+  std::vector<orf::Scored> scored;
+  bool failed = false;
+  try {
+    api_.service().score(xs, scored);  // one shared-lock acquisition
+  } catch (...) {
+    failed = true;
+  }
+
+  batch_rows_->observe(static_cast<double>(total_rows));
+  if (cause[0] == 'f') {
+    flush_full_->inc();
+  } else if (cause[0] == 't') {
+    flush_timeout_->inc();
+  } else {
+    flush_drain_->inc();
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t offset = 0;
+  for (Pending& pending : batch) {
+    Response response;
+    if (failed) {
+      response.status = 500;
+      response.body = "{\"error\":\"internal error\"}";
+    } else {
+      response = api_.render_scores(
+          std::span(scored).subspan(offset, pending.rows));
+    }
+    offset += pending.rows;
+    const double seconds =
+        std::chrono::duration<double>(now - pending.enqueued).count();
+    pending.done(api_.finish("/v1/score", std::move(response), seconds));
+  }
+}
+
+}  // namespace serve

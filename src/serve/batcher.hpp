@@ -1,0 +1,96 @@
+// Request micro-batching for /v1/score: concurrently arriving rows from
+// many connections coalesce into one Service::score call — one shared-lock
+// acquisition, one flat-kernel score_batch — instead of one per request.
+//
+// Reactor workers decode on the event loop and submit() row buffers with a
+// completion; a dedicated flusher thread sleeps until the pending batch
+// reaches batch_max_rows or the OLDEST queued request has waited
+// batch_max_wait_us (the latency bound: a row never waits longer than that
+// for co-travellers), then swaps the whole queue out under the mutex,
+// scores it in one call, slices the results back per request in submission
+// order, and runs every completion. Per-request responses are bit-identical
+// to unbatched scoring because Service::score is deterministic row-wise:
+// batching changes only how many rows share a lock acquisition.
+//
+// Invariants the tests pin down:
+//   - mapping: request i's response covers exactly its own rows, in order;
+//   - bit-identity: batched scores equal per-request scores exactly;
+//   - latency: a flush happens by max(wait bound, batch full), whichever
+//     first, and stop() drains everything still queued;
+//   - telemetry: every flush lands in the orf_serve_batch_rows histogram
+//     and a flush-cause counter (full | timeout | drain), every request in
+//     orf_serve_requests_total via Api::finish.
+//
+// Lock discipline: the batcher mutex guards only the pending queue (never
+// held while scoring); the Service shared lock is taken once per flush,
+// inside Service::score. Completions run on the flusher thread and must not
+// block on the event loops (the reactor's completions only enqueue to a
+// worker inbox and wake an eventfd).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "orf/config.hpp"
+#include "serve/handlers.hpp"
+
+namespace serve {
+
+/// Response consumer; invoked exactly once, possibly on the flusher thread.
+using Completion = std::function<void(Response)>;
+
+class ScoreBatcher {
+ public:
+  /// Instruments register on the service's registry (one /metrics scrape
+  /// covers batching next to the engine and HTTP series).
+  ScoreBatcher(Api& api, const orf::ServeSection& options);
+  ~ScoreBatcher();
+
+  ScoreBatcher(const ScoreBatcher&) = delete;
+  ScoreBatcher& operator=(const ScoreBatcher&) = delete;
+
+  void start();
+
+  /// Flush everything still pending (cause "drain"), run the completions,
+  /// join the flusher. Idempotent; submit() after stop() scores inline.
+  void stop();
+
+  /// Queue `rows` row-major scaled-width rows for the next batch. Callable
+  /// from any thread; `done` fires with the rendered + finish()ed response.
+  void submit(std::vector<float> xs, std::size_t rows, Completion done);
+
+ private:
+  struct Pending {
+    std::vector<float> xs;
+    std::size_t rows = 0;
+    Completion done;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void flusher_loop();
+  /// Score one swapped-out batch and complete every request in it.
+  void flush(std::vector<Pending> batch, const char* cause);
+
+  Api& api_;
+  orf::ServeSection options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending> pending_;
+  std::size_t pending_rows_ = 0;
+  bool stopping_ = true;  ///< start() arms; guarded by mu_
+
+  std::thread flusher_;
+
+  obs::Histogram* batch_rows_ = nullptr;
+  obs::Counter* flush_full_ = nullptr;
+  obs::Counter* flush_timeout_ = nullptr;
+  obs::Counter* flush_drain_ = nullptr;
+};
+
+}  // namespace serve

@@ -1,0 +1,151 @@
+#include "serve/connection.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <utility>
+
+namespace serve {
+
+namespace {
+
+std::string error_body(const std::string& detail) {
+  std::string out = "{\"error\":\"";
+  for (const char c : detail) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  out += "\"}";
+  return out;
+}
+
+}  // namespace
+
+Connection::Connection(int fd, std::uint64_t id,
+                       const RequestParser::Limits& limits,
+                       const std::atomic<bool>* draining)
+    : fd_(fd),
+      id_(id),
+      draining_(draining),
+      parser_(limits),
+      last_activity_(std::chrono::steady_clock::now()) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::on_readable(const Sink& sink) {
+  if (read_closed_) return flush();
+  char buf[16 * 1024];
+  while (!read_paused_) {
+    RequestParser::State state = parser_.state();
+    if (state == RequestParser::State::kNeedMore) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n == 0) {
+        // Peer EOF: no more requests, but answers already in flight still
+        // go out (a client may legitimately shutdown(SHUT_WR) and read).
+        read_closed_ = true;
+        if (slots_.empty() && !has_output()) return false;
+        break;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // edge drained
+        return false;
+      }
+      last_activity_ = std::chrono::steady_clock::now();
+      state = parser_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    if (state == RequestParser::State::kError) {
+      // Framing is unrecoverable: answer after the in-flight responses,
+      // then close. The slot is pre-completed — no dispatch.
+      Response response;
+      response.status = parser_.error_status();
+      response.body = error_body(parser_.error_detail());
+      slots_.push_back(
+          Slot{.ready = true, .keep_alive = false,
+               .response = std::move(response)});
+      ++next_slot_;
+      read_closed_ = true;
+      break;
+    }
+    while (state == RequestParser::State::kComplete) {
+      Request request = parser_.take();
+      state = parser_.state();  // take() re-parses pipelined bytes
+      const std::uint64_t slot = next_slot_++;
+      slots_.push_back(Slot{.ready = false,
+                            .keep_alive = request.keep_alive,
+                            .response = {}});
+      sink(std::move(request), slot);
+      if (slots_.size() >= kMaxPipelined) {
+        read_paused_ = true;
+        break;
+      }
+    }
+  }
+  return flush();
+}
+
+bool Connection::on_writable() { return flush(); }
+
+bool Connection::complete(std::uint64_t slot, Response response,
+                          const Sink& sink) {
+  const std::uint64_t base = next_slot_ - slots_.size();
+  if (slot < base || slot >= next_slot_) return true;  // slot already culled
+  Slot& target = slots_[static_cast<std::size_t>(slot - base)];
+  target.response = std::move(response);
+  target.ready = true;
+  if (!flush()) return false;
+  if (read_paused_ && slots_.size() < kMaxPipelined) {
+    // Reading stopped before EAGAIN, so no edge will come: resume by hand.
+    read_paused_ = false;
+    return on_readable(sink);
+  }
+  return true;
+}
+
+bool Connection::done() const {
+  if (has_output()) return false;
+  if (close_after_write_) return true;
+  return read_closed_ && slots_.empty();
+}
+
+bool Connection::flush() {
+  while (!close_after_write_ && !slots_.empty() && slots_.front().ready) {
+    Slot& slot = slots_.front();
+    const bool keep =
+        slot.keep_alive &&
+        !(draining_ != nullptr &&
+          draining_->load(std::memory_order_acquire));
+    out_ += serialize(slot.response, keep);
+    if (!keep) close_after_write_ = true;
+    slots_.pop_front();
+  }
+  return write_some();
+}
+
+bool Connection::write_some() {
+  while (has_output()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_off_,
+                             out_.size() - out_off_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // EPOLLOUT resumes
+      return false;
+    }
+    out_off_ += static_cast<std::size_t>(n);
+    last_activity_ = std::chrono::steady_clock::now();
+  }
+  if (out_off_ == out_.size()) {
+    out_.clear();
+    out_off_ = 0;
+  } else if (out_off_ > (64u << 10)) {
+    out_.erase(0, out_off_);
+    out_off_ = 0;
+  }
+  return true;
+}
+
+}  // namespace serve

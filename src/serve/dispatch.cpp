@@ -1,0 +1,30 @@
+#include "serve/dispatch.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace serve {
+
+void Dispatcher::operator()(const Request& request, Completion done) {
+  if (batcher_ != nullptr && request.method == "POST" &&
+      request.target == "/v1/score") {
+    const auto started = std::chrono::steady_clock::now();
+    std::vector<float> xs;
+    Response error;
+    if (!api_.decode_score_rows(request, xs, error)) {
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      done(api_.finish("/v1/score", std::move(error), seconds));
+      return;
+    }
+    const std::size_t rows = xs.size() / api_.service().feature_count();
+    batcher_->submit(std::move(xs), rows, std::move(done));
+    return;
+  }
+  done(api_.handle(request));
+}
+
+}  // namespace serve

@@ -1,0 +1,39 @@
+// The reactor's routing policy: which requests batch, which run inline.
+//
+// POST /v1/score decodes on the calling worker thread (JSON parsing scales
+// with workers and needs no lock) and hands the row buffer to the
+// ScoreBatcher; the completion fires later from the flusher thread with the
+// rendered, finish()ed response. Decode failures never reach the batcher —
+// the 400 completes synchronously. Every other route (ingest, metrics,
+// healthz, 404s, wrong methods) runs Api::handle inline on the worker: those
+// are either rare (one ingest per day), cheap (healthz), or serialization-
+// bound anyway (metrics), and keeping them on the event loop is a deliberate
+// simplicity tradeoff documented in DESIGN.md §13.
+//
+// With no batcher (nullptr), /v1/score also runs inline — the reactor then
+// behaves exactly like the blocking server per request, which is what the
+// batched-vs-unbatched bit-identity tests compare against.
+#pragma once
+
+#include "serve/batcher.hpp"
+#include "serve/handlers.hpp"
+#include "serve/http.hpp"
+
+namespace serve {
+
+class Dispatcher {
+ public:
+  /// `batcher` may be null: every route, scoring included, runs inline.
+  Dispatcher(Api& api, ScoreBatcher* batcher)
+      : api_(api), batcher_(batcher) {}
+
+  /// Route one request; `done` is invoked exactly once, either inline or
+  /// from the batcher's flusher thread.
+  void operator()(const Request& request, Completion done);
+
+ private:
+  Api& api_;
+  ScoreBatcher* batcher_;
+};
+
+}  // namespace serve

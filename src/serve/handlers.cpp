@@ -203,7 +203,24 @@ Response Api::score(const Request& request) {
   const std::vector<float> xs = decode_rows(doc, service_.feature_count());
   std::vector<orf::Scored> scored;
   service_.score(xs, scored);
+  return render_scores(scored);
+}
 
+bool Api::decode_score_rows(const Request& request, std::vector<float>& xs,
+                            Response& error) const {
+  try {
+    const json::Value doc = json::parse(request.body);
+    xs = decode_rows(doc, service_.feature_count());
+    return true;
+  } catch (const json::ParseError& cause) {
+    error = error_response(400, cause.what());
+  } catch (const BadRequest& cause) {
+    error = error_response(400, cause.what());
+  }
+  return false;
+}
+
+Response Api::render_scores(std::span<const orf::Scored> scored) const {
   json::Array results;
   results.reserve(scored.size());
   for (const orf::Scored& s : scored) {

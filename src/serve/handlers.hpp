@@ -19,6 +19,9 @@
 //   orf_serve_request_seconds{route}       handler latency histogram
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "orf/service.hpp"
 #include "serve/http.hpp"
 
@@ -28,16 +31,32 @@ class Api {
  public:
   explicit Api(orf::Service& service);
 
-  /// Route and execute one request (the HttpServer handler).
+  /// Route and execute one request (the HttpServer handler, and the
+  /// reactor's inline path for everything but batched /v1/score).
   Response handle(const Request& request);
+
+  /// The /v1/score pipeline split open for the micro-batcher, which decodes
+  /// on the event-loop thread, scores many requests under one lock, and
+  /// renders per request on the flusher thread:
+  ///
+  ///   decode_score_rows — parse {"rows":[[..],..]} into one row-major
+  ///       buffer; false leaves the ready-to-send 400 in `error`.
+  ///   render_scores     — the 200 response for one request's slice.
+  ///   finish            — route/status counter + latency histogram; every
+  ///       response must pass through exactly once (thread-safe).
+  bool decode_score_rows(const Request& request, std::vector<float>& xs,
+                         Response& error) const;
+  Response render_scores(std::span<const orf::Scored> scored) const;
+  Response finish(const std::string& route, Response response,
+                  double seconds);
+
+  orf::Service& service() { return service_; }
 
  private:
   Response score(const Request& request);
   Response ingest(const Request& request);
   Response metrics();
   Response healthz();
-  Response finish(const std::string& route, Response response,
-                  double seconds);
 
   orf::Service& service_;
   obs::Registry& registry_;

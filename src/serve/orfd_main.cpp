@@ -1,10 +1,13 @@
-// orfd — the long-running prediction daemon (see DESIGN.md §11).
+// orfd — the long-running prediction daemon (see DESIGN.md §11, §13).
 //
-// Wraps one orf::Service behind the blocking HTTP server: POST /v1/score
-// and /v1/ingest, GET /metrics and /healthz. Every knob is an orf::Config
-// flag (or its ORF_* environment twin), so orfd and fleet_monitor share one
-// spelling per parameter; --features declares the SMART schema width
-// (default 19, the paper's Table 2 set).
+// Wraps one orf::Service behind an HTTP server: POST /v1/score and
+// /v1/ingest, GET /metrics and /healthz. --serve-mode picks the serving
+// model: "reactor" (default) multiplexes connections over epoll workers and
+// micro-batches concurrent /v1/score rows into shared score_batch calls;
+// "blocking" is the original thread-per-connection server. Every knob is an
+// orf::Config flag (or its ORF_* environment twin), so orfd and
+// fleet_monitor share one spelling per parameter; --features declares the
+// SMART schema width (default 19, the paper's Table 2 set).
 //
 // Lifecycle: SIGTERM/SIGINT are blocked in every thread and collected with
 // sigwait on the main thread. On the first signal the server drains —
@@ -21,10 +24,14 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "orf/orf.hpp"
+#include "serve/batcher.hpp"
+#include "serve/dispatch.hpp"
 #include "serve/handlers.hpp"
+#include "serve/reactor.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -56,21 +63,36 @@ int run(int argc, char** argv) {
   }
 
   serve::Api api(service);
-  serve::HttpServer server(
-      config.serve,
-      [&api](const serve::Request& request) { return api.handle(request); },
-      &service.metrics_registry());
-  server.start();
-  std::printf("orfd: %zu features, %zu shards, listening on %s:%d\n",
+  std::unique_ptr<serve::ScoreBatcher> batcher;
+  std::unique_ptr<serve::Server> server;
+  if (config.serve.mode == "reactor") {
+    batcher = std::make_unique<serve::ScoreBatcher>(api, config.serve);
+    batcher->start();
+    auto reactor = std::make_unique<serve::ReactorServer>(
+        config.serve,
+        serve::Dispatcher(api, batcher.get()),
+        &service.metrics_registry());
+    // Outstanding batches flush while reactor workers still drain inboxes.
+    reactor->set_drain_hook([&batcher] { batcher->stop(); });
+    server = std::move(reactor);
+  } else {
+    server = std::make_unique<serve::HttpServer>(
+        config.serve,
+        [&api](const serve::Request& request) { return api.handle(request); },
+        &service.metrics_registry());
+  }
+  server->start();
+  std::printf("orfd: %zu features, %zu shards, %s server on %s:%d\n",
               service.feature_count(), service.engine().shard_count(),
-              config.serve.bind_address.c_str(), server.port());
+              config.serve.mode.c_str(), config.serve.bind_address.c_str(),
+              server->port());
   std::fflush(stdout);
 
   int caught = 0;
   sigwait(&signals, &caught);
   std::printf("orfd: signal %d, draining...\n", caught);
   std::fflush(stdout);
-  server.stop();
+  server->stop();
   const std::string checkpoint = service.checkpoint_now();
   if (!checkpoint.empty()) {
     std::printf("orfd: final checkpoint %s\n", checkpoint.c_str());

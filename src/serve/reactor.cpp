@@ -1,0 +1,344 @@
+#include "serve/reactor.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iterator>
+#include <system_error>
+#include <utility>
+
+namespace serve {
+
+namespace {
+
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+
+/// Sweep granularity for idle/stall timeouts; also the drain poll tick.
+constexpr int kSweepMillis = 100;
+/// How long a draining worker keeps flushing buffered writes before
+/// closing whatever is left.
+constexpr auto kDrainGrace = std::chrono::milliseconds(500);
+
+int make_listener(const orf::ServeSection& options) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    throw std::system_error(EINVAL, std::generic_category(),
+                            "bad bind address '" + options.bind_address +
+                                "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, SOMAXCONN) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "bind " + options.bind_address + ":" +
+                                std::to_string(options.port));
+  }
+  return fd;
+}
+
+std::size_t resolve_workers(std::size_t configured) {
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, 8);
+}
+
+}  // namespace
+
+ReactorServer::ReactorServer(const orf::ServeSection& options,
+                             Dispatch dispatch, obs::Registry* registry)
+    : options_(options), dispatch_(std::move(dispatch)) {
+  if (registry != nullptr) {
+    instruments_.connections = &registry->counter(
+        "orf_serve_connections_total", "connections accepted");
+    instruments_.overflow = &registry->counter(
+        "orf_serve_overflow_total",
+        "connections answered 429 by admission control");
+    instruments_.open = &registry->gauge(
+        "orf_serve_open_connections",
+        "connections currently multiplexed by the reactor");
+  }
+}
+
+ReactorServer::~ReactorServer() { stop(); }
+
+void ReactorServer::start() {
+  const int listen_fd = make_listener(options_);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(listen_fd, std::memory_order_release);
+
+  draining_.store(false, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  const std::size_t n_workers = resolve_workers(options_.workers);
+  workers_.clear();
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = i;
+    worker->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    worker->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (worker->epoll_fd < 0 || worker->wake_fd < 0) {
+      throw std::system_error(errno, std::generic_category(), "epoll/eventfd");
+    }
+    epoll_event wake_ev{};
+    wake_ev.events = EPOLLIN;
+    wake_ev.data.u64 = kWakeTag;
+    ::epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->wake_fd, &wake_ev);
+    epoll_event listen_ev{};
+    listen_ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    listen_ev.data.u64 = kListenerTag;
+    ::epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, listen_fd, &listen_ev);
+    workers_.push_back(std::move(worker));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+void ReactorServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Beat 1: no new connections, every response from here closes.
+  draining_.store(true, std::memory_order_release);
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::close(listen_fd);  // the kernel drops it from every epoll set
+  }
+  // Beat 2: flush the batcher while workers still drain their inboxes.
+  if (drain_hook_) drain_hook_();
+  // Beat 3: workers finish buffered writes and exit.
+  stopping_.store(true, std::memory_order_release);
+  for (const auto& worker : workers_) wake(*worker);
+  for (const auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  workers_.clear();
+}
+
+void ReactorServer::wake(Worker& worker) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(worker.wake_fd, &one, sizeof one);
+}
+
+void ReactorServer::reject_overflow(int fd) {
+  // Count before writing: a scrape prompted by the 429 must already see it.
+  if (instruments_.overflow) instruments_.overflow->inc();
+  Response response;
+  response.status = 429;
+  response.body = "{\"error\":\"too many requests in flight\"}";
+  response.headers.emplace_back(
+      "Retry-After", std::to_string(options_.retry_after_seconds));
+  const std::string wire = serialize(response, /*keep_alive=*/false);
+  // Best effort: the canned response fits any socket buffer; a peer that
+  // cannot take it is gone anyway.
+  [[maybe_unused]] const ssize_t n =
+      ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  ::close(fd);
+}
+
+void ReactorServer::accept_some(Worker& worker) {
+  while (true) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // stop() retired the listener
+    const int fd =
+        ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (edge drained), or the listener closed under us
+    }
+    if (instruments_.connections) instruments_.connections->inc();
+    if (open_connections_.load(std::memory_order_relaxed) >=
+            options_.max_in_flight ||
+        draining_.load(std::memory_order_acquire)) {
+      reject_overflow(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const std::uint64_t id =
+        next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>(
+        fd, id,
+        RequestParser::Limits{.max_body_bytes = options_.max_body_bytes},
+        &draining_);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.u64 = id;
+    if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // conn closes fd on destruction
+    }
+    worker.conns.emplace(id, std::move(conn));
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    if (instruments_.open) instruments_.open->add(1.0);
+  }
+}
+
+Connection::Sink ReactorServer::make_sink(std::size_t worker_index,
+                                          std::uint64_t conn_id) {
+  return [this, worker_index, conn_id](Request&& request,
+                                       std::uint64_t slot) {
+    dispatch_(request, [this, worker_index, conn_id, slot](Response response) {
+      post(worker_index, conn_id, slot, std::move(response));
+    });
+  };
+}
+
+void ReactorServer::post(std::size_t worker_index, std::uint64_t conn_id,
+                         std::uint64_t slot, Response response) {
+  Worker& worker = *workers_[worker_index];
+  if (std::this_thread::get_id() == worker.thread.get_id()) {
+    direct_complete(worker, conn_id, slot, std::move(response));
+    return;
+  }
+  {
+    std::lock_guard lock(worker.inbox_mu);
+    worker.inbox.push_back(InboxItem{conn_id, slot, std::move(response)});
+  }
+  wake(worker);
+}
+
+void ReactorServer::direct_complete(Worker& worker, std::uint64_t conn_id,
+                                    std::uint64_t slot, Response response) {
+  const auto it = worker.conns.find(conn_id);
+  if (it == worker.conns.end()) return;  // completed after the peer left
+  if (!it->second->complete(slot, std::move(response),
+                            make_sink(worker.index, conn_id))) {
+    worker.dead.push_back(conn_id);
+  }
+}
+
+void ReactorServer::process_inbox(Worker& worker) {
+  std::vector<InboxItem> items;
+  {
+    std::lock_guard lock(worker.inbox_mu);
+    items.swap(worker.inbox);
+  }
+  for (InboxItem& item : items) {
+    direct_complete(worker, item.conn_id, item.slot,
+                    std::move(item.response));
+  }
+}
+
+void ReactorServer::erase_connection(Worker& worker, std::uint64_t conn_id) {
+  if (worker.conns.erase(conn_id) > 0) {
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    if (instruments_.open) instruments_.open->add(-1.0);
+  }
+}
+
+void ReactorServer::handle_event(Worker& worker, std::uint64_t conn_id,
+                                 std::uint32_t events) {
+  const auto it = worker.conns.find(conn_id);
+  if (it == worker.conns.end()) return;
+  Connection& conn = *it->second;
+  const Connection::Sink sink = make_sink(worker.index, conn_id);
+  bool alive = true;
+  if ((events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0) {
+    alive = conn.on_readable(sink);
+  }
+  if (alive && (events & EPOLLOUT) != 0) {
+    alive = conn.on_writable();
+  }
+  if (!alive || conn.done()) worker.dead.push_back(conn_id);
+}
+
+void ReactorServer::sweep(Worker& worker) {
+  for (const std::uint64_t id : worker.dead) erase_connection(worker, id);
+  worker.dead.clear();
+}
+
+void ReactorServer::worker_loop(std::size_t index) {
+  Worker& worker = *workers_[index];
+  epoll_event events[64];
+  auto last_idle_sweep = std::chrono::steady_clock::now();
+  const auto idle_timeout =
+      std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::chrono::steady_clock::time_point drain_deadline{};
+
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    const int timeout =
+        stopping ? 10 : (worker.conns.empty() ? 500 : kSweepMillis);
+    const int n = ::epoll_wait(worker.epoll_fd, events,
+                               static_cast<int>(std::size(events)), timeout);
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        if (!draining_.load(std::memory_order_acquire)) accept_some(worker);
+      } else if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(worker.wake_fd, &drained, sizeof drained);
+      } else {
+        handle_event(worker, tag, events[i].events);
+      }
+      sweep(worker);
+    }
+    process_inbox(worker);
+    sweep(worker);
+
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_idle_sweep >= std::chrono::milliseconds(kSweepMillis)) {
+      last_idle_sweep = now;
+      for (const auto& [id, conn] : worker.conns) {
+        if (now - conn->last_activity() > idle_timeout) {
+          worker.dead.push_back(id);
+        }
+      }
+      sweep(worker);
+    }
+
+    if (stopping) {
+      if (drain_deadline == std::chrono::steady_clock::time_point{}) {
+        drain_deadline = now + kDrainGrace;
+      }
+      bool flushing = false;
+      for (const auto& [id, conn] : worker.conns) {
+        if (conn->has_output()) {
+          flushing = true;
+          break;
+        }
+      }
+      if (!flushing || now >= drain_deadline) break;
+    }
+  }
+  const std::size_t leftover = worker.conns.size();
+  worker.conns.clear();
+  if (leftover > 0) {
+    open_connections_.fetch_sub(leftover, std::memory_order_relaxed);
+    if (instruments_.open) {
+      instruments_.open->add(-static_cast<double>(leftover));
+    }
+  }
+  ::close(worker.wake_fd);
+  ::close(worker.epoll_fd);
+}
+
+}  // namespace serve

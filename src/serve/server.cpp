@@ -67,38 +67,36 @@ HttpServer::HttpServer(const orf::ServeSection& options, Handler handler,
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     throw std::system_error(errno, std::generic_category(), "socket");
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
   if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     throw std::system_error(EINVAL, std::generic_category(),
                             "bad bind address '" + options_.bind_address +
                                 "'");
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listen_fd_, SOMAXCONN) < 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, SOMAXCONN) < 0) {
     const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     throw std::system_error(err, std::generic_category(),
                             "bind " + options_.bind_address + ":" +
                                 std::to_string(options_.port));
   }
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
 
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -112,10 +110,10 @@ void HttpServer::start() {
 void HttpServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   cv_.notify_all();
   if (acceptor_.joinable()) acceptor_.join();
@@ -130,6 +128,8 @@ void HttpServer::stop() {
 }
 
 void HttpServer::reject_overflow(int fd) {
+  // Count before writing: a scrape prompted by the 429 must already see it.
+  if (instruments_.overflow) instruments_.overflow->inc();
   Response response;
   response.status = 429;
   response.body = "{\"error\":\"too many requests in flight\"}";
@@ -137,12 +137,13 @@ void HttpServer::reject_overflow(int fd) {
       "Retry-After", std::to_string(options_.retry_after_seconds));
   write_all(fd, serialize(response, /*keep_alive=*/false));
   ::close(fd);
-  if (instruments_.overflow) instruments_.overflow->inc();
 }
 
 void HttpServer::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) break;  // stop() retired the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener closed by stop(), or fatal

@@ -30,11 +30,12 @@
 
 #include "orf/config.hpp"
 #include "serve/http.hpp"
+#include "serve/server_iface.hpp"
 #include "util/thread_pool.hpp"
 
 namespace serve {
 
-class HttpServer {
+class HttpServer : public Server {
  public:
   using Handler = std::function<Response(const Request&)>;
 
@@ -44,20 +45,20 @@ class HttpServer {
   /// handler (see serve/handlers.hpp).
   HttpServer(const orf::ServeSection& options, Handler handler,
              obs::Registry* registry = nullptr);
-  ~HttpServer();
+  ~HttpServer() override;
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Bind + listen + spawn threads. Throws std::system_error when the
   /// address cannot be bound.
-  void start();
+  void start() override;
 
   /// Graceful drain (see above). Idempotent.
-  void stop();
+  void stop() override;
 
   /// The bound TCP port (resolves port 0 after start()).
-  int port() const { return port_; }
+  int port() const override { return port_; }
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -72,7 +73,9 @@ class HttpServer {
   orf::ServeSection options_;
   Handler handler_;
 
-  int listen_fd_ = -1;
+  /// Atomic: stop() retires the fd (exchange to -1) while the acceptor
+  /// still reads it between accept calls.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,25 @@
+// The one seam orfd and the serving tests program against: start/stop/port,
+// implemented by both serving models (serve::HttpServer — the blocking
+// thread-per-connection baseline — and serve::ReactorServer, the epoll
+// event-loop default). orf::ServeSection::mode picks the implementation;
+// bench/micro_serve measures one against the other through this interface.
+#pragma once
+
+namespace serve {
+
+class Server {
+ public:
+  virtual ~Server() = default;
+
+  /// Bind + listen + spawn threads. Throws std::system_error when the
+  /// address cannot be bound.
+  virtual void start() = 0;
+
+  /// Graceful drain; idempotent.
+  virtual void stop() = 0;
+
+  /// The bound TCP port (resolves port 0 after start()).
+  virtual int port() const = 0;
+};
+
+}  // namespace serve

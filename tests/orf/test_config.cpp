@@ -52,8 +52,10 @@ TEST(OrfConfig, FlagsReachEverySection) {
        "--flat-scoring=false", "--row-errors=quarantine",
        "--queue-capacity=14", "--checkpoint-dir=/tmp/x",
        "--checkpoint-every=10", "--checkpoint-keep=5", "--bind=0.0.0.0",
-       "--port=9999", "--serve-threads=8", "--max-in-flight=2",
-       "--max-body-bytes=1024", "--retry-after=3"}));
+       "--port=9999", "--serve-mode=blocking", "--serve-threads=8",
+       "--serve-workers=3", "--batch-max-rows=128", "--batch-max-wait-us=250",
+       "--idle-timeout-ms=5000", "--max-in-flight=2", "--max-body-bytes=1024",
+       "--retry-after=3"}));
   EXPECT_EQ(config.forest.n_trees, 12);
   EXPECT_DOUBLE_EQ(config.forest.lambda_pos, 0.8);
   EXPECT_DOUBLE_EQ(config.forest.lambda_neg, 0.05);
@@ -69,7 +71,12 @@ TEST(OrfConfig, FlagsReachEverySection) {
   EXPECT_EQ(config.robust.checkpoint_keep, 5u);
   EXPECT_EQ(config.serve.bind_address, "0.0.0.0");
   EXPECT_EQ(config.serve.port, 9999);
+  EXPECT_EQ(config.serve.mode, "blocking");
   EXPECT_EQ(config.serve.threads, 8u);
+  EXPECT_EQ(config.serve.workers, 3u);
+  EXPECT_EQ(config.serve.batch_max_rows, 128u);
+  EXPECT_EQ(config.serve.batch_max_wait_us, 250);
+  EXPECT_EQ(config.serve.idle_timeout_ms, 5000);
   EXPECT_EQ(config.serve.max_in_flight, 2u);
   EXPECT_EQ(config.serve.max_body_bytes, 1024u);
   EXPECT_EQ(config.serve.retry_after_seconds, 3);
@@ -182,6 +189,32 @@ TEST(OrfConfig, ValidateRejectsInconsistentCombinations) {
 
   config.serve.threads = 0;
   EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.serve.mode = "forking";
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.serve.batch_max_rows = 0;
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.serve.batch_max_wait_us = -1;
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+  config = {};
+
+  config.serve.idle_timeout_ms = 0;
+  EXPECT_THROW(config.validate(), orf::ConfigError);
+}
+
+TEST(OrfConfig, ServeModeKnobResolvesFlagThenEnvThenDefault) {
+  EXPECT_EQ(orf::Config::from_flags(make_flags({})).serve.mode, "reactor");
+
+  const ScopedEnv env("ORF_SERVE_MODE", "blocking");
+  EXPECT_EQ(orf::Config::from_flags(make_flags({})).serve.mode, "blocking");
+  EXPECT_EQ(orf::Config::from_flags(make_flags({"--serve-mode=reactor"}))
+                .serve.mode,
+            "reactor");  // flag beats ORF_SERVE_MODE
 }
 
 TEST(OrfConfig, FromFlagsValidates) {
@@ -202,7 +235,8 @@ TEST(OrfConfig, FlagSpecsCoverTheSharedKnobsInUsageText) {
   for (const char* flag :
        {"--backend", "--mondrian-lifetime", "--trees", "--port",
         "--checkpoint-dir", "--row-errors", "--resume", "--max-in-flight",
-        "--help"}) {
+        "--serve-mode", "--serve-workers", "--batch-max-rows",
+        "--batch-max-wait-us", "--idle-timeout-ms", "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag << "\n" << usage;
   }
 }

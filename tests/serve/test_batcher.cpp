@@ -1,0 +1,262 @@
+// ScoreBatcher unit tests — the invariants DESIGN.md §13 promises:
+// batched responses bit-identical to per-request scoring, each response
+// covering exactly its own rows in submission order under interleaving,
+// flush-on-full firing before the latency bound and flush-on-timeout at it,
+// and stop() draining every queued request. Runs against a real
+// orf::Service (scoring is deterministic and non-mutating, so the same
+// service produces the unbatched reference responses).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "orf/orf.hpp"
+#include "serve/batcher.hpp"
+#include "serve/handlers.hpp"
+
+namespace {
+
+constexpr std::size_t kFeatures = 4;
+
+orf::Config batcher_config() {
+  orf::Config config;
+  config.forest.n_trees = 5;
+  config.forest.tree.n_tests = 16;
+  config.engine.shards = 2;
+  return config;
+}
+
+/// A /v1/score request whose rows are distinctive per (tag, row).
+serve::Request score_request(int tag, std::size_t rows) {
+  serve::Request request;
+  request.method = "POST";
+  request.target = "/v1/score";
+  std::string body = "{\"rows\":[";
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r > 0) body += ',';
+    body += '[';
+    for (std::size_t f = 0; f < kFeatures; ++f) {
+      if (f > 0) body += ',';
+      body += std::to_string(tag * 100 + static_cast<int>(r * kFeatures + f));
+    }
+    body += ']';
+  }
+  body += "]}";
+  request.body = std::move(body);
+  return request;
+}
+
+std::uint64_t flush_count(obs::Registry& registry, const std::string& cause) {
+  for (const auto& counter : registry.snapshot().counters) {
+    if (counter.id.name == "orf_serve_batch_flush_total" &&
+        !counter.id.labels.empty() && counter.id.labels[0].second == cause) {
+      return counter.value;
+    }
+  }
+  return 0;
+}
+
+obs::HistogramSnapshot batch_rows(obs::Registry& registry) {
+  for (const auto& histogram : registry.snapshot().histograms) {
+    if (histogram.id.name == "orf_serve_batch_rows") return histogram;
+  }
+  return {};
+}
+
+class BatcherTest : public ::testing::Test {
+ protected:
+  BatcherTest()
+      : config_(batcher_config()), service_(kFeatures, config_),
+        api_(service_) {}
+
+  /// Unbatched reference: the exact bytes the blocking server would send.
+  std::string reference_body(const serve::Request& request) {
+    return api_.handle(request).body;
+  }
+
+  orf::Config config_;
+  orf::Service service_;
+  serve::Api api_;
+};
+
+TEST_F(BatcherTest, BatchedScoresBitIdenticalToPerRequest) {
+  const std::size_t kRequests = 5;
+  std::vector<serve::Request> requests;
+  std::vector<std::string> expected;
+  std::size_t total_rows = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    requests.push_back(score_request(static_cast<int>(i), i + 1));
+    expected.push_back(reference_body(requests.back()));
+    total_rows += i + 1;
+  }
+
+  // Everything queues, then one flush covers the lot (full fires exactly at
+  // the accumulated row count).
+  config_.serve.batch_max_rows = total_rows;
+  config_.serve.batch_max_wait_us = 5'000'000;
+  serve::ScoreBatcher batcher(api_, config_.serve);
+  batcher.start();
+
+  std::vector<std::promise<serve::Response>> done(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    std::vector<float> xs;
+    serve::Response error;
+    ASSERT_TRUE(api_.decode_score_rows(requests[i], xs, error));
+    batcher.submit(std::move(xs), i + 1,
+                   [&done, i](serve::Response response) {
+                     done[i].set_value(std::move(response));
+                   });
+  }
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    auto future = done[i].get_future();
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "request " << i << " never completed";
+    const serve::Response response = future.get();
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, expected[i]) << "request " << i;
+  }
+
+  const obs::HistogramSnapshot histogram =
+      batch_rows(service_.metrics_registry());
+  EXPECT_EQ(histogram.count, 1u);
+  EXPECT_DOUBLE_EQ(histogram.sum, static_cast<double>(total_rows));
+}
+
+TEST_F(BatcherTest, MappingHoldsUnderConcurrentInterleavedSubmission) {
+  const std::size_t kThreads = 8;
+  std::vector<serve::Request> requests;
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    requests.push_back(score_request(static_cast<int>(i) + 50, (i % 3) + 1));
+    expected.push_back(reference_body(requests.back()));
+  }
+
+  config_.serve.batch_max_rows = 4;  // several flushes, interleaved batches
+  config_.serve.batch_max_wait_us = 1000;
+  serve::ScoreBatcher batcher(api_, config_.serve);
+  batcher.start();
+
+  std::vector<std::promise<serve::Response>> done(kThreads);
+  std::vector<std::thread> submitters;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    submitters.emplace_back([this, &batcher, &requests, &done, i] {
+      std::vector<float> xs;
+      serve::Response error;
+      ASSERT_TRUE(api_.decode_score_rows(requests[i], xs, error));
+      const std::size_t rows = xs.size() / kFeatures;
+      batcher.submit(std::move(xs), rows,
+                     [&done, i](serve::Response response) {
+                       done[i].set_value(std::move(response));
+                     });
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    auto future = done[i].get_future();
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().body, expected[i])
+        << "request " << i << " got another request's rows";
+  }
+}
+
+TEST_F(BatcherTest, FullBatchFlushesWithoutWaitingForTheLatencyBound) {
+  config_.serve.batch_max_rows = 4;
+  config_.serve.batch_max_wait_us = 30'000'000;  // would time out the test
+  serve::ScoreBatcher batcher(api_, config_.serve);
+  batcher.start();
+
+  std::vector<std::promise<serve::Response>> done(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<float> xs;
+    serve::Response error;
+    ASSERT_TRUE(
+        api_.decode_score_rows(score_request(static_cast<int>(i), 1), xs,
+                               error));
+    batcher.submit(std::move(xs), 1, [&done, i](serve::Response response) {
+      done[i].set_value(std::move(response));
+    });
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(done[i].get_future().wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "full batch did not flush ahead of the 30s latency bound";
+  }
+  obs::Registry& registry = service_.metrics_registry();
+  EXPECT_GE(flush_count(registry, "full"), 1u);
+  EXPECT_EQ(flush_count(registry, "timeout"), 0u);
+}
+
+TEST_F(BatcherTest, LoneRequestFlushesAtTheLatencyBound) {
+  config_.serve.batch_max_rows = 1000;  // never fills
+  config_.serve.batch_max_wait_us = 10'000;
+  serve::ScoreBatcher batcher(api_, config_.serve);
+  batcher.start();
+
+  std::vector<float> xs;
+  serve::Response error;
+  ASSERT_TRUE(api_.decode_score_rows(score_request(7, 2), xs, error));
+  std::promise<serve::Response> done;
+  batcher.submit(std::move(xs), 2, [&done](serve::Response response) {
+    done.set_value(std::move(response));
+  });
+  auto future = done.get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get().status, 200);
+  obs::Registry& registry = service_.metrics_registry();
+  EXPECT_GE(flush_count(registry, "timeout"), 1u);
+  EXPECT_EQ(flush_count(registry, "full"), 0u);
+}
+
+TEST_F(BatcherTest, StopDrainsEverythingStillQueued) {
+  config_.serve.batch_max_rows = 1000;
+  config_.serve.batch_max_wait_us = 30'000'000;  // only stop() can flush
+  serve::ScoreBatcher batcher(api_, config_.serve);
+  batcher.start();
+
+  std::vector<std::promise<serve::Response>> done(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::vector<float> xs;
+    serve::Response error;
+    ASSERT_TRUE(api_.decode_score_rows(score_request(20 + static_cast<int>(i),
+                                                     1),
+                                       xs, error));
+    batcher.submit(std::move(xs), 1, [&done, i](serve::Response response) {
+      done[i].set_value(std::move(response));
+    });
+  }
+  batcher.stop();
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto future = done[i].get_future();
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(1)),
+              std::future_status::ready)
+        << "stop() abandoned a queued request";
+    EXPECT_EQ(future.get().status, 200);
+  }
+  EXPECT_GE(flush_count(service_.metrics_registry(), "drain"), 1u);
+}
+
+TEST_F(BatcherTest, SubmitAfterStopScoresInline) {
+  config_.serve.batch_max_wait_us = 30'000'000;
+  serve::ScoreBatcher batcher(api_, config_.serve);  // never started
+
+  const serve::Request request = score_request(33, 3);
+  const std::string expected = reference_body(request);
+  std::vector<float> xs;
+  serve::Response error;
+  ASSERT_TRUE(api_.decode_score_rows(request, xs, error));
+  bool completed = false;
+  batcher.submit(std::move(xs), 3, [&](serve::Response response) {
+    completed = true;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, expected);
+  });
+  EXPECT_TRUE(completed) << "inline fallback must complete synchronously";
+}
+
+}  // namespace
