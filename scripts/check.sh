@@ -17,11 +17,18 @@
 #   4. (--tsan) a ThreadSanitizer build (cmake -DORF_TSAN=ON into
 #      build-tsan/) over the threaded suites — test_serve (the reactor's
 #      single-owner connection model, the batcher's cross-thread
-#      completions), test_engine (sharded ingest) and test_obs (lock-free
-#      instruments) — with TSAN_OPTIONS=halt_on_error=1 so the first race
-#      fails the run.
+#      completions), test_engine (sharded ingest), test_obs (lock-free
+#      instruments) and test_robust (concurrent checkpoint save/load, WAL
+#      appends racing replay bookkeeping) — with
+#      TSAN_OPTIONS=halt_on_error=1 so the first race fails the run.
+#   5. (--chaos) the chaos soak: scripts/chaos_smoke.sh against an ASan
+#      build of orfd — kill -9 and abort-at-failpoint cycles over a live
+#      ingest schedule, asserting no acked day is ever lost and that the
+#      crashed lineage's final checkpoint is byte-identical to an
+#      uninterrupted run's. Leaves the reconciliation report at
+#      build-asan/chaos_report.txt for CI to upload.
 #
-# Usage: scripts/check.sh [--asan-only] [--faults] [--tsan]
+# Usage: scripts/check.sh [--asan-only] [--faults] [--tsan] [--chaos]
 #   --asan-only   skip step 1 and run only the sanitizer pass (what the CI
 #                 sanitizer job runs; the build/test matrix already covers
 #                 tier-1 there).
@@ -29,6 +36,7 @@
 #                 (what the CI faults job runs).
 #   --tsan        run only the ThreadSanitizer pass (what the CI tsan job
 #                 runs).
+#   --chaos       run only the chaos soak (what the CI chaos job runs).
 #
 # Exits non-zero on the first failure. ~5 minutes on one core.
 #
@@ -43,28 +51,46 @@ cd "$(dirname "$0")/.."
 asan_only=false
 faults_only=false
 tsan_only=false
+chaos_only=false
 for arg in "$@"; do
   case "$arg" in
     --asan-only) asan_only=true ;;
     --faults) faults_only=true ;;
     --tsan) tsan_only=true ;;
+    --chaos) chaos_only=true ;;
     *)
-      echo "unknown argument: $arg (supported: --asan-only, --faults, --tsan)" >&2
+      echo "unknown argument: $arg" \
+           "(supported: --asan-only, --faults, --tsan, --chaos)" >&2
       exit 2
       ;;
   esac
 done
 
 if $tsan_only; then
-  echo "== tsan: ThreadSanitizer over serve + engine + obs suites =="
+  echo "== tsan: ThreadSanitizer over serve + engine + obs + robust suites =="
   cmake -B build-tsan -S . -DORF_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target test_serve test_engine test_obs
+    --target test_serve test_engine test_obs test_robust
   export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
   ./build-tsan/tests/test_obs
   ./build-tsan/tests/test_engine
   ./build-tsan/tests/test_serve
+  ./build-tsan/tests/test_robust
+  echo "CHECK OK"
+  exit 0
+fi
+
+if $chaos_only; then
+  echo "== chaos: crash/resume soak of orfd under ASan =="
+  cmake -B build-asan -S . -DORF_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
+  # abort-at-failpoint is how this soak dies on purpose; a leak report on
+  # those deliberate aborts would drown the signal.
+  export ASAN_OPTIONS=detect_leaks=0
+  BUILD_DIR=build-asan CHAOS_REPORT=build-asan/chaos_report.txt \
+    ./scripts/chaos_smoke.sh
   echo "CHECK OK"
   exit 0
 fi

@@ -92,6 +92,9 @@ constexpr std::array kFlagSpecs = {
                    "day batches between snapshots"},
     util::FlagSpec{"checkpoint-keep", "N", "snapshots retained by rotation"},
     util::FlagSpec{"resume", "", "restart from the newest intact snapshot"},
+    util::FlagSpec{"wal", "BOOL",
+                   "crash-durable ingest WAL under the checkpoint dir"},
+    util::FlagSpec{"wal-sync", "always|batch|off", "WAL fsync policy"},
     util::FlagSpec{"bind", "ADDR", "daemon bind address"},
     util::FlagSpec{"port", "N", "daemon TCP port (0 = ephemeral)"},
     util::FlagSpec{"serve-mode", "reactor|blocking", "daemon serving model"},
@@ -108,7 +111,13 @@ constexpr std::array kFlagSpecs = {
     util::FlagSpec{"max-in-flight", "N",
                    "admission bound before responding 429"},
     util::FlagSpec{"max-body-bytes", "N", "largest accepted request body"},
-    util::FlagSpec{"retry-after", "SECONDS", "Retry-After hint on 429"},
+    util::FlagSpec{"retry-after", "SECONDS",
+                   "floor of the computed Retry-After hint"},
+    util::FlagSpec{"request-deadline-ms", "MS",
+                   "shed requests still queued past this deadline (0 = off)"},
+    util::FlagSpec{"shed-high-water", "N",
+                   "in-flight mark where ingest-class shedding starts "
+                   "(0 = off)"},
 };
 
 }  // namespace
@@ -141,6 +150,11 @@ void Config::validate() const {
     fail("robust.checkpoint_every must be a positive day count");
   }
   if (robust.checkpoint_keep == 0) fail("robust.checkpoint_keep must be >= 1");
+  if (robust.wal_sync != "always" && robust.wal_sync != "batch" &&
+      robust.wal_sync != "off") {
+    fail("robust.wal_sync must be always|batch|off, got '" + robust.wal_sync +
+         "'");
+  }
   if (serve.port < 0 || serve.port > 65535) {
     fail("serve.port must lie in [0, 65535]");
   }
@@ -160,6 +174,9 @@ void Config::validate() const {
   if (serve.max_body_bytes == 0) fail("serve.max_body_bytes must be positive");
   if (serve.retry_after_seconds < 0) {
     fail("serve.retry_after_seconds must be >= 0");
+  }
+  if (serve.request_deadline_ms < 0) {
+    fail("serve.request_deadline_ms must be >= 0");
   }
 }
 
@@ -224,6 +241,8 @@ Config Config::from_flags(const util::Flags& flags) {
       "checkpoint-keep",
       static_cast<std::int64_t>(config.robust.checkpoint_keep)));
   config.robust.resume = source.get_bool("resume", false);
+  config.robust.wal = source.get_bool("wal", config.robust.wal);
+  config.robust.wal_sync = source.get("wal-sync", config.robust.wal_sync);
 
   config.serve.bind_address = source.get("bind", config.serve.bind_address);
   config.serve.port =
@@ -248,6 +267,11 @@ Config Config::from_flags(const util::Flags& flags) {
       static_cast<std::int64_t>(config.serve.max_body_bytes)));
   config.serve.retry_after_seconds = static_cast<int>(
       source.get_int("retry-after", config.serve.retry_after_seconds));
+  config.serve.request_deadline_ms = static_cast<long>(source.get_int(
+      "request-deadline-ms", config.serve.request_deadline_ms));
+  config.serve.shed_high_water = static_cast<std::size_t>(source.get_int(
+      "shed-high-water",
+      static_cast<std::int64_t>(config.serve.shed_high_water)));
 
   config.validate();
   return config;

@@ -76,7 +76,7 @@ struct QueueSection {
   std::size_t capacity = static_cast<std::size_t>(data::kHorizonDays);
 };
 
-/// Crash-safety section (see robust::RecoveryManager).
+/// Crash-safety section (see robust::RecoveryManager / robust::IngestWal).
 struct RobustSection {
   /// Snapshot directory; empty = checkpointing off.
   std::string checkpoint_dir;
@@ -86,6 +86,12 @@ struct RobustSection {
   std::size_t checkpoint_keep = 3;
   /// Restart from the newest intact snapshot before serving/streaming.
   bool resume = false;
+  /// Ingest write-ahead log (lives under <checkpoint_dir>/wal); requires a
+  /// checkpoint directory and makes every acked ingest crash-durable.
+  bool wal = true;
+  /// WAL fsync policy: "always" (per record), "batch" (once per acked
+  /// request), "off" (never — durable vs process crash only).
+  std::string wal_sync = "batch";
 };
 
 /// HTTP daemon section (see serve::ReactorServer / serve::HttpServer / orfd).
@@ -119,8 +125,16 @@ struct ServeSection {
   std::size_t max_in_flight = 4096;
   /// Largest accepted request body; beyond it the request is 413'd.
   std::size_t max_body_bytes = 8u << 20;
-  /// Retry-After hint on 429 responses, seconds.
+  /// Floor of the Retry-After hint on 429/503 responses, seconds; the
+  /// served value grows with in-flight depth and batcher queue age.
   int retry_after_seconds = 1;
+  /// Per-request deadline, milliseconds: work still queued past this is
+  /// answered 503 instead of scored late. 0 = no deadline.
+  long request_deadline_ms = 0;
+  /// Priority-shedding high-water mark on in-flight requests: at or above
+  /// it /v1/ingest is shed (503), at 2x /v1/score too; /healthz and
+  /// /metrics are never shed. 0 = shedding off.
+  std::size_t shed_high_water = 0;
 };
 
 struct Config {

@@ -1,5 +1,8 @@
 #include "orf/service.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -11,12 +14,91 @@ namespace {
 constexpr std::string_view kStateHeader = "orf-service v1";
 constexpr std::string_view kLegacyHeader = "fleet-monitor v1";
 
+/// WAL probe records (degraded-mode recovery checks) — not ingest data.
+constexpr std::string_view kWalProbe = "probe";
+
 std::size_t validated(const Config& config, std::size_t feature_count) {
   config.validate();
   if (feature_count == 0) {
     throw ConfigError("config: feature_count must be positive");
   }
   return feature_count;
+}
+
+/// One ingest batch as a WAL record payload:
+///   day <day> <reports>\n
+///   <disk> <fate> <hexfloat features...>\n   (per report)
+/// Hexfloat keeps the replayed floats bit-identical to the acked ones —
+/// the same contract every checkpoint in this codebase follows.
+std::string encode_wal_batch(data::Day day,
+                             std::span<const engine::DiskReport> batch) {
+  std::string out = "day " + std::to_string(day) + ' ' +
+                    std::to_string(batch.size()) + '\n';
+  char cell[48];
+  for (const engine::DiskReport& report : batch) {
+    out += std::to_string(report.disk);
+    out += ' ';
+    out += std::to_string(static_cast<int>(report.fate));
+    for (const float value : report.features) {
+      std::snprintf(cell, sizeof cell, " %a", static_cast<double>(value));
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// Owned storage for a decoded batch (DiskReport holds feature spans).
+struct DecodedBatch {
+  data::Day day = 0;
+  std::vector<std::vector<float>> features;
+  std::vector<engine::DiskReport> reports;
+};
+
+DecodedBatch decode_wal_batch(std::string_view payload,
+                              std::size_t feature_count) {
+  const auto fail = [](const std::string& why) -> DecodedBatch {
+    throw std::runtime_error("wal replay: malformed record: " + why);
+  };
+  DecodedBatch batch;
+  std::istringstream is{std::string(payload)};
+  std::string line;
+  if (!std::getline(is, line) || line.compare(0, 4, "day ") != 0) {
+    return fail("missing day header");
+  }
+  char* end = nullptr;
+  const char* cursor = line.c_str() + 4;
+  batch.day = static_cast<data::Day>(std::strtoll(cursor, &end, 10));
+  const auto reports = std::strtoull(end, &end, 10);
+  if (end == cursor) return fail("bad day header");
+  batch.features.reserve(reports);
+  batch.reports.reserve(reports);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    cursor = line.c_str();
+    engine::DiskReport report;
+    report.disk = static_cast<data::DiskId>(std::strtoull(cursor, &end, 10));
+    if (end == cursor) return fail("bad disk id");
+    cursor = end;
+    const long fate = std::strtol(cursor, &end, 10);
+    if (end == cursor || fate < 0 || fate > 2) return fail("bad fate");
+    report.fate = static_cast<engine::DiskFate>(fate);
+    cursor = end;
+    std::vector<float> row;
+    row.reserve(feature_count);
+    while (true) {
+      const float value = std::strtof(cursor, &end);
+      if (end == cursor) break;
+      row.push_back(value);
+      cursor = end;
+    }
+    if (row.size() != feature_count) return fail("feature count mismatch");
+    batch.features.push_back(std::move(row));
+    report.features = batch.features.back();
+    batch.reports.push_back(report);
+  }
+  if (batch.reports.size() != reports) return fail("report count mismatch");
+  return batch;
 }
 
 }  // namespace
@@ -51,10 +133,57 @@ Service::Service(std::size_t feature_count, const Config& config)
         resumed_ = true;
       }
     }
+    if (config_.robust.wal) {
+      wal_ = std::make_unique<robust::IngestWal>(robust::IngestWal::Options{
+          .directory = (std::filesystem::path(config_.robust.checkpoint_dir) /
+                        "wal")
+                           .string(),
+          .sync = robust::IngestWal::parse_sync_policy(
+              config_.robust.wal_sync)});
+      wal_->bind_metrics(metrics_registry());
+      wal_replayed_rows_ = &metrics_registry().counter(
+          "orf_wal_replayed_rows_total",
+          "ingest rows re-applied from the WAL tail on resume");
+      health_.set("wal", robust::HealthState::kOk);
+      if (config_.robust.resume) replay_wal_locked();
+    }
+    health_.set("checkpoint", robust::HealthState::kOk);
   }
+  health_.bind_metrics(metrics_registry());
   // From here on the backend's scoring caches are quiesced at the tail of
   // every mutation, so score() can stay const and lock-shared.
   engine_.backend().quiesce();
+}
+
+void Service::replay_wal_locked() {
+  // Acked batches past the restored checkpoint live only in the WAL;
+  // re-apply them through the exact ingest path so the rebuilt state is
+  // bit-identical to the pre-crash state.
+  const auto stats = wal_->replay(
+      wal_applied_, [this](const robust::IngestWal::Record& record) {
+        wal_applied_ = record.sequence;
+        if (record.payload.substr(0, kWalProbe.size()) == kWalProbe) return;
+        DecodedBatch batch =
+            decode_wal_batch(record.payload, engine_.feature_count());
+        // Idempotence is keyed on the day index the ack carried: a record
+        // whose day the restored checkpoint already covers is a no-op, so
+        // replay-after-replay (or a crash mid-replay) never double-applies.
+        if (batch.day < next_day_) return;
+        std::vector<engine::DayOutcome> outcomes;
+        try {
+          engine_.ingest_day(batch.reports, outcomes, pool_.get());
+        } catch (const std::invalid_argument&) {
+          // The original ingest threw here too (strict policy, state
+          // untouched) — reproducing the rejection reproduces the state.
+          return;
+        }
+        next_day_ = batch.day + 1;
+        ++wal_replayed_records_;
+        if (wal_replayed_rows_ != nullptr) {
+          wal_replayed_rows_->inc(batch.reports.size());
+        }
+      });
+  (void)stats;  // torn tails are expected crash debris
 }
 
 void Service::score(std::span<const float> xs,
@@ -89,10 +218,33 @@ void Service::score(std::span<const float> xs,
 IngestStats Service::ingest(std::span<const engine::DiskReport> batch,
                             std::vector<engine::DayOutcome>& outcomes) {
   std::unique_lock lock(mutex_);
+  if (degraded_) {
+    try_recover_locked();
+    if (degraded_) throw DegradedError(degraded_component_, degraded_cause_);
+  }
+
+  // Durability before mutation: the batch goes into the WAL (and, per
+  // policy, to disk) before the engine sees it, so an ack never outruns
+  // the record that makes it replayable. A WAL failure flips the service
+  // to score-only rather than acking un-durable ingest.
+  std::uint64_t sequence = 0;
+  if (wal_) {
+    try {
+      sequence = wal_->append(encode_wal_batch(next_day_, batch));
+      wal_->sync();
+    } catch (const std::exception& e) {
+      enter_degraded_locked("wal", e.what());
+      throw DegradedError(degraded_component_, degraded_cause_);
+    }
+  }
+
   const std::uint64_t non_finite_before = rejected_non_finite_->value();
   const std::uint64_t duplicate_before = rejected_duplicate_->value();
+  // A strict-policy throw leaves the record in the WAL; replay reproduces
+  // the throw (and the untouched state) by skipping it the same way.
   engine_.ingest_day(batch, outcomes, pool_.get());
   engine_.backend().quiesce();
+  if (wal_) wal_applied_ = sequence;
 
   IngestStats stats;
   stats.day = next_day_++;
@@ -104,8 +256,14 @@ IngestStats Service::ingest(std::span<const engine::DiskReport> batch,
   }
   if (recovery_ &&
       ++days_since_checkpoint_ >= config_.robust.checkpoint_every) {
-    stats.checkpoint_path = checkpoint_locked();
     days_since_checkpoint_ = 0;
+    try {
+      stats.checkpoint_path = checkpoint_locked();
+    } catch (const std::exception& e) {
+      // The batch itself is acked and WAL-durable; only the snapshot
+      // cadence failed. Degrade instead of failing the request.
+      enter_degraded_locked("checkpoint", e.what());
+    }
   }
   return stats;
 }
@@ -118,7 +276,59 @@ std::string Service::checkpoint_now() {
 }
 
 std::string Service::checkpoint_locked() {
-  return recovery_->save({state_payload()});
+  const std::string path = recovery_->save({state_payload()});
+  // Everything the snapshot covers is now redundant in the WAL.
+  if (wal_) wal_->rotate(wal_applied_);
+  return path;
+}
+
+void Service::enter_degraded_locked(const std::string& component,
+                                    const std::string& cause) {
+  degraded_ = true;
+  degraded_component_ = component;
+  degraded_cause_ = cause;
+  health_.set(component, robust::HealthState::kFailed, cause);
+}
+
+void Service::try_recover_locked() {
+  if (!degraded_) return;
+  try {
+    if (degraded_component_ == "wal") {
+      // The probe runs the full append+sync path (same failpoint sites as
+      // real ingest); its record replays as a no-op.
+      wal_->append(std::string(kWalProbe));
+      wal_->sync();
+    } else {
+      checkpoint_locked();
+      days_since_checkpoint_ = 0;
+    }
+  } catch (const std::exception& e) {
+    degraded_cause_ = e.what();  // still down; keep the freshest cause
+    health_.set(degraded_component_, robust::HealthState::kFailed,
+                degraded_cause_);
+    return;
+  }
+  health_.set(degraded_component_, robust::HealthState::kOk);
+  degraded_ = false;
+  degraded_component_.clear();
+  degraded_cause_.clear();
+}
+
+Service::Readiness Service::readiness() {
+  if (!health_.ready()) {
+    // Degraded: one in-place recovery attempt per probe, so clearing the
+    // underlying fault restores readiness without a restart.
+    std::unique_lock lock(mutex_);
+    try_recover_locked();
+  }
+  const auto overall = health_.overall();
+  Readiness out;
+  out.ready = overall.state == robust::HealthState::kOk;
+  // Any non-ready state is "degraded" to probes: scoring still works, the
+  // per-component orf_health_state gauges carry the finer distinction.
+  out.state = out.ready ? "ok" : "degraded";
+  out.cause = overall.cause;
+  return out;
 }
 
 std::string Service::state_payload() const {

@@ -19,6 +19,20 @@
 // checkpoint → --resume restart is bit-identical to an uninterrupted run
 // (the daemon e2e test byte-compares the snapshots). Legacy
 // "fleet-monitor v1" snapshots restore too.
+//
+// Durability (PR 8): with a checkpoint directory configured, every ingest()
+// batch is appended to a robust::IngestWal *before* it touches the engine,
+// and the ack only goes out once the record is down (per the configured
+// fsync policy). --resume therefore restores the newest checkpoint and
+// replays the WAL tail, skipping records whose day index the checkpoint
+// already covers (day-keyed idempotence: replaying twice, or crashing
+// mid-replay, never double-applies a batch) — an acknowledged batch
+// survives any crash. When the
+// WAL or checkpoint device fails, the service flips to a degraded
+// score-only mode (ingest() throws DegradedError → 503; score() is
+// untouched) instead of crashing, publishes the cause through its
+// robust::HealthRegistry, and recovers in place once the device heals
+// (probed on the next ingest or readiness check).
 #pragma once
 
 #include <cstdint>
@@ -31,7 +45,9 @@
 
 #include "engine/fleet_engine.hpp"
 #include "orf/config.hpp"
+#include "robust/health.hpp"
 #include "robust/recovery.hpp"
+#include "robust/wal.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orf {
@@ -40,6 +56,20 @@ namespace orf {
 struct Scored {
   double score = 0.0;  ///< forest P(failure within horizon)
   bool alarm = false;  ///< score >= engine.alarm_threshold
+};
+
+/// The service is in degraded (score-only) mode: the WAL or checkpoint
+/// device failed, so ingest cannot be made durable and is refused rather
+/// than silently un-durable. The serving layer maps this to 503.
+class DegradedError : public std::runtime_error {
+ public:
+  DegradedError(std::string component, const std::string& cause)
+      : std::runtime_error("service degraded (" + component + "): " + cause),
+        component_(std::move(component)) {}
+  const std::string& component() const { return component_; }
+
+ private:
+  std::string component_;
 };
 
 /// What one ingest() day did, beyond the per-report outcomes.
@@ -70,7 +100,9 @@ class Service {
   /// Process one calendar-day batch (exclusive). `outcomes` gets one
   /// verdict per report in batch order; the stats carry the day index and
   /// this batch's per-cause rejection counts. Throws std::invalid_argument
-  /// under the strict row policy on a dirty report (state untouched).
+  /// under the strict row policy on a dirty report (state untouched), and
+  /// DegradedError while the service is in score-only mode (after one
+  /// in-place recovery attempt).
   IngestStats ingest(std::span<const engine::DiskReport> batch,
                      std::vector<engine::DayOutcome>& outcomes);
 
@@ -110,15 +142,49 @@ class Service {
   /// Stage pool per engine.threads (nullptr when single-threaded).
   util::ThreadPool* pool() { return pool_.get(); }
 
+  /// Component health published by the WAL, checkpointing and (via the
+  /// serving layer) the batcher; drives /healthz?ready.
+  robust::HealthRegistry& health() { return health_; }
+
+  struct Readiness {
+    bool ready = true;
+    std::string state = "ok";  ///< "ok" | "degraded"
+    std::string cause;         ///< "<component>: <why>" when not ready
+  };
+
+  /// Readiness probe: while degraded, first attempts an in-place recovery
+  /// (WAL probe append / checkpoint retry), so clearing the underlying
+  /// fault restores `ready` without a restart.
+  Readiness readiness();
+
+  /// WAL records replayed by the constructor's --resume (tests/ops).
+  std::uint64_t wal_replayed_records() const { return wal_replayed_records_; }
+
  private:
   std::string state_payload() const;
   void restore_payload(const std::string& payload);
   std::string checkpoint_locked();
+  void replay_wal_locked();
+  void enter_degraded_locked(const std::string& component,
+                             const std::string& cause);
+  void try_recover_locked();
 
   Config config_;
   engine::FleetEngine engine_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<robust::RecoveryManager> recovery_;
+  std::unique_ptr<robust::IngestWal> wal_;
+  robust::HealthRegistry health_;
+
+  /// Newest WAL sequence whose batch reached the engine — in-memory
+  /// rotation bookkeeping only (replay idempotence is keyed on the day
+  /// index each record carries, so nothing WAL-specific is persisted in
+  /// checkpoints).
+  std::uint64_t wal_applied_ = 0;
+  std::uint64_t wal_replayed_records_ = 0;
+  bool degraded_ = false;
+  std::string degraded_component_;
+  std::string degraded_cause_;
 
   /// score() shared / ingest()+restore() exclusive. The flat kernel is
   /// synced before the exclusive lock drops, so shared holders never
@@ -139,6 +205,8 @@ class Service {
   /// acquisition (and one score_batch kernel call).
   obs::Counter* score_calls_ = nullptr;
   obs::Counter* score_rows_ = nullptr;
+
+  obs::Counter* wal_replayed_rows_ = nullptr;
 };
 
 }  // namespace orf

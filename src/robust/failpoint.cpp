@@ -69,8 +69,10 @@ void failpoint(const char* site) {
       throw InjectedFault(site);
     case FaultKind::kIoError:
       throw InjectedIoError(site);
-    case FaultKind::kShortWrite:
-      break;  // only short-write-aware sites honour this kind
+    case FaultKind::kAbort:
+      std::abort();
+    default:
+      break;  // socket / short-write kinds need a site-aware caller
   }
 }
 
@@ -84,8 +86,34 @@ std::optional<double> failpoint_short_write(const char* site) {
       throw InjectedIoError(site);
     case FaultKind::kShortWrite:
       return spec->keep_fraction;
+    case FaultKind::kAbort:
+      std::abort();
+    default:
+      break;  // socket kinds are not meaningful at file-write sites
   }
   return std::nullopt;
+}
+
+SocketFault failpoint_socket(const char* site) {
+  const auto spec = detail::evaluate(site);
+  if (!spec) return SocketFault::kNone;
+  switch (spec->kind) {
+    case FaultKind::kThrow:
+      throw InjectedFault(site);
+    case FaultKind::kIoError:
+      throw InjectedIoError(site);
+    case FaultKind::kAbort:
+      std::abort();
+    case FaultKind::kShortRead:
+      return SocketFault::kShortRead;
+    case FaultKind::kShortWrite:
+      return SocketFault::kShortWrite;
+    case FaultKind::kEconnReset:
+      return SocketFault::kReset;
+    case FaultKind::kStall:
+      return SocketFault::kStall;
+  }
+  return SocketFault::kNone;
 }
 
 namespace failpoints {
@@ -135,9 +163,18 @@ void arm_from_spec(const std::string& spec) {
       parsed.kind = FaultKind::kIoError;
     } else if (body == "short_write") {
       parsed.kind = FaultKind::kShortWrite;
+    } else if (body == "short_read") {
+      parsed.kind = FaultKind::kShortRead;
+    } else if (body == "econnreset") {
+      parsed.kind = FaultKind::kEconnReset;
+    } else if (body == "stall") {
+      parsed.kind = FaultKind::kStall;
+    } else if (body == "abort") {
+      parsed.kind = FaultKind::kAbort;
     } else {
-      throw std::invalid_argument("failpoint spec: unknown kind '" + body +
-                                  "' (throw|io_error|short_write)");
+      throw std::invalid_argument(
+          "failpoint spec: unknown kind '" + body +
+          "' (throw|io_error|short_write|short_read|econnreset|stall|abort)");
     }
     arm(site, parsed);
   }

@@ -11,10 +11,15 @@
 //
 // Spec string grammar (env var and arm_from_spec):
 //   site=kind[@after][xcount][;site2=...]
-// kind ∈ {throw, io_error, short_write}; `after` skips that many hits before
-// firing (default 0); `count` limits how many times it fires (default
-// unlimited). Example:
+// kind ∈ {throw, io_error, short_write, short_read, econnreset, stall,
+// abort}; `after` skips that many hits before firing (default 0); `count`
+// limits how many times it fires (default unlimited). Example:
 //   ORF_FAILPOINTS="checkpoint.rename=io_error;checkpoint.fsync=throw@2x1"
+//
+// `abort` calls std::abort() at the site — the chaos harness uses it to die
+// at an exact instruction boundary instead of racing an external kill -9.
+// The socket kinds (short_read/short_write/econnreset/stall) only fire at
+// connection I/O sites that consult failpoint_socket().
 #pragma once
 
 #include <atomic>
@@ -27,9 +32,13 @@
 namespace robust {
 
 enum class FaultKind {
-  kThrow,      ///< throw InjectedFault
-  kIoError,    ///< throw InjectedIoError
-  kShortWrite  ///< at short-write sites: truncate payload, then throw
+  kThrow,       ///< throw InjectedFault
+  kIoError,     ///< throw InjectedIoError
+  kShortWrite,  ///< at short-write sites: truncate payload, then throw
+  kShortRead,   ///< at socket sites: cap the read to one byte
+  kEconnReset,  ///< at socket sites: report ECONNRESET (dead peer)
+  kStall,       ///< at socket sites: report EAGAIN (peer stops moving)
+  kAbort        ///< std::abort() — die exactly here (chaos harness)
 };
 
 struct FaultSpec {
@@ -65,6 +74,20 @@ void failpoint(const char* site);
 /// when a kShortWrite fault fires, nullopt when the site is clean; throws
 /// like failpoint() for the throwing kinds.
 std::optional<double> failpoint_short_write(const char* site);
+
+/// What a socket I/O site should simulate when its fault fires.
+enum class SocketFault {
+  kNone,       ///< site clean: perform the real syscall untouched
+  kShortRead,  ///< recv at most one byte this round
+  kShortWrite, ///< send at most one byte this round
+  kReset,      ///< fail the syscall with ECONNRESET
+  kStall       ///< fail the syscall with EAGAIN, making no progress
+};
+
+/// Socket read/write sites call this: maps the socket fault kinds onto the
+/// simulation the caller applies around the syscall; throws / aborts for
+/// the non-socket kinds exactly like failpoint().
+SocketFault failpoint_socket(const char* site);
 
 #define ORF_FAILPOINT(site)                                      \
   do {                                                           \

@@ -1,0 +1,71 @@
+#include "robust/health.hpp"
+
+namespace robust {
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void HealthRegistry::bind_metrics(obs::Registry& registry) {
+  std::lock_guard lock(mu_);
+  registry_ = &registry;
+  for (const auto& [name, component] : components_) {
+    export_locked(component);
+  }
+  export_locked(overall_locked());
+}
+
+void HealthRegistry::export_locked(const Component& component) {
+  if (registry_ == nullptr) return;
+  registry_
+      ->gauge("orf_health_state",
+              "component health (0 ok, 1 degraded, 2 failed)",
+              {{"component", component.name}})
+      .set(static_cast<double>(static_cast<int>(component.state)));
+}
+
+void HealthRegistry::set(const std::string& component, HealthState state,
+                         std::string cause) {
+  std::lock_guard lock(mu_);
+  Component& entry = components_[component];
+  entry.name = component;
+  entry.state = state;
+  entry.cause = state == HealthState::kOk ? std::string() : std::move(cause);
+  export_locked(entry);
+  export_locked(overall_locked());
+}
+
+HealthRegistry::Component HealthRegistry::overall_locked() const {
+  Component worst;
+  worst.name = "overall";
+  for (const auto& [name, component] : components_) {
+    if (component.state > worst.state) {
+      worst.state = component.state;
+      worst.cause = name + ": " + component.cause;
+    }
+  }
+  return worst;
+}
+
+HealthRegistry::Component HealthRegistry::overall() const {
+  std::lock_guard lock(mu_);
+  return overall_locked();
+}
+
+std::vector<HealthRegistry::Component> HealthRegistry::components() const {
+  std::lock_guard lock(mu_);
+  std::vector<Component> out;
+  out.reserve(components_.size());
+  for (const auto& [name, component] : components_) out.push_back(component);
+  return out;
+}
+
+}  // namespace robust

@@ -1,0 +1,62 @@
+// Component health registry: the readiness half of /healthz.
+//
+// Liveness ("the process responds") and readiness ("the process can do its
+// job") are different questions. Subsystems that can fail independently of
+// the process — the ingest WAL, the checkpoint writer, the score batcher —
+// publish their state here, and the serving layer renders the aggregate as
+// /healthz?ready: 200 while every component is ok, 503 with the worst
+// component's cause once one degrades. The same states are exported as the
+// orf_health_state{component=...} gauge (0 ok, 1 degraded, 2 failed) so a
+// scrape history shows when and why the service went score-only.
+//
+// set() is cheap and thread-safe; components appear on first publish.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace robust {
+
+enum class HealthState : int { kOk = 0, kDegraded = 1, kFailed = 2 };
+
+const char* to_string(HealthState state);
+
+class HealthRegistry {
+ public:
+  /// Export per-component gauges (and the "overall" aggregate) on
+  /// `registry`. Components published before binding are carried over.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Publish `component`'s state; `cause` explains anything non-ok.
+  void set(const std::string& component, HealthState state,
+           std::string cause = {});
+
+  struct Component {
+    std::string name;
+    HealthState state = HealthState::kOk;
+    std::string cause;
+  };
+
+  /// All published components, name order.
+  std::vector<Component> components() const;
+
+  /// Worst component (ok when none published); cause is
+  /// "<component>: <cause>" of the worst offender.
+  Component overall() const;
+
+  bool ready() const { return overall().state == HealthState::kOk; }
+
+ private:
+  Component overall_locked() const;
+  void export_locked(const Component& component);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Component> components_;
+  obs::Registry* registry_ = nullptr;
+};
+
+}  // namespace robust

@@ -53,6 +53,30 @@ void Quarantine::bind_metrics(obs::Registry& registry) {
         {{"cause", to_string(static_cast<RowErrorCause>(c))}});
     counters_[c]->set(counts_[c]);
   }
+  ring_rows_gauge_ = &registry.gauge(
+      "orf_quarantine_ring_rows",
+      "rejected rows held in memory because the sidecar was unwritable");
+  ring_dropped_counter_ = &registry.counter(
+      "orf_quarantine_ring_dropped_total",
+      "rejected rows evicted from the full in-memory ring");
+  update_ring_gauge();
+  ring_dropped_counter_->set(ring_dropped_);
+}
+
+void Quarantine::update_ring_gauge() {
+  if (ring_rows_gauge_ != nullptr) {
+    ring_rows_gauge_->set(static_cast<double>(ring_.size()));
+  }
+}
+
+void Quarantine::ring_push(std::string line) {
+  if (ring_.size() >= kRingCapacity) {
+    ring_.pop_front();
+    ++ring_dropped_;
+    if (ring_dropped_counter_ != nullptr) ring_dropped_counter_->inc();
+  }
+  ring_.push_back(std::move(line));
+  update_ring_gauge();
 }
 
 void Quarantine::reject(RowErrorCause cause, std::size_t line_number,
@@ -60,10 +84,26 @@ void Quarantine::reject(RowErrorCause cause, std::size_t line_number,
   const auto index = static_cast<std::size_t>(cause);
   ++counts_[index];
   if (counters_[index] != nullptr) counters_[index]->inc();
-  if (sidecar_.is_open()) {
-    sidecar_ << context_ << ',' << line_number << ',' << to_string(cause)
-             << ',' << detail << ',' << row << '\n';
+  if (sidecar_path_.empty()) return;  // counting-only sink
+  std::string line;
+  line.reserve(context_.size() + row.size() + detail.size() + 32);
+  line += context_;
+  line += ',';
+  line += std::to_string(line_number);
+  line += ',';
+  line += to_string(cause);
+  line += ',';
+  line += detail;
+  line += ',';
+  line += row;
+  line += '\n';
+  if (sidecar_.is_open() && sidecar_.good()) {
+    sidecar_ << line;
+    if (sidecar_.good()) return;
   }
+  // Sidecar device failed mid-run: keep the row in memory instead of
+  // losing it; flush_ring() drains once the device comes back.
+  ring_push(std::move(line));
 }
 
 std::uint64_t Quarantine::rejected(RowErrorCause cause) const {
@@ -76,9 +116,35 @@ std::uint64_t Quarantine::total_rejected() const {
   return total;
 }
 
+bool Quarantine::flush_ring() {
+  if (ring_.empty()) return true;
+  if (sidecar_path_.empty()) return false;
+  if (!sidecar_.is_open() || !sidecar_.good()) {
+    sidecar_.close();
+    sidecar_.clear();
+    sidecar_.open(sidecar_path_, std::ios::app);
+    if (!sidecar_) return false;
+  }
+  while (!ring_.empty()) {
+    sidecar_ << ring_.front();
+    if (!sidecar_.good()) {
+      update_ring_gauge();
+      return false;
+    }
+    ring_.pop_front();
+  }
+  update_ring_gauge();
+  sidecar_.flush();
+  return sidecar_.good();
+}
+
 void Quarantine::commit() {
-  if (!sidecar_.is_open()) return;
-  commit_stream(sidecar_, "quarantine sidecar " + sidecar_path_);
+  if (!sidecar_.is_open() && ring_.empty()) return;
+  if (flush_ring() && sidecar_.is_open()) {
+    commit_stream(sidecar_, "quarantine sidecar " + sidecar_path_);
+  }
+  // Rows still in the ring are preserved in memory (and visible on the
+  // gauge) rather than thrown away with an exception.
 }
 
 }  // namespace robust

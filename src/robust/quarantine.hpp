@@ -16,10 +16,17 @@
 // as orf_ingest_rejected_total{cause=...} once bound to an obs::Registry)
 // plus the optional sidecar stream. One Quarantine may serve a whole
 // directory scan; set_context() labels which file rejected rows came from.
+//
+// When the sidecar device itself fails mid-run (the degraded-serving
+// scenario: quarantine and WAL often share a volume), rejected rows fall
+// back to a bounded in-memory ring instead of vanishing — visible at
+// /metrics as orf_quarantine_ring_rows — and flush_ring() (called from
+// commit(), or explicitly on recovery) reopens the sidecar and drains them.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -71,13 +78,25 @@ class Quarantine {
   std::uint64_t rejected(RowErrorCause cause) const;
   std::uint64_t total_rejected() const;
 
-  /// Flush + error-check the sidecar (no-op without one). Call at end of
-  /// ingest so a torn sidecar surfaces as an exception.
+  /// Flush + error-check the sidecar (no-op without one). Drains the ring
+  /// first; rows still held in the ring after a failed drain survive in
+  /// memory rather than surfacing as an exception.
   void commit();
+
+  /// Try to drain ring-held rows into the sidecar, reopening it (append
+  /// mode) if its stream failed. Returns true when the ring is empty
+  /// afterwards. Call on recovery from a device failure.
+  bool flush_ring();
+
+  /// Rows currently held in memory because the sidecar was unwritable.
+  std::size_t ring_rows() const { return ring_.size(); }
 
   const std::string& sidecar_path() const { return sidecar_path_; }
 
  private:
+  void ring_push(std::string line);
+  void update_ring_gauge();
+
   std::array<std::uint64_t, static_cast<std::size_t>(RowErrorCause::kCount)>
       counts_{};
   std::array<obs::Counter*, static_cast<std::size_t>(RowErrorCause::kCount)>
@@ -85,6 +104,13 @@ class Quarantine {
   std::string context_;
   std::string sidecar_path_;
   std::ofstream sidecar_;
+
+  /// Bounded fallback for sidecar-device failure; oldest rows drop first.
+  static constexpr std::size_t kRingCapacity = 1024;
+  std::deque<std::string> ring_;
+  std::uint64_t ring_dropped_ = 0;
+  obs::Gauge* ring_rows_gauge_ = nullptr;
+  obs::Counter* ring_dropped_counter_ = nullptr;
 };
 
 }  // namespace robust

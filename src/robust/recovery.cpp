@@ -93,6 +93,7 @@ void RecoveryManager::prune(
 }
 
 std::string RecoveryManager::save(const SaveRequest& request) {
+  std::lock_guard lock(mu_);
   std::error_code ec;
   fs::create_directories(options_.directory, ec);
   const std::string path = snapshot_path(next_sequence_);
@@ -105,6 +106,7 @@ std::string RecoveryManager::save(const SaveRequest& request) {
 
 std::optional<RecoveryManager::Loaded> RecoveryManager::load_latest(
     const LoadRequest& request) {
+  std::lock_guard lock(mu_);
   const auto all = scan();
   if (all.empty()) {
     if (request.require_snapshot) {
@@ -139,6 +141,7 @@ std::optional<RecoveryManager::Loaded> RecoveryManager::load_latest(
 }
 
 std::vector<std::string> RecoveryManager::list() const {
+  std::lock_guard lock(mu_);
   std::vector<std::string> paths;
   for (const auto& [sequence, path] : scan()) paths.push_back(path);
   return paths;

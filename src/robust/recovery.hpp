@@ -14,9 +14,14 @@
 // _fallbacks_total on any obs::Registry, so an unattended deployment's
 // exporter shows when it last checkpointed and whether it ever had to skip
 // a damaged snapshot.
+// save(), load_latest() and list() are mutually thread-safe: a signal
+// thread writing the final checkpoint may race a recovery read (SIGTERM
+// during startup replay) without torn sequence numbers or a scan observing
+// a half-pruned directory.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -84,6 +89,8 @@ class RecoveryManager {
   void prune(const std::vector<std::pair<std::uint64_t, std::string>>& all);
 
   Options options_;
+  /// Serialises save/load/list against each other (see header comment).
+  mutable std::mutex mu_;
   std::uint64_t next_sequence_ = 1;
 
   struct Instruments {

@@ -1,0 +1,137 @@
+// Crash-durable ingest write-ahead log.
+//
+// A Service acknowledges an ingest batch only after the batch is appended
+// (and, per policy, fsynced) here — so a crash between the ack and the next
+// periodic checkpoint loses nothing: `orfd --resume` restores the newest
+// checkpoint and replays the WAL tail through the engine, reproducing the
+// exact pre-crash state bit for bit.
+//
+// Layout: a directory of append-only segment files
+//
+//   wal-<start_seq>.seg
+//     orf-wal v1 <start_seq>\n            (segment header)
+//     rec <seq> <payload_bytes> <crc32_hex>\n<payload>\n   (repeated)
+//
+// Each record carries its own CRC32 (same polynomial as the checkpoint
+// envelope), so a torn tail — the expected debris of a crash mid-append —
+// is detected and ignored at replay instead of corrupting the restore.
+// Sequence numbers are globally monotonic across segments; replay skips
+// records at or below the caller's resume point, which is what makes
+// replaying the same segment twice a no-op.
+//
+// Concurrency contract: appends, sync, and rotation are single-writer (the
+// Service's exclusive ingest lock); replay happens before the first append.
+// The WAL therefore carries no lock of its own.
+//
+// Failure handling: a failed append leaves the current segment with an
+// undefined tail, so the segment is retired (closed) and the next append
+// starts a fresh segment at the same sequence — replay never has to look
+// past a torn record for live data. Every stage is a named failpoint
+// (wal.open_segment / wal.append / wal.fsync / wal.rotate) so the chaos
+// suite can kill the process at each one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace robust {
+
+class IngestWal {
+ public:
+  enum class SyncPolicy {
+    kAlways,  ///< fsync after every append (durable vs power loss)
+    kBatch,   ///< caller fsyncs once per request batch via sync()
+    kOff      ///< never fsync (durable vs process crash only)
+  };
+
+  /// Parse "always" | "batch" | "off"; throws std::invalid_argument.
+  static SyncPolicy parse_sync_policy(std::string_view text);
+
+  struct Options {
+    std::string directory;  ///< created on first append if missing
+    SyncPolicy sync = SyncPolicy::kBatch;
+  };
+
+  /// Scans `directory` for existing segments and positions the next
+  /// sequence number one past the newest intact record. Segment files with
+  /// no intact record (crash debris) are removed.
+  explicit IngestWal(Options options);
+  ~IngestWal();
+
+  IngestWal(const IngestWal&) = delete;
+  IngestWal& operator=(const IngestWal&) = delete;
+
+  /// Register orf_wal_appends_total / orf_wal_syncs_total on `registry`.
+  void bind_metrics(obs::Registry& registry);
+
+  /// Append one record; returns its sequence number. Under kAlways the
+  /// record is fsynced before returning. Throws on I/O failure (the record
+  /// is then not durable and its sequence number is reused).
+  std::uint64_t append(std::string_view payload);
+
+  /// Flush the open segment to disk (kBatch callers, once per acked
+  /// request). No-op under kOff or when nothing is open.
+  void sync();
+
+  struct Record {
+    std::uint64_t sequence = 0;
+    std::string_view payload;
+  };
+
+  struct ReplayStats {
+    std::uint64_t applied = 0;  ///< records handed to the callback
+    std::uint64_t skipped = 0;  ///< records at or below `after`
+    std::uint64_t torn = 0;     ///< segments cut short by a damaged record
+  };
+
+  /// Stream every intact record with sequence > `after`, in order, to
+  /// `apply`. Damaged records end their segment (torn tail) but later
+  /// segments are still read. Safe to call repeatedly; sequence numbers
+  /// make re-replay a no-op.
+  ReplayStats replay(std::uint64_t after,
+                     const std::function<void(const Record&)>& apply);
+
+  /// Drop segments made redundant by a checkpoint durable through
+  /// `durable_sequence` (every record of the segment is <= it). Called
+  /// right after a successful checkpoint; with the usual call pattern that
+  /// removes every segment and the next append starts a fresh one.
+  void rotate(std::uint64_t durable_sequence);
+
+  /// Newest sequence number ever appended (0 before the first append).
+  std::uint64_t last_sequence() const { return next_sequence_ - 1; }
+
+  const Options& options() const { return options_; }
+
+  /// Segment paths on disk, ascending start sequence (tests/tools).
+  std::vector<std::string> segments() const;
+
+  /// The writer's failpoint sites, in execution order.
+  static std::span<const char* const> wal_failpoint_sites();
+
+ private:
+  void open_segment_locked();
+  void retire_segment() noexcept;
+  void sync_open_segment();
+  /// Ascending (start_sequence, path) pairs parsed from the directory.
+  std::vector<std::pair<std::uint64_t, std::string>> scan() const;
+
+  Options options_;
+  std::uint64_t next_sequence_ = 1;
+  int fd_ = -1;                    ///< open segment, -1 when none
+  std::uint64_t open_start_ = 0;   ///< start sequence of the open segment
+  bool dirty_ = false;             ///< bytes appended since the last fsync
+
+  struct Instruments {
+    obs::Counter* appends = nullptr;
+    obs::Counter* syncs = nullptr;
+  };
+  Instruments instruments_;
+};
+
+}  // namespace robust

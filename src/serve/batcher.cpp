@@ -27,6 +27,7 @@ void ScoreBatcher::start() {
     if (!stopping_) return;
     stopping_ = false;
   }
+  api_.service().health().set("batcher", robust::HealthState::kOk);
   flusher_ = std::thread([this] { flusher_loop(); });
 }
 
@@ -36,8 +37,20 @@ void ScoreBatcher::stop() {
     if (stopping_) return;
     stopping_ = true;
   }
+  // Readiness goes honest during the drain: probes see "degraded" while
+  // the flusher empties its queue and new scores run unbatched.
+  api_.service().health().set("batcher", robust::HealthState::kDegraded,
+                              "stopped (draining)");
   cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
+}
+
+double ScoreBatcher::oldest_wait_seconds() {
+  std::lock_guard lock(mu_);
+  if (pending_.empty()) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       pending_.front().enqueued)
+      .count();
 }
 
 void ScoreBatcher::submit(std::vector<float> xs, std::size_t rows,
@@ -109,6 +122,28 @@ void ScoreBatcher::flusher_loop() {
 }
 
 void ScoreBatcher::flush(std::vector<Pending> batch, const char* cause) {
+  // Deadline enforcement happens at the moment of truth — just before the
+  // scoring call — so a request that waited out its budget in the queue is
+  // answered an honest 503 instead of a late 200 the client gave up on.
+  if (overload_ != nullptr && overload_->deadline_enabled()) {
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending& pending : batch) {
+      const double waited =
+          std::chrono::duration<double>(now - pending.enqueued).count();
+      if (overload_->expired(waited)) {
+        pending.done(api_.finish(
+            "/v1/score", overload_->shed_response("/v1/score", "deadline"),
+            waited));
+      } else {
+        live.push_back(std::move(pending));
+      }
+    }
+    batch.swap(live);
+    if (batch.empty()) return;
+  }
+
   const std::size_t features = api_.service().feature_count();
   std::size_t total_rows = 0;
   for (const Pending& pending : batch) total_rows += pending.rows;

@@ -38,6 +38,7 @@
 
 #include "orf/config.hpp"
 #include "serve/handlers.hpp"
+#include "serve/overload.hpp"
 
 namespace serve {
 
@@ -64,6 +65,15 @@ class ScoreBatcher {
   /// from any thread; `done` fires with the rendered + finish()ed response.
   void submit(std::vector<float> xs, std::size_t rows, Completion done);
 
+  /// Deadline policy + shed accounting: when set (before start()), every
+  /// flush first answers requests older than the request deadline with the
+  /// counted 503 instead of scoring them late.
+  void set_overload(Overload* overload) { overload_ = overload; }
+
+  /// Age in seconds of the oldest queued request (0 when the queue is
+  /// empty) — the Overload queue-age probe behind Retry-After hints.
+  double oldest_wait_seconds();
+
  private:
   struct Pending {
     std::vector<float> xs;
@@ -78,6 +88,7 @@ class ScoreBatcher {
 
   Api& api_;
   orf::ServeSection options_;
+  Overload* overload_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -42,7 +42,7 @@ bool Connection::on_readable(const Sink& sink) {
   while (!read_paused_) {
     RequestParser::State state = parser_.state();
     if (state == RequestParser::State::kNeedMore) {
-      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      const ssize_t n = faulty_recv(fd_, buf, sizeof buf);
       if (n == 0) {
         // Peer EOF: no more requests, but answers already in flight still
         // go out (a client may legitimately shutdown(SHUT_WR) and read).
@@ -128,8 +128,8 @@ bool Connection::flush() {
 
 bool Connection::write_some() {
   while (has_output()) {
-    const ssize_t n = ::send(fd_, out_.data() + out_off_,
-                             out_.size() - out_off_, MSG_NOSIGNAL);
+    const ssize_t n =
+        faulty_send(fd_, out_.data() + out_off_, out_.size() - out_off_);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // EPOLLOUT resumes

@@ -7,8 +7,23 @@
 namespace serve {
 
 void Dispatcher::operator()(const Request& request, Completion done) {
+  const std::string route(route_of(request.target));
+  if (overload_ != nullptr) {
+    if (overload_->should_shed(route)) {
+      done(api_.finish(route, overload_->shed_response(route, "overload"),
+                       -1.0));
+      return;
+    }
+    // Track the request through its whole life — batcher queue time
+    // included — by decrementing when the completion finally fires.
+    overload_->begin_request();
+    done = [overload = overload_, inner = std::move(done)](Response response) {
+      inner(std::move(response));
+      overload->end_request();
+    };
+  }
   if (batcher_ != nullptr && request.method == "POST" &&
-      request.target == "/v1/score") {
+      route == "/v1/score") {
     const auto started = std::chrono::steady_clock::now();
     std::vector<float> xs;
     Response error;

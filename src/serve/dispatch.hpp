@@ -13,19 +13,29 @@
 // With no batcher (nullptr), /v1/score also runs inline — the reactor then
 // behaves exactly like the blocking server per request, which is what the
 // batched-vs-unbatched bit-identity tests compare against.
+//
+// The dispatcher is also where load shedding happens (serve/overload.hpp):
+// before any decoding, the request's route is checked against the priority
+// classes at the current in-flight depth, and a shed request completes
+// immediately with the counted 503 + Retry-After. Admitted requests are
+// tracked begin_request/end_request around their whole life — including the
+// time spent queued in the batcher — so the depth the shed decision sees is
+// true concurrency, not just what is on a worker thread right now.
 #pragma once
 
 #include "serve/batcher.hpp"
 #include "serve/handlers.hpp"
 #include "serve/http.hpp"
+#include "serve/overload.hpp"
 
 namespace serve {
 
 class Dispatcher {
  public:
   /// `batcher` may be null: every route, scoring included, runs inline.
-  Dispatcher(Api& api, ScoreBatcher* batcher)
-      : api_(api), batcher_(batcher) {}
+  /// `overload` may be null: no shedding, no in-flight accounting.
+  Dispatcher(Api& api, ScoreBatcher* batcher, Overload* overload = nullptr)
+      : api_(api), batcher_(batcher), overload_(overload) {}
 
   /// Route one request; `done` is invoked exactly once, either inline or
   /// from the batcher's flusher thread.
@@ -34,6 +44,7 @@ class Dispatcher {
  private:
   Api& api_;
   ScoreBatcher* batcher_;
+  Overload* overload_;
 };
 
 }  // namespace serve

@@ -158,7 +158,9 @@ Response Api::finish(const std::string& route, Response response,
 }
 
 Response Api::handle(const Request& request) {
-  const std::string& target = request.target;
+  // Route on the path only; queries select behaviour (/healthz?ready) but
+  // never leak into metric labels.
+  const std::string target(route_of(request.target));
   if (target == "/v1/score" || target == "/v1/ingest") {
     if (request.method != "POST") {
       return finish(target, wrong_method(request.method, target, "POST"),
@@ -174,6 +176,11 @@ Response Api::handle(const Request& request) {
                     timer.seconds());
     } catch (const BadRequest& error) {
       return finish(target, error_response(400, error.what()),
+                    timer.seconds());
+    } catch (const orf::DegradedError& error) {
+      // Score-only mode: ingest durability is gone, scoring is not — the
+      // 503 tells clients to retry once /healthz?ready goes green again.
+      return finish(target, error_response(503, error.what()),
                     timer.seconds());
     } catch (const std::invalid_argument& error) {
       // Strict row policy: the engine rejected the batch, state untouched.
@@ -193,7 +200,8 @@ Response Api::handle(const Request& request) {
       return finish(target,
                     wrong_method(request.method, target, "GET, HEAD"), -1.0);
     }
-    return finish(target, healthz(), -1.0);
+    return finish(target, healthz(query_of(request.target) == "ready"),
+                  -1.0);
   }
   return finish(target, error_response(404, "no such route"), -1.0);
 }
@@ -272,14 +280,32 @@ Response Api::metrics() {
   return response;
 }
 
-Response Api::healthz() {
-  return json_response(
-      200,
-      json::Value::of(json::Object{
-          {"status", json::Value::of(std::string("ok"))},
-          {"next_day",
-           json::Value::of(static_cast<double>(service_.next_day()))},
-          {"resumed", json::Value::of(service_.resumed())}}));
+Response Api::healthz(bool ready_probe) {
+  if (!ready_probe) {
+    // Liveness: the process is up and answering. Never degraded — a daemon
+    // in score-only mode must not be restarted by its liveness probe.
+    return json_response(
+        200,
+        json::Value::of(json::Object{
+            {"status", json::Value::of(std::string("ok"))},
+            {"next_day",
+             json::Value::of(static_cast<double>(service_.next_day()))},
+            {"resumed", json::Value::of(service_.resumed())}}));
+  }
+  // Readiness: component health, with an in-place recovery attempt while
+  // degraded — clearing the underlying fault flips this back to 200
+  // without a restart.
+  const orf::Service::Readiness readiness = service_.readiness();
+  json::Object body{
+      {"status", json::Value::of(std::string(readiness.state))},
+      {"next_day", json::Value::of(static_cast<double>(service_.next_day()))},
+      {"resumed", json::Value::of(service_.resumed())}};
+  if (!readiness.cause.empty()) {
+    body.emplace_back("cause",
+                      json::Value::of(std::string(readiness.cause)));
+  }
+  return json_response(readiness.ready ? 200 : 503,
+                       json::Value::of(std::move(body)));
 }
 
 }  // namespace serve

@@ -5,13 +5,17 @@
 //                     "fate":"operating|failure|retirement"},...]}
 //                                                          → one day batch
 //   GET  /metrics    Prometheus exposition of the whole registry
-//   GET  /healthz    liveness + next_day + resumed
+//   GET  /healthz    liveness + next_day + resumed (never degraded)
+//   GET  /healthz?ready  readiness: component health with an in-place
+//                    recovery attempt — 503 {"status":"degraded","cause"}
+//                    while the WAL/checkpoint device is down
 //
 // Scoring rides the Service's shared lock (concurrent, flat kernel only);
 // ingest takes the exclusive lock and reports the day index, per-cause
 // rejection counts and any periodic checkpoint path back in the response.
 // Malformed bodies are 400 with a JSON {"error": cause}; under the strict
 // row policy a dirty ingest report is 400 too (engine state untouched).
+// While the service is degraded (score-only mode), ingest answers 503.
 //
 // Request-level telemetry registers on the Service's registry, so one
 // /metrics scrape covers forest, engine, recovery and HTTP series:
@@ -56,7 +60,7 @@ class Api {
   Response score(const Request& request);
   Response ingest(const Request& request);
   Response metrics();
-  Response healthz();
+  Response healthz(bool ready_probe);
 
   orf::Service& service_;
   obs::Registry& registry_;

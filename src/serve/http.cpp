@@ -1,10 +1,63 @@
 #include "serve/http.hpp"
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 
+#include "robust/failpoint.hpp"
+
 namespace serve {
+
+std::string_view route_of(std::string_view target) {
+  return target.substr(0, target.find('?'));
+}
+
+std::string_view query_of(std::string_view target) {
+  const std::size_t q = target.find('?');
+  return q == std::string_view::npos ? std::string_view{}
+                                     : target.substr(q + 1);
+}
+
+ssize_t faulty_recv(int fd, char* buf, std::size_t len) {
+  if (robust::failpoints_armed()) {
+    switch (robust::failpoint_socket("serve.conn_read")) {
+      case robust::SocketFault::kShortRead:
+        len = std::min<std::size_t>(len, 1);  // torn frame, no bytes lost
+        break;
+      case robust::SocketFault::kReset:
+        errno = ECONNRESET;
+        return -1;
+      case robust::SocketFault::kStall:
+        errno = EAGAIN;
+        return -1;
+      default:
+        break;
+    }
+  }
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t faulty_send(int fd, const char* data, std::size_t len) {
+  if (robust::failpoints_armed()) {
+    switch (robust::failpoint_socket("serve.conn_write")) {
+      case robust::SocketFault::kShortWrite:
+        len = std::min<std::size_t>(len, 1);  // exercise resume-from-offset
+        break;
+      case robust::SocketFault::kReset:
+        errno = ECONNRESET;
+        return -1;
+      case robust::SocketFault::kStall:
+        errno = EAGAIN;
+        return -1;
+      default:
+        break;
+    }
+  }
+  return ::send(fd, data, len, MSG_NOSIGNAL);
+}
 
 namespace {
 

@@ -18,6 +18,8 @@
 // HTTP/1.1 keep-alive defaults with Connection: close respected.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstddef>
 #include <string>
 #include <string_view>
@@ -52,8 +54,24 @@ struct Response {
 /// Standard reason phrase for the handful of statuses orfd emits.
 std::string_view reason_phrase(int status);
 
+/// Split an origin-form target at '?': route_of("/healthz?ready") is
+/// "/healthz", query_of is "ready" (empty when there is no query). Routing,
+/// shedding and metric labels all use the route so query strings never
+/// explode label cardinality.
+std::string_view route_of(std::string_view target);
+std::string_view query_of(std::string_view target);
+
 /// Wire form of `response`; `keep_alive` controls the Connection header.
 std::string serialize(const Response& response, bool keep_alive);
+
+/// recv()/send() with socket fault injection: both servers run all
+/// connection I/O through these, so the failpoint sites serve.conn_read /
+/// serve.conn_write can simulate short reads/writes (the syscall is capped
+/// to one byte — no stream bytes are lost, torn-frame paths just get
+/// exercised), peer resets (ECONNRESET) and stalls (EAGAIN, no progress).
+/// With no failpoint armed they are the bare syscalls.
+ssize_t faulty_recv(int fd, char* buf, std::size_t len);
+ssize_t faulty_send(int fd, const char* data, std::size_t len);
 
 class RequestParser {
  public:

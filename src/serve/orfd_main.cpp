@@ -31,6 +31,7 @@
 #include "serve/batcher.hpp"
 #include "serve/dispatch.hpp"
 #include "serve/handlers.hpp"
+#include "serve/overload.hpp"
 #include "serve/reactor.hpp"
 #include "serve/server.hpp"
 
@@ -63,23 +64,40 @@ int run(int argc, char** argv) {
   }
 
   serve::Api api(service);
+  serve::Overload overload(config.serve, service.metrics_registry());
   std::unique_ptr<serve::ScoreBatcher> batcher;
   std::unique_ptr<serve::Server> server;
   if (config.serve.mode == "reactor") {
     batcher = std::make_unique<serve::ScoreBatcher>(api, config.serve);
+    batcher->set_overload(&overload);
+    overload.set_queue_age_probe(
+        [&batcher] { return batcher->oldest_wait_seconds(); });
     batcher->start();
     auto reactor = std::make_unique<serve::ReactorServer>(
         config.serve,
-        serve::Dispatcher(api, batcher.get()),
+        serve::Dispatcher(api, batcher.get(), &overload),
         &service.metrics_registry());
+    reactor->set_overload(&overload);
     // Outstanding batches flush while reactor workers still drain inboxes.
     reactor->set_drain_hook([&batcher] { batcher->stop(); });
     server = std::move(reactor);
   } else {
-    server = std::make_unique<serve::HttpServer>(
+    // The blocking server routes through the same dispatcher (null batcher
+    // → every completion fires synchronously) so shedding and in-flight
+    // accounting behave identically across serve modes.
+    auto http = std::make_unique<serve::HttpServer>(
         config.serve,
-        [&api](const serve::Request& request) { return api.handle(request); },
+        [dispatcher = serve::Dispatcher(api, nullptr, &overload)](
+            const serve::Request& request) mutable {
+          serve::Response out;
+          dispatcher(request, [&out](serve::Response response) {
+            out = std::move(response);
+          });
+          return out;
+        },
         &service.metrics_registry());
+    http->set_overload(&overload);
+    server = std::move(http);
   }
   server->start();
   std::printf("orfd: %zu features, %zu shards, %s server on %s:%d\n",

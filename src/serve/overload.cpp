@@ -1,0 +1,59 @@
+#include "serve/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace serve {
+
+Overload::Overload(const orf::ServeSection& options, obs::Registry& registry)
+    : options_(options), registry_(registry) {}
+
+bool Overload::should_shed(const std::string& target) const {
+  const std::size_t mark = options_.shed_high_water;
+  if (mark == 0) return false;
+  // Observability is load-shedding-proof: a melting service must still
+  // answer its probes and scrapes.
+  if (target == "/healthz" || target == "/metrics") return false;
+  const std::size_t depth = in_flight();
+  if (target == "/v1/ingest") return depth >= mark;
+  return depth >= 2 * mark;  // score (and everything else) holds out longer
+}
+
+int Overload::retry_after_hint(int floor, std::size_t depth,
+                               std::size_t capacity,
+                               double queue_age_seconds) {
+  int hint = std::max(floor, 1);
+  if (capacity > 0) hint += static_cast<int>(depth / capacity);
+  if (queue_age_seconds > 0.0) {
+    hint += static_cast<int>(std::ceil(queue_age_seconds));
+  }
+  return std::min(hint, 60);
+}
+
+int Overload::retry_after_for(std::size_t depth, std::size_t capacity) const {
+  const double age = queue_age_ ? queue_age_() : 0.0;
+  return retry_after_hint(options_.retry_after_seconds, depth, capacity, age);
+}
+
+int Overload::retry_after_seconds() const {
+  const std::size_t capacity = options_.shed_high_water > 0
+                                   ? options_.shed_high_water
+                                   : options_.max_in_flight;
+  return retry_after_for(in_flight(), capacity);
+}
+
+Response Overload::shed_response(const std::string& route,
+                                 const char* cause) {
+  registry_
+      .counter("orf_serve_shed_total", "requests shed by route and cause",
+               {{"route", route}, {"cause", cause}})
+      .inc();
+  Response response;
+  response.status = 503;
+  response.body = std::string("{\"error\":\"shed: ") + cause + "\"}";
+  response.headers.emplace_back("Retry-After",
+                                std::to_string(retry_after_seconds()));
+  return response;
+}
+
+}  // namespace serve

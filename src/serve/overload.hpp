@@ -1,0 +1,91 @@
+// Graceful degradation under overload: deadlines, priority shedding, and
+// honest Retry-After hints.
+//
+// One Overload object is shared by the dispatcher (per-request in-flight
+// accounting + shed decisions), the batcher (queue-age probe, deadline
+// enforcement at flush) and the servers (computed Retry-After on admission
+// 429s). The policy:
+//
+//   priority shedding — at or above `shed_high_water` in-flight requests,
+//       /v1/ingest is shed (503); at twice the mark /v1/score goes too;
+//       /healthz and /metrics are never shed, so operators keep eyes on a
+//       melting service. 0 disables shedding.
+//   deadlines — a request still waiting in the score batch queue past
+//       `request_deadline_ms` is answered 503 instead of scored late
+//       (late answers are worse than honest refusals once clients retry).
+//   Retry-After — never the canned constant: the hint grows with the
+//       in-flight depth (how far past capacity we are) and the age of the
+//       oldest queued request (how slowly the queue drains), so backoff
+//       scales with actual pressure.
+//
+// Every shed increments orf_serve_shed_total{route,cause} — the overload
+// e2e test reconciles this counter exactly against client-observed 503s.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "orf/config.hpp"
+#include "serve/http.hpp"
+
+namespace serve {
+
+class Overload {
+ public:
+  Overload(const orf::ServeSection& options, obs::Registry& registry);
+
+  /// One call per request entering the dispatcher; returns the new depth.
+  std::size_t begin_request() {
+    return in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void end_request() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Shed `target` at the current depth? (Priority classes above.)
+  bool should_shed(const std::string& target) const;
+
+  bool deadline_enabled() const { return options_.request_deadline_ms > 0; }
+  /// Has a request queued for `waited_seconds` blown its deadline?
+  bool expired(double waited_seconds) const {
+    return deadline_enabled() &&
+           waited_seconds * 1000.0 >
+               static_cast<double>(options_.request_deadline_ms);
+  }
+
+  /// Install the batcher's oldest-queued-request age probe (seconds).
+  /// Call before traffic starts; the probe must be thread-safe.
+  void set_queue_age_probe(std::function<double()> probe) {
+    queue_age_ = std::move(probe);
+  }
+
+  /// Retry-After for the request-shedding paths (depth = in-flight
+  /// requests against the shed mark).
+  int retry_after_seconds() const;
+
+  /// Retry-After for a caller-measured queue, e.g. the servers' admission
+  /// 429s (depth = open connections against max_in_flight).
+  int retry_after_for(std::size_t depth, std::size_t capacity) const;
+
+  /// Pure hint arithmetic, exposed for tests: floor + one second per full
+  /// multiple of capacity + the (rounded-up) queue age, capped at 60.
+  static int retry_after_hint(int floor, std::size_t depth,
+                              std::size_t capacity,
+                              double queue_age_seconds);
+
+  /// Build the 503 for a shed request and count it in
+  /// orf_serve_shed_total{route,cause}. Causes: "overload", "deadline".
+  Response shed_response(const std::string& route, const char* cause);
+
+ private:
+  orf::ServeSection options_;
+  obs::Registry& registry_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::function<double()> queue_age_;
+};
+
+}  // namespace serve

@@ -150,11 +150,16 @@ void ReactorServer::wake(Worker& worker) {
 void ReactorServer::reject_overflow(int fd) {
   // Count before writing: a scrape prompted by the 429 must already see it.
   if (instruments_.overflow) instruments_.overflow->inc();
+  const int retry_after =
+      overload_ != nullptr
+          ? overload_->retry_after_for(
+                open_connections_.load(std::memory_order_relaxed),
+                options_.max_in_flight)
+          : options_.retry_after_seconds;
   Response response;
   response.status = 429;
   response.body = "{\"error\":\"too many requests in flight\"}";
-  response.headers.emplace_back(
-      "Retry-After", std::to_string(options_.retry_after_seconds));
+  response.headers.emplace_back("Retry-After", std::to_string(retry_after));
   const std::string wire = serialize(response, /*keep_alive=*/false);
   // Best effort: the canned response fits any socket buffer; a peer that
   // cannot take it is gone anyway.

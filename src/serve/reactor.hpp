@@ -52,6 +52,7 @@
 #include "orf/config.hpp"
 #include "serve/batcher.hpp"
 #include "serve/connection.hpp"
+#include "serve/overload.hpp"
 #include "serve/server_iface.hpp"
 
 namespace serve {
@@ -84,6 +85,10 @@ class ReactorServer : public Server {
   }
 
   std::size_t worker_count() const { return workers_.size(); }
+
+  /// When set (before start()), admission 429s carry a computed Retry-After
+  /// that grows with queue pressure instead of the canned constant.
+  void set_overload(const Overload* overload) { overload_ = overload; }
 
  private:
   struct InboxItem {
@@ -125,6 +130,7 @@ class ReactorServer : public Server {
   orf::ServeSection options_;
   Dispatch dispatch_;
   std::function<void()> drain_hook_;
+  const Overload* overload_ = nullptr;
 
   /// Atomic: stop() retires the fd (exchange to -1) while workers still
   /// read it in accept_some after a listener edge.

@@ -28,9 +28,9 @@ void set_recv_timeout(int fd) {
 /// Write the whole buffer, tolerating short writes; false on a dead peer.
 bool write_all(int fd, std::string_view bytes) {
   while (!bytes.empty()) {
-    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    const ssize_t n = faulty_send(fd, bytes.data(), bytes.size());
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
       return false;
     }
     bytes.remove_prefix(static_cast<std::size_t>(n));
@@ -130,11 +130,19 @@ void HttpServer::stop() {
 void HttpServer::reject_overflow(int fd) {
   // Count before writing: a scrape prompted by the 429 must already see it.
   if (instruments_.overflow) instruments_.overflow->inc();
+  std::size_t depth = options_.max_in_flight;
+  {
+    std::lock_guard lock(mu_);
+    depth = pending_.size() + in_service_;
+  }
+  const int retry_after =
+      overload_ != nullptr
+          ? overload_->retry_after_for(depth, options_.max_in_flight)
+          : options_.retry_after_seconds;
   Response response;
   response.status = 429;
   response.body = "{\"error\":\"too many requests in flight\"}";
-  response.headers.emplace_back(
-      "Retry-After", std::to_string(options_.retry_after_seconds));
+  response.headers.emplace_back("Retry-After", std::to_string(retry_after));
   write_all(fd, serialize(response, /*keep_alive=*/false));
   ::close(fd);
 }
@@ -206,7 +214,7 @@ void HttpServer::serve_connection(int fd) {
   while (true) {
     RequestParser::State state = parser.state();
     if (state == RequestParser::State::kNeedMore) {
-      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      const ssize_t n = faulty_recv(fd, buf, sizeof buf);
       if (n == 0) return;  // peer closed
       if (n < 0) {
         if (errno == EINTR) continue;

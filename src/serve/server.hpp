@@ -30,6 +30,7 @@
 
 #include "orf/config.hpp"
 #include "serve/http.hpp"
+#include "serve/overload.hpp"
 #include "serve/server_iface.hpp"
 #include "util/thread_pool.hpp"
 
@@ -62,6 +63,10 @@ class HttpServer : public Server {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// When set (before start()), admission 429s carry a computed Retry-After
+  /// that grows with queue pressure instead of the canned constant.
+  void set_overload(const Overload* overload) { overload_ = overload; }
+
  private:
   void accept_loop();
   void worker_loop();
@@ -72,6 +77,7 @@ class HttpServer : public Server {
 
   orf::ServeSection options_;
   Handler handler_;
+  const Overload* overload_ = nullptr;
 
   /// Atomic: stop() retires the fd (exchange to -1) while the acceptor
   /// still reads it between accept calls.

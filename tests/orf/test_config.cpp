@@ -82,6 +82,47 @@ TEST(OrfConfig, FlagsReachEverySection) {
   EXPECT_EQ(config.serve.retry_after_seconds, 3);
 }
 
+TEST(OrfConfig, DurabilityAndSheddingKnobsReachTheirSections) {
+  // Defaults: WAL on with batched fsync, deadline and shedding off.
+  const orf::Config defaults = orf::Config::from_flags(make_flags({}));
+  EXPECT_TRUE(defaults.robust.wal);
+  EXPECT_EQ(defaults.robust.wal_sync, "batch");
+  EXPECT_EQ(defaults.serve.request_deadline_ms, 0);
+  EXPECT_EQ(defaults.serve.shed_high_water, 0u);
+
+  const orf::Config config = orf::Config::from_flags(make_flags(
+      {"--wal=false", "--wal-sync=always", "--request-deadline-ms=250",
+       "--shed-high-water=96"}));
+  EXPECT_FALSE(config.robust.wal);
+  EXPECT_EQ(config.robust.wal_sync, "always");
+  EXPECT_EQ(config.serve.request_deadline_ms, 250);
+  EXPECT_EQ(config.serve.shed_high_water, 96u);
+
+  const ScopedEnv sync("ORF_WAL_SYNC", "off");
+  const ScopedEnv deadline("ORF_REQUEST_DEADLINE_MS", "90");
+  const orf::Config from_env = orf::Config::from_flags(make_flags({}));
+  EXPECT_EQ(from_env.robust.wal_sync, "off");
+  EXPECT_EQ(from_env.serve.request_deadline_ms, 90);
+  EXPECT_EQ(orf::Config::from_flags(make_flags({"--wal-sync=batch"}))
+                .robust.wal_sync,
+            "batch");  // flag beats ORF_WAL_SYNC
+}
+
+TEST(OrfConfig, DurabilityKnobsValidate) {
+  // wal-sync names its legal values in the error.
+  try {
+    orf::Config::from_flags(make_flags({"--wal-sync=sometimes"}));
+    FAIL() << "expected ConfigError";
+  } catch (const orf::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("sometimes"), std::string::npos) << what;
+    EXPECT_NE(what.find("always|batch|off"), std::string::npos) << what;
+  }
+  EXPECT_THROW(
+      orf::Config::from_flags(make_flags({"--request-deadline-ms=-5"})),
+      orf::ConfigError);
+}
+
 TEST(OrfConfig, BackendKnobResolvesFlagThenEnvThenDefault) {
   EXPECT_EQ(orf::Config::from_flags(make_flags({})).engine.backend, "orf");
 
@@ -236,7 +277,8 @@ TEST(OrfConfig, FlagSpecsCoverTheSharedKnobsInUsageText) {
        {"--backend", "--mondrian-lifetime", "--trees", "--port",
         "--checkpoint-dir", "--row-errors", "--resume", "--max-in-flight",
         "--serve-mode", "--serve-workers", "--batch-max-rows",
-        "--batch-max-wait-us", "--idle-timeout-ms", "--help"}) {
+        "--batch-max-wait-us", "--idle-timeout-ms", "--wal", "--wal-sync",
+        "--request-deadline-ms", "--shed-high-water", "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag << "\n" << usage;
   }
 }

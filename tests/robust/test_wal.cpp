@@ -1,0 +1,325 @@
+// IngestWal: record framing + CRC, torn-tail tolerance, rotation keyed to
+// checkpoint sequence numbers, segment retirement after failed appends, and
+// the accounting invariant the chaos suite leans on — every append that
+// returned (was "acked") is replayed exactly once, no matter which failpoint
+// fired in between.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "robust/errors.hpp"
+#include "robust/failpoint.hpp"
+#include "robust/wal.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using robust::FaultKind;
+using robust::FaultSpec;
+using robust::IngestWal;
+
+class Wal : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("orf_wal_" + std::string(::testing::UnitTest::GetInstance()
+                                         ->current_test_info()
+                                         ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    robust::failpoints::disarm_all();
+    fs::remove_all(dir_);
+  }
+
+  IngestWal wal(IngestWal::SyncPolicy sync = IngestWal::SyncPolicy::kBatch) {
+    return IngestWal({dir_.string(), sync});
+  }
+
+  /// Replay everything after `after` into (sequence, payload) pairs.
+  static std::vector<std::pair<std::uint64_t, std::string>> replayed(
+      IngestWal& w, std::uint64_t after = 0) {
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    w.replay(after, [&out](const IngestWal::Record& record) {
+      out.emplace_back(record.sequence, std::string(record.payload));
+    });
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(Wal, AppendsReplayInOrderWithMonotonicSequences) {
+  auto w = wal();
+  EXPECT_EQ(w.append("alpha"), 1u);
+  EXPECT_EQ(w.append("beta\nwith a newline"), 2u);
+  EXPECT_EQ(w.append(""), 3u);  // empty payloads are legal records
+  w.sync();
+
+  const auto records = replayed(w);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (std::pair<std::uint64_t, std::string>{1, "alpha"}));
+  EXPECT_EQ(records[1].second, "beta\nwith a newline");
+  EXPECT_EQ(records[2].second, "");
+  EXPECT_EQ(w.last_sequence(), 3u);
+}
+
+TEST_F(Wal, ReplayAfterSkipsCoveredRecordsAndIsRepeatable) {
+  auto w = wal();
+  for (int i = 0; i < 5; ++i) w.append("payload " + std::to_string(i));
+
+  const auto tail = replayed(w, /*after=*/3);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].first, 4u);
+  EXPECT_EQ(tail[1].first, 5u);
+
+  // Re-replay is a no-op difference: same records, same order.
+  EXPECT_EQ(replayed(w, 3), tail);
+
+  IngestWal::ReplayStats stats =
+      w.replay(3, [](const IngestWal::Record&) {});
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_EQ(stats.skipped, 3u);
+  EXPECT_EQ(stats.torn, 0u);
+}
+
+TEST_F(Wal, ReopenContinuesSequencesAcrossProcessLifetimes) {
+  {
+    auto w = wal();
+    w.append("first life");
+    w.sync();
+  }
+  auto w2 = wal();
+  EXPECT_EQ(w2.last_sequence(), 1u);
+  EXPECT_EQ(w2.append("second life"), 2u);
+  const auto records = replayed(w2);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].second, "second life");
+}
+
+TEST_F(Wal, TornTailIsDetectedAndDoesNotPoisonReplay) {
+  {
+    auto w = wal();
+    w.append("intact one");
+    w.append("intact two");
+    w.append("the victim");
+    w.sync();
+  }
+  // Crash debris: chop bytes off the newest segment mid-record.
+  const auto segments = wal().segments();
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = fs::file_size(segments[0]);
+  fs::resize_file(segments[0], size - 7);
+
+  auto w = wal();
+  std::vector<std::string> payloads;
+  const auto stats =
+      w.replay(0, [&payloads](const IngestWal::Record& record) {
+        payloads.push_back(std::string(record.payload));
+      });
+  EXPECT_EQ(payloads,
+            (std::vector<std::string>{"intact one", "intact two"}));
+  EXPECT_EQ(stats.torn, 1u);
+  // The torn record was never acked; its sequence number is reused.
+  EXPECT_EQ(w.last_sequence(), 2u);
+}
+
+TEST_F(Wal, CorruptedByteFailsTheCrcAndEndsTheSegment) {
+  {
+    auto w = wal();
+    w.append("good record");
+    w.append("flipped record");
+    w.sync();
+  }
+  const auto segments = wal().segments();
+  ASSERT_EQ(segments.size(), 1u);
+  // Flip one payload byte of the last record (the final "\n" is at the very
+  // end; the byte before it belongs to "flipped record").
+  std::fstream file(segments[0],
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(-2, std::ios::end);
+  file.put('X');
+  file.close();
+
+  auto w = wal();
+  const auto records = replayed(w);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].second, "good record");
+}
+
+TEST_F(Wal, RotateDropsSegmentsCoveredByTheCheckpoint) {
+  auto w = wal();
+  for (int i = 0; i < 4; ++i) w.append("day " + std::to_string(i));
+  w.sync();
+  ASSERT_EQ(w.segments().size(), 1u);
+
+  // Checkpoint durable through everything: the whole log is redundant.
+  w.rotate(w.last_sequence());
+  EXPECT_TRUE(w.segments().empty());
+
+  // The next append starts a fresh segment, sequences still monotonic.
+  EXPECT_EQ(w.append("day 4"), 5u);
+  EXPECT_EQ(replayed(w).size(), 1u);
+}
+
+TEST_F(Wal, RotateKeepsSegmentsWithLiveTailRecords) {
+  auto w = wal();
+  for (int i = 0; i < 4; ++i) w.append("day " + std::to_string(i));
+  w.sync();
+
+  // Checkpoint covers only the first three records: the segment still holds
+  // a live one, so it must survive.
+  w.rotate(3);
+  ASSERT_EQ(w.segments().size(), 1u);
+  const auto tail = replayed(w, 3);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].second, "day 3");
+}
+
+TEST_F(Wal, FailedAppendRetiresTheSegmentAndTheRetryLandsCleanly) {
+  auto w = wal();
+  w.append("before the fault");
+  w.sync();
+
+  robust::failpoints::arm("wal.append", {FaultKind::kIoError});
+  EXPECT_THROW(w.append("never durable"), robust::InjectedIoError);
+  robust::failpoints::disarm_all();
+
+  // The retry reuses the failed sequence number in a fresh segment; replay
+  // sees exactly the acked records, nothing torn in between.
+  EXPECT_EQ(w.append("the retry"), 2u);
+  w.sync();
+  const auto records = replayed(w);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].second, "before the fault");
+  EXPECT_EQ(records[1].second, "the retry");
+  EXPECT_EQ(w.segments().size(), 2u);
+}
+
+TEST_F(Wal, ShortWriteFaultTearsTheTailNotTheHistory) {
+  auto w = wal();
+  w.append("history");
+  w.sync();
+
+  robust::failpoints::arm("wal.append",
+                          {FaultKind::kShortWrite, /*after=*/0, /*count=*/1});
+  EXPECT_THROW(w.append("half-written"), robust::InjectedFault);
+
+  // Reopen cold (as a restart would): only the acked record replays.
+  auto w2 = wal();
+  const auto records = replayed(w2);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].second, "history");
+}
+
+TEST_F(Wal, DebrisSegmentsAreRemovedOnScan) {
+  {
+    auto w = wal();
+    w.append("real");
+    w.sync();
+  }
+  // A segment file with a header but no intact record is crash debris from
+  // a failed open/append; the constructor clears it.
+  const fs::path debris = dir_ / "wal-000000099.seg";
+  std::ofstream(debris) << "orf-wal v1 99\nrec 99 5 deadbeef\ntrun";
+  ASSERT_TRUE(fs::exists(debris));
+
+  auto w = wal();
+  EXPECT_FALSE(fs::exists(debris));
+  EXPECT_EQ(replayed(w).size(), 1u);
+  EXPECT_EQ(w.last_sequence(), 1u);
+}
+
+TEST_F(Wal, EveryFailpointKeepsEveryAckedRecord) {
+  // The chaos invariant in miniature: whatever fault fires at whatever
+  // site, an append that returned must replay exactly once with identical
+  // bytes. An append that threw holds no promise either way — a failed
+  // fsync can still leave its record durable — but whatever does replay
+  // must be bytes a client actually sent, never garbage.
+  for (const char* site : IngestWal::wal_failpoint_sites()) {
+    for (const FaultKind kind :
+         {FaultKind::kThrow, FaultKind::kIoError, FaultKind::kShortWrite}) {
+      fs::remove_all(dir_);
+      std::map<std::uint64_t, std::string> acked;
+      {
+        auto w = wal();
+        FaultSpec spec;
+        spec.kind = kind;
+        spec.after = 2;  // let a little history accumulate first
+        spec.count = 2;
+        robust::failpoints::arm(site, spec);
+        for (int i = 0; i < 8; ++i) {
+          const std::string payload = "record " + std::to_string(i);
+          try {
+            const std::uint64_t seq = w.append(payload);
+            w.sync();
+            acked[seq] = payload;
+          } catch (const robust::InjectedFault&) {
+            // Not acked; a client would retry. Rotation may also fault —
+            // that must never lose acked data either.
+          }
+          if (i == 5) {
+            try {
+              w.rotate(0);  // nothing durable: must be a keep-everything
+            } catch (const robust::InjectedFault&) {
+            }
+          }
+        }
+        robust::failpoints::disarm_all();
+      }
+      auto reopened = wal();
+      std::map<std::uint64_t, std::string> replayed_records;
+      reopened.replay(0, [&](const IngestWal::Record& record) {
+        replayed_records[record.sequence] = std::string(record.payload);
+      });
+      for (const auto& [seq, payload] : acked) {
+        const auto found = replayed_records.find(seq);
+        ASSERT_NE(found, replayed_records.end())
+            << "acked seq " << seq << " lost, site=" << site
+            << " kind=" << static_cast<int>(kind);
+        EXPECT_EQ(found->second, payload)
+            << "site=" << site << " kind=" << static_cast<int>(kind);
+      }
+      for (const auto& [seq, payload] : replayed_records) {
+        EXPECT_EQ(payload.rfind("record ", 0), 0u)
+            << "seq " << seq << " replayed bytes nobody sent, site=" << site
+            << " kind=" << static_cast<int>(kind);
+      }
+    }
+  }
+}
+
+TEST_F(Wal, SyncPolicyParses) {
+  EXPECT_EQ(IngestWal::parse_sync_policy("always"),
+            IngestWal::SyncPolicy::kAlways);
+  EXPECT_EQ(IngestWal::parse_sync_policy("batch"),
+            IngestWal::SyncPolicy::kBatch);
+  EXPECT_EQ(IngestWal::parse_sync_policy("off"),
+            IngestWal::SyncPolicy::kOff);
+  EXPECT_THROW(IngestWal::parse_sync_policy("fsync-maybe"),
+               std::invalid_argument);
+}
+
+TEST_F(Wal, MetricsCountAppendsAndSyncs) {
+  obs::Registry registry;
+  auto w = wal(IngestWal::SyncPolicy::kAlways);
+  w.bind_metrics(registry);
+  w.append("one");
+  w.append("two");
+  const obs::Snapshot snapshot = registry.snapshot();
+  std::uint64_t appends = 0;
+  std::uint64_t syncs = 0;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.id.name == "orf_wal_appends_total") appends = counter.value;
+    if (counter.id.name == "orf_wal_syncs_total") syncs = counter.value;
+  }
+  EXPECT_EQ(appends, 2u);
+  EXPECT_EQ(syncs, 2u);  // kAlways: one fsync per append
+}
+
+}  // namespace

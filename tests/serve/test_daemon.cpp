@@ -20,8 +20,11 @@
 #include <vector>
 
 #include "orf/orf.hpp"
+#include "robust/failpoint.hpp"
+#include "serve/dispatch.hpp"
 #include "serve/handlers.hpp"
 #include "serve/json.hpp"
+#include "serve/overload.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -360,6 +363,107 @@ TEST(Daemon, DrainFinalCheckpointResumeIsBitIdentical) {
   // Bit-identical: the resumed service's complete serialized state equals
   // the never-interrupted run's.
   EXPECT_EQ(service_state(second.service()), service_state(uninterrupted));
+}
+
+TEST(Daemon, WalFailureDegradesToScoreOnlyOverHttpAndRecoversInPlace) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "orf_daemon_degraded_test";
+  std::filesystem::remove_all(dir);
+  orf::Config config = daemon_config();
+  config.robust.checkpoint_dir = dir.string();
+  Daemon daemon(config);
+  Client client(daemon.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_EQ(client.request("POST", "/v1/ingest", ingest_body(0, 3)).status,
+            200);
+
+  // The WAL device dies: ingest is refused rather than acked un-durably.
+  robust::failpoints::arm("wal.append", {robust::FaultKind::kIoError});
+  const ClientResponse refused =
+      client.request("POST", "/v1/ingest", ingest_body(1, 3));
+  EXPECT_EQ(refused.status, 503);
+  EXPECT_NE(refused.body.find("degraded"), std::string::npos);
+
+  // Liveness stays green — degraded must never get the process restarted —
+  // while the readiness probe answers 503 naming the failed component.
+  EXPECT_EQ(client.request("GET", "/healthz").status, 200);
+  ClientResponse ready = client.request("GET", "/healthz?ready");
+  EXPECT_EQ(ready.status, 503);
+  EXPECT_NE(ready.body.find("degraded"), std::string::npos);
+  EXPECT_NE(ready.body.find("wal"), std::string::npos);
+
+  // Score-only mode: prediction still answers normally.
+  EXPECT_EQ(client
+                .request("POST", "/v1/score",
+                         "{\"rows\":[[0.1,0.2,0.3,0.4]]}")
+                .status,
+            200);
+
+  // Device heals: the next readiness probe recovers in place — no restart.
+  robust::failpoints::disarm_all();
+  ready = client.request("GET", "/healthz?ready");
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_NE(ready.body.find("\"ok\""), std::string::npos);
+  EXPECT_EQ(client.request("POST", "/v1/ingest", ingest_body(1, 3)).status,
+            200);
+  EXPECT_EQ(daemon.service().next_day(), 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Daemon, OverloadShedsIngestFirstOverHttpAndTheCounterReconciles) {
+  // The orfd blocking-mode wiring: handler routed through a Dispatcher that
+  // consults the Overload policy before touching the Api.
+  orf::Config config = daemon_config();
+  config.serve.shed_high_water = 2;
+  orf::Service service(kFeatures, config);
+  serve::Api api(service);
+  serve::Overload overload(config.serve, service.metrics_registry());
+  serve::Dispatcher dispatcher(api, nullptr, &overload);
+  serve::HttpServer server(
+      config.serve,
+      [&dispatcher](const serve::Request& request) {
+        serve::Response out;
+        dispatcher(request,
+                   [&out](serve::Response response) { out = std::move(response); });
+        return out;
+      },
+      &service.metrics_registry());
+  server.start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Quiet daemon: everything admitted.
+  EXPECT_EQ(client.request("POST", "/v1/ingest", ingest_body(0, 3)).status,
+            200);
+
+  // Pin synthetic pressure at the high-water mark: ingest sheds with a
+  // Retry-After, score and the probes keep answering.
+  overload.begin_request();
+  overload.begin_request();
+  int shed_observed = 0;
+  const ClientResponse shed =
+      client.request("POST", "/v1/ingest", ingest_body(1, 3));
+  EXPECT_EQ(shed.status, 503);
+  if (shed.status == 503) ++shed_observed;
+  EXPECT_NE(shed.body.find("shed"), std::string::npos);
+  EXPECT_NE(shed.headers.find("Retry-After: "), std::string::npos);
+  EXPECT_EQ(client
+                .request("POST", "/v1/score",
+                         "{\"rows\":[[0.1,0.2,0.3,0.4]]}")
+                .status,
+            200);
+  EXPECT_EQ(client.request("GET", "/healthz").status, 200);
+  EXPECT_EQ(client.request("GET", "/metrics").status, 200);
+
+  // Pressure releases: ingest is admitted again, and the shed counter
+  // reconciles exactly with what the client saw.
+  overload.end_request();
+  overload.end_request();
+  EXPECT_EQ(client.request("POST", "/v1/ingest", ingest_body(1, 3)).status,
+            200);
+  EXPECT_EQ(counter_value(service.metrics_snapshot(), "orf_serve_shed_total"),
+            static_cast<std::uint64_t>(shed_observed));
+  server.stop();
 }
 
 }  // namespace

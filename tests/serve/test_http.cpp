@@ -4,9 +4,15 @@
 // status mapping the connection loop answers with.
 #include "serve/http.hpp"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <string>
+
+#include "robust/failpoint.hpp"
 
 namespace {
 
@@ -157,6 +163,85 @@ TEST(HttpResponse, SerializesStatusHeadersAndBody) {
   ok.body = "x";
   EXPECT_NE(serve::serialize(ok, true).find("Connection: keep-alive"),
             std::string::npos);
+}
+
+TEST(RouteSplit, SeparatesPathFromQuery) {
+  EXPECT_EQ(serve::route_of("/healthz?ready"), "/healthz");
+  EXPECT_EQ(serve::query_of("/healthz?ready"), "ready");
+  EXPECT_EQ(serve::route_of("/healthz"), "/healthz");
+  EXPECT_EQ(serve::query_of("/healthz"), "");
+  EXPECT_EQ(serve::route_of("/v1/score?"), "/v1/score");
+  EXPECT_EQ(serve::query_of("/v1/score?"), "");
+}
+
+class SocketFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    robust::failpoints::disarm_all();
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(SocketFaults, DisarmedWrappersAreTheBareSyscalls) {
+  ASSERT_EQ(serve::faulty_send(fds_[0], "hello", 5), 5);
+  char buf[16];
+  EXPECT_EQ(serve::faulty_recv(fds_[1], buf, sizeof buf), 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+}
+
+TEST_F(SocketFaults, ShortReadCapsTheSyscallWithoutLosingBytes) {
+  ASSERT_EQ(::send(fds_[0], "abc", 3, 0), 3);
+  robust::failpoints::arm("serve.conn_read",
+                          {robust::FaultKind::kShortRead});
+  // Every read now returns at most one byte — but all bytes arrive.
+  std::string got;
+  char buf[16];
+  while (got.size() < 3) {
+    const ssize_t n = serve::faulty_recv(fds_[1], buf, sizeof buf);
+    ASSERT_EQ(n, 1);
+    got.append(buf, 1);
+  }
+  EXPECT_EQ(got, "abc");
+}
+
+TEST_F(SocketFaults, ShortWriteCapsTheSyscallWithoutLosingBytes) {
+  robust::failpoints::arm("serve.conn_write",
+                          {robust::FaultKind::kShortWrite});
+  const char* data = "xyz";
+  std::size_t off = 0;
+  while (off < 3) {
+    const ssize_t n = serve::faulty_send(fds_[0], data + off, 3 - off);
+    ASSERT_EQ(n, 1);
+    off += static_cast<std::size_t>(n);
+  }
+  char buf[16];
+  robust::failpoints::disarm_all();
+  EXPECT_EQ(serve::faulty_recv(fds_[1], buf, sizeof buf), 3);
+  EXPECT_EQ(std::string(buf, 3), "xyz");
+}
+
+TEST_F(SocketFaults, ResetAndStallInjectTheirErrnos) {
+  robust::failpoints::arm("serve.conn_read",
+                          {robust::FaultKind::kEconnReset, 0, 1});
+  char buf[16];
+  errno = 0;
+  EXPECT_EQ(serve::faulty_recv(fds_[1], buf, sizeof buf), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+
+  robust::failpoints::arm("serve.conn_write",
+                          {robust::FaultKind::kStall, 0, 1});
+  errno = 0;
+  EXPECT_EQ(serve::faulty_send(fds_[0], "x", 1), -1);
+  EXPECT_EQ(errno, EAGAIN);
+
+  // Counts exhausted: the stream carries on where it left off.
+  EXPECT_EQ(serve::faulty_send(fds_[0], "x", 1), 1);
+  EXPECT_EQ(serve::faulty_recv(fds_[1], buf, sizeof buf), 1);
 }
 
 }  // namespace

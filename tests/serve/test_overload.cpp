@@ -1,0 +1,134 @@
+// Overload policy: priority shed classes (ingest first, score at twice the
+// mark, observability never), deadline arithmetic, the Retry-After hint
+// growing with queue pressure, and the shed 503's counter + header.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "orf/config.hpp"
+#include "serve/overload.hpp"
+
+namespace {
+
+orf::ServeSection options(std::size_t high_water,
+                          long deadline_ms = 0) {
+  orf::ServeSection serve;
+  serve.shed_high_water = high_water;
+  serve.request_deadline_ms = deadline_ms;
+  serve.retry_after_seconds = 1;
+  serve.max_in_flight = 64;
+  return serve;
+}
+
+TEST(Overload, ShedsIngestFirstThenScoreNeverObservability) {
+  obs::Registry registry;
+  serve::Overload overload(options(/*high_water=*/4), registry);
+
+  // Below the mark: nothing sheds.
+  for (int i = 0; i < 3; ++i) overload.begin_request();
+  EXPECT_FALSE(overload.should_shed("/v1/ingest"));
+  EXPECT_FALSE(overload.should_shed("/v1/score"));
+
+  // At the mark: ingest sheds, score holds out.
+  overload.begin_request();
+  EXPECT_TRUE(overload.should_shed("/v1/ingest"));
+  EXPECT_FALSE(overload.should_shed("/v1/score"));
+
+  // At twice the mark: score sheds too — the probes never do.
+  for (int i = 0; i < 4; ++i) overload.begin_request();
+  EXPECT_TRUE(overload.should_shed("/v1/ingest"));
+  EXPECT_TRUE(overload.should_shed("/v1/score"));
+  EXPECT_FALSE(overload.should_shed("/healthz"));
+  EXPECT_FALSE(overload.should_shed("/metrics"));
+
+  // Pressure releases: requests completing re-admit ingest.
+  for (int i = 0; i < 5; ++i) overload.end_request();
+  EXPECT_FALSE(overload.should_shed("/v1/ingest"));
+}
+
+TEST(Overload, ZeroHighWaterDisablesShedding) {
+  obs::Registry registry;
+  serve::Overload overload(options(/*high_water=*/0), registry);
+  for (int i = 0; i < 100; ++i) overload.begin_request();
+  EXPECT_FALSE(overload.should_shed("/v1/ingest"));
+  EXPECT_FALSE(overload.should_shed("/v1/score"));
+}
+
+TEST(Overload, DeadlineExpiresOnlyPastTheConfiguredBudget) {
+  obs::Registry registry;
+  serve::Overload overload(options(4, /*deadline_ms=*/50), registry);
+  EXPECT_TRUE(overload.deadline_enabled());
+  EXPECT_FALSE(overload.expired(0.049));
+  EXPECT_TRUE(overload.expired(0.051));
+
+  serve::Overload no_deadline(options(4, 0), registry);
+  EXPECT_FALSE(no_deadline.deadline_enabled());
+  EXPECT_FALSE(no_deadline.expired(3600.0));
+}
+
+TEST(Overload, RetryAfterHintGrowsWithDepthAndQueueAge) {
+  // Pure arithmetic: floor + one second per full multiple of capacity +
+  // ceil(queue age), capped at 60.
+  EXPECT_EQ(serve::Overload::retry_after_hint(1, 0, 8, 0.0), 1);
+  // Depth pressure: each full multiple of capacity adds a second.
+  EXPECT_EQ(serve::Overload::retry_after_hint(1, 8, 8, 0.0), 2);
+  EXPECT_EQ(serve::Overload::retry_after_hint(1, 24, 8, 0.0), 4);
+  // Queue age stacks on top, rounded up.
+  EXPECT_EQ(serve::Overload::retry_after_hint(1, 24, 8, 2.3), 7);
+  // Growth is monotone in both inputs.
+  int last = 0;
+  for (std::size_t depth = 0; depth <= 64; depth += 8) {
+    const int hint = serve::Overload::retry_after_hint(1, depth, 8, 0.0);
+    EXPECT_GE(hint, last);
+    last = hint;
+  }
+  // Floor of 0 still answers at least 1 second; the cap holds.
+  EXPECT_EQ(serve::Overload::retry_after_hint(0, 0, 8, 0.0), 1);
+  EXPECT_EQ(serve::Overload::retry_after_hint(1, 100000, 8, 500.0), 60);
+}
+
+TEST(Overload, QueueAgeProbeFeedsTheLiveHint) {
+  obs::Registry registry;
+  serve::Overload overload(options(/*high_water=*/8), registry);
+  const int quiet = overload.retry_after_seconds();
+  overload.set_queue_age_probe([] { return 4.2; });
+  EXPECT_EQ(overload.retry_after_seconds(), quiet + 5);  // ceil(4.2)
+}
+
+TEST(Overload, ShedResponseCountsAndCarriesRetryAfter) {
+  obs::Registry registry;
+  serve::Overload overload(options(4), registry);
+  const serve::Response response =
+      overload.shed_response("/v1/ingest", "overload");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("shed: overload"), std::string::npos);
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].first, "Retry-After");
+  EXPECT_GE(std::stoi(response.headers[0].second), 1);
+
+  overload.shed_response("/v1/ingest", "overload");
+  overload.shed_response("/v1/score", "deadline");
+
+  std::uint64_t ingest_overload = 0;
+  std::uint64_t score_deadline = 0;
+  for (const auto& counter : registry.snapshot().counters) {
+    if (counter.id.name != "orf_serve_shed_total") continue;
+    std::string route;
+    std::string cause;
+    for (const auto& [key, value] : counter.id.labels) {
+      if (key == "route") route = value;
+      if (key == "cause") cause = value;
+    }
+    if (route == "/v1/ingest" && cause == "overload") {
+      ingest_overload = counter.value;
+    }
+    if (route == "/v1/score" && cause == "deadline") {
+      score_deadline = counter.value;
+    }
+  }
+  EXPECT_EQ(ingest_overload, 2u);
+  EXPECT_EQ(score_deadline, 1u);
+}
+
+}  // namespace
