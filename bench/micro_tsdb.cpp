@@ -1,0 +1,288 @@
+// History-store (src/tsdb) throughput and compression on a SMART-shaped
+// fleet stream: slowly-moving quantized gauges and mostly-flat counters,
+// the value behaviour the delta-of-delta + XOR codec is built for.
+//
+// Two microbenchmarks time the store's two verbs — capture (append_day +
+// flush, fresh store per iteration) and replay (a full Reader pass over a
+// prebuilt store) — in rows/second.
+//
+// After the google-benchmark run, a fixed-scale smoke capture+replay runs
+// once and appends one JSON line to BENCH_tsdb.json (override with
+// --bench-json <path>): the orf_tsdb_* registry plus throughput extras and
+// the headline `compression_ratio` — raw hexfloat text bytes (the WAL's
+// `<disk> <fate> %a...` row encoding, i.e. what persisting history through
+// the ingest log would cost) divided by the store's on-disk bytes. CI
+// uploads the file per commit and gates the ratio at >= 5:1.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "tsdb/reader.hpp"
+#include "tsdb/writer.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kFeatures = 19;
+constexpr std::size_t kDisks = 256;
+constexpr std::size_t kDays = 120;
+constexpr data::Day kFlushEvery = 30;  ///< the Service's checkpoint cadence
+
+/// Day-major value cube plus per-row fates, shaped like datagen SMART
+/// trajectories: integer error counters that mostly hold still, quantized
+/// temperature-style gauges, and steadily growing hour counters.
+struct History {
+  std::vector<float> values;        ///< [day][disk][feature]
+  std::vector<std::uint8_t> fates;  ///< [day][disk]
+
+  const float* row(std::size_t day, std::size_t disk) const {
+    return values.data() + (day * kDisks + disk) * kFeatures;
+  }
+};
+
+History make_history() {
+  util::Rng rng(42);
+  History h;
+  h.values.resize(kDays * kDisks * kFeatures);
+  h.fates.assign(kDays * kDisks, 0);
+  std::vector<float> state(kDisks * kFeatures);
+  for (auto& v : state) {
+    v = static_cast<float>(static_cast<int>(rng.uniform(0.0, 100.0)));
+  }
+  for (std::size_t day = 0; day < kDays; ++day) {
+    for (std::size_t disk = 0; disk < kDisks; ++disk) {
+      for (std::size_t f = 0; f < kFeatures; ++f) {
+        float& v = state[disk * kFeatures + f];
+        switch (f % 3) {
+          case 0:  // reallocated-sector-style counter: rare +1 steps
+            if (rng.uniform() < 0.05) v += 1.0f;
+            break;
+          case 1:  // temperature-style gauge: occasional quantized jumps
+            if (rng.uniform() < 0.2) {
+              v = static_cast<float>(static_cast<int>(rng.uniform(20.0, 60.0)));
+            }
+            break;
+          default:  // power-on-hours-style counter: steady integer growth
+            v += 24.0f;
+            break;
+        }
+        h.values[(day * kDisks + disk) * kFeatures + f] = v;
+      }
+      if (rng.uniform() < 0.0005) h.fates[day * kDisks + disk] = 1;
+    }
+  }
+  return h;
+}
+
+const History& history() {
+  static const History h = make_history();
+  return h;
+}
+
+void append_day(tsdb::Writer& writer, const History& h, std::size_t day) {
+  std::vector<tsdb::RowView> rows;
+  rows.reserve(kDisks);
+  for (std::size_t disk = 0; disk < kDisks; ++disk) {
+    rows.push_back(tsdb::RowView{
+        .disk = static_cast<data::DiskId>(disk),
+        .fate = h.fates[day * kDisks + disk],
+        .features = std::span<const float>(h.row(day, disk), kFeatures)});
+  }
+  writer.append_day(static_cast<data::Day>(day), rows);
+}
+
+/// Capture the whole history into `dir` on the flush cadence; returns the
+/// store's on-disk size (catalog + segments).
+std::uintmax_t capture(const fs::path& dir, const History& h) {
+  fs::remove_all(dir);
+  tsdb::Writer writer({.directory = dir.string(), .feature_count = kFeatures});
+  for (std::size_t day = 0; day < kDays; ++day) {
+    append_day(writer, h, day);
+    if ((day + 1) % kFlushEvery == 0) writer.flush();
+  }
+  writer.flush();
+  std::uintmax_t bytes = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    bytes += entry.file_size();
+  }
+  return bytes;
+}
+
+/// One full replay pass; returns the rows delivered.
+std::uint64_t replay(const fs::path& dir) {
+  tsdb::Reader reader(dir.string());
+  tsdb::Reader::DayBatch batch;
+  std::uint64_t rows = 0;
+  float checksum = 0.0f;
+  for (data::Day day = 0; day < reader.end_day(); ++day) {
+    reader.read_day(day, batch);
+    rows += batch.rows.size();
+    for (const tsdb::RowView& row : batch.rows) checksum += row.features[0];
+  }
+  benchmark::DoNotOptimize(checksum);
+  return rows;
+}
+
+fs::path bench_dir(const char* leaf) {
+  return fs::temp_directory_path() / "orf_micro_tsdb" / leaf;
+}
+
+/// Raw-baseline cost of one row in the ingest WAL's text encoding
+/// (`<disk> <fate> %a %a ...\n`) — the persistence format history would
+/// inherit without the columnar store.
+std::size_t hexfloat_row_bytes(data::DiskId disk, std::uint8_t fate,
+                               const float* x) {
+  char buf[64];
+  std::size_t n = static_cast<std::size_t>(std::snprintf(
+      buf, sizeof buf, "%llu %u", static_cast<unsigned long long>(disk),
+      static_cast<unsigned>(fate)));
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    n += 1 + static_cast<std::size_t>(
+                 std::snprintf(buf, sizeof buf, "%a",
+                               static_cast<double>(x[f])));
+  }
+  return n + 1;  // newline
+}
+
+/// Full capture — buffer every day, flush on the cadence — per iteration.
+void BM_TsdbCapture(benchmark::State& state) {
+  const History& h = history();
+  const fs::path dir = bench_dir("capture");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(capture(dir, h));
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kDays * kDisks));
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_TsdbCapture)->Unit(benchmark::kMillisecond);
+
+/// Full replay pass — catalog load, mmap, decode every block — per
+/// iteration, over a store captured once.
+void BM_TsdbReplay(benchmark::State& state) {
+  const fs::path dir = bench_dir("replay");
+  capture(dir, history());
+  for (auto _ : state) {
+    const std::uint64_t rows = replay(dir);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(rows));
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_TsdbReplay)->Unit(benchmark::kMillisecond);
+
+/// The machine-readable record: one timed capture and one timed replay of
+/// the fixed-scale stream, one JSON line carrying the orf_tsdb_* registry
+/// plus throughput and the compression ratio CI gates on.
+void write_bench_json(const std::string& path) {
+  const History& h = history();
+  const fs::path dir = bench_dir("smoke");
+  fs::remove_all(dir);
+
+  obs::Registry registry;
+  util::Stopwatch capture_timer;
+  std::uintmax_t store_bytes = 0;
+  {
+    tsdb::Writer writer(
+        {.directory = dir.string(), .feature_count = kFeatures});
+    writer.bind_metrics(registry);
+    for (std::size_t day = 0; day < kDays; ++day) {
+      append_day(writer, h, day);
+      if ((day + 1) % kFlushEvery == 0) writer.flush();
+    }
+    writer.flush();
+  }
+  const double capture_wall = capture_timer.seconds();
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    store_bytes += entry.file_size();
+  }
+
+  util::Stopwatch replay_timer;
+  const std::uint64_t rows = replay(dir);
+  const double replay_wall = replay_timer.seconds();
+  fs::remove_all(dir);
+
+  std::uintmax_t raw_bytes = 0;
+  for (std::size_t day = 0; day < kDays; ++day) {
+    for (std::size_t disk = 0; disk < kDisks; ++disk) {
+      raw_bytes += hexfloat_row_bytes(static_cast<data::DiskId>(disk),
+                                      h.fates[day * kDisks + disk],
+                                      h.row(day, disk));
+    }
+  }
+  const double ratio =
+      static_cast<double>(raw_bytes) / static_cast<double>(store_bytes);
+
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  os << obs::to_json(
+            registry.snapshot(),
+            {{"bench_days", static_cast<double>(kDays)},
+             {"bench_disks", static_cast<double>(kDisks)},
+             {"bench_features", static_cast<double>(kFeatures)},
+             {"bench_rows", static_cast<double>(rows)},
+             {"capture_wall_seconds", capture_wall},
+             {"capture_rows_per_second",
+              static_cast<double>(rows) / capture_wall},
+             {"replay_wall_seconds", replay_wall},
+             {"replay_rows_per_second",
+              static_cast<double>(rows) / replay_wall},
+             {"store_bytes", static_cast<double>(store_bytes)},
+             {"raw_hexfloat_bytes", static_cast<double>(raw_bytes)},
+             {"compression_ratio", ratio}})
+     << '\n';
+  std::fprintf(stderr,
+               "capture %.0f rows/s, replay %.0f rows/s, "
+               "%llu B stored vs %llu B raw hexfloat (%.1f:1)\n",
+               static_cast<double>(rows) / capture_wall,
+               static_cast<double>(rows) / replay_wall,
+               static_cast<unsigned long long>(store_bytes),
+               static_cast<unsigned long long>(raw_bytes), ratio);
+  std::fprintf(stderr, "tsdb metrics written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+// Custom main (instead of benchmark_main) so the telemetry export runs
+// after the benchmarks; --bench-json is peeled off before google-benchmark
+// sees the arguments.
+int main(int argc, char** argv) {
+  std::string bench_json = "BENCH_tsdb.json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(std::string_view("--bench-json=").size());
+      continue;
+    }
+    if (arg == "--bench-json" && i + 1 < argc) {
+      bench_json = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json(bench_json);
+  return 0;
+}

@@ -29,8 +29,15 @@
 // envelope writer (rotating). --resume restarts from the newest intact
 // snapshot — a torn or damaged file is skipped, not fatal — and replays
 // only the remaining days. See DESIGN.md §9 and §11.
+//
+// --tsdb-dir tees every streamed day into the embedded history store
+// (flushed on the checkpoint cadence and at the end of the run), and
+// --from-tsdb replays a captured history back through the engine instead
+// of generating the fleet — bit-identical to the run that captured it,
+// including byte-equal checkpoints. See DESIGN.md §15.
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,14 +53,67 @@ int run(int argc, char** argv) {
   specs.push_back({"months", "N", "simulated deployment length"});
   specs.push_back({"metrics-out", "PATH", "telemetry export file"});
   specs.push_back({"metrics-format", "jsonl|prom", "telemetry export format"});
+  specs.push_back({"from-tsdb", "",
+                   "replay the captured history (--tsdb-dir) instead of "
+                   "generating the fleet"});
   flags.enforce("fleet_monitor", specs);
 
   orf::Config config = orf::Config::from_flags(flags);
+
+  const bool from_tsdb = flags.has("from-tsdb");
+  const std::string tsdb_dir = config.tsdb.directory;
+  if (from_tsdb) {
+    if (tsdb_dir.empty()) {
+      std::fprintf(stderr, "--from-tsdb requires --tsdb-dir\n");
+      return 2;
+    }
+    // Replay reads the store; it must not re-capture into it.
+    config.tsdb.directory.clear();
+  }
 
   datagen::FleetProfile profile =
       datagen::sta_profile(flags.get_double("scale", 0.01));
   profile.duration_days = static_cast<data::Day>(
       flags.get_int("months", 18) * data::kDaysPerMonth);
+
+  if (from_tsdb) {
+    // Rebuild from history: the captured rows drive the same engine stages
+    // the live run used, so the result (scores, alarms, checkpoint bytes)
+    // is identical to the run that captured them. An unreadable store is a
+    // user/data error, not a crash — report it cleanly.
+    std::optional<tsdb::Reader> opened;
+    try {
+      opened.emplace(tsdb_dir);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "fleet_monitor: %s\n", error.what());
+      return 1;
+    }
+    tsdb::Reader& reader = *opened;
+    std::printf("replaying %s: days [%d, %d), %llu rows, %zu features\n",
+                tsdb_dir.c_str(), reader.first_day(), reader.end_day(),
+                static_cast<unsigned long long>(reader.total_rows()),
+                reader.feature_count());
+    orf::Service service(reader.feature_count(), config);
+    data::Day start_day = 0;
+    if (service.resumed()) {
+      start_day = service.next_day();
+      std::printf("resumed from %s (day %d)\n",
+                  config.robust.checkpoint_dir.c_str(), start_day);
+    }
+    util::Stopwatch timer;
+    const orf::Service::ReplayStats stats =
+        service.replay_range(reader, start_day, reader.end_day());
+    const double elapsed = timer.seconds();
+    std::printf("replayed %d days / %llu rows in %.1fs (%llu alarms)\n",
+                stats.days, static_cast<unsigned long long>(stats.rows),
+                elapsed, static_cast<unsigned long long>(stats.alarms));
+    if (!config.robust.checkpoint_dir.empty()) {
+      service.checkpoint_now();
+      std::printf("final checkpoint written to %s\n",
+                  config.robust.checkpoint_dir.c_str());
+    }
+    return 0;
+  }
 
   const data::Dataset fleet = datagen::generate_fleet(profile, config.seed);
   std::printf("monitoring %zu disks (%zu will fail) for %d months...\n",
@@ -107,10 +167,22 @@ int run(int argc, char** argv) {
     }
   }
 
+  // History tee: every streamed day (empty ones included) is mirrored into
+  // the service's store; the checkpoint cadence below flushes it.
+  eval::DayBatchCallback on_day_batch;
+  if (service.tsdb_enabled()) {
+    on_day_batch = [&service](data::Day day,
+                              std::span<const engine::DiskReport> batch) {
+      service.tsdb_append(day, batch);
+    };
+  }
+
   // Periodic checkpoints ride on the day-end callback: the service owns the
   // RecoveryManager and snapshot format, the callback just repositions the
-  // day counter first (we stream through engine(), not ingest()).
-  if (!config.robust.checkpoint_dir.empty()) {
+  // day counter first (we stream through engine(), not ingest()). With the
+  // history store on, the same cadence drives its flush (checkpoint_now
+  // commits the store even when snapshotting is off).
+  if (!config.robust.checkpoint_dir.empty() || service.tsdb_enabled()) {
     const data::Day every = config.robust.checkpoint_every;
     on_day_end = [&service, every,
                   inner = std::move(on_day_end)](data::Day day) {
@@ -128,6 +200,7 @@ int run(int argc, char** argv) {
       {.from_day = start_day,
        .to_day = profile.duration_days,
        .pool = service.pool(),
+       .on_day_batch = on_day_batch,
        .on_day_end = on_day_end});
   const double elapsed = timer.seconds();
 
@@ -214,6 +287,11 @@ int run(int argc, char** argv) {
         break;
       }
     }
+  }
+  if (service.tsdb_enabled()) {
+    service.tsdb_flush();
+    std::printf("history captured to %s (replay with --from-tsdb)\n",
+                config.tsdb.directory.c_str());
   }
   if (!config.robust.checkpoint_dir.empty()) {
     service.set_next_day(profile.duration_days);

@@ -7,7 +7,9 @@
 #      test_engine, test_core, test_util — so data races on freed memory,
 #      container misuse and UB in the shard/learn stages surface loudly,
 #      plus test_robust for the checkpoint-envelope fuzz suite
-#      (EnvelopeFuzz.*), whose whole point is hunting parser UB under ASan.
+#      (EnvelopeFuzz.*) and test_tsdb for the history-store codec fuzz
+#      suite (truncation/byte-flip/compound corruption against the Gorilla
+#      decoder) — both exist to be run under sanitizers.
 #   3. (--faults) the fault-tolerance suites under the same sanitizers:
 #      test_robust (failpoints, envelope corruption, recovery rotation) and
 #      test_integration (kill-during-save at every writer stage, dirty-
@@ -18,8 +20,10 @@
 #      build-tsan/) over the threaded suites — test_serve (the reactor's
 #      single-owner connection model, the batcher's cross-thread
 #      completions), test_engine (sharded ingest), test_obs (lock-free
-#      instruments) and test_robust (concurrent checkpoint save/load, WAL
-#      appends racing replay bookkeeping) — with
+#      instruments), test_robust (concurrent checkpoint save/load, WAL
+#      appends racing replay bookkeeping) and test_tsdb (the history
+#      store's single-writer contract under the service's pooled ingest) —
+#      with
 #      TSAN_OPTIONS=halt_on_error=1 so the first race fails the run.
 #   5. (--chaos) the chaos soak: scripts/chaos_smoke.sh against an ASan
 #      build of orfd — kill -9 and abort-at-failpoint cycles over a live
@@ -67,16 +71,17 @@ for arg in "$@"; do
 done
 
 if $tsan_only; then
-  echo "== tsan: ThreadSanitizer over serve + engine + obs + robust suites =="
+  echo "== tsan: ThreadSanitizer over serve + engine + obs + robust + tsdb =="
   cmake -B build-tsan -S . -DORF_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target test_serve test_engine test_obs test_robust
+    --target test_serve test_engine test_obs test_robust test_tsdb
   export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
   ./build-tsan/tests/test_obs
   ./build-tsan/tests/test_engine
   ./build-tsan/tests/test_serve
   ./build-tsan/tests/test_robust
+  ./build-tsan/tests/test_tsdb
   echo "CHECK OK"
   exit 0
 fi
@@ -108,19 +113,22 @@ export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 export ASAN_OPTIONS=detect_leaks=0
 
 if ! $faults_only; then
-  echo "== sanitizers: ASan+UBSan over engine + core suites =="
-  # One --target invocation with all three names: repeating the --target flag
+  echo "== sanitizers: ASan+UBSan over engine + core + tsdb suites =="
+  # One --target invocation with all the names: repeating the --target flag
   # is generator-dependent (Makefiles honour only the last one), while the
   # multi-name form is portable CMake >= 3.15 and fails the script on the
   # first broken target.
   cmake --build build-asan -j "$(nproc)" \
-    --target test_engine test_core test_util test_robust
+    --target test_engine test_core test_util test_robust test_tsdb
   ./build-asan/tests/test_util
   ./build-asan/tests/test_core
   ./build-asan/tests/test_engine
-  # The envelope fuzz suite exists to be run under sanitizers: byte-flips,
-  # truncations and random garbage against the checkpoint parsers.
+  # The fuzz suites exist to be run under sanitizers: byte-flips,
+  # truncations and random garbage against the checkpoint parsers and the
+  # history store's Gorilla-codec decoder (a bit-level reader where an
+  # overrun is exactly the kind of bug ASan turns from silent to loud).
   ./build-asan/tests/test_robust --gtest_filter='EnvelopeFuzz.*'
+  ./build-asan/tests/test_tsdb
 fi
 
 if $faults_only; then

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Local line-coverage run over the gated trees (src/core + src/engine) —
-# the same measurement the CI coverage job enforces with gcovr.
+# Local line-coverage run over the gated trees (src/core + src/engine +
+# src/tsdb) — the same measurement the CI coverage job enforces with gcovr.
 #
 #   1. configure + build build-cov/ with -DORF_COVERAGE=ON (gcov
 #      instrumentation, -O0 so lines map 1:1 to code);
@@ -36,11 +36,12 @@ if ! $report_only; then
   ctest --test-dir build-cov --output-on-failure -j "$(nproc)"
 fi
 
-echo "== line coverage: src/core + src/engine =="
+echo "== line coverage: src/core + src/engine + src/tsdb =="
 if command -v gcovr >/dev/null 2>&1; then
   mkdir -p coverage-html
   gcovr --root . \
     --filter 'src/core/.*' --filter 'src/engine/.*' \
+    --filter 'src/tsdb/.*' \
     --object-directory build-cov \
     --print-summary \
     --html-details coverage-html/index.html
@@ -71,7 +72,7 @@ with tempfile.TemporaryDirectory() as td:
             if src.startswith(root + "/"):
                 src = src[len(root) + 1:]
             src = os.path.normpath(src)
-            if not src.startswith(("src/core/", "src/engine/")):
+            if not src.startswith(("src/core/", "src/engine/", "src/tsdb/")):
                 continue
             tgt = lines.setdefault(src, {})
             for ln in f.get("lines", []):

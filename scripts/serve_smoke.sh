@@ -10,7 +10,9 @@
 # connection/request counters against the load generator's client-side
 # totals and requiring the micro-batches to average >= 256 rows. Also checks
 # the admission-control 429 path. Leaves the last /metrics exposition at
-# $SERVE_SMOKE_METRICS (default serve_metrics.prom) for CI to archive.
+# $SERVE_SMOKE_METRICS (default $BUILD_DIR/serve_metrics.prom, so the
+# artifact lands under the build tree, not the repo root) for CI to
+# archive.
 #
 # Knobs: SERVE_SMOKE_SOAK_CONNS (default 1000) and
 # SERVE_SMOKE_BATCH_AVG_MIN (default 256) scale the soak for slower boxes.
@@ -18,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build}
-METRICS_OUT=${SERVE_SMOKE_METRICS:-serve_metrics.prom}
+METRICS_OUT=${SERVE_SMOKE_METRICS:-$BUILD/serve_metrics.prom}
 if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi

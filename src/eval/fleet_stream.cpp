@@ -75,6 +75,7 @@ FleetStreamResult stream_fleet(const data::Dataset& dataset,
         ++result.total_alarms;
       }
     }
+    if (options.on_day_batch) options.on_day_batch(day, batch);
     if (on_day_end) on_day_end(day);
   }
   return result;

@@ -28,6 +28,14 @@ namespace eval {
 /// for every day in the window, including days with no reports.
 using DayEndCallback = std::function<void(data::Day)>;
 
+/// Invoked right after each day's batch has been ingested and before
+/// on_day_end — for EVERY day in the window, with an empty span on days no
+/// disk reported. The history tee (fleet_monitor --tsdb-dir) hangs here:
+/// empty days must advance the store's day high-water mark too, so a
+/// replayed window walks exactly the days the live run walked.
+using DayBatchCallback =
+    std::function<void(data::Day, std::span<const engine::DiskReport>)>;
+
 struct FleetStreamResult {
   struct DiskOutcome {
     bool failed = false;
@@ -65,6 +73,7 @@ struct StreamOptions {
   data::Day from_day = 0;
   data::Day to_day = kStreamToEnd;  ///< exclusive; clamped to the dataset
   util::ThreadPool* pool = nullptr;
+  DayBatchCallback on_day_batch = {};
   DayEndCallback on_day_end = {};
 };
 

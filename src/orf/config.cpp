@@ -95,6 +95,10 @@ constexpr std::array kFlagSpecs = {
     util::FlagSpec{"wal", "BOOL",
                    "crash-durable ingest WAL under the checkpoint dir"},
     util::FlagSpec{"wal-sync", "always|batch|off", "WAL fsync policy"},
+    util::FlagSpec{"tsdb-dir", "DIR",
+                   "append-only SMART history store (empty = off)"},
+    util::FlagSpec{"tsdb-segment-bytes", "N",
+                   "history segment rotation threshold"},
     util::FlagSpec{"bind", "ADDR", "daemon bind address"},
     util::FlagSpec{"port", "N", "daemon TCP port (0 = ephemeral)"},
     util::FlagSpec{"serve-mode", "reactor|blocking", "daemon serving model"},
@@ -154,6 +158,16 @@ void Config::validate() const {
       robust.wal_sync != "off") {
     fail("robust.wal_sync must be always|batch|off, got '" + robust.wal_sync +
          "'");
+  }
+  if (!tsdb.directory.empty()) {
+    if (tsdb.segment_max_bytes == 0) {
+      fail("tsdb.segment_max_bytes must be positive");
+    }
+    // The history flush rides the checkpoint cadence even without a
+    // checkpoint directory, so the cadence must be meaningful.
+    if (robust.checkpoint_every <= 0) {
+      fail("robust.checkpoint_every must be a positive day count");
+    }
   }
   if (serve.port < 0 || serve.port > 65535) {
     fail("serve.port must lie in [0, 65535]");
@@ -243,6 +257,11 @@ Config Config::from_flags(const util::Flags& flags) {
   config.robust.resume = source.get_bool("resume", false);
   config.robust.wal = source.get_bool("wal", config.robust.wal);
   config.robust.wal_sync = source.get("wal-sync", config.robust.wal_sync);
+
+  config.tsdb.directory = source.get("tsdb-dir", "");
+  config.tsdb.segment_max_bytes = static_cast<std::size_t>(source.get_int(
+      "tsdb-segment-bytes",
+      static_cast<std::int64_t>(config.tsdb.segment_max_bytes)));
 
   config.serve.bind_address = source.get("bind", config.serve.bind_address);
   config.serve.port =

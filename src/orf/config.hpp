@@ -94,6 +94,16 @@ struct RobustSection {
   std::string wal_sync = "batch";
 };
 
+/// Embedded SMART history store (see tsdb::Writer / tsdb::Reader and
+/// DESIGN.md §15): every acked ingest day is teed into an append-only,
+/// Gorilla-compressed per-disk store that replays bit-identically.
+struct TsdbSection {
+  /// Store directory; empty = history capture off.
+  std::string directory;
+  /// Segment rotation threshold, bytes.
+  std::size_t segment_max_bytes = 4u << 20;
+};
+
 /// HTTP daemon section (see serve::ReactorServer / serve::HttpServer / orfd).
 struct ServeSection {
   std::string bind_address = "127.0.0.1";
@@ -143,6 +153,7 @@ struct Config {
   MondrianSection mondrian;
   QueueSection queue;
   RobustSection robust;
+  TsdbSection tsdb;
   ServeSection serve;
   /// Seed of the whole pipeline (forest RNG streams).
   std::uint64_t seed = 42;

@@ -31,6 +31,10 @@
 #include "engine/counters.hpp"  // IWYU pragma: export
 #include "obs/export.hpp"       // IWYU pragma: export
 
+// Embedded SMART history store: capture on ingest, bit-identical replay.
+#include "tsdb/reader.hpp"  // IWYU pragma: export
+#include "tsdb/writer.hpp"  // IWYU pragma: export
+
 // CLI and runtime utilities shared by every binary.
 #include "util/flags.hpp"        // IWYU pragma: export
 #include "util/rng.hpp"          // IWYU pragma: export

@@ -133,6 +133,13 @@ Service::Service(std::size_t feature_count, const Config& config)
         resumed_ = true;
       }
     }
+    health_.set("checkpoint", robust::HealthState::kOk);
+  }
+  // The history store opens after the snapshot restore and before the WAL
+  // replay: replayed batches are re-teed, and the store's own day-keyed
+  // high-water mark drops the days it already committed.
+  if (!config_.tsdb.directory.empty()) open_tsdb_locked();
+  if (!config_.robust.checkpoint_dir.empty()) {
     if (config_.robust.wal) {
       wal_ = std::make_unique<robust::IngestWal>(robust::IngestWal::Options{
           .directory = (std::filesystem::path(config_.robust.checkpoint_dir) /
@@ -147,7 +154,6 @@ Service::Service(std::size_t feature_count, const Config& config)
       health_.set("wal", robust::HealthState::kOk);
       if (config_.robust.resume) replay_wal_locked();
     }
-    health_.set("checkpoint", robust::HealthState::kOk);
   }
   health_.bind_metrics(metrics_registry());
   // From here on the backend's scoring caches are quiesced at the tail of
@@ -178,6 +184,10 @@ void Service::replay_wal_locked() {
           return;
         }
         next_day_ = batch.day + 1;
+        // Re-tee into the history store: days its catalog already covers
+        // bounce off the high-water mark, days lost with the crashed
+        // buffer are re-captured. Double replay is therefore idempotent.
+        tee_tsdb_locked(batch.day, batch.reports);
         ++wal_replayed_records_;
         if (wal_replayed_rows_ != nullptr) {
           wal_replayed_rows_->inc(batch.reports.size());
@@ -245,6 +255,10 @@ IngestStats Service::ingest(std::span<const engine::DiskReport> batch,
   engine_.ingest_day(batch, outcomes, pool_.get());
   engine_.backend().quiesce();
   if (wal_) wal_applied_ = sequence;
+  // History tee, strictly after the WAL ack and engine apply: the store
+  // only ever captures days the engine processed, and a capture failure
+  // can only pause history (health "tsdb"), never the ingest itself.
+  tee_tsdb_locked(next_day_, batch);
 
   IngestStats stats;
   stats.day = next_day_++;
@@ -254,28 +268,41 @@ IngestStats Service::ingest(std::span<const engine::DiskReport> batch,
   for (const engine::DayOutcome& outcome : outcomes) {
     if (!outcome.rejected) ++stats.accepted;
   }
-  if (recovery_ &&
+  if ((recovery_ || tsdb_) &&
       ++days_since_checkpoint_ >= config_.robust.checkpoint_every) {
     days_since_checkpoint_ = 0;
-    try {
-      stats.checkpoint_path = checkpoint_locked();
-    } catch (const std::exception& e) {
-      // The batch itself is acked and WAL-durable; only the snapshot
-      // cadence failed. Degrade instead of failing the request.
-      enter_degraded_locked("checkpoint", e.what());
+    // The history flush rides the same cadence, and runs first: the
+    // snapshot's WAL rotation discards records whose days the store may
+    // still hold only in its buffer.
+    flush_tsdb_locked();
+    if (recovery_) {
+      try {
+        stats.checkpoint_path = checkpoint_locked();
+      } catch (const std::exception& e) {
+        // The batch itself is acked and WAL-durable; only the snapshot
+        // cadence failed. Degrade instead of failing the request.
+        enter_degraded_locked("checkpoint", e.what());
+      }
     }
   }
   return stats;
 }
 
 std::string Service::checkpoint_now() {
-  if (!recovery_) return {};
   std::unique_lock lock(mutex_);
   days_since_checkpoint_ = 0;
+  if (!recovery_) {
+    // No snapshotting configured; the explicit checkpoint still commits
+    // the history store (the drivers' cadence hook relies on this).
+    flush_tsdb_locked();
+    return {};
+  }
   return checkpoint_locked();
 }
 
 std::string Service::checkpoint_locked() {
+  // History first (no-op when clean): see the cadence comment in ingest().
+  flush_tsdb_locked();
   const std::string path = recovery_->save({state_payload()});
   // Everything the snapshot covers is now redundant in the WAL.
   if (wal_) wal_->rotate(wal_applied_);
@@ -314,12 +341,126 @@ void Service::try_recover_locked() {
   degraded_cause_.clear();
 }
 
+void Service::open_tsdb_locked() {
+  try {
+    auto writer = std::make_unique<tsdb::Writer>(tsdb::Writer::Options{
+        .directory = config_.tsdb.directory,
+        .feature_count = engine_.feature_count(),
+        .segment_max_bytes = config_.tsdb.segment_max_bytes});
+    writer->bind_metrics(metrics_registry());
+    tsdb_ = std::move(writer);
+    tsdb_failed_ = false;
+    health_.set("tsdb", robust::HealthState::kOk);
+  } catch (const std::exception& e) {
+    // Capture is subordinate to serving: a failed open (device down,
+    // damaged catalog) publishes on the health ladder and the readiness
+    // probe retries the open in place — ingest is never refused over it.
+    tsdb_failed_ = true;
+    health_.set("tsdb", robust::HealthState::kFailed, e.what());
+  }
+}
+
+void Service::tee_tsdb_locked(data::Day day,
+                              std::span<const engine::DiskReport> batch) {
+  if (!tsdb_) return;
+  try {
+    std::vector<tsdb::RowView> rows;
+    rows.reserve(batch.size());
+    for (const engine::DiskReport& report : batch) {
+      rows.push_back(tsdb::RowView{
+          .disk = report.disk,
+          .fate = static_cast<std::uint8_t>(report.fate),
+          .features = report.features});
+    }
+    tsdb_->append_day(day, rows);
+  } catch (const std::exception& e) {
+    tsdb_failed_ = true;
+    health_.set("tsdb", robust::HealthState::kFailed, e.what());
+  }
+}
+
+void Service::flush_tsdb_locked() {
+  if (!tsdb_) return;
+  try {
+    tsdb_->flush();
+    if (tsdb_failed_) {
+      tsdb_failed_ = false;
+      health_.set("tsdb", robust::HealthState::kOk);
+    }
+  } catch (const std::exception& e) {
+    // Buffered days stay buffered (a later flush retries) and remain
+    // WAL-replayable; only capture freshness degrades, never ingest.
+    tsdb_failed_ = true;
+    health_.set("tsdb", robust::HealthState::kFailed, e.what());
+  }
+}
+
+void Service::try_recover_tsdb_locked() {
+  if (!tsdb_failed_) return;
+  if (!tsdb_) {
+    open_tsdb_locked();
+    if (!tsdb_) return;
+  }
+  flush_tsdb_locked();  // the probe: runs the full append+commit path
+}
+
+void Service::tsdb_append(data::Day day,
+                          std::span<const engine::DiskReport> batch) {
+  std::unique_lock lock(mutex_);
+  tee_tsdb_locked(day, batch);
+}
+
+void Service::tsdb_flush() {
+  std::unique_lock lock(mutex_);
+  if (!tsdb_) return;
+  tsdb_->flush();  // propagate: the explicit flush caller wants the error
+  if (tsdb_failed_) {
+    tsdb_failed_ = false;
+    health_.set("tsdb", robust::HealthState::kOk);
+  }
+}
+
+Service::ReplayStats Service::replay_range(tsdb::Reader& reader,
+                                           data::Day from_day,
+                                           data::Day to_day) {
+  std::unique_lock lock(mutex_);
+  ReplayStats stats;
+  tsdb::Reader::DayBatch day_batch;
+  std::vector<engine::DiskReport> reports;
+  std::vector<engine::DayOutcome> outcomes;
+  for (data::Day day = from_day; day < to_day; ++day) {
+    reader.read_day(day, day_batch);
+    reports.clear();
+    for (const tsdb::RowView& row : day_batch.rows) {
+      reports.push_back(engine::DiskReport{
+          .disk = row.disk,
+          .features = row.features,
+          .fate = static_cast<engine::DiskFate>(row.fate)});
+    }
+    // Empty days skip the engine exactly like the live streaming drivers
+    // do, but still advance the day counter — that is what makes the final
+    // checkpoint byte-equal to the live run's.
+    if (!reports.empty()) {
+      engine_.ingest_day(reports, outcomes, pool_.get());
+      stats.rows += reports.size();
+      for (const engine::DayOutcome& outcome : outcomes) {
+        if (outcome.alarm && !outcome.rejected) ++stats.alarms;
+      }
+    }
+    next_day_ = day + 1;
+    ++stats.days;
+  }
+  engine_.backend().quiesce();
+  return stats;
+}
+
 Service::Readiness Service::readiness() {
   if (!health_.ready()) {
     // Degraded: one in-place recovery attempt per probe, so clearing the
     // underlying fault restores readiness without a restart.
     std::unique_lock lock(mutex_);
     try_recover_locked();
+    try_recover_tsdb_locked();
   }
   const auto overall = health_.overall();
   Readiness out;

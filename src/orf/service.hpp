@@ -33,6 +33,19 @@
 // untouched) instead of crashing, publishes the cause through its
 // robust::HealthRegistry, and recovers in place once the device heals
 // (probed on the next ingest or readiness check).
+//
+// History capture (DESIGN.md §15): with tsdb.directory configured, every acked
+// ingest day is also teed into an embedded tsdb::Writer (after the WAL ack
+// and engine apply), and flushed on the checkpoint cadence just before the
+// WAL rotates — so the store never commits a day the WAL could still need
+// to replay, and a crash loses only buffered days the WAL re-tees on
+// resume (the writer's day-keyed high-water mark deduplicates). A history
+// device failure publishes "tsdb" on the health ladder (readiness probes
+// retry in place) but never blocks or un-acks ingest: capture is strictly
+// subordinate to serving. replay_range() drives the engine from a
+// tsdb::Reader through the same ingest stages, bit-identically to the live
+// run that captured the history (same scores, same alarms, byte-equal
+// checkpoints) — the differential suite proves it.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +61,8 @@
 #include "robust/health.hpp"
 #include "robust/recovery.hpp"
 #include "robust/wal.hpp"
+#include "tsdb/reader.hpp"
+#include "tsdb/writer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace orf {
@@ -160,6 +175,37 @@ class Service {
   /// WAL records replayed by the constructor's --resume (tests/ops).
   std::uint64_t wal_replayed_records() const { return wal_replayed_records_; }
 
+  /// Whether the history store is attached (configured and opened).
+  bool tsdb_enabled() const { return tsdb_ != nullptr; }
+
+  /// Tee one day batch into the history store (exclusive). For drivers that
+  /// stream through engine() directly — fleet_monitor — mirroring the tee
+  /// ingest() performs. Days at or below the store's high-water mark are
+  /// skipped (replay idempotence); a store failure degrades the "tsdb"
+  /// health component and is otherwise swallowed, like the ingest tee.
+  void tsdb_append(data::Day day, std::span<const engine::DiskReport> batch);
+
+  /// Flush the history store now (exclusive), propagating failures to the
+  /// caller — the drivers' end-of-run flush wants the error, not the health
+  /// ladder. No-op when the store is off or clean.
+  void tsdb_flush();
+
+  /// What replay_range() drove through the engine.
+  struct ReplayStats {
+    data::Day days = 0;        ///< day batches ingested (incl. empty days)
+    std::uint64_t rows = 0;    ///< reports ingested
+    std::uint64_t alarms = 0;  ///< alarm verdicts among them
+  };
+
+  /// Re-ingest [from_day, to_day) from a history store through the normal
+  /// engine stages (exclusive; empty days advance the day counter exactly
+  /// like the live run did). The rebuild path: no WAL append, no tee, no
+  /// checkpoint cadence — callers snapshot explicitly afterwards. With
+  /// `from_day == next_day()` on the same history the live service saw,
+  /// the resulting state is bit-identical to the live run's.
+  ReplayStats replay_range(tsdb::Reader& reader, data::Day from_day,
+                           data::Day to_day);
+
  private:
   std::string state_payload() const;
   void restore_payload(const std::string& payload);
@@ -168,12 +214,21 @@ class Service {
   void enter_degraded_locked(const std::string& component,
                              const std::string& cause);
   void try_recover_locked();
+  void open_tsdb_locked();
+  void tee_tsdb_locked(data::Day day,
+                       std::span<const engine::DiskReport> batch);
+  void flush_tsdb_locked();
+  void try_recover_tsdb_locked();
 
   Config config_;
   engine::FleetEngine engine_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<robust::RecoveryManager> recovery_;
   std::unique_ptr<robust::IngestWal> wal_;
+  std::unique_ptr<tsdb::Writer> tsdb_;
+  /// History device down ("tsdb" failed on the health ladder). Never sets
+  /// degraded_: ingest keeps flowing, only capture is paused.
+  bool tsdb_failed_ = false;
   robust::HealthRegistry health_;
 
   /// Newest WAL sequence whose batch reached the engine — in-memory

@@ -1,0 +1,98 @@
+// orf-tsdb — embedded per-disk SMART history store: on-disk format.
+//
+// The store is a directory of append-only segment files plus one catalog:
+//
+//   tsdb-<id>.seg
+//     orf-tsdb-seg v1 <id>\n                        (segment header)
+//     blk <payload_bytes> <crc32_hex>\n<payload>    (repeated, CRC-framed)
+//
+//   catalog.tsdb      robust envelope ("orf-ckpt v1 ...") whose payload is
+//     orf-tsdb-catalog v1
+//     features <F>
+//     first_day <D>
+//     next_day <N>
+//     blocks <count>
+//     block <disk> <segment> <offset> <bytes> <first_day> <last_day> <rows>
+//
+// A block holds one disk's contiguous run of daily rows, delta-of-delta
+// timestamped and XOR-compressed (codec.hpp). The frame CRC covers the
+// whole payload — which embeds disk/first_day/rows itself, so a flipped
+// byte anywhere in the frame surfaces as CorruptSegment, never as a
+// plausible row for the wrong disk or day.
+//
+// Durability follows the WAL/checkpoint discipline: blocks are appended and
+// fsynced *before* the catalog is atomically replaced (temp → fsync →
+// rename → fsync dir, via robust::write_envelope_file). The catalog is the
+// commit point — bytes past the last cataloged block are invisible crash
+// debris, so a torn segment tail can never deliver partial rows. Corruption
+// *inside* a cataloged block (bit rot) fails its CRC and stops the reader
+// with a typed CorruptSegment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/types.hpp"
+#include "robust/errors.hpp"
+
+namespace tsdb {
+
+/// A segment block (or the catalog) failed validation: wrong magic, CRC
+/// mismatch, truncated frame, or a decoded block disagreeing with its
+/// catalog entry. Derives from CorruptCheckpoint so callers that already
+/// treat "damaged durable state" uniformly keep working.
+class CorruptSegment : public robust::CorruptCheckpoint {
+ public:
+  using robust::CorruptCheckpoint::CorruptCheckpoint;
+};
+
+inline constexpr std::string_view kSegmentMagic = "orf-tsdb-seg v1 ";
+inline constexpr std::string_view kBlockMagic = "blk ";
+inline constexpr std::string_view kCatalogMagic = "orf-tsdb-catalog v1";
+inline constexpr std::string_view kCatalogFile = "catalog.tsdb";
+
+/// One SMART row as the store sees it: the disk, that day's fate tag
+/// (engine::DiskFate's integer values) and the raw feature vector. Spans
+/// point into caller- (or DayBatch-) owned storage.
+struct RowView {
+  data::DiskId disk = 0;
+  std::uint8_t fate = 0;
+  std::span<const float> features;
+};
+
+/// Catalog entry: where one disk's block lives and what it covers.
+struct BlockRef {
+  data::DiskId disk = 0;
+  std::uint32_t segment_id = 0;
+  std::uint64_t offset = 0;  ///< frame start within the segment file
+  std::uint64_t bytes = 0;   ///< whole frame length (header line + payload)
+  data::Day first_day = 0;
+  data::Day last_day = 0;
+  std::uint32_t rows = 0;
+};
+
+/// The parsed catalog: the store's committed extent. `next_day` is the
+/// day-keyed high-water mark (first day the next append may carry) and the
+/// idempotence guard for re-teed WAL replays; `first_day` is the first day
+/// ever appended (empty days included), so replay windows match live runs.
+struct Catalog {
+  std::size_t feature_count = 0;
+  data::Day first_day = 0;
+  data::Day next_day = 0;
+  std::vector<BlockRef> blocks;  ///< ascending (disk, first_day)
+};
+
+/// Serialize to the catalog payload text (the robust envelope is added by
+/// the writer).
+std::string serialize_catalog(const Catalog& catalog);
+
+/// Parse a catalog payload; throws CorruptSegment on any malformation.
+Catalog parse_catalog(std::string_view payload);
+
+/// "tsdb-<id>.seg".
+std::string segment_name(std::uint32_t id);
+
+}  // namespace tsdb

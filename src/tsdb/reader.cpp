@@ -1,0 +1,156 @@
+#include "tsdb/reader.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "robust/checkpoint_io.hpp"
+
+namespace tsdb {
+
+namespace fs = std::filesystem;
+
+Reader::Reader(const std::string& directory) : directory_(directory) {
+  const std::string path = (fs::path(directory_) / kCatalogFile).string();
+  if (!fs::exists(path)) {
+    throw std::runtime_error("tsdb: no catalog in " + directory_);
+  }
+  try {
+    catalog_ = parse_catalog(robust::read_envelope_file(path));
+  } catch (const CorruptSegment&) {
+    throw;
+  } catch (const robust::CorruptCheckpoint& e) {
+    throw CorruptSegment(std::string("tsdb catalog: ") + e.what());
+  }
+  for (const BlockRef& block : catalog_.blocks) {
+    by_disk_[block.disk].push_back(&block);
+    total_rows_ += block.rows;
+  }
+  for (auto& [disk, refs] : by_disk_) {
+    std::sort(refs.begin(), refs.end(),
+              [](const BlockRef* a, const BlockRef* b) {
+                return a->first_day < b->first_day;
+              });
+  }
+}
+
+Reader::~Reader() {
+  for (auto& [id, segment] : segments_) {
+    if (segment.data != nullptr) {
+      ::munmap(const_cast<char*>(segment.data), segment.size);
+    }
+  }
+}
+
+const Reader::MappedSegment& Reader::map_segment(std::uint32_t id) {
+  const auto found = segments_.find(id);
+  if (found != segments_.end()) return found->second;
+
+  const std::string path =
+      (fs::path(directory_) / segment_name(id)).string();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw CorruptSegment("tsdb: cataloged segment missing: " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("tsdb: fstat " + path + ": " +
+                             std::strerror(err));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kSegmentMagic.size()) {
+    ::close(fd);
+    throw CorruptSegment("tsdb: segment truncated below its header: " + path);
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    throw std::runtime_error("tsdb: mmap " + path + ": " +
+                             std::strerror(errno));
+  }
+  MappedSegment segment{static_cast<const char*>(data), size};
+  if (std::string_view(segment.data, kSegmentMagic.size()) != kSegmentMagic) {
+    ::munmap(data, size);
+    throw CorruptSegment("tsdb: bad segment magic: " + path);
+  }
+  return segments_.emplace(id, segment).first->second;
+}
+
+const Series& Reader::load_block(const BlockRef& ref, CachedBlock& cache) {
+  if (cache.ref == &ref) return cache.series;
+  const MappedSegment& segment = map_segment(ref.segment_id);
+  if (ref.offset > segment.size || ref.bytes > segment.size - ref.offset) {
+    throw CorruptSegment("tsdb: cataloged block past the end of segment " +
+                         segment_name(ref.segment_id));
+  }
+  Series series = decode_block(
+      std::string_view(segment.data + ref.offset, ref.bytes),
+      catalog_.feature_count);
+  // The frame carries its own identity inside the CRC; it must agree with
+  // the catalog entry that pointed here, or one of the two is damaged.
+  if (series.disk != ref.disk || series.days.size() != ref.rows ||
+      series.days.front() != ref.first_day ||
+      series.days.back() != ref.last_day) {
+    throw CorruptSegment("tsdb: block disagrees with its catalog entry");
+  }
+  cache.ref = &ref;
+  cache.series = std::move(series);
+  return cache.series;
+}
+
+void Reader::read_day(data::Day day, DayBatch& out) {
+  out.day = day;
+  out.rows.clear();
+  out.storage.clear();
+
+  const std::size_t features = catalog_.feature_count;
+  // Pass 1: locate each disk's rows for `day`; pass 2 copies into storage
+  // sized up front so the RowView spans never dangle on reallocation.
+  struct Hit {
+    data::DiskId disk = 0;
+    const Series* series = nullptr;
+    std::size_t row = 0;
+  };
+  std::vector<Hit> hits;
+  for (auto& [disk, refs] : by_disk_) {
+    // Last block starting at or before `day` (block day ranges are
+    // disjoint and ascending per disk).
+    auto it = std::upper_bound(refs.begin(), refs.end(), day,
+                               [](data::Day d, const BlockRef* ref) {
+                                 return d < ref->first_day;
+                               });
+    if (it == refs.begin()) continue;
+    const BlockRef& ref = **(it - 1);
+    if (day > ref.last_day) continue;
+    const Series& series = load_block(ref, decoded_[disk]);
+    const auto [lo, hi] =
+        std::equal_range(series.days.begin(), series.days.end(), day);
+    for (auto at = lo; at != hi; ++at) {
+      hits.push_back(Hit{disk, &series,
+                         static_cast<std::size_t>(at - series.days.begin())});
+    }
+  }
+
+  out.storage.reserve(hits.size() * features);
+  out.rows.reserve(hits.size());
+  for (const Hit& hit : hits) {
+    const float* row = hit.series->values.data() + hit.row * features;
+    const std::size_t at = out.storage.size();
+    out.storage.insert(out.storage.end(), row, row + features);
+    out.rows.push_back(RowView{
+        .disk = hit.disk,
+        .fate = hit.series->fates[hit.row],
+        .features = std::span<const float>(out.storage.data() + at, features)});
+  }
+}
+
+}  // namespace tsdb

@@ -1,0 +1,87 @@
+// tsdb::Reader — the replay side of the history store.
+//
+// Opens the committed extent of a store (the catalog loaded once, segment
+// files mmap'd lazily) and yields day-batches in canonical ascending-DiskId
+// order — the same order eval::stream_fleet builds live batches in, which
+// is what makes replay-from-tsdb bit-identical to live ingest: the engine's
+// state evolution depends only on the within-day batch order, and both
+// paths use the same one.
+//
+// The reader is a point-in-time view: frames appended after the catalog it
+// loaded are invisible (they belong to a later commit). Damage inside a
+// cataloged block — CRC break, block/catalog disagreement, frame past the
+// mapped file — throws CorruptSegment before a single row of that block is
+// delivered; there is no partial-row mode, matching the WAL's torn-tail
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tsdb/codec.hpp"
+#include "tsdb/format.hpp"
+
+namespace tsdb {
+
+class Reader {
+ public:
+  /// Loads and validates the catalog. Throws std::runtime_error when the
+  /// store (or its catalog) does not exist, CorruptSegment when it does but
+  /// is damaged.
+  explicit Reader(const std::string& directory);
+  ~Reader();
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  std::size_t feature_count() const { return catalog_.feature_count; }
+  /// First day ever appended (empty days included).
+  data::Day first_day() const { return catalog_.first_day; }
+  /// One past the last appended day: replaying [first_day, end_day) covers
+  /// exactly what the live run ingested, trailing empty days included.
+  data::Day end_day() const { return catalog_.next_day; }
+  std::uint64_t total_rows() const { return total_rows_; }
+
+  /// One replayed day: rows in ascending DiskId order, feature spans
+  /// pointing into `storage`.
+  struct DayBatch {
+    data::Day day = 0;
+    std::vector<RowView> rows;
+    std::vector<float> storage;
+  };
+
+  /// Collect every row recorded for `day` (possibly none). Throws
+  /// CorruptSegment on any damage along the way; `out` is then unspecified
+  /// but safe to reuse.
+  void read_day(data::Day day, DayBatch& out);
+
+ private:
+  struct MappedSegment {
+    const char* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  /// One decoded block kept per disk — replay walks days forward, so each
+  /// block is decoded exactly once per pass.
+  struct CachedBlock {
+    const BlockRef* ref = nullptr;
+    Series series;
+  };
+
+  const MappedSegment& map_segment(std::uint32_t id);
+  const Series& load_block(const BlockRef& ref, CachedBlock& cache);
+
+  std::string directory_;
+  Catalog catalog_;
+  std::uint64_t total_rows_ = 0;
+  /// Per-disk catalog entries, ascending first_day (disjoint day ranges:
+  /// one day's rows never straddle two blocks).
+  std::map<data::DiskId, std::vector<const BlockRef*>> by_disk_;
+  std::unordered_map<std::uint32_t, MappedSegment> segments_;
+  std::unordered_map<data::DiskId, CachedBlock> decoded_;
+};
+
+}  // namespace tsdb

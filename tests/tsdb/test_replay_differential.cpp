@@ -1,0 +1,187 @@
+// Differential replay: a datagen fleet streamed live (with the history tee
+// exactly as fleet_monitor --tsdb-dir runs it) against the same window
+// replayed from the captured store (--from-tsdb's path). The two must agree
+// bit-for-bit — byte-equal serialized service state, identical (disk, day)
+// alarm sets — across shard counts (the engine's determinism contract) and
+// across a mid-stream checkpoint/restore split of the replay itself.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/fleet_generator.hpp"
+#include "datagen/profile.hpp"
+#include "engine/batch.hpp"
+#include "eval/fleet_stream.hpp"
+#include "orf/service.hpp"
+#include "tsdb/reader.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using AlarmSet = std::set<std::pair<data::DiskId, data::Day>>;
+
+orf::Config engine_config(std::size_t shards) {
+  orf::Config config;
+  config.forest.n_trees = 5;
+  config.forest.tree.n_tests = 16;
+  config.engine.shards = shards;
+  return config;
+}
+
+std::string state_of(const orf::Service& service) {
+  std::ostringstream os;
+  service.save(os);
+  return os.str();
+}
+
+class ReplayDifferential : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("orf_tsdb_diff_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name()));
+    fs::remove_all(dir_);
+
+    datagen::FleetProfile profile = datagen::sta_profile(0.002);
+    profile.duration_days = 150;
+    fleet_ = datagen::generate_fleet(profile, 7);
+    duration_ = profile.duration_days;
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string tsdb_dir() const { return (dir_ / "tsdb").string(); }
+
+  /// The live leg, wired exactly like fleet_monitor --tsdb-dir: stream the
+  /// fleet through the engine with the day-batch tee, flush at the end,
+  /// position the day counter at the window end. Returns the serialized
+  /// state; fills `alarms` with every (disk, day) alarm.
+  std::string run_live(std::size_t shards, AlarmSet& alarms) {
+    orf::Config config = engine_config(shards);
+    config.tsdb.directory = tsdb_dir();
+    orf::Service service(fleet_.feature_count(), config);
+    const eval::FleetStreamResult result = eval::stream_fleet(
+        fleet_, service.engine(),
+        {.to_day = duration_,
+         .on_day_batch =
+             [&service](data::Day day,
+                        std::span<const engine::DiskReport> batch) {
+               service.tsdb_append(day, batch);
+             }});
+    service.tsdb_flush();
+    service.set_next_day(duration_);
+    alarms.clear();
+    for (std::size_t i = 0; i < result.disks.size(); ++i) {
+      for (const data::Day day : result.disks[i].alarm_days) {
+        alarms.emplace(fleet_.disks[i].id, day);
+      }
+    }
+    return state_of(service);
+  }
+
+  /// The replay leg: drive a fresh service from the captured store over
+  /// [from, to), collecting (disk, day) alarms from the engine's verdicts.
+  std::string run_replay(std::size_t shards, AlarmSet& alarms) {
+    tsdb::Reader reader(tsdb_dir());
+    orf::Service service(fleet_.feature_count(), engine_config(shards));
+    engine::FleetEngine& engine = service.engine();
+    tsdb::Reader::DayBatch day_batch;
+    std::vector<engine::DiskReport> reports;
+    std::vector<engine::DayOutcome> outcomes;
+    alarms.clear();
+    for (data::Day day = 0; day < reader.end_day(); ++day) {
+      reader.read_day(day, day_batch);
+      if (day_batch.rows.empty()) continue;
+      reports.clear();
+      for (const tsdb::RowView& row : day_batch.rows) {
+        reports.push_back(engine::DiskReport{
+            .disk = row.disk,
+            .features = row.features,
+            .fate = static_cast<engine::DiskFate>(row.fate)});
+      }
+      engine.ingest_day(reports, outcomes, service.pool());
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].alarm && !outcomes[i].rejected) {
+          alarms.emplace(reports[i].disk, day);
+        }
+      }
+    }
+    service.set_next_day(reader.end_day());
+    return state_of(service);
+  }
+
+  fs::path dir_;
+  data::Dataset fleet_;
+  data::Day duration_ = 0;
+};
+
+TEST_F(ReplayDifferential, ReplayMatchesLiveAcrossShardCounts) {
+  AlarmSet live_alarms;
+  const std::string live_state = run_live(/*shards=*/2, live_alarms);
+  EXPECT_GT(live_alarms.size(), 0u) << "fleet too quiet to differentiate";
+
+  {
+    tsdb::Reader reader(tsdb_dir());
+    EXPECT_EQ(reader.end_day(), duration_)
+        << "empty trailing days must advance the captured high-water mark";
+  }
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    AlarmSet replay_alarms;
+    const std::string replay_state = run_replay(shards, replay_alarms);
+    EXPECT_EQ(replay_state, live_state);  // byte-equal serialized service
+    EXPECT_EQ(replay_alarms, live_alarms);
+  }
+}
+
+TEST_F(ReplayDifferential, ReplayRangeMatchesTheManualReplayLoop) {
+  AlarmSet live_alarms;
+  const std::string live_state = run_live(/*shards=*/2, live_alarms);
+
+  tsdb::Reader reader(tsdb_dir());
+  orf::Service service(fleet_.feature_count(), engine_config(2));
+  const orf::Service::ReplayStats stats =
+      service.replay_range(reader, 0, reader.end_day());
+  EXPECT_EQ(stats.days, duration_);
+  EXPECT_EQ(stats.alarms, live_alarms.size());
+  EXPECT_EQ(state_of(service), live_state);
+}
+
+TEST_F(ReplayDifferential, MidStreamCheckpointRestoreSplitsTheReplay) {
+  AlarmSet live_alarms;
+  const std::string live_state = run_live(/*shards=*/2, live_alarms);
+
+  const std::string ckpt_dir = (dir_ / "ckpt").string();
+  const data::Day mid = duration_ / 2;
+  {
+    tsdb::Reader reader(tsdb_dir());
+    orf::Config config = engine_config(1);
+    config.robust.checkpoint_dir = ckpt_dir;
+    config.robust.wal = false;
+    orf::Service first_half(fleet_.feature_count(), config);
+    first_half.replay_range(reader, 0, mid);
+    first_half.checkpoint_now();
+  }
+  tsdb::Reader reader(tsdb_dir());
+  orf::Config config = engine_config(3);  // restore re-shards too
+  config.robust.checkpoint_dir = ckpt_dir;
+  config.robust.wal = false;
+  config.robust.resume = true;
+  orf::Service second_half(fleet_.feature_count(), config);
+  ASSERT_TRUE(second_half.resumed());
+  ASSERT_EQ(second_half.next_day(), mid);
+  second_half.replay_range(reader, second_half.next_day(), reader.end_day());
+  EXPECT_EQ(state_of(second_half), live_state);
+}
+
+}  // namespace
