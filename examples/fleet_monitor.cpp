@@ -34,7 +34,10 @@
 // (flushed on the checkpoint cadence and at the end of the run), and
 // --from-tsdb replays a captured history back through the engine instead
 // of generating the fleet — bit-identical to the run that captured it,
-// including byte-equal checkpoints. See DESIGN.md §15.
+// including byte-equal checkpoints, with --checkpoint-every honored on the
+// same absolute cadence the live run used. --corrections applies a
+// late/corrected-label file during the replay (re-driving from a fresh
+// engine when the service resumed warm). See DESIGN.md §15–16.
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -56,6 +59,9 @@ int run(int argc, char** argv) {
   specs.push_back({"from-tsdb", "",
                    "replay the captured history (--tsdb-dir) instead of "
                    "generating the fleet"});
+  specs.push_back({"corrections", "PATH",
+                   "label-corrections file applied during --from-tsdb "
+                   "replay (orf-label-corrections v1)"});
   flags.enforce("fleet_monitor", specs);
 
   orf::Config config = orf::Config::from_flags(flags);
@@ -90,23 +96,64 @@ int run(int argc, char** argv) {
     }
     tsdb::Reader& reader = *opened;
     std::printf("replaying %s: days [%d, %d), %llu rows, %zu features\n",
-                tsdb_dir.c_str(), reader.first_day(), reader.end_day(),
+                tsdb_dir.c_str(), reader.floor_day(), reader.end_day(),
                 static_cast<unsigned long long>(reader.total_rows()),
                 reader.feature_count());
-    orf::Service service(reader.feature_count(), config);
-    data::Day start_day = 0;
-    if (service.resumed()) {
-      start_day = service.next_day();
-      std::printf("resumed from %s (day %d)\n",
-                  config.robust.checkpoint_dir.c_str(), start_day);
+
+    std::optional<orf::LabelCorrections> corrections;
+    if (flags.has("corrections")) {
+      try {
+        corrections.emplace(
+            orf::LabelCorrections::load_file(flags.get("corrections", "")));
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "fleet_monitor: %s\n", error.what());
+        return 1;
+      }
+      std::printf("applying %zu label corrections\n", corrections->size());
     }
+
+    orf::Service service(reader.feature_count(), config);
+    if (service.resumed()) {
+      std::printf("resumed from %s (day %d)\n",
+                  config.robust.checkpoint_dir.c_str(), service.next_day());
+    }
+
+    orf::ReplaySpec spec;
+    spec.reader = &reader;
+    if (corrections) spec.corrections = &*corrections;
+    // Honor the checkpoint cadence during replay (it used to be silently
+    // ignored): snapshots land on the same absolute days the live run's
+    // did, so a replay killed halfway resumes like a live run would.
+    if (!config.robust.checkpoint_dir.empty()) {
+      spec.checkpoint_every = config.robust.checkpoint_every;
+    }
+
     util::Stopwatch timer;
-    const orf::Service::ReplayStats stats =
-        service.replay_range(reader, start_day, reader.end_day());
+    orf::Service::ReplayStats stats;
+    try {
+      // Corrections on a resumed service invalidate what the label queues
+      // already drained — rewind to a fresh engine and re-drive the whole
+      // window. A resumed service without corrections continues from its
+      // day counter; a cold one backfills, which starts at the store's
+      // replay floor rather than day 0 (the two differ once retention has
+      // retired days).
+      stats = corrections && service.resumed() ? service.redrive_labels(spec)
+              : service.resumed()              ? service.replay(spec)
+                                 : service.backfill_from_history(spec);
+    } catch (const orf::ReplayError& error) {
+      std::fprintf(stderr, "fleet_monitor: %s\n", error.what());
+      return 1;
+    }
     const double elapsed = timer.seconds();
     std::printf("replayed %d days / %llu rows in %.1fs (%llu alarms)\n",
                 stats.days, static_cast<unsigned long long>(stats.rows),
                 elapsed, static_cast<unsigned long long>(stats.alarms));
+    if (corrections) {
+      std::printf("corrections: %llu fates rewritten, %llu zombie rows "
+                  "dropped\n",
+                  static_cast<unsigned long long>(stats.rows_corrected),
+                  static_cast<unsigned long long>(stats.rows_dropped));
+    }
     if (!config.robust.checkpoint_dir.empty()) {
       service.checkpoint_now();
       std::printf("final checkpoint written to %s\n",

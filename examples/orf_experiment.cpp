@@ -1,0 +1,273 @@
+// orf_experiment: what-if sweeps over a captured history (DESIGN.md §16).
+//
+// Replays one recorded fleet window (a --tsdb-dir store captured by
+// fleet_monitor or orfd) under a grid of retuned configs and reports each
+// cell's disk-level FDR/FAR — the paper's §4.3 metrics — side by side.
+// Because every cell re-drives the *same* recorded days, the comparison
+// isolates the knobs: no fleet re-generation noise, no seed lottery.
+//
+// Run:  ./examples/orf_experiment --tsdb-dir /var/lib/orf/tsdb
+//         --sweep "lambda-pos=0.5,1.0;oobe-threshold=0.3,0.45"
+//         [--out /tmp/sweep] [--warmup 120] [--from-day D] [--to-day D]
+//         [--jobs N]
+//
+// --sweep is a grid: axes separated by ';', each axis `knob=v1,v2,...`
+// using the config-flag spelling of the knob (lambda-pos, lambda-neg,
+// oobe-threshold, alarm-threshold, trees, backend, seed, ...). The cross
+// product of all axes becomes cells 1..N; cell 0 is always the baseline —
+// the base config exactly as given on the command line, no overrides — so
+// its replayed state is bit-identical to the live run that captured the
+// store (scripts/experiment_smoke.sh cmp's the checkpoints).
+//
+// Cells run in parallel (--jobs, default one per hardware thread); each
+// cell opens its own reader and owns its own engine, so results are
+// deterministic regardless of parallelism. Output: a markdown table on
+// stdout (paste into EXPERIMENTS.md) and, with --out, a JSON artifact
+// plus one envelope-framed checkpoint per cell (cell-<k>.ckpt — the same
+// frame format RecoveryManager snapshots use).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "orf/orf.hpp"
+
+namespace {
+
+struct SweepAxis {
+  std::string knob;
+  std::vector<std::string> values;
+};
+
+/// Parse the --sweep grammar: `knob=v1,v2[;knob2=...]`. Knob names and
+/// value syntax are validated later, when the cells are built through
+/// ConfigOverrides::set(); this only cuts the string apart.
+std::vector<SweepAxis> parse_sweep(const std::string& text) {
+  std::vector<SweepAxis> axes;
+  std::istringstream stream(text);
+  std::string field;
+  while (std::getline(stream, field, ';')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw util::FlagError("--sweep axis '" + field +
+                            "' is not knob=v1,v2,...");
+    }
+    SweepAxis axis;
+    axis.knob = field.substr(0, eq);
+    std::istringstream values(field.substr(eq + 1));
+    std::string value;
+    while (std::getline(values, value, ',')) {
+      if (!value.empty()) axis.values.push_back(value);
+    }
+    if (axis.values.empty()) {
+      throw util::FlagError("--sweep axis '" + axis.knob + "' has no values");
+    }
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
+/// Cell 0 is the baseline (no overrides); cells 1..N are the cross product
+/// of the axes, last axis fastest. Throws ConfigError on an unknown knob or
+/// unparsable value — before any replay has started.
+std::vector<orf::ConfigOverrides> build_cells(
+    const std::vector<SweepAxis>& axes) {
+  std::vector<orf::ConfigOverrides> cells(1);  // the baseline
+  std::size_t combos = axes.empty() ? 0 : 1;
+  for (const SweepAxis& axis : axes) combos *= axis.values.size();
+  for (std::size_t k = 0; k < combos; ++k) {
+    orf::ConfigOverrides cell;
+    std::size_t rest = k;
+    for (auto axis = axes.rbegin(); axis != axes.rend(); ++axis) {
+      cell.set(axis->knob, axis->values[rest % axis->values.size()]);
+      rest /= axis->values.size();
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+/// One cell's outcome: the replay totals plus the §4.3 disk-level metrics
+/// accumulated from the on_day verdict stream.
+struct CellResult {
+  orf::Service::ReplayStats stats;
+  eval::Metrics metrics;
+  std::string checkpoint;  ///< path written under --out, "" otherwise
+};
+
+/// Folds the replay's per-day verdicts into the same per-disk outcome
+/// record eval::stream_fleet keeps live, so CellResult::metrics comes from
+/// the identical FleetStreamResult::metrics() code path.
+class MetricsAccumulator {
+ public:
+  void observe(data::Day day, std::span<const engine::DiskReport> reports,
+               std::span<const engine::DayOutcome> outcomes) {
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      auto& disk = disks_[reports[i].disk];
+      disk.last_day = day;
+      if (reports[i].fate == engine::DiskFate::kFailure) disk.failed = true;
+      if (outcomes[i].alarm && !outcomes[i].rejected) {
+        disk.alarm_days.push_back(day);
+      }
+    }
+  }
+
+  eval::Metrics metrics(data::Day warmup_days) const {
+    eval::FleetStreamResult result;
+    result.disks.reserve(disks_.size());
+    for (const auto& [disk, outcome] : disks_) result.disks.push_back(outcome);
+    return result.metrics(data::kHorizonDays, warmup_days);
+  }
+
+ private:
+  std::map<data::DiskId, eval::FleetStreamResult::DiskOutcome> disks_;
+};
+
+int run(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  std::vector<util::FlagSpec> specs(orf::Config::flag_specs().begin(),
+                                    orf::Config::flag_specs().end());
+  specs.push_back({"sweep", "GRID",
+                   "knob=v1,v2[;knob2=...] grid of config overrides"});
+  specs.push_back({"out", "DIR",
+                   "artifact directory (sweep.json + per-cell checkpoints)"});
+  specs.push_back({"warmup", "DAYS", "cold-start days excluded from FDR/FAR"});
+  specs.push_back({"from-day", "D", "replay window start (default: floor)"});
+  specs.push_back({"to-day", "D", "replay window end (default: store end)"});
+  specs.push_back({"jobs", "N", "cells replayed in parallel (0 = cores)"});
+  flags.enforce("orf_experiment", specs);
+
+  const orf::Config base = orf::Config::from_flags(flags);
+  if (base.tsdb.directory.empty()) {
+    std::fprintf(stderr, "orf_experiment: --tsdb-dir is required\n");
+    return 2;
+  }
+
+  // One metadata read up front; every cell then opens its own reader (the
+  // reader's block cache is single-consumer, and cells run in parallel).
+  std::size_t features = 0;
+  {
+    tsdb::Reader reader(base.tsdb.directory);
+    features = reader.feature_count();
+    std::printf("store %s: days [%d, %d), %llu rows, %zu features\n",
+                base.tsdb.directory.c_str(), reader.floor_day(),
+                reader.end_day(),
+                static_cast<unsigned long long>(reader.total_rows()),
+                features);
+  }
+
+  const std::vector<SweepAxis> axes = parse_sweep(flags.get("sweep", ""));
+  const std::vector<orf::ConfigOverrides> cells = build_cells(axes);
+  // Fail on a bad cell now, serially, not from inside the pool.
+  for (const orf::ConfigOverrides& cell : cells) {
+    (void)base.with_overrides(cell);
+  }
+
+  const std::string out_dir = flags.get("out", "");
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+  const auto warmup =
+      static_cast<data::Day>(flags.get_int("warmup", 0));
+
+  std::printf("sweeping %zu cells (baseline + %zu combinations)...\n",
+              cells.size(), cells.size() - 1);
+
+  std::vector<CellResult> results(cells.size());
+  util::ThreadPool pool(
+      static_cast<std::size_t>(flags.get_int("jobs", 0)));
+  util::Stopwatch timer;
+  pool.parallel_for(cells.size(), [&](std::size_t k) {
+    orf::ReplaySpec spec;  // store defaults to base.tsdb.directory
+    spec.overrides = cells[k];
+    if (flags.has("from-day")) {
+      spec.from_day = static_cast<data::Day>(flags.get_int("from-day", 0));
+    }
+    if (flags.has("to-day")) {
+      spec.to_day = static_cast<data::Day>(flags.get_int("to-day", 0));
+    }
+    MetricsAccumulator accumulator;
+    spec.on_day = [&accumulator](data::Day day,
+                                 std::span<const engine::DiskReport> reports,
+                                 std::span<const engine::DayOutcome> outs) {
+      accumulator.observe(day, reports, outs);
+    };
+    orf::ReplayRun run = orf::run_replay(features, base, std::move(spec));
+    results[k].stats = run.stats;
+    results[k].metrics = accumulator.metrics(warmup);
+    if (!out_dir.empty()) {
+      // The same envelope frame RecoveryManager writes, over the same
+      // state payload — so the baseline cell's file is byte-comparable
+      // (cmp) against a live run's snapshot.
+      std::ostringstream payload;
+      run.service->save(payload);
+      const std::string path =
+          (std::filesystem::path(out_dir) /
+           ("cell-" + std::to_string(k) + ".ckpt"))
+              .string();
+      robust::write_envelope_file(path, payload.str());
+      results[k].checkpoint = path;
+    }
+  });
+  const double elapsed = timer.seconds();
+
+  // The EXPERIMENTS.md-ready table. The overrides column uses the
+  // canonical describe() spelling so a row is reproducible verbatim.
+  std::printf("\n| cell | overrides | FDR %% | FAR %% | alarms | rows |\n");
+  std::printf("|-----:|:----------|------:|------:|-------:|-----:|\n");
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const std::string label =
+        k == 0 ? "(baseline)" : cells[k].describe();
+    std::printf("| %zu | %s | %.1f | %.2f | %llu | %llu |\n", k,
+                label.c_str(), results[k].metrics.fdr, results[k].metrics.far,
+                static_cast<unsigned long long>(results[k].stats.alarms),
+                static_cast<unsigned long long>(results[k].stats.rows));
+  }
+  std::printf("\nswept %zu cells in %.1fs (warmup %d days, horizon %d)\n",
+              cells.size(), elapsed, warmup, data::kHorizonDays);
+
+  if (!out_dir.empty()) {
+    const std::string json_path =
+        (std::filesystem::path(out_dir) / "sweep.json").string();
+    std::ofstream os(json_path, std::ios::trunc);
+    os << "[\n";
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      const CellResult& cell = results[k];
+      char line[512];
+      std::snprintf(
+          line, sizeof line,
+          "  {\"cell\": %zu, \"overrides\": \"%s\", \"fdr\": %.4f, "
+          "\"far\": %.4f, \"true_positives\": %zu, \"failed_disks\": %zu, "
+          "\"false_positives\": %zu, \"good_disks\": %zu, \"alarms\": %llu, "
+          "\"rows\": %llu, \"days\": %d, \"checkpoint\": \"%s\"}%s\n",
+          k, cells[k].describe().c_str(), cell.metrics.fdr, cell.metrics.far,
+          cell.metrics.true_positives, cell.metrics.failed_disks,
+          cell.metrics.false_positives, cell.metrics.good_disks,
+          static_cast<unsigned long long>(cell.stats.alarms),
+          static_cast<unsigned long long>(cell.stats.rows), cell.stats.days,
+          cell.checkpoint.c_str(), k + 1 < results.size() ? "," : "");
+      os << line;
+    }
+    os << "]\n";
+    robust::commit_stream(os, json_path);
+    std::printf("artifacts in %s (sweep.json + %zu checkpoints)\n",
+                out_dir.c_str(), results.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const util::FlagError& error) {
+    std::fprintf(stderr, "orf_experiment: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "orf_experiment: %s\n", error.what());
+    return 1;
+  }
+}

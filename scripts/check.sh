@@ -113,13 +113,13 @@ export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 export ASAN_OPTIONS=detect_leaks=0
 
 if ! $faults_only; then
-  echo "== sanitizers: ASan+UBSan over engine + core + tsdb suites =="
+  echo "== sanitizers: ASan+UBSan over engine + core + tsdb + orf suites =="
   # One --target invocation with all the names: repeating the --target flag
   # is generator-dependent (Makefiles honour only the last one), while the
   # multi-name form is portable CMake >= 3.15 and fails the script on the
   # first broken target.
   cmake --build build-asan -j "$(nproc)" \
-    --target test_engine test_core test_util test_robust test_tsdb
+    --target test_engine test_core test_util test_robust test_tsdb test_orf
   ./build-asan/tests/test_util
   ./build-asan/tests/test_core
   ./build-asan/tests/test_engine
@@ -129,6 +129,10 @@ if ! $faults_only; then
   # overrun is exactly the kind of bug ASan turns from silent to loud).
   ./build-asan/tests/test_robust --gtest_filter='EnvelopeFuzz.*'
   ./build-asan/tests/test_tsdb
+  # The history consumers: replay windows, label-correction differentials,
+  # retention GC — heavy on spans into reused buffers and on file mmaps,
+  # exactly what ASan is for.
+  ./build-asan/tests/test_orf
 fi
 
 if $faults_only; then

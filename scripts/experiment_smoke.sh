@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the history consumers (DESIGN.md §16): fleet_monitor
+# captures a datagen fleet into --tsdb-dir while checkpointing, then
+# orf_experiment sweeps a 2x2 lambda-pos x oobe-threshold grid over the
+# captured window. Gates:
+#   1. the sweep's baseline cell (cell 0, no overrides) must finish with a
+#      checkpoint byte-identical to the live run's final snapshot — the
+#      what-if harness is provably replaying the exact live lineage;
+#   2. every cell reports, and the JSON artifact carries baseline + 4 cells.
+# Scale with EXPERIMENT_SMOKE_SCALE / EXPERIMENT_SMOKE_MONTHS for slower
+# boxes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+SCALE=${EXPERIMENT_SMOKE_SCALE:-0.003}
+MONTHS=${EXPERIMENT_SMOKE_MONTHS:-6}
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "$BUILD" -j "$(nproc)" --target fleet_monitor orf_experiment
+
+WORK=$(mktemp -d /tmp/orf_experiment_smoke.XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== capture: stream $MONTHS months at scale $SCALE into the store =="
+./"$BUILD"/examples/fleet_monitor --scale "$SCALE" --months "$MONTHS" \
+  --tsdb-dir "$WORK/tsdb" \
+  --checkpoint-dir "$WORK/live_ckpt" --checkpoint-every 20 --wal false \
+  | tee "$WORK/live.log"
+grep -q 'history captured to' "$WORK/live.log"
+
+echo "== sweep: baseline + 2x2 lambda-pos x oobe-threshold grid =="
+./"$BUILD"/examples/orf_experiment --tsdb-dir "$WORK/tsdb" \
+  --sweep "lambda-pos=0.5,1.0;oobe-threshold=0.3,0.45" \
+  --out "$WORK/sweep" --warmup 60 \
+  | tee "$WORK/sweep.log"
+grep -q '(baseline)' "$WORK/sweep.log"
+
+# Baseline reproducibility: cell 0 replays the base config with no
+# overrides, so its checkpoint must be byte-identical to the live run's
+# final snapshot (both are the same envelope over the same state payload).
+LIVE=$(ls "$WORK"/live_ckpt/orf-service-*.ckpt | sort -V | tail -1)
+cmp "$LIVE" "$WORK/sweep/cell-0.ckpt" ||
+  { echo "baseline sweep cell diverged from the live run" >&2; exit 1; }
+echo "BASELINE_CELL_BYTE_EQUAL"
+
+# The artifact carries every cell (baseline + 4 combinations).
+CELLS=$(grep -c '"cell":' "$WORK/sweep/sweep.json")
+[ "$CELLS" -eq 5 ] ||
+  { echo "expected 5 cells in sweep.json, got $CELLS" >&2; exit 1; }
+echo "EXPERIMENT SMOKE OK"

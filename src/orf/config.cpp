@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -76,6 +77,8 @@ constexpr std::array kFlagSpecs = {
                    "Mondrian budget (mondrian backend only)"},
     util::FlagSpec{"lambda-pos", "F", "Poisson rate for positive samples"},
     util::FlagSpec{"lambda-neg", "F", "Poisson rate for negative samples"},
+    util::FlagSpec{"oobe-threshold", "F",
+                   "tree-replacement OOBE threshold theta_OOBE"},
     util::FlagSpec{"seed", "N", "RNG seed of the whole pipeline"},
     util::FlagSpec{"shards", "N", "engine disk shards (0 = auto)"},
     util::FlagSpec{"threads", "N", "engine stage threads (1 = no pool)"},
@@ -99,6 +102,8 @@ constexpr std::array kFlagSpecs = {
                    "append-only SMART history store (empty = off)"},
     util::FlagSpec{"tsdb-segment-bytes", "N",
                    "history segment rotation threshold"},
+    util::FlagSpec{"tsdb-retain-days", "DAYS",
+                   "history retention window (0 = keep everything)"},
     util::FlagSpec{"bind", "ADDR", "daemon bind address"},
     util::FlagSpec{"port", "N", "daemon TCP port (0 = ephemeral)"},
     util::FlagSpec{"serve-mode", "reactor|blocking", "daemon serving model"},
@@ -142,6 +147,9 @@ void Config::validate() const {
   if (forest.lambda_pos <= 0 || forest.lambda_neg <= 0) {
     fail("forest lambdas must be positive");
   }
+  if (forest.oobe_threshold < 0.0 || forest.oobe_threshold > 1.0) {
+    fail("forest.oobe_threshold must lie in [0, 1]");
+  }
   if (mondrian.lifetime <= 0) fail("mondrian.lifetime must be positive");
   if (engine.alarm_threshold < 0.0 || engine.alarm_threshold > 1.0) {
     fail("engine.alarm_threshold must lie in [0, 1]");
@@ -159,6 +167,7 @@ void Config::validate() const {
     fail("robust.wal_sync must be always|batch|off, got '" + robust.wal_sync +
          "'");
   }
+  if (tsdb.retain_days < 0) fail("tsdb.retain_days must be >= 0");
   if (!tsdb.directory.empty()) {
     if (tsdb.segment_max_bytes == 0) {
       fail("tsdb.segment_max_bytes must be positive");
@@ -212,6 +221,124 @@ engine::EngineParams Config::engine_params() const {
   return params;
 }
 
+namespace {
+
+std::int64_t override_int(std::string_view knob, const std::string& text) {
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw ConfigError("override " + std::string(knob) +
+                      " expects an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+double override_double(std::string_view knob, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw ConfigError("override " + std::string(knob) +
+                      " expects a number, got '" + text + "'");
+  }
+  return value;
+}
+
+std::string describe_double(double value) {
+  char text[32];
+  std::snprintf(text, sizeof text, "%g", value);
+  return text;
+}
+
+}  // namespace
+
+ConfigOverrides& ConfigOverrides::set(std::string_view knob,
+                                      const std::string& value) {
+  if (knob == "backend") {
+    backend = value;
+  } else if (knob == "trees") {
+    trees = static_cast<int>(override_int(knob, value));
+  } else if (knob == "lambda-pos") {
+    lambda_pos = override_double(knob, value);
+  } else if (knob == "lambda-neg") {
+    lambda_neg = override_double(knob, value);
+  } else if (knob == "oobe-threshold") {
+    oobe_threshold = override_double(knob, value);
+  } else if (knob == "alarm-threshold") {
+    alarm_threshold = override_double(knob, value);
+  } else if (knob == "mondrian-lifetime") {
+    mondrian_lifetime = override_double(knob, value);
+  } else if (knob == "seed") {
+    seed = static_cast<std::uint64_t>(override_int(knob, value));
+  } else if (knob == "shards") {
+    shards = static_cast<std::size_t>(override_int(knob, value));
+  } else if (knob == "threads") {
+    threads = static_cast<std::size_t>(override_int(knob, value));
+  } else if (knob == "queue-capacity") {
+    queue_capacity = static_cast<std::size_t>(override_int(knob, value));
+  } else {
+    throw ConfigError("unknown override knob '" + std::string(knob) +
+                      "' (known: backend, trees, lambda-pos, lambda-neg, "
+                      "oobe-threshold, alarm-threshold, mondrian-lifetime, "
+                      "seed, shards, threads, queue-capacity)");
+  }
+  return *this;
+}
+
+bool ConfigOverrides::empty() const {
+  return !backend && !trees && !lambda_pos && !lambda_neg &&
+         !oobe_threshold && !alarm_threshold && !mondrian_lifetime && !seed &&
+         !shards && !threads && !queue_capacity;
+}
+
+std::string ConfigOverrides::describe() const {
+  std::string out;
+  const auto add = [&out](std::string_view knob, const std::string& value) {
+    if (!out.empty()) out += ' ';
+    out += knob;
+    out += '=';
+    out += value;
+  };
+  if (backend) add("backend", *backend);
+  if (trees) add("trees", std::to_string(*trees));
+  if (lambda_pos) add("lambda-pos", describe_double(*lambda_pos));
+  if (lambda_neg) add("lambda-neg", describe_double(*lambda_neg));
+  if (oobe_threshold) add("oobe-threshold", describe_double(*oobe_threshold));
+  if (alarm_threshold) {
+    add("alarm-threshold", describe_double(*alarm_threshold));
+  }
+  if (mondrian_lifetime) {
+    add("mondrian-lifetime", describe_double(*mondrian_lifetime));
+  }
+  if (seed) add("seed", std::to_string(*seed));
+  if (shards) add("shards", std::to_string(*shards));
+  if (threads) add("threads", std::to_string(*threads));
+  if (queue_capacity) add("queue-capacity", std::to_string(*queue_capacity));
+  return out;
+}
+
+Config Config::with_overrides(const ConfigOverrides& overrides) const {
+  Config out = *this;
+  if (overrides.backend) out.engine.backend = *overrides.backend;
+  if (overrides.trees) out.forest.n_trees = *overrides.trees;
+  if (overrides.lambda_pos) out.forest.lambda_pos = *overrides.lambda_pos;
+  if (overrides.lambda_neg) out.forest.lambda_neg = *overrides.lambda_neg;
+  if (overrides.oobe_threshold) {
+    out.forest.oobe_threshold = *overrides.oobe_threshold;
+  }
+  if (overrides.alarm_threshold) {
+    out.engine.alarm_threshold = *overrides.alarm_threshold;
+  }
+  if (overrides.mondrian_lifetime) {
+    out.mondrian.lifetime = *overrides.mondrian_lifetime;
+  }
+  if (overrides.seed) out.seed = *overrides.seed;
+  if (overrides.shards) out.engine.shards = *overrides.shards;
+  if (overrides.threads) out.engine.threads = *overrides.threads;
+  if (overrides.queue_capacity) out.queue.capacity = *overrides.queue_capacity;
+  out.validate();
+  return out;
+}
+
 std::span<const util::FlagSpec> Config::flag_specs() { return kFlagSpecs; }
 
 Config Config::from_flags(const util::Flags& flags) {
@@ -226,6 +353,8 @@ Config Config::from_flags(const util::Flags& flags) {
       source.get_double("lambda-pos", config.forest.lambda_pos);
   config.forest.lambda_neg =
       source.get_double("lambda-neg", config.forest.lambda_neg);
+  config.forest.oobe_threshold =
+      source.get_double("oobe-threshold", config.forest.oobe_threshold);
   config.seed = static_cast<std::uint64_t>(
       source.get_int("seed", static_cast<std::int64_t>(config.seed)));
 
@@ -262,6 +391,8 @@ Config Config::from_flags(const util::Flags& flags) {
   config.tsdb.segment_max_bytes = static_cast<std::size_t>(source.get_int(
       "tsdb-segment-bytes",
       static_cast<std::int64_t>(config.tsdb.segment_max_bytes)));
+  config.tsdb.retain_days = static_cast<data::Day>(
+      source.get_int("tsdb-retain-days", config.tsdb.retain_days));
 
   config.serve.bind_address = source.get("bind", config.serve.bind_address);
   config.serve.port =

@@ -22,9 +22,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "core/online_forest.hpp"
 #include "data/types.hpp"
@@ -102,6 +104,11 @@ struct TsdbSection {
   std::string directory;
   /// Segment rotation threshold, bytes.
   std::size_t segment_max_bytes = 4u << 20;
+  /// Retention window in days (0 = keep everything): each catalog commit
+  /// retires blocks entirely below next_day - retain_days and unlinks
+  /// segments the catalog no longer references. Days at or above the
+  /// replay floor are never dropped.
+  data::Day retain_days = 0;
 };
 
 /// HTTP daemon section (see serve::ReactorServer / serve::HttpServer / orfd).
@@ -147,6 +154,34 @@ struct ServeSection {
   std::size_t shed_high_water = 0;
 };
 
+/// A sparse set of knob re-assignments for Config::with_overrides() — the
+/// sweep-cell / replay-override currency. Every field mirrors one config
+/// flag spelling; set() accepts that spelling ("lambda-pos", "trees", ...)
+/// so orf_experiment grid cells parse straight into one of these. Fields
+/// left unset keep the base config's value.
+struct ConfigOverrides {
+  std::optional<std::string> backend;
+  std::optional<int> trees;
+  std::optional<double> lambda_pos;
+  std::optional<double> lambda_neg;
+  std::optional<double> oobe_threshold;
+  std::optional<double> alarm_threshold;
+  std::optional<double> mondrian_lifetime;
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> shards;
+  std::optional<std::size_t> threads;
+  std::optional<std::size_t> queue_capacity;
+
+  /// Assign one knob by its config-flag spelling. Throws ConfigError on an
+  /// unknown knob or an unparsable value, naming both.
+  ConfigOverrides& set(std::string_view knob, const std::string& value);
+
+  bool empty() const;
+  /// "lambda-pos=0.5 oobe-threshold=0.3" — table/log label for a sweep
+  /// cell; "" when empty.
+  std::string describe() const;
+};
+
 struct Config {
   core::OnlineForestParams forest = {};
   EngineSection engine;
@@ -165,6 +200,11 @@ struct Config {
 
   /// The engine-layer parameter block this config describes.
   engine::EngineParams engine_params() const;
+
+  /// Clone this config with `overrides` applied and the result validate()d
+  /// — the supported way to derive a sweep cell or a retuned replay config
+  /// from a base one (no hand-mutated struct fields).
+  Config with_overrides(const ConfigOverrides& overrides) const;
 
   /// Every config flag (name, value placeholder, help) — feed to
   /// util::Flags::enforce alongside the binary's own flags so `orfd` and

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "orf/config.hpp"    // IWYU pragma: export
+#include "orf/replay.hpp"    // IWYU pragma: export
 #include "orf/service.hpp"   // IWYU pragma: export
 
 // Data: fleet datasets, offline labeling, disk-level splits.
@@ -30,6 +31,10 @@
 // Engine observability views and telemetry export.
 #include "engine/counters.hpp"  // IWYU pragma: export
 #include "obs/export.hpp"       // IWYU pragma: export
+
+// Crash-safe checkpoint envelope I/O (the frame RecoveryManager snapshots
+// use — tooling that writes comparable artifacts shares the format).
+#include "robust/checkpoint_io.hpp"  // IWYU pragma: export
 
 // Embedded SMART history store: capture on ingest, bit-identical replay.
 #include "tsdb/reader.hpp"  // IWYU pragma: export

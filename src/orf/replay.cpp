@@ -1,0 +1,95 @@
+#include "orf/replay.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace orf {
+
+namespace {
+
+constexpr std::string_view kCorrectionsHeader = "orf-label-corrections v1";
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& why) {
+  throw ReplayError("label corrections: line " + std::to_string(line_no) +
+                    ": " + why);
+}
+
+}  // namespace
+
+std::string LabelCorrections::serialize() const {
+  std::string out(kCorrectionsHeader);
+  out += '\n';
+  for (const auto& [disk, correction] : by_disk_) {
+    out += correction.kind == Kind::kFailure ? "fail " : "survive ";
+    out += std::to_string(disk);
+    out += ' ';
+    out += std::to_string(correction.day);
+    out += '\n';
+  }
+  return out;
+}
+
+LabelCorrections LabelCorrections::parse(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t line_no = 1;
+  if (!std::getline(is, line) || line != kCorrectionsHeader) {
+    malformed(line_no, "expected header '" + std::string(kCorrectionsHeader) +
+                           "'");
+  }
+  LabelCorrections corrections;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.find(' ');
+    const std::string verb = line.substr(0, space);
+    Kind kind = Kind::kFailure;
+    if (verb == "fail") {
+      kind = Kind::kFailure;
+    } else if (verb == "survive") {
+      kind = Kind::kSurvival;
+    } else {
+      malformed(line_no, "expected 'fail' or 'survive', got '" + verb + "'");
+    }
+    if (space == std::string::npos) malformed(line_no, "missing disk id");
+    const char* cursor = line.c_str() + space + 1;
+    char* end = nullptr;
+    const unsigned long long disk = std::strtoull(cursor, &end, 10);
+    if (end == cursor) malformed(line_no, "bad disk id");
+    cursor = end;
+    const long long day = std::strtoll(cursor, &end, 10);
+    if (end == cursor || *end != '\0') malformed(line_no, "bad day");
+    const auto id = static_cast<data::DiskId>(disk);
+    if (corrections.by_disk_.count(id) != 0) {
+      malformed(line_no,
+                "disk " + std::to_string(id) + " corrected twice");
+    }
+    corrections.by_disk_[id] =
+        Correction{kind, static_cast<data::Day>(day)};
+  }
+  return corrections;
+}
+
+LabelCorrections LabelCorrections::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw ReplayError("label corrections: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse(buffer.str());
+}
+
+void LabelCorrections::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    throw ReplayError("label corrections: cannot write " + path);
+  }
+  os << serialize();
+  if (!os.flush()) {
+    throw ReplayError("label corrections: write to " + path + " failed");
+  }
+}
+
+}  // namespace orf

@@ -346,7 +346,8 @@ void Service::open_tsdb_locked() {
     auto writer = std::make_unique<tsdb::Writer>(tsdb::Writer::Options{
         .directory = config_.tsdb.directory,
         .feature_count = engine_.feature_count(),
-        .segment_max_bytes = config_.tsdb.segment_max_bytes});
+        .segment_max_bytes = config_.tsdb.segment_max_bytes,
+        .retain_days = config_.tsdb.retain_days});
     writer->bind_metrics(metrics_registry());
     tsdb_ = std::move(writer);
     tsdb_failed_ = false;
@@ -420,26 +421,171 @@ void Service::tsdb_flush() {
   }
 }
 
+Service::ReplayStats Service::replay(const ReplaySpec& spec) {
+  std::unique_lock lock(mutex_);
+  return replay_locked(spec, ReplayFrom::kNextDay);
+}
+
+Service::ReplayStats Service::redrive_labels(const ReplaySpec& spec) {
+  std::unique_lock lock(mutex_);
+  if (spec.corrections == nullptr || spec.corrections->empty()) {
+    throw ReplayError("redrive_labels: no corrections to apply");
+  }
+  // Rewind-from-history: corrections change what the label queues drained
+  // days ago, so the only state provably equal to "labels were right all
+  // along" is a fresh engine re-driven over the whole window. The engine
+  // is cheap next to the history; the history is what the store is for.
+  reset_engine_locked();
+  return replay_locked(spec, ReplayFrom::kFloor);
+}
+
+Service::ReplayStats Service::backfill_from_history(const ReplaySpec& spec) {
+  std::unique_lock lock(mutex_);
+  if (resumed_ || next_day_ != 0) {
+    throw ReplayError(
+        "backfill_from_history: requires a cold service (nothing ingested, "
+        "nothing resumed) — next_day is " +
+        std::to_string(next_day_));
+  }
+  return replay_locked(spec, ReplayFrom::kFloor);
+}
+
 Service::ReplayStats Service::replay_range(tsdb::Reader& reader,
                                            data::Day from_day,
                                            data::Day to_day) {
-  std::unique_lock lock(mutex_);
+  ReplaySpec spec;
+  spec.reader = &reader;
+  spec.from_day = from_day;
+  spec.to_day = to_day;
+  return replay(spec);
+}
+
+void Service::reset_engine_locked() {
+  // FleetEngine has no copy/move; the save/restore round-trip is the
+  // canonical way to replace its state (restore re-shards internally).
+  engine::FleetEngine fresh(engine_.feature_count(), config_.engine_params(),
+                            config_.seed);
+  std::stringstream state;
+  fresh.save(state);
+  engine_.restore(state);
+  next_day_ = 0;
+}
+
+Service::ReplayStats Service::replay_locked(const ReplaySpec& spec,
+                                            ReplayFrom from_default) {
+  if (!spec.overrides.empty()) {
+    throw ReplayError(
+        "replay: spec carries Config overrides (" + spec.overrides.describe() +
+        ") but this service's engine is already built — use run_replay() / "
+        "Config::with_overrides() to construct the retuned service");
+  }
+  if (spec.reader != nullptr && !spec.store.empty()) {
+    throw ReplayError("replay: set ReplaySpec::store or ::reader, not both");
+  }
+  std::optional<tsdb::Reader> owned;
+  tsdb::Reader* reader = spec.reader;
+  if (reader == nullptr) {
+    const std::string& store =
+        spec.store.empty() ? config_.tsdb.directory : spec.store;
+    if (store.empty()) {
+      throw ReplayError(
+          "replay: no history store (set ReplaySpec::store, ::reader, or "
+          "configure tsdb.directory)");
+    }
+    owned.emplace(store);
+    reader = &*owned;
+  }
+  if (reader->feature_count() != engine_.feature_count()) {
+    throw ReplayError("replay: store holds " +
+                      std::to_string(reader->feature_count()) +
+                      " features, the engine " +
+                      std::to_string(engine_.feature_count()));
+  }
+
+  // The replay floor: below it the store no longer guarantees complete
+  // days (retention GC may have retired them).
+  const data::Day floor = std::max(reader->first_day(), reader->floor_day());
+  const data::Day from = spec.from_day.value_or(
+      from_default == ReplayFrom::kFloor ? floor : next_day_);
+  const data::Day to = spec.to_day.value_or(reader->end_day());
+  if (from > to) {
+    throw ReplayError("replay: inverted window [" + std::to_string(from) +
+                      ", " + std::to_string(to) + ")");
+  }
+  if (to > reader->end_day()) {
+    throw ReplayError("replay: window end " + std::to_string(to) +
+                      " is past the committed history (end_day " +
+                      std::to_string(reader->end_day()) + ")");
+  }
+  if (from < to && from < floor) {
+    throw ReplayError("replay: window start " + std::to_string(from) +
+                      " is below the store's replay floor " +
+                      std::to_string(floor));
+  }
+  if (spec.corrections != nullptr) {
+    for (const auto& [disk, correction] : spec.corrections->by_disk()) {
+      if (!reader->has_disk(disk)) {
+        throw ReplayError("replay: correction references disk " +
+                          std::to_string(disk) +
+                          ", which the store never recorded");
+      }
+      if (correction.day < from || correction.day >= to) {
+        throw ReplayError(
+            "replay: correction day " + std::to_string(correction.day) +
+            " for disk " + std::to_string(disk) +
+            " lies outside the replay window [" + std::to_string(from) +
+            ", " + std::to_string(to) + ")");
+      }
+    }
+  }
+  if (spec.checkpoint_every < 0) {
+    throw ReplayError("replay: checkpoint_every must be >= 0");
+  }
+  if (spec.checkpoint_every > 0 && !recovery_) {
+    throw ReplayError(
+        "replay: checkpoint_every requires a checkpoint directory "
+        "(robust.checkpoint_dir)");
+  }
+
   ReplayStats stats;
+  stats.from_day = from;
+  stats.to_day = to;
   tsdb::Reader::DayBatch day_batch;
   std::vector<engine::DiskReport> reports;
   std::vector<engine::DayOutcome> outcomes;
-  for (data::Day day = from_day; day < to_day; ++day) {
-    reader.read_day(day, day_batch);
+  for (data::Day day = from; day < to; ++day) {
+    reader->read_day(day, day_batch);
     reports.clear();
     for (const tsdb::RowView& row : day_batch.rows) {
+      auto fate = static_cast<engine::DiskFate>(row.fate);
+      if (spec.corrections != nullptr) {
+        if (const LabelCorrections::Correction* correction =
+                spec.corrections->find(row.disk)) {
+          if (day > correction->day) {
+            // Rows past the corrected terminal day are zombies the broken
+            // capture kept emitting; the corrected truth never saw them.
+            ++stats.rows_dropped;
+            continue;
+          }
+          if (day == correction->day) {
+            const engine::DiskFate corrected =
+                correction->kind == LabelCorrections::Kind::kFailure
+                    ? engine::DiskFate::kFailure
+                    : engine::DiskFate::kRetirement;
+            if (fate != corrected) {
+              fate = corrected;
+              ++stats.rows_corrected;
+            }
+          }
+        }
+      }
       reports.push_back(engine::DiskReport{
-          .disk = row.disk,
-          .features = row.features,
-          .fate = static_cast<engine::DiskFate>(row.fate)});
+          .disk = row.disk, .features = row.features, .fate = fate});
     }
     // Empty days skip the engine exactly like the live streaming drivers
     // do, but still advance the day counter — that is what makes the final
     // checkpoint byte-equal to the live run's.
+    outcomes.clear();
     if (!reports.empty()) {
       engine_.ingest_day(reports, outcomes, pool_.get());
       stats.rows += reports.size();
@@ -449,9 +595,43 @@ Service::ReplayStats Service::replay_range(tsdb::Reader& reader,
     }
     next_day_ = day + 1;
     ++stats.days;
+    if (spec.on_day) spec.on_day(day, reports, outcomes);
+    if (spec.on_progress) {
+      spec.on_progress(
+          ReplayProgress{day, from, to, stats.rows, stats.alarms});
+    }
+    // Periodic snapshots on the absolute day cadence the live run used —
+    // the same days, so mid-replay snapshots byte-match live ones.
+    if (spec.checkpoint_every > 0 && (day + 1) % spec.checkpoint_every == 0) {
+      engine_.backend().quiesce();
+      checkpoint_locked();
+      days_since_checkpoint_ = 0;
+      ++stats.checkpoints;
+    }
   }
   engine_.backend().quiesce();
   return stats;
+}
+
+ReplayRun run_replay(std::size_t feature_count, const Config& base,
+                     ReplaySpec spec) {
+  Config config = base.with_overrides(spec.overrides);
+  // A history consumer must never write back into the store it reads, and
+  // a what-if cell is ephemeral: no capture tee, no checkpoints, no WAL.
+  config.tsdb.directory.clear();
+  config.robust.checkpoint_dir.clear();
+  config.robust.resume = false;
+  if (spec.store.empty() && spec.reader == nullptr) {
+    spec.store = base.tsdb.directory;
+  }
+  spec.overrides = ConfigOverrides{};  // consumed into `config` above
+  ReplayRun run;
+  run.service = std::make_unique<Service>(feature_count, config);
+  // The cell service is cold by construction, so the run is a backfill:
+  // the default window starts at the store's replay floor, not at the
+  // fresh day counter — the two differ once retention has retired days.
+  run.stats = run.service->backfill_from_history(spec);
+  return run;
 }
 
 Service::Readiness Service::readiness() {

@@ -42,10 +42,18 @@
 // resume (the writer's day-keyed high-water mark deduplicates). A history
 // device failure publishes "tsdb" on the health ladder (readiness probes
 // retry in place) but never blocks or un-acks ingest: capture is strictly
-// subordinate to serving. replay_range() drives the engine from a
-// tsdb::Reader through the same ingest stages, bit-identically to the live
-// run that captured the history (same scores, same alarms, byte-equal
-// checkpoints) — the differential suite proves it.
+// subordinate to serving.
+//
+// History consumption (DESIGN.md §16): replay(ReplaySpec) drives the engine
+// from a tsdb::Reader through the same ingest stages, bit-identically to
+// the live run that captured the history (same scores, same alarms,
+// byte-equal checkpoints) — the differential suite proves it. On top of
+// that one primitive sit the consumer verbs: redrive_labels() rewinds to a
+// fresh engine and re-drives the whole window under a LabelCorrections set
+// (corrected-replay ≡ right-from-the-start), backfill_from_history() trains
+// a cold service from the store before it goes live (orfd --backfill), and
+// run_replay() builds a what-if cell from Config overrides (orf_experiment
+// sweeps map over it).
 #pragma once
 
 #include <cstdint>
@@ -58,6 +66,7 @@
 
 #include "engine/fleet_engine.hpp"
 #include "orf/config.hpp"
+#include "orf/replay.hpp"
 #include "robust/health.hpp"
 #include "robust/recovery.hpp"
 #include "robust/wal.hpp"
@@ -190,25 +199,61 @@ class Service {
   /// ladder. No-op when the store is off or clean.
   void tsdb_flush();
 
-  /// What replay_range() drove through the engine.
+  /// What replay() drove through the engine.
   struct ReplayStats {
+    data::Day from_day = 0;    ///< resolved window start
+    data::Day to_day = 0;      ///< resolved window end (exclusive)
     data::Day days = 0;        ///< day batches ingested (incl. empty days)
     std::uint64_t rows = 0;    ///< reports ingested
     std::uint64_t alarms = 0;  ///< alarm verdicts among them
+    std::uint64_t rows_corrected = 0;  ///< fates rewritten by corrections
+    std::uint64_t rows_dropped = 0;    ///< rows past a corrected terminal day
+    std::size_t checkpoints = 0;  ///< periodic snapshots during the replay
   };
 
-  /// Re-ingest [from_day, to_day) from a history store through the normal
-  /// engine stages (exclusive; empty days advance the day counter exactly
-  /// like the live run did). The rebuild path: no WAL append, no tee, no
-  /// checkpoint cadence — callers snapshot explicitly afterwards. With
-  /// `from_day == next_day()` on the same history the live service saw,
-  /// the resulting state is bit-identical to the live run's.
+  /// Re-ingest the spec's day window from a history store through the
+  /// normal engine stages (exclusive; empty days advance the day counter
+  /// exactly like the live run did). No WAL append, no tee; snapshots only
+  /// on the spec's checkpoint cadence (or explicitly afterwards). With the
+  /// default window — next_day() to the committed end — on the same
+  /// history the live service saw, the resulting state is bit-identical to
+  /// the live run's. Throws ReplayError on a malformed spec (see
+  /// ReplaySpec's field docs); the engine is untouched when it throws.
+  ReplayStats replay(const ReplaySpec& spec);
+
+  /// Late/corrected labels (spec.corrections, required): rewind to a fresh
+  /// engine and re-drive the store's whole replayable window — every
+  /// corrected disk's label queue re-drained under the corrected fates.
+  /// The result is bit-identical to a service that ingested the corrected
+  /// history from the start. The day counter ends at the window end;
+  /// callers snapshot afterwards to make the re-driven state durable.
+  ReplayStats redrive_labels(const ReplaySpec& spec);
+
+  /// Cold-start training: replay the store's whole replayable window into
+  /// this service before it goes live (orfd --backfill). Requires a truly
+  /// cold service — nothing ingested, nothing resumed — and leaves the day
+  /// counter at the store's end, so live ingest continues seamlessly (and
+  /// an attached tee skips everything the store already holds). The
+  /// resulting state is bit-identical to a live-trained service.
+  ReplayStats backfill_from_history(const ReplaySpec& spec);
+
+  /// The pre-ReplaySpec positional form, kept as a shim for one PR.
+  [[deprecated("migrate to replay(ReplaySpec) — the shim goes away next PR")]]
   ReplayStats replay_range(tsdb::Reader& reader, data::Day from_day,
                            data::Day to_day);
 
  private:
+  /// Window resolution mode for replay_locked: what an unset spec.from_day
+  /// means. Plain replay continues at the day counter; the rewind verbs
+  /// (redrive, backfill, run_replay cells) start at the store's floor.
+  enum class ReplayFrom { kNextDay, kFloor };
+
   std::string state_payload() const;
   void restore_payload(const std::string& payload);
+  ReplayStats replay_locked(const ReplaySpec& spec, ReplayFrom from_default);
+  /// Reset the engine to its freshly-constructed state (same config, same
+  /// seed) and the day counter to zero — the redrive rewind.
+  void reset_engine_locked();
   std::string checkpoint_locked();
   void replay_wal_locked();
   void enter_degraded_locked(const std::string& component,
@@ -263,5 +308,21 @@ class Service {
 
   obs::Counter* wal_replayed_rows_ = nullptr;
 };
+
+/// What one run_replay() cell produced: the retuned service (still warm —
+/// callers may snapshot it or keep scoring against it) and its stats.
+struct ReplayRun {
+  std::unique_ptr<Service> service;
+  Service::ReplayStats stats;
+};
+
+/// The what-if cell primitive orf_experiment maps its sweep grid over:
+/// build a Service from `base.with_overrides(spec.overrides)` — with
+/// capture and durability stripped, because a history consumer must never
+/// write back into the store it reads — and replay the spec's window
+/// (default: the store's whole replayable extent) into it. When the spec
+/// names no store or reader, the base config's tsdb.directory is read.
+ReplayRun run_replay(std::size_t feature_count, const Config& base,
+                     ReplaySpec spec);
 
 }  // namespace orf

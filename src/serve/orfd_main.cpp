@@ -19,11 +19,12 @@
 // Quick start:
 //   orfd --port 8080 --checkpoint-dir /var/lib/orf &
 //   curl -s localhost:8080/healthz
-//   curl -s -X POST localhost:8080/v1/score \
+//   curl -s -X POST localhost:8080/v1/score
 //        -d '{"rows":[[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]]}'
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,9 @@ int run(int argc, char** argv) {
   std::vector<util::FlagSpec> specs(orf::Config::flag_specs().begin(),
                                     orf::Config::flag_specs().end());
   specs.push_back({"features", "N", "SMART features per report"});
+  specs.push_back({"backfill", "",
+                   "cold-start train from the --tsdb-dir history before "
+                   "serving (skipped on --resume)"});
   flags.enforce("orfd", specs);
 
   const orf::Config config = orf::Config::from_flags(flags);
@@ -61,6 +65,35 @@ int run(int argc, char** argv) {
     std::printf("orfd: resumed from %s at day %lld\n",
                 config.robust.checkpoint_dir.c_str(),
                 static_cast<long long>(service.next_day()));
+  }
+
+  // Cold-start backfill (DESIGN.md §16): train from the captured history
+  // before the listener opens, so the first scored request already sees a
+  // warm forest. A resumed daemon skips it — the checkpoint IS that state.
+  if (flags.get_bool("backfill", false)) {
+    if (config.tsdb.directory.empty()) {
+      std::fprintf(stderr, "orfd: --backfill requires --tsdb-dir\n");
+      return 2;
+    }
+    if (service.resumed()) {
+      std::printf("orfd: --backfill skipped (resumed checkpoint wins)\n");
+    } else if (!std::filesystem::exists(std::filesystem::path(
+                   config.tsdb.directory) /
+               tsdb::kCatalogFile)) {
+      // An empty or brand-new store is not an error: the daemon simply
+      // starts cold and begins capturing.
+      std::printf("orfd: --backfill skipped (no committed history in %s)\n",
+                  config.tsdb.directory.c_str());
+    } else {
+      const orf::Service::ReplayStats stats =
+          service.backfill_from_history(orf::ReplaySpec{});
+      std::printf(
+          "orfd: backfilled days [%lld, %lld): %llu rows, %llu alarms\n",
+          static_cast<long long>(stats.from_day),
+          static_cast<long long>(stats.to_day),
+          static_cast<unsigned long long>(stats.rows),
+          static_cast<unsigned long long>(stats.alarms));
+    }
   }
 
   serve::Api api(service);

@@ -61,6 +61,12 @@ std::string serialize_catalog(const Catalog& catalog) {
   std::string out(kCatalogMagic);
   out += "\nfeatures " + std::to_string(catalog.feature_count);
   out += "\nfirst_day " + std::to_string(catalog.first_day);
+  // The floor line only appears once GC has moved it, so catalogs of
+  // stores that never retire anything stay byte-identical to the
+  // pre-retention format.
+  if (catalog.floor_day > catalog.first_day) {
+    out += "\nfloor " + std::to_string(catalog.floor_day);
+  }
   out += "\nnext_day " + std::to_string(catalog.next_day);
   out += "\nblocks " + std::to_string(catalog.blocks.size());
   for (const BlockRef& block : catalog.blocks) {
@@ -94,7 +100,15 @@ Catalog parse_catalog(std::string_view payload) {
   if (features <= 0 || features > (1 << 20)) corrupt("bad feature count");
   catalog.feature_count = static_cast<std::size_t>(features);
   catalog.first_day = static_cast<data::Day>(field("first_day"));
+  catalog.floor_day = catalog.first_day;  // absent line: nothing retired
+  if (payload.substr(0, 6) == "floor ") {
+    catalog.floor_day = static_cast<data::Day>(field("floor"));
+  }
   catalog.next_day = static_cast<data::Day>(field("next_day"));
+  if (catalog.floor_day < catalog.first_day ||
+      catalog.floor_day > catalog.next_day) {
+    corrupt("floor outside [first_day, next_day]");
+  }
   const std::int64_t count = field("blocks");
   if (count < 0 || count > (1 << 28)) corrupt("bad block count");
 

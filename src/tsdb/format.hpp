@@ -10,9 +10,15 @@
 //     orf-tsdb-catalog v1
 //     features <F>
 //     first_day <D>
+//     floor <D>                                     (optional; see below)
 //     next_day <N>
 //     blocks <count>
 //     block <disk> <segment> <offset> <bytes> <first_day> <last_day> <rows>
+//
+// `floor` is the replay floor retention GC has advanced to: every day in
+// [floor, next_day) is still fully replayable; days below it may have been
+// compacted away. Catalogs written before retention existed omit the line,
+// which parses as floor == first_day (nothing was ever dropped).
 //
 // A block holds one disk's contiguous run of daily rows, delta-of-delta
 // timestamped and XOR-compressed (codec.hpp). The frame CRC covers the
@@ -81,6 +87,10 @@ struct BlockRef {
 struct Catalog {
   std::size_t feature_count = 0;
   data::Day first_day = 0;
+  /// Retention floor: first day still guaranteed fully replayable. Equals
+  /// first_day until GC advances it (and for pre-retention catalogs, whose
+  /// payload has no `floor` line).
+  data::Day floor_day = 0;
   data::Day next_day = 0;
   std::vector<BlockRef> blocks;  ///< ascending (disk, first_day)
 };

@@ -40,10 +40,21 @@ class Reader {
   std::size_t feature_count() const { return catalog_.feature_count; }
   /// First day ever appended (empty days included).
   data::Day first_day() const { return catalog_.first_day; }
-  /// One past the last appended day: replaying [first_day, end_day) covers
-  /// exactly what the live run ingested, trailing empty days included.
+  /// Retention floor: first day still guaranteed fully replayable. Equals
+  /// first_day until the writer's GC has retired something; days below it
+  /// may be partially present (blocks straddling the floor survive whole).
+  data::Day floor_day() const { return catalog_.floor_day; }
+  /// One past the last appended day: replaying [floor_day, end_day) covers
+  /// everything the store still holds completely, trailing empty days
+  /// included (and [first_day, end_day) the whole live run, when nothing
+  /// was retired).
   data::Day end_day() const { return catalog_.next_day; }
   std::uint64_t total_rows() const { return total_rows_; }
+  /// Whether the store holds any block for `disk` (label-correction
+  /// validation wants to reject corrections aimed at disks never recorded).
+  bool has_disk(data::DiskId disk) const {
+    return by_disk_.find(disk) != by_disk_.end();
+  }
 
   /// One replayed day: rows in ascending DiskId order, feature spans
   /// pointing into `storage`.

@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "robust/checkpoint_io.hpp"
 #include "robust/failpoint.hpp"
@@ -20,11 +22,12 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::array<const char*, 4> kTsdbSites = {
+constexpr std::array<const char*, 5> kTsdbSites = {
     "tsdb.open_segment",
     "tsdb.append_block",
     "tsdb.fsync",
     "tsdb.catalog",
+    "tsdb.retention",
 };
 
 [[noreturn]] void throw_errno(const std::string& what) {
@@ -99,6 +102,7 @@ void Writer::load_catalog() {
   blocks_ = std::move(catalog.blocks);
   next_day_ = committed_next_day_ = catalog.next_day;
   first_day_ = catalog.first_day;
+  floor_day_ = catalog.floor_day;
   any_day_ = true;
   for (const BlockRef& block : blocks_) {
     next_segment_id_ = std::max(next_segment_id_, block.segment_id + 1);
@@ -117,6 +121,12 @@ void Writer::bind_metrics(obs::Registry& registry) {
       "orf_tsdb_blocks_total", "compressed blocks appended to segments");
   instruments_.bytes = &registry.counter(
       "orf_tsdb_bytes_total", "compressed bytes appended to segments");
+  instruments_.retired_blocks = &registry.counter(
+      "orf_tsdb_retired_blocks_total",
+      "blocks dropped from the catalog by retention");
+  instruments_.retired_segments = &registry.counter(
+      "orf_tsdb_retired_segments_total",
+      "segment files unlinked by retention GC");
   instruments_.buffered = &registry.gauge(
       "orf_tsdb_buffered_rows", "rows buffered and not yet flushed");
 }
@@ -220,6 +230,7 @@ void Writer::flush() {
   std::vector<BlockRef> staged;
   staged.reserve(pending_.size());
   std::uint64_t staged_bytes = 0;
+  std::size_t retired_blocks = 0;
   try {
     for (const auto& [disk, pending] : pending_) {
       if (fd_ >= 0 && open_segment_size_ >= options_.segment_max_bytes) {
@@ -275,9 +286,27 @@ void Writer::flush() {
                 return a.disk != b.disk ? a.disk < b.disk
                                         : a.first_day < b.first_day;
               });
+    // Retention: advance the replay floor, then drop the blocks that ended
+    // below it *before* the commit — the catalog that lands never points at
+    // anything GC may unlink. A block straddling the floor stays whole, so
+    // every day in [floor, next_day) remains fully replayable.
+    data::Day floor = floor_day_;
+    if (options_.retain_days > 0) {
+      floor = std::max(floor, next_day_ - options_.retain_days);
+    }
+    floor = std::max(floor, catalog.first_day);
+    if (floor > floor_day_) {
+      const auto expired = std::remove_if(
+          catalog.blocks.begin(), catalog.blocks.end(),
+          [floor](const BlockRef& block) { return block.last_day < floor; });
+      retired_blocks = static_cast<std::size_t>(catalog.blocks.end() - expired);
+      catalog.blocks.erase(expired, catalog.blocks.end());
+    }
+    catalog.floor_day = floor;
     ORF_FAILPOINT("tsdb.catalog");
     robust::write_envelope_file(catalog_path(), serialize_catalog(catalog));
     blocks_ = std::move(catalog.blocks);
+    floor_day_ = floor;
   } catch (...) {
     // Keep the buffer (a later flush retries everything) but drop the fd:
     // the next open re-reads the true append position past any torn tail.
@@ -291,7 +320,44 @@ void Writer::flush() {
   if (instruments_.flushes) instruments_.flushes->inc();
   if (instruments_.blocks) instruments_.blocks->inc(staged.size());
   if (instruments_.bytes) instruments_.bytes->inc(staged_bytes);
+  if (instruments_.retired_blocks && retired_blocks > 0) {
+    instruments_.retired_blocks->inc(retired_blocks);
+  }
   if (instruments_.buffered) instruments_.buffered->set(0.0);
+  // GC strictly after the commit: unlink is the only irreversible step and
+  // it only ever touches files the durable catalog no longer references.
+  if (options_.retain_days > 0) collect_garbage();
+}
+
+void Writer::collect_garbage() noexcept {
+  try {
+    ORF_FAILPOINT("tsdb.retention");
+    std::unordered_set<std::uint32_t> kept;
+    for (const BlockRef& block : blocks_) kept.insert(block.segment_id);
+    std::size_t unlinked = 0;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(options_.directory, ec)) {
+      const std::string name = entry.path().filename().string();
+      unsigned id = 0;
+      if (std::sscanf(name.c_str(), "tsdb-%06u.seg", &id) != 1 ||
+          name != segment_name(id)) {
+        continue;
+      }
+      if (kept.count(id) != 0) continue;
+      if (fd_ >= 0 && id == open_segment_id_) continue;
+      std::error_code remove_ec;
+      if (fs::remove(entry.path(), remove_ec) && !remove_ec) ++unlinked;
+    }
+    if (unlinked > 0) {
+      fsync_dir(options_.directory, "tsdb: directory " + options_.directory);
+      if (instruments_.retired_segments) {
+        instruments_.retired_segments->inc(unlinked);
+      }
+    }
+  } catch (...) {
+    // Orphan segment files are harmless (the catalog never references
+    // them); the pass after the next commit sweeps them again.
+  }
 }
 
 std::span<const char* const> Writer::tsdb_failpoint_sites() {

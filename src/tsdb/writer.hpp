@@ -11,11 +11,17 @@
 // mark deduplicates, the same idempotence scheme the Service uses for
 // engine state.
 //
+// Retention (Options::retain_days) rides the same commit: the catalog is
+// first rewritten without the blocks that fell below the new replay floor,
+// and only after that rename lands are unreferenced segment files unlinked
+// — so the committed catalog never points at a deleted file, whatever
+// crashes in between.
+//
 // Single-writer contract like the WAL: the Service's exclusive ingest lock
 // serialises append_day/flush. Every I/O stage is a named failpoint
-// (tsdb.open_segment / tsdb.append_block / tsdb.fsync / tsdb.catalog) so
-// the service suite can fault each one and prove ingest degrades to the
-// health ladder instead of failing.
+// (tsdb.open_segment / tsdb.append_block / tsdb.fsync / tsdb.catalog /
+// tsdb.retention) so the service suite can fault each one and prove ingest
+// degrades to the health ladder instead of failing.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +43,14 @@ class Writer {
     /// Segment rotation threshold: a flush whose segment has grown past
     /// this starts the next block in a fresh segment file.
     std::size_t segment_max_bytes = 4u << 20;
+    /// Retention window in days (0 = keep everything). Each catalog commit
+    /// advances the replay floor to next_day - retain_days and drops blocks
+    /// that ended below it; segments left with no cataloged block are
+    /// unlinked *after* the commit, so a crash mid-GC leaves only orphan
+    /// files — the catalog can never reference a deleted segment. Days at
+    /// or above the floor are never dropped, not even partially: a block
+    /// straddling the floor is kept whole.
+    data::Day retain_days = 0;
   };
 
   /// Opens (or creates) the store; an existing catalog is loaded so appends
@@ -69,6 +83,10 @@ class Writer {
   data::Day next_day() const { return next_day_; }
   /// First day ever appended (0 before any append).
   data::Day first_day() const { return any_day_ ? first_day_ : 0; }
+  /// Committed replay floor: every day in [floor_day, next_day) the catalog
+  /// has seen is still fully replayable. Advances on flush when retention
+  /// is on; never moves past what the last commit published.
+  data::Day floor_day() const { return floor_day_; }
   std::size_t feature_count() const { return options_.feature_count; }
   std::size_t buffered_rows() const { return buffered_rows_; }
   const Options& options() const { return options_; }
@@ -86,6 +104,11 @@ class Writer {
   void load_catalog();
   void open_segment();
   void retire_segment() noexcept;
+  /// Unlink every tsdb-*.seg the committed catalog no longer references —
+  /// never the open segment. Runs only after a successful commit, so the
+  /// catalog is the sole survivor test. Failures are swallowed: orphan
+  /// files are harmless debris the next pass sweeps again.
+  void collect_garbage() noexcept;
   std::string catalog_path() const;
 
   Options options_;
@@ -97,6 +120,7 @@ class Writer {
   data::Day next_day_ = 0;
   data::Day committed_next_day_ = 0;  ///< next_day the catalog last recorded
   data::Day first_day_ = 0;
+  data::Day floor_day_ = 0;  ///< committed replay floor (see floor_day())
   bool any_day_ = false;
 
   int fd_ = -1;                    ///< open segment, -1 when none
@@ -110,6 +134,8 @@ class Writer {
     obs::Counter* flushes = nullptr;
     obs::Counter* blocks = nullptr;
     obs::Counter* bytes = nullptr;
+    obs::Counter* retired_blocks = nullptr;
+    obs::Counter* retired_segments = nullptr;
     obs::Gauge* buffered = nullptr;
   };
   Instruments instruments_;

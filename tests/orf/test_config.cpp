@@ -278,9 +278,75 @@ TEST(OrfConfig, FlagSpecsCoverTheSharedKnobsInUsageText) {
         "--checkpoint-dir", "--row-errors", "--resume", "--max-in-flight",
         "--serve-mode", "--serve-workers", "--batch-max-rows",
         "--batch-max-wait-us", "--idle-timeout-ms", "--wal", "--wal-sync",
-        "--request-deadline-ms", "--shed-high-water", "--help"}) {
+        "--request-deadline-ms", "--shed-high-water", "--oobe-threshold",
+        "--tsdb-retain-days", "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag << "\n" << usage;
   }
+}
+
+TEST(OrfConfig, HistoryConsumerKnobsParseAndValidate) {
+  const orf::Config config = orf::Config::from_flags(
+      make_flags({"--oobe-threshold=0.3", "--tsdb-retain-days=90"}));
+  EXPECT_DOUBLE_EQ(config.forest.oobe_threshold, 0.3);
+  EXPECT_EQ(config.tsdb.retain_days, 90);
+
+  EXPECT_THROW(orf::Config::from_flags(make_flags({"--oobe-threshold=1.5"})),
+               orf::ConfigError);
+  EXPECT_THROW(orf::Config::from_flags(make_flags({"--tsdb-retain-days=-7"})),
+               orf::ConfigError);
+}
+
+TEST(OrfConfig, WithOverridesClonesAndRetunes) {
+  orf::Config base;
+  base.forest.n_trees = 7;
+  base.seed = 11;
+
+  orf::ConfigOverrides overrides;
+  EXPECT_TRUE(overrides.empty());
+  overrides.set("lambda-pos", "0.5")
+      .set("oobe-threshold", "0.3")
+      .set("backend", "mondrian")
+      .set("shards", "3");
+  EXPECT_FALSE(overrides.empty());
+
+  const orf::Config cell = base.with_overrides(overrides);
+  // Retuned knobs land; everything else is the base's.
+  EXPECT_DOUBLE_EQ(cell.forest.lambda_pos, 0.5);
+  EXPECT_DOUBLE_EQ(cell.forest.oobe_threshold, 0.3);
+  EXPECT_EQ(cell.engine.backend, "mondrian");
+  EXPECT_EQ(cell.engine.shards, 3u);
+  EXPECT_EQ(cell.forest.n_trees, 7);
+  EXPECT_EQ(cell.seed, 11u);
+  // The base is untouched (clone, not mutate).
+  EXPECT_EQ(base.engine.backend, "orf");
+
+  // describe() uses the canonical flag spellings, deterministically.
+  const std::string label = overrides.describe();
+  for (const char* piece :
+       {"lambda-pos=0.5", "oobe-threshold=0.3", "backend=mondrian",
+        "shards=3"}) {
+    EXPECT_NE(label.find(piece), std::string::npos) << label;
+  }
+}
+
+TEST(OrfConfig, OverridesRejectUnknownKnobsAndBadValuesAndRevalidate) {
+  orf::ConfigOverrides overrides;
+  try {
+    overrides.set("lambda", "0.5");  // not a knob spelling
+    FAIL() << "expected ConfigError";
+  } catch (const orf::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("lambda"), std::string::npos) << what;
+    EXPECT_NE(what.find("lambda-pos"), std::string::npos)
+        << "error should list the knobs: " << what;
+  }
+  EXPECT_THROW(overrides.set("trees", "many"), orf::ConfigError);
+
+  // with_overrides re-validates the derived config.
+  overrides = {};
+  overrides.set("oobe-threshold", "1.5");
+  EXPECT_THROW((void)orf::Config{}.with_overrides(overrides),
+               orf::ConfigError);
 }
 
 }  // namespace

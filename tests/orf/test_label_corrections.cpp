@@ -1,0 +1,268 @@
+// LabelCorrections: the "orf-label-corrections v1" format round-trips and
+// rejects malformed input, corrections are validated against the store
+// before any state is touched, and the differential contract holds —
+// replaying a mis-captured store under its corrections is bit-identical to
+// replaying a store that was captured right all along, across shard counts
+// and through Service::redrive_labels on a warm, wrongly-trained service.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "orf/service.hpp"
+#include "tsdb/reader.hpp"
+#include "tsdb/writer.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kFeatures = 4;
+constexpr std::size_t kDisks = 5;
+constexpr data::Day kDays = 12;
+
+// The truth: disk 1 fails on day 6, disk 3 leaves healthy on day 8.
+constexpr data::DiskId kFailedDisk = 1;
+constexpr data::Day kFailureDay = 6;
+constexpr data::DiskId kSurvivorDisk = 3;
+constexpr data::Day kSurvivalDay = 8;
+
+orf::Config base_config(std::size_t shards = 2) {
+  orf::Config config;
+  config.forest.n_trees = 5;
+  config.forest.tree.n_tests = 16;
+  config.engine.shards = shards;
+  return config;
+}
+
+std::vector<float> feature_row(data::Day day, std::size_t disk) {
+  std::vector<float> row(kFeatures);
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    row[f] = 0.1f * static_cast<float>(day + 1) *
+             static_cast<float>(f + disk + 1);
+  }
+  return row;
+}
+
+/// Writes a store for the scenario. `truth` selects the correctly-captured
+/// variant; otherwise the confused pipeline's one: disk 1's failure is
+/// missed (it keeps reporting as operating — zombie rows to the end) and
+/// disk 3's healthy retirement is recorded as a failure, also followed by
+/// zombie rows. Features are identical in both variants; only fates and
+/// the zombie tails differ — exactly what corrections can repair.
+void write_store(const std::string& dir, bool truth) {
+  tsdb::Writer writer({.directory = dir, .feature_count = kFeatures});
+  std::vector<std::vector<float>> storage;
+  std::vector<tsdb::RowView> rows;
+  for (data::Day day = 0; day < kDays; ++day) {
+    storage.clear();
+    storage.reserve(kDisks);  // spans into it must survive the push_backs
+    rows.clear();
+    for (std::size_t d = 0; d < kDisks; ++d) {
+      const auto disk = static_cast<data::DiskId>(d);
+      std::uint8_t fate = 0;  // kOperating
+      if (disk == kFailedDisk) {
+        if (truth && day > kFailureDay) continue;  // gone after the failure
+        if (truth && day == kFailureDay) fate = 1;  // kFailure
+        // wrong capture: operating forever (fate 0, zombie tail)
+      }
+      if (disk == kSurvivorDisk) {
+        if (truth && day > kSurvivalDay) continue;
+        if (day == kSurvivalDay) fate = truth ? 2 : 1;  // retired vs "failed"
+        if (!truth && day > kSurvivalDay) fate = 0;  // zombie tail
+      }
+      storage.push_back(feature_row(day, d));
+      rows.push_back(tsdb::RowView{
+          .disk = disk, .fate = fate, .features = storage.back()});
+    }
+    writer.append_day(day, rows);
+  }
+  writer.flush();
+}
+
+orf::LabelCorrections scenario_corrections() {
+  orf::LabelCorrections corrections;
+  corrections.set_failure(kFailedDisk, kFailureDay);
+  corrections.set_survival(kSurvivorDisk, kSurvivalDay);
+  return corrections;
+}
+
+std::string state_of(const orf::Service& service) {
+  std::ostringstream os;
+  service.save(os);
+  return os.str();
+}
+
+class LabelCorrectionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("orf_corrections_" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string truth_dir() const { return (dir_ / "truth").string(); }
+  std::string wrong_dir() const { return (dir_ / "wrong").string(); }
+
+  fs::path dir_;
+};
+
+TEST(LabelCorrectionsFormat, SerializeParseRoundTrip) {
+  const orf::LabelCorrections corrections = scenario_corrections();
+  const std::string text = corrections.serialize();
+  EXPECT_NE(text.find("orf-label-corrections v1"), std::string::npos);
+  EXPECT_NE(text.find("fail 1 6"), std::string::npos) << text;
+  EXPECT_NE(text.find("survive 3 8"), std::string::npos) << text;
+
+  const orf::LabelCorrections parsed = orf::LabelCorrections::parse(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  const auto* failure = parsed.find(kFailedDisk);
+  ASSERT_NE(failure, nullptr);
+  EXPECT_EQ(failure->kind, orf::LabelCorrections::Kind::kFailure);
+  EXPECT_EQ(failure->day, kFailureDay);
+  const auto* survival = parsed.find(kSurvivorDisk);
+  ASSERT_NE(survival, nullptr);
+  EXPECT_EQ(survival->kind, orf::LabelCorrections::Kind::kSurvival);
+  EXPECT_EQ(survival->day, kSurvivalDay);
+  EXPECT_EQ(parsed.serialize(), text);  // deterministic round-trip
+}
+
+TEST(LabelCorrectionsFormat, CommentsAndBlankLinesAreAllowed) {
+  const orf::LabelCorrections parsed = orf::LabelCorrections::parse(
+      "orf-label-corrections v1\n"
+      "# ops ticket 4711\n"
+      "\n"
+      "fail 7 30\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.find(7)->day, 30);
+}
+
+TEST(LabelCorrectionsFormat, ParseRejectsMalformedInput) {
+  using orf::LabelCorrections;
+  // Wrong header.
+  EXPECT_THROW(LabelCorrections::parse("corrections v2\nfail 1 2\n"),
+               orf::ReplayError);
+  // Unknown verb.
+  EXPECT_THROW(
+      LabelCorrections::parse("orf-label-corrections v1\nretire 1 2\n"),
+      orf::ReplayError);
+  // Non-numeric fields / trailing junk.
+  EXPECT_THROW(
+      LabelCorrections::parse("orf-label-corrections v1\nfail one 2\n"),
+      orf::ReplayError);
+  EXPECT_THROW(
+      LabelCorrections::parse("orf-label-corrections v1\nfail 1 2 3\n"),
+      orf::ReplayError);
+  // A disk may appear only once (the newest truth must be resolved before
+  // the file is written, not by file order).
+  EXPECT_THROW(LabelCorrections::parse(
+                   "orf-label-corrections v1\nfail 1 2\nsurvive 1 4\n"),
+               orf::ReplayError);
+}
+
+TEST_F(LabelCorrectionsTest, SaveAndLoadFileRoundTrip) {
+  fs::create_directories(dir_);
+  const std::string path = (dir_ / "corrections.txt").string();
+  scenario_corrections().save_file(path);
+  const orf::LabelCorrections loaded =
+      orf::LabelCorrections::load_file(path);
+  EXPECT_EQ(loaded.serialize(), scenario_corrections().serialize());
+
+  EXPECT_THROW(orf::LabelCorrections::load_file((dir_ / "absent").string()),
+               orf::ReplayError);
+}
+
+TEST_F(LabelCorrectionsTest, CorrectionsAreValidatedBeforeAnyStateChanges) {
+  write_store(wrong_dir(), /*truth=*/false);
+
+  // Unknown disk: the store never recorded disk 99.
+  orf::LabelCorrections unknown;
+  unknown.set_failure(99, 5);
+  orf::Service service(kFeatures, base_config());
+  orf::ReplaySpec spec;
+  spec.store = wrong_dir();
+  spec.corrections = &unknown;
+  const std::string fresh = state_of(service);
+  EXPECT_THROW(service.replay(spec), orf::ReplayError);
+  EXPECT_EQ(state_of(service), fresh) << "validation must precede mutation";
+
+  // Correction day outside the replay window.
+  orf::LabelCorrections outside;
+  outside.set_failure(kFailedDisk, kFailureDay);
+  spec.corrections = &outside;
+  spec.to_day = kFailureDay;  // window ends before the corrected day
+  EXPECT_THROW(service.replay(spec), orf::ReplayError);
+  EXPECT_EQ(state_of(service), fresh);
+}
+
+TEST_F(LabelCorrectionsTest, CorrectedReplayEqualsTruthAcrossShardCounts) {
+  write_store(truth_dir(), /*truth=*/true);
+  write_store(wrong_dir(), /*truth=*/false);
+  const orf::LabelCorrections corrections = scenario_corrections();
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+
+    orf::Service truth(kFeatures, base_config(shards));
+    orf::ReplaySpec truth_spec;
+    truth_spec.store = truth_dir();
+    const orf::Service::ReplayStats truth_stats = truth.replay(truth_spec);
+    EXPECT_EQ(truth_stats.rows_corrected, 0u);
+    EXPECT_EQ(truth_stats.rows_dropped, 0u);
+
+    orf::Service corrected(kFeatures, base_config(shards));
+    orf::ReplaySpec spec;
+    spec.store = wrong_dir();
+    spec.corrections = &corrections;
+    const orf::Service::ReplayStats stats = corrected.replay(spec);
+    // Two fates rewritten; the zombie tails (disk 1: days 7..11, disk 3:
+    // days 9..11) dropped.
+    EXPECT_EQ(stats.rows_corrected, 2u);
+    EXPECT_EQ(stats.rows_dropped, 8u);
+    EXPECT_EQ(stats.rows, truth_stats.rows);
+
+    EXPECT_EQ(state_of(corrected), state_of(truth))
+        << "corrected replay must be bit-identical to right-all-along";
+  }
+}
+
+TEST_F(LabelCorrectionsTest, RedriveLabelsRewindsAWarmWronglyTrainedService) {
+  write_store(truth_dir(), /*truth=*/true);
+  write_store(wrong_dir(), /*truth=*/false);
+
+  orf::Service truth(kFeatures, base_config());
+  orf::ReplaySpec truth_spec;
+  truth_spec.store = truth_dir();
+  truth.replay(truth_spec);
+
+  // The warm, wrong service: trained on the mis-captured history (missed
+  // failure, spurious failure, zombie rows) — its label queues drained the
+  // wrong labels days ago.
+  orf::Service warm(kFeatures, base_config());
+  orf::ReplaySpec wrong_spec;
+  wrong_spec.store = wrong_dir();
+  warm.replay(wrong_spec);
+  ASSERT_NE(state_of(warm), state_of(truth));
+
+  const orf::LabelCorrections corrections = scenario_corrections();
+  orf::ReplaySpec redrive;
+  redrive.store = wrong_dir();
+  redrive.corrections = &corrections;
+  const orf::Service::ReplayStats stats = warm.redrive_labels(redrive);
+  EXPECT_EQ(stats.from_day, 0);
+  EXPECT_EQ(stats.to_day, kDays);
+  EXPECT_EQ(state_of(warm), state_of(truth));
+  EXPECT_EQ(warm.next_day(), kDays);
+
+  // Without corrections there is nothing to redrive.
+  orf::ReplaySpec empty;
+  empty.store = wrong_dir();
+  EXPECT_THROW(warm.redrive_labels(empty), orf::ReplayError);
+}
+
+}  // namespace

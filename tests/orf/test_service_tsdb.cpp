@@ -1,5 +1,5 @@
 // Service-level history capture: the ingest tee is off by default, commits
-// on the checkpoint cadence, replays bit-identically through replay_range,
+// on the checkpoint cadence, replays bit-identically through replay(),
 // degrades to the health ladder (never failing ingest) when the history
 // device faults — at every tsdb failpoint site — and composes with the WAL
 // so a crash with buffered history is healed by the resume re-tee, doubly
@@ -127,7 +127,21 @@ TEST_F(ServiceTsdb, TeeCommitsOnTheCheckpointCadence) {
   EXPECT_EQ(stored_rows(), 7 * kDisks);
 }
 
-TEST_F(ServiceTsdb, ReplayRangeReproducesTheLiveStateBitIdentically) {
+TEST_F(ServiceTsdb, RetainDaysReachesTheWriterThroughTheTee) {
+  // --tsdb-retain-days must actually govern the service-owned writer, not
+  // just parse: after 9 teed days with a 4-day window, the committed floor
+  // has advanced and replay starts there, not at day 0.
+  orf::Config config = tsdb_config(/*checkpoint_every=*/3);
+  config.tsdb.retain_days = 4;
+  orf::Service service(kFeatures, config);
+  ingest_days(service, 0, 9);
+  service.tsdb_flush();
+  tsdb::Reader reader(tsdb_dir());
+  EXPECT_EQ(reader.end_day(), 9);
+  EXPECT_EQ(reader.floor_day(), 5);
+}
+
+TEST_F(ServiceTsdb, ReplayReproducesTheLiveStateBitIdentically) {
   orf::Service live(kFeatures, tsdb_config());
   ingest_days(live, 0, 8);
   live.tsdb_flush();
@@ -135,8 +149,11 @@ TEST_F(ServiceTsdb, ReplayRangeReproducesTheLiveStateBitIdentically) {
   tsdb::Reader reader(tsdb_dir());
   ASSERT_EQ(reader.end_day(), 8);
   orf::Service rebuilt(kFeatures, base_config());
-  const orf::Service::ReplayStats stats =
-      rebuilt.replay_range(reader, 0, reader.end_day());
+  orf::ReplaySpec spec;
+  spec.reader = &reader;  // defaults: [next_day()=0, end_day())
+  const orf::Service::ReplayStats stats = rebuilt.replay(spec);
+  EXPECT_EQ(stats.from_day, 0);
+  EXPECT_EQ(stats.to_day, 8);
   EXPECT_EQ(stats.days, 8);
   EXPECT_EQ(stats.rows, 8 * kDisks);
   EXPECT_EQ(rebuilt.next_day(), 8);

@@ -144,14 +144,15 @@ TEST_F(ReplayDifferential, ReplayMatchesLiveAcrossShardCounts) {
   }
 }
 
-TEST_F(ReplayDifferential, ReplayRangeMatchesTheManualReplayLoop) {
+TEST_F(ReplayDifferential, ReplaySpecMatchesTheManualReplayLoop) {
   AlarmSet live_alarms;
   const std::string live_state = run_live(/*shards=*/2, live_alarms);
 
   tsdb::Reader reader(tsdb_dir());
   orf::Service service(fleet_.feature_count(), engine_config(2));
-  const orf::Service::ReplayStats stats =
-      service.replay_range(reader, 0, reader.end_day());
+  orf::ReplaySpec spec;
+  spec.reader = &reader;  // defaults: [next_day()=0, end_day())
+  const orf::Service::ReplayStats stats = service.replay(spec);
   EXPECT_EQ(stats.days, duration_);
   EXPECT_EQ(stats.alarms, live_alarms.size());
   EXPECT_EQ(state_of(service), live_state);
@@ -169,7 +170,10 @@ TEST_F(ReplayDifferential, MidStreamCheckpointRestoreSplitsTheReplay) {
     config.robust.checkpoint_dir = ckpt_dir;
     config.robust.wal = false;
     orf::Service first_half(fleet_.feature_count(), config);
-    first_half.replay_range(reader, 0, mid);
+    orf::ReplaySpec spec;
+    spec.reader = &reader;
+    spec.to_day = mid;
+    first_half.replay(spec);
     first_half.checkpoint_now();
   }
   tsdb::Reader reader(tsdb_dir());
@@ -180,7 +184,9 @@ TEST_F(ReplayDifferential, MidStreamCheckpointRestoreSplitsTheReplay) {
   orf::Service second_half(fleet_.feature_count(), config);
   ASSERT_TRUE(second_half.resumed());
   ASSERT_EQ(second_half.next_day(), mid);
-  second_half.replay_range(reader, second_half.next_day(), reader.end_day());
+  orf::ReplaySpec spec;
+  spec.reader = &reader;  // from_day defaults to the resumed next_day()
+  second_half.replay(spec);
   EXPECT_EQ(state_of(second_half), live_state);
 }
 
